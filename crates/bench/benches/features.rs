@@ -1,0 +1,58 @@
+//! Feature-extraction cost: the Table-I bank over a typical 3-channel
+//! gesture window, plus the per-kind breakdown showing where the time goes
+//! (the quadratic entropy estimators dominate).
+
+use airfinger_features::{FeatureExtractor, FeatureKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn window(n: usize) -> Vec<Vec<f64>> {
+    (0..3)
+        .map(|k| {
+            (0..n)
+                .map(|i| {
+                    let t = i as f64 / n as f64;
+                    (60.0 + 20.0 * k as f64)
+                        * (std::f64::consts::TAU * 3.0 * t).sin().powi(2)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_features(c: &mut Criterion) {
+    let channels = window(150);
+
+    c.bench_function("table1_3ch_150", |b| {
+        let e = FeatureExtractor::table1();
+        b.iter(|| std::hint::black_box(e.extract_multi(&channels)));
+    });
+
+    c.bench_function("nongesture9_3ch_150", |b| {
+        let e = FeatureExtractor::nongesture9();
+        b.iter(|| std::hint::black_box(e.extract_multi(&channels)));
+    });
+
+    let mut group = c.benchmark_group("per_kind_150");
+    for kind in [
+        FeatureKind::SampleEntropy,
+        FeatureKind::ApproximateEntropy,
+        FeatureKind::Fft,
+        FeatureKind::Cwt,
+        FeatureKind::AugmentedDickeyFuller,
+        FeatureKind::StandardDeviation,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, k| b.iter(|| std::hint::black_box(k.values(&channels[0]))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_features
+}
+criterion_main!(benches);

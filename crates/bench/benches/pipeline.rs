@@ -1,0 +1,54 @@
+//! End-to-end pipeline cost: the per-sample streaming budget is 10 ms at
+//! the prototype's 100 Hz; whole-recording recognition must also be fast
+//! enough for "real-time gesture recognition on wearable smart devices".
+
+use airfinger_core::config::AirFingerConfig;
+use airfinger_core::engine::StreamingEngine;
+use airfinger_core::pipeline::AirFinger;
+use airfinger_synth::dataset::{generate_corpus, CorpusSpec};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn trained() -> (AirFinger, airfinger_synth::dataset::Corpus) {
+    let spec = CorpusSpec { users: 2, sessions: 1, reps: 3, ..Default::default() };
+    let corpus = generate_corpus(&spec);
+    let mut af = AirFinger::new(AirFingerConfig { forest_trees: 30, ..Default::default() });
+    af.train_on_corpus(&corpus, None).expect("training");
+    (af, corpus)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (af, corpus) = trained();
+    let trace = corpus.samples()[0].trace.clone();
+
+    c.bench_function("recognize_primary", |b| {
+        b.iter(|| std::hint::black_box(af.recognize_primary(&trace).expect("recognize")));
+    });
+
+    c.bench_function("segment_only", |b| {
+        b.iter(|| std::hint::black_box(af.processor().process(&trace)));
+    });
+
+    let mut group = c.benchmark_group("streaming_push");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("per_sample", |b| {
+        b.iter(|| {
+            let mut engine = StreamingEngine::new(af.clone(), 3).expect("engine");
+            let mut events = 0usize;
+            for i in 0..trace.len() {
+                let s = [trace.channel(0)[i], trace.channel(1)[i], trace.channel(2)[i]];
+                if engine.push(&s).expect("push").is_some() {
+                    events += 1;
+                }
+            }
+            std::hint::black_box(events)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pipeline
+}
+criterion_main!(benches);

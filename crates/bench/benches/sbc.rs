@@ -1,0 +1,44 @@
+//! SBC is O(n) (§IV-B1: "simple and efficient with O(n) time complexity"):
+//! time per sample must stay flat as the trace grows.
+
+use airfinger_dsp::sbc::Sbc;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn trace(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 300.0 + 40.0 * ((i as f64) * 0.13).sin()).collect()
+}
+
+fn bench_sbc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sbc_batch");
+    for n in [1_000usize, 10_000, 100_000] {
+        let rss = trace(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &rss, |b, rss| {
+            let sbc = Sbc::new(1);
+            b.iter(|| std::hint::black_box(sbc.apply(rss)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sbc_streaming");
+    let rss = trace(10_000);
+    group.throughput(Throughput::Elements(rss.len() as u64));
+    group.bench_function("push_10k", |b| {
+        b.iter(|| {
+            let mut s = Sbc::new(1).stream();
+            let mut acc = 0.0;
+            for &v in &rss {
+                acc += s.push(v);
+            }
+            std::hint::black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sbc
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Dynamic-threshold (Otsu) computation and gesture segmentation cost:
+//! both must fit comfortably inside the 10 ms sample budget at 100 Hz.
+
+use airfinger_dsp::segment::{Segmenter, SegmenterConfig, StreamingSegmenter};
+use airfinger_dsp::threshold::{otsu_threshold, DynamicThreshold};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn delta_trace(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let burst = (i / 100) % 3 == 1;
+            if burst {
+                120.0 + 40.0 * ((i as f64) * 0.7).sin().abs()
+            } else {
+                4.0 + ((i * 7919) % 13) as f64 * 0.4
+            }
+        })
+        .collect()
+}
+
+fn bench_segmentation(c: &mut Criterion) {
+    let delta = delta_trace(2_000);
+
+    c.bench_function("otsu_batch_2k", |b| {
+        b.iter(|| std::hint::black_box(otsu_threshold(&delta)));
+    });
+
+    let mut group = c.benchmark_group("dynamic_threshold_stream");
+    group.throughput(Throughput::Elements(delta.len() as u64));
+    group.bench_function("observe_2k", |b| {
+        b.iter(|| {
+            let mut dt = DynamicThreshold::default();
+            for &v in &delta {
+                dt.observe(v);
+            }
+            std::hint::black_box(dt.threshold())
+        });
+    });
+    group.finish();
+
+    c.bench_function("segmenter_batch_2k", |b| {
+        let seg = Segmenter::new(SegmenterConfig::default());
+        b.iter(|| std::hint::black_box(seg.segment(&delta, 30.0)));
+    });
+
+    c.bench_function("segmenter_streaming_2k", |b| {
+        b.iter(|| {
+            let mut s = StreamingSegmenter::new(SegmenterConfig::default());
+            let mut found = 0usize;
+            for &v in &delta {
+                if s.push(v, 30.0).is_some() {
+                    found += 1;
+                }
+            }
+            std::hint::black_box(found)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_segmentation
+}
+criterion_main!(benches);

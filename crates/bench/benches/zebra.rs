@@ -1,0 +1,45 @@
+//! ZEBRA tracking cost: "simulate track-aimed gestures in terms of
+//! direction, velocity, and displacement in real-time with low computation
+//! and low energy costs" (§IV-D3).
+
+use airfinger_core::config::AirFingerConfig;
+use airfinger_core::processing::DataProcessor;
+use airfinger_core::zebra::Zebra;
+use airfinger_synth::dataset::{generate_sample, CorpusSpec};
+use airfinger_synth::gesture::{Gesture, SampleLabel};
+use airfinger_synth::profile::UserProfile;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_zebra(c: &mut Criterion) {
+    let config = AirFingerConfig::default();
+    let spec = CorpusSpec { users: 1, sessions: 1, reps: 1, ..Default::default() };
+    let profile = UserProfile::sample(0, spec.seed);
+    let sample =
+        generate_sample(&profile, SampleLabel::Gesture(Gesture::ScrollUp), 0, 0, &spec);
+    let window = DataProcessor::new(config).primary_window(&sample.trace);
+    let zebra = Zebra::new(config);
+
+    c.bench_function("zebra_track", |b| {
+        b.iter(|| std::hint::black_box(zebra.track(&window)));
+    });
+
+    c.bench_function("channel_timing", |b| {
+        b.iter(|| std::hint::black_box(window.channel_timing(&config)));
+    });
+
+    c.bench_function("ascents", |b| {
+        b.iter(|| std::hint::black_box(window.ascents(&config)));
+    });
+
+    let track = zebra.track(&window).expect("scroll tracked");
+    c.bench_function("displacement_query", |b| {
+        b.iter(|| std::hint::black_box(track.displacement_mm(0.25)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_zebra
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all                       # every experiment at standard scale
+//! repro fig10 table2              # a subset
+//! repro all --scale full          # the paper's full 10,000-sample protocol
+//! repro all --json results.json   # also dump machine-readable results
+//! ```
+
+use airfinger_bench::context::{Context, Scale};
+use airfinger_bench::{run_experiment, EXPERIMENT_IDS};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale::Standard;
+    let mut seed = 0x41F1_6E12u64;
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let word = it.next().map(String::as_str).unwrap_or("");
+                match Scale::parse(word) {
+                    Some(s) => scale = s,
+                    None => {
+                        eprintln!("unknown scale `{word}` (quick|standard|full)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                }
+            },
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(p.clone()),
+                None => {
+                    eprintln!("--json needs a path");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                print_help();
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = EXPERIMENT_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    let ctx = Context::new(scale, seed);
+    let mut reports = Vec::new();
+    for id in &ids {
+        match run_experiment(id, &ctx) {
+            Some(report) => {
+                report.print();
+                reports.push(report);
+            }
+            None => {
+                eprintln!("unknown experiment `{id}`; known: {EXPERIMENT_IDS:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
+        let mut f = std::fs::File::create(&path).expect("create json output");
+        f.write_all(json.as_bytes()).expect("write json output");
+        eprintln!("[repro] wrote {path}");
+    }
+}
+
+fn print_help() {
+    println!("repro — regenerate the airFinger paper's tables and figures");
+    println!();
+    println!("usage: repro [IDS…|all] [--scale quick|standard|full] [--seed N] [--json PATH]");
+    println!();
+    println!("experiments: {EXPERIMENT_IDS:?}");
+}

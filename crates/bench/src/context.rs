@@ -1,0 +1,180 @@
+//! Shared experiment context: corpus scale, pipeline configuration and
+//! cached derived data (the feature matrices several experiments reuse).
+
+use airfinger_core::config::AirFingerConfig;
+use airfinger_core::train::{all_gesture_feature_set, LabeledFeatures};
+use airfinger_synth::dataset::{generate_corpus, Corpus, CorpusSpec};
+use std::cell::OnceCell;
+
+/// How large the synthesized corpora are relative to the paper's protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small corpora for smoke runs (a few repetitions).
+    Quick,
+    /// Medium corpora — the calibration default.
+    Standard,
+    /// The paper's full protocol (10 × 5 × 25 × 8 = 10,000 samples).
+    Full,
+}
+
+impl Scale {
+    /// Parse from a CLI word.
+    #[must_use]
+    pub fn parse(word: &str) -> Option<Scale> {
+        match word {
+            "quick" => Some(Scale::Quick),
+            "standard" => Some(Scale::Standard),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Repetitions per gesture per session (paper: 25).
+    #[must_use]
+    pub fn reps(&self) -> usize {
+        match self {
+            Scale::Quick => 3,
+            Scale::Standard => 8,
+            Scale::Full => 25,
+        }
+    }
+
+    /// Sessions per volunteer (paper: 5).
+    #[must_use]
+    pub fn sessions(&self) -> usize {
+        match self {
+            Scale::Quick => 2,
+            Scale::Standard | Scale::Full => 5,
+        }
+    }
+
+    /// Volunteers in the main corpus (paper: 10).
+    #[must_use]
+    pub fn users(&self) -> usize {
+        match self {
+            Scale::Quick => 4,
+            Scale::Standard | Scale::Full => 10,
+        }
+    }
+
+    /// Scale a paper repetition count proportionally (at least 2).
+    #[must_use]
+    pub fn scaled(&self, paper_reps: usize) -> usize {
+        let r = paper_reps * self.reps() / 25;
+        r.max(2)
+    }
+}
+
+/// Context shared by every experiment in one `repro` invocation.
+#[derive(Debug)]
+pub struct Context {
+    /// Pipeline configuration (paper settings).
+    pub config: AirFingerConfig,
+    /// Corpus scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    corpus: OnceCell<Corpus>,
+    all_features: OnceCell<LabeledFeatures>,
+}
+
+impl Context {
+    /// Create a context.
+    #[must_use]
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        Context {
+            config: AirFingerConfig::default(),
+            scale,
+            seed,
+            corpus: OnceCell::new(),
+            all_features: OnceCell::new(),
+        }
+    }
+
+    /// The main-protocol corpus spec (§V-B) at this scale.
+    #[must_use]
+    pub fn main_spec(&self) -> CorpusSpec {
+        CorpusSpec {
+            users: self.scale.users(),
+            sessions: self.scale.sessions(),
+            reps: self.scale.reps(),
+            seed: self.seed,
+            ..Default::default()
+        }
+    }
+
+    /// The main corpus (generated once, cached).
+    pub fn corpus(&self) -> &Corpus {
+        self.corpus.get_or_init(|| {
+            eprintln!(
+                "[context] generating main corpus ({} users x {} sessions x {} reps x 8 gestures)…",
+                self.scale.users(),
+                self.scale.sessions(),
+                self.scale.reps()
+            );
+            generate_corpus(&self.main_spec())
+        })
+    }
+
+    /// Table-I features over the whole main corpus, labels = gesture
+    /// indices 0..8 (computed once, cached).
+    pub fn all_features(&self) -> &LabeledFeatures {
+        self.all_features.get_or_init(|| {
+            let corpus = self.corpus();
+            eprintln!("[context] extracting features for {} samples…", corpus.len());
+            all_gesture_feature_set(corpus, &self.config)
+        })
+    }
+
+    /// Restriction of [`Context::all_features`] to the six detect-aimed
+    /// gestures (labels stay gesture indices 0..6 because the detect
+    /// gestures occupy the first six indices).
+    pub fn detect_features(&self) -> LabeledFeatures {
+        let all = self.all_features();
+        let keep: Vec<usize> =
+            (0..all.len()).filter(|&i| all.y[i] < 6).collect();
+        LabeledFeatures {
+            x: keep.iter().map(|&i| all.x[i].clone()).collect(),
+            y: keep.iter().map(|&i| all.y[i]).collect(),
+            users: keep.iter().map(|&i| all.users[i]).collect(),
+            sessions: keep.iter().map(|&i| all.sessions[i]).collect(),
+            reps: keep.iter().map(|&i| all.reps[i]).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("x"), None);
+    }
+
+    #[test]
+    fn scaled_counts() {
+        assert_eq!(Scale::Full.scaled(25), 25);
+        assert_eq!(Scale::Quick.scaled(25), 3);
+        assert!(Scale::Quick.scaled(1) >= 2);
+    }
+
+    #[test]
+    fn context_caches_corpus() {
+        let ctx = Context::new(Scale::Quick, 3);
+        let a = ctx.corpus() as *const _;
+        let b = ctx.corpus() as *const _;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn detect_features_subset() {
+        let ctx = Context::new(Scale::Quick, 3);
+        let all = ctx.all_features();
+        let det = ctx.detect_features();
+        assert_eq!(det.len(), all.len() * 6 / 8);
+        assert!(det.y.iter().all(|&l| l < 6));
+    }
+}

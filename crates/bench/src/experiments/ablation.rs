@@ -1,0 +1,139 @@
+//! Accuracy ablations for the design choices §IV motivates: SBC on/off,
+//! dynamic (Otsu) vs fixed segmentation threshold, full 25-kind feature
+//! bank vs the 9-kind subset vs a naive 3-stat baseline, and window
+//! normalization on/off.
+
+use crate::context::Context;
+use crate::experiments::{eval_rf_fold, merge_folds, pct};
+use crate::report::Report;
+use airfinger_core::detect::prepare_features;
+use airfinger_core::processing::DataProcessor;
+use airfinger_core::train::LabeledFeatures;
+use airfinger_dsp::segment::Segmenter;
+use airfinger_features::{FeatureExtractor, FeatureKind};
+use airfinger_ml::split::{leave_one_group_out, stratified_k_fold};
+use airfinger_synth::dataset::Corpus;
+
+/// How one ablation variant turns a corpus into features.
+enum Variant {
+    /// The production path: SBC + Otsu + 25-kind bank + normalization.
+    Full,
+    /// Features extracted from the raw RSS window instead of `ΔRSS²`.
+    NoSbc,
+    /// Segmentation against the fixed initial threshold (no Otsu).
+    FixedThreshold,
+    /// The 9-kind filter subset instead of the 25-kind bank.
+    NineFeatures,
+    /// A naive 3-statistic baseline (std dev, peaks, energy).
+    NaiveFeatures,
+    /// No per-window amplitude normalization.
+    NoNormalization,
+}
+
+fn extract(corpus: &Corpus, ctx: &Context, variant: &Variant) -> LabeledFeatures {
+    let processor = DataProcessor::new(ctx.config);
+    let extractor = match variant {
+        Variant::NineFeatures => FeatureExtractor::nongesture9(),
+        Variant::NaiveFeatures => FeatureExtractor::new(vec![
+            FeatureKind::StandardDeviation,
+            FeatureKind::NumberOfPeaks,
+            FeatureKind::AbsoluteEnergy,
+        ]),
+        _ => FeatureExtractor::table1(),
+    };
+    let mut out = LabeledFeatures::default();
+    for s in corpus.samples() {
+        let Some(g) = s.label.gesture() else { continue };
+        let window = match variant {
+            Variant::FixedThreshold => {
+                // Segment against the constant initial threshold.
+                let delta = processor.sbc(&s.trace);
+                let smoothed = processor.smoothed(&delta);
+                let fixed = vec![ctx.config.initial_threshold; smoothed.len()];
+                let segments =
+                    Segmenter::new(ctx.config.segmenter).segment_multi(&smoothed, &fixed);
+                let seg = match (segments.first(), segments.last()) {
+                    (Some(a), Some(b)) => {
+                        airfinger_dsp::segment::Segment::new(a.start, b.end)
+                    }
+                    _ => airfinger_dsp::segment::Segment::new(0, s.trace.len()),
+                };
+                airfinger_core::processing::GestureWindow {
+                    raw: s.trace.channels().iter().map(|c| seg.slice(c).to_vec()).collect(),
+                    delta: delta.iter().map(|c| seg.slice(c).to_vec()).collect(),
+                    segment: seg,
+                    thresholds: fixed,
+                    sample_rate_hz: s.trace.sample_rate_hz(),
+                }
+            }
+            _ => processor.primary_window(&s.trace),
+        };
+        let features = match variant {
+            Variant::NoSbc => {
+                // Swap in the raw RSS slices as the "delta" fed to features.
+                let mut w = window.clone();
+                w.delta = w.raw.clone();
+                prepare_features(&extractor, &w)
+            }
+            Variant::NoNormalization => {
+                let mut f = extractor.extract_multi(&window.delta);
+                f.push(window.duration_s());
+                f.into_iter().map(|v| if v.is_finite() { v } else { 0.0 }).collect()
+            }
+            _ => prepare_features(&extractor, &window),
+        };
+        out.x.push(features);
+        out.y.push(g.index());
+        out.users.push(s.user);
+        out.sessions.push(s.session);
+        out.reps.push(s.rep);
+    }
+    out
+}
+
+/// Run the experiment.
+#[must_use]
+pub fn run(ctx: &Context) -> Report {
+    let mut report = Report::new("ablation", "design-choice ablations (3-fold CV accuracy)");
+    let corpus = ctx.corpus();
+    report.line(format!(
+        "{:<20} {:>9} {:>9}",
+        "variant", "3-fold", "LOUO"
+    ));
+    let variants: [(&str, Variant); 6] = [
+        ("full pipeline", Variant::Full),
+        ("no SBC (raw RSS)", Variant::NoSbc),
+        ("fixed threshold", Variant::FixedThreshold),
+        ("9-feature subset", Variant::NineFeatures),
+        ("naive 3 features", Variant::NaiveFeatures),
+        ("no normalization", Variant::NoNormalization),
+    ];
+    for (name, variant) in variants {
+        let features = extract(corpus, ctx, &variant);
+        let folds = stratified_k_fold(&features.y, 3, ctx.seed + 0xAB);
+        let merged = merge_folds(
+            folds
+                .iter()
+                .map(|s| eval_rf_fold(&features, s, 8, ctx.config.forest_trees, ctx.seed + 0xAB)),
+            8,
+        );
+        // Cross-user robustness: the paper motivates SBC and the feature
+        // selection precisely with individual diversity, so every variant
+        // is also scored leave-one-user-out.
+        let louo = merge_folds(
+            leave_one_group_out(&features.users).iter().map(|(u, s)| {
+                eval_rf_fold(&features, s, 8, ctx.config.forest_trees, ctx.seed + *u as u64)
+            }),
+            8,
+        );
+        report.line(format!(
+            "{name:<20} {:>8.2}% {:>8.2}%",
+            pct(merged.accuracy()),
+            pct(louo.accuracy())
+        ));
+        let key = name.replace(' ', "_").replace(['(', ')'], "");
+        report.metric(&key, pct(merged.accuracy()));
+        report.metric(&format!("{key}_louo"), pct(louo.accuracy()));
+    }
+    report
+}

@@ -1,0 +1,177 @@
+//! Baseline comparison backing §IV-C2: the paper rejects HMM, DTW and CNN
+//! because RF has "lower computational expense … more suitable for
+//! real-time gesture recognition on wearable smart devices". The DTW 1-NN
+//! and Gaussian-HMM baselines run on the same corpus here so both accuracy
+//! and per-prediction cost are measured side by side.
+
+use crate::context::Context;
+use crate::experiments::{eval_classifier_fold, merge_folds, pct};
+use crate::report::Report;
+use airfinger_core::processing::DataProcessor;
+use airfinger_core::train::{all_gesture_feature_set, LabeledFeatures};
+use airfinger_ml::classifier::Classifier;
+use airfinger_ml::dtw::{DtwClassifier, DtwConfig};
+use airfinger_ml::cnn::{CnnClassifier, CnnConfig};
+use airfinger_ml::hmm::{HmmClassifier, HmmConfig};
+use airfinger_ml::forest::{RandomForest, RandomForestConfig};
+use airfinger_ml::split::stratified_k_fold;
+use airfinger_synth::dataset::{generate_corpus, CorpusSpec};
+use std::time::Instant;
+
+use airfinger_dsp::filter::resample_linear as resample;
+
+/// DTW works on raw temporal shape: the summed cross-channel energy
+/// envelope of each gesture window, resampled to 64 points and
+/// peak-normalized.
+fn dtw_signatures(corpus: &airfinger_synth::dataset::Corpus, ctx: &Context) -> LabeledFeatures {
+    let processor = DataProcessor::new(ctx.config);
+    let mut out = LabeledFeatures::default();
+    for s in corpus.samples() {
+        let Some(g) = s.label.gesture() else { continue };
+        let w = processor.primary_window(&s.trace);
+        let envelopes = w.envelopes();
+        let n = envelopes[0].len();
+        let summed: Vec<f64> =
+            (0..n).map(|i| envelopes.iter().map(|c| c[i]).sum()).collect();
+        let mut sig = resample(&summed, 64);
+        let peak = sig.iter().copied().fold(f64::MIN_POSITIVE, f64::max);
+        for v in &mut sig {
+            *v /= peak;
+        }
+        out.x.push(sig);
+        out.y.push(g.index());
+        out.users.push(s.user);
+        out.sessions.push(s.session);
+        out.reps.push(s.rep);
+    }
+    out
+}
+
+/// Run the experiment.
+#[must_use]
+pub fn run(ctx: &Context) -> Report {
+    let mut report = Report::new("baselines", "RF vs DTW 1-NN: accuracy and inference cost");
+    let spec = CorpusSpec {
+        users: 4,
+        sessions: 2,
+        reps: ctx.scale.scaled(8),
+        seed: ctx.seed + 0xBA5E,
+        ..Default::default()
+    };
+    let corpus = generate_corpus(&spec);
+    report.line(format!("corpus: {} samples", corpus.len()));
+    report.line(format!(
+        "{:<6} {:>9} {:>16}",
+        "model", "accuracy", "per-predict (µs)"
+    ));
+
+    // RF over the Table-I feature bank.
+    let rf_features = all_gesture_feature_set(&corpus, &ctx.config);
+    let rf_folds = stratified_k_fold(&rf_features.y, 3, ctx.seed);
+    let rf_matrix = merge_folds(
+        rf_folds.iter().map(|split| {
+            let mut rf = RandomForest::new(RandomForestConfig {
+                n_trees: ctx.config.forest_trees,
+                seed: ctx.seed,
+                ..Default::default()
+            });
+            eval_classifier_fold(&mut rf, &rf_features, split, 8)
+        }),
+        8,
+    );
+    // Inference cost on a trained model.
+    let mut rf = RandomForest::new(RandomForestConfig {
+        n_trees: ctx.config.forest_trees,
+        seed: ctx.seed,
+        ..Default::default()
+    });
+    rf.fit(&rf_features.x, &rf_features.y).expect("rf fit");
+    let probe = rf_features.x[0].clone();
+    let t0 = Instant::now();
+    for _ in 0..200 {
+        let _ = rf.predict(&probe).expect("predict");
+    }
+    let rf_us = t0.elapsed().as_secs_f64() * 1e6 / 200.0;
+    report.line(format!("{:<6} {:>8.2}% {:>16.1}", "RF", pct(rf_matrix.accuracy()), rf_us));
+
+    // DTW 1-NN over temporal signatures.
+    let dtw_features = dtw_signatures(&corpus, ctx);
+    let dtw_folds = stratified_k_fold(&dtw_features.y, 3, ctx.seed);
+    let dtw_matrix = merge_folds(
+        dtw_folds.iter().map(|split| {
+            let mut c = DtwClassifier::new(DtwConfig::default());
+            eval_classifier_fold(&mut c, &dtw_features, split, 8)
+        }),
+        8,
+    );
+    let mut dtw = DtwClassifier::new(DtwConfig::default());
+    dtw.fit(&dtw_features.x, &dtw_features.y).expect("dtw fit");
+    let probe = dtw_features.x[0].clone();
+    let t0 = Instant::now();
+    for _ in 0..50 {
+        let _ = dtw.predict(&probe).expect("predict");
+    }
+    let dtw_us = t0.elapsed().as_secs_f64() * 1e6 / 50.0;
+    report.line(format!("{:<6} {:>8.2}% {:>16.1}", "DTW", pct(dtw_matrix.accuracy()), dtw_us));
+
+    // HMM per-class models over the same temporal signatures.
+    let hmm_folds = stratified_k_fold(&dtw_features.y, 3, ctx.seed);
+    let hmm_matrix = merge_folds(
+        hmm_folds.iter().map(|split| {
+            let mut c = HmmClassifier::new(HmmConfig::default());
+            eval_classifier_fold(&mut c, &dtw_features, split, 8)
+        }),
+        8,
+    );
+    let mut hmm = HmmClassifier::new(HmmConfig::default());
+    hmm.fit(&dtw_features.x, &dtw_features.y).expect("hmm fit");
+    let probe = dtw_features.x[0].clone();
+    let t0 = Instant::now();
+    for _ in 0..200 {
+        let _ = hmm.predict(&probe).expect("predict");
+    }
+    let hmm_us = t0.elapsed().as_secs_f64() * 1e6 / 200.0;
+    report.line(format!("{:<6} {:>8.2}% {:>16.1}", "HMM", pct(hmm_matrix.accuracy()), hmm_us));
+
+    // CNN over the same temporal signatures.
+    let cnn_folds = stratified_k_fold(&dtw_features.y, 3, ctx.seed);
+    let cnn_matrix = merge_folds(
+        cnn_folds.iter().map(|split| {
+            let mut c = CnnClassifier::new(CnnConfig { seed: ctx.seed, ..Default::default() });
+            eval_classifier_fold(&mut c, &dtw_features, split, 8)
+        }),
+        8,
+    );
+    let mut cnn = CnnClassifier::new(CnnConfig { seed: ctx.seed, ..Default::default() });
+    let t_train = Instant::now();
+    cnn.fit(&dtw_features.x, &dtw_features.y).expect("cnn fit");
+    let cnn_train_ms = t_train.elapsed().as_secs_f64() * 1e3;
+    let probe = dtw_features.x[0].clone();
+    let t0 = Instant::now();
+    for _ in 0..200 {
+        let _ = cnn.predict(&probe).expect("predict");
+    }
+    let cnn_us = t0.elapsed().as_secs_f64() * 1e6 / 200.0;
+    report.line(format!(
+        "{:<6} {:>8.2}% {:>16.1}   (training {cnn_train_ms:.0} ms)",
+        "CNN",
+        pct(cnn_matrix.accuracy()),
+        cnn_us
+    ));
+
+    report.metric("rf_accuracy", pct(rf_matrix.accuracy()));
+    report.metric("dtw_accuracy", pct(dtw_matrix.accuracy()));
+    report.metric("rf_predict_us", rf_us);
+    report.metric("dtw_predict_us", dtw_us);
+    report.metric("dtw_cost_ratio", dtw_us / rf_us.max(1e-9));
+    report.metric("hmm_accuracy", pct(hmm_matrix.accuracy()));
+    report.metric("hmm_predict_us", hmm_us);
+    report.metric("cnn_accuracy", pct(cnn_matrix.accuracy()));
+    report.metric("cnn_predict_us", cnn_us);
+    report.line(format!(
+        "DTW costs {:.0}x and HMM {:.0}x an RF prediction (the §IV-C2 argument for RF)",
+        dtw_us / rf_us.max(1e-9),
+        hmm_us / rf_us.max(1e-9)
+    ));
+    report
+}

@@ -1,0 +1,64 @@
+//! §VI "Gesture Set" scaling study: boards with more photodiodes/LEDs —
+//! recognition accuracy, scroll-direction accuracy and the sensor power
+//! budget, side by side. More channels buy resolution at a power cost.
+
+use crate::context::Context;
+use crate::experiments::{eval_rf_fold, merge_folds, pct};
+use crate::report::Report;
+use airfinger_core::train::all_gesture_feature_set;
+use airfinger_ml::split::stratified_k_fold;
+use airfinger_nir_sim::components::{LedSpec, PhotodiodeSpec};
+use airfinger_nir_sim::layout::SensorLayout;
+use airfinger_nir_sim::power::PowerBudget;
+use airfinger_synth::dataset::{generate_corpus, CorpusSpec};
+use airfinger_synth::gesture::Gesture;
+
+/// Run the experiment.
+#[must_use]
+pub fn run(ctx: &Context) -> Report {
+    let mut report = Report::new("board", "board scaling: photodiode count vs accuracy vs power");
+    report.line(format!(
+        "{:>4} {:>6} {:>9} {:>12} {:>10}",
+        "PDs", "LEDs", "accuracy", "scroll-dir", "power(mW)"
+    ));
+    for pd_count in [2usize, 3, 5] {
+        let spec = CorpusSpec {
+            users: 4,
+            sessions: 2,
+            reps: ctx.scale.scaled(8),
+            seed: ctx.seed + 0xB0A2D,
+            board_pds: pd_count,
+            ..Default::default()
+        };
+        let corpus = generate_corpus(&spec);
+        let features = all_gesture_feature_set(&corpus, &ctx.config);
+        let folds = stratified_k_fold(&features.y, 3, ctx.seed + pd_count as u64);
+        let merged = merge_folds(
+            folds.iter().map(|s| {
+                eval_rf_fold(&features, s, 8, ctx.config.forest_trees, ctx.seed + pd_count as u64)
+            }),
+            8,
+        );
+        let scroll_dir = (merged.recall(Gesture::ScrollUp.index()).unwrap_or(0.0)
+            + merged.recall(Gesture::ScrollDown.index()).unwrap_or(0.0))
+            / 2.0;
+        let layout = SensorLayout::alternating(
+            pd_count,
+            5.0e-3,
+            LedSpec::ir304c94(),
+            PhotodiodeSpec::pt304(),
+        );
+        let power = PowerBudget::for_layout(&layout, 1.0);
+        report.line(format!(
+            "{:>4} {:>6} {:>8.2}% {:>11.2}% {:>10.1}",
+            pd_count,
+            layout.leds().len(),
+            pct(merged.accuracy()),
+            pct(scroll_dir),
+            power.total_mw()
+        ));
+        report.metric(&format!("accuracy_{pd_count}pd"), pct(merged.accuracy()));
+        report.metric(&format!("power_mw_{pd_count}pd"), power.total_mw());
+    }
+    report
+}

@@ -1,0 +1,155 @@
+//! Fig. 3: characteristic RSS readings of the eight gestures — one
+//! volunteer, two sessions; each gesture must show a distinctive pattern
+//! that is consistent across the two sessions.
+
+use crate::context::Context;
+use crate::experiments::pct;
+use crate::report::Report;
+use airfinger_core::detect::prepare_features;
+use airfinger_core::processing::DataProcessor;
+use airfinger_dsp::stats;
+use airfinger_features::FeatureExtractor;
+use airfinger_synth::dataset::{generate_sample, CorpusSpec};
+use airfinger_synth::gesture::{Gesture, SampleLabel};
+use airfinger_synth::profile::UserProfile;
+
+use airfinger_dsp::filter::resample_linear as resample;
+
+/// Pearson correlation of two equal-length series.
+fn correlation(a: &[f64], b: &[f64]) -> f64 {
+    let (ma, mb) = (stats::mean(a), stats::mean(b));
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        num += (x - ma) * (y - mb);
+        da += (x - ma) * (x - ma);
+        db += (y - mb) * (y - mb);
+    }
+    if da <= 0.0 || db <= 0.0 {
+        0.0
+    } else {
+        num / (da * db).sqrt()
+    }
+}
+
+/// Run the experiment.
+#[must_use]
+pub fn run(ctx: &Context) -> Report {
+    let mut report = Report::new("fig3", "characteristic RSS readings per gesture");
+    let spec = CorpusSpec { users: 1, sessions: 2, reps: 5, seed: ctx.seed, ..Default::default() };
+    let profile = UserProfile::sample(0, spec.seed);
+    let processor = DataProcessor::new(ctx.config);
+    let extractor = FeatureExtractor::table1();
+    report.line(format!(
+        "{:>10} {:>8} {:>7} {:>10} {:>12}",
+        "gesture", "dur(s)", "peaks", "energy", "xsession-r"
+    ));
+    // Consistency/distinctiveness are measured in the *feature space the
+    // recognizer actually uses* (amplitude-normalized Table-I features):
+    // the same gesture performed in two sessions must correlate strongly,
+    // and more strongly than any two different gestures do.
+    let mut rows: Vec<(Gesture, f64, f64, f64)> = Vec::new(); // (g, dur, peaks, energy)
+    let mut session0: Vec<Vec<f64>> = Vec::new();
+    let mut session1: Vec<Vec<f64>> = Vec::new();
+    // The "characteristic pattern" of a gesture in a session is the mean
+    // feature vector over its repetitions (Fig. 3 shows representative
+    // waveforms, not single trials).
+    let mean_features = |session: usize, g: Gesture| -> (Vec<f64>, f64, f64, f64) {
+        let label = SampleLabel::Gesture(g);
+        let mut acc: Option<Vec<f64>> = None;
+        let mut dur = 0.0;
+        let mut peaks = 0.0;
+        let mut energy = 0.0;
+        for rep in 0..spec.reps {
+            let s = generate_sample(&profile, label, session, rep, &spec);
+            let w = processor.primary_window(&s.trace);
+            let f = prepare_features(&extractor, &w);
+            match &mut acc {
+                Some(a) => {
+                    for (x, y) in a.iter_mut().zip(&f) {
+                        *x += y;
+                    }
+                }
+                None => acc = Some(f),
+            }
+            dur += w.duration_s();
+            peaks += airfinger_features::location::number_of_peaks(
+                &resample(&w.delta.concat(), 200),
+                3,
+            );
+            energy += w.envelopes().concat().iter().sum::<f64>();
+        }
+        let n = spec.reps as f64;
+        let mut mean = acc.expect("at least one rep");
+        for v in &mut mean {
+            *v /= n;
+        }
+        (mean, dur / n, peaks / n, energy / n)
+    };
+    for g in Gesture::ALL {
+        let (f0, dur, peaks, energy) = mean_features(0, g);
+        let (f1, _, _, _) = mean_features(1, g);
+        session0.push(f0);
+        session1.push(f1);
+        rows.push((g, dur, peaks, energy));
+    }
+    // Standardize each feature dimension over all 16 vectors so no single
+    // large-scale feature dominates the correlation.
+    let dims = session0[0].len();
+    let all: Vec<&Vec<f64>> = session0.iter().chain(session1.iter()).collect();
+    let mut mu = vec![0.0; dims];
+    let mut sd = vec![0.0; dims];
+    for v in &all {
+        for (d, &x) in v.iter().enumerate() {
+            mu[d] += x;
+        }
+    }
+    for m in &mut mu {
+        *m /= all.len() as f64;
+    }
+    for v in &all {
+        for (d, &x) in v.iter().enumerate() {
+            sd[d] += (x - mu[d]) * (x - mu[d]);
+        }
+    }
+    for s in &mut sd {
+        *s = (*s / all.len() as f64).sqrt().max(1e-12);
+    }
+    let z = |v: &[f64]| -> Vec<f64> {
+        v.iter().enumerate().map(|(d, &x)| (x - mu[d]) / sd[d]).collect()
+    };
+    let z0: Vec<Vec<f64>> = session0.iter().map(|v| z(v)).collect();
+    let z1: Vec<Vec<f64>> = session1.iter().map(|v| z(v)).collect();
+    // Operational consistency: the session-1 performance of each gesture
+    // must be *nearer* (in standardized feature space) to its own
+    // session-0 performance than to any other gesture's — i.e. patterns
+    // are unique per gesture and consistent across sessions.
+    let mut matched = 0usize;
+    for (i, (g, dur, peaks, energy)) in rows.iter().enumerate() {
+        let own = correlation(&z1[i], &z0[i]);
+        let best_other = (0..z0.len())
+            .filter(|&j| j != i)
+            .map(|j| correlation(&z1[i], &z0[j]))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let consistent = own > best_other;
+        if consistent {
+            matched += 1;
+        }
+        report.line(format!(
+            "{:>10} {:>8.2} {:>7.0} {:>10.0} {:>8.2}{}",
+            g.name().replace(' ', ""),
+            dur,
+            peaks,
+            energy,
+            own,
+            if consistent { "  ✓ nearest to itself" } else { "  ✗" },
+        ));
+    }
+    report.line(format!(
+        "{matched}/8 gestures: the second session's pattern is nearest to the first session's own pattern"
+    ));
+    report.metric("nn_consistency_pct", pct(matched as f64 / 8.0));
+    report.paper_value("nn_consistency_pct", 100.0);
+    report
+}

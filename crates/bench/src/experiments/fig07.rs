@@ -1,0 +1,54 @@
+//! Fig. 7: signals of track-aimed gestures — per-photodiode timing of
+//! scroll up vs scroll down, the `Δt` between `P1` and `P3`, and the
+//! resulting ZEBRA decision.
+
+use crate::context::Context;
+use crate::report::Report;
+use airfinger_core::processing::DataProcessor;
+use airfinger_core::zebra::{ScrollDirection, Zebra};
+use airfinger_synth::dataset::{generate_sample, CorpusSpec};
+use airfinger_synth::gesture::{Gesture, SampleLabel};
+use airfinger_synth::profile::UserProfile;
+
+/// Run the experiment.
+#[must_use]
+pub fn run(ctx: &Context) -> Report {
+    let mut report = Report::new("fig7", "track-aimed gesture signals and ZEBRA timing");
+    let spec = CorpusSpec { users: 1, sessions: 1, reps: 1, seed: ctx.seed, ..Default::default() };
+    let profile = UserProfile::sample(0, spec.seed);
+    let processor = DataProcessor::new(ctx.config);
+    let zebra = Zebra::new(ctx.config);
+    let mut both_ok = true;
+    for (g, expect) in
+        [(Gesture::ScrollUp, ScrollDirection::Up), (Gesture::ScrollDown, ScrollDirection::Down)]
+    {
+        let s = generate_sample(&profile, SampleLabel::Gesture(g), 0, 0, &spec);
+        let w = processor.primary_window(&s.trace);
+        let timing = w.channel_timing(&ctx.config);
+        let ascents = w.ascents(&ctx.config);
+        let track = zebra.track(&w);
+        report.line(format!("{g}:"));
+        report.line(format!(
+            "  ascents {ascents:?}  active {:?}  envelope lag {:?} samples",
+            timing.active, timing.lag_samples
+        ));
+        match track {
+            Some(t) => {
+                report.line(format!(
+                    "  ZEBRA: {}  v = {:.0} mm/s ({:?})  Δt = {:?} s  T = {:.2} s",
+                    t.direction, t.velocity_mm_s, t.velocity_source, t.delta_t_s, t.duration_s
+                ));
+                if t.direction != expect {
+                    both_ok = false;
+                }
+            }
+            None => {
+                report.line("  ZEBRA: no track".to_string());
+                both_ok = false;
+            }
+        }
+    }
+    report.metric("directions_correct", if both_ok { 100.0 } else { 0.0 });
+    report.paper_value("directions_correct", 100.0);
+    report
+}

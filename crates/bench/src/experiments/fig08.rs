@@ -1,0 +1,66 @@
+//! Fig. 8 / §V-D: accuracy vs sensing distance — three volunteers, eight
+//! gestures, distances 0.5–12 cm. Paper: above 90 % in the 0.5–6 cm band,
+//! degradation beyond.
+
+use crate::context::{Context, Scale};
+use crate::experiments::{eval_rf_fold, merge_folds, pct};
+use crate::report::Report;
+use airfinger_core::train::all_gesture_feature_set;
+use airfinger_ml::split::stratified_k_fold;
+use airfinger_synth::conditions::Condition;
+use airfinger_synth::dataset::{generate_corpus, CorpusSpec};
+
+/// The distances swept, in centimeters.
+#[must_use]
+pub fn distances_cm(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Full => (1..=24).map(|i| i as f64 * 0.5).collect(),
+        Scale::Standard => vec![0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0],
+        Scale::Quick => vec![1.0, 3.0, 6.0, 10.0],
+    }
+}
+
+/// Run the experiment.
+#[must_use]
+pub fn run(ctx: &Context) -> Report {
+    let mut report = Report::new("fig8", "accuracy vs sensing distance");
+    report.line(format!("{:>9} {:>9}", "dist(cm)", "accuracy"));
+    let mut in_band = Vec::new();
+    let mut beyond = Vec::new();
+    for (di, d_cm) in distances_cm(ctx.scale).iter().enumerate() {
+        let spec = CorpusSpec {
+            users: 3,
+            sessions: 2,
+            reps: ctx.scale.scaled(12),
+            condition: Condition::Distance { height_m: d_cm / 100.0 },
+            seed: ctx.seed + 800 + di as u64,
+            ..Default::default()
+        };
+        let corpus = generate_corpus(&spec);
+        let features = all_gesture_feature_set(&corpus, &ctx.config);
+        let folds = stratified_k_fold(&features.y, 3, ctx.seed + di as u64);
+        let merged = merge_folds(
+            folds
+                .iter()
+                .map(|s| eval_rf_fold(&features, s, 8, ctx.config.forest_trees, ctx.seed + di as u64)),
+            8,
+        );
+        let acc = merged.accuracy();
+        report.line(format!("{:>9.1} {:>8.2}%", d_cm, pct(acc)));
+        if *d_cm <= 6.0 {
+            in_band.push(acc);
+        } else {
+            beyond.push(acc);
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    report.line(format!(
+        "mean accuracy 0.5-6 cm: {:.2}%   beyond 6 cm: {:.2}%",
+        pct(mean(&in_band)),
+        pct(mean(&beyond))
+    ));
+    report.metric("mean_accuracy_optimal_band", pct(mean(&in_band)));
+    report.metric("mean_accuracy_beyond_band", pct(mean(&beyond)));
+    report.paper_value("mean_accuracy_optimal_band", 90.0);
+    report
+}

@@ -1,0 +1,72 @@
+//! Fig. 9: classifier comparison — RF vs LR vs DT vs BNB accuracy as the
+//! percentage of testing data grows. Paper: RF highest throughout, all
+//! curves gently decreasing; LR competitive on accuracy but much slower.
+
+use crate::context::Context;
+use crate::experiments::{eval_classifier_fold, pct};
+use crate::report::Report;
+use airfinger_ml::classifier::Classifier;
+use airfinger_ml::forest::{RandomForest, RandomForestConfig};
+use airfinger_ml::logistic::{LogisticRegression, LogisticRegressionConfig};
+use airfinger_ml::naive_bayes::BernoulliNaiveBayes;
+use airfinger_ml::split::train_test_split;
+use airfinger_ml::tree::{DecisionTree, DecisionTreeConfig};
+use std::time::Instant;
+
+/// Test-data percentages swept (the paper varies "the percentage of
+/// testing data"; 25 % is its highlighted point).
+pub const TEST_FRACTIONS: [f64; 5] = [0.10, 0.25, 0.50, 0.75, 0.90];
+
+/// Run the experiment.
+#[must_use]
+pub fn run(ctx: &Context) -> Report {
+    let mut report = Report::new("fig9", "classifier comparison over test-data percentage");
+    let features = ctx.all_features();
+    let names = ["RF", "LR", "DT", "BNB"];
+    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+    let mut train_time_ms = [0.0f64; 4];
+    for (fi, &frac) in TEST_FRACTIONS.iter().enumerate() {
+        let split = train_test_split(&features.y, frac, ctx.seed + fi as u64);
+        let mut classifiers: Vec<Box<dyn Classifier>> = vec![
+            Box::new(RandomForest::new(RandomForestConfig {
+                n_trees: ctx.config.forest_trees,
+                seed: ctx.seed,
+                ..Default::default()
+            })),
+            Box::new(LogisticRegression::new(LogisticRegressionConfig::default())),
+            Box::new(DecisionTree::new(DecisionTreeConfig::default())),
+            Box::new(BernoulliNaiveBayes::default()),
+        ];
+        for (ci, clf) in classifiers.iter_mut().enumerate() {
+            let start = Instant::now();
+            let m = eval_classifier_fold(clf.as_mut(), features, &split, 8);
+            train_time_ms[ci] += start.elapsed().as_secs_f64() * 1000.0;
+            rows[ci].push(m.accuracy());
+        }
+    }
+    let header = TEST_FRACTIONS
+        .iter()
+        .map(|f| format!("{:>7.0}%", f * 100.0))
+        .collect::<Vec<_>>()
+        .join(" ");
+    report.line(format!("{:>4} | {header}   (test-data percentage)", "clf"));
+    for (ci, name) in names.iter().enumerate() {
+        let vals = rows[ci]
+            .iter()
+            .map(|a| format!("{:>7.2}", pct(*a)))
+            .collect::<Vec<_>>()
+            .join(" ");
+        report.line(format!("{name:>4} | {vals}   (fit+eval {:.0} ms total)", train_time_ms[ci]));
+    }
+    // Headline metrics: accuracy at 25 % test data, and whether RF wins.
+    for (ci, name) in names.iter().enumerate() {
+        report.metric(&format!("{}_at_25pct", name.to_lowercase()), pct(rows[ci][1]));
+        report.metric(&format!("{}_time_ms", name.to_lowercase()), train_time_ms[ci]);
+    }
+    let rf_wins = (0..TEST_FRACTIONS.len())
+        .filter(|&fi| (0..4).all(|ci| rows[0][fi] + 1e-12 >= rows[ci][fi]))
+        .count();
+    report.metric("rf_wins_fraction_of_sweep", rf_wins as f64 / TEST_FRACTIONS.len() as f64 * 100.0);
+    report.paper_value("rf_wins_fraction_of_sweep", 100.0);
+    report
+}

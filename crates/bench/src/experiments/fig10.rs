@@ -1,0 +1,48 @@
+//! Fig. 10: overall detect-aimed performance — five-fold cross-validation
+//! over the full corpus, confusion matrix and per-gesture accuracy /
+//! recall / precision. Paper: average accuracy 98.44 %.
+
+use crate::context::Context;
+use crate::experiments::{eval_rf_fold, merge_folds, pct, DETECT_NAMES};
+use crate::report::{format_confusion, Report};
+use airfinger_ml::split::stratified_k_fold;
+
+/// Run the experiment.
+#[must_use]
+pub fn run(ctx: &Context) -> Report {
+    let mut report = Report::new("fig10", "overall detect-aimed performance (5-fold CV)");
+    let features = ctx.detect_features();
+    let folds = stratified_k_fold(&features.y, 5, ctx.seed);
+    let matrix = merge_folds(
+        folds
+            .iter()
+            .enumerate()
+            .map(|(k, s)| eval_rf_fold(&features, s, 6, ctx.config.forest_trees, ctx.seed + k as u64)),
+        6,
+    );
+    for l in format_confusion(&matrix, &DETECT_NAMES) {
+        report.line(l);
+    }
+    report.line(format!(
+        "{:>10} {:>9} {:>9} {:>9}",
+        "gesture", "accuracy", "recall", "precision"
+    ));
+    for (g, name) in DETECT_NAMES.iter().enumerate() {
+        report.line(format!(
+            "{:>10} {:>8.2}% {:>8.2}% {:>8.2}%",
+            name,
+            pct(matrix.class_accuracy(g)),
+            pct(matrix.recall(g).unwrap_or(0.0)),
+            pct(matrix.precision(g).unwrap_or(0.0)),
+        ));
+    }
+    let avg = pct(matrix.accuracy());
+    report.line(format!("average accuracy = {avg:.2}%"));
+    report.metric("avg_accuracy", avg);
+    report.metric("macro_recall", pct(matrix.macro_recall()));
+    report.metric("macro_precision", pct(matrix.macro_precision()));
+    report.paper_value("avg_accuracy", 98.44);
+    report.paper_value("macro_recall", 90.65);
+    report.paper_value("macro_precision", 92.13);
+    report
+}

@@ -1,0 +1,49 @@
+//! Fig. 11: impact of individual diversity — leave-one-user-out
+//! cross-validation over the detect-aimed corpus. Paper: average accuracy
+//! 83.61 %, i.e. clearly below the within-population 98.44 %.
+
+use crate::context::Context;
+use crate::experiments::{eval_rf_fold, merge_folds, pct, DETECT_NAMES};
+use crate::report::{format_confusion, Report};
+use airfinger_ml::split::leave_one_group_out;
+
+/// Run the experiment.
+#[must_use]
+pub fn run(ctx: &Context) -> Report {
+    let mut report = Report::new("fig11", "individual diversity (leave-one-user-out)");
+    let features = ctx.detect_features();
+    let splits = leave_one_group_out(&features.users);
+    let mut per_user = Vec::new();
+    let mut matrices = Vec::new();
+    for (user, split) in &splits {
+        let m = eval_rf_fold(&features, split, 6, ctx.config.forest_trees, ctx.seed + *user as u64);
+        per_user.push((*user, m.accuracy()));
+        matrices.push(m);
+    }
+    let merged = merge_folds(matrices, 6);
+    for l in format_confusion(&merged, &DETECT_NAMES) {
+        report.line(l);
+    }
+    report.line(format!("{:>6} {:>9}", "user", "accuracy"));
+    let mut above_80 = 0usize;
+    for (u, acc) in &per_user {
+        report.line(format!("{:>6} {:>8.2}%", u, pct(*acc)));
+        if *acc >= 0.8 {
+            above_80 += 1;
+        }
+    }
+    let avg = pct(merged.accuracy());
+    report.line(format!(
+        "average accuracy = {avg:.2}%  ({above_80}/{} users above 80%)",
+        per_user.len()
+    ));
+    report.metric("avg_accuracy", avg);
+    report.metric("macro_recall", pct(merged.macro_recall()));
+    report.metric("macro_precision", pct(merged.macro_precision()));
+    report.metric("users_above_80pct", above_80 as f64 / per_user.len() as f64 * 100.0);
+    report.paper_value("avg_accuracy", 83.61);
+    report.paper_value("macro_recall", 87.44);
+    report.paper_value("macro_precision", 84.69);
+    report.paper_value("users_above_80pct", 80.0);
+    report
+}

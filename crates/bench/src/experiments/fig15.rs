@@ -1,0 +1,68 @@
+//! Fig. 15 / §V-J2: environmental NIR changes — gestures performed every
+//! 3 hours from 8:00 to 20:00. The recognizer is trained on the standard
+//! indoor corpus and tested under each ambient condition. Paper: average
+//! accuracy 92.97 %, recall 93.8 %, precision 95.02 %.
+
+use crate::context::Context;
+use crate::experiments::pct;
+use crate::report::Report;
+use airfinger_core::train::all_gesture_feature_set;
+use airfinger_ml::classifier::Classifier;
+use airfinger_ml::forest::{RandomForest, RandomForestConfig};
+use airfinger_ml::metrics::ConfusionMatrix;
+use airfinger_synth::conditions::Condition;
+use airfinger_synth::dataset::{generate_corpus, CorpusSpec};
+
+/// The §V-J2 measurement hours.
+pub const HOURS: [f64; 5] = [8.0, 11.0, 14.0, 17.0, 20.0];
+
+/// Run the experiment.
+#[must_use]
+pub fn run(ctx: &Context) -> Report {
+    let mut report = Report::new("fig15", "environmental NIR changes over the day");
+    // Train once on the two volunteers' standard-condition data.
+    let train_spec = CorpusSpec {
+        users: 2,
+        sessions: 3,
+        reps: ctx.scale.scaled(25),
+        seed: ctx.seed + 15,
+        ..Default::default()
+    };
+    let train = all_gesture_feature_set(&generate_corpus(&train_spec), &ctx.config);
+    let mut rf = RandomForest::new(RandomForestConfig {
+        n_trees: ctx.config.forest_trees,
+        seed: ctx.seed + 15,
+        ..Default::default()
+    });
+    rf.fit(&train.x, &train.y).expect("training failed");
+    report.line(format!("{:>7} {:>9}", "hour", "accuracy"));
+    let mut merged = ConfusionMatrix::new(8);
+    for &hour in &HOURS {
+        let test_spec = CorpusSpec {
+            users: 2,
+            sessions: 1,
+            reps: ctx.scale.scaled(25),
+            condition: Condition::AmbientHour { hour },
+            seed: ctx.seed + 15, // same volunteers, new ambient
+            ..Default::default()
+        };
+        let test = all_gesture_feature_set(&generate_corpus(&test_spec), &ctx.config);
+        let pred = rf.predict_batch(&test.x).expect("prediction failed");
+        let m = ConfusionMatrix::from_predictions(&test.y, &pred, 8);
+        report.line(format!("{:>7.0} {:>8.2}%", hour, pct(m.accuracy())));
+        merged.merge(&m);
+    }
+    report.line(format!(
+        "average accuracy {:.2}%  recall {:.2}%  precision {:.2}%",
+        pct(merged.accuracy()),
+        pct(merged.macro_recall()),
+        pct(merged.macro_precision()),
+    ));
+    report.metric("avg_accuracy", pct(merged.accuracy()));
+    report.metric("macro_recall", pct(merged.macro_recall()));
+    report.metric("macro_precision", pct(merged.macro_precision()));
+    report.paper_value("avg_accuracy", 92.97);
+    report.paper_value("macro_recall", 93.8);
+    report.paper_value("macro_precision", 95.02);
+    report
+}

@@ -1,0 +1,73 @@
+//! §V-J4: other human interferences — recognition while another person
+//! walks by, and while an IR remote control is used (indirectly vs pointed
+//! straight at the sensor). Paper: passers-by and non-directly-pointed
+//! remotes do not affect accuracy; a directly-pointed remote causes
+//! recognition errors.
+
+use crate::context::Context;
+use crate::experiments::pct;
+use crate::report::Report;
+use airfinger_core::train::all_gesture_feature_set;
+use airfinger_ml::classifier::Classifier;
+use airfinger_ml::forest::{RandomForest, RandomForestConfig};
+use airfinger_ml::metrics::ConfusionMatrix;
+use airfinger_nir_sim::ambient::Interference;
+use airfinger_synth::conditions::Condition;
+use airfinger_synth::dataset::{generate_corpus, CorpusSpec};
+
+/// Run the experiment.
+#[must_use]
+pub fn run(ctx: &Context) -> Report {
+    let mut report = Report::new("interference", "passers-by and IR remote controls");
+    let train_spec = CorpusSpec {
+        users: 2,
+        sessions: 3,
+        reps: ctx.scale.scaled(25),
+        seed: ctx.seed + 74,
+        ..Default::default()
+    };
+    let train = all_gesture_feature_set(&generate_corpus(&train_spec), &ctx.config);
+    let mut rf = RandomForest::new(RandomForestConfig {
+        n_trees: ctx.config.forest_trees,
+        seed: ctx.seed + 74,
+        ..Default::default()
+    });
+    rf.fit(&train.x, &train.y).expect("training failed");
+    let scenarios: [(&str, Vec<Interference>); 4] = [
+        ("baseline", vec![]),
+        ("passerby", vec![Interference::passerby()]),
+        ("remote (indirect)", vec![Interference::ir_remote_indirect()]),
+        ("remote (direct)", vec![Interference::ir_remote_direct()]),
+    ];
+    report.line(format!("{:>18} {:>9}", "scenario", "accuracy"));
+    let mut acc_by: Vec<f64> = Vec::new();
+    for (name, sources) in scenarios {
+        let spec = CorpusSpec {
+            users: 2,
+            sessions: 1,
+            reps: ctx.scale.scaled(25),
+            condition: if sources.is_empty() {
+                Condition::Standard
+            } else {
+                Condition::Interference { sources }
+            },
+            seed: ctx.seed + 74,
+            ..Default::default()
+        };
+        let test = all_gesture_feature_set(&generate_corpus(&spec), &ctx.config);
+        let pred = rf.predict_batch(&test.x).expect("prediction failed");
+        let m = ConfusionMatrix::from_predictions(&test.y, &pred, 8);
+        report.line(format!("{:>18} {:>8.2}%", name, pct(m.accuracy())));
+        acc_by.push(m.accuracy());
+    }
+    report.metric("baseline", pct(acc_by[0]));
+    report.metric("passerby", pct(acc_by[1]));
+    report.metric("remote_indirect", pct(acc_by[2]));
+    report.metric("remote_direct", pct(acc_by[3]));
+    report.line(format!(
+        "passerby / indirect remote within {:.1} pts of baseline; direct remote drops {:.1} pts",
+        pct((acc_by[0] - acc_by[1]).abs().max((acc_by[0] - acc_by[2]).abs())),
+        pct(acc_by[0] - acc_by[3]),
+    ));
+    report
+}

@@ -1,0 +1,120 @@
+//! Experiment reports: human-readable tables plus machine-readable
+//! metrics, so `repro` output can be diffed against the paper's numbers.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The outcome of one reproduced table/figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Experiment id, e.g. "fig10".
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Table lines exactly as printed.
+    pub lines: Vec<String>,
+    /// Named scalar results (accuracies in percent, counts, …).
+    pub metrics: BTreeMap<String, f64>,
+    /// The paper's corresponding numbers, for side-by-side comparison.
+    pub paper: BTreeMap<String, f64>,
+}
+
+impl Report {
+    /// Start an empty report.
+    #[must_use]
+    pub fn new(id: &str, title: &str) -> Self {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            lines: Vec::new(),
+            metrics: BTreeMap::new(),
+            paper: BTreeMap::new(),
+        }
+    }
+
+    /// Append a printed line.
+    pub fn line(&mut self, s: impl Into<String>) {
+        self.lines.push(s.into());
+    }
+
+    /// Record a measured metric.
+    pub fn metric(&mut self, name: &str, value: f64) {
+        self.metrics.insert(name.to_string(), value);
+    }
+
+    /// Record the paper's value for a metric.
+    pub fn paper_value(&mut self, name: &str, value: f64) {
+        self.paper.insert(name.to_string(), value);
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        println!("==== {} — {} ====", self.id, self.title);
+        for l in &self.lines {
+            println!("{l}");
+        }
+        if !self.paper.is_empty() {
+            println!("-- paper vs measured --");
+            for (k, paper) in &self.paper {
+                match self.metrics.get(k) {
+                    Some(m) => println!("  {k}: paper {paper:.2}  measured {m:.2}"),
+                    None => println!("  {k}: paper {paper:.2}  measured (missing)"),
+                }
+            }
+        }
+        println!();
+    }
+}
+
+/// Render a row-normalized confusion matrix with labels.
+#[must_use]
+pub fn format_confusion(matrix: &airfinger_ml::ConfusionMatrix, labels: &[&str]) -> Vec<String> {
+    let mut out = Vec::new();
+    let width = labels.iter().map(|l| l.len()).max().unwrap_or(6).max(6);
+    let mut header = format!("{:>width$} |", "truth\\pred", width = width + 2);
+    for l in labels {
+        header.push_str(&format!(" {l:>width$}"));
+    }
+    out.push(header);
+    for (i, row) in matrix.normalized().iter().enumerate() {
+        let mut line = format!("{:>width$} |", labels.get(i).copied().unwrap_or("?"), width = width + 2);
+        for v in row {
+            line.push_str(&format!(" {:>width$.3}", v));
+        }
+        out.push(line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airfinger_ml::ConfusionMatrix;
+
+    #[test]
+    fn report_accumulates() {
+        let mut r = Report::new("figX", "test");
+        r.line("hello");
+        r.metric("acc", 98.7);
+        r.paper_value("acc", 98.4);
+        assert_eq!(r.lines.len(), 1);
+        assert_eq!(r.metrics["acc"], 98.7);
+        r.print(); // must not panic
+    }
+
+    #[test]
+    fn confusion_formatting() {
+        let m = ConfusionMatrix::from_predictions(&[0, 0, 1], &[0, 1, 1], 2);
+        let lines = format_confusion(&m, &["a", "b"]);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("0.500"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut r = Report::new("fig9", "classifiers");
+        r.metric("rf", 99.0);
+        let json = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<Report>(&json).unwrap(), r);
+    }
+}

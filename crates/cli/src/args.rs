@@ -1,0 +1,105 @@
+//! Minimal flag parsing: `--name value` pairs and boolean `--name` flags.
+
+use std::collections::HashMap;
+
+/// Parsed flags.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse `--key value` pairs; a `--key` followed by another `--…` (or
+    /// nothing) is a boolean flag.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{arg}`"));
+            };
+            match argv.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    out.values.insert(name.to_string(), v.clone());
+                    i += 2;
+                }
+                _ => {
+                    out.flags.push(name.to_string());
+                    i += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// A required string value.
+    pub fn required(&self, name: &str) -> Result<&str, String> {
+        self.values
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// An optional string value.
+    pub fn optional(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// An optional parsed number with a default.
+    pub fn number<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.values.get(name) {
+            Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got `{v}`")),
+            None => Ok(default),
+        }
+    }
+
+    /// Whether a boolean flag is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let a = Args::parse(&sv(&["--users", "3", "--lockin", "--out", "x.json"])).unwrap();
+        assert_eq!(a.required("users").unwrap(), "3");
+        assert_eq!(a.required("out").unwrap(), "x.json");
+        assert!(a.flag("lockin"));
+        assert!(!a.flag("other"));
+    }
+
+    #[test]
+    fn numbers_with_defaults() {
+        let a = Args::parse(&sv(&["--reps", "7"])).unwrap();
+        assert_eq!(a.number("reps", 25usize).unwrap(), 7);
+        assert_eq!(a.number("seed", 42u64).unwrap(), 42);
+        assert!(a.number::<usize>("reps", 0).is_ok());
+    }
+
+    #[test]
+    fn rejects_positional() {
+        assert!(Args::parse(&sv(&["oops"])).is_err());
+    }
+
+    #[test]
+    fn missing_required_reports_name() {
+        let a = Args::parse(&sv(&[])).unwrap();
+        assert!(a.required("corpus").unwrap_err().contains("--corpus"));
+    }
+
+    #[test]
+    fn bad_number_reports() {
+        let a = Args::parse(&sv(&["--reps", "many"])).unwrap();
+        assert!(a.number::<usize>("reps", 1).is_err());
+    }
+}

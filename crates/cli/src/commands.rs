@@ -1,0 +1,235 @@
+//! CLI subcommand implementations.
+
+use crate::args::Args;
+use airfinger_core::config::AirFingerConfig;
+use airfinger_core::pipeline::AirFinger;
+use airfinger_ml::metrics::ConfusionMatrix;
+use airfinger_synth::dataset::{
+    generate_corpus, generate_nongesture_corpus, Corpus, CorpusSpec, Frontend,
+};
+use airfinger_synth::gesture::Gesture;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn fail(msg: impl std::fmt::Display) -> i32 {
+    eprintln!("error: {msg}");
+    2
+}
+
+/// `airfinger generate`
+pub fn generate(argv: &[String]) -> i32 {
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let run = || -> Result<(), String> {
+        let spec = CorpusSpec {
+            users: args.number("users", 3usize)?,
+            sessions: args.number("sessions", 2usize)?,
+            reps: args.number("reps", 5usize)?,
+            seed: args.number("seed", 0x41F1_6E12u64)?,
+            frontend: if args.flag("lockin") { Frontend::LockIn } else { Frontend::Dc },
+            ..Default::default()
+        };
+        let out = args.required("out")?;
+        let corpus = if args.flag("nongestures") {
+            generate_nongesture_corpus(&spec)
+        } else {
+            generate_corpus(&spec)
+        };
+        eprintln!("generated {} samples", corpus.len());
+        let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+        corpus
+            .write_json(BufWriter::new(file))
+            .map_err(|e| format!("serialize corpus: {e}"))?;
+        eprintln!("wrote {out}");
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(e),
+    }
+}
+
+fn load_corpus(path: &str) -> Result<Corpus, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    Corpus::read_json(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
+}
+
+/// `airfinger train`
+pub fn train(argv: &[String]) -> i32 {
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let run = || -> Result<(), String> {
+        let corpus = load_corpus(args.required("corpus")?)?;
+        let non = match args.optional("nongestures") {
+            Some(p) => Some(load_corpus(p)?),
+            None => None,
+        };
+        let config = AirFingerConfig {
+            forest_trees: args.number("trees", 100usize)?,
+            ..Default::default()
+        };
+        let mut af = AirFinger::new(config);
+        eprintln!("training on {} samples…", corpus.len());
+        af.train_on_corpus(&corpus, non.as_ref()).map_err(|e| e.to_string())?;
+        let out = args.required("out")?;
+        let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+        serde_json::to_writer(BufWriter::new(file), &af)
+            .map_err(|e| format!("serialize model: {e}"))?;
+        eprintln!("wrote {out}");
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(e),
+    }
+}
+
+fn load_model(path: &str) -> Result<AirFinger, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    serde_json::from_reader(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
+}
+
+/// `airfinger recognize`
+pub fn recognize(argv: &[String]) -> i32 {
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let run = || -> Result<(), String> {
+        let af = load_model(args.required("model")?)?;
+        let corpus = load_corpus(args.required("corpus")?)?;
+        let limit = args.number("limit", usize::MAX)?;
+        let mut matrix = ConfusionMatrix::new(8);
+        let mut rejected = 0usize;
+        let mut shown = 0usize;
+        for s in corpus.samples().iter().take(limit) {
+            let event = af.recognize_primary(&s.trace).map_err(|e| e.to_string())?;
+            match (s.label.gesture(), event.gesture()) {
+                (Some(truth), Some(pred)) => matrix.record(truth.index(), pred.index()),
+                _ => rejected += 1,
+            }
+            if shown < 10 {
+                println!("{:<14} -> {}", s.label.to_string(), event);
+                shown += 1;
+            }
+        }
+        if matrix.total() > 0 {
+            println!(
+                "\naccuracy {:.2}% over {} samples ({} rejected/non-gesture)",
+                100.0 * matrix.accuracy(),
+                matrix.total(),
+                rejected
+            );
+            for g in Gesture::ALL {
+                if let Some(r) = matrix.recall(g.index()) {
+                    println!("  {:<14} recall {:>6.2}%", g.to_string(), 100.0 * r);
+                }
+            }
+        } else {
+            println!("\n{rejected} samples, none carried gesture labels");
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(e),
+    }
+}
+
+/// `airfinger info`
+pub fn info(argv: &[String]) -> i32 {
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let run = || -> Result<(), String> {
+        let af = load_model(args.required("model")?)?;
+        let top = args.number("top", 10usize)?;
+        println!("trained: {}", af.is_trained());
+        println!("interference filter: {}", af.has_filter());
+        let c = af.config();
+        println!(
+            "config: {} Hz, SBC w={} samples, t_e={} samples, I_g={} ms, v'={} mm/s, {} trees",
+            c.sample_rate_hz,
+            c.sbc_window,
+            c.segmenter.merge_gap,
+            c.ig_ms,
+            c.v_prime_mm_s,
+            c.forest_trees
+        );
+        let importances = af.detect_recognizer().feature_importances();
+        if !importances.is_empty() {
+            let names = af.detect_recognizer().feature_names(3);
+            println!("top {top} features:");
+            for idx in airfinger_ml::forest::top_k_features(importances, top) {
+                println!(
+                    "  {:<34} {:.4}",
+                    names.get(idx).cloned().unwrap_or_else(|| format!("f{idx}")),
+                    importances[idx]
+                );
+            }
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(e),
+    }
+}
+
+/// `airfinger adapt`
+pub fn adapt(argv: &[String]) -> i32 {
+    use airfinger_core::adapt::UserAdapter;
+    use airfinger_core::train::all_gesture_feature_set;
+
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let run = || -> Result<(), String> {
+        let mut af = load_model(args.required("model")?)?;
+        if !af.is_trained() {
+            return Err("model is untrained; run `airfinger train` first".into());
+        }
+        let base = load_corpus(args.required("corpus")?)?;
+        let enroll = load_corpus(args.required("enroll")?)?;
+        let mix = args.number("mix", airfinger_core::adapt::DEFAULT_MIX)?;
+        let per_gesture = args.number("trials", usize::MAX)?;
+
+        eprintln!("extracting features of the {}-sample base corpus…", base.len());
+        let mut adapter =
+            UserAdapter::new(all_gesture_feature_set(&base, af.config())).with_mix(mix);
+        let mut taken = [0usize; 8];
+        for s in enroll.samples() {
+            let Some(g) = s.label.gesture() else { continue };
+            if taken[g.index()] >= per_gesture {
+                continue;
+            }
+            taken[g.index()] += 1;
+            adapter.enroll_trace(&af, &s.trace, g);
+        }
+        if adapter.enrolled_count() == 0 {
+            return Err("enrollment corpus holds no gesture samples".into());
+        }
+        eprintln!(
+            "enrolled {} trials (each counting {}× in retraining)…",
+            adapter.enrolled_count(),
+            adapter.boost()
+        );
+        adapter.apply(&mut af).map_err(|e| e.to_string())?;
+        let out = args.required("out")?;
+        let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+        serde_json::to_writer(BufWriter::new(file), &af)
+            .map_err(|e| format!("serialize model: {e}"))?;
+        eprintln!("wrote {out}");
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(e),
+    }
+}

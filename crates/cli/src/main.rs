@@ -1,0 +1,51 @@
+//! `airfinger` — the command-line face of the pipeline.
+//!
+//! ```text
+//! airfinger generate --users 3 --sessions 2 --reps 5 --out corpus.json
+//! airfinger train --corpus corpus.json --out model.json
+//! airfinger recognize --model model.json --corpus corpus.json
+//! airfinger adapt --model model.json --corpus corpus.json --enroll me.json --out adapted.json
+//! airfinger info --model model.json
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match argv.first().map(String::as_str) {
+        Some("generate") => commands::generate(&argv[1..]),
+        Some("train") => commands::train(&argv[1..]),
+        Some("recognize") => commands::recognize(&argv[1..]),
+        Some("adapt") => commands::adapt(&argv[1..]),
+        Some("info") => commands::info(&argv[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_help();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`");
+            print_help();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_help() {
+    println!("airfinger — micro finger gesture recognition via NIR light sensing");
+    println!();
+    println!("commands:");
+    println!("  generate   synthesize a labelled gesture corpus (JSON)");
+    println!("             --users N --sessions N --reps N --seed N --out PATH");
+    println!("             [--nongestures] [--lockin]");
+    println!("  train      train a pipeline from a corpus");
+    println!("             --corpus PATH [--nongestures PATH] [--trees N] --out PATH");
+    println!("  recognize  run a trained pipeline over a corpus and score it");
+    println!("             --model PATH --corpus PATH [--limit N]");
+    println!("  adapt      fold a user's enrollment trials into a trained model");
+    println!("             --model PATH --corpus PATH --enroll PATH --out PATH");
+    println!("             [--mix F] [--trials N]");
+    println!("  info       describe a trained model");
+    println!("             --model PATH [--top N]");
+}

@@ -1,0 +1,82 @@
+//! End-to-end CLI test: generate → train → recognize → info through the
+//! real binary.
+
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_airfinger")
+}
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(bin()).args(args).output().expect("binary runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn generate_train_recognize_info_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("airfinger-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let corpus = dir.join("corpus.json");
+    let model = dir.join("model.json");
+    let corpus_s = corpus.to_str().expect("utf8 path");
+    let model_s = model.to_str().expect("utf8 path");
+
+    let (ok, text) = run(&[
+        "generate", "--users", "2", "--sessions", "1", "--reps", "2", "--out", corpus_s,
+    ]);
+    assert!(ok, "generate failed: {text}");
+    assert!(text.contains("32 samples"), "{text}");
+
+    let (ok, text) = run(&["train", "--corpus", corpus_s, "--trees", "20", "--out", model_s]);
+    assert!(ok, "train failed: {text}");
+
+    let (ok, text) = run(&["recognize", "--model", model_s, "--corpus", corpus_s, "--limit", "8"]);
+    assert!(ok, "recognize failed: {text}");
+    assert!(text.contains("accuracy"), "{text}");
+
+    let (ok, text) = run(&["info", "--model", model_s, "--top", "3"]);
+    assert!(ok, "info failed: {text}");
+    assert!(text.contains("trained: true"), "{text}");
+    assert!(text.contains("top 3 features"), "{text}");
+
+    // Enrollment: a new user's trials fold into the trained model.
+    let enroll = dir.join("enroll.json");
+    let adapted = dir.join("adapted.json");
+    let enroll_s = enroll.to_str().expect("utf8 path");
+    let adapted_s = adapted.to_str().expect("utf8 path");
+    let (ok, text) = run(&[
+        "generate", "--users", "1", "--sessions", "1", "--reps", "2", "--seed", "777",
+        "--out", enroll_s,
+    ]);
+    assert!(ok, "generate enroll failed: {text}");
+    let (ok, text) = run(&[
+        "adapt", "--model", model_s, "--corpus", corpus_s, "--enroll", enroll_s,
+        "--trials", "1", "--out", adapted_s,
+    ]);
+    assert!(ok, "adapt failed: {text}");
+    assert!(text.contains("enrolled 8 trials"), "{text}");
+    let (ok, text) = run(&["recognize", "--model", adapted_s, "--corpus", enroll_s]);
+    assert!(ok, "recognize with adapted model failed: {text}");
+    assert!(text.contains("accuracy"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_command_fails_with_help() {
+    let (ok, text) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(text.contains("unknown command"));
+}
+
+#[test]
+fn missing_flags_are_reported() {
+    let (ok, text) = run(&["train"]);
+    assert!(!ok);
+    assert!(text.contains("--corpus"), "{text}");
+}

@@ -1,0 +1,262 @@
+//! User enrollment / adaptation — closing the paper's individual-diversity
+//! gap (§V-D).
+//!
+//! The paper's central cross-validation finding is that *individual
+//! diversity* is what hurts: leave-one-user-out accuracy drops well below
+//! the within-population figure, while leave-one-session-out barely moves
+//! (Fig. 11 vs Fig. 12). The practical consequence for a shipped device is
+//! that a brand-new user starts at the lower LOUO accuracy.
+//!
+//! This module implements the standard remedy: a short **enrollment**
+//! session. The new user performs each gesture a handful of times; those
+//! trials are folded into the population training set with an up-weight so
+//! the forest can learn the user's habits without forgetting the
+//! population, and the recognizer is retrained. The `adaptation`
+//! experiment in the bench harness sweeps the enrollment count and shows
+//! the LOUO accuracy climbing back toward the within-population level.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use airfinger_core::adapt::UserAdapter;
+//! use airfinger_core::pipeline::AirFinger;
+//! use airfinger_core::config::AirFingerConfig;
+//! use airfinger_core::train::all_gesture_feature_set;
+//! use airfinger_synth::dataset::{generate_corpus, CorpusSpec};
+//! use airfinger_synth::gesture::Gesture;
+//!
+//! let config = AirFingerConfig::default();
+//! let population = generate_corpus(&CorpusSpec::small(1));
+//! let mut af = AirFinger::new(config);
+//! af.train_on_corpus(&population, None)?;
+//!
+//! // A new user performs each gesture a few times…
+//! let mut adapter = UserAdapter::new(all_gesture_feature_set(&population, &config));
+//! # let enrollment_trace = population.samples()[0].trace.clone();
+//! adapter.enroll_trace(&af, &enrollment_trace, Gesture::Circle);
+//!
+//! // …and the recognizer is retrained with those trials up-weighted.
+//! adapter.apply(&mut af)?;
+//! # Ok::<(), airfinger_core::error::AirFingerError>(())
+//! ```
+
+use crate::error::AirFingerError;
+use crate::pipeline::AirFinger;
+use crate::processing::GestureWindow;
+use crate::train::LabeledFeatures;
+use airfinger_nir_sim::trace::RssTrace;
+use airfinger_synth::gesture::Gesture;
+
+/// Fraction of the effective training mass the enrollment trials should
+/// carry after up-weighting (see [`UserAdapter::with_mix`]).
+pub const DEFAULT_MIX: f64 = 0.3;
+
+/// Collects enrollment trials from one user and retrains a pipeline's
+/// recognizer on the population data plus the up-weighted trials.
+#[derive(Debug, Clone)]
+pub struct UserAdapter {
+    base: LabeledFeatures,
+    enrolled_x: Vec<Vec<f64>>,
+    enrolled_y: Vec<usize>,
+    mix: f64,
+}
+
+impl UserAdapter {
+    /// Create an adapter over the population training set (the same
+    /// 8-class feature set the pipeline was originally trained on, e.g.
+    /// from [`crate::train::all_gesture_feature_set`]).
+    #[must_use]
+    pub fn new(base: LabeledFeatures) -> Self {
+        UserAdapter { base, enrolled_x: Vec::new(), enrolled_y: Vec::new(), mix: DEFAULT_MIX }
+    }
+
+    /// Set the target enrollment share of the effective training mass.
+    ///
+    /// With mix `m`, each enrollment trial is replicated so that the
+    /// enrollment block makes up roughly the fraction `m` of all training
+    /// rows seen by the forest's bootstrap sampler. Values are clamped to
+    /// `[0, 0.95]`; `0` disables up-weighting (each trial counts once).
+    #[must_use]
+    pub fn with_mix(mut self, mix: f64) -> Self {
+        self.mix = mix.clamp(0.0, 0.95);
+        self
+    }
+
+    /// Number of enrollment trials collected so far.
+    #[must_use]
+    pub fn enrolled_count(&self) -> usize {
+        self.enrolled_y.len()
+    }
+
+    /// The replication factor [`UserAdapter::apply`] will use for each
+    /// enrollment trial (1 when nothing is enrolled yet).
+    #[must_use]
+    pub fn boost(&self) -> usize {
+        if self.enrolled_y.is_empty() || self.mix <= 0.0 {
+            return 1;
+        }
+        // boost · n_enrolled = m/(1-m) · n_base  ⇒ enrolled mass fraction ≈ m.
+        let target = self.mix / (1.0 - self.mix) * self.base.len() as f64
+            / self.enrolled_y.len() as f64;
+        (target.round() as usize).max(1)
+    }
+
+    /// Enroll one labelled trial from an already-extracted feature row.
+    pub fn enroll_features(&mut self, features: Vec<f64>, gesture: Gesture) {
+        self.enrolled_x.push(features);
+        self.enrolled_y.push(gesture.index());
+    }
+
+    /// Enroll one labelled trial from a processed gesture window, using
+    /// `pipeline`'s feature extractor.
+    pub fn enroll_window(
+        &mut self,
+        pipeline: &AirFinger,
+        window: &GestureWindow,
+        gesture: Gesture,
+    ) {
+        let features = pipeline.detect_recognizer().features(window);
+        self.enroll_features(features, gesture);
+    }
+
+    /// Enroll one labelled trial from a raw recording: the dominant
+    /// gesture window is segmented out by `pipeline`'s data processor.
+    pub fn enroll_trace(&mut self, pipeline: &AirFinger, trace: &RssTrace, gesture: Gesture) {
+        let window = pipeline.processor().primary_window(trace);
+        self.enroll_window(pipeline, &window, gesture);
+    }
+
+    /// Retrain `pipeline`'s gesture recognizer on the population set plus
+    /// the enrolled trials, each replicated [`UserAdapter::boost`] times.
+    ///
+    /// With no enrolled trials this is a plain retrain on the population
+    /// set (a no-op in effect, but it still rebuilds the forest).
+    ///
+    /// # Errors
+    ///
+    /// Propagates classifier errors (empty/ragged/non-finite data).
+    pub fn apply(&self, pipeline: &mut AirFinger) -> Result<(), AirFingerError> {
+        let boost = self.boost();
+        let total = self.base.len() + boost * self.enrolled_y.len();
+        let mut x = Vec::with_capacity(total);
+        let mut y = Vec::with_capacity(total);
+        x.extend(self.base.x.iter().cloned());
+        y.extend(self.base.y.iter().copied());
+        for (row, &label) in self.enrolled_x.iter().zip(&self.enrolled_y) {
+            for _ in 0..boost {
+                x.push(row.clone());
+                y.push(label);
+            }
+        }
+        pipeline.train_detect_features(&x, &y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AirFingerConfig;
+    use airfinger_synth::dataset::{generate_corpus, CorpusSpec};
+
+    fn toy_base(rows: usize) -> LabeledFeatures {
+        let mut base = LabeledFeatures::default();
+        for i in 0..rows {
+            base.x.push(vec![i as f64, (rows - i) as f64]);
+            base.y.push(i % 2);
+            base.users.push(0);
+            base.sessions.push(0);
+            base.reps.push(i);
+        }
+        base
+    }
+
+    #[test]
+    fn boost_targets_the_mix_fraction() {
+        let mut a = UserAdapter::new(toy_base(700)).with_mix(0.3);
+        for _ in 0..10 {
+            a.enroll_features(vec![0.0, 0.0], Gesture::Circle);
+        }
+        // 0.3/0.7 · 700/10 = 30.
+        assert_eq!(a.boost(), 30);
+        let mass = (a.boost() * a.enrolled_count()) as f64;
+        let frac = mass / (mass + 700.0);
+        assert!((frac - 0.3).abs() < 0.01, "fraction {frac}");
+    }
+
+    #[test]
+    fn boost_is_one_without_enrollment_or_mix() {
+        let a = UserAdapter::new(toy_base(100));
+        assert_eq!(a.boost(), 1);
+        let mut b = UserAdapter::new(toy_base(100)).with_mix(0.0);
+        b.enroll_features(vec![1.0, 2.0], Gesture::Rub);
+        assert_eq!(b.boost(), 1);
+    }
+
+    #[test]
+    fn mix_is_clamped() {
+        let a = UserAdapter::new(toy_base(10)).with_mix(7.0);
+        assert!(a.mix <= 0.95);
+        let b = UserAdapter::new(toy_base(10)).with_mix(-1.0);
+        assert_eq!(b.mix, 0.0);
+    }
+
+    #[test]
+    fn apply_retrains_and_pipeline_stays_usable() {
+        let config = AirFingerConfig { forest_trees: 15, ..Default::default() };
+        let spec = CorpusSpec { users: 2, sessions: 1, reps: 2, ..Default::default() };
+        let corpus = generate_corpus(&spec);
+        let mut af = AirFinger::new(config);
+        af.train_on_corpus(&corpus, None).unwrap();
+
+        let base = crate::train::all_gesture_feature_set(&corpus, &config);
+        let mut adapter = UserAdapter::new(base);
+        let enroll_spec = CorpusSpec { users: 1, sessions: 1, reps: 1, seed: 99, ..spec };
+        let enroll = generate_corpus(&enroll_spec);
+        for s in enroll.samples() {
+            if let Some(g) = s.label.gesture() {
+                adapter.enroll_trace(&af, &s.trace, g);
+            }
+        }
+        assert_eq!(adapter.enrolled_count(), 8);
+        adapter.apply(&mut af).unwrap();
+        assert!(af.is_trained());
+        // The adapted recognizer still classifies the enrolled user's own
+        // trials correctly (they are in its training set, up-weighted).
+        let mut correct = 0;
+        for s in enroll.samples() {
+            if af.recognize_primary(&s.trace).unwrap().gesture() == s.label.gesture() {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 7, "correct {correct}/8");
+    }
+
+    #[test]
+    fn enrollment_dominates_when_mix_is_high() {
+        // Base says feature > 0 ⇒ class 0; the enrolled user inverts it.
+        let mut base = LabeledFeatures::default();
+        for i in 0..200 {
+            let v = if i % 2 == 0 { 1.0 } else { -1.0 };
+            base.x.push(vec![v]);
+            base.y.push(usize::from(i % 2 == 1)); // +1 ⇒ 0, −1 ⇒ 1
+            base.users.push(0);
+            base.sessions.push(0);
+            base.reps.push(i);
+        }
+        let config = AirFingerConfig { forest_trees: 15, ..Default::default() };
+        let mut af = AirFinger::new(config);
+        af.train_detect_features(&base.x, &base.y).unwrap();
+
+        let mut adapter = UserAdapter::new(base).with_mix(0.9);
+        for _ in 0..4 {
+            adapter.enroll_features(vec![1.0], Gesture::DoubleCircle); // index 1
+            adapter.enroll_features(vec![-1.0], Gesture::Circle); // index 0
+        }
+        // Before adapting, the population rule holds: +1 ⇒ class 0.
+        assert_eq!(af.detect_recognizer().predict_features(&[1.0]).unwrap(), 0);
+        adapter.apply(&mut af).unwrap();
+        // The up-weighted enrollment flips the decision at +1.
+        assert_eq!(af.detect_recognizer().predict_features(&[1.0]).unwrap(), 1);
+        assert_eq!(af.detect_recognizer().predict_features(&[-1.0]).unwrap(), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Pipeline configuration: every tunable of §IV/§V-A in one place.
+
+use airfinger_dsp::segment::SegmenterConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the airFinger pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AirFingerConfig {
+    /// ADC sampling rate in Hz (prototype: 100 Hz).
+    pub sample_rate_hz: f64,
+    /// SBC window `w` in samples (paper: 10 ms = 1 sample at 100 Hz).
+    pub sbc_window: usize,
+    /// Segmenter settings (`t_e` merge gap, debounce, padding).
+    pub segmenter: SegmenterConfig,
+    /// Initial dynamic threshold `I'_seg` (paper: 10).
+    pub initial_threshold: f64,
+    /// Dynamic-threshold forgetting factor in `(0, 1]`.
+    pub threshold_forget: f64,
+    /// Family-distinguishing threshold `I_g` in milliseconds (paper: 30 ms):
+    /// ascent spread below it ⇒ detect-aimed, above ⇒ track-aimed.
+    pub ig_ms: f64,
+    /// Consecutive above-threshold samples required to confirm an ascent.
+    pub ascent_confirm: usize,
+    /// Experience velocity `v'` in mm/s used when `Δt` is incalculable
+    /// (paper §V-G: 80 mm/s).
+    pub v_prime_mm_s: f64,
+    /// Physical `P1`–`P3` baseline in meters (prototype: 20 mm).
+    pub pd_baseline_m: f64,
+    /// Geometric lag calibration: the envelope-centroid lag underestimates
+    /// the true photodiode-crossing time because the acceptance cones
+    /// overlap; `Δt = lag / lag_calibration`. Measured once for the
+    /// prototype layout against known sweeps (≈ 0.6).
+    pub lag_calibration: f64,
+    /// Trees in the recognition forests.
+    pub forest_trees: usize,
+    /// RNG seed for classifier training.
+    pub train_seed: u64,
+}
+
+impl Default for AirFingerConfig {
+    fn default() -> Self {
+        AirFingerConfig {
+            sample_rate_hz: 100.0,
+            sbc_window: 1,
+            // t_e = 100 ms merge gap, 80 ms debounce (a smoothed hardware spike
+            // spans ~60 ms; the briefest real gesture burst spans well over
+            // 100 ms), 80 ms padding so each
+            // window carries idle margin for noise-floor estimation.
+            segmenter: SegmenterConfig { merge_gap: 10, min_len: 8, pad: 8 },
+            initial_threshold: 10.0,
+            threshold_forget: 0.9995,
+            ig_ms: 30.0,
+            ascent_confirm: 2,
+            v_prime_mm_s: 80.0,
+            pd_baseline_m: 0.02,
+            lag_calibration: 0.6,
+            forest_trees: 100,
+            train_seed: 0xA1F1,
+        }
+    }
+}
+
+impl AirFingerConfig {
+    /// `I_g` converted to samples at the configured rate.
+    #[must_use]
+    pub fn ig_samples(&self) -> usize {
+        (self.ig_ms / 1000.0 * self.sample_rate_hz).round() as usize
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sample_rate_hz <= 0.0 {
+            return Err("sample_rate_hz must be positive".into());
+        }
+        if self.sbc_window == 0 {
+            return Err("sbc_window must be at least 1".into());
+        }
+        if !(0.0 < self.threshold_forget && self.threshold_forget <= 1.0) {
+            return Err("threshold_forget must be in (0, 1]".into());
+        }
+        if self.ig_ms <= 0.0 {
+            return Err("ig_ms must be positive".into());
+        }
+        if self.ascent_confirm == 0 {
+            return Err("ascent_confirm must be at least 1".into());
+        }
+        if self.pd_baseline_m <= 0.0 {
+            return Err("pd_baseline_m must be positive".into());
+        }
+        if self.lag_calibration <= 0.0 || self.lag_calibration > 1.5 {
+            return Err("lag_calibration must be in (0, 1.5]".into());
+        }
+        if self.forest_trees == 0 {
+            return Err("forest_trees must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let c = AirFingerConfig::default();
+        assert_eq!(c.sample_rate_hz, 100.0);
+        assert_eq!(c.sbc_window, 1); // w = 10 ms at 100 Hz
+        assert_eq!(c.segmenter.merge_gap, 10); // t_e = 100 ms
+        assert_eq!(c.ig_ms, 30.0);
+        assert_eq!(c.v_prime_mm_s, 80.0);
+        assert_eq!(c.initial_threshold, 10.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn ig_samples_at_100hz() {
+        assert_eq!(AirFingerConfig::default().ig_samples(), 3);
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let bad = [
+            AirFingerConfig { sbc_window: 0, ..Default::default() },
+            AirFingerConfig { threshold_forget: 1.5, ..Default::default() },
+            AirFingerConfig { forest_trees: 0, ..Default::default() },
+            AirFingerConfig { lag_calibration: 0.0, ..Default::default() },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err(), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = AirFingerConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<AirFingerConfig>(&json).unwrap(), c);
+    }
+}

@@ -1,0 +1,362 @@
+//! Real-time streaming engine: sample-by-sample recognition.
+//!
+//! The prototype streams 3-channel ADC readings at 100 Hz; this engine
+//! consumes them one sample at a time with constant memory, maintaining
+//! per-channel streaming SBC, streaming dynamic thresholds (the paper's
+//! calibrate-as-you-accumulate `I_seg`), and a streaming segmenter. When a
+//! gesture window closes, the trained [`AirFinger`] pipeline classifies it
+//! and a [`Recognition`] event is emitted.
+
+use crate::error::AirFingerError;
+use crate::events::Recognition;
+use crate::pipeline::AirFinger;
+use crate::processing::GestureWindow;
+use crate::zebra::ScrollDirection;
+use airfinger_dsp::sbc::{Sbc, SbcStream};
+use airfinger_dsp::segment::{Segment, StreamingSegmenter};
+use airfinger_dsp::threshold::DynamicThreshold;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// How many samples of history the engine retains (40 s at 100 Hz) — far
+/// longer than any gesture, bounded for constant memory.
+const HISTORY_CAPACITY: usize = 4096;
+
+/// Single-threaded streaming engine.
+#[derive(Debug)]
+pub struct StreamingEngine {
+    pipeline: AirFinger,
+    sbc: Vec<SbcStream>,
+    thresholds: Vec<DynamicThreshold>,
+    segmenter: StreamingSegmenter,
+    raw_hist: Vec<VecDeque<f64>>,
+    delta_hist: Vec<VecDeque<f64>>,
+    /// Short per-channel smoothing window over ΔRSS² (mirrors the batch
+    /// processor's spike dilution).
+    smooth: Vec<VecDeque<f64>>,
+    /// First above-threshold sample of each channel within the currently
+    /// open gesture (global index) — the live ascending points behind
+    /// [`StreamingEngine::live_hint`].
+    live_ascents: Vec<Option<usize>>,
+    offset: usize,
+    channel_count: usize,
+}
+
+/// Length of the streaming ΔRSS² smoothing window.
+const SMOOTH_LEN: usize = 5;
+
+impl StreamingEngine {
+    /// Build an engine around a trained pipeline for `channel_count`
+    /// photodiodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AirFingerError::NotTrained`] if the pipeline has not been
+    /// trained, and [`AirFingerError::InvalidTrainingData`] for a zero
+    /// channel count.
+    pub fn new(pipeline: AirFinger, channel_count: usize) -> Result<Self, AirFingerError> {
+        if !pipeline.is_trained() {
+            return Err(AirFingerError::NotTrained);
+        }
+        if channel_count == 0 {
+            return Err(AirFingerError::InvalidTrainingData("zero channel count"));
+        }
+        let config = *pipeline.config();
+        Ok(StreamingEngine {
+            sbc: (0..channel_count).map(|_| Sbc::new(config.sbc_window).stream()).collect(),
+            thresholds: (0..channel_count)
+                .map(|_| DynamicThreshold::new(config.initial_threshold, config.threshold_forget))
+                .collect(),
+            segmenter: StreamingSegmenter::new(config.segmenter),
+            raw_hist: vec![VecDeque::with_capacity(HISTORY_CAPACITY); channel_count],
+            delta_hist: vec![VecDeque::with_capacity(HISTORY_CAPACITY); channel_count],
+            smooth: vec![VecDeque::with_capacity(SMOOTH_LEN); channel_count],
+            live_ascents: vec![None; channel_count],
+            offset: 0,
+            channel_count,
+            pipeline,
+        })
+    }
+
+    /// Global index of the next sample.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.segmenter.position()
+    }
+
+    /// Whether a gesture is currently open.
+    #[must_use]
+    pub fn in_gesture(&self) -> bool {
+        self.segmenter.in_gesture()
+    }
+
+    /// The wrapped pipeline.
+    #[must_use]
+    pub fn pipeline(&self) -> &AirFinger {
+        &self.pipeline
+    }
+
+    /// Push one multi-channel sample; returns a recognition event when a
+    /// gesture window closes at this sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AirFingerError::InvalidTrainingData`] for a wrong-width
+    /// sample and propagates recognition errors.
+    pub fn push(&mut self, sample: &[f64]) -> Result<Option<Recognition>, AirFingerError> {
+        if sample.len() != self.channel_count {
+            return Err(AirFingerError::InvalidTrainingData("sample width mismatch"));
+        }
+        let mut activity = 0.0f64;
+        let position = self.segmenter.position();
+        for (k, &raw) in sample.iter().enumerate() {
+            let delta = self.sbc[k].push(raw);
+            let win = &mut self.smooth[k];
+            if win.len() == SMOOTH_LEN {
+                win.pop_front();
+            }
+            win.push_back(delta);
+            let smoothed = win.iter().sum::<f64>() / win.len() as f64;
+            self.thresholds[k].observe(smoothed);
+            let t = self.thresholds[k].threshold().max(f64::MIN_POSITIVE);
+            activity = activity.max(smoothed / t);
+            // Live ascending point: first crossing of this channel within
+            // the open gesture.
+            if smoothed > t && self.live_ascents[k].is_none() {
+                self.live_ascents[k] = Some(position);
+            }
+            self.raw_hist[k].push_back(raw);
+            self.delta_hist[k].push_back(delta);
+        }
+        if self.raw_hist[0].len() > HISTORY_CAPACITY {
+            for k in 0..self.channel_count {
+                self.raw_hist[k].pop_front();
+                self.delta_hist[k].pop_front();
+            }
+            self.offset += 1;
+        }
+        let result = match self.segmenter.push(activity, 1.0) {
+            Some(seg) => self.emit(seg).map(Some),
+            None => Ok(None),
+        };
+        // Between gestures, forget the crossings so pre-gesture noise
+        // cannot pre-arm the next hint.
+        if !self.segmenter.in_gesture() {
+            self.live_ascents.fill(None);
+        }
+        result
+    }
+
+    /// Early scroll-direction hint for the *currently open* gesture — the
+    /// paper's §IV-D1 claim that direction is available "in real-time,
+    /// without waiting for the end of this gesture". `None` while no
+    /// gesture is open or while the outer-channel ascent order is still
+    /// ambiguous (which is the normal state for detect-aimed gestures).
+    #[must_use]
+    pub fn live_hint(&self) -> Option<ScrollDirection> {
+        if !self.segmenter.in_gesture() {
+            return None;
+        }
+        let first = *self.live_ascents.first()?;
+        let last = *self.live_ascents.last()?;
+        let ig = self.pipeline.config().ig_samples();
+        match (first, last) {
+            (Some(a), Some(b)) if a + ig <= b => Some(ScrollDirection::Up),
+            (Some(a), Some(b)) if b + ig <= a => Some(ScrollDirection::Down),
+            _ => None,
+        }
+    }
+
+    /// Close any open gesture at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates recognition errors.
+    pub fn flush(&mut self) -> Result<Option<Recognition>, AirFingerError> {
+        match self.segmenter.flush() {
+            Some(seg) => self.emit(seg).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn emit(&self, segment: Segment) -> Result<Recognition, AirFingerError> {
+        let start = segment.start.max(self.offset) - self.offset;
+        let end = (segment.end.max(self.offset) - self.offset).min(self.raw_hist[0].len());
+        let slice = |hist: &VecDeque<f64>| -> Vec<f64> {
+            hist.iter().skip(start).take(end.saturating_sub(start)).copied().collect()
+        };
+        let window = GestureWindow {
+            segment,
+            raw: self.raw_hist.iter().map(slice).collect(),
+            delta: self.delta_hist.iter().map(slice).collect(),
+            thresholds: self.thresholds.iter().map(DynamicThreshold::threshold).collect(),
+            sample_rate_hz: self.pipeline.config().sample_rate_hz,
+        };
+        self.pipeline.recognize_window(&window)
+    }
+}
+
+/// A thread-safe handle around a [`StreamingEngine`]: the acquisition
+/// thread pushes samples while a UI thread inspects state.
+#[derive(Debug, Clone)]
+pub struct SharedEngine {
+    inner: Arc<Mutex<StreamingEngine>>,
+}
+
+impl SharedEngine {
+    /// Wrap an engine.
+    #[must_use]
+    pub fn new(engine: StreamingEngine) -> Self {
+        SharedEngine { inner: Arc::new(Mutex::new(engine)) }
+    }
+
+    /// Push one sample (see [`StreamingEngine::push`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StreamingEngine::push`].
+    pub fn push(&self, sample: &[f64]) -> Result<Option<Recognition>, AirFingerError> {
+        self.inner.lock().push(sample)
+    }
+
+    /// Close any open gesture.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StreamingEngine::flush`].
+    pub fn flush(&self) -> Result<Option<Recognition>, AirFingerError> {
+        self.inner.lock().flush()
+    }
+
+    /// Whether a gesture is currently open.
+    #[must_use]
+    pub fn in_gesture(&self) -> bool {
+        self.inner.lock().in_gesture()
+    }
+
+    /// Global sample position.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.inner.lock().position()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AirFingerConfig;
+    use airfinger_synth::dataset::{generate_corpus, CorpusSpec};
+
+    fn trained() -> AirFinger {
+        let spec = CorpusSpec { users: 2, sessions: 1, reps: 3, ..Default::default() };
+        let corpus = generate_corpus(&spec);
+        let mut af = AirFinger::new(AirFingerConfig { forest_trees: 20, ..Default::default() });
+        af.train_on_corpus(&corpus, None).unwrap();
+        af
+    }
+
+    #[test]
+    fn untrained_pipeline_rejected() {
+        let af = AirFinger::new(AirFingerConfig::default());
+        assert!(matches!(StreamingEngine::new(af, 3), Err(AirFingerError::NotTrained)));
+    }
+
+    #[test]
+    fn wrong_width_sample_rejected() {
+        let mut e = StreamingEngine::new(trained(), 3).unwrap();
+        assert!(e.push(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn recognizes_streamed_gesture() {
+        let spec = CorpusSpec { users: 1, sessions: 1, reps: 2, ..Default::default() };
+        let corpus = generate_corpus(&spec);
+        let mut engine = StreamingEngine::new(trained(), 3).unwrap();
+        let mut events = Vec::new();
+        let sample0 = &corpus.samples()[0];
+        let trace = &sample0.trace;
+        for i in 0..trace.len() {
+            let s: Vec<f64> = (0..3).map(|k| trace.channel(k)[i]).collect();
+            if let Some(ev) = engine.push(&s).unwrap() {
+                events.push(ev);
+            }
+        }
+        if let Some(ev) = engine.flush().unwrap() {
+            events.push(ev);
+        }
+        assert!(!events.is_empty(), "streamed gesture not detected");
+    }
+
+    #[test]
+    fn quiet_stream_emits_nothing() {
+        let mut engine = StreamingEngine::new(trained(), 3).unwrap();
+        for _ in 0..500 {
+            assert!(engine.push(&[200.0, 200.0, 200.0]).unwrap().is_none());
+        }
+        assert!(engine.flush().unwrap().is_none());
+        assert!(!engine.in_gesture());
+    }
+
+    #[test]
+    fn position_advances() {
+        let mut engine = StreamingEngine::new(trained(), 3).unwrap();
+        for _ in 0..10 {
+            let _ = engine.push(&[200.0, 200.0, 200.0]);
+        }
+        assert_eq!(engine.position(), 10);
+    }
+
+    #[test]
+    fn live_hint_appears_during_a_scroll() {
+        use airfinger_synth::gesture::{Gesture, SampleLabel};
+        use airfinger_synth::profile::UserProfile;
+        use airfinger_synth::dataset::generate_sample;
+        let spec = CorpusSpec { users: 1, sessions: 1, reps: 1, ..Default::default() };
+        let profile = UserProfile::sample(0, spec.seed);
+        let s = generate_sample(&profile, SampleLabel::Gesture(Gesture::ScrollUp), 0, 0, &spec);
+        let mut engine = StreamingEngine::new(trained(), 3).unwrap();
+        let mut hint_before_close = None;
+        let mut closed = false;
+        for i in 0..s.trace.len() {
+            let sample =
+                [s.trace.channel(0)[i], s.trace.channel(1)[i], s.trace.channel(2)[i]];
+            if engine.push(&sample).unwrap().is_some() {
+                closed = true;
+            }
+            if !closed {
+                if let Some(h) = engine.live_hint() {
+                    hint_before_close.get_or_insert(h);
+                }
+            }
+        }
+        // The direction was available before the gesture window closed.
+        assert_eq!(
+            hint_before_close,
+            Some(crate::zebra::ScrollDirection::Up),
+            "live hint during the sweep"
+        );
+    }
+
+    #[test]
+    fn no_hint_while_idle() {
+        let mut engine = StreamingEngine::new(trained(), 3).unwrap();
+        for _ in 0..200 {
+            engine.push(&[230.0, 231.0, 229.0]).unwrap();
+            assert_eq!(engine.live_hint(), None);
+        }
+    }
+
+    #[test]
+    fn shared_engine_is_usable_across_threads() {
+        let engine = SharedEngine::new(StreamingEngine::new(trained(), 3).unwrap());
+        let e2 = engine.clone();
+        let handle = std::thread::spawn(move || {
+            for _ in 0..100 {
+                e2.push(&[200.0, 200.0, 200.0]).unwrap();
+            }
+        });
+        handle.join().unwrap();
+        assert_eq!(engine.position(), 100);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error types for the airFinger pipeline.
+
+use airfinger_ml::MlError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by pipeline training and recognition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AirFingerError {
+    /// A classifier stage failed.
+    Ml(MlError),
+    /// Recognition was requested before the pipeline was trained.
+    NotTrained,
+    /// Training data was empty or inconsistent.
+    InvalidTrainingData(&'static str),
+    /// The configuration failed validation.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for AirFingerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AirFingerError::Ml(e) => write!(f, "classifier error: {e}"),
+            AirFingerError::NotTrained => write!(f, "pipeline has not been trained"),
+            AirFingerError::InvalidTrainingData(what) => {
+                write!(f, "invalid training data: {what}")
+            }
+            AirFingerError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+        }
+    }
+}
+
+impl Error for AirFingerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AirFingerError::Ml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MlError> for AirFingerError {
+    fn from(e: MlError) -> Self {
+        AirFingerError::Ml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_ml_error_with_source() {
+        let e = AirFingerError::from(MlError::NotFitted);
+        assert!(e.to_string().contains("classifier error"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<AirFingerError>();
+    }
+}

@@ -1,0 +1,122 @@
+//! Recognition results emitted by the pipeline.
+
+use crate::zebra::{ScrollDirection, ScrollTrack};
+use airfinger_dsp::segment::Segment;
+use airfinger_synth::gesture::Gesture;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of recognizing one gesture window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Recognition {
+    /// A detect-aimed gesture.
+    Detect {
+        /// The recognized gesture.
+        gesture: Gesture,
+        /// Sample range of the gesture in the source stream.
+        segment: Segment,
+    },
+    /// A track-aimed gesture with its ZEBRA track.
+    Track {
+        /// Direction, velocity and displacement of the scroll.
+        track: ScrollTrack,
+        /// Sample range of the gesture in the source stream.
+        segment: Segment,
+    },
+    /// A segmented window rejected as an unintentional motion.
+    Rejected {
+        /// Sample range of the rejected window.
+        segment: Segment,
+    },
+}
+
+impl Recognition {
+    /// The recognized gesture, mapping scroll tracks onto
+    /// [`Gesture::ScrollUp`] / [`Gesture::ScrollDown`]; `None` for
+    /// rejected windows.
+    #[must_use]
+    pub fn gesture(&self) -> Option<Gesture> {
+        match self {
+            Recognition::Detect { gesture, .. } => Some(*gesture),
+            Recognition::Track { track, .. } => Some(match track.direction {
+                ScrollDirection::Up => Gesture::ScrollUp,
+                ScrollDirection::Down => Gesture::ScrollDown,
+            }),
+            Recognition::Rejected { .. } => None,
+        }
+    }
+
+    /// The window's sample range.
+    #[must_use]
+    pub fn segment(&self) -> Segment {
+        match self {
+            Recognition::Detect { segment, .. }
+            | Recognition::Track { segment, .. }
+            | Recognition::Rejected { segment } => *segment,
+        }
+    }
+
+    /// Whether the window was accepted as a deliberate gesture.
+    #[must_use]
+    pub fn is_accepted(&self) -> bool {
+        !matches!(self, Recognition::Rejected { .. })
+    }
+}
+
+impl std::fmt::Display for Recognition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Recognition::Detect { gesture, segment } => {
+                write!(f, "{gesture} @ [{}, {})", segment.start, segment.end)
+            }
+            Recognition::Track { track, segment } => write!(
+                f,
+                "{} ({:.0} mm/s) @ [{}, {})",
+                track.direction, track.velocity_mm_s, segment.start, segment.end
+            ),
+            Recognition::Rejected { segment } => {
+                write!(f, "rejected @ [{}, {})", segment.start, segment.end)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zebra::VelocitySource;
+
+    fn track() -> ScrollTrack {
+        ScrollTrack {
+            direction: ScrollDirection::Down,
+            velocity_mm_s: 100.0,
+            velocity_source: VelocitySource::Measured,
+            delta_t_s: Some(0.2),
+            duration_s: 0.5,
+        }
+    }
+
+    #[test]
+    fn gesture_mapping() {
+        let d = Recognition::Detect { gesture: Gesture::Rub, segment: Segment::new(0, 10) };
+        let t = Recognition::Track { track: track(), segment: Segment::new(5, 20) };
+        let r = Recognition::Rejected { segment: Segment::new(0, 3) };
+        assert_eq!(d.gesture(), Some(Gesture::Rub));
+        assert_eq!(t.gesture(), Some(Gesture::ScrollDown));
+        assert_eq!(r.gesture(), None);
+        assert!(d.is_accepted() && t.is_accepted() && !r.is_accepted());
+    }
+
+    #[test]
+    fn segment_accessor() {
+        let t = Recognition::Track { track: track(), segment: Segment::new(5, 20) };
+        assert_eq!(t.segment(), Segment::new(5, 20));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = Recognition::Track { track: track(), segment: Segment::new(5, 20) };
+        let s = t.to_string();
+        assert!(s.contains("scroll down") && s.contains("100"));
+    }
+}

@@ -1,0 +1,74 @@
+//! The airFinger pipeline: micro finger gesture recognition and tracking
+//! via NIR light sensing (Zhang et al., ICDCS 2020).
+//!
+//! The pipeline has the paper's three major parts (§IV, Fig. 4):
+//!
+//! 1. **Data Processing** ([`processing`]) — the Square Based Calculation
+//!    (SBC) noise-mitigation transform and the Otsu-style Dynamic
+//!    Threshold (DT) gesture segmentation.
+//! 2. **Detect-aimed Gesture Recognition** ([`detect`]) — Table-I features
+//!    over each photodiode's `ΔRSS²`, classified by a random forest.
+//! 3. **Track-aimed Gesture Recognition** ([`zebra`]) — the ZEBRA
+//!    algorithm recovering scroll direction, velocity and displacement
+//!    from per-photodiode signal-ascent ordering.
+//!
+//! Two auxiliary stages route windows between them: the detect/track
+//! **distinguisher** ([`distinguish`], threshold `I_g`) and the
+//! gesture/non-gesture **interference filter** ([`filter`], the bold
+//! 9-feature subset). [`pipeline::AirFinger`] wires everything together;
+//! [`engine::StreamingEngine`] runs it sample-by-sample in real time.
+//!
+//! The paper's §VI future-work items are implemented as extensions:
+//! user-defined gestures ([`custom`]), adaptive duty cycling with an
+//! energy ledger ([`power`]), two-dimensional tracking over the
+//! cross-shaped board ([`zebra2d`]), per-user enrollment closing the
+//! Fig. 11 individual-diversity gap ([`adapt`]), and — on the simulator
+//! side — the lock-in outdoor front end (`airfinger_nir_sim::modulation`).
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use airfinger_core::prelude::*;
+//! use airfinger_synth::dataset::{generate_corpus, CorpusSpec};
+//!
+//! let corpus = generate_corpus(&CorpusSpec::small(7));
+//! let mut af = AirFinger::new(AirFingerConfig::default());
+//! af.train_on_corpus(&corpus, None)?;
+//! let event = af.recognize_primary(&corpus.samples()[0].trace)?;
+//! println!("recognized: {event}");
+//! # Ok::<(), airfinger_core::error::AirFingerError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapt;
+pub mod config;
+pub mod custom;
+pub mod detect;
+pub mod distinguish;
+pub mod engine;
+pub mod error;
+pub mod events;
+pub mod filter;
+pub mod pipeline;
+pub mod power;
+pub mod processing;
+pub mod train;
+pub mod zebra;
+pub mod zebra2d;
+
+/// Convenient re-exports of the main entry points.
+pub mod prelude {
+    pub use crate::config::AirFingerConfig;
+    pub use crate::engine::{SharedEngine, StreamingEngine};
+    pub use crate::error::AirFingerError;
+    pub use crate::events::Recognition;
+    pub use crate::pipeline::AirFinger;
+    pub use crate::zebra::{ScrollDirection, ScrollTrack};
+}
+
+pub use config::AirFingerConfig;
+pub use error::AirFingerError;
+pub use events::Recognition;
+pub use pipeline::AirFinger;

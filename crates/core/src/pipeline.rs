@@ -1,0 +1,404 @@
+//! The end-to-end airFinger pipeline facade.
+
+use crate::config::AirFingerConfig;
+use crate::detect::DetectRecognizer;
+use crate::error::AirFingerError;
+use crate::events::Recognition;
+use crate::filter::{NonGestureFilter, LABEL_GESTURE, LABEL_NON_GESTURE};
+use crate::processing::{DataProcessor, GestureWindow};
+use crate::train::{all_gesture_feature_set, binary_feature_set};
+use crate::zebra::{ScrollDirection, ScrollTrack, VelocitySource, Zebra};
+use airfinger_nir_sim::trace::RssTrace;
+use airfinger_synth::dataset::Corpus;
+use airfinger_synth::gesture::Gesture;
+use serde::{Deserialize, Serialize};
+
+/// The complete recognizer: data processing, interference filtering,
+/// family distinguishing, detect-aimed recognition and ZEBRA tracking.
+///
+/// # Example
+///
+/// ```no_run
+/// use airfinger_core::pipeline::AirFinger;
+/// use airfinger_core::config::AirFingerConfig;
+/// use airfinger_synth::dataset::{generate_corpus, CorpusSpec};
+///
+/// let corpus = generate_corpus(&CorpusSpec::small(1));
+/// let mut af = AirFinger::new(AirFingerConfig::default());
+/// af.train_on_corpus(&corpus, None)?;
+/// for sample in corpus.samples() {
+///     for event in af.recognize_trace(&sample.trace)? {
+///         println!("{event}");
+///     }
+/// }
+/// # Ok::<(), airfinger_core::error::AirFingerError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "SavedPipeline", into = "SavedPipeline")]
+pub struct AirFinger {
+    config: AirFingerConfig,
+    processor: DataProcessor,
+    zebra: Zebra,
+    detect: DetectRecognizer,
+    filter: Option<NonGestureFilter>,
+}
+
+/// The serialized form of a (possibly trained) pipeline: everything except
+/// the stateless stages, which are rebuilt from the config on load. This
+/// is what lets a wearable train once on a workstation and ship the model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedPipeline {
+    /// Pipeline configuration.
+    pub config: AirFingerConfig,
+    /// The trained gesture recognizer.
+    pub detect: DetectRecognizer,
+    /// The trained interference filter, if any.
+    pub filter: Option<NonGestureFilter>,
+}
+
+impl From<AirFinger> for SavedPipeline {
+    fn from(af: AirFinger) -> Self {
+        SavedPipeline { config: af.config, detect: af.detect, filter: af.filter }
+    }
+}
+
+impl From<SavedPipeline> for AirFinger {
+    fn from(saved: SavedPipeline) -> Self {
+        AirFinger {
+            config: saved.config,
+            processor: DataProcessor::new(saved.config),
+            zebra: Zebra::new(saved.config),
+            detect: saved.detect,
+            filter: saved.filter,
+        }
+    }
+}
+
+impl AirFinger {
+    /// Create an untrained pipeline.
+    #[must_use]
+    pub fn new(config: AirFingerConfig) -> Self {
+        AirFinger {
+            config,
+            processor: DataProcessor::new(config),
+            zebra: Zebra::new(config),
+            detect: DetectRecognizer::new(&config),
+            filter: None,
+        }
+    }
+
+    /// The pipeline configuration.
+    #[must_use]
+    pub fn config(&self) -> &AirFingerConfig {
+        &self.config
+    }
+
+    /// The data processor (SBC + segmentation).
+    #[must_use]
+    pub fn processor(&self) -> &DataProcessor {
+        &self.processor
+    }
+
+    /// The detect-aimed recognizer.
+    #[must_use]
+    pub fn detect_recognizer(&self) -> &DetectRecognizer {
+        &self.detect
+    }
+
+    /// Whether the detect recognizer has been trained.
+    #[must_use]
+    pub fn is_trained(&self) -> bool {
+        self.detect.is_trained()
+    }
+
+    /// Whether the non-gesture filter is active.
+    #[must_use]
+    pub fn has_filter(&self) -> bool {
+        self.filter.is_some()
+    }
+
+    /// Train the pipeline on a gesture corpus, and optionally the
+    /// interference filter on a non-gesture corpus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AirFingerError::InvalidTrainingData`] when the corpus
+    /// holds no detect-aimed gestures, and propagates classifier errors.
+    pub fn train_on_corpus(
+        &mut self,
+        gestures: &Corpus,
+        nongestures: Option<&Corpus>,
+    ) -> Result<(), AirFingerError> {
+        self.config
+            .validate()
+            .map_err(AirFingerError::InvalidConfig)?;
+        let gesture_set = all_gesture_feature_set(gestures, &self.config);
+        if gesture_set.is_empty() {
+            return Err(AirFingerError::InvalidTrainingData(
+                "corpus holds no gesture samples",
+            ));
+        }
+        self.detect.train_features(&gesture_set.x, &gesture_set.y)?;
+        if let Some(non) = nongestures {
+            if non.is_empty() {
+                return Err(AirFingerError::InvalidTrainingData(
+                    "non-gesture corpus is empty",
+                ));
+            }
+            let merged = gestures.clone().merged(non.clone());
+            let set = binary_feature_set(&merged, &self.config);
+            let has_both = set.y.contains(&LABEL_GESTURE)
+                && set.y.contains(&LABEL_NON_GESTURE);
+            if !has_both {
+                return Err(AirFingerError::InvalidTrainingData(
+                    "filter training needs both gestures and non-gestures",
+                ));
+            }
+            let mut filter = NonGestureFilter::new(&self.config);
+            filter.train_features(&set.x, &set.y)?;
+            self.filter = Some(filter);
+        }
+        Ok(())
+    }
+
+    /// (Re)train only the gesture recognizer from precomputed feature
+    /// rows (labels are gesture indices), leaving the interference filter
+    /// untouched. This is the retraining entry point used by
+    /// [`crate::adapt::UserAdapter`] and by callers training from real
+    /// recordings rather than a synthetic [`Corpus`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates classifier errors (empty/ragged/non-finite data).
+    pub fn train_detect_features(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[usize],
+    ) -> Result<(), AirFingerError> {
+        self.detect.train_features(x, y)
+    }
+
+    /// Recognize one already-segmented gesture window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AirFingerError::NotTrained`] before training.
+    pub fn recognize_window(&self, window: &GestureWindow) -> Result<Recognition, AirFingerError> {
+        if !self.detect.is_trained() {
+            return Err(AirFingerError::NotTrained);
+        }
+        if let Some(filter) = &self.filter {
+            if !filter.is_gesture(window)? {
+                return Ok(Recognition::Rejected { segment: window.segment });
+            }
+        }
+        let gesture = self.detect.predict(window)?;
+        match gesture {
+            Gesture::ScrollUp | Gesture::ScrollDown => {
+                let direction = if gesture == Gesture::ScrollUp {
+                    ScrollDirection::Up
+                } else {
+                    ScrollDirection::Down
+                };
+                // ZEBRA supplies Δt / velocity / displacement; the
+                // recognized class supplies the direction (the two agree
+                // when the envelope lag is clean).
+                let track = match self.zebra.track(window) {
+                    Some(t) => ScrollTrack { direction, ..t },
+                    None => ScrollTrack {
+                        direction,
+                        velocity_mm_s: self.config.v_prime_mm_s,
+                        velocity_source: VelocitySource::Experience,
+                        delta_t_s: None,
+                        duration_s: window.duration_s(),
+                    },
+                };
+                Ok(Recognition::Track { track, segment: window.segment })
+            }
+            detect_aimed => {
+                Ok(Recognition::Detect { gesture: detect_aimed, segment: window.segment })
+            }
+        }
+    }
+
+    /// Segment and recognize a whole recording.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AirFingerError::NotTrained`] before training.
+    pub fn recognize_trace(&self, trace: &RssTrace) -> Result<Vec<Recognition>, AirFingerError> {
+        self.processor
+            .process(trace)
+            .iter()
+            .map(|w| self.recognize_window(w))
+            .collect()
+    }
+
+    /// Recognize the primary (largest) gesture window of a single-gesture
+    /// recording — the evaluation convention.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AirFingerError::NotTrained`] before training.
+    pub fn recognize_primary(&self, trace: &RssTrace) -> Result<Recognition, AirFingerError> {
+        let window = self.processor.primary_window(trace);
+        self.recognize_window(&window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airfinger_synth::dataset::{generate_corpus, generate_nongesture_corpus, CorpusSpec};
+    use airfinger_synth::gesture::Gesture;
+
+    fn trained_pipeline(spec: &CorpusSpec) -> (AirFinger, Corpus) {
+        let corpus = generate_corpus(spec);
+        let config = AirFingerConfig { forest_trees: 25, ..Default::default() };
+        let mut af = AirFinger::new(config);
+        af.train_on_corpus(&corpus, None).unwrap();
+        (af, corpus)
+    }
+
+    #[test]
+    fn trains_and_recognizes_in_sample() {
+        let spec = CorpusSpec { users: 2, sessions: 2, reps: 3, ..Default::default() };
+        let (af, corpus) = trained_pipeline(&spec);
+        assert!(af.is_trained());
+        let mut correct = 0;
+        let mut total = 0;
+        for s in corpus.samples() {
+            let got = af.recognize_primary(&s.trace).unwrap();
+            total += 1;
+            if got.gesture() == s.label.gesture() {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.85, "in-sample accuracy {acc}");
+    }
+
+    #[test]
+    fn scrolls_are_tracked_not_detected() {
+        let spec = CorpusSpec { users: 1, sessions: 1, reps: 5, ..Default::default() };
+        let (af, corpus) = trained_pipeline(&spec);
+        let mut tracked = 0;
+        let mut scrolls = 0;
+        for s in corpus.samples() {
+            if s.label.gesture().is_some_and(|g| g.is_track_aimed()) {
+                scrolls += 1;
+                if matches!(af.recognize_primary(&s.trace).unwrap(), Recognition::Track { .. }) {
+                    tracked += 1;
+                }
+            }
+        }
+        assert!(scrolls > 0);
+        assert!(
+            tracked as f64 / scrolls as f64 > 0.7,
+            "tracked {tracked}/{scrolls} scrolls"
+        );
+    }
+
+    #[test]
+    fn untrained_pipeline_errors() {
+        let af = AirFinger::new(AirFingerConfig::default());
+        let corpus = generate_corpus(&CorpusSpec {
+            users: 1,
+            sessions: 1,
+            reps: 1,
+            gestures: vec![Gesture::Click],
+            ..Default::default()
+        });
+        assert!(matches!(
+            af.recognize_primary(&corpus.samples()[0].trace),
+            Err(AirFingerError::NotTrained)
+        ));
+    }
+
+    #[test]
+    fn empty_corpus_rejected() {
+        let mut af = AirFinger::new(AirFingerConfig::default());
+        let empty = Corpus::new(vec![]);
+        assert!(matches!(
+            af.train_on_corpus(&empty, None),
+            Err(AirFingerError::InvalidTrainingData(_))
+        ));
+    }
+
+    #[test]
+    fn scroll_only_corpus_trains() {
+        // The recognizer covers all eight classes, so a scroll-only corpus
+        // is legitimate training data.
+        let mut af =
+            AirFinger::new(AirFingerConfig { forest_trees: 10, ..Default::default() });
+        let corpus = generate_corpus(&CorpusSpec {
+            users: 1,
+            sessions: 1,
+            reps: 2,
+            gestures: vec![Gesture::ScrollUp],
+            ..Default::default()
+        });
+        af.train_on_corpus(&corpus, None).unwrap();
+        assert!(af.is_trained());
+    }
+
+    #[test]
+    fn filter_trains_and_rejects_nongestures() {
+        // The paper's §V-J protocol: the same volunteers perform gestures
+        // and non-gestures; evaluation is on held-out repetitions of the
+        // same population (3-fold CV), not on unseen users.
+        let spec = CorpusSpec { users: 2, sessions: 1, reps: 4, ..Default::default() };
+        let corpus = generate_corpus(&spec);
+        let non_all =
+            generate_nongesture_corpus(&CorpusSpec { reps: 30, ..spec.clone() });
+        let non_train = non_all.filter(|s| s.rep < 21);
+        let non_test = non_all.filter(|s| s.rep >= 21);
+        let config = AirFingerConfig { forest_trees: 25, ..Default::default() };
+        let mut af = AirFinger::new(config);
+        af.train_on_corpus(&corpus, Some(&non_train)).unwrap();
+        assert!(af.has_filter());
+        let rejected = non_test
+            .samples()
+            .iter()
+            .filter(|s| {
+                matches!(
+                    af.recognize_primary(&s.trace).unwrap(),
+                    Recognition::Rejected { .. }
+                )
+            })
+            .count();
+        assert!(
+            rejected as f64 / non_test.len() as f64 > 0.6,
+            "rejected {rejected}/{}",
+            non_test.len()
+        );
+        // Held-out repetitions of true gestures pass the filter.
+        let held_g = generate_corpus(&CorpusSpec { users: 2, sessions: 1, reps: 2, ..spec });
+        let wrongly_rejected = held_g
+            .samples()
+            .iter()
+            .filter(|s| {
+                matches!(
+                    af.recognize_primary(&s.trace).unwrap(),
+                    Recognition::Rejected { .. }
+                )
+            })
+            .count();
+        assert!(
+            (wrongly_rejected as f64) < 0.25 * held_g.len() as f64,
+            "wrongly rejected {wrongly_rejected}/{}",
+            held_g.len()
+        );
+    }
+
+    #[test]
+    fn invalid_config_surfaces_at_training() {
+        let config = AirFingerConfig { forest_trees: 0, ..Default::default() };
+        let mut af = AirFinger::new(config);
+        let corpus = generate_corpus(&CorpusSpec::small(3));
+        assert!(matches!(
+            af.train_on_corpus(&corpus, None),
+            Err(AirFingerError::InvalidConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,229 @@
+//! Adaptive duty cycling — the §VI "Energy and Storage" proposal: "we
+//! could optimize hardware design and recognition algorithms to further
+//! reduce power-consuming".
+//!
+//! The governor watches the streaming engine's activity. While gestures
+//! are arriving the LEDs run at full duty; after a quiet period they drop
+//! to a low-duty sentinel mode (bright enough to *detect* motion onset,
+//! not to classify), and any activity snaps them back to full power. The
+//! energy ledger integrates the sensor's power budget over the actual duty
+//! profile, so the saving is measurable.
+
+use airfinger_nir_sim::layout::SensorLayout;
+use airfinger_nir_sim::power::PowerBudget;
+use serde::{Deserialize, Serialize};
+
+/// Governor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerGovernorConfig {
+    /// Seconds of quiet before dropping to sentinel mode.
+    pub idle_after_s: f64,
+    /// LED duty in sentinel mode, in `[0, 1]`.
+    pub sentinel_duty: f64,
+    /// LED duty while active.
+    pub active_duty: f64,
+}
+
+impl Default for PowerGovernorConfig {
+    fn default() -> Self {
+        PowerGovernorConfig { idle_after_s: 3.0, sentinel_duty: 0.15, active_duty: 1.0 }
+    }
+}
+
+/// Current operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PowerMode {
+    /// Full LED duty: gestures can be classified.
+    Active,
+    /// Low LED duty: only watching for motion onset.
+    Sentinel,
+}
+
+/// The adaptive duty-cycle governor with an energy ledger.
+///
+/// # Example
+///
+/// ```
+/// use airfinger_core::power::{PowerGovernor, PowerGovernorConfig, PowerMode};
+/// use airfinger_nir_sim::SensorLayout;
+///
+/// let mut governor = PowerGovernor::new(
+///     SensorLayout::paper_prototype(),
+///     PowerGovernorConfig { idle_after_s: 1.0, ..Default::default() },
+/// );
+/// for _ in 0..200 {
+///     governor.tick(0.01, false); // 2 s of quiet
+/// }
+/// assert_eq!(governor.mode(), PowerMode::Sentinel);
+/// assert!(governor.savings_fraction() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerGovernor {
+    config: PowerGovernorConfig,
+    layout: SensorLayout,
+    mode: PowerMode,
+    since_activity_s: f64,
+    energy_j: f64,
+    baseline_energy_j: f64,
+    elapsed_s: f64,
+}
+
+impl PowerGovernor {
+    /// Create a governor for `layout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if duties are outside `[0, 1]` or `idle_after_s` is negative.
+    #[must_use]
+    pub fn new(layout: SensorLayout, config: PowerGovernorConfig) -> Self {
+        assert!((0.0..=1.0).contains(&config.sentinel_duty), "sentinel duty in [0, 1]");
+        assert!((0.0..=1.0).contains(&config.active_duty), "active duty in [0, 1]");
+        assert!(config.idle_after_s >= 0.0, "idle threshold must be non-negative");
+        PowerGovernor {
+            config,
+            layout,
+            mode: PowerMode::Active,
+            since_activity_s: 0.0,
+            energy_j: 0.0,
+            baseline_energy_j: 0.0,
+            elapsed_s: 0.0,
+        }
+    }
+
+    /// Current mode.
+    #[must_use]
+    pub fn mode(&self) -> PowerMode {
+        self.mode
+    }
+
+    /// The LED duty the sensor should run at right now.
+    #[must_use]
+    pub fn led_duty(&self) -> f64 {
+        match self.mode {
+            PowerMode::Active => self.config.active_duty,
+            PowerMode::Sentinel => self.config.sentinel_duty,
+        }
+    }
+
+    /// Advance the ledger by `dt` seconds, reporting whether the streaming
+    /// engine currently sees gesture activity.
+    pub fn tick(&mut self, dt: f64, active: bool) {
+        if active {
+            self.since_activity_s = 0.0;
+            self.mode = PowerMode::Active;
+        } else {
+            self.since_activity_s += dt;
+            if self.since_activity_s >= self.config.idle_after_s {
+                self.mode = PowerMode::Sentinel;
+            }
+        }
+        let budget = PowerBudget::for_layout(&self.layout, self.led_duty());
+        let full = PowerBudget::for_layout(&self.layout, self.config.active_duty);
+        self.energy_j += budget.total_w() * dt;
+        self.baseline_energy_j += full.total_w() * dt;
+        self.elapsed_s += dt;
+    }
+
+    /// Energy consumed so far in joules (governed profile).
+    #[must_use]
+    pub fn energy_j(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Energy an always-active sensor would have consumed in the same time.
+    #[must_use]
+    pub fn baseline_energy_j(&self) -> f64 {
+        self.baseline_energy_j
+    }
+
+    /// Fraction of the always-on energy saved so far, in `[0, 1]`.
+    #[must_use]
+    pub fn savings_fraction(&self) -> f64 {
+        if self.baseline_energy_j <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.energy_j / self.baseline_energy_j
+    }
+
+    /// Elapsed governed time in seconds.
+    #[must_use]
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn governor() -> PowerGovernor {
+        PowerGovernor::new(SensorLayout::paper_prototype(), PowerGovernorConfig::default())
+    }
+
+    #[test]
+    fn starts_active() {
+        assert_eq!(governor().mode(), PowerMode::Active);
+    }
+
+    #[test]
+    fn drops_to_sentinel_after_idle() {
+        let mut g = governor();
+        for _ in 0..350 {
+            g.tick(0.01, false); // 3.5 s of quiet
+        }
+        assert_eq!(g.mode(), PowerMode::Sentinel);
+        assert!(g.led_duty() < 0.2);
+    }
+
+    #[test]
+    fn activity_wakes_immediately() {
+        let mut g = governor();
+        for _ in 0..400 {
+            g.tick(0.01, false);
+        }
+        assert_eq!(g.mode(), PowerMode::Sentinel);
+        g.tick(0.01, true);
+        assert_eq!(g.mode(), PowerMode::Active);
+        assert_eq!(g.led_duty(), 1.0);
+    }
+
+    #[test]
+    fn idle_session_saves_most_led_energy() {
+        let mut g = governor();
+        // 60 s, one gesture burst at t = 10 s.
+        for i in 0..6000 {
+            let t = i as f64 * 0.01;
+            g.tick(0.01, (10.0..11.0).contains(&t));
+        }
+        let saved = g.savings_fraction();
+        assert!(saved > 0.4, "saved {saved:.2} of energy");
+        assert!(g.energy_j() < g.baseline_energy_j());
+    }
+
+    #[test]
+    fn busy_session_saves_nothing() {
+        let mut g = governor();
+        for _ in 0..1000 {
+            g.tick(0.01, true);
+        }
+        assert!(g.savings_fraction().abs() < 1e-9);
+    }
+
+    #[test]
+    fn ledger_tracks_elapsed_time() {
+        let mut g = governor();
+        for _ in 0..500 {
+            g.tick(0.02, false);
+        }
+        assert!((g.elapsed_s() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel duty")]
+    fn bad_duty_panics() {
+        let _ = PowerGovernor::new(
+            SensorLayout::paper_prototype(),
+            PowerGovernorConfig { sentinel_duty: 1.5, ..Default::default() },
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Training-set construction: corpus → processed windows → feature
+//! matrices with user/session group labels for the paper's CV protocols.
+
+use crate::config::AirFingerConfig;
+use crate::processing::DataProcessor;
+use airfinger_features::FeatureExtractor;
+use airfinger_synth::dataset::Corpus;
+
+/// A feature matrix with labels and grouping metadata.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LabeledFeatures {
+    /// Feature vectors, one row per sample.
+    pub x: Vec<Vec<f64>>,
+    /// Class labels.
+    pub y: Vec<usize>,
+    /// Volunteer id per sample (for leave-one-user-out).
+    pub users: Vec<usize>,
+    /// Session id per sample (for leave-one-session-out).
+    pub sessions: Vec<usize>,
+    /// Repetition id per sample (for enrollment-count sweeps).
+    pub reps: Vec<usize>,
+}
+
+impl LabeledFeatures {
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+}
+
+/// Extract features for every sample of `corpus` using `extractor`,
+/// labelling each sample with `label_of(sample) -> Option<usize>` (samples
+/// mapped to `None` are skipped).
+#[must_use]
+pub fn feature_set<F>(
+    corpus: &Corpus,
+    config: &AirFingerConfig,
+    extractor: &FeatureExtractor,
+    label_of: F,
+) -> LabeledFeatures
+where
+    F: Fn(&airfinger_synth::dataset::GestureSample) -> Option<usize>,
+{
+    let processor = DataProcessor::new(*config);
+    let mut out = LabeledFeatures::default();
+    for s in corpus.samples() {
+        let Some(label) = label_of(s) else { continue };
+        let window = processor.primary_window(&s.trace);
+        out.x.push(crate::detect::prepare_features(extractor, &window));
+        out.y.push(label);
+        out.users.push(s.user);
+        out.sessions.push(s.session);
+        out.reps.push(s.rep);
+    }
+    out
+}
+
+/// Detect-aimed feature set: Table-I features, labels are detect indices
+/// `0..6`; track-aimed and non-gesture samples are skipped.
+#[must_use]
+pub fn detect_feature_set(corpus: &Corpus, config: &AirFingerConfig) -> LabeledFeatures {
+    let extractor = FeatureExtractor::table1();
+    feature_set(corpus, config, &extractor, |s| {
+        s.label.gesture().and_then(|g| g.detect_index())
+    })
+}
+
+/// All-gesture feature set: Table-I features, labels are gesture indices
+/// `0..8` (the Fig. 9 classifier-comparison protocol uses "all the
+/// collected gesture samples").
+#[must_use]
+pub fn all_gesture_feature_set(corpus: &Corpus, config: &AirFingerConfig) -> LabeledFeatures {
+    let extractor = FeatureExtractor::table1();
+    feature_set(corpus, config, &extractor, |s| s.label.gesture().map(|g| g.index()))
+}
+
+/// Binary gesture/non-gesture feature set over the 9-feature subset:
+/// label 1 for any designed gesture, 0 for unintentional motions.
+#[must_use]
+pub fn binary_feature_set(corpus: &Corpus, config: &AirFingerConfig) -> LabeledFeatures {
+    let extractor = FeatureExtractor::nongesture9();
+    feature_set(corpus, config, &extractor, |s| Some(usize::from(s.label.is_gesture())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airfinger_synth::dataset::{generate_corpus, generate_nongesture_corpus, CorpusSpec};
+    use airfinger_synth::gesture::Gesture;
+
+    fn tiny_spec() -> CorpusSpec {
+        CorpusSpec { users: 1, sessions: 1, reps: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn detect_set_skips_scrolls() {
+        let corpus = generate_corpus(&tiny_spec());
+        let set = detect_feature_set(&corpus, &AirFingerConfig::default());
+        assert_eq!(set.len(), 6);
+        assert!(set.y.iter().all(|&l| l < 6));
+    }
+
+    #[test]
+    fn all_gesture_set_keeps_everything() {
+        let corpus = generate_corpus(&tiny_spec());
+        let set = all_gesture_feature_set(&corpus, &AirFingerConfig::default());
+        assert_eq!(set.len(), 8);
+        let mut labels = set.y.clone();
+        labels.sort_unstable();
+        assert_eq!(labels, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn binary_set_mixes_labels() {
+        let spec = tiny_spec();
+        let gestures = generate_corpus(&CorpusSpec {
+            gestures: vec![Gesture::Click, Gesture::Rub],
+            ..spec.clone()
+        });
+        let non = generate_nongesture_corpus(&CorpusSpec { reps: 3, ..spec });
+        let merged = gestures.merged(non);
+        let set = binary_feature_set(&merged, &AirFingerConfig::default());
+        assert_eq!(set.len(), 5);
+        assert_eq!(set.y.iter().filter(|&&l| l == 1).count(), 2);
+        assert_eq!(set.y.iter().filter(|&&l| l == 0).count(), 3);
+    }
+
+    #[test]
+    fn rows_are_rectangular_and_finite() {
+        let corpus = generate_corpus(&tiny_spec());
+        let set = detect_feature_set(&corpus, &AirFingerConfig::default());
+        let width = set.x[0].len();
+        for row in &set.x {
+            assert_eq!(row.len(), width);
+            assert!(row.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn groups_align_with_samples() {
+        let spec = CorpusSpec { users: 2, sessions: 2, reps: 1, ..Default::default() };
+        let corpus = generate_corpus(&spec);
+        let set = all_gesture_feature_set(&corpus, &AirFingerConfig::default());
+        assert_eq!(set.users.len(), set.len());
+        assert_eq!(set.sessions.len(), set.len());
+        assert!(set.users.contains(&0) && set.users.contains(&1));
+    }
+}

@@ -1,0 +1,302 @@
+//! The ZEBRA tracking algorithm (§IV-D, Alg. 1): scroll direction,
+//! velocity and displacement from per-photodiode ascent ordering.
+//!
+//! * **Direction** `α`: if `P1` ascends before `P3` (or only `P1`
+//!   ascends), the gesture is *scroll up* (`α = 1`); the mirror case is
+//!   *scroll down* (`α = −1`).
+//! * **Velocity**: the `P1`–`P3` physical baseline is fixed, so
+//!   `v = baseline / Δt` when both ascents exist; otherwise the
+//!   experience velocity `v′` (80 mm/s) is assigned.
+//! * **Displacement**: `D_t = α · v · min{t, T}` with `T` the gesture
+//!   duration — queryable in real time at any `t`.
+
+use crate::config::AirFingerConfig;
+use crate::processing::GestureWindow;
+use serde::{Deserialize, Serialize};
+
+/// Scroll direction `α`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScrollDirection {
+    /// `α = 1`: passes `P1` before `P3`.
+    Up,
+    /// `α = −1`: passes `P3` before `P1`.
+    Down,
+}
+
+impl ScrollDirection {
+    /// The sign `α`.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        match self {
+            ScrollDirection::Up => 1.0,
+            ScrollDirection::Down => -1.0,
+        }
+    }
+
+    /// Display name matching the paper.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScrollDirection::Up => "scroll up",
+            ScrollDirection::Down => "scroll down",
+        }
+    }
+}
+
+impl std::fmt::Display for ScrollDirection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How the velocity was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VelocitySource {
+    /// Measured from the `Δt` between outer-photodiode ascents.
+    Measured,
+    /// Assigned from experience (`v′`) because `Δt` was incalculable.
+    Experience,
+}
+
+/// A tracked scroll gesture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScrollTrack {
+    /// Direction `α`.
+    pub direction: ScrollDirection,
+    /// Scroll velocity in mm/s.
+    pub velocity_mm_s: f64,
+    /// Where the velocity came from.
+    pub velocity_source: VelocitySource,
+    /// Ascent time gap `Δt` in seconds, when measurable.
+    pub delta_t_s: Option<f64>,
+    /// Total gesture duration `T` in seconds.
+    pub duration_s: f64,
+}
+
+impl ScrollTrack {
+    /// Displacement `D_t = α · v · min{t, T}` in millimeters at time `t`
+    /// seconds after the gesture start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative.
+    #[must_use]
+    pub fn displacement_mm(&self, t: f64) -> f64 {
+        assert!(t >= 0.0, "time must be non-negative");
+        self.direction.alpha() * self.velocity_mm_s * t.min(self.duration_s)
+    }
+
+    /// Final displacement at the end of the gesture.
+    #[must_use]
+    pub fn total_displacement_mm(&self) -> f64 {
+        self.displacement_mm(self.duration_s)
+    }
+}
+
+/// The ZEBRA tracker.
+#[derive(Debug, Clone, Copy)]
+pub struct Zebra {
+    config: AirFingerConfig,
+}
+
+impl Zebra {
+    /// Create a tracker with `config`.
+    #[must_use]
+    pub fn new(config: AirFingerConfig) -> Self {
+        Zebra { config }
+    }
+
+    /// Track a gesture window. Returns `None` when no photodiode-crossing
+    /// order can be established (nothing crossed the board).
+    #[must_use]
+    pub fn track(&self, window: &GestureWindow) -> Option<ScrollTrack> {
+        let timing = window.channel_timing(&self.config);
+        let n = timing.active.len();
+        if n < 2 {
+            return None;
+        }
+        let duration_s = window.duration_s();
+        let rate = window.sample_rate_hz;
+        let make = |direction, dt: Option<f64>, baseline_m: f64| {
+            let (velocity_mm_s, velocity_source) = match dt {
+                Some(d) if d > 0.0 => (baseline_m * 1000.0 / d, VelocitySource::Measured),
+                _ => (self.config.v_prime_mm_s, VelocitySource::Experience),
+            };
+            ScrollTrack {
+                direction,
+                velocity_mm_s,
+                velocity_source,
+                delta_t_s: dt.filter(|d| *d > 0.0),
+                duration_s,
+            }
+        };
+        match (timing.first_active, timing.last_active, timing.lag_samples) {
+            // Alg. 1 lines 8–13 / 20–25: two crossings → order gives α,
+            // Δt gives v over the physical span between those photodiodes.
+            (Some(i), Some(j), Some(lag)) if i != j && lag != 0 => {
+                let dt =
+                    lag.unsigned_abs() as f64 / rate / self.config.lag_calibration;
+                let span = self.config.pd_baseline_m * (j - i) as f64 / (n - 1) as f64;
+                let direction =
+                    if lag > 0 { ScrollDirection::Up } else { ScrollDirection::Down };
+                Some(make(direction, Some(dt), span))
+            }
+            // Lines 2–7 / 14–19: only one outer photodiode crossed →
+            // direction from which one, velocity from experience v′.
+            (Some(i), Some(j), _) if i == j && i == 0 => {
+                Some(make(ScrollDirection::Up, None, 0.0))
+            }
+            (Some(i), Some(j), _) if i == j && i == n - 1 => {
+                Some(make(ScrollDirection::Down, None, 0.0))
+            }
+            // Zero lag or no active channels: not a scroll.
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airfinger_dsp::segment::Segment;
+    use crate::processing::GestureWindow;
+
+    /// Build a 3-channel window with Gaussian energy bumps centered at the
+    /// given samples (None = channel stays at the noise floor).
+    fn window_with_bumps(centers: [Option<usize>; 3], n: usize) -> GestureWindow {
+        let delta: Vec<Vec<f64>> = centers
+            .iter()
+            .map(|c| {
+                (0..n)
+                    .map(|i| match c {
+                        Some(center) => {
+                            let d = (i as f64 - *center as f64) / 8.0;
+                            120.0 * (-d * d).exp()
+                        }
+                        None => 0.5,
+                    })
+                    .collect()
+            })
+            .collect();
+        GestureWindow {
+            segment: Segment::new(0, n),
+            raw: delta.clone(),
+            delta,
+            thresholds: vec![10.0; 3],
+            sample_rate_hz: 100.0,
+        }
+    }
+
+    fn zebra() -> Zebra {
+        // Synthetic bump envelopes have no cone overlap, so their centroid
+        // lag IS the true crossing time: disable the geometric calibration.
+        Zebra::new(AirFingerConfig { lag_calibration: 1.0, ..Default::default() })
+    }
+
+    #[test]
+    fn p1_before_p3_is_scroll_up_with_measured_velocity() {
+        // Lag = 40 samples = 0.4 s over the 20 mm P1-P3 baseline -> 50 mm/s.
+        let w = window_with_bumps([Some(30), Some(50), Some(70)], 140);
+        let t = zebra().track(&w).unwrap();
+        assert_eq!(t.direction, ScrollDirection::Up);
+        assert_eq!(t.velocity_source, VelocitySource::Measured);
+        assert!((t.velocity_mm_s - 50.0).abs() < 8.0, "v = {}", t.velocity_mm_s);
+        let dt = t.delta_t_s.unwrap();
+        assert!((dt - 0.4).abs() < 0.05, "dt = {dt}");
+    }
+
+    #[test]
+    fn p3_before_p1_is_scroll_down() {
+        let w = window_with_bumps([Some(70), Some(50), Some(30)], 140);
+        let t = zebra().track(&w).unwrap();
+        assert_eq!(t.direction, ScrollDirection::Down);
+        assert_eq!(t.velocity_source, VelocitySource::Measured);
+    }
+
+    #[test]
+    fn only_p1_is_scroll_up_at_v_prime() {
+        let w = window_with_bumps([Some(30), None, None], 100);
+        let t = zebra().track(&w).unwrap();
+        assert_eq!(t.direction, ScrollDirection::Up);
+        assert_eq!(t.velocity_source, VelocitySource::Experience);
+        assert_eq!(t.velocity_mm_s, 80.0);
+        assert_eq!(t.delta_t_s, None);
+    }
+
+    #[test]
+    fn only_p3_is_scroll_down_at_v_prime() {
+        let w = window_with_bumps([None, None, Some(30)], 100);
+        let t = zebra().track(&w).unwrap();
+        assert_eq!(t.direction, ScrollDirection::Down);
+        assert_eq!(t.velocity_source, VelocitySource::Experience);
+    }
+
+    #[test]
+    fn no_active_channel_is_not_a_scroll() {
+        assert!(zebra().track(&window_with_bumps([None, None, None], 100)).is_none());
+    }
+
+    #[test]
+    fn lone_middle_channel_is_not_a_scroll() {
+        assert!(zebra().track(&window_with_bumps([None, Some(40), None], 100)).is_none());
+    }
+
+    #[test]
+    fn simultaneous_channels_rejected() {
+        let w = window_with_bumps([Some(50), Some(50), Some(50)], 120);
+        assert!(zebra().track(&w).is_none());
+    }
+
+    #[test]
+    fn partial_scroll_p1_p2_uses_half_baseline() {
+        // Finger crosses P1 then P2 but never reaches P3: the measured
+        // span is half the P1-P3 baseline.
+        let w = window_with_bumps([Some(30), Some(50), None], 120);
+        let t = zebra().track(&w).unwrap();
+        assert_eq!(t.direction, ScrollDirection::Up);
+        // 10 mm over 0.2 s -> 50 mm/s.
+        assert!((t.velocity_mm_s - 50.0).abs() < 10.0, "v = {}", t.velocity_mm_s);
+    }
+
+    #[test]
+    fn displacement_is_odd_in_direction() {
+        let up = zebra().track(&window_with_bumps([Some(30), Some(50), Some(70)], 140)).unwrap();
+        let down = zebra().track(&window_with_bumps([Some(70), Some(50), Some(30)], 140)).unwrap();
+        assert!((up.displacement_mm(0.3) + down.displacement_mm(0.3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn displacement_saturates_at_duration() {
+        let w = window_with_bumps([Some(30), Some(50), Some(70)], 140); // T = 1.4 s
+        let t = zebra().track(&w).unwrap();
+        assert_eq!(t.displacement_mm(5.0), t.displacement_mm(t.duration_s));
+        assert_eq!(t.total_displacement_mm(), t.displacement_mm(1.4));
+    }
+
+    #[test]
+    fn displacement_monotone_before_duration() {
+        let w = window_with_bumps([Some(30), Some(50), Some(70)], 140);
+        let t = zebra().track(&w).unwrap();
+        let mut prev = 0.0;
+        for k in 1..=8 {
+            let d = t.displacement_mm(0.1 * k as f64);
+            assert!(d >= prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn faster_scroll_measures_higher_velocity() {
+        let slow = zebra().track(&window_with_bumps([Some(20), Some(60), Some(100)], 160)).unwrap();
+        let fast = zebra().track(&window_with_bumps([Some(60), Some(70), Some(80)], 160)).unwrap();
+        assert!(fast.velocity_mm_s > slow.velocity_mm_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_panics() {
+        let w = window_with_bumps([Some(30), Some(50), Some(70)], 140);
+        let t = zebra().track(&w).unwrap();
+        let _ = t.displacement_mm(-1.0);
+    }
+}

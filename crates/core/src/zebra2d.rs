@@ -1,0 +1,236 @@
+//! Two-dimensional ZEBRA — tracking over the §VI cross-shaped board
+//! (`SensorLayout::cross`): the x and y arms each run the 1-D ZEBRA
+//! timing analysis, yielding a signed velocity per axis and therefore a
+//! full 2-D swipe vector (speed + heading).
+//!
+//! Channel convention (matching `SensorLayout::cross`): channels
+//! `0..arm_pds` are the x arm left→right; channels `arm_pds..` are the y
+//! arm front→back, *excluding* the shared center photodiode (which is the
+//! middle of the x arm).
+
+use crate::config::AirFingerConfig;
+use crate::processing::GestureWindow;
+use crate::zebra::Zebra;
+use serde::{Deserialize, Serialize};
+
+/// A tracked 2-D swipe.
+///
+/// # Example
+///
+/// ```
+/// use airfinger_core::zebra2d::Swipe2d;
+///
+/// let swipe = Swipe2d { vx_mm_s: 30.0, vy_mm_s: 40.0, duration_s: 0.5 };
+/// assert_eq!(swipe.speed_mm_s(), 50.0);
+/// assert_eq!(swipe.displacement_mm(0.25), (7.5, 10.0));
+/// // Displacement saturates at the gesture duration.
+/// assert_eq!(swipe.displacement_mm(9.0), swipe.displacement_mm(0.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Swipe2d {
+    /// Signed velocity along the x arm in mm/s (positive = left→right).
+    pub vx_mm_s: f64,
+    /// Signed velocity along the y arm in mm/s (positive = front→back).
+    pub vy_mm_s: f64,
+    /// Gesture duration in seconds.
+    pub duration_s: f64,
+}
+
+impl Swipe2d {
+    /// Swipe speed in mm/s.
+    #[must_use]
+    pub fn speed_mm_s(&self) -> f64 {
+        self.vx_mm_s.hypot(self.vy_mm_s)
+    }
+
+    /// Heading in radians, measured from the +x axis (`atan2(vy, vx)`).
+    #[must_use]
+    pub fn heading_rad(&self) -> f64 {
+        self.vy_mm_s.atan2(self.vx_mm_s)
+    }
+
+    /// 2-D displacement (mm) at time `t` after gesture start, saturating
+    /// at the gesture duration like the 1-D `D_t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative.
+    #[must_use]
+    pub fn displacement_mm(&self, t: f64) -> (f64, f64) {
+        assert!(t >= 0.0, "time must be non-negative");
+        let t = t.min(self.duration_s);
+        (self.vx_mm_s * t, self.vy_mm_s * t)
+    }
+}
+
+/// The 2-D tracker.
+#[derive(Debug, Clone, Copy)]
+pub struct Zebra2d {
+    config: AirFingerConfig,
+    arm_pds: usize,
+}
+
+impl Zebra2d {
+    /// Create a tracker for a cross board with `arm_pds` photodiodes per
+    /// arm (must be odd — the center is shared).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm_pds` is even or below 3.
+    #[must_use]
+    pub fn new(config: AirFingerConfig, arm_pds: usize) -> Self {
+        assert!(arm_pds >= 3 && arm_pds % 2 == 1, "cross arms need an odd count ≥ 3");
+        Zebra2d { config, arm_pds }
+    }
+
+    /// Extract the per-axis channel lists of a cross-board window.
+    fn split_axes(&self, window: &GestureWindow) -> Option<(GestureWindow, GestureWindow)> {
+        let n = self.arm_pds;
+        let expected = 2 * n - 1;
+        if window.channel_count() != expected {
+            return None;
+        }
+        let center = n / 2;
+        let x_idx: Vec<usize> = (0..n).collect();
+        // y arm front→back with the shared center in the middle.
+        let mut y_idx: Vec<usize> = (n..n + center).collect();
+        y_idx.push(center);
+        y_idx.extend(n + center..expected);
+        let sub = |idx: &[usize]| GestureWindow {
+            segment: window.segment,
+            raw: idx.iter().map(|&i| window.raw[i].clone()).collect(),
+            delta: idx.iter().map(|&i| window.delta[i].clone()).collect(),
+            thresholds: idx
+                .iter()
+                .map(|&i| window.thresholds.get(i).copied().unwrap_or(0.0))
+                .collect(),
+            sample_rate_hz: window.sample_rate_hz,
+        };
+        Some((sub(&x_idx), sub(&y_idx)))
+    }
+
+    /// Track a window over the cross board. Returns `None` when neither
+    /// axis shows a crossing.
+    #[must_use]
+    pub fn track(&self, window: &GestureWindow) -> Option<Swipe2d> {
+        let (wx, wy) = self.split_axes(window)?;
+        let zebra = Zebra::new(self.config);
+        let axis_velocity = |w: &GestureWindow| -> f64 {
+            match zebra.track(w) {
+                Some(t) if t.delta_t_s.is_some() => t.direction.alpha() * t.velocity_mm_s,
+                // Experience-velocity (single-PD) crossings keep their sign.
+                Some(t) => t.direction.alpha() * t.velocity_mm_s,
+                None => 0.0,
+            }
+        };
+        let vx = axis_velocity(&wx);
+        let vy = axis_velocity(&wy);
+        if vx == 0.0 && vy == 0.0 {
+            return None;
+        }
+        Some(Swipe2d { vx_mm_s: vx, vy_mm_s: vy, duration_s: window.duration_s() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processing::DataProcessor;
+    use airfinger_nir_sim::components::{LedSpec, PhotodiodeSpec};
+    use airfinger_nir_sim::layout::SensorLayout;
+    use airfinger_nir_sim::noise::NoiseModel;
+    use airfinger_nir_sim::sampler::{Sampler, Scene};
+    use airfinger_nir_sim::vec3::Vec3;
+
+    fn cross_scene() -> Scene {
+        let layout =
+            SensorLayout::cross(3, 5.0e-3, LedSpec::ir304c94(), PhotodiodeSpec::pt304());
+        Scene::new(layout).with_noise(NoiseModel::none())
+    }
+
+    /// Record a straight swipe across the cross board.
+    fn swipe(dir: (f64, f64), seed: u64) -> GestureWindow {
+        let sampler = Sampler::new(cross_scene(), 100.0);
+        let trace = sampler.sample(1.4, seed, move |t| {
+            // Hold 0.3 s, sweep 0.6 s, hold 0.5 s.
+            let s = ((t - 0.3) / 0.6).clamp(0.0, 1.0);
+            let span = 0.05;
+            Some(Vec3::new(
+                dir.0 * span * (s - 0.5),
+                dir.1 * span * (s - 0.5),
+                0.018,
+            ))
+        });
+        DataProcessor::new(AirFingerConfig::default()).primary_window(&trace)
+    }
+
+    fn tracker() -> Zebra2d {
+        Zebra2d::new(AirFingerConfig::default(), 3)
+    }
+
+    #[test]
+    fn x_swipe_has_x_dominant_velocity() {
+        let w = swipe((1.0, 0.0), 1);
+        let s = tracker().track(&w).expect("tracked");
+        assert!(s.vx_mm_s > 0.0, "vx {}", s.vx_mm_s);
+        assert!(s.vx_mm_s.abs() > 2.0 * s.vy_mm_s.abs(), "vx {} vy {}", s.vx_mm_s, s.vy_mm_s);
+    }
+
+    #[test]
+    fn reverse_x_swipe_flips_sign() {
+        let w = swipe((-1.0, 0.0), 2);
+        let s = tracker().track(&w).expect("tracked");
+        assert!(s.vx_mm_s < 0.0, "vx {}", s.vx_mm_s);
+    }
+
+    #[test]
+    fn y_swipe_has_y_dominant_velocity() {
+        let w = swipe((0.0, 1.0), 3);
+        let s = tracker().track(&w).expect("tracked");
+        assert!(s.vy_mm_s > 0.0, "vy {}", s.vy_mm_s);
+        assert!(s.vy_mm_s.abs() > 2.0 * s.vx_mm_s.abs(), "vx {} vy {}", s.vx_mm_s, s.vy_mm_s);
+    }
+
+    #[test]
+    fn diagonal_swipe_heads_diagonally() {
+        let d = std::f64::consts::FRAC_1_SQRT_2;
+        let w = swipe((d, d), 4);
+        let s = tracker().track(&w).expect("tracked");
+        let heading = s.heading_rad().to_degrees();
+        assert!(
+            (10.0..80.0).contains(&heading),
+            "heading {heading}° (vx {} vy {})",
+            s.vx_mm_s,
+            s.vy_mm_s
+        );
+    }
+
+    #[test]
+    fn displacement_saturates_and_scales() {
+        let w = swipe((1.0, 0.0), 5);
+        let s = tracker().track(&w).expect("tracked");
+        let (dx1, _) = s.displacement_mm(s.duration_s / 2.0);
+        let (dx2, _) = s.displacement_mm(s.duration_s * 4.0);
+        assert!(dx2 > dx1);
+        assert_eq!(s.displacement_mm(s.duration_s * 4.0), s.displacement_mm(s.duration_s));
+    }
+
+    #[test]
+    fn wrong_channel_count_is_none() {
+        // A 3-channel (linear-board) window cannot be tracked in 2-D.
+        let linear = GestureWindow {
+            segment: airfinger_dsp::segment::Segment::new(0, 10),
+            raw: vec![vec![0.0; 10]; 3],
+            delta: vec![vec![0.0; 10]; 3],
+            thresholds: vec![10.0; 3],
+            sample_rate_hz: 100.0,
+        };
+        assert!(tracker().track(&linear).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "odd count")]
+    fn even_arm_count_panics() {
+        let _ = Zebra2d::new(AirFingerConfig::default(), 4);
+    }
+}

@@ -1,0 +1,340 @@
+//! Autoregressive modelling: Yule–Walker AR fits (Durbin–Levinson),
+//! partial autocorrelation, and the augmented Dickey–Fuller statistic.
+//!
+//! These back the "AR", "Partial autocorrelation" and "Augmented dickey
+//! fuller" feature families of Table I.
+
+use crate::error::DspError;
+use crate::stats::autocovariance;
+
+/// Fit an AR(`order`) model by the Yule–Walker equations using the
+/// Durbin–Levinson recursion. Returns the coefficients `φ₁..φ_p` such that
+/// `x_t ≈ Σ φ_k · x_{t−k}` (after mean removal).
+///
+/// # Errors
+///
+/// Returns [`DspError::TooShort`] when `x.len() <= order`, and
+/// [`DspError::Numerical`] when the series has zero variance.
+pub fn ar_coefficients(x: &[f64], order: usize) -> Result<Vec<f64>, DspError> {
+    if order == 0 {
+        return Ok(Vec::new());
+    }
+    if x.len() <= order {
+        return Err(DspError::TooShort { got: x.len(), need: order + 1 });
+    }
+    let r: Vec<f64> = (0..=order).map(|k| autocovariance(x, k)).collect();
+    if r[0] <= f64::EPSILON {
+        return Err(DspError::Numerical("zero-variance series has no ar fit"));
+    }
+    let (phi, _) = durbin_levinson(&r, order)?;
+    Ok(phi)
+}
+
+/// Partial autocorrelation function up to `max_lag` (lag 0 entry is 1.0).
+///
+/// The PACF at lag `k` is the last coefficient of the AR(`k`) Yule–Walker
+/// fit — exactly how tsfresh/statsmodels compute it.
+///
+/// # Errors
+///
+/// Returns [`DspError::TooShort`] when `x.len() <= max_lag`.
+pub fn partial_autocorrelation(x: &[f64], max_lag: usize) -> Result<Vec<f64>, DspError> {
+    if x.len() <= max_lag {
+        return Err(DspError::TooShort { got: x.len(), need: max_lag + 1 });
+    }
+    let mut out = Vec::with_capacity(max_lag + 1);
+    out.push(1.0);
+    if max_lag == 0 {
+        return Ok(out);
+    }
+    let r: Vec<f64> = (0..=max_lag).map(|k| autocovariance(x, k)).collect();
+    if r[0] <= f64::EPSILON {
+        // Constant series: PACF is zero at every positive lag.
+        out.extend(std::iter::repeat_n(0.0, max_lag));
+        return Ok(out);
+    }
+    // Durbin–Levinson produces every intermediate reflection coefficient.
+    let (_, reflections) = durbin_levinson(&r, max_lag)?;
+    out.extend(reflections);
+    Ok(out)
+}
+
+/// Durbin–Levinson recursion over autocovariances `r[0..=order]`.
+/// Returns (final AR coefficients, reflection coefficients per order).
+fn durbin_levinson(r: &[f64], order: usize) -> Result<(Vec<f64>, Vec<f64>), DspError> {
+    let mut phi = vec![0.0; order];
+    let mut prev = vec![0.0; order];
+    let mut reflections = Vec::with_capacity(order);
+    let mut err = r[0];
+    for k in 1..=order {
+        let mut acc = r[k];
+        for j in 1..k {
+            acc -= prev[j - 1] * r[k - j];
+        }
+        if err <= f64::EPSILON {
+            // Perfectly predictable: remaining reflections are zero.
+            reflections.extend(std::iter::repeat_n(0.0, order - k + 1));
+            phi[..k - 1].copy_from_slice(&prev[..k - 1]);
+            return Ok((phi, reflections));
+        }
+        let kappa = acc / err;
+        reflections.push(kappa);
+        phi[k - 1] = kappa;
+        for j in 1..k {
+            phi[j - 1] = prev[j - 1] - kappa * prev[k - 1 - j];
+        }
+        prev[..k].copy_from_slice(&phi[..k]);
+        err *= 1.0 - kappa * kappa;
+    }
+    Ok((phi, reflections))
+}
+
+/// Augmented Dickey–Fuller t-statistic with `lags` lagged differences and a
+/// constant term. Strongly negative values indicate stationarity.
+///
+/// Model: `Δx_t = α + γ·x_{t−1} + Σ β_i·Δx_{t−i} + ε_t`; the statistic is
+/// `γ̂ / se(γ̂)`.
+///
+/// # Errors
+///
+/// Returns [`DspError::TooShort`] when too few observations remain after
+/// lagging, and [`DspError::Numerical`] for singular regressions (e.g. a
+/// constant series).
+#[allow(clippy::needless_range_loop)] // parallel-indexing several matrices
+pub fn adf_stat(x: &[f64], lags: usize) -> Result<f64, DspError> {
+    let n = x.len();
+    let need = lags + 4;
+    if n < need {
+        return Err(DspError::TooShort { got: n, need });
+    }
+    let dx: Vec<f64> = x.windows(2).map(|w| w[1] - w[0]).collect();
+    // Rows: t = lags..dx.len(); regressors: [1, x[t], dx[t-1..t-lags]].
+    let p = 2 + lags;
+    let rows = dx.len() - lags;
+    if rows <= p {
+        return Err(DspError::TooShort { got: n, need: p + lags + 2 });
+    }
+    let mut xtx = vec![vec![0.0; p]; p];
+    let mut xty = vec![0.0; p];
+    let mut yty = 0.0;
+    let mut design_row = vec![0.0; p];
+    for t in lags..dx.len() {
+        design_row[0] = 1.0;
+        design_row[1] = x[t];
+        for i in 0..lags {
+            design_row[2 + i] = dx[t - 1 - i];
+        }
+        let y = dx[t];
+        yty += y * y;
+        for a in 0..p {
+            xty[a] += design_row[a] * y;
+            for b in a..p {
+                xtx[a][b] += design_row[a] * design_row[b];
+            }
+        }
+    }
+    for a in 0..p {
+        for b in 0..a {
+            xtx[a][b] = xtx[b][a];
+        }
+    }
+    let beta = solve_spd(&mut xtx.clone(), &xty)
+        .ok_or(DspError::Numerical("singular adf regression"))?;
+    // Residual variance.
+    let explained: f64 = beta.iter().zip(&xty).map(|(b, v)| b * v).sum();
+    let dof = rows - p;
+    let sigma2 = ((yty - explained) / dof as f64).max(0.0);
+    // se(γ̂) = sqrt(σ² · [(XᵀX)⁻¹]_{11}); get that entry by solving against e₁.
+    let mut e1 = vec![0.0; p];
+    e1[1] = 1.0;
+    let inv_col = solve_spd(&mut xtx.clone(), &e1)
+        .ok_or(DspError::Numerical("singular adf regression"))?;
+    let var_gamma = sigma2 * inv_col[1];
+    if var_gamma <= 0.0 {
+        return Err(DspError::Numerical("non-positive variance for adf statistic"));
+    }
+    Ok(beta[1] / var_gamma.sqrt())
+}
+
+/// Solve `A·x = b` for symmetric positive-definite-ish `A` by Gaussian
+/// elimination with partial pivoting. Returns `None` when singular.
+#[allow(clippy::needless_range_loop)] // classic pivoting index dance
+fn solve_spd(a: &mut [Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    let mut x = b.to_vec();
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        for r in col + 1..n {
+            if a[r][col].abs() > a[piv][col].abs() {
+                piv = r;
+            }
+        }
+        if a[piv][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, piv);
+        x.swap(col, piv);
+        // Eliminate.
+        for r in col + 1..n {
+            let f = a[r][col] / a[col][col];
+            for c in col..n {
+                a[r][c] -= f * a[col][c];
+            }
+            x[r] -= f * x[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        for c in col + 1..n {
+            x[col] -= a[col][c] * x[c];
+        }
+        x[col] /= a[col][col];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-noise in [-0.5, 0.5] (splitmix64 finalizer).
+    fn noise(i: usize) -> f64 {
+        let mut z = (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        ((z >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    }
+
+    #[test]
+    fn ar1_recovers_coefficient() {
+        // x_t = 0.7 x_{t-1} + ε
+        let mut x = vec![0.0f64; 3000];
+        for i in 1..x.len() {
+            x[i] = 0.7 * x[i - 1] + noise(i);
+        }
+        let phi = ar_coefficients(&x, 1).unwrap();
+        assert!((phi[0] - 0.7).abs() < 0.08, "phi = {}", phi[0]);
+    }
+
+    #[test]
+    fn ar2_recovers_both_coefficients() {
+        let (a1, a2) = (0.5, -0.3);
+        let mut x = vec![0.0f64; 5000];
+        for i in 2..x.len() {
+            x[i] = a1 * x[i - 1] + a2 * x[i - 2] + noise(i);
+        }
+        let phi = ar_coefficients(&x, 2).unwrap();
+        assert!((phi[0] - a1).abs() < 0.1, "phi1 = {}", phi[0]);
+        assert!((phi[1] - a2).abs() < 0.1, "phi2 = {}", phi[1]);
+    }
+
+    #[test]
+    fn ar_order_zero_is_empty() {
+        assert!(ar_coefficients(&[1.0, 2.0, 3.0], 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ar_too_short_errors() {
+        assert!(matches!(
+            ar_coefficients(&[1.0, 2.0], 5),
+            Err(DspError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn ar_constant_errors() {
+        assert!(matches!(ar_coefficients(&[4.0; 50], 2), Err(DspError::Numerical(_))));
+    }
+
+    #[test]
+    fn pacf_lag0_is_one() {
+        let x: Vec<f64> = (0..100).map(noise).collect();
+        let p = partial_autocorrelation(&x, 5).unwrap();
+        assert_eq!(p[0], 1.0);
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn pacf_of_ar1_cuts_off_after_lag1() {
+        let mut x = vec![0.0f64; 5000];
+        for i in 1..x.len() {
+            x[i] = 0.8 * x[i - 1] + noise(i);
+        }
+        let p = partial_autocorrelation(&x, 4).unwrap();
+        assert!(p[1] > 0.6, "pacf(1) = {}", p[1]);
+        for (k, v) in p.iter().enumerate().skip(2) {
+            assert!(v.abs() < 0.12, "pacf({k}) = {v}");
+        }
+    }
+
+    #[test]
+    fn pacf_of_white_noise_is_small() {
+        let x: Vec<f64> = (0..4000).map(noise).collect();
+        let p = partial_autocorrelation(&x, 5).unwrap();
+        for (k, v) in p.iter().enumerate().skip(1) {
+            assert!(v.abs() < 0.1, "pacf({k}) = {v}");
+        }
+    }
+
+    #[test]
+    fn pacf_constant_series_is_zero() {
+        let p = partial_autocorrelation(&[2.0; 40], 3).unwrap();
+        assert_eq!(&p[1..], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn adf_stationary_is_strongly_negative() {
+        // White noise is maximally stationary: ADF should be very negative.
+        let x: Vec<f64> = (0..500).map(noise).collect();
+        let t = adf_stat(&x, 1).unwrap();
+        assert!(t < -5.0, "adf = {t}");
+    }
+
+    #[test]
+    fn adf_random_walk_is_near_zero() {
+        let mut x = vec![0.0f64; 500];
+        for i in 1..x.len() {
+            x[i] = x[i - 1] + noise(i);
+        }
+        let t = adf_stat(&x, 1).unwrap();
+        assert!(t > -3.0, "adf = {t}"); // fails to reject unit root strongly
+    }
+
+    #[test]
+    fn adf_stationary_more_negative_than_walk() {
+        let stat: Vec<f64> = (0..400).map(noise).collect();
+        let mut walk = vec![0.0f64; 400];
+        for i in 1..walk.len() {
+            walk[i] = walk[i - 1] + noise(i + 7);
+        }
+        let t_s = adf_stat(&stat, 2).unwrap();
+        let t_w = adf_stat(&walk, 2).unwrap();
+        assert!(t_s < t_w, "stationary {t_s} vs walk {t_w}");
+    }
+
+    #[test]
+    fn adf_too_short_errors() {
+        assert!(matches!(adf_stat(&[1.0, 2.0, 3.0], 2), Err(DspError::TooShort { .. })));
+    }
+
+    #[test]
+    fn adf_constant_errors() {
+        assert!(adf_stat(&[5.0; 100], 1).is_err());
+    }
+
+    #[test]
+    fn solver_solves_small_system() {
+        let mut a = vec![vec![4.0, 1.0], vec![1.0, 3.0]];
+        let x = solve_spd(&mut a, &[1.0, 2.0]).unwrap();
+        assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-9);
+        assert!((x[0] + 3.0 * x[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solver_detects_singular() {
+        let mut a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_spd(&mut a, &[1.0, 2.0]).is_none());
+    }
+}

@@ -1,0 +1,168 @@
+//! Signal ascending point detection (paper §IV-D1, §IV-E).
+//!
+//! ZEBRA determines scroll direction from the *order* in which each
+//! photodiode's signal starts ascending, and the gesture-family
+//! distinguisher compares the spread of ascending points across photodiodes
+//! to the `I_g` threshold. The paper finds ascending points "using the SBC
+//! algorithm": the first sample within a gesture window where the SBC energy
+//! of a channel exceeds the segmentation threshold.
+
+use crate::sbc::Sbc;
+
+/// Detector for per-channel signal ascending points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AscentDetector {
+    sbc: Sbc,
+    /// Require this many consecutive above-threshold samples before
+    /// declaring an ascent (debounce against single-sample noise spikes).
+    confirm: usize,
+}
+
+impl AscentDetector {
+    /// Create a detector with the given SBC operator and confirmation run
+    /// length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confirm` is zero.
+    #[must_use]
+    pub fn new(sbc: Sbc, confirm: usize) -> Self {
+        assert!(confirm > 0, "confirmation run must be positive");
+        AscentDetector { sbc, confirm }
+    }
+
+    /// First ascending point of a raw RSS channel against `threshold`
+    /// (applied to the SBC-transformed trace), or `None` if the channel
+    /// never ascends.
+    #[must_use]
+    pub fn first_ascent(&self, rss: &[f64], threshold: f64) -> Option<usize> {
+        let delta = self.sbc.apply(rss);
+        self.first_ascent_delta(&delta, threshold)
+    }
+
+    /// Like [`AscentDetector::first_ascent`] but over an already
+    /// SBC-transformed trace.
+    #[must_use]
+    pub fn first_ascent_delta(&self, delta: &[f64], threshold: f64) -> Option<usize> {
+        let mut run = 0usize;
+        for (i, &v) in delta.iter().enumerate() {
+            if v > threshold {
+                run += 1;
+                if run >= self.confirm {
+                    return Some(i + 1 - run);
+                }
+            } else {
+                run = 0;
+            }
+        }
+        None
+    }
+
+    /// Ascending points for every channel of a gesture window; one entry per
+    /// channel, `None` where a channel never ascends.
+    #[must_use]
+    pub fn ascents(&self, channels: &[Vec<f64>], thresholds: &[f64]) -> Vec<Option<usize>> {
+        channels
+            .iter()
+            .enumerate()
+            .map(|(k, c)| {
+                let t = thresholds.get(k).copied().unwrap_or(0.0);
+                self.first_ascent(c, t)
+            })
+            .collect()
+    }
+
+    /// Spread (max − min, in samples) of the ascending points that exist.
+    /// Returns `None` when fewer than two channels ascend — the
+    /// distinguisher then falls back to the single-channel rules of Alg. 1.
+    #[must_use]
+    pub fn ascent_spread(ascents: &[Option<usize>]) -> Option<usize> {
+        let present: Vec<usize> = ascents.iter().flatten().copied().collect();
+        if present.len() < 2 {
+            return None;
+        }
+        let lo = *present.iter().min().expect("non-empty");
+        let hi = *present.iter().max().expect("non-empty");
+        Some(hi - lo)
+    }
+}
+
+impl Default for AscentDetector {
+    /// Paper-consistent defaults: 1-sample SBC window, 2-sample
+    /// confirmation.
+    fn default() -> Self {
+        AscentDetector::new(Sbc::default(), 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_trace(step_at: usize, len: usize, amp: f64) -> Vec<f64> {
+        (0..len)
+            .map(|i| if i >= step_at { amp * ((i - step_at) as f64 * 0.9).sin().abs() + amp } else { 1.0 })
+            .collect()
+    }
+
+    #[test]
+    fn detects_step_onset() {
+        let rss = step_trace(20, 60, 50.0);
+        let det = AscentDetector::default();
+        let a = det.first_ascent(&rss, 10.0).unwrap();
+        assert!((19..=22).contains(&a), "ascent at {a}");
+    }
+
+    #[test]
+    fn quiet_channel_has_no_ascent() {
+        let rss = vec![5.0; 40];
+        assert_eq!(AscentDetector::default().first_ascent(&rss, 1.0), None);
+    }
+
+    #[test]
+    fn confirmation_rejects_single_spike() {
+        let mut delta = vec![0.0; 30];
+        delta[10] = 100.0; // lone spike
+        let det = AscentDetector::new(Sbc::default(), 2);
+        assert_eq!(det.first_ascent_delta(&delta, 1.0), None);
+    }
+
+    #[test]
+    fn confirmation_accepts_sustained_rise() {
+        let mut delta = vec![0.0; 30];
+        for v in delta.iter_mut().take(15).skip(10) {
+            *v = 100.0;
+        }
+        let det = AscentDetector::new(Sbc::default(), 3);
+        assert_eq!(det.first_ascent_delta(&delta, 1.0), Some(10));
+    }
+
+    #[test]
+    fn ordering_of_two_channels() {
+        let early = step_trace(10, 80, 40.0);
+        let late = step_trace(40, 80, 40.0);
+        let det = AscentDetector::default();
+        let ascents = det.ascents(&[early, late], &[10.0, 10.0]);
+        let a0 = ascents[0].unwrap();
+        let a1 = ascents[1].unwrap();
+        assert!(a0 < a1, "P1 {a0} should ascend before P3 {a1}");
+    }
+
+    #[test]
+    fn spread_requires_two_channels() {
+        assert_eq!(AscentDetector::ascent_spread(&[Some(5), None, None]), None);
+        assert_eq!(AscentDetector::ascent_spread(&[Some(5), None, Some(25)]), Some(20));
+        assert_eq!(AscentDetector::ascent_spread(&[None, None]), None);
+    }
+
+    #[test]
+    fn spread_zero_for_simultaneous() {
+        assert_eq!(AscentDetector::ascent_spread(&[Some(7), Some(7), Some(7)]), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "confirmation run")]
+    fn zero_confirm_panics() {
+        let _ = AscentDetector::new(Sbc::default(), 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error types for the DSP crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by DSP operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DspError {
+    /// The input series is empty where a non-empty series is required.
+    EmptyInput,
+    /// The input series is shorter than the minimum length the operation
+    /// needs (e.g. an AR fit of order `p` needs more than `p` samples).
+    TooShort {
+        /// Number of samples the caller provided.
+        got: usize,
+        /// Minimum number of samples the operation requires.
+        need: usize,
+    },
+    /// A parameter is outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: &'static str,
+    },
+    /// The FFT input length is not a power of two.
+    NotPowerOfTwo {
+        /// Length of the offending input.
+        len: usize,
+    },
+    /// A numeric computation failed to converge or produced a non-finite
+    /// value.
+    Numerical(&'static str),
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::EmptyInput => write!(f, "input series is empty"),
+            DspError::TooShort { got, need } => {
+                write!(f, "input series too short: got {got} samples, need at least {need}")
+            }
+            DspError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DspError::NotPowerOfTwo { len } => {
+                write!(f, "fft input length {len} is not a power of two")
+            }
+            DspError::Numerical(what) => write!(f, "numerical failure: {what}"),
+        }
+    }
+}
+
+impl Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = DspError::TooShort { got: 3, need: 8 };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('8'));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DspError>();
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", DspError::EmptyInput).is_empty());
+    }
+}

@@ -1,0 +1,289 @@
+//! Radix-2 decimation-in-time FFT.
+//!
+//! Backs the "Fast Fourier Transform" feature family of Table I. Only what
+//! the feature bank needs is implemented: a forward/inverse complex FFT, a
+//! real-input convenience wrapper that zero-pads to the next power of two,
+//! and magnitude/power helpers.
+
+use crate::error::DspError;
+
+/// A complex number in rectangular form.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from real and imaginary parts.
+    #[must_use]
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    #[must_use]
+    pub fn from_angle(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Magnitude `|z|`.
+    #[must_use]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[must_use]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, other: Complex) -> Complex {
+        Complex { re: self.re + other.re, im: self.im + other.im }
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, other: Complex) -> Complex {
+        Complex { re: self.re - other.re, im: self.im - other.im }
+    }
+}
+
+/// In-place forward FFT. Length must be a power of two.
+///
+/// # Errors
+///
+/// Returns [`DspError::NotPowerOfTwo`] otherwise.
+pub fn fft_in_place(buf: &mut [Complex]) -> Result<(), DspError> {
+    transform(buf, false)
+}
+
+/// In-place inverse FFT (includes the `1/N` normalization).
+///
+/// # Errors
+///
+/// Returns [`DspError::NotPowerOfTwo`] if the length is not a power of two.
+pub fn ifft_in_place(buf: &mut [Complex]) -> Result<(), DspError> {
+    transform(buf, true)?;
+    let n = buf.len() as f64;
+    for v in buf.iter_mut() {
+        v.re /= n;
+        v.im /= n;
+    }
+    Ok(())
+}
+
+fn transform(buf: &mut [Complex], inverse: bool) -> Result<(), DspError> {
+    let n = buf.len();
+    if n <= 1 {
+        // Length 0 and 1 transforms are the identity (and the bit-reversal
+        // shift below would be 64 bits wide for n = 1).
+        return Ok(());
+    }
+    if !n.is_power_of_two() {
+        return Err(DspError::NotPowerOfTwo { len: n });
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_angle(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[i + k];
+                let v = buf[i + k + len / 2] * w;
+                buf[i + k] = u + v;
+                buf[i + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// FFT of a real series, zero-padded to the next power of two. Returns the
+/// full complex spectrum (length = padded size).
+#[must_use]
+pub fn rfft(x: &[f64]) -> Vec<Complex> {
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let n = x.len().next_power_of_two();
+    let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+    buf.resize(n, Complex::default());
+    fft_in_place(&mut buf).expect("padded length is a power of two");
+    buf
+}
+
+/// One-sided magnitude spectrum of a real series (bins `0..=n/2`).
+#[must_use]
+pub fn magnitude_spectrum(x: &[f64]) -> Vec<f64> {
+    let spec = rfft(x);
+    let half = spec.len() / 2 + 1;
+    spec.into_iter().take(half).map(Complex::abs).collect()
+}
+
+/// Index of the dominant non-DC bin of the one-sided spectrum, with its
+/// frequency in Hz given `sample_rate`. Returns `None` for series shorter
+/// than 2 samples.
+#[must_use]
+pub fn dominant_frequency(x: &[f64], sample_rate: f64) -> Option<(usize, f64)> {
+    if x.len() < 2 {
+        return None;
+    }
+    let mags = magnitude_spectrum(x);
+    let padded = (mags.len() - 1) * 2;
+    let (best, _) = mags
+        .iter()
+        .enumerate()
+        .skip(1)
+        .fold((1usize, f64::NEG_INFINITY), |(bi, bm), (i, &m)| {
+            if m > bm {
+                (i, m)
+            } else {
+                (bi, bm)
+            }
+        });
+    Some((best, best as f64 * sample_rate / padded as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![Complex::default(); 8];
+        buf[0] = Complex::new(1.0, 0.0);
+        fft_in_place(&mut buf).unwrap();
+        for v in &buf {
+            assert_close(v.re, 1.0, 1e-12);
+            assert_close(v.im, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_dc_concentrates_at_zero() {
+        let mut buf = vec![Complex::new(2.0, 0.0); 16];
+        fft_in_place(&mut buf).unwrap();
+        assert_close(buf[0].re, 32.0, 1e-9);
+        for v in &buf[1..] {
+            assert_close(v.abs(), 0.0, 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_pure_tone_hits_its_bin() {
+        let n = 64;
+        let k = 5;
+        let x: Vec<f64> =
+            (0..n).map(|i| (2.0 * std::f64::consts::PI * k as f64 * i as f64 / n as f64).cos()).collect();
+        let mags = magnitude_spectrum(&x);
+        let (max_bin, _) = mags
+            .iter()
+            .enumerate()
+            .fold((0usize, f64::NEG_INFINITY), |(bi, bm), (i, &m)| if m > bm { (i, m) } else { (bi, bm) });
+        assert_eq!(max_bin, k);
+    }
+
+    #[test]
+    fn fft_roundtrip() {
+        let x: Vec<f64> = (0..32).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        fft_in_place(&mut buf).unwrap();
+        ifft_in_place(&mut buf).unwrap();
+        for (orig, got) in x.iter().zip(&buf) {
+            assert_close(got.re, *orig, 1e-9);
+            assert_close(got.im, 0.0, 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_rejects_non_power_of_two() {
+        let mut buf = vec![Complex::default(); 12];
+        assert_eq!(fft_in_place(&mut buf), Err(DspError::NotPowerOfTwo { len: 12 }));
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 * 1.3).sin()).collect();
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let spec = rfft(&x);
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sq()).sum::<f64>() / spec.len() as f64;
+        assert_close(time_energy, freq_energy, 1e-9);
+    }
+
+    #[test]
+    fn rfft_pads_to_power_of_two() {
+        let spec = rfft(&[1.0; 10]);
+        assert_eq!(spec.len(), 16);
+    }
+
+    #[test]
+    fn dominant_frequency_of_tone() {
+        let sr = 100.0;
+        let f = 12.5; // exactly bin 16 of a 128-point FFT
+        let x: Vec<f64> =
+            (0..128).map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / sr).sin()).collect();
+        let (_, hz) = dominant_frequency(&x, sr).unwrap();
+        assert_close(hz, f, 0.5);
+    }
+
+    #[test]
+    fn dominant_frequency_short_input() {
+        assert_eq!(dominant_frequency(&[1.0], 100.0), None);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(rfft(&[]).is_empty());
+        assert!(magnitude_spectrum(&[]).is_empty());
+        let mut empty: Vec<Complex> = Vec::new();
+        assert!(fft_in_place(&mut empty).is_ok());
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        // Regression: the bit-reversal shift used to be 64 bits wide here.
+        let mut one = vec![Complex::new(3.5, -1.25)];
+        fft_in_place(&mut one).unwrap();
+        assert_eq!(one[0], Complex::new(3.5, -1.25));
+        ifft_in_place(&mut one).unwrap();
+        assert_eq!(one[0], Complex::new(3.5, -1.25));
+    }
+}

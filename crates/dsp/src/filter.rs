@@ -1,0 +1,292 @@
+//! Smoothing and detrending filters.
+//!
+//! The prototype's amplifier chain low-pass filters the photodiode output;
+//! these helpers play that role in the simulator and also back a few
+//! Table-I features (e.g. trend removal before entropy estimation).
+
+/// Centered moving average with window `w` (clamped at the edges).
+///
+/// # Panics
+///
+/// Panics if `w` is zero.
+#[must_use]
+pub fn moving_average(x: &[f64], w: usize) -> Vec<f64> {
+    assert!(w > 0, "window must be positive");
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let half = w / 2;
+    let mut out = Vec::with_capacity(x.len());
+    // Prefix sums for O(n).
+    let mut prefix = Vec::with_capacity(x.len() + 1);
+    prefix.push(0.0);
+    for &v in x {
+        prefix.push(prefix.last().expect("non-empty") + v);
+    }
+    for i in 0..x.len() {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(x.len());
+        out.push((prefix[hi] - prefix[lo]) / (hi - lo) as f64);
+    }
+    out
+}
+
+/// Sliding median with window `w` (clamped at the edges). `O(n · w log w)`.
+///
+/// # Panics
+///
+/// Panics if `w` is zero.
+#[must_use]
+pub fn median_filter(x: &[f64], w: usize) -> Vec<f64> {
+    assert!(w > 0, "window must be positive");
+    let half = w / 2;
+    (0..x.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(x.len());
+            let mut win: Vec<f64> = x[lo..hi].to_vec();
+            win.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            win[win.len() / 2]
+        })
+        .collect()
+}
+
+/// First-order exponential smoothing with factor `alpha` in `(0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `alpha` is outside `(0, 1]`.
+#[must_use]
+pub fn exponential_smooth(x: &[f64], alpha: f64) -> Vec<f64> {
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+    let mut out = Vec::with_capacity(x.len());
+    let mut state = match x.first() {
+        Some(&v) => v,
+        None => return out,
+    };
+    for &v in x {
+        state = alpha * v + (1.0 - alpha) * state;
+        out.push(state);
+    }
+    out
+}
+
+/// Remove the least-squares linear trend from `x`.
+#[must_use]
+pub fn detrend(x: &[f64]) -> Vec<f64> {
+    match crate::stats::linear_fit(x) {
+        Ok(fit) => x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v - (fit.slope * i as f64 + fit.intercept))
+            .collect(),
+        Err(_) => x.to_vec(),
+    }
+}
+
+/// Resample `x` to exactly `n` points by linear interpolation (endpoint
+/// preserving). Used to put gesture windows of different durations on a
+/// common time base for template comparison.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn resample_linear(x: &[f64], n: usize) -> Vec<f64> {
+    assert!(n > 0, "target length must be positive");
+    if x.is_empty() {
+        return vec![0.0; n];
+    }
+    if x.len() == 1 {
+        return vec![x[0]; n];
+    }
+    (0..n)
+        .map(|i| {
+            let pos = i as f64 * (x.len() - 1) as f64 / (n - 1).max(1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = (lo + 1).min(x.len() - 1);
+            x[lo] + (x[hi] - x[lo]) * (pos - lo as f64)
+        })
+        .collect()
+}
+
+/// Streaming single-pole low-pass filter (RC filter), the discrete model of
+/// the prototype's amplifier bandwidth limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LowPass {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+impl LowPass {
+    /// Build from a cutoff frequency and sample rate (both Hz).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is non-positive.
+    #[must_use]
+    pub fn from_cutoff(cutoff_hz: f64, sample_rate_hz: f64) -> Self {
+        assert!(cutoff_hz > 0.0 && sample_rate_hz > 0.0, "rates must be positive");
+        let rc = 1.0 / (2.0 * std::f64::consts::PI * cutoff_hz);
+        let dt = 1.0 / sample_rate_hz;
+        LowPass { alpha: dt / (rc + dt), state: None }
+    }
+
+    /// Filter one sample.
+    pub fn push(&mut self, v: f64) -> f64 {
+        let s = match self.state {
+            Some(prev) => prev + self.alpha * (v - prev),
+            None => v,
+        };
+        self.state = Some(s);
+        s
+    }
+
+    /// Clear filter memory.
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_constant_unchanged() {
+        let x = vec![3.0; 10];
+        assert_eq!(moving_average(&x, 5), x);
+    }
+
+    #[test]
+    fn moving_average_smooths_spike() {
+        let mut x = vec![0.0; 11];
+        x[5] = 10.0;
+        let y = moving_average(&x, 5);
+        assert!(y[5] < 10.0 && y[5] > 0.0);
+        // Mass is conserved within the interior.
+        assert!((y.iter().sum::<f64>() - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn moving_average_window_one_identity() {
+        let x = [1.0, 5.0, 2.0];
+        assert_eq!(moving_average(&x, 1), x.to_vec());
+    }
+
+    #[test]
+    fn median_filter_kills_impulse() {
+        let mut x = vec![1.0; 9];
+        x[4] = 100.0;
+        let y = median_filter(&x, 3);
+        assert_eq!(y[4], 1.0);
+    }
+
+    #[test]
+    fn median_filter_preserves_step() {
+        let x: Vec<f64> = (0..10).map(|i| if i < 5 { 0.0 } else { 10.0 }).collect();
+        let y = median_filter(&x, 3);
+        assert_eq!(y[2], 0.0);
+        assert_eq!(y[7], 10.0);
+    }
+
+    #[test]
+    fn exponential_smooth_converges_to_constant() {
+        let x = vec![10.0; 50];
+        let y = exponential_smooth(&x, 0.3);
+        assert!((y[49] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_alpha_one_is_identity() {
+        let x = [1.0, 4.0, 2.0];
+        assert_eq!(exponential_smooth(&x, 1.0), x.to_vec());
+    }
+
+    #[test]
+    fn detrend_removes_line() {
+        let x: Vec<f64> = (0..20).map(|i| 2.0 * i as f64 + 5.0).collect();
+        let y = detrend(&x);
+        assert!(y.iter().all(|&v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn detrend_keeps_oscillation() {
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.7).sin() + 0.1 * i as f64).collect();
+        let y = detrend(&x);
+        let amp = y.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(amp > 0.5);
+    }
+
+    #[test]
+    fn lowpass_attenuates_high_freq() {
+        let mut lp = LowPass::from_cutoff(5.0, 100.0);
+        // 40 Hz sine at 100 Hz sampling: should be strongly attenuated.
+        let hi: Vec<f64> =
+            (0..200).map(|i| (2.0 * std::f64::consts::PI * 40.0 * i as f64 / 100.0).sin()).collect();
+        let out: Vec<f64> = hi.iter().map(|&v| lp.push(v)).collect();
+        let in_amp = hi.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let out_amp = out[100..].iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(out_amp < 0.4 * in_amp, "out {out_amp} vs in {in_amp}");
+    }
+
+    #[test]
+    fn lowpass_passes_dc() {
+        let mut lp = LowPass::from_cutoff(5.0, 100.0);
+        let mut last = 0.0;
+        for _ in 0..500 {
+            last = lp.push(7.0);
+        }
+        assert!((last - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(moving_average(&[], 3).is_empty());
+        assert!(median_filter(&[], 3).is_empty());
+        assert!(exponential_smooth(&[], 0.5).is_empty());
+        assert!(detrend(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn moving_average_zero_window_panics() {
+        let _ = moving_average(&[1.0], 0);
+    }
+
+    #[test]
+    fn resample_preserves_endpoints() {
+        let x = [1.0, 5.0, 2.0, 8.0];
+        let y = resample_linear(&x, 9);
+        assert_eq!(y.len(), 9);
+        assert_eq!(y[0], 1.0);
+        assert_eq!(y[8], 8.0);
+    }
+
+    #[test]
+    fn resample_identity_at_same_length() {
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(resample_linear(&x, 3), x.to_vec());
+    }
+
+    #[test]
+    fn resample_handles_degenerate_inputs() {
+        assert_eq!(resample_linear(&[], 4), vec![0.0; 4]);
+        assert_eq!(resample_linear(&[7.0], 3), vec![7.0; 3]);
+    }
+
+    #[test]
+    fn resample_downsamples_linearly() {
+        let x: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let y = resample_linear(&x, 11);
+        for (k, v) in y.iter().enumerate() {
+            assert!((v - 10.0 * k as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target length")]
+    fn resample_zero_target_panics() {
+        let _ = resample_linear(&[1.0], 0);
+    }
+}

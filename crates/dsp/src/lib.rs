@@ -1,0 +1,64 @@
+//! Signal-processing primitives for the airFinger NIR gesture pipeline.
+//!
+//! This crate implements, from scratch, every signal-processing building
+//! block the airFinger paper relies on:
+//!
+//! * [`sbc`] — the **Square Based Calculation** (SBC) algorithm of §IV-B1:
+//!   a sliding-window difference of received-signal-strength (RSS) readings,
+//!   squared (`ΔRSS²`), which removes static reflections and relatively
+//!   amplifies gesture energy. Available both as a batch transform and as a
+//!   constant-memory streaming operator.
+//! * [`threshold`] — the **Dynamic Threshold** (DT) of §IV-B2: Otsu's
+//!   inter-class-variance maximization over accumulated `ΔRSS²` values,
+//!   yielding a segmentation threshold that adapts to finger distance and
+//!   ambient conditions.
+//! * [`segment`] — gesture segmentation: start/end detection against a
+//!   threshold plus the `t_e` merge rule that clusters segments separated by
+//!   a short gap into a single gesture.
+//! * [`ascent`] — per-photodiode *signal ascending point* detection, the
+//!   primitive consumed by the ZEBRA tracker and the gesture-family
+//!   distinguisher.
+//! * [`fft`] / [`wavelet`] — radix-2 FFT and a Ricker-wavelet continuous
+//!   wavelet transform, backing the frequency-domain features of Table I.
+//! * [`stats`] / [`ar`] — time-series statistics (moments, quantiles,
+//!   autocorrelation, linear trend) and autoregressive modelling
+//!   (Durbin–Levinson, partial autocorrelation, augmented Dickey–Fuller).
+//! * [`filter`] — moving-average / median / exponential smoothing filters
+//!   and detrending helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use airfinger_dsp::sbc::Sbc;
+//! use airfinger_dsp::threshold::otsu_threshold;
+//! use airfinger_dsp::segment::{Segmenter, SegmenterConfig};
+//!
+//! // A trace with a quiet stretch, a burst, and another quiet stretch.
+//! let mut rss = vec![100.0; 50];
+//! rss.extend((0..30).map(|i| 100.0 + 40.0 * f64::sin(i as f64)));
+//! rss.extend(vec![100.0; 50]);
+//!
+//! let delta = Sbc::new(1).apply(&rss);
+//! let thr = otsu_threshold(&delta);
+//! let segments = Segmenter::new(SegmenterConfig::default()).segment(&delta, thr);
+//! assert_eq!(segments.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ar;
+pub mod ascent;
+pub mod error;
+pub mod fft;
+pub mod filter;
+pub mod sbc;
+pub mod segment;
+pub mod stats;
+pub mod threshold;
+pub mod wavelet;
+
+pub use error::DspError;
+pub use sbc::Sbc;
+pub use segment::{Segment, Segmenter, SegmenterConfig};
+pub use threshold::{otsu_threshold, DynamicThreshold};

@@ -1,0 +1,276 @@
+//! The Square Based Calculation (SBC) algorithm (paper §IV-B1).
+//!
+//! The paper models raw photodiode readings as
+//! `RSS = S_ges + N_static + N_dyn`: the gesture signal, a static reflection
+//! offset (the rest of the hand, fixed surroundings) and a low-magnitude
+//! dynamic component (ambient drift, moving objects outside the shield).
+//!
+//! SBC slides a window of size `w` over the readings, subtracts each window
+//! from the previous one, and squares the magnitude. Differencing removes
+//! `N_static` exactly; squaring relatively suppresses the small `N_dyn`
+//! while amplifying the larger gesture-induced swings. The transform is a
+//! single pass — `O(n)` time, as the paper highlights.
+
+use crate::error::DspError;
+
+/// Batch and streaming implementation of the Square Based Calculation.
+///
+/// `w` is the window size in samples. The paper uses `w = 10 ms`, i.e. one
+/// sample at the prototype's 100 Hz sampling rate.
+///
+/// # Example
+///
+/// ```
+/// use airfinger_dsp::sbc::Sbc;
+///
+/// // A constant offset (static noise) vanishes entirely.
+/// let out = Sbc::new(1).apply(&[5.0, 5.0, 5.0, 5.0]);
+/// assert!(out.iter().all(|&v| v == 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sbc {
+    window: usize,
+}
+
+impl Sbc {
+    /// Create an SBC operator with window size `window` (in samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "sbc window must be positive");
+        Sbc { window }
+    }
+
+    /// The configured window size in samples.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Apply SBC to a whole trace, producing one `ΔRSS²` value per input
+    /// sample. The first `window` outputs are zero (no previous window yet),
+    /// so the output length equals the input length.
+    #[must_use]
+    pub fn apply(&self, rss: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; rss.len()];
+        for i in self.window..rss.len() {
+            let d = rss[i] - rss[i - self.window];
+            out[i] = d * d;
+        }
+        out
+    }
+
+    /// Apply SBC to several channels at once, preserving channel order.
+    #[must_use]
+    pub fn apply_multi(&self, channels: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        channels.iter().map(|c| self.apply(c)).collect()
+    }
+
+    /// Create a constant-memory streaming state for sample-by-sample
+    /// processing (used by the real-time engine).
+    #[must_use]
+    pub fn stream(&self) -> SbcStream {
+        SbcStream { window: self.window, ring: Vec::with_capacity(self.window), head: 0 }
+    }
+}
+
+impl Default for Sbc {
+    /// The paper's setting: `w = 10 ms` = 1 sample at 100 Hz.
+    fn default() -> Self {
+        Sbc::new(1)
+    }
+}
+
+/// Streaming SBC state: holds the last `window` samples in a ring buffer.
+///
+/// Produced by [`Sbc::stream`]; feeding a full trace through
+/// [`SbcStream::push`] yields exactly the same values as [`Sbc::apply`].
+#[derive(Debug, Clone)]
+pub struct SbcStream {
+    window: usize,
+    ring: Vec<f64>,
+    head: usize,
+}
+
+impl SbcStream {
+    /// Push one raw RSS sample; returns the `ΔRSS²` value for this sample
+    /// (zero until the ring buffer has filled).
+    pub fn push(&mut self, rss: f64) -> f64 {
+        if self.ring.len() < self.window {
+            self.ring.push(rss);
+            return 0.0;
+        }
+        let prev = self.ring[self.head];
+        self.ring[self.head] = rss;
+        self.head = (self.head + 1) % self.window;
+        let d = rss - prev;
+        d * d
+    }
+
+    /// Discard all buffered state.
+    pub fn reset(&mut self) {
+        self.ring.clear();
+        self.head = 0;
+    }
+}
+
+/// Gesture/rest contrast diagnostic used by the Fig. 5 experiment.
+///
+/// The paper observes that "RSS values are relatively stable when no gesture
+/// is performed and there exist significant changes when a gesture is
+/// performed" and that "after the process of SBC, this observation will be
+/// more obvious". This helper quantifies that: the ratio of mean in-gesture
+/// magnitude to mean out-of-gesture magnitude, computed on the raw RSS
+/// (which still carries the static offset `N_static`) and on the SBC output.
+///
+/// `gesture_spans` are `(start, end)` sample ranges known to contain
+/// gestures. Returns `(contrast_raw, contrast_sbc)`; SBC should raise the
+/// contrast by orders of magnitude because it removes `N_static`.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] if `rss` is empty or the spans cover
+/// none or all of the trace (no reference remains on one side).
+pub fn snr_improvement(
+    rss: &[f64],
+    gesture_spans: &[(usize, usize)],
+    sbc: Sbc,
+) -> Result<(f64, f64), DspError> {
+    if rss.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    let delta = sbc.apply(rss);
+    let contrast = |signal: &[f64]| -> Result<f64, DspError> {
+        let mut mask = vec![false; signal.len()];
+        for &(s, e) in gesture_spans {
+            for m in mask.iter_mut().take(e.min(signal.len())).skip(s) {
+                *m = true;
+            }
+        }
+        let (mut in_sum, mut in_n, mut out_sum, mut out_n) = (0.0, 0usize, 0.0, 0usize);
+        for (i, &v) in signal.iter().enumerate() {
+            if mask[i] {
+                in_sum += v.abs();
+                in_n += 1;
+            } else {
+                out_sum += v.abs();
+                out_n += 1;
+            }
+        }
+        if in_n == 0 || out_n == 0 {
+            return Err(DspError::EmptyInput);
+        }
+        let rest = (out_sum / out_n as f64).max(f64::MIN_POSITIVE);
+        Ok((in_sum / in_n as f64) / rest)
+    };
+    Ok((contrast(rss)?, contrast(&delta)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_constant_offset() {
+        let rss = vec![42.0; 100];
+        let out = Sbc::new(3).apply(&rss);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn first_window_outputs_are_zero() {
+        let rss = [1.0, 2.0, 3.0, 4.0];
+        let out = Sbc::new(2).apply(&rss);
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[1], 0.0);
+        assert_eq!(out[2], 4.0); // (3-1)^2
+        assert_eq!(out[3], 4.0); // (4-2)^2
+    }
+
+    #[test]
+    fn output_length_matches_input() {
+        for n in [0usize, 1, 5, 17] {
+            let rss: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            assert_eq!(Sbc::new(4).apply(&rss).len(), n);
+        }
+    }
+
+    #[test]
+    fn squares_differences() {
+        let rss = [0.0, 3.0, -1.0];
+        let out = Sbc::new(1).apply(&rss);
+        assert_eq!(out, vec![0.0, 9.0, 16.0]);
+    }
+
+    #[test]
+    fn amplifies_large_swings_relative_to_small() {
+        // Small dynamic noise (amplitude 1) vs gesture swing (amplitude 10):
+        // squaring turns a 10x input ratio into a 100x output ratio.
+        let noise = Sbc::new(1).apply(&[0.0, 1.0]);
+        let ges = Sbc::new(1).apply(&[0.0, 10.0]);
+        assert!((ges[1] / noise[1] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let rss: Vec<f64> = (0..50).map(|i| ((i * 7919) % 23) as f64 * 0.5).collect();
+        for w in [1usize, 2, 5, 10] {
+            let sbc = Sbc::new(w);
+            let batch = sbc.apply(&rss);
+            let mut stream = sbc.stream();
+            let streamed: Vec<f64> = rss.iter().map(|&v| stream.push(v)).collect();
+            assert_eq!(batch, streamed, "window {w}");
+        }
+    }
+
+    #[test]
+    fn stream_reset_restarts() {
+        let sbc = Sbc::new(2);
+        let mut s = sbc.stream();
+        s.push(1.0);
+        s.push(2.0);
+        s.push(3.0);
+        s.reset();
+        assert_eq!(s.push(9.0), 0.0);
+        assert_eq!(s.push(9.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = Sbc::new(0);
+    }
+
+    #[test]
+    fn multi_channel_preserves_order() {
+        let chans = vec![vec![0.0, 1.0], vec![0.0, 2.0]];
+        let out = Sbc::new(1).apply_multi(&chans);
+        assert_eq!(out[0][1], 1.0);
+        assert_eq!(out[1][1], 4.0);
+    }
+
+    #[test]
+    fn snr_improves_after_sbc() {
+        // Quiet baseline with slow drift + strong burst in the middle.
+        let n = 300;
+        let mut rss: Vec<f64> = (0..n).map(|i| 100.0 + 0.5 * (i as f64 * 0.01).sin()).collect();
+        for (k, v) in rss.iter_mut().enumerate().take(180).skip(120) {
+            *v += 30.0 * ((k as f64) * 0.8).sin();
+        }
+        let (raw, after) = snr_improvement(&rss, &[(120, 180)], Sbc::default()).unwrap();
+        assert!(after > raw, "snr should improve: raw={raw}, sbc={after}");
+    }
+
+    #[test]
+    fn snr_empty_input_errors() {
+        assert!(snr_improvement(&[], &[(0, 1)], Sbc::default()).is_err());
+    }
+
+    #[test]
+    fn default_window_is_one_sample() {
+        assert_eq!(Sbc::default().window(), 1);
+    }
+}

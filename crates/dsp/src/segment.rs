@@ -1,0 +1,435 @@
+//! Gesture segmentation against a (dynamic) threshold (paper §IV-B2).
+//!
+//! A starting point is declared when `ΔRSS²` exceeds the threshold and an
+//! ending point when it falls back below. Segments separated by less than
+//! `t_e` (the paper uses 100 ms) are clustered into a single gesture —
+//! this is what keeps a *double click* from splitting into two clicks.
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open sample range `[start, end)` containing one gesture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Segment {
+    /// First sample index of the gesture.
+    pub start: usize,
+    /// One past the last sample index of the gesture.
+    pub end: usize,
+}
+
+impl Segment {
+    /// Construct a segment; `start` must not exceed `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    #[must_use]
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(start <= end, "segment start after end");
+        Segment { start, end }
+    }
+
+    /// Segment length in samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the segment covers no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Slice `trace` to this segment (clamped to the trace length).
+    #[must_use]
+    pub fn slice<'a>(&self, trace: &'a [f64]) -> &'a [f64] {
+        let s = self.start.min(trace.len());
+        let e = self.end.min(trace.len());
+        &trace[s..e]
+    }
+}
+
+/// Configuration for the [`Segmenter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmenterConfig {
+    /// Maximum gap (in samples) between segments that are still clustered
+    /// into one gesture — the paper's `t_e` (100 ms = 10 samples at 100 Hz).
+    pub merge_gap: usize,
+    /// Discard merged segments shorter than this many samples (debounce
+    /// against single-sample spikes).
+    pub min_len: usize,
+    /// Pad each final segment by this many samples on both sides so the
+    /// attack and release of the gesture are retained for feature
+    /// extraction.
+    pub pad: usize,
+}
+
+impl Default for SegmenterConfig {
+    /// Paper settings at 100 Hz: `t_e` = 100 ms → 10 samples; a 50 ms
+    /// debounce; 30 ms padding.
+    fn default() -> Self {
+        SegmenterConfig { merge_gap: 10, min_len: 5, pad: 3 }
+    }
+}
+
+/// Batch gesture segmenter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Segmenter {
+    config: SegmenterConfig,
+}
+
+impl Segmenter {
+    /// Create a segmenter with the given configuration.
+    #[must_use]
+    pub fn new(config: SegmenterConfig) -> Self {
+        Segmenter { config }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> SegmenterConfig {
+        self.config
+    }
+
+    /// Segment a `ΔRSS²` trace against `threshold`.
+    ///
+    /// Raw above-threshold runs are found first, then runs separated by at
+    /// most `merge_gap` samples are merged, short results are discarded and
+    /// the survivors are padded.
+    #[must_use]
+    pub fn segment(&self, delta: &[f64], threshold: f64) -> Vec<Segment> {
+        let raw = raw_runs(delta, threshold);
+        let merged = merge_runs(&raw, self.config.merge_gap);
+        let padded: Vec<Segment> = merged
+            .into_iter()
+            .filter(|s| s.len() >= self.config.min_len)
+            .map(|s| Segment {
+                start: s.start.saturating_sub(self.config.pad),
+                end: (s.end + self.config.pad).min(delta.len()),
+            })
+            .collect();
+        // Padding can make neighbours overlap (two short runs separated by
+        // slightly more than the merge gap but less than twice the pad);
+        // fuse any such pairs so the output stays sorted and disjoint.
+        merge_runs(&padded, 0)
+    }
+
+    /// Segment a multi-channel `ΔRSS²` trace: a sample is "active" if any
+    /// channel exceeds its threshold. `thresholds` must have one entry per
+    /// channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thresholds.len() != channels.len()`.
+    #[must_use]
+    pub fn segment_multi(&self, channels: &[Vec<f64>], thresholds: &[f64]) -> Vec<Segment> {
+        assert_eq!(channels.len(), thresholds.len(), "one threshold per channel");
+        if channels.is_empty() {
+            return Vec::new();
+        }
+        let n = channels.iter().map(Vec::len).min().unwrap_or(0);
+        let combined: Vec<f64> = (0..n)
+            .map(|i| {
+                channels
+                    .iter()
+                    .zip(thresholds)
+                    .map(|(c, &t)| if t > 0.0 { c[i] / t } else { c[i] })
+                    .fold(0.0f64, f64::max)
+            })
+            .collect();
+        // After normalization each channel's threshold maps to 1.0.
+        self.segment(&combined, 1.0)
+    }
+}
+
+/// Contiguous above-threshold runs with no merging.
+fn raw_runs(delta: &[f64], threshold: f64) -> Vec<Segment> {
+    let mut out = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, &v) in delta.iter().enumerate() {
+        if v > threshold {
+            if start.is_none() {
+                start = Some(i);
+            }
+        } else if let Some(s) = start.take() {
+            out.push(Segment::new(s, i));
+        }
+    }
+    if let Some(s) = start {
+        out.push(Segment::new(s, delta.len()));
+    }
+    out
+}
+
+/// Merge runs whose gap is at most `gap` samples.
+fn merge_runs(runs: &[Segment], gap: usize) -> Vec<Segment> {
+    let mut out: Vec<Segment> = Vec::with_capacity(runs.len());
+    for &r in runs {
+        match out.last_mut() {
+            Some(last) if r.start <= last.end + gap => last.end = r.end.max(last.end),
+            _ => out.push(r),
+        }
+    }
+    out
+}
+
+/// Streaming segmenter: feed `ΔRSS²` samples one at a time and receive a
+/// completed [`Segment`] once the trailing gap exceeds `merge_gap`.
+///
+/// This is the form the real-time engine uses; feeding a whole trace through
+/// produces the same segments as [`Segmenter::segment`] (modulo the final
+/// unterminated segment, retrievable with [`StreamingSegmenter::flush`]).
+#[derive(Debug, Clone)]
+pub struct StreamingSegmenter {
+    config: SegmenterConfig,
+    position: usize,
+    current: Option<Segment>,
+    gap: usize,
+}
+
+impl StreamingSegmenter {
+    /// Create a streaming segmenter.
+    #[must_use]
+    pub fn new(config: SegmenterConfig) -> Self {
+        StreamingSegmenter { config, position: 0, current: None, gap: 0 }
+    }
+
+    /// Sample index of the next sample to be pushed.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Whether a gesture is currently open (above threshold or within the
+    /// merge gap).
+    #[must_use]
+    pub fn in_gesture(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Push one `ΔRSS²` value with its segmentation threshold. Returns a
+    /// finished segment when one closes.
+    pub fn push(&mut self, delta: f64, threshold: f64) -> Option<Segment> {
+        let i = self.position;
+        self.position += 1;
+        if delta > threshold {
+            match &mut self.current {
+                Some(seg) => seg.end = i + 1,
+                None => self.current = Some(Segment::new(i, i + 1)),
+            }
+            self.gap = 0;
+            None
+        } else if let Some(seg) = self.current {
+            self.gap += 1;
+            if self.gap > self.config.merge_gap {
+                self.current = None;
+                self.gap = 0;
+                self.finalize(seg)
+            } else {
+                None
+            }
+        } else {
+            None
+        }
+    }
+
+    /// Close and return any open segment (end of stream).
+    pub fn flush(&mut self) -> Option<Segment> {
+        let seg = self.current.take()?;
+        self.gap = 0;
+        self.finalize(seg)
+    }
+
+    fn finalize(&self, seg: Segment) -> Option<Segment> {
+        if seg.len() < self.config.min_len {
+            return None;
+        }
+        Some(Segment {
+            start: seg.start.saturating_sub(self.config.pad),
+            end: (seg.end + self.config.pad).min(self.position),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(merge_gap: usize, min_len: usize, pad: usize) -> SegmenterConfig {
+        SegmenterConfig { merge_gap, min_len, pad }
+    }
+
+    #[test]
+    fn single_burst_detected() {
+        let mut d = vec![0.0; 20];
+        for v in d.iter_mut().take(15).skip(5) {
+            *v = 10.0;
+        }
+        let segs = Segmenter::new(cfg(2, 1, 0)).segment(&d, 1.0);
+        assert_eq!(segs, vec![Segment::new(5, 15)]);
+    }
+
+    #[test]
+    fn nearby_bursts_merge() {
+        let mut d = vec![0.0; 40];
+        for v in d.iter_mut().take(10).skip(5) {
+            *v = 10.0;
+        }
+        // Gap of 3 samples, merge_gap = 5 → one gesture.
+        for v in d.iter_mut().take(20).skip(13) {
+            *v = 10.0;
+        }
+        let segs = Segmenter::new(cfg(5, 1, 0)).segment(&d, 1.0);
+        assert_eq!(segs, vec![Segment::new(5, 20)]);
+    }
+
+    #[test]
+    fn distant_bursts_stay_separate() {
+        let mut d = vec![0.0; 60];
+        for v in d.iter_mut().take(10).skip(5) {
+            *v = 10.0;
+        }
+        for v in d.iter_mut().take(45).skip(40) {
+            *v = 10.0;
+        }
+        let segs = Segmenter::new(cfg(5, 1, 0)).segment(&d, 1.0);
+        assert_eq!(segs.len(), 2);
+    }
+
+    #[test]
+    fn short_spikes_discarded() {
+        let mut d = vec![0.0; 30];
+        d[10] = 100.0; // one-sample spike
+        let segs = Segmenter::new(cfg(2, 3, 0)).segment(&d, 1.0);
+        assert!(segs.is_empty());
+    }
+
+    #[test]
+    fn padding_applied_and_clamped() {
+        let mut d = vec![0.0; 12];
+        for v in d.iter_mut().take(10).skip(1) {
+            *v = 5.0;
+        }
+        let segs = Segmenter::new(cfg(1, 1, 4)).segment(&d, 1.0);
+        assert_eq!(segs, vec![Segment::new(0, 12)]); // clamped both ends
+    }
+
+    #[test]
+    fn burst_running_to_end_is_closed() {
+        let mut d = vec![0.0; 10];
+        for v in d.iter_mut().skip(6) {
+            *v = 9.0;
+        }
+        let segs = Segmenter::new(cfg(2, 1, 0)).segment(&d, 1.0);
+        assert_eq!(segs, vec![Segment::new(6, 10)]);
+    }
+
+    #[test]
+    fn empty_input_no_segments() {
+        assert!(Segmenter::default().segment(&[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn all_below_threshold_no_segments() {
+        assert!(Segmenter::default().segment(&[0.1; 50], 1.0).is_empty());
+    }
+
+    #[test]
+    fn segments_never_overlap_and_are_sorted() {
+        // Pseudo-random activity pattern.
+        let d: Vec<f64> =
+            (0..500).map(|i| if (i * 2654435761u64 as usize) % 7 < 2 { 10.0 } else { 0.0 }).collect();
+        let segs = Segmenter::new(cfg(3, 2, 1)).segment(&d, 1.0);
+        for w in segs.windows(2) {
+            assert!(w[0].end <= w[1].start, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn multi_channel_any_active() {
+        let c1 = {
+            let mut v = vec![0.0; 30];
+            for x in v.iter_mut().take(10).skip(5) {
+                *x = 10.0;
+            }
+            v
+        };
+        let c2 = {
+            let mut v = vec![0.0; 30];
+            for x in v.iter_mut().take(22).skip(18) {
+                *x = 10.0;
+            }
+            v
+        };
+        let segs =
+            Segmenter::new(cfg(2, 1, 0)).segment_multi(&[c1, c2], &[1.0, 1.0]);
+        assert_eq!(segs.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one threshold per channel")]
+    fn multi_channel_threshold_count_mismatch_panics() {
+        let _ = Segmenter::default().segment_multi(&[vec![0.0]], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let mut d = vec![0.0; 200];
+        for v in d.iter_mut().take(30).skip(20) {
+            *v = 10.0;
+        }
+        for v in d.iter_mut().take(38).skip(34) {
+            *v = 10.0;
+        } // merges with previous (gap 4 < 5)
+        for v in d.iter_mut().take(120).skip(100) {
+            *v = 10.0;
+        }
+        let config = cfg(5, 2, 2);
+        let batch = Segmenter::new(config).segment(&d, 1.0);
+        let mut stream = StreamingSegmenter::new(config);
+        let mut streamed = Vec::new();
+        for &v in &d {
+            if let Some(s) = stream.push(v, 1.0) {
+                streamed.push(s);
+            }
+        }
+        if let Some(s) = stream.flush() {
+            streamed.push(s);
+        }
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn streaming_flush_returns_open_segment() {
+        let mut s = StreamingSegmenter::new(cfg(3, 2, 0));
+        for _ in 0..5 {
+            s.push(10.0, 1.0);
+        }
+        assert!(s.in_gesture());
+        let seg = s.flush().unwrap();
+        assert_eq!(seg, Segment::new(0, 5));
+        assert!(!s.in_gesture());
+    }
+
+    #[test]
+    fn streaming_discards_short() {
+        let mut s = StreamingSegmenter::new(cfg(1, 5, 0));
+        s.push(10.0, 1.0);
+        s.push(0.0, 1.0);
+        let closed = s.push(0.0, 1.0);
+        assert!(closed.is_none());
+    }
+
+    #[test]
+    fn segment_slice_clamps() {
+        let t = [1.0, 2.0, 3.0];
+        assert_eq!(Segment::new(1, 10).slice(&t), &[2.0, 3.0]);
+        assert!(Segment::new(5, 9).slice(&t).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "segment start after end")]
+    fn inverted_segment_panics() {
+        let _ = Segment::new(5, 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Continuous wavelet transform with the Ricker ("Mexican hat") wavelet.
+//!
+//! Backs the "Continuous Wavelet transform" feature family of Table I
+//! (tsfresh's `cwt_coefficients` also uses the Ricker wavelet). A direct
+//! time-domain convolution is used: gesture segments are short (a few
+//! hundred samples), so `O(n·w)` is cheap and avoids padding artifacts.
+
+/// Sample the Ricker wavelet of width parameter `a` at `points` points.
+///
+/// tsfresh/SciPy convention: total width `points`, wavelet
+/// `A · (1 − t²/a²) · exp(−t²/(2a²))` with `A = 2 / (√(3a) · π^{1/4})`.
+///
+/// # Panics
+///
+/// Panics if `a` is not positive.
+#[must_use]
+pub fn ricker(points: usize, a: f64) -> Vec<f64> {
+    assert!(a > 0.0, "wavelet width must be positive");
+    let amp = 2.0 / ((3.0 * a).sqrt() * std::f64::consts::PI.powf(0.25));
+    (0..points)
+        .map(|i| {
+            let t = i as f64 - (points as f64 - 1.0) / 2.0;
+            let x2 = (t / a) * (t / a);
+            amp * (1.0 - x2) * (-x2 / 2.0).exp()
+        })
+        .collect()
+}
+
+/// CWT row: convolve `x` with a Ricker wavelet of width `a` ("same" length
+/// output, zero-padded boundaries).
+#[must_use]
+pub fn cwt_row(x: &[f64], a: f64) -> Vec<f64> {
+    let w = ((10.0 * a) as usize).clamp(3, x.len().max(3)) | 1; // odd width
+    let kernel = ricker(w, a);
+    convolve_same(x, &kernel)
+}
+
+/// Full CWT matrix: one row per width in `widths`.
+#[must_use]
+pub fn cwt(x: &[f64], widths: &[f64]) -> Vec<Vec<f64>> {
+    widths.iter().map(|&a| cwt_row(x, a)).collect()
+}
+
+/// "Same"-size linear convolution with zero padding.
+#[must_use]
+pub fn convolve_same(x: &[f64], kernel: &[f64]) -> Vec<f64> {
+    if x.is_empty() || kernel.is_empty() {
+        return vec![0.0; x.len()];
+    }
+    let half = kernel.len() / 2;
+    (0..x.len())
+        .map(|i| {
+            let mut acc = 0.0;
+            for (k, &kv) in kernel.iter().enumerate() {
+                let idx = i as isize + half as isize - k as isize;
+                if idx >= 0 && (idx as usize) < x.len() {
+                    acc += kv * x[idx as usize];
+                }
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ricker_is_symmetric() {
+        let w = ricker(31, 4.0);
+        for i in 0..15 {
+            assert!((w[i] - w[30 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ricker_peaks_at_center() {
+        let w = ricker(21, 3.0);
+        let center = w[10];
+        assert!(w.iter().all(|&v| v <= center + 1e-12));
+        assert!(center > 0.0);
+    }
+
+    #[test]
+    fn ricker_has_near_zero_mean() {
+        // The Ricker wavelet integrates to zero over the real line; the
+        // finite sampling leaves a small residual.
+        let w = ricker(101, 5.0);
+        let sum: f64 = w.iter().sum();
+        assert!(sum.abs() < 1e-3, "sum = {sum}");
+    }
+
+    #[test]
+    fn cwt_of_zero_is_zero() {
+        let rows = cwt(&vec![0.0; 50], &[2.0, 5.0]);
+        assert!(rows.iter().flatten().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn cwt_responds_at_matching_scale() {
+        // A bump of width ~8 responds more strongly at a=4 than at a=1.
+        let x: Vec<f64> = (0..64)
+            .map(|i| {
+                let t = (i as f64 - 32.0) / 4.0;
+                (-t * t / 2.0).exp()
+            })
+            .collect();
+        let narrow = cwt_row(&x, 1.0);
+        let matched = cwt_row(&x, 4.0);
+        let peak = |v: &[f64]| v.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        assert!(peak(&matched) > peak(&narrow));
+    }
+
+    #[test]
+    fn cwt_output_length_matches_input() {
+        let x = vec![1.0; 37];
+        assert_eq!(cwt_row(&x, 2.0).len(), 37);
+    }
+
+    #[test]
+    fn convolution_identity_kernel() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let out = convolve_same(&x, &[1.0]);
+        assert_eq!(out, x.to_vec());
+    }
+
+    #[test]
+    fn convolution_empty_inputs() {
+        assert!(convolve_same(&[], &[1.0]).is_empty());
+        assert_eq!(convolve_same(&[1.0, 2.0], &[]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn ricker_bad_width_panics() {
+        let _ = ricker(11, 0.0);
+    }
+}

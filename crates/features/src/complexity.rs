@@ -1,0 +1,167 @@
+//! Complexity features: complexity-invariant distance, time-reversal
+//! asymmetry statistic, c3 nonlinearity, energy ratio by chunks.
+
+/// Complexity estimate of the CID measure (Batista et al. 2014): the root
+/// sum of squared first differences — the "length of the stretched-out"
+/// series. tsfresh exposes this as `cid_ce`.
+#[must_use]
+pub fn cid_ce(x: &[f64], normalize: bool) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let series: Vec<f64>;
+    let data = if normalize {
+        let m = airfinger_dsp::stats::mean(x);
+        let s = airfinger_dsp::stats::std_dev(x);
+        if s <= f64::EPSILON {
+            return 0.0;
+        }
+        series = x.iter().map(|v| (v - m) / s).collect();
+        &series[..]
+    } else {
+        x
+    };
+    data.windows(2).map(|w| (w[1] - w[0]) * (w[1] - w[0])).sum::<f64>().sqrt()
+}
+
+/// Time-reversal asymmetry statistic at `lag` (Fulcher & Jones):
+/// `E[x_{t+2l}²·x_{t+l} − x_{t+l}·x_t²]`.
+#[must_use]
+pub fn time_reversal_asymmetry(x: &[f64], lag: usize) -> f64 {
+    let n = x.len();
+    if lag == 0 || n < 2 * lag + 1 {
+        return 0.0;
+    }
+    let terms = n - 2 * lag;
+    (0..terms)
+        .map(|t| x[t + 2 * lag] * x[t + 2 * lag] * x[t + lag] - x[t + lag] * x[t] * x[t])
+        .sum::<f64>()
+        / terms as f64
+}
+
+/// The c3 nonlinearity measure (Schreiber & Schmitz 1997):
+/// `E[x_{t+2l}·x_{t+l}·x_t]`.
+#[must_use]
+pub fn c3(x: &[f64], lag: usize) -> f64 {
+    let n = x.len();
+    if lag == 0 || n < 2 * lag + 1 {
+        return 0.0;
+    }
+    let terms = n - 2 * lag;
+    (0..terms).map(|t| x[t + 2 * lag] * x[t + lag] * x[t]).sum::<f64>() / terms as f64
+}
+
+/// Energy ratio by chunks: the series is cut into `n_chunks` equal pieces;
+/// returns each chunk's share of total squared energy. A constant-energy
+/// series yields equal shares; a front-loaded gesture concentrates early.
+///
+/// Returns all zeros when total energy vanishes.
+#[must_use]
+pub fn energy_ratio_by_chunks(x: &[f64], n_chunks: usize) -> Vec<f64> {
+    if n_chunks == 0 {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; n_chunks];
+    if x.is_empty() {
+        return out;
+    }
+    let total: f64 = x.iter().map(|v| v * v).sum();
+    if total <= 0.0 {
+        return out;
+    }
+    let chunk_len = x.len().div_ceil(n_chunks);
+    for (i, chunk) in x.chunks(chunk_len).enumerate() {
+        out[i.min(n_chunks - 1)] += chunk.iter().map(|v| v * v).sum::<f64>() / total;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cid_zero_for_constant() {
+        assert_eq!(cid_ce(&[4.0; 10], false), 0.0);
+        assert_eq!(cid_ce(&[4.0; 10], true), 0.0);
+    }
+
+    #[test]
+    fn cid_grows_with_complexity() {
+        let smooth: Vec<f64> = (0..100).map(|i| (i as f64 * 0.05).sin()).collect();
+        let wiggly: Vec<f64> = (0..100).map(|i| (i as f64 * 1.5).sin()).collect();
+        assert!(cid_ce(&wiggly, false) > cid_ce(&smooth, false));
+    }
+
+    #[test]
+    fn cid_known_value() {
+        // diffs of [0,1,0] are [1,-1] → sqrt(2).
+        assert!((cid_ce(&[0.0, 1.0, 0.0], false) - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trev_zero_for_symmetric_series() {
+        // A pure sine is time-reversible: statistic ≈ 0.
+        let sine: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.1).sin()).collect();
+        assert!(time_reversal_asymmetry(&sine, 1).abs() < 0.01);
+    }
+
+    #[test]
+    fn trev_nonzero_for_sawtooth() {
+        // Slow rise / fast fall is strongly time-asymmetric.
+        let saw: Vec<f64> = (0..300).map(|i| (i % 10) as f64).collect();
+        assert!(time_reversal_asymmetry(&saw, 1).abs() > 1.0);
+    }
+
+    #[test]
+    fn c3_of_zero_mean_noise_is_small() {
+        let noise: Vec<f64> = (0..2000)
+            .map(|i| {
+                let mut z = (i as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z ^= z >> 29;
+                ((z >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+            .collect();
+        assert!(c3(&noise, 1).abs() < 0.01);
+    }
+
+    #[test]
+    fn c3_positive_for_positive_series() {
+        let x = vec![2.0; 50];
+        assert!((c3(&x, 1) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_ratio_sums_to_one() {
+        let x: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let r = energy_ratio_by_chunks(&x, 4);
+        assert_eq!(r.len(), 4);
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Energy is back-loaded for an increasing series.
+        assert!(r[3] > r[0]);
+    }
+
+    #[test]
+    fn energy_ratio_front_loaded_burst() {
+        let mut x = vec![0.0; 40];
+        for v in x.iter_mut().take(10) {
+            *v = 5.0;
+        }
+        let r = energy_ratio_by_chunks(&x, 4);
+        assert!((r[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_ratio_zero_series() {
+        let r = energy_ratio_by_chunks(&[0.0; 10], 4);
+        assert!(r.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(time_reversal_asymmetry(&[1.0, 2.0], 1), 0.0);
+        assert_eq!(c3(&[1.0], 1), 0.0);
+        assert!(energy_ratio_by_chunks(&[], 3).iter().all(|&v| v == 0.0));
+        assert!(energy_ratio_by_chunks(&[1.0], 0).is_empty());
+    }
+}

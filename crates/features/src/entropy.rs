@@ -1,0 +1,132 @@
+//! Entropy features: sample entropy and approximate entropy.
+//!
+//! Both compare the regularity of `m`-length templates against
+//! `(m+1)`-length templates with tolerance `r = f · σ(x)`. Regular,
+//! repetitive gestures (double rub) score lower than erratic non-gestures —
+//! why the paper keeps both in Table I.
+
+use airfinger_dsp::stats::std_dev;
+
+/// Sample entropy with embedding `m` and tolerance `r_factor · σ`.
+///
+/// Returns 0 for series shorter than `m + 2` or with zero variance, and a
+/// large-but-finite value (`ln` of the template count) when no
+/// `(m+1)`-matches exist.
+#[must_use]
+pub fn sample_entropy(x: &[f64], m: usize, r_factor: f64) -> f64 {
+    let n = x.len();
+    if n < m + 2 || m == 0 {
+        return 0.0;
+    }
+    let r = r_factor * std_dev(x);
+    if r <= 0.0 {
+        return 0.0;
+    }
+    let count_matches = |len: usize| -> usize {
+        let templates = n - len + 1;
+        let mut matches = 0usize;
+        for i in 0..templates {
+            for j in i + 1..templates {
+                let close = (0..len).all(|k| (x[i + k] - x[j + k]).abs() <= r);
+                if close {
+                    matches += 1;
+                }
+            }
+        }
+        matches
+    };
+    let b = count_matches(m);
+    let a = count_matches(m + 1);
+    if b == 0 {
+        return 0.0; // no m-matches at all: entropy undefined, report 0
+    }
+    if a == 0 {
+        // Conventional cap: the most irregular observable value.
+        return (b as f64 * 2.0).ln();
+    }
+    -(a as f64 / b as f64).ln()
+}
+
+/// Approximate entropy with embedding `m` and tolerance `r_factor · σ`
+/// (Pincus' ApEn; self-matches included, per the original definition).
+#[must_use]
+pub fn approximate_entropy(x: &[f64], m: usize, r_factor: f64) -> f64 {
+    let n = x.len();
+    if n < m + 2 || m == 0 {
+        return 0.0;
+    }
+    let r = r_factor * std_dev(x);
+    if r <= 0.0 {
+        return 0.0;
+    }
+    let phi = |len: usize| -> f64 {
+        let templates = n - len + 1;
+        let mut acc = 0.0;
+        for i in 0..templates {
+            let mut count = 0usize;
+            for j in 0..templates {
+                let close = (0..len).all(|k| (x[i + k] - x[j + k]).abs() <= r);
+                if close {
+                    count += 1;
+                }
+            }
+            acc += (count as f64 / templates as f64).ln();
+        }
+        acc / templates as f64
+    };
+    phi(m) - phi(m + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(i: usize) -> f64 {
+        let mut z = (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        ((z >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    }
+
+    #[test]
+    fn regular_signal_has_low_sampen() {
+        let sine: Vec<f64> = (0..200).map(|i| (i as f64 * 0.3).sin()).collect();
+        let rand: Vec<f64> = (0..200).map(noise).collect();
+        let s_sine = sample_entropy(&sine, 2, 0.2);
+        let s_rand = sample_entropy(&rand, 2, 0.2);
+        assert!(s_sine < s_rand, "sine {s_sine} vs random {s_rand}");
+    }
+
+    #[test]
+    fn regular_signal_has_low_apen() {
+        let sine: Vec<f64> = (0..150).map(|i| (i as f64 * 0.3).sin()).collect();
+        let rand: Vec<f64> = (0..150).map(noise).collect();
+        assert!(approximate_entropy(&sine, 2, 0.2) < approximate_entropy(&rand, 2, 0.2));
+    }
+
+    #[test]
+    fn constant_series_is_zero() {
+        assert_eq!(sample_entropy(&[3.0; 50], 2, 0.2), 0.0);
+        assert_eq!(approximate_entropy(&[3.0; 50], 2, 0.2), 0.0);
+    }
+
+    #[test]
+    fn short_series_is_zero() {
+        assert_eq!(sample_entropy(&[1.0, 2.0], 2, 0.2), 0.0);
+        assert_eq!(approximate_entropy(&[1.0, 2.0], 2, 0.2), 0.0);
+    }
+
+    #[test]
+    fn outputs_are_finite() {
+        let x: Vec<f64> = (0..100).map(|i| noise(i) * 10.0).collect();
+        assert!(sample_entropy(&x, 2, 0.2).is_finite());
+        assert!(approximate_entropy(&x, 2, 0.2).is_finite());
+    }
+
+    #[test]
+    fn sampen_nonnegative_on_typical_data() {
+        let x: Vec<f64> = (0..120).map(|i| (i as f64 * 0.2).sin() + 0.1 * noise(i)).collect();
+        assert!(sample_entropy(&x, 2, 0.2) >= 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Frequency-domain features: FFT coefficients and CWT coefficients —
+//! the two Table-I "Frequency Domain" families.
+
+use airfinger_dsp::fft::magnitude_spectrum;
+use airfinger_dsp::wavelet::cwt_row;
+
+/// First `k` non-DC FFT magnitude coefficients, normalized by total
+/// spectral energy so they are amplitude-invariant. Zero-padded when the
+/// spectrum is shorter than `k`.
+#[must_use]
+pub fn fft_coefficients(x: &[f64], k: usize) -> Vec<f64> {
+    let mut out = vec![0.0; k];
+    if x.len() < 2 || k == 0 {
+        return out;
+    }
+    let mags = magnitude_spectrum(x);
+    let total: f64 = mags.iter().skip(1).sum();
+    if total <= 0.0 {
+        return out;
+    }
+    for (o, &m) in out.iter_mut().zip(mags.iter().skip(1)) {
+        *o = m / total;
+    }
+    out
+}
+
+/// CWT features: for each Ricker width in `widths`, the root-mean-square of
+/// the CWT row (scale energy) and the relative position of its absolute
+/// peak. `2 · widths.len()` values.
+#[must_use]
+pub fn cwt_coefficients(x: &[f64], widths: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(2 * widths.len());
+    for &a in widths {
+        if x.is_empty() {
+            out.push(0.0);
+            out.push(0.0);
+            continue;
+        }
+        let row = cwt_row(x, a);
+        let energy = (row.iter().map(|v| v * v).sum::<f64>() / row.len() as f64).sqrt();
+        let peak_idx = row
+            .iter()
+            .enumerate()
+            .max_by(|l, r| {
+                l.1.abs().partial_cmp(&r.1.abs()).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        out.push(energy);
+        out.push(peak_idx as f64 / row.len() as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_coefficients_normalized() {
+        let x: Vec<f64> = (0..128).map(|i| (i as f64 * 0.4).sin()).collect();
+        let c = fft_coefficients(&x, 8);
+        assert_eq!(c.len(), 8);
+        assert!(c.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn fft_amplitude_invariance() {
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.4).sin()).collect();
+        let x10: Vec<f64> = x.iter().map(|v| v * 10.0).collect();
+        let a = fft_coefficients(&x, 6);
+        let b = fft_coefficients(&x10, 6);
+        for (u, v) in a.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_distinguishes_frequencies() {
+        let slow: Vec<f64> =
+            (0..128).map(|i| (2.0 * std::f64::consts::PI * 2.0 * i as f64 / 128.0).sin()).collect();
+        let fast: Vec<f64> =
+            (0..128).map(|i| (2.0 * std::f64::consts::PI * 8.0 * i as f64 / 128.0).sin()).collect();
+        let cs = fft_coefficients(&slow, 10);
+        let cf = fft_coefficients(&fast, 10);
+        assert!(cs[1] > cf[1]); // bin 2 dominates the slow tone
+        assert!(cf[7] > cs[7]); // bin 8 dominates the fast tone
+    }
+
+    #[test]
+    fn fft_zero_input_is_zero() {
+        assert!(fft_coefficients(&[0.0; 32], 5).iter().all(|&v| v == 0.0));
+        assert!(fft_coefficients(&[], 5).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn cwt_length_and_range() {
+        let x: Vec<f64> = (0..100).map(|i| (i as f64 * 0.2).sin()).collect();
+        let c = cwt_coefficients(&x, &[2.0, 5.0, 10.0]);
+        assert_eq!(c.len(), 6);
+        // Peak positions are relative.
+        for pos in [c[1], c[3], c[5]] {
+            assert!((0.0..=1.0).contains(&pos));
+        }
+    }
+
+    #[test]
+    fn cwt_scale_selectivity() {
+        // A narrow bump has more energy at small widths relative to a wide
+        // bump.
+        let narrow: Vec<f64> = (0..100)
+            .map(|i| {
+                let t = (i as f64 - 50.0) / 2.0;
+                (-t * t / 2.0).exp()
+            })
+            .collect();
+        let wide: Vec<f64> = (0..100)
+            .map(|i| {
+                let t = (i as f64 - 50.0) / 12.0;
+                (-t * t / 2.0).exp()
+            })
+            .collect();
+        let cn = cwt_coefficients(&narrow, &[2.0, 12.0]);
+        let cw = cwt_coefficients(&wide, &[2.0, 12.0]);
+        // Ratio of small-scale to large-scale energy is higher for narrow.
+        let rn = cn[0] / cn[2].max(1e-12);
+        let rw = cw[0] / cw[2].max(1e-12);
+        assert!(rn > rw, "narrow {rn} vs wide {rw}");
+    }
+
+    #[test]
+    fn cwt_empty_input() {
+        let c = cwt_coefficients(&[], &[2.0, 5.0]);
+        assert_eq!(c, vec![0.0; 4]);
+    }
+}

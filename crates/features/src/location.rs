@@ -1,0 +1,186 @@
+//! Location- and count-based features: count above/below mean, first/last
+//! locations of extrema, longest strikes, number of peaks.
+//!
+//! Locations are reported as *relative* positions in `[0, 1]` (tsfresh
+//! convention), which makes them invariant to gesture duration — one of the
+//! properties the paper needs against gesture inconsistency.
+
+use airfinger_dsp::stats::mean;
+
+/// Fraction of samples strictly above the mean.
+#[must_use]
+pub fn count_above_mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().filter(|&&v| v > m).count() as f64 / x.len() as f64
+}
+
+/// Fraction of samples strictly below the mean.
+#[must_use]
+pub fn count_below_mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().filter(|&&v| v < m).count() as f64 / x.len() as f64
+}
+
+/// Relative position of the first occurrence of the maximum.
+#[must_use]
+pub fn first_location_of_maximum(x: &[f64]) -> f64 {
+    relative_position(x, true, true)
+}
+
+/// Relative position of the last occurrence of the maximum.
+#[must_use]
+pub fn last_location_of_maximum(x: &[f64]) -> f64 {
+    relative_position(x, true, false)
+}
+
+/// Relative position of the first occurrence of the minimum.
+#[must_use]
+pub fn first_location_of_minimum(x: &[f64]) -> f64 {
+    relative_position(x, false, true)
+}
+
+fn relative_position(x: &[f64], maximum: bool, first: bool) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mut best_idx = 0usize;
+    let mut best = x[0];
+    for (i, &v) in x.iter().enumerate() {
+        let better = if maximum { v > best } else { v < best };
+        let tie = v == best && !first;
+        if better || tie {
+            best = v;
+            best_idx = i;
+        }
+    }
+    best_idx as f64 / x.len() as f64
+}
+
+/// Longest run of consecutive samples above the mean, relative to length.
+#[must_use]
+pub fn longest_strike_above_mean(x: &[f64]) -> f64 {
+    longest_strike(x, true)
+}
+
+/// Longest run of consecutive samples below the mean, relative to length.
+#[must_use]
+pub fn longest_strike_below_mean(x: &[f64]) -> f64 {
+    longest_strike(x, false)
+}
+
+fn longest_strike(x: &[f64], above: bool) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let m = mean(x);
+    let mut best = 0usize;
+    let mut run = 0usize;
+    for &v in x {
+        let hit = if above { v > m } else { v < m };
+        if hit {
+            run += 1;
+            best = best.max(run);
+        } else {
+            run = 0;
+        }
+    }
+    best as f64 / x.len() as f64
+}
+
+/// Number of peaks of support `support`: samples larger than their
+/// `support` neighbours on both sides (tsfresh `number_peaks`).
+#[must_use]
+pub fn number_of_peaks(x: &[f64], support: usize) -> f64 {
+    if x.len() < 2 * support + 1 || support == 0 {
+        return 0.0;
+    }
+    let mut count = 0usize;
+    for i in support..x.len() - support {
+        let v = x[i];
+        let is_peak = (1..=support).all(|k| v > x[i - k] && v > x[i + k]);
+        if is_peak {
+            count += 1;
+        }
+    }
+    count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_balance_for_symmetric_series() {
+        let x = [1.0, 2.0, 3.0, 4.0]; // mean 2.5
+        assert_eq!(count_above_mean(&x), 0.5);
+        assert_eq!(count_below_mean(&x), 0.5);
+    }
+
+    #[test]
+    fn counts_zero_for_constant() {
+        let x = [5.0; 8];
+        assert_eq!(count_above_mean(&x), 0.0);
+        assert_eq!(count_below_mean(&x), 0.0);
+    }
+
+    #[test]
+    fn locations_of_extrema() {
+        let x = [0.0, 5.0, 1.0, 5.0, -2.0];
+        assert_eq!(first_location_of_maximum(&x), 1.0 / 5.0);
+        assert_eq!(last_location_of_maximum(&x), 3.0 / 5.0);
+        assert_eq!(first_location_of_minimum(&x), 4.0 / 5.0);
+    }
+
+    #[test]
+    fn locations_scale_invariant_to_duration() {
+        // Same shape, doubled length → same relative location.
+        let short = [0.0, 1.0, 0.0, 0.0];
+        let long = [0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0];
+        assert!((first_location_of_maximum(&short) - first_location_of_maximum(&long)).abs() < 0.01);
+    }
+
+    #[test]
+    fn strikes() {
+        let x = [0.0, 10.0, 10.0, 10.0, 0.0, 10.0]; // mean = 6.67
+        assert!((longest_strike_above_mean(&x) - 3.0 / 6.0).abs() < 1e-12);
+        assert!((longest_strike_below_mean(&x) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strike_full_run() {
+        let x = [0.0, 0.0, 0.0, 100.0]; // three below-mean then one above
+        assert!((longest_strike_below_mean(&x) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peaks_counted_with_support() {
+        let x = [0.0, 1.0, 0.0, 2.0, 0.0, 3.0, 0.0];
+        assert_eq!(number_of_peaks(&x, 1), 3.0);
+        // Support 2 needs both neighbours at distance 1 AND 2 lower; the
+        // middle peak (2.0) has a higher value (3.0) two steps away.
+        assert_eq!(number_of_peaks(&x, 2), 0.0);
+        // An isolated wide peak satisfies support 2.
+        let y = [0.0, 1.0, 5.0, 1.0, 0.0];
+        assert_eq!(number_of_peaks(&y, 2), 1.0);
+    }
+
+    #[test]
+    fn peaks_none_on_monotone() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(number_of_peaks(&x, 1), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(count_above_mean(&[]), 0.0);
+        assert_eq!(first_location_of_maximum(&[]), 0.0);
+        assert_eq!(longest_strike_above_mean(&[]), 0.0);
+        assert_eq!(number_of_peaks(&[], 1), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! The common classifier interface.
+
+use crate::error::MlError;
+
+/// A trainable multi-class classifier over dense `f64` feature vectors with
+/// labels `0..n_classes`.
+///
+/// All four paper classifiers (random forest, logistic regression, decision
+/// tree, Bernoulli naive Bayes) implement this trait, which is what lets
+/// the Fig. 9 experiment sweep them uniformly.
+pub trait Classifier {
+    /// Train on feature matrix `x` (row per sample) and labels `y`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`MlError::EmptyDataset`] for empty input,
+    /// [`MlError::DimensionMismatch`] for ragged rows or mismatched label
+    /// counts, and [`MlError::InvalidData`] for non-finite features.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<(), MlError>;
+
+    /// Predict the label of one sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotFitted`] before a successful [`Classifier::fit`]
+    /// and [`MlError::DimensionMismatch`] for a wrong-width sample.
+    fn predict(&self, x: &[f64]) -> Result<usize, MlError>;
+
+    /// Predict a batch of samples.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Classifier::predict`].
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<usize>, MlError> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Human-readable short name ("RF", "LR", …) used in experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Validate a training set: non-empty, rectangular, finite, labels present.
+/// Returns `(n_features, n_classes)`.
+///
+/// # Errors
+///
+/// See [`Classifier::fit`].
+pub fn validate_training_set(x: &[Vec<f64>], y: &[usize]) -> Result<(usize, usize), MlError> {
+    if x.is_empty() || y.is_empty() {
+        return Err(MlError::EmptyDataset);
+    }
+    if x.len() != y.len() {
+        return Err(MlError::DimensionMismatch { expected: x.len(), got: y.len() });
+    }
+    let width = x[0].len();
+    if width == 0 {
+        return Err(MlError::InvalidData("zero-width feature vectors"));
+    }
+    for row in x {
+        if row.len() != width {
+            return Err(MlError::DimensionMismatch { expected: width, got: row.len() });
+        }
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(MlError::InvalidData("non-finite feature value"));
+        }
+    }
+    let n_classes = y.iter().copied().max().unwrap_or(0) + 1;
+    Ok((width, n_classes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_clean_data() {
+        let x = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let y = vec![0, 2];
+        assert_eq!(validate_training_set(&x, &y), Ok((2, 3)));
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        assert_eq!(validate_training_set(&[], &[]), Err(MlError::EmptyDataset));
+    }
+
+    #[test]
+    fn validate_rejects_ragged() {
+        let x = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(matches!(
+            validate_training_set(&x, &[0, 1]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_label_count_mismatch() {
+        let x = vec![vec![1.0], vec![2.0]];
+        assert!(matches!(
+            validate_training_set(&x, &[0]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_nan() {
+        let x = vec![vec![f64::NAN]];
+        assert_eq!(
+            validate_training_set(&x, &[0]),
+            Err(MlError::InvalidData("non-finite feature value"))
+        );
+    }
+}

@@ -1,0 +1,576 @@
+//! A small 1-D convolutional neural network — the third alternative the
+//! paper weighs against the random forest (§IV-C2). Implemented from
+//! scratch (manual backpropagation, SGD with momentum) so its training
+//! and inference costs can be measured honestly next to RF/DTW/HMM.
+//!
+//! Architecture, sized for gesture envelope signatures:
+//!
+//! ```text
+//! input [C × L] → conv(k=5, F₁) → ReLU → maxpool(2)
+//!               → conv(k=5, F₂) → ReLU → maxpool(2)
+//!               → dense → softmax
+//! ```
+
+use crate::classifier::{validate_training_set, Classifier};
+use crate::error::MlError;
+use serde::{Deserialize, Serialize};
+
+/// CNN hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CnnConfig {
+    /// Input channels (the flat feature vector is interpreted as
+    /// `channels × length`).
+    pub channels: usize,
+    /// Filters in the first conv layer.
+    pub filters1: usize,
+    /// Filters in the second conv layer.
+    pub filters2: usize,
+    /// Convolution kernel width.
+    pub kernel: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// RNG seed for initialization and shuffling.
+    pub seed: u64,
+}
+
+impl Default for CnnConfig {
+    fn default() -> Self {
+        CnnConfig {
+            channels: 1,
+            filters1: 8,
+            filters2: 16,
+            kernel: 5,
+            epochs: 40,
+            batch: 16,
+            learning_rate: 0.03,
+            momentum: 0.9,
+            seed: 0,
+        }
+    }
+}
+
+/// Deterministic uniform draw in `[-a, a]` (splitmix64).
+fn uniform(state: &mut u64, a: f64) -> f64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (((z >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0) * a
+}
+
+/// Flat parameter block with a momentum buffer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Param {
+    w: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Param {
+    fn new(n: usize, state: &mut u64, scale: f64) -> Param {
+        Param { w: (0..n).map(|_| uniform(state, scale)).collect(), v: vec![0.0; n] }
+    }
+
+    fn step(&mut self, grad: &[f64], lr: f64, momentum: f64) {
+        for ((w, v), &g) in self.w.iter_mut().zip(&mut self.v).zip(grad) {
+            *v = momentum * *v - lr * g;
+            *w += *v;
+        }
+    }
+}
+
+/// The 1-D CNN classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CnnClassifier {
+    config: CnnConfig,
+    length: usize,
+    n_classes: usize,
+    conv1: Param,
+    bias1: Param,
+    conv2: Param,
+    bias2: Param,
+    dense: Param,
+    bias3: Param,
+    fitted: bool,
+}
+
+/// Per-sample forward activations (kept for backprop).
+struct Forward {
+    input: Vec<Vec<f64>>,
+    a1: Vec<Vec<f64>>,
+    p1: Vec<Vec<f64>>,
+    arg1: Vec<Vec<usize>>,
+    a2: Vec<Vec<f64>>,
+    p2: Vec<Vec<f64>>,
+    arg2: Vec<Vec<usize>>,
+    probs: Vec<f64>,
+}
+
+impl CnnClassifier {
+    /// Create an untrained network.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-sized hyperparameters.
+    #[must_use]
+    pub fn new(config: CnnConfig) -> Self {
+        assert!(config.channels > 0, "channels must be positive");
+        assert!(config.filters1 > 0 && config.filters2 > 0, "filters must be positive");
+        assert!(config.kernel > 0, "kernel must be positive");
+        assert!(config.batch > 0, "batch must be positive");
+        CnnClassifier {
+            config,
+            length: 0,
+            n_classes: 0,
+            conv1: Param { w: Vec::new(), v: Vec::new() },
+            bias1: Param { w: Vec::new(), v: Vec::new() },
+            conv2: Param { w: Vec::new(), v: Vec::new() },
+            bias2: Param { w: Vec::new(), v: Vec::new() },
+            dense: Param { w: Vec::new(), v: Vec::new() },
+            bias3: Param { w: Vec::new(), v: Vec::new() },
+            fitted: false,
+        }
+    }
+
+    fn l1(&self) -> usize {
+        self.length - self.config.kernel + 1
+    }
+    fn l2(&self) -> usize {
+        self.l1() / 2
+    }
+    fn l3(&self) -> usize {
+        self.l2() - self.config.kernel + 1
+    }
+    fn l4(&self) -> usize {
+        self.l3() / 2
+    }
+
+    fn split_channels(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        x.chunks(self.length).map(<[f64]>::to_vec).collect()
+    }
+
+    fn forward(&self, x: &[f64]) -> Forward {
+        let cfg = &self.config;
+        let k = cfg.kernel;
+        let input = self.split_channels(x);
+        // Conv1 + ReLU.
+        let mut a1 = vec![vec![0.0; self.l1()]; cfg.filters1];
+        for (f, row) in a1.iter_mut().enumerate() {
+            for (i, out) in row.iter_mut().enumerate() {
+                let mut acc = self.bias1.w[f];
+                for (c, chan) in input.iter().enumerate() {
+                    let base = (f * cfg.channels + c) * k;
+                    for (j, &w) in self.conv1.w[base..base + k].iter().enumerate() {
+                        acc += w * chan[i + j];
+                    }
+                }
+                *out = acc.max(0.0);
+            }
+        }
+        // Pool1.
+        let (p1, arg1) = maxpool(&a1);
+        // Conv2 + ReLU.
+        let mut a2 = vec![vec![0.0; self.l3()]; cfg.filters2];
+        for (f, row) in a2.iter_mut().enumerate() {
+            for (i, out) in row.iter_mut().enumerate() {
+                let mut acc = self.bias2.w[f];
+                for (c, chan) in p1.iter().enumerate() {
+                    let base = (f * cfg.filters1 + c) * k;
+                    for (j, &w) in self.conv2.w[base..base + k].iter().enumerate() {
+                        acc += w * chan[i + j];
+                    }
+                }
+                *out = acc.max(0.0);
+            }
+        }
+        // Pool2 + dense.
+        let (p2, arg2) = maxpool(&a2);
+        let flat: Vec<f64> = p2.iter().flatten().copied().collect();
+        let mut logits = vec![0.0; self.n_classes];
+        for (cls, l) in logits.iter_mut().enumerate() {
+            let base = cls * flat.len();
+            *l = self.bias3.w[cls]
+                + self.dense.w[base..base + flat.len()]
+                    .iter()
+                    .zip(&flat)
+                    .map(|(w, v)| w * v)
+                    .sum::<f64>();
+        }
+        let probs = softmax(&logits);
+        Forward { input, a1, p1, arg1, a2, p2, arg2, probs }
+    }
+
+    /// Accumulate gradients for one sample into the provided buffers.
+    #[allow(clippy::too_many_arguments)] // internal plumbing of the six buffers
+    fn backward(
+        &self,
+        fwd: &Forward,
+        label: usize,
+        g_conv1: &mut [f64],
+        g_bias1: &mut [f64],
+        g_conv2: &mut [f64],
+        g_bias2: &mut [f64],
+        g_dense: &mut [f64],
+        g_bias3: &mut [f64],
+    ) {
+        let cfg = &self.config;
+        let k = cfg.kernel;
+        let flat: Vec<f64> = fwd.p2.iter().flatten().copied().collect();
+        // Softmax cross-entropy gradient.
+        let mut d_logits = fwd.probs.clone();
+        d_logits[label] -= 1.0;
+        // Dense.
+        let mut d_flat = vec![0.0; flat.len()];
+        for (cls, &dl) in d_logits.iter().enumerate() {
+            g_bias3[cls] += dl;
+            let base = cls * flat.len();
+            for (j, &v) in flat.iter().enumerate() {
+                g_dense[base + j] += dl * v;
+                d_flat[j] += dl * self.dense.w[base + j];
+            }
+        }
+        // Un-flatten to pool2 shape, route through argmax and ReLU of a2.
+        let mut d_a2 = vec![vec![0.0; self.l3()]; cfg.filters2];
+        for f in 0..cfg.filters2 {
+            for i in 0..self.l4() {
+                let d = d_flat[f * self.l4() + i];
+                let src = fwd.arg2[f][i];
+                if fwd.a2[f][src] > 0.0 {
+                    d_a2[f][src] += d;
+                }
+            }
+        }
+        // Conv2 gradients + propagate to pool1.
+        let mut d_p1 = vec![vec![0.0; self.l2()]; cfg.filters1];
+        for (f, drow) in d_a2.iter().enumerate() {
+            for (i, &d) in drow.iter().enumerate() {
+                if d == 0.0 {
+                    continue;
+                }
+                g_bias2[f] += d;
+                for (c, chan) in fwd.p1.iter().enumerate() {
+                    let base = (f * cfg.filters1 + c) * k;
+                    for j in 0..k {
+                        g_conv2[base + j] += d * chan[i + j];
+                        d_p1[c][i + j] += d * self.conv2.w[base + j];
+                    }
+                }
+            }
+        }
+        // Route through pool1/ReLU of a1, then conv1 gradients.
+        let mut d_a1 = vec![vec![0.0; self.l1()]; cfg.filters1];
+        for (f, drow) in d_p1.iter().enumerate() {
+            for (i, &d) in drow.iter().enumerate().take(self.l2()) {
+                if d == 0.0 {
+                    continue;
+                }
+                let src = fwd.arg1[f][i];
+                if fwd.a1[f][src] > 0.0 {
+                    d_a1[f][src] += d;
+                }
+            }
+        }
+        for (f, drow) in d_a1.iter().enumerate() {
+            for (i, &d) in drow.iter().enumerate() {
+                if d == 0.0 {
+                    continue;
+                }
+                g_bias1[f] += d;
+                for (c, chan) in fwd.input.iter().enumerate() {
+                    let base = (f * cfg.channels + c) * k;
+                    for j in 0..k {
+                        g_conv1[base + j] += d * chan[i + j];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Class probabilities for one sample.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Classifier::predict`].
+    pub fn predict_proba(&self, x: &[f64]) -> Result<Vec<f64>, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        if x.len() != self.length * self.config.channels {
+            return Err(MlError::DimensionMismatch {
+                expected: self.length * self.config.channels,
+                got: x.len(),
+            });
+        }
+        Ok(self.forward(x).probs)
+    }
+}
+
+/// 2:1 max pooling per row; returns pooled values and source indices.
+fn maxpool(rows: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<Vec<usize>>) {
+    let mut pooled = Vec::with_capacity(rows.len());
+    let mut args = Vec::with_capacity(rows.len());
+    for row in rows {
+        let half = row.len() / 2;
+        let mut p = Vec::with_capacity(half);
+        let mut a = Vec::with_capacity(half);
+        for i in 0..half {
+            let (l, r) = (row[2 * i], row[2 * i + 1]);
+            if l >= r {
+                p.push(l);
+                a.push(2 * i);
+            } else {
+                p.push(r);
+                a.push(2 * i + 1);
+            }
+        }
+        pooled.push(p);
+        args.push(a);
+    }
+    (pooled, args)
+}
+
+fn softmax(logits: &[f64]) -> Vec<f64> {
+    let m = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&v| (v - m).exp()).collect();
+    let s: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / s).collect()
+}
+
+impl Classifier for CnnClassifier {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<(), MlError> {
+        let (width, n_classes) = validate_training_set(x, y)?;
+        if width % self.config.channels != 0 {
+            return Err(MlError::InvalidData("input width not divisible by channel count"));
+        }
+        self.length = width / self.config.channels;
+        self.n_classes = n_classes;
+        if self.length < 2 * self.config.kernel + 4 {
+            return Err(MlError::InvalidData("input too short for two conv+pool stages"));
+        }
+        let cfg = self.config;
+        let k = cfg.kernel;
+        let mut state = cfg.seed.wrapping_add(0xC44);
+        let scale1 = (2.0 / (cfg.channels * k) as f64).sqrt();
+        let scale2 = (2.0 / (cfg.filters1 * k) as f64).sqrt();
+        self.conv1 = Param::new(cfg.filters1 * cfg.channels * k, &mut state, scale1);
+        self.bias1 = Param::new(cfg.filters1, &mut state, 0.01);
+        self.conv2 = Param::new(cfg.filters2 * cfg.filters1 * k, &mut state, scale2);
+        self.bias2 = Param::new(cfg.filters2, &mut state, 0.01);
+        let flat = cfg.filters2 * self.l4();
+        let scale3 = (2.0 / flat as f64).sqrt();
+        self.dense = Param::new(n_classes * flat, &mut state, scale3);
+        self.bias3 = Param::new(n_classes, &mut state, 0.01);
+        self.fitted = true; // forward() is used during training
+
+        let n = x.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        for epoch in 0..cfg.epochs {
+            // Deterministic shuffle.
+            let mut st = cfg.seed ^ (epoch as u64).wrapping_mul(0x9E37);
+            for i in (1..n).rev() {
+                let j = (uniform(&mut st, 0.5) + 0.5).abs() * (i + 1) as f64;
+                order.swap(i, (j as usize).min(i));
+            }
+            for chunk in order.chunks(cfg.batch) {
+                let mut g_conv1 = vec![0.0; self.conv1.w.len()];
+                let mut g_bias1 = vec![0.0; self.bias1.w.len()];
+                let mut g_conv2 = vec![0.0; self.conv2.w.len()];
+                let mut g_bias2 = vec![0.0; self.bias2.w.len()];
+                let mut g_dense = vec![0.0; self.dense.w.len()];
+                let mut g_bias3 = vec![0.0; self.bias3.w.len()];
+                for &idx in chunk {
+                    let fwd = self.forward(&x[idx]);
+                    self.backward(
+                        &fwd,
+                        y[idx],
+                        &mut g_conv1,
+                        &mut g_bias1,
+                        &mut g_conv2,
+                        &mut g_bias2,
+                        &mut g_dense,
+                        &mut g_bias3,
+                    );
+                }
+                let inv = 1.0 / chunk.len() as f64;
+                for g in [
+                    &mut g_conv1,
+                    &mut g_bias1,
+                    &mut g_conv2,
+                    &mut g_bias2,
+                    &mut g_dense,
+                    &mut g_bias3,
+                ] {
+                    for v in g.iter_mut() {
+                        *v *= inv;
+                    }
+                }
+                self.conv1.step(&g_conv1, cfg.learning_rate, cfg.momentum);
+                self.bias1.step(&g_bias1, cfg.learning_rate, cfg.momentum);
+                self.conv2.step(&g_conv2, cfg.learning_rate, cfg.momentum);
+                self.bias2.step(&g_bias2, cfg.learning_rate, cfg.momentum);
+                self.dense.step(&g_dense, cfg.learning_rate, cfg.momentum);
+                self.bias3.step(&g_bias3, cfg.learning_rate, cfg.momentum);
+            }
+        }
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<usize, MlError> {
+        let p = self.predict_proba(x)?;
+        Ok(p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0))
+    }
+
+    fn name(&self) -> &'static str {
+        "CNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_bump(phase: f64) -> Vec<f64> {
+        (0..48)
+            .map(|i| {
+                let t = (i as f64 / 48.0 + phase).clamp(0.0, 1.0);
+                (std::f64::consts::PI * t).sin().powi(2)
+            })
+            .collect()
+    }
+
+    fn two_bumps(phase: f64) -> Vec<f64> {
+        (0..48)
+            .map(|i| {
+                let t = (i as f64 / 48.0 + phase).clamp(0.0, 1.0);
+                (2.0 * std::f64::consts::PI * t).sin().powi(2)
+            })
+            .collect()
+    }
+
+    fn training_set() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for k in 0..12 {
+            let p = k as f64 * 0.012;
+            x.push(one_bump(p));
+            y.push(0);
+            x.push(two_bumps(p));
+            y.push(1);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_temporal_shapes() {
+        let (x, y) = training_set();
+        let mut c = CnnClassifier::new(CnnConfig { epochs: 60, ..Default::default() });
+        c.fit(&x, &y).unwrap();
+        let mut correct = 0;
+        for probe in 0..6 {
+            let p = 0.003 + probe as f64 * 0.013;
+            if c.predict(&one_bump(p)).unwrap() == 0 {
+                correct += 1;
+            }
+            if c.predict(&two_bumps(p)).unwrap() == 1 {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 10, "correct {correct}/12");
+    }
+
+    #[test]
+    fn probabilities_are_normalized() {
+        let (x, y) = training_set();
+        let mut c = CnnClassifier::new(CnnConfig::default());
+        c.fit(&x, &y).unwrap();
+        let p = c.predict_proba(&one_bump(0.0)).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (x, y) = training_set();
+        let run = || {
+            let mut c = CnnClassifier::new(CnnConfig { epochs: 5, ..Default::default() });
+            c.fit(&x, &y).unwrap();
+            c.predict_proba(&one_bump(0.01)).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let c = CnnClassifier::new(CnnConfig::default());
+        assert_eq!(c.predict(&one_bump(0.0)), Err(MlError::NotFitted));
+    }
+
+    #[test]
+    fn too_short_input_rejected() {
+        let x = vec![vec![1.0; 8], vec![2.0; 8]];
+        let y = vec![0, 1];
+        let mut c = CnnClassifier::new(CnnConfig::default());
+        assert!(matches!(c.fit(&x, &y), Err(MlError::InvalidData(_))));
+    }
+
+    #[test]
+    fn indivisible_channels_rejected() {
+        let x = vec![vec![1.0; 47], vec![2.0; 47]];
+        let y = vec![0, 1];
+        let mut c = CnnClassifier::new(CnnConfig { channels: 2, ..Default::default() });
+        assert!(matches!(c.fit(&x, &y), Err(MlError::InvalidData(_))));
+    }
+
+    #[test]
+    fn wrong_width_prediction_rejected() {
+        let (x, y) = training_set();
+        let mut c = CnnClassifier::new(CnnConfig { epochs: 2, ..Default::default() });
+        c.fit(&x, &y).unwrap();
+        assert!(matches!(
+            c.predict(&[0.0; 10]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn multichannel_input_trains() {
+        // 3 channels × 48 samples, class decided by which channel holds
+        // the bump.
+        let make = |chan: usize, phase: f64| -> Vec<f64> {
+            let mut v = vec![0.0; 3 * 48];
+            for (i, b) in one_bump(phase).into_iter().enumerate() {
+                v[chan * 48 + i] = b;
+            }
+            v
+        };
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for k in 0..8 {
+            let p = k as f64 * 0.01;
+            for chan in 0..3 {
+                x.push(make(chan, p));
+                y.push(chan);
+            }
+        }
+        let mut c = CnnClassifier::new(CnnConfig { channels: 3, epochs: 60, ..Default::default() });
+        c.fit(&x, &y).unwrap();
+        let mut correct = 0;
+        for chan in 0..3 {
+            if c.predict(&make(chan, 0.005)).unwrap() == chan {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 2, "correct {correct}/3");
+    }
+}

@@ -1,0 +1,248 @@
+//! Dynamic Time Warping 1-nearest-neighbour classifier — one of the
+//! alternatives the paper weighs and rejects (§IV-C2: "comparing to Hidden
+//! Markov Models, Dynamic Time Warping, and Convolutional Neural Networks,
+//! RF has lower computational expense, which is more suitable for
+//! real-time gesture recognition on wearable smart devices").
+//!
+//! Implemented so that claim can be measured: a Sakoe–Chiba-banded DTW
+//! over fixed-length resampled envelopes with 1-NN voting. Accuracy is
+//! competitive; inference cost is `O(n_train · len · band)` per query,
+//! orders of magnitude above a forest traversal.
+
+use crate::classifier::{validate_training_set, Classifier};
+use crate::error::MlError;
+use serde::{Deserialize, Serialize};
+
+/// DTW classifier configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DtwConfig {
+    /// Sakoe–Chiba band half-width in samples (warping constraint).
+    pub band: usize,
+    /// Number of neighbours to vote (1 = classic 1-NN).
+    pub k: usize,
+}
+
+impl Default for DtwConfig {
+    fn default() -> Self {
+        DtwConfig { band: 8, k: 1 }
+    }
+}
+
+/// A k-NN classifier under the DTW distance.
+///
+/// Inputs are flat feature vectors like every other [`Classifier`]; each
+/// vector is interpreted as a time series (the airFinger harness feeds
+/// resampled gesture envelopes).
+///
+/// # Example
+///
+/// ```
+/// use airfinger_ml::dtw::{DtwClassifier, DtwConfig};
+/// use airfinger_ml::classifier::Classifier;
+///
+/// // Two template shapes; a time-warped copy still matches its class.
+/// let rise: Vec<f64> = (0..30).map(|i| i as f64 / 30.0).collect();
+/// let fall: Vec<f64> = (0..30).map(|i| 1.0 - i as f64 / 30.0).collect();
+/// let mut dtw = DtwClassifier::new(DtwConfig::default());
+/// dtw.fit(&[rise.clone(), fall.clone()], &[0, 1])?;
+/// let warped: Vec<f64> = (0..30).map(|i| ((i as f64 + 3.0) / 33.0).min(1.0)).collect();
+/// assert_eq!(dtw.predict(&warped)?, 0);
+/// # Ok::<(), airfinger_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DtwClassifier {
+    config: DtwConfig,
+    templates: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    fitted: bool,
+}
+
+impl DtwClassifier {
+    /// Create an untrained classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    #[must_use]
+    pub fn new(config: DtwConfig) -> Self {
+        assert!(config.k > 0, "k must be at least 1");
+        DtwClassifier { config, templates: Vec::new(), labels: Vec::new(), fitted: false }
+    }
+
+    /// Number of stored templates.
+    #[must_use]
+    pub fn template_count(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Banded DTW distance between two equal-length series.
+    #[must_use]
+    pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        dtw_banded(a, b, self.config.band)
+    }
+}
+
+/// Banded DTW with squared pointwise cost; `usize::MAX`-free, `O(n·band)`.
+#[must_use]
+pub fn dtw_banded(a: &[f64], b: &[f64], band: usize) -> f64 {
+    let n = a.len();
+    let m = b.len();
+    if n == 0 || m == 0 {
+        return f64::INFINITY;
+    }
+    let band = band.max(n.abs_diff(m));
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        curr.fill(f64::INFINITY);
+        let lo = i.saturating_sub(band).max(1);
+        let hi = (i + band).min(m);
+        for j in lo..=hi {
+            let d = a[i - 1] - b[j - 1];
+            let step = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            curr[j] = d * d + step;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+impl Classifier for DtwClassifier {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<(), MlError> {
+        validate_training_set(x, y)?;
+        self.templates = x.to_vec();
+        self.labels = y.to_vec();
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<usize, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        if x.len() != self.templates[0].len() {
+            return Err(MlError::DimensionMismatch {
+                expected: self.templates[0].len(),
+                got: x.len(),
+            });
+        }
+        // k nearest templates by DTW distance.
+        let mut best: Vec<(f64, usize)> = Vec::with_capacity(self.config.k + 1);
+        for (t, &label) in self.templates.iter().zip(&self.labels) {
+            let d = self.distance(x, t);
+            let pos = best.partition_point(|(bd, _)| *bd < d);
+            if pos < self.config.k {
+                best.insert(pos, (d, label));
+                best.truncate(self.config.k);
+            }
+        }
+        // Majority vote; ties resolve to the nearest.
+        let mut counts = std::collections::HashMap::new();
+        for (_, l) in &best {
+            *counts.entry(*l).or_insert(0usize) += 1;
+        }
+        let top = counts.values().copied().max().unwrap_or(0);
+        Ok(best
+            .iter()
+            .find(|(_, l)| counts[l] == top)
+            .map(|(_, l)| *l)
+            .unwrap_or(0))
+    }
+
+    fn name(&self) -> &'static str {
+        "DTW"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shifted_sine(shift: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i as f64 / n as f64) * 6.0 + shift).sin()).collect()
+    }
+
+    #[test]
+    fn dtw_zero_for_identical() {
+        let a = shifted_sine(0.0, 40);
+        assert_eq!(dtw_banded(&a, &a, 5), 0.0);
+    }
+
+    #[test]
+    fn dtw_tolerates_time_warp() {
+        // A slightly time-shifted copy is much closer under DTW than under
+        // Euclidean distance.
+        let a = shifted_sine(0.0, 40);
+        let b = shifted_sine(0.35, 40);
+        let euclid: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+        let dtw = dtw_banded(&a, &b, 6);
+        assert!(dtw < euclid / 3.0, "dtw {dtw} vs euclid {euclid}");
+    }
+
+    #[test]
+    fn dtw_symmetric() {
+        let a = shifted_sine(0.0, 30);
+        let b = shifted_sine(1.0, 30);
+        assert!((dtw_banded(&a, &b, 5) - dtw_banded(&b, &a, 5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dtw_empty_is_infinite() {
+        assert!(dtw_banded(&[], &[1.0], 3).is_infinite());
+    }
+
+    #[test]
+    fn classifies_warped_patterns() {
+        // Class 0: one bump; class 1: two bumps — with random time warps.
+        let bump1 = |phase: f64| -> Vec<f64> {
+            (0..50)
+                .map(|i| {
+                    let t = (i as f64 / 50.0 + phase).clamp(0.0, 1.0);
+                    (std::f64::consts::PI * t).sin().powi(2)
+                })
+                .collect()
+        };
+        let bump2 = |phase: f64| -> Vec<f64> {
+            (0..50)
+                .map(|i| {
+                    let t = (i as f64 / 50.0 + phase).clamp(0.0, 1.0);
+                    (2.0 * std::f64::consts::PI * t).sin().powi(2)
+                })
+                .collect()
+        };
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for k in 0..8 {
+            let p = k as f64 * 0.01;
+            x.push(bump1(p));
+            y.push(0);
+            x.push(bump2(p));
+            y.push(1);
+        }
+        let mut c = DtwClassifier::new(DtwConfig::default());
+        c.fit(&x, &y).unwrap();
+        assert_eq!(c.predict(&bump1(0.05)).unwrap(), 0);
+        assert_eq!(c.predict(&bump2(0.05)).unwrap(), 1);
+        assert_eq!(c.template_count(), 16);
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let c = DtwClassifier::new(DtwConfig::default());
+        assert_eq!(c.predict(&[1.0]), Err(MlError::NotFitted));
+    }
+
+    #[test]
+    fn wrong_width_errors() {
+        let mut c = DtwClassifier::new(DtwConfig::default());
+        c.fit(&[vec![1.0, 2.0], vec![2.0, 1.0]], &[0, 1]).unwrap();
+        assert!(matches!(c.predict(&[1.0]), Err(MlError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn zero_k_panics() {
+        let _ = DtwClassifier::new(DtwConfig { band: 5, k: 0 });
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types for the ML crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by classifier training and inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MlError {
+    /// Training was attempted on an empty dataset.
+    EmptyDataset,
+    /// Feature vectors have inconsistent lengths, or labels and features
+    /// have different counts.
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        got: usize,
+    },
+    /// Prediction was requested before `fit` succeeded.
+    NotFitted,
+    /// A hyperparameter is outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: &'static str,
+    },
+    /// A label value is out of range or a feature is non-finite.
+    InvalidData(&'static str),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyDataset => write!(f, "training dataset is empty"),
+            MlError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            MlError::NotFitted => write!(f, "model has not been fitted"),
+            MlError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            MlError::InvalidData(what) => write!(f, "invalid data: {what}"),
+        }
+    }
+}
+
+impl Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MlError::NotFitted.to_string().contains("not been fitted"));
+        let e = MlError::DimensionMismatch { expected: 3, got: 5 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<MlError>();
+    }
+}

@@ -1,0 +1,279 @@
+//! Random forest: bagged CART trees with majority voting and
+//! mean-decrease-in-impurity feature importances.
+//!
+//! This is the paper's classifier of choice: "we apply an RF-based
+//! classifier to recognize micro finger gestures because several works have
+//! shown that RF can perform well … regarding accuracy, robustness, and
+//! scalability", and its importance feedback is what selects the 25
+//! Table-I features.
+
+use crate::classifier::{validate_training_set, Classifier};
+use crate::error::MlError;
+use crate::tree::{DecisionTree, DecisionTreeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Random-forest hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RandomForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Depth limit per tree.
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Features considered per split; `None` = `√n_features`.
+    pub max_features: Option<usize>,
+    /// Master RNG seed (per-tree seeds derive from it).
+    pub seed: u64,
+}
+
+impl Default for RandomForestConfig {
+    /// Paper-style defaults ("all these classifiers use default
+    /// parameters"): 100 trees, √n features per split.
+    fn default() -> Self {
+        RandomForestConfig {
+            n_trees: 100,
+            max_depth: 24,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+            seed: 0,
+        }
+    }
+}
+
+/// A bootstrap-aggregated forest of CART trees.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    config: RandomForestConfig,
+    trees: Vec<DecisionTree>,
+    n_features: usize,
+    n_classes: usize,
+    importances: Vec<f64>,
+    fitted: bool,
+}
+
+impl RandomForest {
+    /// Create an untrained forest.
+    #[must_use]
+    pub fn new(config: RandomForestConfig) -> Self {
+        RandomForest {
+            config,
+            trees: Vec::new(),
+            n_features: 0,
+            n_classes: 0,
+            importances: Vec::new(),
+            fitted: false,
+        }
+    }
+
+    /// Averaged, normalized feature importances (empty before fitting).
+    #[must_use]
+    pub fn feature_importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Number of classes seen during training.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Per-class vote fractions for one sample.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Classifier::predict`].
+    pub fn predict_proba(&self, x: &[f64]) -> Result<Vec<f64>, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        if x.len() != self.n_features {
+            return Err(MlError::DimensionMismatch { expected: self.n_features, got: x.len() });
+        }
+        let mut votes = vec![0usize; self.n_classes];
+        for t in &self.trees {
+            votes[t.predict(x)?] += 1;
+        }
+        let n = self.trees.len() as f64;
+        Ok(votes.into_iter().map(|v| v as f64 / n).collect())
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<(), MlError> {
+        let (n_features, n_classes) = validate_training_set(x, y)?;
+        if self.config.n_trees == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "n_trees",
+                reason: "must be at least 1",
+            });
+        }
+        self.n_features = n_features;
+        self.n_classes = n_classes;
+        let max_features = self
+            .config
+            .max_features
+            .unwrap_or_else(|| ((n_features as f64).sqrt().round() as usize).max(1));
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.trees.clear();
+        let n = x.len();
+        for k in 0..self.config.n_trees {
+            let tree_config = DecisionTreeConfig {
+                max_depth: self.config.max_depth,
+                min_samples_split: self.config.min_samples_split,
+                min_samples_leaf: self.config.min_samples_leaf,
+                max_features: Some(max_features),
+                seed: self.config.seed.wrapping_add(k as u64 + 1),
+            };
+            let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            let mut tree = DecisionTree::new(tree_config);
+            tree.fit_indices(x, y, &indices)?;
+            self.trees.push(tree);
+        }
+        // Average importances across trees.
+        let mut acc = vec![0.0; n_features];
+        for t in &self.trees {
+            for (a, &v) in acc.iter_mut().zip(t.feature_importances()) {
+                *a += v;
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for v in &mut acc {
+                *v /= total;
+            }
+        }
+        self.importances = acc;
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<usize, MlError> {
+        let proba = self.predict_proba(x)?;
+        Ok(proba
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0))
+    }
+
+    fn name(&self) -> &'static str {
+        "RF"
+    }
+}
+
+/// Rank feature indices by forest importance, highest first, and return the
+/// top `k`. This is the paper's selection step: "we utilize feature
+/// feedback from a random forest classifier to rank features by their
+/// contributions … next, we select the top 25 features".
+#[must_use]
+pub fn top_k_features(importances: &[f64], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..importances.len()).collect();
+    order.sort_by(|&a, &b| {
+        importances[b]
+            .partial_cmp(&importances[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order.truncate(k);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_blobs(seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for c in 0..3usize {
+            for _ in 0..40 {
+                let cx = c as f64 * 3.0;
+                x.push(vec![
+                    cx + rng.gen::<f64>() - 0.5,
+                    -cx + rng.gen::<f64>() - 0.5,
+                    rng.gen::<f64>(), // pure noise feature
+                ]);
+                y.push(c);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_three_classes() {
+        let (x, y) = noisy_blobs(1);
+        let mut rf = RandomForest::new(RandomForestConfig { n_trees: 30, seed: 2, ..Default::default() });
+        rf.fit(&x, &y).unwrap();
+        let correct = x.iter().zip(&y).filter(|(xi, &yi)| rf.predict(xi).unwrap() == yi).count();
+        assert!(correct as f64 / x.len() as f64 > 0.95);
+        assert_eq!(rf.n_classes(), 3);
+    }
+
+    #[test]
+    fn proba_sums_to_one() {
+        let (x, y) = noisy_blobs(2);
+        let mut rf = RandomForest::new(RandomForestConfig { n_trees: 15, seed: 0, ..Default::default() });
+        rf.fit(&x, &y).unwrap();
+        let p = rf.predict_proba(&x[0]).unwrap();
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_feature_ranks_last() {
+        let (x, y) = noisy_blobs(3);
+        let mut rf = RandomForest::new(RandomForestConfig { n_trees: 40, seed: 1, ..Default::default() });
+        rf.fit(&x, &y).unwrap();
+        let imp = rf.feature_importances();
+        assert!(imp[2] < imp[0] && imp[2] < imp[1], "importances: {imp:?}");
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_k_orders_by_importance() {
+        let imp = [0.1, 0.5, 0.05, 0.35];
+        assert_eq!(top_k_features(&imp, 2), vec![1, 3]);
+        assert_eq!(top_k_features(&imp, 10), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = noisy_blobs(4);
+        let train = |seed| {
+            let mut rf =
+                RandomForest::new(RandomForestConfig { n_trees: 10, seed, ..Default::default() });
+            rf.fit(&x, &y).unwrap();
+            x.iter().map(|xi| rf.predict(xi).unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(train(7), train(7));
+    }
+
+    #[test]
+    fn zero_trees_rejected() {
+        let (x, y) = noisy_blobs(5);
+        let mut rf = RandomForest::new(RandomForestConfig { n_trees: 0, ..Default::default() });
+        assert!(matches!(rf.fit(&x, &y), Err(MlError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let rf = RandomForest::new(RandomForestConfig::default());
+        assert_eq!(rf.predict(&[1.0]), Err(MlError::NotFitted));
+    }
+
+    #[test]
+    fn single_class_dataset() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![0, 0, 0];
+        let mut rf = RandomForest::new(RandomForestConfig { n_trees: 5, ..Default::default() });
+        rf.fit(&x, &y).unwrap();
+        assert_eq!(rf.predict(&[9.0]).unwrap(), 0);
+    }
+}

@@ -1,0 +1,352 @@
+//! Gaussian hidden Markov model classifier — the second alternative the
+//! paper weighs against the random forest (§IV-C2). One left-right HMM is
+//! trained per class with Baum–Welch; classification picks the class whose
+//! model assigns the sequence the highest (scaled) forward likelihood.
+//!
+//! Observations are 1-D: the airFinger harness feeds the resampled summed
+//! energy envelope of a gesture window, the same temporal signature the
+//! DTW baseline uses.
+
+use crate::classifier::{validate_training_set, Classifier};
+use crate::error::MlError;
+use serde::{Deserialize, Serialize};
+
+/// HMM hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HmmConfig {
+    /// Hidden states per class model (left-right chain).
+    pub states: usize,
+    /// Baum–Welch iterations.
+    pub iterations: usize,
+    /// Variance floor (keeps emissions proper when a state collapses).
+    pub var_floor: f64,
+}
+
+impl Default for HmmConfig {
+    fn default() -> Self {
+        HmmConfig { states: 6, iterations: 12, var_floor: 1e-4 }
+    }
+}
+
+/// A single left-right Gaussian HMM.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct GaussianHmm {
+    /// `trans[i]` = P(stay in i); `1 − trans[i]` moves to `i+1` (the last
+    /// state only self-loops).
+    stay: Vec<f64>,
+    means: Vec<f64>,
+    vars: Vec<f64>,
+}
+
+impl GaussianHmm {
+    /// Initialize by slicing the sequences into `states` equal segments.
+    fn init(sequences: &[&[f64]], config: &HmmConfig) -> GaussianHmm {
+        let k = config.states;
+        let mut means = vec![0.0; k];
+        let mut vars = vec![0.0; k];
+        let mut counts = vec![0usize; k];
+        for seq in sequences {
+            for (t, &v) in seq.iter().enumerate() {
+                let s = (t * k / seq.len()).min(k - 1);
+                means[s] += v;
+                counts[s] += 1;
+            }
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            *m /= c.max(1) as f64;
+        }
+        for seq in sequences {
+            for (t, &v) in seq.iter().enumerate() {
+                let s = (t * k / seq.len()).min(k - 1);
+                vars[s] += (v - means[s]) * (v - means[s]);
+            }
+        }
+        for (v, &c) in vars.iter_mut().zip(&counts) {
+            *v = (*v / c.max(1) as f64).max(config.var_floor);
+        }
+        GaussianHmm { stay: vec![0.7; k], means, vars }
+    }
+
+    fn emission(&self, state: usize, x: f64) -> f64 {
+        let var = self.vars[state];
+        let d = x - self.means[state];
+        (-(d * d) / (2.0 * var)).exp() / (2.0 * std::f64::consts::PI * var).sqrt()
+    }
+
+    /// Scaled forward pass: returns (log-likelihood, alphas, scales).
+    fn forward(&self, seq: &[f64]) -> (f64, Vec<Vec<f64>>, Vec<f64>) {
+        let k = self.stay.len();
+        let n = seq.len();
+        let mut alphas = vec![vec![0.0; k]; n];
+        let mut scales = vec![0.0; n];
+        // Left-right: start in state 0.
+        alphas[0][0] = self.emission(0, seq[0]).max(f64::MIN_POSITIVE);
+        let mut log_like = 0.0;
+        for t in 0..n {
+            if t > 0 {
+                for s in 0..k {
+                    let from_stay = alphas[t - 1][s] * self.stay[s];
+                    let from_prev = if s > 0 {
+                        alphas[t - 1][s - 1] * (1.0 - self.stay[s - 1])
+                    } else {
+                        0.0
+                    };
+                    alphas[t][s] =
+                        (from_stay + from_prev) * self.emission(s, seq[t]).max(f64::MIN_POSITIVE);
+                }
+                // The last state absorbs its "advance" mass by self-loop.
+                let last_extra = alphas[t - 1][k - 1] * (1.0 - self.stay[k - 1])
+                    * self.emission(k - 1, seq[t]).max(f64::MIN_POSITIVE);
+                alphas[t][k - 1] += last_extra;
+            }
+            let scale: f64 = alphas[t].iter().sum::<f64>().max(f64::MIN_POSITIVE);
+            for a in &mut alphas[t] {
+                *a /= scale;
+            }
+            scales[t] = scale;
+            log_like += scale.ln();
+        }
+        (log_like, alphas, scales)
+    }
+
+    /// Scaled backward pass given the forward scales.
+    fn backward(&self, seq: &[f64], scales: &[f64]) -> Vec<Vec<f64>> {
+        let k = self.stay.len();
+        let n = seq.len();
+        let mut betas = vec![vec![0.0; k]; n];
+        for b in &mut betas[n - 1] {
+            *b = 1.0;
+        }
+        for t in (0..n - 1).rev() {
+            for s in 0..k {
+                let e_stay = self.emission(s, seq[t + 1]).max(f64::MIN_POSITIVE);
+                let mut acc = self.stay[s] * e_stay * betas[t + 1][s];
+                let next = (s + 1).min(k - 1);
+                let e_next = self.emission(next, seq[t + 1]).max(f64::MIN_POSITIVE);
+                acc += (1.0 - self.stay[s]) * e_next * betas[t + 1][next];
+                betas[t][s] = acc / scales[t + 1];
+            }
+        }
+        betas
+    }
+
+    /// One Baum–Welch update over all sequences.
+    fn reestimate(&mut self, sequences: &[&[f64]], config: &HmmConfig) {
+        let k = self.stay.len();
+        let mut mean_num = vec![0.0; k];
+        let mut var_num = vec![0.0; k];
+        let mut gamma_sum = vec![0.0; k];
+        let mut stay_num = vec![0.0; k];
+        let mut trans_den = vec![0.0; k];
+        for seq in sequences {
+            if seq.len() < 2 {
+                continue;
+            }
+            let (_, alphas, scales) = self.forward(seq);
+            let betas = self.backward(seq, &scales);
+            for t in 0..seq.len() {
+                for s in 0..k {
+                    let gamma = alphas[t][s] * betas[t][s];
+                    gamma_sum[s] += gamma;
+                    mean_num[s] += gamma * seq[t];
+                    var_num[s] += gamma * (seq[t] - self.means[s]) * (seq[t] - self.means[s]);
+                }
+            }
+            for t in 0..seq.len() - 1 {
+                for s in 0..k {
+                    let e_stay = self.emission(s, seq[t + 1]).max(f64::MIN_POSITIVE);
+                    let xi_stay =
+                        alphas[t][s] * self.stay[s] * e_stay * betas[t + 1][s] / scales[t + 1];
+                    stay_num[s] += xi_stay;
+                    trans_den[s] += alphas[t][s] * betas[t][s];
+                }
+            }
+        }
+        for s in 0..k {
+            if gamma_sum[s] > 0.0 {
+                self.means[s] = mean_num[s] / gamma_sum[s];
+                self.vars[s] = (var_num[s] / gamma_sum[s]).max(config.var_floor);
+            }
+            if trans_den[s] > 0.0 {
+                self.stay[s] = (stay_num[s] / trans_den[s]).clamp(0.05, 0.98);
+            }
+        }
+    }
+}
+
+/// One Gaussian HMM per class, classified by maximum forward likelihood.
+///
+/// # Example
+///
+/// ```
+/// use airfinger_ml::hmm::{HmmClassifier, HmmConfig};
+/// use airfinger_ml::classifier::Classifier;
+///
+/// let low: Vec<f64> = vec![0.1; 30];
+/// let high: Vec<f64> = vec![0.9; 30];
+/// let mut hmm = HmmClassifier::new(HmmConfig { states: 2, ..Default::default() });
+/// hmm.fit(&[low.clone(), high.clone()], &[0, 1])?;
+/// assert_eq!(hmm.predict(&low)?, 0);
+/// assert_eq!(hmm.predict(&high)?, 1);
+/// # Ok::<(), airfinger_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HmmClassifier {
+    config: HmmConfig,
+    models: Vec<GaussianHmm>,
+    fitted: bool,
+}
+
+impl HmmClassifier {
+    /// Create an untrained classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is zero.
+    #[must_use]
+    pub fn new(config: HmmConfig) -> Self {
+        assert!(config.states > 0, "need at least one state");
+        HmmClassifier { config, models: Vec::new(), fitted: false }
+    }
+
+    /// Per-class log-likelihoods of one sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotFitted`] before training.
+    pub fn log_likelihoods(&self, x: &[f64]) -> Result<Vec<f64>, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        Ok(self.models.iter().map(|m| m.forward(x).0).collect())
+    }
+}
+
+impl Classifier for HmmClassifier {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<(), MlError> {
+        let (_, n_classes) = validate_training_set(x, y)?;
+        self.models.clear();
+        for class in 0..n_classes {
+            let sequences: Vec<&[f64]> = x
+                .iter()
+                .zip(y)
+                .filter(|(_, &l)| l == class)
+                .map(|(s, _)| s.as_slice())
+                .collect();
+            if sequences.is_empty() {
+                return Err(MlError::InvalidData("a class has no training sequences"));
+            }
+            let mut hmm = GaussianHmm::init(&sequences, &self.config);
+            for _ in 0..self.config.iterations {
+                hmm.reestimate(&sequences, &self.config);
+            }
+            self.models.push(hmm);
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<usize, MlError> {
+        let ll = self.log_likelihoods(x)?;
+        Ok(ll
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0))
+    }
+
+    fn name(&self) -> &'static str {
+        "HMM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_bump(phase: f64) -> Vec<f64> {
+        (0..48)
+            .map(|i| {
+                let t = (i as f64 / 48.0 + phase).clamp(0.0, 1.0);
+                (std::f64::consts::PI * t).sin().powi(2)
+            })
+            .collect()
+    }
+
+    fn two_bumps(phase: f64) -> Vec<f64> {
+        (0..48)
+            .map(|i| {
+                let t = (i as f64 / 48.0 + phase).clamp(0.0, 1.0);
+                (2.0 * std::f64::consts::PI * t).sin().powi(2)
+            })
+            .collect()
+    }
+
+    fn training_set() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for k in 0..10 {
+            let p = k as f64 * 0.01;
+            x.push(one_bump(p));
+            y.push(0);
+            x.push(two_bumps(p));
+            y.push(1);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn classifies_temporal_shapes() {
+        let (x, y) = training_set();
+        let mut c = HmmClassifier::new(HmmConfig::default());
+        c.fit(&x, &y).unwrap();
+        assert_eq!(c.predict(&one_bump(0.03)).unwrap(), 0);
+        assert_eq!(c.predict(&two_bumps(0.03)).unwrap(), 1);
+    }
+
+    #[test]
+    fn likelihoods_prefer_own_class() {
+        let (x, y) = training_set();
+        let mut c = HmmClassifier::new(HmmConfig::default());
+        c.fit(&x, &y).unwrap();
+        let ll = c.log_likelihoods(&one_bump(0.0)).unwrap();
+        assert!(ll[0] > ll[1], "ll = {ll:?}");
+        assert!(ll.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn training_improves_likelihood() {
+        let (x, y) = training_set();
+        let mut short = HmmClassifier::new(HmmConfig { iterations: 1, ..Default::default() });
+        short.fit(&x, &y).unwrap();
+        let mut long = HmmClassifier::new(HmmConfig { iterations: 15, ..Default::default() });
+        long.fit(&x, &y).unwrap();
+        let probe = one_bump(0.0);
+        assert!(
+            long.log_likelihoods(&probe).unwrap()[0]
+                >= short.log_likelihoods(&probe).unwrap()[0] - 1e-6
+        );
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let c = HmmClassifier::new(HmmConfig::default());
+        assert_eq!(c.predict(&[1.0, 2.0]), Err(MlError::NotFitted));
+    }
+
+    #[test]
+    fn missing_class_is_invalid() {
+        // Labels 0 and 2 only: class 1 has no sequences.
+        let x = vec![one_bump(0.0), two_bumps(0.0)];
+        let y = vec![0, 2];
+        let mut c = HmmClassifier::new(HmmConfig::default());
+        assert!(matches!(c.fit(&x, &y), Err(MlError::InvalidData(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn zero_states_panics() {
+        let _ = HmmClassifier::new(HmmConfig { states: 0, ..Default::default() });
+    }
+}

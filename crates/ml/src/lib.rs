@@ -1,0 +1,65 @@
+//! From-scratch classifiers and evaluation harness for airFinger.
+//!
+//! The paper classifies gesture feature vectors with a **Random Forest**,
+//! selected after comparing against Logistic Regression, a single Decision
+//! Tree and Bernoulli Naive Bayes (§IV-C2, §V-E). All four are implemented
+//! here, plus the evaluation machinery behind every accuracy figure:
+//!
+//! * [`tree`] — CART decision tree (Gini impurity) with optional per-split
+//!   feature subsampling.
+//! * [`forest`] — bootstrap-aggregated random forest with mean-decrease-in-
+//!   impurity feature importances (the "feature importance feedback" the
+//!   paper uses to pick its 25 features).
+//! * [`logistic`] — multinomial (softmax) logistic regression trained by
+//!   gradient descent with L2 regularization.
+//! * [`naive_bayes`] — Bernoulli naive Bayes over median-binarized
+//!   features.
+//! * [`dtw`] — a banded-DTW 1-NN baseline, one of the alternatives §IV-C2
+//!   rejects on computational cost.
+//! * [`hmm`] — a per-class left-right Gaussian HMM baseline (Baum–Welch /
+//!   forward scoring), another §IV-C2 alternative.
+//! * [`cnn`] — a small from-scratch 1-D CNN (manual backprop, SGD with
+//!   momentum), completing the §IV-C2 alternative set.
+//! * [`split`] — stratified train/test splits, stratified k-fold, and
+//!   leave-one-group-out (the paper's leave-one-user-out and
+//!   leave-one-session-out protocols).
+//! * [`metrics`] — confusion matrices, accuracy, per-class recall and
+//!   precision.
+//!
+//! # Example
+//!
+//! ```
+//! use airfinger_ml::forest::{RandomForest, RandomForestConfig};
+//! use airfinger_ml::classifier::Classifier;
+//!
+//! // Two separable blobs.
+//! let x: Vec<Vec<f64>> = (0..40)
+//!     .map(|i| if i < 20 { vec![0.0, i as f64 * 0.01] } else { vec![1.0, i as f64 * 0.01] })
+//!     .collect();
+//! let y: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
+//!
+//! let mut rf = RandomForest::new(RandomForestConfig { n_trees: 10, seed: 1, ..Default::default() });
+//! rf.fit(&x, &y)?;
+//! assert_eq!(rf.predict(&[0.9, 0.5])?, 1);
+//! # Ok::<(), airfinger_ml::MlError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classifier;
+pub mod cnn;
+pub mod dtw;
+pub mod error;
+pub mod forest;
+pub mod hmm;
+pub mod logistic;
+pub mod metrics;
+pub mod naive_bayes;
+pub mod split;
+pub mod tree;
+
+pub use classifier::Classifier;
+pub use error::MlError;
+pub use forest::{RandomForest, RandomForestConfig};
+pub use metrics::ConfusionMatrix;

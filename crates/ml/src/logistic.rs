@@ -1,0 +1,260 @@
+//! Multinomial (softmax) logistic regression trained by batch gradient
+//! descent with L2 regularization.
+//!
+//! The paper notes LR "also performs not bad" on accuracy but that "its
+//! computing time is much longer than that of RF" — a claim the
+//! `classifiers` Criterion bench reproduces (LR pays an iterative
+//! optimization at training time).
+
+use crate::classifier::{validate_training_set, Classifier};
+use crate::error::MlError;
+use serde::{Deserialize, Serialize};
+
+/// Logistic-regression hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogisticRegressionConfig {
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl Default for LogisticRegressionConfig {
+    fn default() -> Self {
+        LogisticRegressionConfig { iterations: 800, learning_rate: 0.5, l2: 1e-4 }
+    }
+}
+
+/// Multinomial logistic regression with internal feature standardization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    config: LogisticRegressionConfig,
+    /// `weights[c][f]`, plus bias at index `n_features`.
+    weights: Vec<Vec<f64>>,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+    n_features: usize,
+    n_classes: usize,
+    fitted: bool,
+}
+
+impl LogisticRegression {
+    /// Create an untrained model.
+    #[must_use]
+    pub fn new(config: LogisticRegressionConfig) -> Self {
+        LogisticRegression {
+            config,
+            weights: Vec::new(),
+            means: Vec::new(),
+            stds: Vec::new(),
+            n_features: 0,
+            n_classes: 0,
+            fitted: false,
+        }
+    }
+
+    fn standardize(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .enumerate()
+            .map(|(f, &v)| (v - self.means[f]) / self.stds[f])
+            .collect()
+    }
+
+    fn logits(&self, z: &[f64]) -> Vec<f64> {
+        self.weights
+            .iter()
+            .map(|w| {
+                let mut s = w[self.n_features]; // bias
+                for (f, &v) in z.iter().enumerate() {
+                    s += w[f] * v;
+                }
+                s
+            })
+            .collect()
+    }
+
+    /// Class probabilities for one sample.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Classifier::predict`].
+    pub fn predict_proba(&self, x: &[f64]) -> Result<Vec<f64>, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        if x.len() != self.n_features {
+            return Err(MlError::DimensionMismatch { expected: self.n_features, got: x.len() });
+        }
+        let z = self.standardize(x);
+        Ok(softmax(&self.logits(&z)))
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<(), MlError> {
+        let (n_features, n_classes) = validate_training_set(x, y)?;
+        if self.config.iterations == 0 || self.config.learning_rate <= 0.0 {
+            return Err(MlError::InvalidParameter {
+                name: "iterations/learning_rate",
+                reason: "must be positive",
+            });
+        }
+        self.n_features = n_features;
+        self.n_classes = n_classes;
+        // Standardization statistics.
+        let n = x.len() as f64;
+        self.means = vec![0.0; n_features];
+        self.stds = vec![0.0; n_features];
+        for row in x {
+            for (f, &v) in row.iter().enumerate() {
+                self.means[f] += v;
+            }
+        }
+        for m in &mut self.means {
+            *m /= n;
+        }
+        for row in x {
+            for (f, &v) in row.iter().enumerate() {
+                let d = v - self.means[f];
+                self.stds[f] += d * d;
+            }
+        }
+        for s in &mut self.stds {
+            *s = (*s / n).sqrt();
+            if *s <= f64::EPSILON {
+                *s = 1.0; // constant feature: leave centered
+            }
+        }
+        let z: Vec<Vec<f64>> = x.iter().map(|row| self.standardize(row)).collect();
+        // Batch gradient descent on the cross-entropy.
+        self.weights = vec![vec![0.0; n_features + 1]; n_classes];
+        self.fitted = true; // logits() below needs the weights in place
+        let lr = self.config.learning_rate;
+        for _ in 0..self.config.iterations {
+            let mut grad = vec![vec![0.0; n_features + 1]; n_classes];
+            for (zi, &yi) in z.iter().zip(y) {
+                let p = softmax(&self.logits(zi));
+                for (c, g) in grad.iter_mut().enumerate() {
+                    let err = p[c] - if c == yi { 1.0 } else { 0.0 };
+                    for (f, &v) in zi.iter().enumerate() {
+                        g[f] += err * v;
+                    }
+                    g[n_features] += err;
+                }
+            }
+            for (c, w) in self.weights.iter_mut().enumerate() {
+                for f in 0..=n_features {
+                    let reg = if f < n_features { self.config.l2 * w[f] } else { 0.0 };
+                    w[f] -= lr * (grad[c][f] / n + reg);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<usize, MlError> {
+        let p = self.predict_proba(x)?;
+        Ok(p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0))
+    }
+
+    fn name(&self) -> &'static str {
+        "LR"
+    }
+}
+
+/// Numerically stable softmax.
+fn softmax(logits: &[f64]) -> Vec<f64> {
+    let m = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&v| (v - m).exp()).collect();
+    let s: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..25 {
+            let j = (i % 5) as f64 * 0.1;
+            x.push(vec![0.0 + j, 1.0 - j]);
+            y.push(0);
+            x.push(vec![4.0 - j, -3.0 + j]);
+            y.push(1);
+            x.push(vec![-4.0 + j, -3.0 - j]);
+            y.push(2);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_linearly_separable_classes() {
+        let (x, y) = blobs();
+        let mut lr = LogisticRegression::new(LogisticRegressionConfig::default());
+        lr.fit(&x, &y).unwrap();
+        let correct = x.iter().zip(&y).filter(|(xi, &yi)| lr.predict(xi).unwrap() == yi).count();
+        assert_eq!(correct, x.len());
+    }
+
+    #[test]
+    fn probabilities_normalized_and_confident() {
+        let (x, y) = blobs();
+        let mut lr = LogisticRegression::new(LogisticRegressionConfig::default());
+        lr.fit(&x, &y).unwrap();
+        let p = lr.predict_proba(&[0.0, 1.0]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p[0] > 0.8, "p = {p:?}");
+    }
+
+    #[test]
+    fn softmax_stability_with_huge_logits() {
+        let p = softmax(&[1000.0, 999.0, -1000.0]);
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[0] > p[1] && p[1] > p[2]);
+    }
+
+    #[test]
+    fn constant_feature_does_not_nan() {
+        let x = vec![vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0], vec![4.0, 5.0]];
+        let y = vec![0, 0, 1, 1];
+        let mut lr = LogisticRegression::new(LogisticRegressionConfig::default());
+        lr.fit(&x, &y).unwrap();
+        assert_eq!(lr.predict(&[1.0, 5.0]).unwrap(), 0);
+        assert_eq!(lr.predict(&[4.0, 5.0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let lr = LogisticRegression::new(LogisticRegressionConfig::default());
+        assert_eq!(lr.predict(&[0.0]), Err(MlError::NotFitted));
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        let (x, y) = blobs();
+        let mut lr = LogisticRegression::new(LogisticRegressionConfig {
+            iterations: 0,
+            ..Default::default()
+        });
+        assert!(matches!(lr.fit(&x, &y), Err(MlError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn binary_problem_works() {
+        let x = vec![vec![0.0], vec![0.1], vec![0.9], vec![1.0]];
+        let y = vec![0, 0, 1, 1];
+        let mut lr = LogisticRegression::new(LogisticRegressionConfig::default());
+        lr.fit(&x, &y).unwrap();
+        assert_eq!(lr.predict(&[0.05]).unwrap(), 0);
+        assert_eq!(lr.predict(&[0.95]).unwrap(), 1);
+    }
+}

@@ -1,0 +1,328 @@
+//! Evaluation metrics: confusion matrix, accuracy, recall, precision.
+//!
+//! Conventions follow the paper's §V-C exactly: rows of the confusion
+//! matrix are ground truth, columns are predictions; recall of class `g` is
+//! the fraction of true-`g` samples recognized as `g`; precision of `g` is
+//! the fraction of `g`-predictions that are truly `g`.
+
+use serde::{Deserialize, Serialize};
+
+/// A square confusion matrix over `n` classes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Create an empty matrix for `n_classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_classes` is 0.
+    #[must_use]
+    pub fn new(n_classes: usize) -> Self {
+        assert!(n_classes > 0, "need at least one class");
+        ConfusionMatrix { counts: vec![vec![0; n_classes]; n_classes] }
+    }
+
+    /// Build from parallel truth/prediction slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or contain labels `>=
+    /// n_classes`.
+    #[must_use]
+    pub fn from_predictions(truth: &[usize], predicted: &[usize], n_classes: usize) -> Self {
+        assert_eq!(truth.len(), predicted.len(), "truth/prediction length mismatch");
+        let mut m = ConfusionMatrix::new(n_classes);
+        for (&t, &p) in truth.iter().zip(predicted) {
+            m.record(t, p);
+        }
+        m
+    }
+
+    /// Record one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        self.counts[truth][predicted] += 1;
+    }
+
+    /// Merge another matrix of the same shape into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.counts.len(), other.counts.len(), "class count mismatch");
+        for (row, orow) in self.counts.iter_mut().zip(&other.counts) {
+            for (c, &oc) in row.iter_mut().zip(orow) {
+                *c += oc;
+            }
+        }
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw count at `(truth, predicted)`.
+    #[must_use]
+    pub fn count(&self, truth: usize, predicted: usize) -> usize {
+        self.counts[truth][predicted]
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy; 0.0 for an empty matrix.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.counts.len()).map(|i| self.counts[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Recall of class `g`; `None` when no true-`g` samples exist.
+    #[must_use]
+    pub fn recall(&self, g: usize) -> Option<f64> {
+        let row: usize = self.counts[g].iter().sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.counts[g][g] as f64 / row as f64)
+        }
+    }
+
+    /// Precision of class `g`; `None` when `g` was never predicted.
+    #[must_use]
+    pub fn precision(&self, g: usize) -> Option<f64> {
+        let col: usize = self.counts.iter().map(|r| r[g]).sum();
+        if col == 0 {
+            None
+        } else {
+            Some(self.counts[g][g] as f64 / col as f64)
+        }
+    }
+
+    /// Macro-averaged recall over classes that have samples.
+    #[must_use]
+    pub fn macro_recall(&self) -> f64 {
+        let vals: Vec<f64> = (0..self.n_classes()).filter_map(|g| self.recall(g)).collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+
+    /// Macro-averaged precision over classes that were predicted.
+    #[must_use]
+    pub fn macro_precision(&self) -> f64 {
+        let vals: Vec<f64> = (0..self.n_classes()).filter_map(|g| self.precision(g)).collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+
+    /// F1 score of class `g` (harmonic mean of precision and recall);
+    /// `None` when either is undefined, 0.0 when both are zero.
+    #[must_use]
+    pub fn f1(&self, g: usize) -> Option<f64> {
+        let p = self.precision(g)?;
+        let r = self.recall(g)?;
+        if p + r <= 0.0 {
+            return Some(0.0);
+        }
+        Some(2.0 * p * r / (p + r))
+    }
+
+    /// Macro-averaged F1 over classes where it is defined.
+    #[must_use]
+    pub fn macro_f1(&self) -> f64 {
+        let vals: Vec<f64> = (0..self.n_classes()).filter_map(|g| self.f1(g)).collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+
+    /// Row-normalized matrix (each row sums to 1; empty rows stay zero) —
+    /// the form the paper's confusion-matrix figures display.
+    #[must_use]
+    pub fn normalized(&self) -> Vec<Vec<f64>> {
+        self.counts
+            .iter()
+            .map(|row| {
+                let s: usize = row.iter().sum();
+                if s == 0 {
+                    vec![0.0; row.len()]
+                } else {
+                    row.iter().map(|&c| c as f64 / s as f64).collect()
+                }
+            })
+            .collect()
+    }
+
+    /// Per-class accuracy in the one-vs-rest sense (correct assignments to
+    /// or away from `g`, over all samples).
+    #[must_use]
+    pub fn class_accuracy(&self, g: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut wrong = 0usize;
+        for (t, row) in self.counts.iter().enumerate() {
+            for (p, &c) in row.iter().enumerate() {
+                if (t == g) != (p == g) {
+                    wrong += c;
+                }
+            }
+        }
+        1.0 - wrong as f64 / total as f64
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let norm = self.normalized();
+        for row in &norm {
+            for v in row {
+                write!(f, "{:6.3} ", v)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> ConfusionMatrix {
+        // truth 0: 8 correct, 2 as class 1; truth 1: 9 correct, 1 as 0.
+        let truth = [vec![0; 10], vec![1; 10]].concat();
+        let mut pred = vec![0; 8];
+        pred.extend(vec![1; 2]);
+        pred.push(0);
+        pred.extend(vec![1; 9]);
+        ConfusionMatrix::from_predictions(&truth, &pred, 2)
+    }
+
+    #[test]
+    fn counts_and_total() {
+        let m = sample_matrix();
+        assert_eq!(m.count(0, 0), 8);
+        assert_eq!(m.count(0, 1), 2);
+        assert_eq!(m.count(1, 0), 1);
+        assert_eq!(m.count(1, 1), 9);
+        assert_eq!(m.total(), 20);
+    }
+
+    #[test]
+    fn accuracy_recall_precision() {
+        let m = sample_matrix();
+        assert!((m.accuracy() - 0.85).abs() < 1e-12);
+        assert!((m.recall(0).unwrap() - 0.8).abs() < 1e-12);
+        assert!((m.recall(1).unwrap() - 0.9).abs() < 1e-12);
+        assert!((m.precision(0).unwrap() - 8.0 / 9.0).abs() < 1e-12);
+        assert!((m.precision(1).unwrap() - 9.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_averages() {
+        let m = sample_matrix();
+        assert!((m.macro_recall() - 0.85).abs() < 1e-12);
+        let expect = (8.0 / 9.0 + 9.0 / 11.0) / 2.0;
+        assert!((m.macro_precision() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let m = sample_matrix();
+        let p = m.precision(0).unwrap();
+        let r = m.recall(0).unwrap();
+        let f1 = m.f1(0).unwrap();
+        assert!((f1 - 2.0 * p * r / (p + r)).abs() < 1e-12);
+        assert!(m.macro_f1() > 0.8);
+    }
+
+    #[test]
+    fn f1_undefined_for_absent_class() {
+        let m = ConfusionMatrix::from_predictions(&[0, 0], &[0, 0], 3);
+        assert_eq!(m.f1(2), None);
+    }
+
+    #[test]
+    fn f1_zero_when_never_correct() {
+        // Class 0 exists and is predicted, but never correctly.
+        let m = ConfusionMatrix::from_predictions(&[0, 1], &[1, 0], 2);
+        assert_eq!(m.f1(0), Some(0.0));
+    }
+
+    #[test]
+    fn absent_class_is_none() {
+        let m = ConfusionMatrix::from_predictions(&[0, 0], &[0, 0], 3);
+        assert_eq!(m.recall(2), None);
+        assert_eq!(m.precision(1), None);
+    }
+
+    #[test]
+    fn normalized_rows_sum_to_one() {
+        let m = sample_matrix();
+        for row in m.normalized() {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = sample_matrix();
+        let b = sample_matrix();
+        a.merge(&b);
+        assert_eq!(a.total(), 40);
+        assert_eq!(a.count(0, 0), 16);
+    }
+
+    #[test]
+    fn class_accuracy_one_vs_rest() {
+        let m = sample_matrix();
+        // 3 samples cross the class-0 boundary (2 false neg + 1 false pos).
+        assert!((m.class_accuracy(0) - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_metrics() {
+        let m = ConfusionMatrix::new(3);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.macro_recall(), 0.0);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let m = sample_matrix();
+        let s = m.to_string();
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_predictions_panic() {
+        let _ = ConfusionMatrix::from_predictions(&[0], &[0, 1], 2);
+    }
+}

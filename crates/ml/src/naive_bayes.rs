@@ -1,0 +1,191 @@
+//! Bernoulli naive Bayes over median-binarized features.
+//!
+//! BNB expects binary features; continuous gesture features are binarized
+//! against their per-feature training median (the standard adaptation, and
+//! the reason BNB trails the other classifiers in the paper's Fig. 9 —
+//! binarization throws away most of the feature resolution).
+
+use crate::classifier::{validate_training_set, Classifier};
+use crate::error::MlError;
+use serde::{Deserialize, Serialize};
+
+/// Bernoulli naive Bayes with Laplace smoothing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BernoulliNaiveBayes {
+    /// Laplace smoothing strength.
+    alpha: f64,
+    thresholds: Vec<f64>,
+    /// `log_prob_one[c][f]` = log P(feature f = 1 | class c).
+    log_prob_one: Vec<Vec<f64>>,
+    /// `log_prob_zero[c][f]` = log P(feature f = 0 | class c).
+    log_prob_zero: Vec<Vec<f64>>,
+    log_prior: Vec<f64>,
+    n_features: usize,
+    fitted: bool,
+}
+
+impl BernoulliNaiveBayes {
+    /// Create an untrained model with Laplace smoothing `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not positive.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0, "smoothing alpha must be positive");
+        BernoulliNaiveBayes {
+            alpha,
+            thresholds: Vec::new(),
+            log_prob_one: Vec::new(),
+            log_prob_zero: Vec::new(),
+            log_prior: Vec::new(),
+            n_features: 0,
+            fitted: false,
+        }
+    }
+
+    fn binarize(&self, x: &[f64]) -> Vec<bool> {
+        x.iter().zip(&self.thresholds).map(|(&v, &t)| v > t).collect()
+    }
+}
+
+impl Default for BernoulliNaiveBayes {
+    fn default() -> Self {
+        BernoulliNaiveBayes::new(1.0)
+    }
+}
+
+impl Classifier for BernoulliNaiveBayes {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<(), MlError> {
+        let (n_features, n_classes) = validate_training_set(x, y)?;
+        self.n_features = n_features;
+        // Per-feature median thresholds.
+        self.thresholds = (0..n_features)
+            .map(|f| {
+                let mut col: Vec<f64> = x.iter().map(|row| row[f]).collect();
+                col.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                col[col.len() / 2]
+            })
+            .collect();
+        // Count ones per class/feature.
+        let mut class_n = vec![0usize; n_classes];
+        let mut ones = vec![vec![0usize; n_features]; n_classes];
+        for (row, &c) in x.iter().zip(y) {
+            class_n[c] += 1;
+            for (f, &v) in row.iter().enumerate() {
+                if v > self.thresholds[f] {
+                    ones[c][f] += 1;
+                }
+            }
+        }
+        let total = x.len() as f64;
+        self.log_prior = class_n
+            .iter()
+            .map(|&n| ((n as f64 + self.alpha) / (total + self.alpha * n_classes as f64)).ln())
+            .collect();
+        self.log_prob_one = vec![vec![0.0; n_features]; n_classes];
+        self.log_prob_zero = vec![vec![0.0; n_features]; n_classes];
+        for c in 0..n_classes {
+            let denom = class_n[c] as f64 + 2.0 * self.alpha;
+            for (f, &one_count) in ones[c].iter().enumerate() {
+                let p1 = (one_count as f64 + self.alpha) / denom;
+                self.log_prob_one[c][f] = p1.ln();
+                self.log_prob_zero[c][f] = (1.0 - p1).ln();
+            }
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<usize, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        if x.len() != self.n_features {
+            return Err(MlError::DimensionMismatch { expected: self.n_features, got: x.len() });
+        }
+        let bits = self.binarize(x);
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for c in 0..self.log_prior.len() {
+            let mut score = self.log_prior[c];
+            for (f, &b) in bits.iter().enumerate() {
+                score += if b { self.log_prob_one[c][f] } else { self.log_prob_zero[c][f] };
+            }
+            if score > best.1 {
+                best = (c, score);
+            }
+        }
+        Ok(best.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "BNB"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_binary_patterns() {
+        // Class 0: both features low; class 1: both high.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let e = (i % 5) as f64 * 0.01;
+            x.push(vec![0.0 + e, 0.0 + e]);
+            y.push(0);
+            x.push(vec![1.0 - e, 1.0 - e]);
+            y.push(1);
+        }
+        let mut nb = BernoulliNaiveBayes::default();
+        nb.fit(&x, &y).unwrap();
+        assert_eq!(nb.predict(&[0.0, 0.0]).unwrap(), 0);
+        assert_eq!(nb.predict(&[1.0, 1.0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn respects_class_prior_on_uninformative_input() {
+        // 90 % of samples are class 1; an ambiguous input should go there.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            x.push(vec![(i % 10) as f64]);
+            y.push(usize::from(i >= 10));
+        }
+        let mut nb = BernoulliNaiveBayes::default();
+        nb.fit(&x, &y).unwrap();
+        assert_eq!(nb.predict(&[4.5]).unwrap(), 1);
+    }
+
+    #[test]
+    fn smoothing_handles_unseen_combination() {
+        let x = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        let y = vec![0, 1];
+        let mut nb = BernoulliNaiveBayes::default();
+        nb.fit(&x, &y).unwrap();
+        // A pattern never seen in training must still get some class.
+        let p = nb.predict(&[0.0, 1.0]).unwrap();
+        assert!(p == 0 || p == 1);
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let nb = BernoulliNaiveBayes::default();
+        assert_eq!(nb.predict(&[1.0]), Err(MlError::NotFitted));
+    }
+
+    #[test]
+    fn wrong_width_errors() {
+        let mut nb = BernoulliNaiveBayes::default();
+        nb.fit(&[vec![0.0], vec![1.0]], &[0, 1]).unwrap();
+        assert!(matches!(nb.predict(&[0.0, 1.0]), Err(MlError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn zero_alpha_panics() {
+        let _ = BernoulliNaiveBayes::new(0.0);
+    }
+}

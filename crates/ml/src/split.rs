@@ -1,0 +1,252 @@
+//! Dataset splitting: stratified train/test, stratified k-fold, and
+//! leave-one-group-out.
+//!
+//! The paper's protocols map onto these directly:
+//!
+//! * Fig. 9 sweeps the *percentage of testing data* — [`train_test_split`];
+//! * Fig. 10 runs five-fold cross-validation — [`stratified_k_fold`];
+//! * Fig. 11 (individual diversity) trains on nine users and tests on the
+//!   tenth — [`leave_one_group_out`] over user ids;
+//! * Fig. 12 (gesture inconsistency) trains on four sessions and tests on
+//!   the fifth — [`leave_one_group_out`] over session ids.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A train/test index split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Indices of training samples.
+    pub train: Vec<usize>,
+    /// Indices of test samples.
+    pub test: Vec<usize>,
+}
+
+/// Stratified train/test split: each class contributes `test_fraction` of
+/// its samples to the test set (rounded, at least one each side when the
+/// class has two or more samples).
+///
+/// # Panics
+///
+/// Panics if `test_fraction` is outside `(0, 1)` or `y` is empty.
+#[must_use]
+pub fn train_test_split(y: &[usize], test_fraction: f64, seed: u64) -> Split {
+    assert!(test_fraction > 0.0 && test_fraction < 1.0, "test fraction must be in (0, 1)");
+    assert!(!y.is_empty(), "labels must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut split = Split { train: Vec::new(), test: Vec::new() };
+    for class in class_indices(y) {
+        let mut idx = class;
+        idx.shuffle(&mut rng);
+        let mut n_test = (idx.len() as f64 * test_fraction).round() as usize;
+        if idx.len() >= 2 {
+            n_test = n_test.clamp(1, idx.len() - 1);
+        } else {
+            n_test = 0; // a singleton class stays in training
+        }
+        split.test.extend_from_slice(&idx[..n_test]);
+        split.train.extend_from_slice(&idx[n_test..]);
+    }
+    split.train.sort_unstable();
+    split.test.sort_unstable();
+    split
+}
+
+/// Stratified `k`-fold: each fold is a test set containing roughly `1/k` of
+/// every class.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `y` is empty.
+#[must_use]
+pub fn stratified_k_fold(y: &[usize], k: usize, seed: u64) -> Vec<Split> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(!y.is_empty(), "labels must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fold_of = vec![0usize; y.len()];
+    for class in class_indices(y) {
+        let mut idx = class;
+        idx.shuffle(&mut rng);
+        for (pos, &i) in idx.iter().enumerate() {
+            fold_of[i] = pos % k;
+        }
+    }
+    (0..k)
+        .map(|fold| {
+            let mut s = Split { train: Vec::new(), test: Vec::new() };
+            for (i, &f) in fold_of.iter().enumerate() {
+                if f == fold {
+                    s.test.push(i);
+                } else {
+                    s.train.push(i);
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+/// Leave-one-group-out: one split per distinct group value, testing on that
+/// group and training on the rest. Groups are returned in ascending order
+/// of group id together with their splits.
+///
+/// # Panics
+///
+/// Panics if `groups` is empty.
+#[must_use]
+pub fn leave_one_group_out(groups: &[usize]) -> Vec<(usize, Split)> {
+    assert!(!groups.is_empty(), "groups must be non-empty");
+    let mut distinct: Vec<usize> = groups.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    distinct
+        .into_iter()
+        .map(|g| {
+            let mut s = Split { train: Vec::new(), test: Vec::new() };
+            for (i, &gi) in groups.iter().enumerate() {
+                if gi == g {
+                    s.test.push(i);
+                } else {
+                    s.train.push(i);
+                }
+            }
+            (g, s)
+        })
+        .collect()
+}
+
+/// Gather selected rows of a feature matrix and label vector.
+#[must_use]
+pub fn gather(
+    x: &[Vec<f64>],
+    y: &[usize],
+    idx: &[usize],
+) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let xs = idx.iter().map(|&i| x[i].clone()).collect();
+    let ys = idx.iter().map(|&i| y[i]).collect();
+    (xs, ys)
+}
+
+/// Per-class index lists, ordered by class id.
+fn class_indices(y: &[usize]) -> Vec<Vec<usize>> {
+    let n_classes = y.iter().copied().max().unwrap_or(0) + 1;
+    let mut out = vec![Vec::new(); n_classes];
+    for (i, &c) in y.iter().enumerate() {
+        out[c].push(i);
+    }
+    out.retain(|v| !v.is_empty());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels() -> Vec<usize> {
+        // 40 samples, 4 classes, 10 each.
+        (0..40).map(|i| i % 4).collect()
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let y = labels();
+        let s = train_test_split(&y, 0.25, 1);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_stratified() {
+        let y = labels();
+        let s = train_test_split(&y, 0.3, 2);
+        for c in 0..4 {
+            let n_test = s.test.iter().filter(|&&i| y[i] == c).count();
+            assert_eq!(n_test, 3, "class {c}");
+        }
+    }
+
+    #[test]
+    fn split_deterministic_per_seed() {
+        let y = labels();
+        assert_eq!(train_test_split(&y, 0.25, 9), train_test_split(&y, 0.25, 9));
+        assert_ne!(train_test_split(&y, 0.25, 9), train_test_split(&y, 0.25, 10));
+    }
+
+    #[test]
+    fn singleton_class_stays_in_training() {
+        let y = vec![0, 0, 0, 0, 1];
+        let s = train_test_split(&y, 0.5, 3);
+        assert!(s.train.contains(&4));
+    }
+
+    #[test]
+    fn k_fold_covers_every_sample_once() {
+        let y = labels();
+        let folds = stratified_k_fold(&y, 5, 1);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; y.len()];
+        for f in &folds {
+            for &i in &f.test {
+                seen[i] += 1;
+            }
+            // Train/test partition per fold.
+            assert_eq!(f.train.len() + f.test.len(), y.len());
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn k_fold_is_stratified() {
+        let y = labels();
+        let folds = stratified_k_fold(&y, 5, 4);
+        for f in &folds {
+            for c in 0..4 {
+                let n = f.test.iter().filter(|&&i| y[i] == c).count();
+                assert_eq!(n, 2, "each fold holds 2 of each class");
+            }
+        }
+    }
+
+    #[test]
+    fn logo_one_split_per_group() {
+        let groups = vec![0, 0, 1, 1, 2, 2, 2];
+        let splits = leave_one_group_out(&groups);
+        assert_eq!(splits.len(), 3);
+        let (g, s) = &splits[2];
+        assert_eq!(*g, 2);
+        assert_eq!(s.test, vec![4, 5, 6]);
+        assert_eq!(s.train, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn logo_with_sparse_group_ids() {
+        let groups = vec![5, 9, 5, 9];
+        let splits = leave_one_group_out(&groups);
+        assert_eq!(splits.len(), 2);
+        assert_eq!(splits[0].0, 5);
+        assert_eq!(splits[1].0, 9);
+    }
+
+    #[test]
+    fn gather_selects_rows() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![0, 1, 2];
+        let (xs, ys) = gather(&x, &y, &[2, 0]);
+        assert_eq!(xs, vec![vec![3.0], vec![1.0]]);
+        assert_eq!(ys, vec![2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "test fraction")]
+    fn bad_fraction_panics() {
+        let _ = train_test_split(&[0, 1], 1.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k-fold needs")]
+    fn k_fold_k1_panics() {
+        let _ = stratified_k_fold(&[0, 1], 1, 0);
+    }
+}

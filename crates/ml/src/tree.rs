@@ -1,0 +1,467 @@
+//! CART decision tree with Gini impurity.
+//!
+//! Supports per-split random feature subsampling (`max_features`), which is
+//! what turns a bag of these trees into a random forest. Feature
+//! importances are accumulated as the total impurity decrease contributed
+//! by each feature, weighted by the number of samples reaching the split —
+//! scikit-learn's "mean decrease in impurity".
+
+use crate::classifier::{validate_training_set, Classifier};
+use crate::error::MlError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Decision-tree hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionTreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples allowed in a leaf.
+    pub min_samples_leaf: usize,
+    /// Number of random features considered per split; `None` = all.
+    pub max_features: Option<usize>,
+    /// RNG seed for feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for DecisionTreeConfig {
+    fn default() -> Self {
+        DecisionTreeConfig {
+            max_depth: 24,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf { class: usize },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// A fitted (or fittable) CART decision tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    config: DecisionTreeConfig,
+    nodes: Vec<Node>,
+    n_features: usize,
+    n_classes: usize,
+    importances: Vec<f64>,
+    fitted: bool,
+}
+
+impl DecisionTree {
+    /// Create an untrained tree.
+    #[must_use]
+    pub fn new(config: DecisionTreeConfig) -> Self {
+        DecisionTree {
+            config,
+            nodes: Vec::new(),
+            n_features: 0,
+            n_classes: 0,
+            importances: Vec::new(),
+            fitted: false,
+        }
+    }
+
+    /// Impurity-decrease feature importances, normalized to sum to 1
+    /// (all-zero if the tree is a single leaf). Empty before fitting.
+    #[must_use]
+    pub fn feature_importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Number of classes seen during training.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Depth of the fitted tree (0 for a single leaf).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], idx: usize) -> usize {
+            match &nodes[idx] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_of(&self.nodes, 0)
+        }
+    }
+
+    /// Fit with an externally selected subset of sample indices (used by
+    /// the forest's bootstrap). `indices` may repeat entries.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Classifier::fit`].
+    pub fn fit_indices(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[usize],
+        indices: &[usize],
+    ) -> Result<(), MlError> {
+        let (n_features, n_classes) = validate_training_set(x, y)?;
+        if indices.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        self.n_features = n_features;
+        self.n_classes = n_classes;
+        self.nodes.clear();
+        self.importances = vec![0.0; n_features];
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut idx = indices.to_vec();
+        self.build(x, y, &mut idx, 0, &mut rng);
+        let total: f64 = self.importances.iter().sum();
+        if total > 0.0 {
+            for v in &mut self.importances {
+                *v /= total;
+            }
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    /// Build a subtree over `idx`; returns the node index.
+    fn build(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[usize],
+        idx: &mut [usize],
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> usize {
+        let counts = class_counts(y, idx, self.n_classes);
+        let majority = argmax(&counts);
+        let node_gini = gini(&counts, idx.len());
+        let stop = depth >= self.config.max_depth
+            || idx.len() < self.config.min_samples_split
+            || node_gini <= 0.0;
+        if !stop {
+            if let Some(split) = self.best_split(x, y, idx, node_gini, rng) {
+                // Record importance: weighted impurity decrease.
+                self.importances[split.feature] += split.gain * idx.len() as f64;
+                // Partition indices in place around the threshold.
+                let mid = partition(x, idx, split.feature, split.threshold);
+                let node_idx = self.nodes.len();
+                self.nodes.push(Node::Leaf { class: majority }); // placeholder
+                let (left_slice, right_slice) = idx.split_at_mut(mid);
+                let left = self.build(x, y, left_slice, depth + 1, rng);
+                let right = self.build(x, y, right_slice, depth + 1, rng);
+                self.nodes[node_idx] =
+                    Node::Split { feature: split.feature, threshold: split.threshold, left, right };
+                return node_idx;
+            }
+        }
+        let node_idx = self.nodes.len();
+        self.nodes.push(Node::Leaf { class: majority });
+        node_idx
+    }
+
+    fn best_split(
+        &self,
+        x: &[Vec<f64>],
+        y: &[usize],
+        idx: &[usize],
+        node_gini: f64,
+        rng: &mut StdRng,
+    ) -> Option<SplitCandidate> {
+        let mut features: Vec<usize> = (0..self.n_features).collect();
+        if let Some(k) = self.config.max_features {
+            features.shuffle(rng);
+            features.truncate(k.clamp(1, self.n_features));
+        }
+        let n = idx.len() as f64;
+        let mut best: Option<SplitCandidate> = None;
+        // Reusable sort buffer.
+        let mut order: Vec<usize> = Vec::with_capacity(idx.len());
+        for &f in &features {
+            order.clear();
+            order.extend_from_slice(idx);
+            order.sort_by(|&a, &b| {
+                x[a][f].partial_cmp(&x[b][f]).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut left_counts = vec![0usize; self.n_classes];
+            let mut right_counts = class_counts(y, idx, self.n_classes);
+            for cut in 1..order.len() {
+                let moved = order[cut - 1];
+                left_counts[y[moved]] += 1;
+                right_counts[y[moved]] -= 1;
+                let v_prev = x[moved][f];
+                let v_next = x[order[cut]][f];
+                if v_next <= v_prev {
+                    continue; // identical values: not a valid threshold
+                }
+                let n_left = cut;
+                let n_right = order.len() - cut;
+                if n_left < self.config.min_samples_leaf || n_right < self.config.min_samples_leaf
+                {
+                    continue;
+                }
+                let g_left = gini(&left_counts, n_left);
+                let g_right = gini(&right_counts, n_right);
+                let weighted =
+                    (n_left as f64 * g_left + n_right as f64 * g_right) / n;
+                let gain = node_gini - weighted;
+                // Accept zero-gain splits on impure nodes (like sklearn):
+                // XOR-style data has no single informative split at the
+                // root, yet splitting still lets deeper levels separate it.
+                if gain > best.as_ref().map_or(-1e-12, |b| b.gain) {
+                    best = Some(SplitCandidate {
+                        feature: f,
+                        threshold: 0.5 * (v_prev + v_next),
+                        gain,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SplitCandidate {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<(), MlError> {
+        let indices: Vec<usize> = (0..x.len()).collect();
+        self.fit_indices(x, y, &indices)
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<usize, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        if x.len() != self.n_features {
+            return Err(MlError::DimensionMismatch { expected: self.n_features, got: x.len() });
+        }
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { class } => return Ok(*class),
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "DT"
+    }
+}
+
+/// Class histogram over the selected indices.
+fn class_counts(y: &[usize], idx: &[usize], n_classes: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; n_classes];
+    for &i in idx {
+        counts[y[i]] += 1;
+    }
+    counts
+}
+
+/// Gini impurity of a class histogram with `n` total samples.
+fn gini(counts: &[usize], n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / nf) * (c as f64 / nf)).sum::<f64>()
+}
+
+fn argmax(counts: &[usize]) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Partition `idx` so samples with `x[f] <= threshold` come first; returns
+/// the boundary.
+fn partition(x: &[Vec<f64>], idx: &mut [usize], feature: usize, threshold: f64) -> usize {
+    let mut mid = 0usize;
+    for i in 0..idx.len() {
+        if x[idx[i]][feature] <= threshold {
+            idx.swap(i, mid);
+            mid += 1;
+        }
+    }
+    mid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two clearly separated 2-D blobs.
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let j = i as f64 * 0.01;
+            x.push(vec![0.0 + j, 0.0 - j]);
+            y.push(0);
+            x.push(vec![5.0 + j, 5.0 - j]);
+            y.push(1);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn separable_data_is_learned_perfectly() {
+        let (x, y) = blobs();
+        let mut t = DecisionTree::new(DecisionTreeConfig::default());
+        t.fit(&x, &y).unwrap();
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert_eq!(t.predict(xi).unwrap(), yi);
+        }
+    }
+
+    #[test]
+    fn xor_needs_depth_two() {
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let y = vec![0, 1, 1, 0];
+        let mut t = DecisionTree::new(DecisionTreeConfig::default());
+        t.fit(&x, &y).unwrap();
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert_eq!(t.predict(xi).unwrap(), yi, "at {xi:?}");
+        }
+        assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..64).map(|i| (i / 2) % 2).collect(); // needs depth >> 1
+        let mut t = DecisionTree::new(DecisionTreeConfig { max_depth: 1, ..Default::default() });
+        t.fit(&x, &y).unwrap();
+        assert!(t.depth() <= 1);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let (x, y) = blobs();
+        let mut t = DecisionTree::new(DecisionTreeConfig {
+            min_samples_leaf: 10,
+            ..Default::default()
+        });
+        t.fit(&x, &y).unwrap();
+        // Still classifies the blobs (split at the boundary keeps 30/30).
+        assert_eq!(t.predict(&[0.0, 0.0]).unwrap(), 0);
+        assert_eq!(t.predict(&[5.0, 5.0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn importances_identify_informative_feature() {
+        // Feature 0 is pure noise; feature 1 separates the classes.
+        let x: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i * 7919 % 97) as f64, if i < 50 { 0.0 } else { 1.0 }])
+            .collect();
+        let y: Vec<usize> = (0..100).map(|i| usize::from(i >= 50)).collect();
+        let mut t = DecisionTree::new(DecisionTreeConfig::default());
+        t.fit(&x, &y).unwrap();
+        let imp = t.feature_importances();
+        assert!(imp[1] > 0.9, "importances: {imp:?}");
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pure_node_is_leaf() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![1, 1, 1];
+        let mut t = DecisionTree::new(DecisionTreeConfig::default());
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.predict(&[99.0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn constant_features_give_majority_leaf() {
+        let x = vec![vec![5.0], vec![5.0], vec![5.0], vec![5.0]];
+        let y = vec![0, 1, 1, 1];
+        let mut t = DecisionTree::new(DecisionTreeConfig::default());
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.predict(&[5.0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let t = DecisionTree::new(DecisionTreeConfig::default());
+        assert_eq!(t.predict(&[1.0]), Err(MlError::NotFitted));
+    }
+
+    #[test]
+    fn predict_wrong_width_errors() {
+        let (x, y) = blobs();
+        let mut t = DecisionTree::new(DecisionTreeConfig::default());
+        t.fit(&x, &y).unwrap();
+        assert!(matches!(t.predict(&[1.0]), Err(MlError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn feature_subsampling_still_learns() {
+        let (x, y) = blobs();
+        let mut t = DecisionTree::new(DecisionTreeConfig {
+            max_features: Some(1),
+            seed: 3,
+            ..Default::default()
+        });
+        t.fit(&x, &y).unwrap();
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| t.predict(xi).unwrap() == yi)
+            .count();
+        assert!(correct >= 55, "correct = {correct}/60");
+    }
+
+    #[test]
+    fn bootstrap_indices_with_repeats() {
+        let (x, y) = blobs();
+        let indices: Vec<usize> = (0..x.len()).map(|i| i / 2 * 2).collect(); // repeats
+        let mut t = DecisionTree::new(DecisionTreeConfig::default());
+        t.fit_indices(&x, &y, &indices).unwrap();
+        assert_eq!(t.predict(&[0.1, 0.0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn gini_helper() {
+        assert_eq!(gini(&[10, 0], 10), 0.0);
+        assert!((gini(&[5, 5], 10) - 0.5).abs() < 1e-12);
+        assert_eq!(gini(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn partition_helper() {
+        let x = vec![vec![3.0], vec![1.0], vec![4.0], vec![1.5]];
+        let mut idx = vec![0, 1, 2, 3];
+        let mid = partition(&x, &mut idx, 0, 2.0);
+        assert_eq!(mid, 2);
+        let left: Vec<usize> = idx[..mid].to_vec();
+        assert!(left.contains(&1) && left.contains(&3));
+    }
+}

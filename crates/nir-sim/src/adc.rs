@@ -1,0 +1,153 @@
+//! Amplifier and ADC model: the prototype reads the photodiodes through
+//! amplifiers into an Arduino UNO's 10-bit ADC at 100 Hz.
+//!
+//! The front end compresses softly (`tanh`) before quantizing: a
+//! phototransistor's current gain falls off at high photocurrents and the
+//! amplifier output stage approaches its rail gradually, so a close, bright
+//! finger compresses the signal rather than slamming into a hard clip.
+//! Without this, the d⁴ path-loss law would make every close-range gesture
+//! an information-free flat line — whereas the paper's prototype keeps
+//! working down to 0.5 cm.
+
+use serde::{Deserialize, Serialize};
+
+/// Transimpedance-amplifier + ADC front end.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Adc {
+    /// Conversion gain from photocurrent (simulator radiometric units) to
+    /// pre-compression counts.
+    pub gain: f64,
+    /// Electronics bias in counts (op-amp offset + dark current), added
+    /// after compression.
+    pub offset_counts: f64,
+    /// Resolution in bits (Arduino UNO: 10).
+    pub bits: u32,
+}
+
+impl Adc {
+    /// Full-scale count (e.g. 1023 for 10 bits).
+    #[must_use]
+    pub fn full_scale(&self) -> f64 {
+        ((1u64 << self.bits) - 1) as f64
+    }
+
+    /// Convert a photocurrent plus additive noise (already in counts) into
+    /// a soft-compressed, quantized, saturated ADC reading.
+    #[must_use]
+    pub fn convert(&self, photocurrent: f64, noise_counts: f64) -> f64 {
+        let fs = self.full_scale();
+        let compressed = fs * (self.gain * photocurrent / fs).tanh();
+        (compressed + self.offset_counts + noise_counts).round().clamp(0.0, fs)
+    }
+
+    /// Whether a reading sits in the deep-compression region (above 95 % of
+    /// full scale) — the §VI outdoor failure mode.
+    #[must_use]
+    pub fn is_saturated(&self, reading: f64) -> bool {
+        reading >= 0.95 * self.full_scale()
+    }
+
+    /// Build an ADC whose gain maps `reference_signal` (the photocurrent of
+    /// a reference fingertip pose) to `target_counts` above the offset,
+    /// accounting for the soft compression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference_signal` is not positive or `target_counts` is
+    /// not inside `(0, full_scale)`.
+    #[must_use]
+    pub fn calibrated(reference_signal: f64, target_counts: f64, offset_counts: f64) -> Self {
+        assert!(reference_signal > 0.0, "reference signal must be positive");
+        let fs = ((1u64 << 10) - 1) as f64;
+        assert!(
+            target_counts > 0.0 && target_counts < fs,
+            "target counts must be inside the ADC range"
+        );
+        // Invert out = fs·tanh(gain·ref/fs): gain = fs·atanh(target/fs)/ref.
+        let gain = fs * (target_counts / fs).atanh() / reference_signal;
+        Adc { gain, offset_counts, bits: 10 }
+    }
+}
+
+impl Default for Adc {
+    fn default() -> Self {
+        Adc { gain: 1.0, offset_counts: 60.0, bits: 10 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_10bit() {
+        assert_eq!(Adc::default().full_scale(), 1023.0);
+    }
+
+    #[test]
+    fn convert_is_monotone() {
+        let adc = Adc { gain: 2.0, offset_counts: 10.0, bits: 10 };
+        let mut prev = -1.0;
+        for k in 0..200 {
+            let out = adc.convert(k as f64 * 10.0, 0.0);
+            assert!(out >= prev, "monotone at {k}");
+            prev = out;
+        }
+    }
+
+    #[test]
+    fn convert_linear_at_low_signal() {
+        // tanh(x) ≈ x for small x: low signals stay essentially linear.
+        let adc = Adc { gain: 1.0, offset_counts: 0.0, bits: 10 };
+        let out = adc.convert(50.0, 0.0);
+        assert!((out - 50.0).abs() <= 1.0, "out = {out}");
+    }
+
+    #[test]
+    fn convert_compresses_high_signal() {
+        let adc = Adc { gain: 1.0, offset_counts: 0.0, bits: 10 };
+        // Equal input steps produce shrinking output steps near the rail.
+        let d_low = adc.convert(150.0, 0.0) - adc.convert(100.0, 0.0);
+        let d_high = adc.convert(1600.0, 0.0) - adc.convert(1550.0, 0.0);
+        assert!(d_high < d_low / 2.0, "low {d_low} vs high {d_high}");
+    }
+
+    #[test]
+    fn convert_never_exceeds_full_scale() {
+        let adc = Adc { gain: 1.0, offset_counts: 60.0, bits: 10 };
+        assert!(adc.convert(1e12, 100.0) <= 1023.0);
+        assert_eq!(adc.convert(-50.0, -500.0), 0.0);
+    }
+
+    #[test]
+    fn quantizes_to_integers() {
+        let adc = Adc { gain: 1.0, offset_counts: 0.0, bits: 10 };
+        let out = adc.convert(100.4, 0.2);
+        assert_eq!(out, out.round());
+    }
+
+    #[test]
+    fn saturation_flag() {
+        let adc = Adc::default();
+        assert!(adc.is_saturated(1000.0));
+        assert!(!adc.is_saturated(500.0));
+    }
+
+    #[test]
+    fn calibration_hits_target() {
+        let adc = Adc::calibrated(4.0e-4, 400.0, 60.0);
+        assert!((adc.convert(4.0e-4, 0.0) - 460.0).abs() <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference signal")]
+    fn calibration_rejects_zero_reference() {
+        let _ = Adc::calibrated(0.0, 400.0, 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "target counts")]
+    fn calibration_rejects_overrange_target() {
+        let _ = Adc::calibrated(1.0, 1100.0, 0.0);
+    }
+}

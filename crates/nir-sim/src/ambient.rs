@@ -1,0 +1,248 @@
+//! Ambient NIR sources: indoor baseline, sunlight by time of day, and the
+//! interference sources of §V-J (passers-by, IR remote controls).
+//!
+//! Ambient light reaches the photodiodes directly (attenuated by the black
+//! shield) and is weakly modulated by the moving finger — the paper's
+//! `N_dyn` term: "except the emitted NIR, other NIR sources, such as
+//! sunlight, are affected along with the finger movements".
+
+use serde::{Deserialize, Serialize};
+
+/// Relative solar NIR intensity over the day: a smooth bump that is zero
+/// before ~6 h and after ~20 h, peaking at 13 h. Matches the §V-J2
+/// experiment design (measurements every 3 h from 8 h to 20 h).
+#[must_use]
+pub fn sunlight_factor(hour_of_day: f64) -> f64 {
+    let h = hour_of_day.rem_euclid(24.0);
+    let x = (h - 13.0) / 4.0;
+    let f = (-x * x).exp();
+    // Clamp the tails to true darkness at night.
+    if !(5.0..=21.0).contains(&h) {
+        0.0
+    } else {
+        f
+    }
+}
+
+/// Ambient NIR conditions for a recording.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AmbientConditions {
+    /// Indoor baseline in-band irradiance at the board (radiometric units
+    /// comparable to the LED channel).
+    pub indoor_level: f64,
+    /// Additional irradiance contributed by sunlight at solar peak.
+    pub sunlight_peak: f64,
+    /// Local hour of day in `[0, 24)` controlling the sunlight factor.
+    pub hour_of_day: f64,
+    /// Relative amplitude of slow ambient drift (clouds, people dimming
+    /// lights) applied multiplicatively.
+    pub drift_amplitude: f64,
+    /// Period of the slow drift in seconds.
+    pub drift_period_s: f64,
+    /// Fraction of ambient light that penetrates the black shield and
+    /// reaches the detectors.
+    pub shield_leak: f64,
+}
+
+impl AmbientConditions {
+    /// Typical indoor daytime office around noon.
+    #[must_use]
+    pub fn indoor() -> Self {
+        AmbientConditions {
+            indoor_level: 8.0,
+            sunlight_peak: 60.0,
+            hour_of_day: 12.0,
+            drift_amplitude: 0.05,
+            drift_period_s: 7.0,
+            shield_leak: 0.12,
+        }
+    }
+
+    /// Same office at a specific hour (used by the Fig. 15 sweep).
+    #[must_use]
+    pub fn indoor_at_hour(hour_of_day: f64) -> Self {
+        AmbientConditions { hour_of_day, ..AmbientConditions::indoor() }
+    }
+
+    /// Night conditions: artificial light only.
+    #[must_use]
+    pub fn night() -> Self {
+        AmbientConditions { hour_of_day: 23.0, ..AmbientConditions::indoor() }
+    }
+
+    /// Effective ambient irradiance at the board at time `t` seconds into
+    /// the recording.
+    #[must_use]
+    pub fn irradiance(&self, t: f64) -> f64 {
+        let base = self.indoor_level + self.sunlight_peak * sunlight_factor(self.hour_of_day);
+        let drift = 1.0
+            + self.drift_amplitude
+                * (2.0 * std::f64::consts::PI * t / self.drift_period_s).sin();
+        base * drift
+    }
+}
+
+impl Default for AmbientConditions {
+    fn default() -> Self {
+        AmbientConditions::indoor()
+    }
+}
+
+/// Interference sources of §V-J4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Interference {
+    /// Another person moving around the user: a slow quasi-periodic
+    /// reflection reaching the detectors heavily attenuated (they are
+    /// outside the 0.5–6 cm sensing range).
+    Passerby {
+        /// Walking period in seconds.
+        period_s: f64,
+        /// Peak irradiance contribution at the board.
+        amplitude: f64,
+    },
+    /// An IR remote control operated nearby: 100–200 ms button bursts.
+    /// `direct` models pointing the remote straight at the sensor — the
+    /// case the paper reports as causing recognition errors.
+    IrRemote {
+        /// Mean button presses per second.
+        presses_per_s: f64,
+        /// Irradiance per burst; direct pointing is orders of magnitude
+        /// stronger than scattered light.
+        amplitude: f64,
+        /// Whether the remote is pointed straight at the sensor.
+        direct: bool,
+    },
+}
+
+impl Interference {
+    /// A person walking by at a normal pace.
+    #[must_use]
+    pub fn passerby() -> Self {
+        Interference::Passerby { period_s: 1.1, amplitude: 0.12 }
+    }
+
+    /// An IR remote used in the same room but not aimed at the sensor.
+    #[must_use]
+    pub fn ir_remote_indirect() -> Self {
+        Interference::IrRemote { presses_per_s: 0.5, amplitude: 3.0, direct: false }
+    }
+
+    /// An IR remote pointed directly at the sensor.
+    #[must_use]
+    pub fn ir_remote_direct() -> Self {
+        Interference::IrRemote { presses_per_s: 0.5, amplitude: 4000.0, direct: true }
+    }
+
+    /// Irradiance contributed at time `t`. Deterministic given `t` and the
+    /// per-trace phase seed `phase` in `[0, 1)`.
+    #[must_use]
+    pub fn irradiance(&self, t: f64, phase: f64) -> f64 {
+        match *self {
+            Interference::Passerby { period_s, amplitude } => {
+                let s =
+                    (2.0 * std::f64::consts::PI * (t / period_s + phase)).sin();
+                // Only the approach half of the stride reflects light in.
+                amplitude * s.max(0.0) * s.max(0.0)
+            }
+            Interference::IrRemote { presses_per_s, amplitude, direct } => {
+                // Deterministic pseudo-random press schedule: one candidate
+                // press per 1/presses_per_s window, ~150 ms long.
+                let window = 1.0 / presses_per_s;
+                let k = (t / window).floor();
+                let jitter = fract_hash(k + phase * 1e3);
+                let press_start = k * window + jitter * (window - 0.15).max(0.0);
+                let active = t >= press_start && t < press_start + 0.15;
+                if !active {
+                    return 0.0;
+                }
+                let scale = if direct { 1.0 } else { 0.01 };
+                amplitude * scale
+            }
+        }
+    }
+}
+
+/// Deterministic hash of a float to `[0, 1)` (press-schedule jitter).
+fn fract_hash(x: f64) -> f64 {
+    let bits = x.to_bits();
+    let mut z = bits.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sunlight_peaks_at_13h() {
+        assert!((sunlight_factor(13.0) - 1.0).abs() < 1e-12);
+        assert!(sunlight_factor(8.0) < sunlight_factor(11.0));
+        assert!(sunlight_factor(17.0) < sunlight_factor(14.0));
+    }
+
+    #[test]
+    fn sunlight_zero_at_night() {
+        assert_eq!(sunlight_factor(2.0), 0.0);
+        assert_eq!(sunlight_factor(23.0), 0.0);
+    }
+
+    #[test]
+    fn sunlight_wraps_24h() {
+        assert!((sunlight_factor(13.0) - sunlight_factor(37.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noon_brighter_than_night() {
+        let noon = AmbientConditions::indoor_at_hour(13.0).irradiance(0.0);
+        let night = AmbientConditions::night().irradiance(0.0);
+        assert!(noon > 3.0 * night, "noon {noon} vs night {night}");
+    }
+
+    #[test]
+    fn drift_oscillates_around_base() {
+        let amb = AmbientConditions::indoor();
+        let samples: Vec<f64> = (0..700).map(|i| amb.irradiance(i as f64 * 0.01)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(hi > mean && lo < mean);
+        assert!((hi - lo) / mean < 2.5 * amb.drift_amplitude + 1e-9);
+    }
+
+    #[test]
+    fn passerby_is_bounded_and_nonnegative() {
+        let p = Interference::passerby();
+        for i in 0..500 {
+            let v = p.irradiance(i as f64 * 0.01, 0.3);
+            assert!((0.0..=0.13).contains(&v));
+        }
+    }
+
+    #[test]
+    fn direct_remote_is_much_stronger() {
+        let direct = Interference::ir_remote_direct();
+        let indirect = Interference::ir_remote_indirect();
+        let peak = |s: &Interference| {
+            (0..4000)
+                .map(|i| s.irradiance(i as f64 * 0.01, 0.5))
+                .fold(0.0f64, f64::max)
+        };
+        let pd = peak(&direct);
+        let pi = peak(&indirect);
+        assert!(pd > 100.0 * pi, "direct {pd} vs indirect {pi}");
+    }
+
+    #[test]
+    fn remote_bursts_are_sparse() {
+        let r = Interference::ir_remote_indirect();
+        let active = (0..10_000)
+            .filter(|i| r.irradiance(*i as f64 * 0.01, 0.1) > 0.0)
+            .count();
+        // ~0.5 presses/s × 150 ms ≈ 7.5 % duty cycle over 100 s.
+        assert!(active > 100 && active < 3000, "active = {active}");
+    }
+}

@@ -1,0 +1,170 @@
+//! The LED → skin patch → photodiode optical channel.
+//!
+//! For each (LED, patch, PD) triple the received signal is:
+//!
+//! 1. irradiance `E = I(θ_led) / d_led²` delivered by the LED at the patch;
+//! 2. Lambertian reflection off the patch with incidence/exit cosines
+//!    against the patch normal (which faces the board);
+//! 3. detection at the PD: inverse-square, angular response, spectral
+//!    response, active area.
+//!
+//! Summing over LEDs and patches gives the gesture signal `S_ges` plus the
+//! static hand reflection `N_static` of the paper's signal model.
+
+use crate::components::{Led, Photodiode};
+use crate::finger::SkinPatch;
+use crate::layout::SensorLayout;
+use crate::vec3::Vec3;
+
+/// Signal contribution at one photodiode from one LED reflecting off one
+/// skin patch.
+#[must_use]
+pub fn led_patch_pd_signal(led: &Led, patch: &SkinPatch, pd: &Photodiode) -> f64 {
+    let p = patch.position;
+    // Stage 1: irradiance at the patch.
+    let irradiance = led.irradiance_at(p);
+    if irradiance <= 0.0 {
+        return 0.0;
+    }
+    // Stage 2: Lambertian reflection. The patch normal faces the midpoint
+    // between emitter and detector (a pad-down fingertip).
+    let normal = patch.normal_toward((led.position + pd.position) / 2.0);
+    let to_led = (led.position - p).normalized();
+    let to_pd = (pd.position - p).normalized();
+    let cos_in = normal.dot(to_led);
+    let cos_out = normal.dot(to_pd);
+    let intensity = patch.skin.reflected_intensity(
+        irradiance,
+        cos_in,
+        cos_out,
+        patch.area_m2(),
+        led.spec.wavelength_nm,
+    );
+    if intensity <= 0.0 {
+        return 0.0;
+    }
+    // Stage 3: detection. `signal_from` applies inverse-square, angular and
+    // spectral response; the exit cosine is already inside `intensity`.
+    pd.signal_from(p, intensity, led.spec.wavelength_nm)
+}
+
+/// Total reflected-signal vector (one entry per photodiode) for a set of
+/// skin patches above `layout`.
+#[must_use]
+pub fn reflected_signals(layout: &SensorLayout, patches: &[SkinPatch]) -> Vec<f64> {
+    layout
+        .photodiodes()
+        .iter()
+        .map(|pd| {
+            layout
+                .leds()
+                .iter()
+                .map(|led| patches.iter().map(|pt| led_patch_pd_signal(led, pt, pd)).sum::<f64>())
+                .sum()
+        })
+        .collect()
+}
+
+/// Which LED irradiation cone (if any) a point falls inside, by index.
+/// "Inside" means within the LED's datasheet half-angle of its axis.
+#[must_use]
+pub fn irradiation_zone(layout: &SensorLayout, p: Vec3) -> Option<usize> {
+    layout.leds().iter().position(|led| {
+        let dir = p - led.position;
+        dir.dot(led.axis) > 0.0
+            && dir.angle_to(led.axis) <= (led.spec.viewing_angle_deg / 2.0).to_radians()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::SensorLayout;
+
+    fn proto() -> SensorLayout {
+        SensorLayout::paper_prototype()
+    }
+
+    fn finger_at(x_mm: f64, z_mm: f64) -> SkinPatch {
+        SkinPatch::fingertip(Vec3::from_mm(x_mm, 0.0, z_mm))
+    }
+
+    #[test]
+    fn finger_above_l1_brightens_p1_p2_over_p3() {
+        let l = proto();
+        // L1 sits at x = -5 mm.
+        let s = reflected_signals(&l, &[finger_at(-5.0, 20.0)]);
+        assert!(s[0] > s[2], "P1 {} should exceed P3 {}", s[0], s[2]);
+        assert!(s[1] > s[2], "P2 {} should exceed P3 {}", s[1], s[2]);
+    }
+
+    #[test]
+    fn finger_above_l2_brightens_p2_p3_over_p1() {
+        let l = proto();
+        let s = reflected_signals(&l, &[finger_at(5.0, 20.0)]);
+        assert!(s[2] > s[0]);
+        assert!(s[1] > s[0]);
+    }
+
+    #[test]
+    fn symmetry_of_the_board() {
+        let l = proto();
+        let left = reflected_signals(&l, &[finger_at(-5.0, 20.0)]);
+        let right = reflected_signals(&l, &[finger_at(5.0, 20.0)]);
+        assert!((left[0] - right[2]).abs() / left[0].max(1e-30) < 1e-6);
+        assert!((left[1] - right[1]).abs() / left[1].max(1e-30) < 1e-6);
+    }
+
+    #[test]
+    fn closer_finger_is_brighter() {
+        let l = proto();
+        let near: f64 = reflected_signals(&l, &[finger_at(0.0, 15.0)]).iter().sum();
+        let far: f64 = reflected_signals(&l, &[finger_at(0.0, 40.0)]).iter().sum();
+        assert!(near > far * 2.0, "near {near} vs far {far}");
+    }
+
+    #[test]
+    fn far_lateral_finger_is_dark() {
+        let l = proto();
+        // 15 cm off to the side: outside every cone.
+        let s: f64 = reflected_signals(&l, &[finger_at(150.0, 20.0)]).iter().sum();
+        assert!(s < 1e-15, "s = {s}");
+    }
+
+    #[test]
+    fn no_patch_no_signal() {
+        let l = proto();
+        assert!(reflected_signals(&l, &[]).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn irradiation_zones() {
+        let l = proto();
+        assert_eq!(irradiation_zone(&l, Vec3::from_mm(-5.0, 0.0, 20.0)), Some(0));
+        assert_eq!(irradiation_zone(&l, Vec3::from_mm(5.0, 0.0, 20.0)), Some(1));
+        assert_eq!(irradiation_zone(&l, Vec3::from_mm(-60.0, 0.0, 20.0)), None);
+        assert_eq!(irradiation_zone(&l, Vec3::from_mm(0.0, 0.0, -20.0)), None);
+    }
+
+    #[test]
+    fn hand_back_adds_static_offset_everywhere() {
+        let l = proto();
+        let hand = SkinPatch::hand_back(Vec3::from_mm(0.0, 30.0, 50.0));
+        let s = reflected_signals(&l, &[hand]);
+        // A large patch up high is inside both LED cones' soft tails only if
+        // within cutoff; at 30mm lateral/50mm height the angle to each LED
+        // axis is ~31°, inside the 35° cutoff, so all PDs see something.
+        assert!(s.iter().all(|&v| v > 0.0), "{s:?}");
+    }
+
+    #[test]
+    fn signal_positive_and_finite() {
+        let l = proto();
+        for z in [5.0, 10.0, 30.0, 60.0] {
+            for x in [-10.0, 0.0, 10.0] {
+                let s = reflected_signals(&l, &[finger_at(x, z)]);
+                assert!(s.iter().all(|v| v.is_finite() && *v >= 0.0));
+            }
+        }
+    }
+}

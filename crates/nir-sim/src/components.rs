@@ -1,0 +1,316 @@
+//! Optical component models: NIR LEDs and photodiodes.
+//!
+//! The paper's parts: 304IRC-94 emitters (940 nm, 20° viewing angle) and
+//! 304PT phototransistors (700–1000 nm spectral response, 80° viewing
+//! angle), both 3 mm in diameter, retailing around $0.2 each.
+
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Near-field softening of the inverse-square law, in m² — the square of
+/// the effective reflector/emitter extent (~25 mm: the thumb+index pair is
+/// not a point). Both optical legs divide by `d² + NEAR_FIELD_M2` instead
+/// of `d²`, which flattens the response at gesture range the way a real
+/// extended reflector does; without it a point-patch d⁴ law would make the
+/// paper's working band (0.5–6 cm) span four orders of magnitude, which no
+/// 10-bit front end could digitize.
+pub const NEAR_FIELD_M2: f64 = 0.000_625;
+
+/// Emission model of an NIR LED.
+///
+/// Radiant intensity follows a generalized Lambertian lobe
+/// `I(θ) = I₀ · cosᵐ(θ)` where `m` is chosen so intensity halves at the
+/// datasheet half-angle (half the quoted viewing angle). A hard cutoff at
+/// `cutoff_deg` models the shield that the prototype adds around each
+/// component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LedSpec {
+    /// Peak emission wavelength in nanometers.
+    pub wavelength_nm: f64,
+    /// Full viewing angle in degrees (datasheet "20°").
+    pub viewing_angle_deg: f64,
+    /// On-axis radiant intensity in arbitrary radiometric units.
+    pub intensity: f64,
+    /// Hard emission cutoff half-angle in degrees (shield aperture).
+    pub cutoff_deg: f64,
+    /// Electrical power draw in watts when driven.
+    pub electrical_power_w: f64,
+}
+
+impl LedSpec {
+    /// The 304IRC-94 emitter of the prototype: 940 nm, nominal 20° viewing
+    /// angle. The *effective* lobe is modelled wider (40° half-power)
+    /// because cheap 3 mm epoxy LEDs emit substantial side light beyond
+    /// their nominal beam — and because the paper's sensor keeps working
+    /// at 6 cm with lateral finger offsets that a literal 20° spotlight
+    /// could not illuminate.
+    #[must_use]
+    pub fn ir304c94() -> Self {
+        LedSpec {
+            wavelength_nm: 940.0,
+            viewing_angle_deg: 40.0,
+            intensity: 1.0,
+            cutoff_deg: 55.0,
+            electrical_power_w: 0.008,
+        }
+    }
+
+    /// Lambertian exponent `m` from the datasheet half-angle.
+    #[must_use]
+    pub fn lobe_exponent(&self) -> f64 {
+        let half = (self.viewing_angle_deg / 2.0).to_radians();
+        // I(θ_half) = I0/2 → m = ln(0.5) / ln(cos θ_half)
+        (0.5f64).ln() / half.cos().ln()
+    }
+
+    /// Radiant intensity toward a direction `off_axis` radians from the
+    /// optical axis.
+    #[must_use]
+    pub fn intensity_at(&self, off_axis: f64) -> f64 {
+        let theta = off_axis.abs();
+        if theta >= self.cutoff_deg.to_radians() || theta >= std::f64::consts::FRAC_PI_2 {
+            return 0.0;
+        }
+        self.intensity * theta.cos().powf(self.lobe_exponent())
+    }
+}
+
+/// Responsivity model of an NIR photodiode / phototransistor.
+///
+/// Angular response is `cosᵏ(θ)` with `k` fitted to the datasheet
+/// half-angle, clipped at the shield aperture. Spectral response covers
+/// `spectral_lo_nm..spectral_hi_nm` with a triangular weighting peaking at
+/// `spectral_peak_nm`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhotodiodeSpec {
+    /// Full viewing angle in degrees (datasheet "80°").
+    pub viewing_angle_deg: f64,
+    /// Active area in m² (3 mm diameter disc).
+    pub area_m2: f64,
+    /// Lower edge of spectral response in nm.
+    pub spectral_lo_nm: f64,
+    /// Upper edge of spectral response in nm.
+    pub spectral_hi_nm: f64,
+    /// Peak-response wavelength in nm.
+    pub spectral_peak_nm: f64,
+    /// Conversion gain from received optical flux (radiometric units) to
+    /// photocurrent (signal units before the amplifier).
+    pub responsivity: f64,
+    /// Hard acceptance cutoff half-angle in degrees (shield aperture).
+    pub cutoff_deg: f64,
+    /// Electrical power draw in watts.
+    pub electrical_power_w: f64,
+}
+
+impl PhotodiodeSpec {
+    /// The 304PT detector of the prototype: 700–1000 nm, 80° viewing angle,
+    /// 3 mm diameter.
+    #[must_use]
+    pub fn pt304() -> Self {
+        let r = 0.0015; // 3 mm diameter
+        PhotodiodeSpec {
+            // The bare part sees 80°; the 3D-printed black shield narrows
+            // the effective acceptance to ~50°, which is what localizes
+            // each photodiode's view of the finger.
+            viewing_angle_deg: 50.0,
+            area_m2: std::f64::consts::PI * r * r,
+            spectral_lo_nm: 700.0,
+            spectral_hi_nm: 1000.0,
+            spectral_peak_nm: 940.0,
+            responsivity: 1.0,
+            cutoff_deg: 42.0,
+            electrical_power_w: 0.002,
+        }
+    }
+
+    /// Angular response exponent `k` from the datasheet half-angle.
+    #[must_use]
+    pub fn angular_exponent(&self) -> f64 {
+        let half = (self.viewing_angle_deg / 2.0).to_radians();
+        (0.5f64).ln() / half.cos().ln()
+    }
+
+    /// Relative angular response for light arriving `off_axis` radians from
+    /// the detector normal.
+    #[must_use]
+    pub fn angular_response(&self, off_axis: f64) -> f64 {
+        let theta = off_axis.abs();
+        if theta >= self.cutoff_deg.to_radians() || theta >= std::f64::consts::FRAC_PI_2 {
+            return 0.0;
+        }
+        theta.cos().powf(self.angular_exponent())
+    }
+
+    /// Relative spectral response at `wavelength_nm` (triangular, 0 outside
+    /// the response band).
+    #[must_use]
+    pub fn spectral_response(&self, wavelength_nm: f64) -> f64 {
+        if wavelength_nm < self.spectral_lo_nm || wavelength_nm > self.spectral_hi_nm {
+            return 0.0;
+        }
+        if wavelength_nm <= self.spectral_peak_nm {
+            (wavelength_nm - self.spectral_lo_nm) / (self.spectral_peak_nm - self.spectral_lo_nm)
+        } else {
+            (self.spectral_hi_nm - wavelength_nm) / (self.spectral_hi_nm - self.spectral_peak_nm)
+        }
+    }
+}
+
+/// A placed LED: spec + position + optical axis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Led {
+    /// Component model.
+    pub spec: LedSpec,
+    /// Position on the board in meters.
+    pub position: Vec3,
+    /// Optical axis (unit vector), `+z` for the flat prototype.
+    pub axis: Vec3,
+}
+
+impl Led {
+    /// Radiant intensity from this LED toward world-space point `p`.
+    #[must_use]
+    pub fn intensity_toward(&self, p: Vec3) -> f64 {
+        let dir = p - self.position;
+        if dir.dot(self.axis) <= 0.0 {
+            return 0.0; // behind the board
+        }
+        self.spec.intensity_at(dir.angle_to(self.axis))
+    }
+
+    /// Irradiance (flux per area) delivered at point `p`, with near-field
+    /// softened inverse-square falloff (see [`NEAR_FIELD_M2`]).
+    #[must_use]
+    pub fn irradiance_at(&self, p: Vec3) -> f64 {
+        let d2 = (p - self.position).length_sq() + NEAR_FIELD_M2;
+        self.intensity_toward(p) / d2
+    }
+}
+
+/// A placed photodiode: spec + position + normal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Photodiode {
+    /// Component model.
+    pub spec: PhotodiodeSpec,
+    /// Position on the board in meters.
+    pub position: Vec3,
+    /// Detector normal (unit vector).
+    pub axis: Vec3,
+}
+
+impl Photodiode {
+    /// Signal contribution from a point source of radiant intensity
+    /// `intensity` located at `p` emitting at `wavelength_nm`.
+    #[must_use]
+    pub fn signal_from(&self, p: Vec3, intensity: f64, wavelength_nm: f64) -> f64 {
+        let dir = p - self.position;
+        if dir.dot(self.axis) <= 0.0 {
+            return 0.0;
+        }
+        let d2 = dir.length_sq() + NEAR_FIELD_M2;
+        let ang = self.spec.angular_response(dir.angle_to(self.axis));
+        let spec = self.spec.spectral_response(wavelength_nm);
+        self.spec.responsivity * intensity * self.spec.area_m2 * ang * spec / d2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn led_halves_at_half_angle() {
+        let led = LedSpec::ir304c94();
+        let half = (led.viewing_angle_deg / 2.0).to_radians();
+        let on_axis = led.intensity_at(0.0);
+        let at_half = led.intensity_at(half);
+        assert!((at_half / on_axis - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn led_cutoff_is_dark() {
+        let led = LedSpec::ir304c94();
+        assert_eq!(led.intensity_at(led.cutoff_deg.to_radians() + 0.01), 0.0);
+    }
+
+    #[test]
+    fn led_lobe_falls_off_axis() {
+        // At 35° off axis (just inside the shield cutoff) the intensity has
+        // dropped well below half power.
+        let led = LedSpec::ir304c94();
+        let ratio = led.intensity_at(35f64.to_radians()) / led.intensity_at(0.0);
+        assert!(ratio < 0.5, "ratio = {ratio}");
+        assert!(ratio > 0.0);
+    }
+
+    #[test]
+    fn pd_halves_at_half_angle() {
+        let pd = PhotodiodeSpec::pt304();
+        let half = (pd.viewing_angle_deg / 2.0).to_radians();
+        assert!((pd.angular_response(half) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pd_accepts_moderate_off_axis() {
+        let pd = PhotodiodeSpec::pt304();
+        // The shielded PD still sees 20°-off-axis light at a substantial
+        // fraction.
+        assert!(pd.angular_response(20f64.to_radians()) > 0.5);
+    }
+
+    #[test]
+    fn pd_shield_cutoff() {
+        let pd = PhotodiodeSpec::pt304();
+        assert_eq!(pd.angular_response(pd.cutoff_deg.to_radians() + 0.02), 0.0);
+    }
+
+    #[test]
+    fn pd_spectral_band() {
+        let pd = PhotodiodeSpec::pt304();
+        assert_eq!(pd.spectral_response(650.0), 0.0);
+        assert_eq!(pd.spectral_response(1050.0), 0.0);
+        assert!((pd.spectral_response(940.0) - 1.0).abs() < 1e-12);
+        assert!(pd.spectral_response(800.0) > 0.0);
+    }
+
+    #[test]
+    fn led_softened_inverse_square() {
+        let led = Led { spec: LedSpec::ir304c94(), position: Vec3::ZERO, axis: Vec3::UP };
+        // Near range: softened (ratio < 4 for a distance doubling)…
+        let near = led.irradiance_at(Vec3::new(0.0, 0.0, 0.01));
+        let mid = led.irradiance_at(Vec3::new(0.0, 0.0, 0.02));
+        let r_near = near / mid;
+        assert!(r_near > 1.0 && r_near < 2.0, "near ratio {r_near}");
+        // Far range: approaches true inverse-square.
+        let far_a = led.irradiance_at(Vec3::new(0.0, 0.0, 0.10));
+        let far_b = led.irradiance_at(Vec3::new(0.0, 0.0, 0.20));
+        let r_far = far_a / far_b;
+        assert!((r_far - 4.0).abs() < 0.4, "far ratio {r_far}");
+    }
+
+    #[test]
+    fn led_dark_behind_board() {
+        let led = Led { spec: LedSpec::ir304c94(), position: Vec3::ZERO, axis: Vec3::UP };
+        assert_eq!(led.irradiance_at(Vec3::new(0.0, 0.0, -0.05)), 0.0);
+    }
+
+    #[test]
+    fn pd_signal_decreases_with_distance() {
+        let pd = Photodiode { spec: PhotodiodeSpec::pt304(), position: Vec3::ZERO, axis: Vec3::UP };
+        let s1 = pd.signal_from(Vec3::new(0.0, 0.0, 0.01), 1.0, 940.0);
+        let s2 = pd.signal_from(Vec3::new(0.0, 0.0, 0.03), 1.0, 940.0);
+        assert!(s1 > s2 && s2 > 0.0);
+    }
+
+    #[test]
+    fn pd_ignores_out_of_band_source() {
+        let pd = Photodiode { spec: PhotodiodeSpec::pt304(), position: Vec3::ZERO, axis: Vec3::UP };
+        assert_eq!(pd.signal_from(Vec3::new(0.0, 0.0, 0.02), 1.0, 550.0), 0.0);
+    }
+
+    #[test]
+    fn pd_dark_behind_board() {
+        let pd = Photodiode { spec: PhotodiodeSpec::pt304(), position: Vec3::ZERO, axis: Vec3::UP };
+        assert_eq!(pd.signal_from(Vec3::new(0.0, 0.0, -0.02), 1.0, 940.0), 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! The fingertip reflector model.
+//!
+//! A fingertip is approximated as a small spherical patch: a Lambertian
+//! reflector of effective area `π·r²` centered at the tip position, with
+//! surface normal pointing from the patch toward the board (the pad of the
+//! finger faces the sensor in every paper gesture). The rest of the hand is
+//! modelled separately as a larger, farther, static patch — the `N_static`
+//! term of §IV-B1.
+
+use crate::skin::SkinModel;
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A spherical skin patch acting as a diffuse reflector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SkinPatch {
+    /// Center of the patch in meters.
+    pub position: Vec3,
+    /// Effective radius of the reflecting disc in meters.
+    pub radius_m: f64,
+    /// Reflectance model.
+    pub skin: SkinModel,
+}
+
+impl SkinPatch {
+    /// A typical adult fingertip: 7 mm effective radius.
+    #[must_use]
+    pub fn fingertip(position: Vec3) -> Self {
+        SkinPatch { position, radius_m: 0.007, skin: SkinModel::typical() }
+    }
+
+    /// The back of the hand hovering behind the fingers: a larger patch
+    /// (25 mm radius) that produces the static reflection offset.
+    #[must_use]
+    pub fn hand_back(position: Vec3) -> Self {
+        SkinPatch { position, radius_m: 0.025, skin: SkinModel::typical() }
+    }
+
+    /// Effective reflecting area in m².
+    #[must_use]
+    pub fn area_m2(&self) -> f64 {
+        std::f64::consts::PI * self.radius_m * self.radius_m
+    }
+
+    /// Surface normal used for reflection: from the patch toward a board
+    /// point `toward` (the pad faces the sensor).
+    #[must_use]
+    pub fn normal_toward(&self, toward: Vec3) -> Vec3 {
+        (toward - self.position).normalized()
+    }
+
+    /// Relocate the patch.
+    #[must_use]
+    pub fn at(&self, position: Vec3) -> SkinPatch {
+        SkinPatch { position, ..*self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingertip_dimensions() {
+        let f = SkinPatch::fingertip(Vec3::new(0.0, 0.0, 0.02));
+        assert!((f.radius_m - 0.007).abs() < 1e-12);
+        assert!(f.area_m2() > 0.0);
+    }
+
+    #[test]
+    fn hand_back_is_larger() {
+        let f = SkinPatch::fingertip(Vec3::ZERO);
+        let h = SkinPatch::hand_back(Vec3::ZERO);
+        assert!(h.area_m2() > f.area_m2());
+    }
+
+    #[test]
+    fn normal_points_at_target() {
+        let f = SkinPatch::fingertip(Vec3::new(0.0, 0.0, 0.02));
+        let n = f.normal_toward(Vec3::ZERO);
+        assert!((n.z + 1.0).abs() < 1e-12); // straight down
+    }
+
+    #[test]
+    fn relocation_keeps_size() {
+        let f = SkinPatch::fingertip(Vec3::ZERO);
+        let g = f.at(Vec3::new(0.01, 0.0, 0.03));
+        assert_eq!(g.radius_m, f.radius_m);
+        assert_eq!(g.position, Vec3::new(0.01, 0.0, 0.03));
+    }
+}

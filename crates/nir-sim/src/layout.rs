@@ -1,0 +1,248 @@
+//! Sensor board layout: the alternating `P1 L1 P2 L2 P3` arrangement.
+//!
+//! The paper's sensor places two NIR LEDs and three NIR photodiodes
+//! "alternatively located close to each other" along one axis (Fig. 6).
+//! The LEDs' narrow irradiation cones `IL1`, `IL2` and the photodiodes'
+//! wide sensing cones `SP1..SP3` overlap so that a finger above `IL1`
+//! brightens mainly `P1`/`P2` and a finger above `IL2` brightens mainly
+//! `P2`/`P3` — the geometric fact ZEBRA exploits.
+
+use crate::components::{Led, LedSpec, Photodiode, PhotodiodeSpec};
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A complete sensor board.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorLayout {
+    leds: Vec<Led>,
+    photodiodes: Vec<Photodiode>,
+    pitch_m: f64,
+}
+
+impl SensorLayout {
+    /// The paper's prototype: `P1 L1 P2 L2 P3` along the `x` axis with a
+    /// 5 mm component pitch, every component facing `+z`.
+    #[must_use]
+    pub fn paper_prototype() -> Self {
+        SensorLayout::alternating(3, 5.0e-3, LedSpec::ir304c94(), PhotodiodeSpec::pt304())
+    }
+
+    /// Build an alternating layout `P1 L1 P2 L2 … P_n` with `pd_count`
+    /// photodiodes (therefore `pd_count − 1` LEDs) and `pitch_m` spacing,
+    /// centered on the origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pd_count < 1` or `pitch_m <= 0`.
+    #[must_use]
+    pub fn alternating(pd_count: usize, pitch_m: f64, led: LedSpec, pd: PhotodiodeSpec) -> Self {
+        assert!(pd_count >= 1, "need at least one photodiode");
+        assert!(pitch_m > 0.0, "pitch must be positive");
+        let total = 2 * pd_count - 1;
+        let x0 = -((total - 1) as f64) * pitch_m / 2.0;
+        let mut leds = Vec::with_capacity(pd_count.saturating_sub(1));
+        let mut pds = Vec::with_capacity(pd_count);
+        for slot in 0..total {
+            let pos = Vec3::new(x0 + slot as f64 * pitch_m, 0.0, 0.0);
+            if slot % 2 == 0 {
+                pds.push(Photodiode { spec: pd, position: pos, axis: Vec3::UP });
+            } else {
+                leds.push(Led { spec: led, position: pos, axis: Vec3::UP });
+            }
+        }
+        SensorLayout { leds, photodiodes: pds, pitch_m }
+    }
+
+    /// The LEDs, in board order (`L1, L2, …`).
+    #[must_use]
+    pub fn leds(&self) -> &[Led] {
+        &self.leds
+    }
+
+    /// The photodiodes, in board order (`P1, P2, …`).
+    #[must_use]
+    pub fn photodiodes(&self) -> &[Photodiode] {
+        &self.photodiodes
+    }
+
+    /// Component pitch in meters.
+    #[must_use]
+    pub fn pitch_m(&self) -> f64 {
+        self.pitch_m
+    }
+
+    /// Distance in meters between the first and last photodiode (`P1`–`P3`
+    /// for the prototype) — the baseline ZEBRA uses to convert the ascent
+    /// time gap into a velocity.
+    #[must_use]
+    pub fn pd_baseline_m(&self) -> f64 {
+        match (self.photodiodes.first(), self.photodiodes.last()) {
+            (Some(a), Some(b)) => a.position.distance(b.position),
+            _ => 0.0,
+        }
+    }
+
+    /// A plus-shaped 2-D board (§VI: "other posited distributions to
+    /// construct a multi-dimensional sensing area"): one alternating arm
+    /// along `x` and one along `y`, sharing the central photodiode. With
+    /// `arm_pds` photodiodes per arm the board has `2·arm_pds − 1`
+    /// photodiodes and `2·(arm_pds − 1)` LEDs, and resolves finger motion
+    /// in both lateral axes.
+    ///
+    /// Channel order: the `x` arm first (`P1..P_n` left to right), then
+    /// the `y` arm without its center (`P_{n+1}..` front to back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm_pds < 2` or `pitch_m <= 0`.
+    #[must_use]
+    pub fn cross(arm_pds: usize, pitch_m: f64, led: LedSpec, pd: PhotodiodeSpec) -> Self {
+        assert!(arm_pds >= 2, "a cross needs at least two photodiodes per arm");
+        assert!(pitch_m > 0.0, "pitch must be positive");
+        let x_arm = SensorLayout::alternating(arm_pds, pitch_m, led, pd);
+        let mut leds = x_arm.leds.clone();
+        let mut pds = x_arm.photodiodes.clone();
+        // Rotate the same arm onto the y axis, skipping the shared center.
+        for l in &x_arm.leds {
+            leds.push(Led { position: Vec3::new(0.0, l.position.x, 0.0), ..*l });
+        }
+        for p in &x_arm.photodiodes {
+            if p.position.x.abs() < 1e-12 {
+                continue; // the center photodiode is shared
+            }
+            pds.push(Photodiode { position: Vec3::new(0.0, p.position.x, 0.0), ..*p });
+        }
+        SensorLayout { leds, photodiodes: pds, pitch_m }
+    }
+
+    /// Mirror the layout across the `yz` plane (swap left/right). Used by
+    /// the non-dominant-hand experiments where "the prototype is oriented
+    /// accordingly".
+    #[must_use]
+    pub fn mirrored(&self) -> SensorLayout {
+        let flip = |v: Vec3| Vec3::new(-v.x, v.y, v.z);
+        let mut leds: Vec<Led> =
+            self.leds.iter().map(|l| Led { position: flip(l.position), ..*l }).collect();
+        let mut pds: Vec<Photodiode> = self
+            .photodiodes
+            .iter()
+            .map(|p| Photodiode { position: flip(p.position), ..*p })
+            .collect();
+        leds.reverse();
+        pds.reverse();
+        SensorLayout { leds, photodiodes: pds, pitch_m: self.pitch_m }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_counts() {
+        let l = SensorLayout::paper_prototype();
+        assert_eq!(l.leds().len(), 2);
+        assert_eq!(l.photodiodes().len(), 3);
+    }
+
+    #[test]
+    fn prototype_alternates_and_centers() {
+        let l = SensorLayout::paper_prototype();
+        let p = l.photodiodes();
+        let d = l.leds();
+        // Order along x: P1 < L1 < P2 < L2 < P3, centered on zero.
+        assert!(p[0].position.x < d[0].position.x);
+        assert!(d[0].position.x < p[1].position.x);
+        assert!(p[1].position.x < d[1].position.x);
+        assert!(d[1].position.x < p[2].position.x);
+        assert!((p[1].position.x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prototype_baseline_is_20mm() {
+        let l = SensorLayout::paper_prototype();
+        assert!((l.pd_baseline_m() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_face_up() {
+        let l = SensorLayout::paper_prototype();
+        assert!(l.leds().iter().all(|c| c.axis == Vec3::UP));
+        assert!(l.photodiodes().iter().all(|c| c.axis == Vec3::UP));
+    }
+
+    #[test]
+    fn single_pd_layout_has_no_led() {
+        let l = SensorLayout::alternating(1, 0.005, LedSpec::ir304c94(), PhotodiodeSpec::pt304());
+        assert_eq!(l.photodiodes().len(), 1);
+        assert!(l.leds().is_empty());
+        assert_eq!(l.pd_baseline_m(), 0.0);
+    }
+
+    #[test]
+    fn larger_board_scales() {
+        let l = SensorLayout::alternating(5, 0.004, LedSpec::ir304c94(), PhotodiodeSpec::pt304());
+        assert_eq!(l.photodiodes().len(), 5);
+        assert_eq!(l.leds().len(), 4);
+        assert!((l.pd_baseline_m() - 8.0 * 0.004).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mirroring_preserves_order_and_is_involutive() {
+        // The alternating board is symmetric about the origin, so mirroring
+        // + relabelling restores the same physical positions (the paper's
+        // "prototype oriented accordingly" is then purely about which side
+        // the hand approaches from — handled by trajectory mirroring).
+        let l = SensorLayout::paper_prototype();
+        let m = l.mirrored();
+        for (a, b) in m.photodiodes().iter().zip(l.photodiodes()) {
+            assert!((a.position.x - b.position.x).abs() < 1e-12);
+        }
+        assert!(m.photodiodes()[0].position.x < m.photodiodes()[2].position.x);
+        // Mirroring twice is the identity.
+        let mm = m.mirrored();
+        for (a, b) in mm.photodiodes().iter().zip(l.photodiodes()) {
+            assert!((a.position.x - b.position.x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one photodiode")]
+    fn zero_pd_panics() {
+        let _ = SensorLayout::alternating(0, 0.005, LedSpec::ir304c94(), PhotodiodeSpec::pt304());
+    }
+
+    #[test]
+    fn cross_counts_and_shared_center() {
+        let c = SensorLayout::cross(3, 0.005, LedSpec::ir304c94(), PhotodiodeSpec::pt304());
+        assert_eq!(c.photodiodes().len(), 5); // 3 on x + 2 more on y
+        assert_eq!(c.leds().len(), 4);
+        // Exactly one photodiode at the origin.
+        let centered = c
+            .photodiodes()
+            .iter()
+            .filter(|p| p.position.length() < 1e-12)
+            .count();
+        assert_eq!(centered, 1);
+    }
+
+    #[test]
+    fn cross_resolves_both_axes() {
+        use crate::channel::reflected_signals;
+        use crate::finger::SkinPatch;
+        let c = SensorLayout::cross(3, 0.005, LedSpec::ir304c94(), PhotodiodeSpec::pt304());
+        // A finger off to +x brightens the x-arm end more than the y-arm
+        // ends; a finger off to +y does the reverse.
+        let sx = reflected_signals(&c, &[SkinPatch::fingertip(Vec3::from_mm(8.0, 0.0, 18.0))]);
+        let sy = reflected_signals(&c, &[SkinPatch::fingertip(Vec3::from_mm(0.0, 8.0, 18.0))]);
+        // Channels: 0..3 = x arm (left, center, right); 3..5 = y arm.
+        assert!(sx[2] > sx[3] && sx[2] > sx[4], "x finger favours x arm: {sx:?}");
+        assert!(sy[4] > sy[0] && sy[4] > sy[2], "y finger favours y arm: {sy:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "two photodiodes per arm")]
+    fn cross_needs_two_per_arm() {
+        let _ = SensorLayout::cross(1, 0.005, LedSpec::ir304c94(), PhotodiodeSpec::pt304());
+    }
+}

@@ -1,0 +1,64 @@
+//! Physics-based simulator of the airFinger NIR sensing hardware.
+//!
+//! The paper's prototype is a custom sensor: two 940 nm NIR LEDs
+//! (304IRC-94, 20° field of view) and three NIR photodiodes (304PT,
+//! 700–1000 nm, 80° field of view) alternating side by side behind a
+//! 3D-printed black shield, read through amplifiers and an Arduino UNO ADC
+//! at 100 Hz. This crate reproduces that hardware as an optical simulation
+//! so that the rest of the pipeline can be exercised without the physical
+//! device:
+//!
+//! * [`vec3`] — minimal 3-D vector math.
+//! * [`components`] — LED and photodiode models (emission lobe, spectral
+//!   overlap, angular responsivity, shield clipping).
+//! * [`layout`] — the alternating `P1 L1 P2 L2 P3` board layout builder.
+//! * [`skin`] — diffuse skin reflectance at NIR wavelengths.
+//! * [`finger`] — the fingertip reflector patch.
+//! * [`channel`] — the LED → finger → photodiode optical path.
+//! * [`ambient`] — ambient NIR sources: indoor baseline, sunlight by time
+//!   of day, passers-by, IR remote bursts.
+//! * [`noise`] — shot noise, thermal noise and hardware spikes.
+//! * [`adc`] — amplifier gain and 10-bit ADC quantization/saturation.
+//! * [`sampler`] — drives a finger trajectory through the scene at 100 Hz
+//!   and produces a multi-channel [`trace::RssTrace`].
+//! * [`power`] — the component power budget (the paper reports 24 mW for
+//!   LEDs + PDs).
+//! * [`modulation`] — the §VI outdoor extension: chopped LEDs with lock-in
+//!   demodulation, cancelling arbitrary ambient light.
+//!
+//! # Example
+//!
+//! ```
+//! use airfinger_nir_sim::layout::SensorLayout;
+//! use airfinger_nir_sim::sampler::{Sampler, Scene};
+//! use airfinger_nir_sim::vec3::Vec3;
+//!
+//! let scene = Scene::new(SensorLayout::paper_prototype());
+//! let sampler = Sampler::new(scene, 100.0);
+//! // Hold a fingertip 2 cm above the board center for half a second.
+//! let trace = sampler.sample(0.5, 42, |_t| Some(Vec3::new(0.0, 0.0, 0.02)));
+//! assert_eq!(trace.channel_count(), 3);
+//! assert_eq!(trace.len(), 50);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adc;
+pub mod ambient;
+pub mod channel;
+pub mod components;
+pub mod finger;
+pub mod layout;
+pub mod modulation;
+pub mod noise;
+pub mod power;
+pub mod sampler;
+pub mod skin;
+pub mod trace;
+pub mod vec3;
+
+pub use layout::SensorLayout;
+pub use sampler::{Sampler, Scene};
+pub use trace::RssTrace;
+pub use vec3::Vec3;

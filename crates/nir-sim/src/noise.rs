@@ -1,0 +1,126 @@
+//! Electronic noise models: shot noise, thermal noise, hardware spikes.
+//!
+//! The paper's §IV-B1 mentions "sudden RSS changes due to hardware" as one
+//! interference class; §IV-F removes them together with unintentional
+//! motions. All three noise mechanisms are driven by a seeded RNG so
+//! recordings are reproducible.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Noise configuration in ADC-count units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Shot-noise coefficient: σ = `shot_coeff · √counts`.
+    pub shot_coeff: f64,
+    /// Thermal (signal-independent) noise σ in counts.
+    pub thermal_sigma: f64,
+    /// Mean hardware spikes per second.
+    pub spike_rate_hz: f64,
+    /// Peak spike amplitude in counts.
+    pub spike_amplitude: f64,
+}
+
+impl NoiseModel {
+    /// Calibrated to the Arduino-class prototype: ~1 count thermal noise,
+    /// mild shot noise, rare ~40-count spikes.
+    #[must_use]
+    pub fn prototype() -> Self {
+        NoiseModel { shot_coeff: 0.04, thermal_sigma: 0.5, spike_rate_hz: 0.05, spike_amplitude: 40.0 }
+    }
+
+    /// A noiseless model (for deterministic unit tests).
+    #[must_use]
+    pub fn none() -> Self {
+        NoiseModel { shot_coeff: 0.0, thermal_sigma: 0.0, spike_rate_hz: 0.0, spike_amplitude: 0.0 }
+    }
+
+    /// Draw the additive noise (in counts) for a sample whose clean level
+    /// is `clean_counts`, with sampling interval `dt` seconds.
+    pub fn sample<R: Rng>(&self, clean_counts: f64, dt: f64, rng: &mut R) -> f64 {
+        let mut n = 0.0;
+        let shot_sigma = self.shot_coeff * clean_counts.max(0.0).sqrt();
+        let sigma = (shot_sigma * shot_sigma + self.thermal_sigma * self.thermal_sigma).sqrt();
+        if sigma > 0.0 {
+            n += sigma * gaussian(rng);
+        }
+        if self.spike_rate_hz > 0.0 && rng.gen::<f64>() < self.spike_rate_hz * dt {
+            n += self.spike_amplitude * rng.gen::<f64>();
+        }
+        n
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::prototype()
+    }
+}
+
+/// Standard normal draw via Box–Muller (avoids a `rand_distr` dependency).
+pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_is_silent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = NoiseModel::none();
+        for _ in 0..100 {
+            assert_eq!(m.sample(500.0, 0.01, &mut rng), 0.0);
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean: f64 = draws.iter().sum::<f64>() / n as f64;
+        let var: f64 = draws.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn shot_noise_grows_with_signal() {
+        let m = NoiseModel { shot_coeff: 0.5, thermal_sigma: 0.0, spike_rate_hz: 0.0, spike_amplitude: 0.0 };
+        let spread = |level: f64, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let draws: Vec<f64> = (0..5000).map(|_| m.sample(level, 0.01, &mut rng)).collect();
+            let mean: f64 = draws.iter().sum::<f64>() / draws.len() as f64;
+            (draws.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / draws.len() as f64).sqrt()
+        };
+        let dim = spread(10.0, 2);
+        let bright = spread(1000.0, 2);
+        assert!(bright > 5.0 * dim, "bright {bright} vs dim {dim}");
+    }
+
+    #[test]
+    fn spikes_occur_at_configured_rate() {
+        let m = NoiseModel { shot_coeff: 0.0, thermal_sigma: 0.0, spike_rate_hz: 2.0, spike_amplitude: 100.0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000; // 1000 s at 100 Hz
+        let spikes = (0..n).filter(|_| m.sample(0.0, 0.01, &mut rng) > 0.0).count();
+        // Expect ~2000 spikes; allow wide tolerance.
+        assert!((1500..2600).contains(&spikes), "spikes = {spikes}");
+    }
+
+    #[test]
+    fn seeded_noise_is_reproducible() {
+        let m = NoiseModel::prototype();
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..50).map(|_| m.sample(200.0, 0.01, &mut rng)).collect::<Vec<f64>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,89 @@
+//! Component power budget.
+//!
+//! The paper reports "the total power consumed by the PDs and LEDs is
+//! highly efficient, 24 mW excluding the consumption of the
+//! microcontroller". This module accounts for that budget and lets the
+//! ablation benches reason about duty-cycling.
+
+use crate::layout::SensorLayout;
+use serde::{Deserialize, Serialize};
+
+/// A power budget breakdown in watts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBudget {
+    /// Total LED draw.
+    pub leds_w: f64,
+    /// Total photodiode draw.
+    pub photodiodes_w: f64,
+    /// Duty cycle applied to the LEDs in `[0, 1]`.
+    pub led_duty: f64,
+}
+
+impl PowerBudget {
+    /// Budget for a layout with LEDs driven at `led_duty`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `led_duty` is outside `[0, 1]`.
+    #[must_use]
+    pub fn for_layout(layout: &SensorLayout, led_duty: f64) -> Self {
+        assert!((0.0..=1.0).contains(&led_duty), "duty cycle must be in [0, 1]");
+        let leds_w: f64 =
+            layout.leds().iter().map(|l| l.spec.electrical_power_w).sum::<f64>() * led_duty;
+        let photodiodes_w: f64 =
+            layout.photodiodes().iter().map(|p| p.spec.electrical_power_w).sum();
+        PowerBudget { leds_w, photodiodes_w, led_duty }
+    }
+
+    /// Total sensor draw in watts.
+    #[must_use]
+    pub fn total_w(&self) -> f64 {
+        self.leds_w + self.photodiodes_w
+    }
+
+    /// Total sensor draw in milliwatts.
+    #[must_use]
+    pub fn total_mw(&self) -> f64 {
+        self.total_w() * 1000.0
+    }
+
+    /// Energy in joules consumed over `seconds` of operation.
+    #[must_use]
+    pub fn energy_j(&self, seconds: f64) -> f64 {
+        self.total_w() * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_budget_matches_paper_scale() {
+        // 2 LEDs × 8 mW + 3 PDs × 2 mW = 22 mW at full duty — the paper's
+        // "24 mW" scale.
+        let b = PowerBudget::for_layout(&SensorLayout::paper_prototype(), 1.0);
+        assert!((15.0..=30.0).contains(&b.total_mw()), "total = {} mW", b.total_mw());
+    }
+
+    #[test]
+    fn duty_cycling_scales_led_share_only() {
+        let layout = SensorLayout::paper_prototype();
+        let full = PowerBudget::for_layout(&layout, 1.0);
+        let half = PowerBudget::for_layout(&layout, 0.5);
+        assert!((half.leds_w - full.leds_w / 2.0).abs() < 1e-12);
+        assert_eq!(half.photodiodes_w, full.photodiodes_w);
+    }
+
+    #[test]
+    fn energy_scales_with_time() {
+        let b = PowerBudget::for_layout(&SensorLayout::paper_prototype(), 1.0);
+        assert!((b.energy_j(10.0) - 10.0 * b.total_w()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty cycle")]
+    fn bad_duty_panics() {
+        let _ = PowerBudget::for_layout(&SensorLayout::paper_prototype(), 1.5);
+    }
+}

@@ -1,0 +1,109 @@
+//! Diffuse skin reflectance at NIR wavelengths.
+//!
+//! The paper cites Meglinski & Matcher (Physiol. Meas. 2002): human skin
+//! absorbs only a tiny amount of NIR, so "most of the emitted NIR will be
+//! reflected by the fingers". We model skin as a Lambertian reflector with
+//! a wavelength-dependent albedo peaking in the 800–1000 nm window.
+
+use serde::{Deserialize, Serialize};
+
+/// Lambertian skin reflectance model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SkinModel {
+    /// Diffuse albedo at the reference wavelength (940 nm).
+    pub albedo_940: f64,
+}
+
+impl SkinModel {
+    /// Typical fingertip skin: ~60 % diffuse reflectance at 940 nm.
+    #[must_use]
+    pub fn typical() -> Self {
+        SkinModel { albedo_940: 0.6 }
+    }
+
+    /// Albedo at `wavelength_nm`. A smooth bump around the NIR window:
+    /// full value at 940 nm, falling toward the visible and the water
+    /// absorption band beyond 1150 nm.
+    #[must_use]
+    pub fn albedo(&self, wavelength_nm: f64) -> f64 {
+        let x = (wavelength_nm - 940.0) / 250.0;
+        (self.albedo_940 * (-x * x).exp()).clamp(0.0, 1.0)
+    }
+
+    /// Reflected radiant intensity (per steradian) toward `cos_out` given
+    /// incident irradiance `irradiance` arriving at incidence cosine
+    /// `cos_in` on a patch of area `area_m2`.
+    ///
+    /// Lambertian BRDF: `L = ρ·E·cosθᵢ / π`, intensity toward the exit
+    /// direction scales with `cosθᵣ`.
+    #[must_use]
+    pub fn reflected_intensity(
+        &self,
+        irradiance: f64,
+        cos_in: f64,
+        cos_out: f64,
+        area_m2: f64,
+        wavelength_nm: f64,
+    ) -> f64 {
+        if cos_in <= 0.0 || cos_out <= 0.0 {
+            return 0.0;
+        }
+        self.albedo(wavelength_nm) * irradiance * cos_in * cos_out * area_m2
+            / std::f64::consts::PI
+    }
+}
+
+impl Default for SkinModel {
+    fn default() -> Self {
+        SkinModel::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn albedo_peaks_at_940() {
+        let s = SkinModel::typical();
+        assert!((s.albedo(940.0) - 0.6).abs() < 1e-12);
+        assert!(s.albedo(940.0) > s.albedo(700.0));
+        assert!(s.albedo(940.0) > s.albedo(1300.0));
+    }
+
+    #[test]
+    fn albedo_bounded() {
+        let s = SkinModel { albedo_940: 0.9 };
+        for wl in (400..1500).step_by(50) {
+            let a = s.albedo(wl as f64);
+            assert!((0.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn reflection_zero_at_grazing() {
+        let s = SkinModel::typical();
+        assert_eq!(s.reflected_intensity(1.0, 0.0, 1.0, 1e-4, 940.0), 0.0);
+        assert_eq!(s.reflected_intensity(1.0, 1.0, -0.2, 1e-4, 940.0), 0.0);
+    }
+
+    #[test]
+    fn reflection_scales_with_irradiance_and_area() {
+        let s = SkinModel::typical();
+        let base = s.reflected_intensity(1.0, 1.0, 1.0, 1e-4, 940.0);
+        assert!((s.reflected_intensity(2.0, 1.0, 1.0, 1e-4, 940.0) - 2.0 * base).abs() < 1e-15);
+        assert!((s.reflected_intensity(1.0, 1.0, 1.0, 2e-4, 940.0) - 2.0 * base).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reflection_conserves_energy_scale() {
+        // Reflected intensity integrated over the hemisphere (∫cosθ dΩ = π)
+        // equals ρ·E·cosθᵢ·A — never more than the incident flux.
+        let s = SkinModel::typical();
+        let e = 5.0;
+        let area = 1e-4;
+        let peak = s.reflected_intensity(e, 1.0, 1.0, area, 940.0);
+        let total = peak * std::f64::consts::PI; // hemisphere integral
+        assert!(total <= e * area + 1e-12);
+    }
+}

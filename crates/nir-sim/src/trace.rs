@@ -1,0 +1,180 @@
+//! Multi-channel RSS recordings.
+
+use serde::{Deserialize, Serialize};
+
+/// A multi-channel received-signal-strength recording: one series of ADC
+/// counts per photodiode, sampled at a fixed rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RssTrace {
+    sample_rate_hz: f64,
+    channels: Vec<Vec<f64>>,
+}
+
+impl RssTrace {
+    /// Create an empty trace with `channel_count` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate_hz` is not positive or `channel_count` is 0.
+    #[must_use]
+    pub fn new(channel_count: usize, sample_rate_hz: f64) -> Self {
+        assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+        assert!(channel_count > 0, "need at least one channel");
+        RssTrace { sample_rate_hz, channels: vec![Vec::new(); channel_count] }
+    }
+
+    /// Build from existing channel data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channels have different lengths, there are none, or
+    /// the sample rate is not positive.
+    #[must_use]
+    pub fn from_channels(channels: Vec<Vec<f64>>, sample_rate_hz: f64) -> Self {
+        assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+        assert!(!channels.is_empty(), "need at least one channel");
+        let len = channels[0].len();
+        assert!(channels.iter().all(|c| c.len() == len), "channel lengths differ");
+        RssTrace { sample_rate_hz, channels }
+    }
+
+    /// Sampling rate in Hz.
+    #[must_use]
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// Number of channels (photodiodes).
+    #[must_use]
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of samples per channel.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.channels.first().map_or(0, Vec::len)
+    }
+
+    /// Whether the trace holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Recording duration in seconds.
+    #[must_use]
+    pub fn duration_s(&self) -> f64 {
+        self.len() as f64 / self.sample_rate_hz
+    }
+
+    /// One channel's series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn channel(&self, idx: usize) -> &[f64] {
+        &self.channels[idx]
+    }
+
+    /// All channels.
+    #[must_use]
+    pub fn channels(&self) -> &[Vec<f64>] {
+        &self.channels
+    }
+
+    /// Consume the trace, returning the channel data.
+    #[must_use]
+    pub fn into_channels(self) -> Vec<Vec<f64>> {
+        self.channels
+    }
+
+    /// Append one simultaneous sample across all channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample.len()` differs from the channel count.
+    pub fn push_sample(&mut self, sample: &[f64]) {
+        assert_eq!(sample.len(), self.channels.len(), "sample width mismatch");
+        for (c, &v) in self.channels.iter_mut().zip(sample) {
+            c.push(v);
+        }
+    }
+
+    /// Sum of all channels at each instant (the single-channel view used
+    /// when plotting "the" RSS of a gesture, as the paper's Fig. 3 does).
+    #[must_use]
+    pub fn summed(&self) -> Vec<f64> {
+        let n = self.len();
+        let mut out = vec![0.0; n];
+        for c in &self.channels {
+            for (o, &v) in out.iter_mut().zip(c) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Extract a sub-trace covering samples `[start, end)` (clamped).
+    #[must_use]
+    pub fn window(&self, start: usize, end: usize) -> RssTrace {
+        let e = end.min(self.len());
+        let s = start.min(e);
+        RssTrace {
+            sample_rate_hz: self.sample_rate_hz,
+            channels: self.channels.iter().map(|c| c[s..e].to_vec()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut t = RssTrace::new(3, 100.0);
+        t.push_sample(&[1.0, 2.0, 3.0]);
+        t.push_sample(&[4.0, 5.0, 6.0]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.channel_count(), 3);
+        assert_eq!(t.channel(1), &[2.0, 5.0]);
+        assert!((t.duration_s() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summed_adds_channels() {
+        let t = RssTrace::from_channels(vec![vec![1.0, 2.0], vec![10.0, 20.0]], 100.0);
+        assert_eq!(t.summed(), vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn window_clamps() {
+        let t = RssTrace::from_channels(vec![vec![1.0, 2.0, 3.0]], 100.0);
+        let w = t.window(1, 10);
+        assert_eq!(w.channel(0), &[2.0, 3.0]);
+        assert!(t.window(5, 9).is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = RssTrace::from_channels(vec![vec![1.5, 2.5], vec![0.0, 9.0]], 100.0);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: RssTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel lengths differ")]
+    fn ragged_channels_panic() {
+        let _ = RssTrace::from_channels(vec![vec![1.0], vec![1.0, 2.0]], 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample width mismatch")]
+    fn wrong_sample_width_panics() {
+        let mut t = RssTrace::new(2, 100.0);
+        t.push_sample(&[1.0]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Minimal 3-D vector math for the optical simulation.
+//!
+//! Coordinates: the sensor board lies in the `xy` plane at `z = 0`, with
+//! components arranged along the `x` axis (the scrolling axis) and every
+//! LED/photodiode facing `+z`. Units are meters.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A 3-D vector in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// Component along the board / scroll axis.
+    pub x: f64,
+    /// Component across the board.
+    pub y: f64,
+    /// Component away from the board (sensing direction).
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// Unit vector along `+z` (the board normal).
+    pub const UP: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Construct from components.
+    #[must_use]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Construct from components given in centimeters.
+    #[must_use]
+    pub fn from_cm(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x: x * 0.01, y: y * 0.01, z: z * 0.01 }
+    }
+
+    /// Construct from components given in millimeters.
+    #[must_use]
+    pub fn from_mm(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x: x * 0.001, y: y * 0.001, z: z * 0.001 }
+    }
+
+    /// Dot product.
+    #[must_use]
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Euclidean length.
+    #[must_use]
+    pub fn length(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared length (avoids the square root).
+    #[must_use]
+    pub fn length_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Unit vector in this direction; the zero vector normalizes to zero.
+    #[must_use]
+    pub fn normalized(self) -> Vec3 {
+        let l = self.length();
+        if l <= f64::EPSILON {
+            Vec3::ZERO
+        } else {
+            self / l
+        }
+    }
+
+    /// Distance to another point.
+    #[must_use]
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).length()
+    }
+
+    /// Angle in radians between this vector and `other` (both treated as
+    /// directions); returns 0 if either is zero.
+    #[must_use]
+    pub fn angle_to(self, other: Vec3) -> f64 {
+        let denom = self.length() * other.length();
+        if denom <= f64::EPSILON {
+            return 0.0;
+        }
+        (self.dot(other) / denom).clamp(-1.0, 1.0).acos()
+    }
+
+    /// Linear interpolation: `self + t * (other - self)`.
+    #[must_use]
+    pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {
+        self + (other - self) * t
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_units() {
+        assert_eq!(Vec3::from_cm(100.0, 0.0, 0.0).x, 1.0);
+        assert_eq!(Vec3::from_mm(1000.0, 0.0, 0.0).x, 1.0);
+    }
+
+    #[test]
+    fn dot_and_length() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.length(), 5.0);
+        assert_eq!(v.length_sq(), 25.0);
+        assert_eq!(v.dot(Vec3::UP), 0.0);
+    }
+
+    #[test]
+    fn normalized_unit_length() {
+        let v = Vec3::new(1.0, 2.0, 2.0).normalized();
+        assert!((v.length() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_zero_is_zero() {
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn angle_between_axes_is_right() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert!((a.angle_to(b) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_to_self_is_zero() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert!(v.angle_to(v) < 1e-7);
+    }
+
+    #[test]
+    fn angle_opposite_is_pi() {
+        let v = Vec3::new(0.0, 0.0, 2.0);
+        assert!((v.angle_to(-v) - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(b / 2.0, Vec3::new(2.0, 2.5, 3.0));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec3::ZERO;
+        let b = Vec3::new(2.0, 0.0, 0.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn distance_symmetric() {
+        let a = Vec3::new(1.0, 1.0, 1.0);
+        let b = Vec3::new(2.0, 2.0, 2.0);
+        assert!((a.distance(b) - b.distance(a)).abs() < 1e-15);
+        assert!((a.distance(b) - 3.0f64.sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,257 @@
+//! Recording-condition variants for the §V experiments.
+
+use crate::trajectory::MotionParams;
+use airfinger_nir_sim::ambient::{AmbientConditions, Interference};
+use airfinger_nir_sim::layout::SensorLayout;
+use airfinger_nir_sim::sampler::Scene;
+use airfinger_nir_sim::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Body activity while wearing the wristband prototype (§V-K).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activity {
+    /// Seated at a desk.
+    Sitting,
+    /// Standing still.
+    Standing,
+    /// Walking at a normal pace.
+    Walking,
+}
+
+impl Activity {
+    /// All three §V-K activities.
+    pub const ALL: [Activity; 3] = [Activity::Sitting, Activity::Standing, Activity::Walking];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Activity::Sitting => "sitting",
+            Activity::Standing => "standing",
+            Activity::Walking => "walking",
+        }
+    }
+
+    /// Body-motion offset added to the whole hand at time `t` with a
+    /// per-trial phase in `[0, 1)`.
+    #[must_use]
+    pub fn body_motion(&self, t: f64, phase: f64) -> Vec3 {
+        match self {
+            Activity::Sitting => Vec3::ZERO,
+            Activity::Standing => {
+                // Postural sway: slow, small.
+                let w = std::f64::consts::TAU * (0.4 * t + phase);
+                Vec3::new(0.0006 * w.sin(), 0.0005 * w.cos(), 0.0004 * (w * 1.3).sin())
+            }
+            Activity::Walking => {
+                // Arm swing + step bounce around 1.8 Hz.
+                let w = std::f64::consts::TAU * (1.8 * t + phase);
+                Vec3::new(0.0008 * w.sin(), 0.0006 * (w * 0.5).sin(), 0.0008 * (2.0 * w).sin().abs())
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Activity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A recording condition: what differs from the standard desk setup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+#[derive(Default)]
+pub enum Condition {
+    /// The standard indoor desk setup of the main experiments.
+    #[default]
+    Standard,
+    /// Fingers held at a specific height above the sensor (Fig. 8 sweep).
+    Distance {
+        /// Hover height in meters.
+        height_m: f64,
+    },
+    /// A specific local hour controlling ambient NIR (Fig. 15 sweep).
+    AmbientHour {
+        /// Hour of day in `[0, 24)`.
+        hour: f64,
+    },
+    /// Wristband prototype worn during an activity (Fig. 17).
+    Wristband {
+        /// Body activity.
+        activity: Activity,
+    },
+    /// Non-dominant hand with the prototype mirrored (Fig. 16).
+    Mirrored,
+    /// Interference sources active nearby (§V-J4).
+    Interference {
+        /// Active sources.
+        sources: Vec<Interference>,
+    },
+    /// Harsh outdoor noon sunlight — the §VI failure case the lock-in
+    /// front end exists to solve.
+    OutdoorNoon,
+}
+
+impl Condition {
+    /// Build the recording scene for this condition over the paper's
+    /// 3-photodiode board.
+    #[must_use]
+    pub fn scene(&self) -> Scene {
+        self.scene_for(3)
+    }
+
+    /// Build the recording scene for this condition over a board with
+    /// `pd_count` photodiodes (§VI: "build a sensor with more number of
+    /// LEDs and PDs … improve input resolution").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pd_count` is zero.
+    #[must_use]
+    pub fn scene_for(&self, pd_count: usize) -> Scene {
+        let base = SensorLayout::alternating(
+            pd_count,
+            5.0e-3,
+            airfinger_nir_sim::components::LedSpec::ir304c94(),
+            airfinger_nir_sim::components::PhotodiodeSpec::pt304(),
+        );
+        let layout = if matches!(self, Condition::Mirrored) { base.mirrored() } else { base };
+        if matches!(self, Condition::OutdoorNoon) {
+            return Scene::outdoor_noon(layout);
+        }
+        let mut scene = Scene::new(layout);
+        match self {
+            Condition::AmbientHour { hour } => {
+                scene = scene.with_ambient(AmbientConditions::indoor_at_hour(*hour));
+            }
+            Condition::Interference { sources } => {
+                for s in sources {
+                    scene = scene.with_interference(*s);
+                }
+            }
+            Condition::Wristband { .. }
+            | Condition::Standard
+            | Condition::Distance { .. }
+            | Condition::OutdoorNoon
+            | Condition::Mirrored => {}
+        }
+        scene
+    }
+
+    /// Adjust the trial motion parameters for this condition.
+    #[must_use]
+    pub fn adjust_params(&self, mut params: MotionParams) -> MotionParams {
+        match self {
+            Condition::Distance { height_m } => {
+                params.base.z = *height_m;
+                params
+            }
+            Condition::Wristband { activity } => {
+                // Wearing the band on the opposite wrist constrains the pose
+                // slightly and walking adds tremor.
+                if matches!(activity, Activity::Walking) {
+                    params.tremor_m *= 1.6;
+                }
+                params
+            }
+            Condition::Mirrored => {
+                // The gesture itself mirrors too (left hand); layout
+                // mirroring happens in `scene()`, trajectory mirroring in
+                // the dataset generator.
+                params
+            }
+            _ => params,
+        }
+    }
+
+    /// Whether the dataset generator should mirror trajectories.
+    #[must_use]
+    pub fn mirrors_trajectory(&self) -> bool {
+        matches!(self, Condition::Mirrored)
+    }
+
+    /// Activity, if this is a wristband condition.
+    #[must_use]
+    pub fn activity(&self) -> Option<Activity> {
+        match self {
+            Condition::Wristband { activity } => Some(*activity),
+            _ => None,
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_overrides_height() {
+        let p = MotionParams::default();
+        let adj = Condition::Distance { height_m: 0.08 }.adjust_params(p);
+        assert_eq!(adj.base.z, 0.08);
+    }
+
+    #[test]
+    fn standard_leaves_params_alone() {
+        let p = MotionParams::default();
+        assert_eq!(Condition::Standard.adjust_params(p), p);
+    }
+
+    #[test]
+    fn walking_increases_tremor() {
+        let p = MotionParams::default();
+        let adj = Condition::Wristband { activity: Activity::Walking }.adjust_params(p);
+        assert!(adj.tremor_m > p.tremor_m);
+    }
+
+    #[test]
+    fn walking_motion_larger_than_sitting() {
+        let peak = |a: Activity| {
+            (0..200)
+                .map(|i| a.body_motion(i as f64 * 0.01, 0.2).length())
+                .fold(0.0f64, f64::max)
+        };
+        assert_eq!(peak(Activity::Sitting), 0.0);
+        assert!(peak(Activity::Walking) > peak(Activity::Standing));
+    }
+
+    #[test]
+    fn mirrored_condition_mirrors() {
+        assert!(Condition::Mirrored.mirrors_trajectory());
+        assert!(!Condition::Standard.mirrors_trajectory());
+    }
+
+    #[test]
+    fn scenes_build_for_every_condition() {
+        let conds = [
+            Condition::Standard,
+            Condition::Distance { height_m: 0.05 },
+            Condition::AmbientHour { hour: 14.0 },
+            Condition::Wristband { activity: Activity::Walking },
+            Condition::Mirrored,
+            Condition::Interference { sources: vec![Interference::passerby()] },
+        ];
+        for c in conds {
+            let s = c.scene();
+            assert_eq!(s.layout.photodiodes().len(), 3);
+        }
+    }
+
+    #[test]
+    fn ambient_hour_scene_uses_hour() {
+        let noon = Condition::AmbientHour { hour: 13.0 }.scene();
+        let night = Condition::AmbientHour { hour: 23.0 }.scene();
+        assert!(noon.ambient.irradiance(0.0) > night.ambient.irradiance(0.0));
+    }
+
+    #[test]
+    fn activity_accessor() {
+        assert_eq!(
+            Condition::Wristband { activity: Activity::Standing }.activity(),
+            Some(Activity::Standing)
+        );
+        assert_eq!(Condition::Standard.activity(), None);
+    }
+}

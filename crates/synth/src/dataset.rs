@@ -1,0 +1,400 @@
+//! Corpus assembly: the paper's data-collection protocol, synthesized.
+//!
+//! §V-B: 10 volunteers × 8 gestures × 5 sessions × 25 repetitions = 10,000
+//! labelled samples. [`generate_corpus`] reproduces that protocol (with
+//! configurable sizes) under any [`Condition`]; companion generators build
+//! the unintentional-motion corpus of §V-J1 and condition sweeps.
+
+use crate::conditions::Condition;
+use crate::gesture::{Gesture, NonGestureKind, SampleLabel};
+use crate::mix_seed;
+use crate::profile::UserProfile;
+use crate::trajectory::Trajectory;
+use airfinger_nir_sim::modulation::ModulatedSampler;
+use airfinger_nir_sim::sampler::Sampler;
+use airfinger_nir_sim::trace::RssTrace;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// One labelled recording.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GestureSample {
+    /// Volunteer id.
+    pub user: usize,
+    /// Session index.
+    pub session: usize,
+    /// Repetition index within the session.
+    pub rep: usize,
+    /// Ground-truth label.
+    pub label: SampleLabel,
+    /// The recorded multi-channel RSS trace.
+    pub trace: RssTrace,
+}
+
+/// A labelled corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Corpus {
+    samples: Vec<GestureSample>,
+}
+
+impl Corpus {
+    /// Wrap a sample list.
+    #[must_use]
+    pub fn new(samples: Vec<GestureSample>) -> Self {
+        Corpus { samples }
+    }
+
+    /// All samples.
+    #[must_use]
+    pub fn samples(&self) -> &[GestureSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the corpus is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples whose label satisfies `pred`.
+    #[must_use]
+    pub fn filter<F: Fn(&GestureSample) -> bool>(&self, pred: F) -> Corpus {
+        Corpus { samples: self.samples.iter().filter(|s| pred(s)).cloned().collect() }
+    }
+
+    /// Only the detect-aimed gesture samples.
+    #[must_use]
+    pub fn detect_aimed(&self) -> Corpus {
+        self.filter(|s| s.label.gesture().is_some_and(|g| !g.is_track_aimed()))
+    }
+
+    /// Only the track-aimed gesture samples.
+    #[must_use]
+    pub fn track_aimed(&self) -> Corpus {
+        self.filter(|s| s.label.gesture().is_some_and(|g| g.is_track_aimed()))
+    }
+
+    /// Merge two corpora.
+    #[must_use]
+    pub fn merged(mut self, other: Corpus) -> Corpus {
+        self.samples.extend(other.samples);
+        self
+    }
+
+    /// Serialize to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and I/O failures.
+    pub fn write_json<W: Write>(&self, writer: W) -> Result<(), serde_json::Error> {
+        serde_json::to_writer(writer, self)
+    }
+
+    /// Deserialize from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserialization and I/O failures.
+    pub fn read_json<R: Read>(reader: R) -> Result<Corpus, serde_json::Error> {
+        serde_json::from_reader(reader)
+    }
+}
+
+impl FromIterator<GestureSample> for Corpus {
+    fn from_iter<I: IntoIterator<Item = GestureSample>>(iter: I) -> Self {
+        Corpus { samples: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<GestureSample> for Corpus {
+    fn extend<I: IntoIterator<Item = GestureSample>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+    }
+}
+
+/// Which ADC front end records the corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Frontend {
+    /// Plain DC sampling (the paper's prototype).
+    #[default]
+    Dc,
+    /// Chopped LEDs with lock-in demodulation (the §VI outdoor extension).
+    LockIn,
+}
+
+/// Specification of a gesture corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusSpec {
+    /// Number of volunteers.
+    pub users: usize,
+    /// Sessions per volunteer.
+    pub sessions: usize,
+    /// Repetitions of each gesture per session.
+    pub reps: usize,
+    /// Gesture set (defaults to all eight).
+    pub gestures: Vec<Gesture>,
+    /// Recording condition.
+    pub condition: Condition,
+    /// Master seed; everything else derives deterministically.
+    pub seed: u64,
+    /// ADC sampling rate in Hz (the prototype's 100 Hz).
+    pub sample_rate_hz: f64,
+    /// Which front end records the traces.
+    pub frontend: Frontend,
+    /// Photodiodes on the board (the prototype's 3; §VI scales this up).
+    pub board_pds: usize,
+}
+
+impl Default for CorpusSpec {
+    /// The paper's protocol: 10 users × 5 sessions × 25 reps × 8 gestures.
+    fn default() -> Self {
+        CorpusSpec {
+            users: 10,
+            sessions: 5,
+            reps: 25,
+            gestures: Gesture::ALL.to_vec(),
+            condition: Condition::Standard,
+            seed: 0x41F1_6E12,
+            sample_rate_hz: 100.0,
+            frontend: Frontend::Dc,
+            board_pds: 3,
+        }
+    }
+}
+
+impl CorpusSpec {
+    /// The paper's full 10,000-sample protocol with a given seed.
+    #[must_use]
+    pub fn paper_protocol(seed: u64) -> Self {
+        CorpusSpec { seed, ..Default::default() }
+    }
+
+    /// A small smoke-test corpus (2 users × 2 sessions × 3 reps).
+    #[must_use]
+    pub fn small(seed: u64) -> Self {
+        CorpusSpec { users: 2, sessions: 2, reps: 3, seed, ..Default::default() }
+    }
+}
+
+/// The deterministic fingertip trajectory of one trial — the ground truth
+/// behind the corresponding [`GestureSample`]. Exposed so evaluation
+/// harnesses can compare tracked velocity/displacement against the true
+/// motion.
+#[must_use]
+pub fn trial_trajectory(
+    profile: &UserProfile,
+    label: SampleLabel,
+    session: usize,
+    rep: usize,
+    spec: &CorpusSpec,
+) -> Trajectory {
+    let params = spec
+        .condition
+        .adjust_params(profile.trial_params(label, session, rep, spec.seed));
+    let label_tag = match label {
+        SampleLabel::Gesture(g) => g.index() as u64,
+        SampleLabel::NonGesture(n) => 100 + n as u64,
+    };
+    let traj_seed = mix_seed(&[
+        spec.seed,
+        0x7247,
+        profile.user_id as u64,
+        session as u64,
+        rep as u64,
+        label_tag,
+    ]);
+    let traj = Trajectory::generate(label, &params, traj_seed);
+    if spec.condition.mirrors_trajectory() {
+        traj.mirrored()
+    } else {
+        traj
+    }
+}
+
+/// Generate one labelled sample.
+#[must_use]
+pub fn generate_sample(
+    profile: &UserProfile,
+    label: SampleLabel,
+    session: usize,
+    rep: usize,
+    spec: &CorpusSpec,
+) -> GestureSample {
+    let label_tag = match label {
+        SampleLabel::Gesture(g) => g.index() as u64,
+        SampleLabel::NonGesture(n) => 100 + n as u64,
+    };
+    let traj_seed = mix_seed(&[
+        spec.seed,
+        0x7247,
+        profile.user_id as u64,
+        session as u64,
+        rep as u64,
+        label_tag,
+    ]);
+    let traj = trial_trajectory(profile, label, session, rep, spec);
+    let scene = spec.condition.scene_for(spec.board_pds);
+    let activity = spec.condition.activity();
+    let phase = (traj_seed % 1000) as f64 / 1000.0;
+    let duration = traj.duration_s();
+    let pose = |t: f64| {
+        let body = activity.map_or(airfinger_nir_sim::vec3::Vec3::ZERO, |a| {
+            a.body_motion(t, phase)
+        });
+        traj.position(t).map(|p| p + body)
+    };
+    let trace = match spec.frontend {
+        Frontend::Dc => Sampler::new(scene, spec.sample_rate_hz)
+            .sample(duration, mix_seed(&[traj_seed, 0xADC]), pose),
+        Frontend::LockIn => ModulatedSampler::new(scene, spec.sample_rate_hz, 4)
+            .sample(duration, mix_seed(&[traj_seed, 0xADC]), pose),
+    };
+    GestureSample { user: profile.user_id, session, rep, label, trace }
+}
+
+/// Generate a full gesture corpus per `spec` (users × sessions × reps ×
+/// gestures samples).
+#[must_use]
+pub fn generate_corpus(spec: &CorpusSpec) -> Corpus {
+    let mut samples =
+        Vec::with_capacity(spec.users * spec.sessions * spec.reps * spec.gestures.len());
+    for user in 0..spec.users {
+        let profile = UserProfile::sample(user, spec.seed);
+        for session in 0..spec.sessions {
+            for rep in 0..spec.reps {
+                for &g in &spec.gestures {
+                    samples.push(generate_sample(
+                        &profile,
+                        SampleLabel::Gesture(g),
+                        session,
+                        rep,
+                        spec,
+                    ));
+                }
+            }
+        }
+    }
+    Corpus::new(samples)
+}
+
+/// Generate the §V-J1 unintentional-motion corpus: for every user/session,
+/// `reps` non-gestures cycling through the three kinds.
+#[must_use]
+pub fn generate_nongesture_corpus(spec: &CorpusSpec) -> Corpus {
+    let mut samples = Vec::with_capacity(spec.users * spec.sessions * spec.reps);
+    for user in 0..spec.users {
+        let profile = UserProfile::sample(user, mix_seed(&[spec.seed, 0x9E5]));
+        for session in 0..spec.sessions {
+            for rep in 0..spec.reps {
+                let kind = NonGestureKind::ALL[rep % NonGestureKind::ALL.len()];
+                samples.push(generate_sample(
+                    &profile,
+                    SampleLabel::NonGesture(kind),
+                    session,
+                    rep,
+                    spec,
+                ));
+            }
+        }
+    }
+    Corpus::new(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_corpus_counts() {
+        let spec = CorpusSpec { users: 2, sessions: 2, reps: 2, ..Default::default() };
+        let c = generate_corpus(&spec);
+        assert_eq!(c.len(), 2 * 2 * 2 * 8);
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let spec = CorpusSpec { users: 1, sessions: 1, reps: 1, ..Default::default() };
+        assert_eq!(generate_corpus(&spec), generate_corpus(&spec));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CorpusSpec { users: 1, sessions: 1, reps: 1, seed: 1, ..Default::default() };
+        let b = CorpusSpec { users: 1, sessions: 1, reps: 1, seed: 2, ..Default::default() };
+        assert_ne!(generate_corpus(&a), generate_corpus(&b));
+    }
+
+    #[test]
+    fn traces_have_three_channels_and_signal() {
+        let spec = CorpusSpec { users: 1, sessions: 1, reps: 1, ..Default::default() };
+        for s in generate_corpus(&spec).samples() {
+            assert_eq!(s.trace.channel_count(), 3);
+            assert!(s.trace.len() > 50, "{} len {}", s.label, s.trace.len());
+            // A gesture should visibly modulate at least one channel.
+            let swing: f64 = s
+                .trace
+                .channels()
+                .iter()
+                .map(|c| {
+                    c.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                        - c.iter().cloned().fold(f64::INFINITY, f64::min)
+                })
+                .fold(0.0, f64::max);
+            assert!(swing > 10.0, "{}: swing {swing}", s.label);
+        }
+    }
+
+    #[test]
+    fn filters_partition_gestures() {
+        let spec = CorpusSpec { users: 1, sessions: 1, reps: 1, ..Default::default() };
+        let c = generate_corpus(&spec);
+        assert_eq!(c.detect_aimed().len(), 6);
+        assert_eq!(c.track_aimed().len(), 2);
+    }
+
+    #[test]
+    fn nongesture_corpus_cycles_kinds() {
+        let spec = CorpusSpec { users: 1, sessions: 1, reps: 6, ..Default::default() };
+        let c = generate_nongesture_corpus(&spec);
+        assert_eq!(c.len(), 6);
+        let scratches = c
+            .samples()
+            .iter()
+            .filter(|s| s.label == SampleLabel::NonGesture(NonGestureKind::Scratch))
+            .count();
+        assert_eq!(scratches, 2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let spec = CorpusSpec { users: 1, sessions: 1, reps: 1, gestures: vec![Gesture::Click], ..Default::default() };
+        let c = generate_corpus(&spec);
+        let mut buf = Vec::new();
+        c.write_json(&mut buf).unwrap();
+        let back = Corpus::read_json(&buf[..]).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn merged_concatenates() {
+        let spec = CorpusSpec { users: 1, sessions: 1, reps: 1, gestures: vec![Gesture::Click], ..Default::default() };
+        let a = generate_corpus(&spec);
+        let b = generate_nongesture_corpus(&CorpusSpec { reps: 2, ..spec });
+        let n = a.len() + b.len();
+        assert_eq!(a.merged(b).len(), n);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let spec = CorpusSpec { users: 1, sessions: 1, reps: 1, ..Default::default() };
+        let c = generate_corpus(&spec);
+        let collected: Corpus = c.samples().iter().cloned().collect();
+        assert_eq!(collected.len(), c.len());
+    }
+}

@@ -1,0 +1,223 @@
+//! The gesture set of Fig. 2 plus the unintentional-motion kinds of §V-J1.
+
+use serde::{Deserialize, Serialize};
+
+/// The eight micro finger gestures of the paper.
+///
+/// *Detect-aimed* gestures (circle, double circle, rub, double rub, click,
+/// double click) only need to be recognized; *track-aimed* gestures (scroll
+/// up, scroll down) are additionally tracked by ZEBRA in direction,
+/// velocity and displacement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Gesture {
+    /// Thumb-tip draws one circle against the index fingertip.
+    Circle,
+    /// Two consecutive circles.
+    DoubleCircle,
+    /// One thumb rub (forth and back) against the index fingertip.
+    Rub,
+    /// Two consecutive rubs.
+    DoubleRub,
+    /// One click (press toward the sensor and release).
+    Click,
+    /// Two consecutive clicks.
+    DoubleClick,
+    /// Scroll passing `P1` before `P3`.
+    ScrollUp,
+    /// Scroll passing `P3` before `P1`.
+    ScrollDown,
+}
+
+impl Gesture {
+    /// All eight gestures in the paper's order.
+    pub const ALL: [Gesture; 8] = [
+        Gesture::Circle,
+        Gesture::DoubleCircle,
+        Gesture::Rub,
+        Gesture::DoubleRub,
+        Gesture::Click,
+        Gesture::DoubleClick,
+        Gesture::ScrollUp,
+        Gesture::ScrollDown,
+    ];
+
+    /// The six detect-aimed gestures.
+    pub const DETECT_AIMED: [Gesture; 6] = [
+        Gesture::Circle,
+        Gesture::DoubleCircle,
+        Gesture::Rub,
+        Gesture::DoubleRub,
+        Gesture::Click,
+        Gesture::DoubleClick,
+    ];
+
+    /// The two track-aimed gestures.
+    pub const TRACK_AIMED: [Gesture; 2] = [Gesture::ScrollUp, Gesture::ScrollDown];
+
+    /// Whether this gesture needs ZEBRA tracking.
+    #[must_use]
+    pub fn is_track_aimed(&self) -> bool {
+        matches!(self, Gesture::ScrollUp | Gesture::ScrollDown)
+    }
+
+    /// Stable index `0..8` in [`Gesture::ALL`] order (classifier label).
+    #[must_use]
+    pub fn index(&self) -> usize {
+        Gesture::ALL.iter().position(|g| g == self).expect("gesture listed in ALL")
+    }
+
+    /// Gesture from its [`Gesture::index`].
+    #[must_use]
+    pub fn from_index(idx: usize) -> Option<Gesture> {
+        Gesture::ALL.get(idx).copied()
+    }
+
+    /// Index `0..6` within [`Gesture::DETECT_AIMED`], if detect-aimed.
+    #[must_use]
+    pub fn detect_index(&self) -> Option<usize> {
+        Gesture::DETECT_AIMED.iter().position(|g| g == self)
+    }
+
+    /// Display name matching the paper's tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gesture::Circle => "circle",
+            Gesture::DoubleCircle => "double circle",
+            Gesture::Rub => "rub",
+            Gesture::DoubleRub => "double rub",
+            Gesture::Click => "click",
+            Gesture::DoubleClick => "double click",
+            Gesture::ScrollUp => "scroll up",
+            Gesture::ScrollDown => "scroll down",
+        }
+    }
+}
+
+impl std::fmt::Display for Gesture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Unintentional finger motions (§V-J1: "scratching, extending, or
+/// reposition hands and fingers").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NonGestureKind {
+    /// Erratic scratching near the sensor.
+    Scratch,
+    /// Extending the fingers away from the sensing zone.
+    Extend,
+    /// Slowly repositioning the hand.
+    Reposition,
+}
+
+impl NonGestureKind {
+    /// All unintentional-motion kinds.
+    pub const ALL: [NonGestureKind; 3] =
+        [NonGestureKind::Scratch, NonGestureKind::Extend, NonGestureKind::Reposition];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            NonGestureKind::Scratch => "scratch",
+            NonGestureKind::Extend => "extend",
+            NonGestureKind::Reposition => "reposition",
+        }
+    }
+}
+
+impl std::fmt::Display for NonGestureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A sample label: an intentional gesture or an unintentional motion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SampleLabel {
+    /// One of the eight designed gestures.
+    Gesture(Gesture),
+    /// An unintentional motion.
+    NonGesture(NonGestureKind),
+}
+
+impl SampleLabel {
+    /// The gesture, if this label is one.
+    #[must_use]
+    pub fn gesture(&self) -> Option<Gesture> {
+        match self {
+            SampleLabel::Gesture(g) => Some(*g),
+            SampleLabel::NonGesture(_) => None,
+        }
+    }
+
+    /// Whether the label is an intentional gesture.
+    #[must_use]
+    pub fn is_gesture(&self) -> bool {
+        matches!(self, SampleLabel::Gesture(_))
+    }
+}
+
+impl std::fmt::Display for SampleLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampleLabel::Gesture(g) => g.fmt(f),
+            SampleLabel::NonGesture(n) => n.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_gestures_partition() {
+        assert_eq!(Gesture::ALL.len(), 8);
+        assert_eq!(Gesture::DETECT_AIMED.len(), 6);
+        assert_eq!(Gesture::TRACK_AIMED.len(), 2);
+        let detect = Gesture::ALL.iter().filter(|g| !g.is_track_aimed()).count();
+        assert_eq!(detect, 6);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for g in Gesture::ALL {
+            assert_eq!(Gesture::from_index(g.index()), Some(g));
+        }
+        assert_eq!(Gesture::from_index(8), None);
+    }
+
+    #[test]
+    fn detect_index_only_for_detect_aimed() {
+        assert_eq!(Gesture::Circle.detect_index(), Some(0));
+        assert_eq!(Gesture::DoubleClick.detect_index(), Some(5));
+        assert_eq!(Gesture::ScrollUp.detect_index(), None);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Gesture::DoubleCircle.to_string(), "double circle");
+        assert_eq!(Gesture::ScrollDown.to_string(), "scroll down");
+        assert_eq!(NonGestureKind::Scratch.to_string(), "scratch");
+    }
+
+    #[test]
+    fn label_accessors() {
+        let g = SampleLabel::Gesture(Gesture::Rub);
+        let n = SampleLabel::NonGesture(NonGestureKind::Extend);
+        assert!(g.is_gesture());
+        assert!(!n.is_gesture());
+        assert_eq!(g.gesture(), Some(Gesture::Rub));
+        assert_eq!(n.gesture(), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let l = SampleLabel::Gesture(Gesture::ScrollUp);
+        let json = serde_json::to_string(&l).unwrap();
+        assert_eq!(serde_json::from_str::<SampleLabel>(&json).unwrap(), l);
+    }
+}

@@ -1,0 +1,310 @@
+//! The two-level random-effects model: volunteers, sessions, trials.
+//!
+//! §V-B: "volunteers perform gestures according to their habits, without
+//! given any instructions" — so users differ systematically (individual
+//! diversity: finger position, towards angle, moving speed), and each user
+//! drifts a little between sessions and trials (gesture inconsistency).
+//!
+//! Variance budget (σ per level, applied multiplicatively or additively):
+//!
+//! | parameter  | between-user | between-session | between-trial |
+//! |------------|--------------|-----------------|---------------|
+//! | speed      | 0.14 (log)   | 0.05 (log)      | 0.02 (log)    |
+//! | amplitude  | 0.14         | 0.04            | 0.02          |
+//! | base x/y   | ±4 mm        | ±1.5 mm         | ±0.5 mm       |
+//! | height z   | 18–24 mm     | ±2 mm           | ±0.6 mm       |
+//! | tilt       | ±0.18 rad    | ±0.05 rad       | ±0.015 rad    |
+//!
+//! The user level dominating the session level is what reproduces the
+//! paper's headline contrast: leave-one-user-out accuracy (83.61 %) falls
+//! far below leave-one-session-out accuracy (97.07 %).
+
+use crate::gesture::SampleLabel;
+use crate::mix_seed;
+use crate::trajectory::MotionParams;
+use airfinger_nir_sim::vec3::Vec3;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Standard-normal draw (Box–Muller).
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A volunteer's stable gesture habits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Volunteer id.
+    pub user_id: usize,
+    /// Habitual speed factor (1.0 = canonical pace).
+    pub speed: f64,
+    /// Habitual gesture size factor.
+    pub amplitude: f64,
+    /// Habitual resting fingertip pose (m).
+    pub base: Vec3,
+    /// Habitual approach angle (rad).
+    pub tilt_rad: f64,
+    /// Physiological tremor amplitude (m).
+    pub tremor_m: f64,
+    /// Habitual pause inside double gestures (s).
+    pub double_gap_s: f64,
+    /// Stylistic phase (circle start angle etc.).
+    pub phase: f64,
+    /// Per-gesture amplitude quirks (some users click shallow, rub wide…).
+    pub gesture_quirk: [f64; 8],
+}
+
+impl UserProfile {
+    /// Draw volunteer `user_id`'s profile from the population
+    /// distribution, deterministically from `corpus_seed`.
+    #[must_use]
+    pub fn sample(user_id: usize, corpus_seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(mix_seed(&[corpus_seed, 0xA11CE, user_id as u64]));
+        let mut quirk = [1.0f64; 8];
+        for q in &mut quirk {
+            *q = (1.0 + 0.07 * gauss(&mut rng)).clamp(0.75, 1.3);
+        }
+        UserProfile {
+            user_id,
+            speed: (0.14 * gauss(&mut rng)).exp().clamp(0.65, 1.55),
+            amplitude: (1.0 + 0.14 * gauss(&mut rng)).clamp(0.65, 1.45),
+            base: Vec3::new(
+                0.004 * gauss(&mut rng),
+                0.004 * gauss(&mut rng),
+                0.018 + 0.006 * rng.gen::<f64>(), // 18–24 mm hover
+            ),
+            tilt_rad: 0.18 * gauss(&mut rng),
+            tremor_m: 0.00015 + 0.00025 * rng.gen::<f64>(),
+            double_gap_s: 0.12 + 0.16 * rng.gen::<f64>(),
+            phase: 1.1 * gauss(&mut rng),
+            gesture_quirk: quirk,
+        }
+    }
+
+    /// Motion parameters for one trial: the user's habits plus session
+    /// drift plus trial jitter, all deterministic in the seed components.
+    #[must_use]
+    pub fn trial_params(
+        &self,
+        label: SampleLabel,
+        session: usize,
+        rep: usize,
+        corpus_seed: u64,
+    ) -> MotionParams {
+        // Session-level drift (shared by every trial of the session).
+        let mut srng = StdRng::seed_from_u64(mix_seed(&[
+            corpus_seed,
+            0x5E55,
+            self.user_id as u64,
+            session as u64,
+        ]));
+        let s_speed = (0.05 * gauss(&mut srng)).exp();
+        let s_amp = 1.0 + 0.04 * gauss(&mut srng);
+        let s_base = Vec3::new(
+            0.0015 * gauss(&mut srng),
+            0.0015 * gauss(&mut srng),
+            0.002 * gauss(&mut srng),
+        );
+        let s_tilt = 0.05 * gauss(&mut srng);
+
+        // Trial-level jitter.
+        let label_tag = match label {
+            SampleLabel::Gesture(g) => g.index() as u64,
+            SampleLabel::NonGesture(n) => 100 + n as u64,
+        };
+        let mut trng = StdRng::seed_from_u64(mix_seed(&[
+            corpus_seed,
+            0x7121A1,
+            self.user_id as u64,
+            session as u64,
+            rep as u64,
+            label_tag,
+        ]));
+        let t_speed = (0.02 * gauss(&mut trng)).exp();
+        let t_amp = 1.0 + 0.02 * gauss(&mut trng);
+        let t_base = Vec3::new(
+            0.0005 * gauss(&mut trng),
+            0.0005 * gauss(&mut trng),
+            0.0006 * gauss(&mut trng),
+        );
+        let t_tilt = 0.015 * gauss(&mut trng);
+        let quirk = match label {
+            SampleLabel::Gesture(g) => self.gesture_quirk[g.index()],
+            SampleLabel::NonGesture(_) => 1.0,
+        };
+
+        let mut base = self.base + s_base + t_base;
+        base.z = base.z.clamp(0.006, 0.12);
+        MotionParams {
+            base,
+            amplitude: (self.amplitude * s_amp * t_amp * quirk).clamp(0.4, 1.8),
+            speed: (self.speed * s_speed * t_speed).clamp(0.45, 2.2),
+            tilt_rad: self.tilt_rad + s_tilt + t_tilt,
+            tremor_m: self.tremor_m,
+            double_gap_s: (self.double_gap_s + 0.03 * gauss(&mut trng)).clamp(0.06, 0.45),
+            phase: self.phase + 0.15 * gauss(&mut trng),
+            lead_in_s: 0.25 + 0.15 * trng.gen::<f64>(),
+            lead_out_s: 0.3 + 0.15 * trng.gen::<f64>(),
+            scroll_extent: sample_scroll_extent(&mut trng),
+        }
+    }
+}
+
+/// Scroll completeness: mostly full sweeps, occasionally partial (the
+/// paper's "users do not scroll completely between P1 and P3" case).
+fn sample_scroll_extent(rng: &mut StdRng) -> f64 {
+    if rng.gen::<f64>() < 0.15 {
+        0.35 + 0.2 * rng.gen::<f64>() // partial: passes the first PD only
+    } else {
+        0.85 + 0.15 * rng.gen::<f64>()
+    }
+}
+
+/// A volunteer population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Population {
+    profiles: Vec<UserProfile>,
+}
+
+impl Population {
+    /// Generate `n` volunteers deterministically from `corpus_seed`.
+    #[must_use]
+    pub fn generate(n: usize, corpus_seed: u64) -> Self {
+        Population {
+            profiles: (0..n).map(|u| UserProfile::sample(u, corpus_seed)).collect(),
+        }
+    }
+
+    /// All profiles, in user-id order.
+    #[must_use]
+    pub fn profiles(&self) -> &[UserProfile] {
+        &self.profiles
+    }
+
+    /// One profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user_id` is out of range.
+    #[must_use]
+    pub fn profile(&self, user_id: usize) -> &UserProfile {
+        &self.profiles[user_id]
+    }
+
+    /// Number of volunteers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the population is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gesture::Gesture;
+
+    #[test]
+    fn profiles_are_deterministic() {
+        assert_eq!(UserProfile::sample(3, 42), UserProfile::sample(3, 42));
+    }
+
+    #[test]
+    fn profiles_differ_between_users() {
+        let a = UserProfile::sample(0, 42);
+        let b = UserProfile::sample(1, 42);
+        assert_ne!(a, b);
+        assert!((a.speed - b.speed).abs() > 1e-6 || (a.amplitude - b.amplitude).abs() > 1e-6);
+    }
+
+    #[test]
+    fn population_spans_reasonable_ranges() {
+        let pop = Population::generate(50, 7);
+        for p in pop.profiles() {
+            assert!((0.6..=1.7).contains(&p.speed), "speed {}", p.speed);
+            assert!((0.6..=1.5).contains(&p.amplitude));
+            assert!((0.018..=0.024).contains(&p.base.z), "height {}", p.base.z);
+            assert!(p.tremor_m > 0.0);
+            assert!((0.12..=0.28).contains(&p.double_gap_s));
+        }
+    }
+
+    #[test]
+    fn user_variance_exceeds_session_variance() {
+        // Measure the speed factor across users vs across sessions of one
+        // user — the core calibration property.
+        let seed = 11;
+        let user_speeds: Vec<f64> =
+            (0..40).map(|u| UserProfile::sample(u, seed).speed).collect();
+        let u0 = UserProfile::sample(0, seed);
+        let label = SampleLabel::Gesture(Gesture::Circle);
+        let session_speeds: Vec<f64> =
+            (0..40).map(|s| u0.trial_params(label, s, 0, seed).speed).collect();
+        let var = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            var(&user_speeds) > 2.0 * var(&session_speeds),
+            "user var {} vs session var {}",
+            var(&user_speeds),
+            var(&session_speeds)
+        );
+    }
+
+    #[test]
+    fn trial_params_deterministic() {
+        let u = UserProfile::sample(2, 9);
+        let l = SampleLabel::Gesture(Gesture::Rub);
+        assert_eq!(u.trial_params(l, 1, 3, 9), u.trial_params(l, 1, 3, 9));
+    }
+
+    #[test]
+    fn trial_params_vary_by_rep() {
+        let u = UserProfile::sample(2, 9);
+        let l = SampleLabel::Gesture(Gesture::Rub);
+        assert_ne!(u.trial_params(l, 1, 3, 9), u.trial_params(l, 1, 4, 9));
+    }
+
+    #[test]
+    fn heights_stay_physical() {
+        for u in 0..30 {
+            let p = UserProfile::sample(u, 3);
+            for s in 0..5 {
+                for r in 0..5 {
+                    let mp = p.trial_params(SampleLabel::Gesture(Gesture::Click), s, r, 3);
+                    assert!((0.006..=0.12).contains(&mp.base.z));
+                    assert!(mp.speed > 0.4 && mp.speed < 2.3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scroll_extent_mixes_partial_and_full() {
+        let u = UserProfile::sample(1, 5);
+        let l = SampleLabel::Gesture(Gesture::ScrollUp);
+        let extents: Vec<f64> =
+            (0..200).map(|r| u.trial_params(l, 0, r, 5).scroll_extent).collect();
+        let partial = extents.iter().filter(|&&e| e < 0.6).count();
+        let full = extents.iter().filter(|&&e| e >= 0.8).count();
+        assert!(partial > 5, "some partial scrolls: {partial}");
+        assert!(full > 120, "mostly full scrolls: {full}");
+    }
+
+    #[test]
+    fn population_access() {
+        let pop = Population::generate(10, 1);
+        assert_eq!(pop.len(), 10);
+        assert!(!pop.is_empty());
+        assert_eq!(pop.profile(4).user_id, 4);
+    }
+}

@@ -1,0 +1,558 @@
+//! Parametric fingertip trajectories for every gesture and non-gesture.
+//!
+//! A [`Trajectory`] is a dense keyframe path (5 ms steps) of the fingertip
+//! in board coordinates. Generators combine a canonical gesture shape with
+//! per-trial [`MotionParams`] (resting pose, amplitude, speed, plane tilt,
+//! tremor, repeat gap …) that the user/session/trial model of
+//! [`crate::profile`] supplies.
+
+use crate::gesture::{Gesture, NonGestureKind, SampleLabel};
+use airfinger_nir_sim::vec3::Vec3;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Keyframe spacing in seconds.
+const KEY_DT: f64 = 0.005;
+
+/// Per-trial motion parameters (output of the user/session/trial model).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MotionParams {
+    /// Resting fingertip position in meters (z = hover height).
+    pub base: Vec3,
+    /// Spatial scale of the gesture (1.0 = canonical).
+    pub amplitude: f64,
+    /// Temporal scale (1.0 = canonical; larger = faster).
+    pub speed: f64,
+    /// Rotation of the gesture plane about the `y` axis, radians.
+    pub tilt_rad: f64,
+    /// Amplitude of smooth path tremor in meters.
+    pub tremor_m: f64,
+    /// Pause between the two halves of a double gesture, seconds.
+    pub double_gap_s: f64,
+    /// Style phase (circle start angle, rub asymmetry), radians.
+    pub phase: f64,
+    /// Idle hold before the gesture starts, seconds.
+    pub lead_in_s: f64,
+    /// Idle hold after the gesture ends, seconds.
+    pub lead_out_s: f64,
+    /// How far a scroll crosses the board, in `[0, 1]`: 1.0 sweeps the
+    /// whole sensing span, ~0.4 passes only the first photodiode.
+    pub scroll_extent: f64,
+}
+
+impl Default for MotionParams {
+    fn default() -> Self {
+        MotionParams {
+            base: Vec3::new(0.0, 0.0, 0.02),
+            amplitude: 1.0,
+            speed: 1.0,
+            tilt_rad: 0.0,
+            tremor_m: 0.0004,
+            double_gap_s: 0.18,
+            phase: 0.0,
+            lead_in_s: 0.3,
+            lead_out_s: 0.35,
+            scroll_extent: 1.0,
+        }
+    }
+}
+
+/// A dense fingertip path with 5 ms keyframes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    points: Vec<Vec3>,
+}
+
+impl Trajectory {
+    /// Build from explicit keyframes (5 ms apart).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    #[must_use]
+    pub fn from_points(points: Vec<Vec3>) -> Self {
+        assert!(!points.is_empty(), "trajectory needs at least one point");
+        Trajectory { points }
+    }
+
+    /// Number of keyframes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the trajectory has no keyframes (never true after
+    /// construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total duration in seconds.
+    #[must_use]
+    pub fn duration_s(&self) -> f64 {
+        (self.points.len().saturating_sub(1)) as f64 * KEY_DT
+    }
+
+    /// Keyframes.
+    #[must_use]
+    pub fn points(&self) -> &[Vec3] {
+        &self.points
+    }
+
+    /// Linearly interpolated position at time `t`; clamps to the endpoints
+    /// outside the recorded span, `None` for negative `t`.
+    #[must_use]
+    pub fn position(&self, t: f64) -> Option<Vec3> {
+        if t < 0.0 {
+            return None;
+        }
+        let ft = t / KEY_DT;
+        let i = ft.floor() as usize;
+        if i + 1 >= self.points.len() {
+            return Some(*self.points.last().expect("non-empty"));
+        }
+        Some(self.points[i].lerp(self.points[i + 1], ft - i as f64))
+    }
+
+    /// Mirror across the `yz` plane (non-dominant hand, §V-J3).
+    #[must_use]
+    pub fn mirrored(&self) -> Trajectory {
+        Trajectory {
+            points: self.points.iter().map(|p| Vec3::new(-p.x, p.y, p.z)).collect(),
+        }
+    }
+
+    /// Maximum distance between consecutive keyframes (m) — a smoothness
+    /// diagnostic used by tests.
+    #[must_use]
+    pub fn max_step_m(&self) -> f64 {
+        self.points.windows(2).map(|w| w[0].distance(w[1])).fold(0.0, f64::max)
+    }
+
+    /// Generate the trajectory for `label` under `params`, seeded by `seed`.
+    #[must_use]
+    pub fn generate(label: SampleLabel, params: &MotionParams, seed: u64) -> Trajectory {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match label {
+            SampleLabel::Gesture(g) => generate_gesture(g, params, &mut rng),
+            SampleLabel::NonGesture(n) => generate_nongesture(n, params, &mut rng),
+        }
+    }
+}
+
+/// Canonical stroke durations in seconds (before the speed factor).
+fn nominal_duration(g: Gesture) -> f64 {
+    match g {
+        Gesture::Circle => 0.9,
+        Gesture::DoubleCircle => 1.7,
+        Gesture::Rub => 0.6,
+        Gesture::DoubleRub => 1.1,
+        Gesture::Click => 0.4,
+        Gesture::DoubleClick => 0.85,
+        Gesture::ScrollUp | Gesture::ScrollDown => 0.6,
+    }
+}
+
+/// Smoothstep easing.
+fn ease(s: f64) -> f64 {
+    let s = s.clamp(0.0, 1.0);
+    s * s * (3.0 - 2.0 * s)
+}
+
+/// Local-coordinate gesture displacement at normalized stroke time
+/// `s ∈ [0, 1]`. Units: meters at amplitude 1.
+fn stroke(g: Gesture, s: f64, phase: f64, scroll_extent: f64) -> Vec3 {
+    let tau = std::f64::consts::TAU;
+    match g {
+        Gesture::Circle | Gesture::DoubleCircle => {
+            // One *micro* loop (thumb-tip drawing against the index tip):
+            // the hand stays put; the tip circles ~4 mm laterally and
+            // presses toward the sensor through the loop.
+            let th = tau * s;
+            let r = 0.004;
+            Vec3::new(
+                r * (th + phase).sin() - r * phase.sin(),
+                0.5 * r * (1.0 - (th + phase).cos()) - 0.5 * r * (1.0 - phase.cos()),
+                -0.0015 * (1.0 - th.cos()),
+            )
+        }
+        Gesture::Rub | Gesture::DoubleRub => {
+            // Micro forth-and-back rub along x with a pressure dip; the
+            // whole motion stays within one photodiode pitch. Skin-on-skin
+            // friction adds a high-frequency stick-slip texture — the
+            // fast oscillation visible in the paper's Fig. 3 rub trace.
+            let a = 0.005;
+            let texture = 0.0010 * (tau * 9.0 * s + phase).sin() * (std::f64::consts::PI * s).sin();
+            Vec3::new(
+                a * (tau * s).sin() * (1.0 + 0.15 * phase.sin()),
+                0.15 * a * (tau * s).sin().abs(),
+                -0.0025 * (tau * 2.0 * s).sin().abs() + texture,
+            )
+        }
+        Gesture::Click | Gesture::DoubleClick => {
+            // Sharp press toward the sensor, a brief contact dwell, then
+            // release — a flat-bottomed pulse, unlike the smooth circle.
+            let depth = 0.008;
+            let pulse = (std::f64::consts::PI * s).sin().powi(4);
+            Vec3::new(0.001 * (tau * s).sin(), 0.0, -depth * pulse)
+        }
+        Gesture::ScrollUp | Gesture::ScrollDown => {
+            // Sweep along x; ScrollUp enters at −x (past P1 first).
+            let span = 0.056; // full crossing: −28 mm → +28 mm
+            let from = -span / 2.0;
+            let to = from + span * scroll_extent.clamp(0.35, 1.0);
+            let x = from + (to - from) * ease(s);
+            let arc = -0.002 * (std::f64::consts::PI * s).sin();
+            let p = Vec3::new(x, 0.0, arc);
+            if g == Gesture::ScrollDown {
+                Vec3::new(-p.x, p.y, p.z)
+            } else {
+                p
+            }
+        }
+    }
+}
+
+fn generate_gesture(g: Gesture, params: &MotionParams, rng: &mut StdRng) -> Trajectory {
+    let stroke_dur = nominal_duration(g) / params.speed.max(0.2);
+    let is_double = matches!(
+        g,
+        Gesture::DoubleCircle | Gesture::DoubleRub | Gesture::DoubleClick
+    );
+    // Doubles repeat the single stroke with a gap.
+    let (single, base_gesture) = match g {
+        Gesture::DoubleCircle => (nominal_duration(Gesture::Circle) / params.speed, Gesture::Circle),
+        Gesture::DoubleRub => (nominal_duration(Gesture::Rub) / params.speed, Gesture::Rub),
+        Gesture::DoubleClick => (nominal_duration(Gesture::Click) / params.speed, Gesture::Click),
+        other => (stroke_dur, other),
+    };
+    let gap = if is_double { params.double_gap_s } else { 0.0 };
+    let active = if is_double { 2.0 * single + gap } else { single };
+    let total = params.lead_in_s + active + params.lead_out_s;
+    let n = (total / KEY_DT).ceil() as usize + 1;
+
+    // Scrolls are positioned by the sweep itself, not by the user's resting
+    // x offset (the hand crosses the whole board); other gestures anchor at
+    // the rest pose.
+    let anchor = if g.is_track_aimed() {
+        Vec3::new(0.0, params.base.y, params.base.z)
+    } else {
+        params.base
+    };
+
+    let mut points = Vec::with_capacity(n);
+    let mut tremor = TremorState::new(params.tremor_m);
+    for k in 0..n {
+        let t = k as f64 * KEY_DT;
+        let local = if t < params.lead_in_s {
+            // For scrolls, hold at the sweep start rather than the origin.
+            if g.is_track_aimed() {
+                stroke(base_gesture, 0.0, params.phase, params.scroll_extent)
+            } else {
+                Vec3::ZERO
+            }
+        } else if t < params.lead_in_s + active {
+            let ta = t - params.lead_in_s;
+            if is_double {
+                if ta < single {
+                    stroke(base_gesture, ta / single, params.phase, params.scroll_extent)
+                } else if ta < single + gap {
+                    Vec3::ZERO
+                } else {
+                    stroke(base_gesture, (ta - single - gap) / single, params.phase, params.scroll_extent)
+                }
+            } else {
+                stroke(base_gesture, ta / single, params.phase, params.scroll_extent)
+            }
+        } else if g.is_track_aimed() {
+            stroke(base_gesture, 1.0, params.phase, params.scroll_extent)
+        } else {
+            Vec3::ZERO
+        };
+        let scaled = apply_pose(local, params, anchor);
+        points.push(scaled + tremor.step(rng));
+    }
+    Trajectory::from_points(points)
+}
+
+fn generate_nongesture(n: NonGestureKind, params: &MotionParams, rng: &mut StdRng) -> Trajectory {
+    let total = match n {
+        NonGestureKind::Scratch => params.lead_in_s + 0.9 / params.speed + params.lead_out_s,
+        NonGestureKind::Extend => params.lead_in_s + 1.0 / params.speed + params.lead_out_s,
+        NonGestureKind::Reposition => params.lead_in_s + 0.9 / params.speed + params.lead_out_s,
+    };
+    let count = (total / KEY_DT).ceil() as usize + 1;
+    let active_start = params.lead_in_s;
+    let active_end = total - params.lead_out_s;
+    // Scratch: 2–3 random sinusoids. Reposition: one smooth move. Extend:
+    // retreat upward/outward.
+    let f1 = 3.0 + 4.0 * rng.gen::<f64>();
+    let f2 = 4.0 + 5.0 * rng.gen::<f64>();
+    let ph1: f64 = rng.gen::<f64>() * std::f64::consts::TAU;
+    let ph2: f64 = rng.gen::<f64>() * std::f64::consts::TAU;
+    let repos_target = Vec3::new(
+        0.012 * (rng.gen::<f64>() - 0.5),
+        0.012 * (rng.gen::<f64>() - 0.5),
+        0.008 * (rng.gen::<f64>() - 0.5),
+    );
+    let mut tremor = TremorState::new(params.tremor_m * 1.5);
+    let mut points = Vec::with_capacity(count);
+    for k in 0..count {
+        let t = k as f64 * KEY_DT;
+        let s = ((t - active_start) / (active_end - active_start)).clamp(0.0, 1.0);
+        let local = match n {
+            NonGestureKind::Scratch => {
+                let w = (std::f64::consts::PI * s).sin(); // fade in/out
+                Vec3::new(
+                    0.004 * w * (std::f64::consts::TAU * f1 * t + ph1).sin(),
+                    0.003 * w * (std::f64::consts::TAU * f2 * t + ph2).sin(),
+                    0.002 * w * (std::f64::consts::TAU * (f1 * 0.7) * t + ph2).cos(),
+                )
+            }
+            NonGestureKind::Extend => {
+                Vec3::new(0.008 * ease(s), 0.004 * ease(s), 0.035 * ease(s))
+            }
+            NonGestureKind::Reposition => repos_target * ease(s),
+        };
+        let pos = apply_pose(local, params, params.base);
+        points.push(pos + tremor.step(rng));
+    }
+    Trajectory::from_points(points)
+}
+
+/// Scale, tilt (rotate about y) and translate a local displacement.
+fn apply_pose(local: Vec3, params: &MotionParams, anchor: Vec3) -> Vec3 {
+    let scaled = local * params.amplitude;
+    let (c, s) = (params.tilt_rad.cos(), params.tilt_rad.sin());
+    let tilted = Vec3::new(c * scaled.x + s * scaled.z, scaled.y, -s * scaled.x + c * scaled.z);
+    let mut p = anchor + tilted;
+    // A fingertip cannot descend below the shield: clamp at 6 mm.
+    p.z = p.z.max(0.006);
+    p
+}
+
+/// Smooth AR(1) tremor noise.
+#[derive(Debug, Clone)]
+struct TremorState {
+    amp: f64,
+    state: Vec3,
+}
+
+impl TremorState {
+    fn new(amp: f64) -> Self {
+        TremorState { amp, state: Vec3::ZERO }
+    }
+
+    fn step(&mut self, rng: &mut StdRng) -> Vec3 {
+        let g = |r: &mut StdRng| (r.gen::<f64>() - 0.5) * 2.0;
+        // Physiological tremor of a hovering finger is mostly lateral; the
+        // axial (pressing) component is much smaller.
+        let innov = Vec3::new(g(rng), g(rng), 0.3 * g(rng)) * (self.amp * 0.3);
+        self.state = self.state * 0.92 + innov;
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(g: Gesture) -> Trajectory {
+        Trajectory::generate(SampleLabel::Gesture(g), &MotionParams::default(), 7)
+    }
+
+    #[test]
+    fn durations_scale_with_speed() {
+        let slow = Trajectory::generate(
+            SampleLabel::Gesture(Gesture::Circle),
+            &MotionParams { speed: 0.8, ..Default::default() },
+            1,
+        );
+        let fast = Trajectory::generate(
+            SampleLabel::Gesture(Gesture::Circle),
+            &MotionParams { speed: 1.4, ..Default::default() },
+            1,
+        );
+        assert!(slow.duration_s() > fast.duration_s());
+    }
+
+    #[test]
+    fn doubles_are_longer_than_singles() {
+        assert!(gen(Gesture::DoubleCircle).duration_s() > gen(Gesture::Circle).duration_s());
+        assert!(gen(Gesture::DoubleRub).duration_s() > gen(Gesture::Rub).duration_s());
+        assert!(gen(Gesture::DoubleClick).duration_s() > gen(Gesture::Click).duration_s());
+    }
+
+    #[test]
+    fn gesture_starts_and_ends_near_rest() {
+        for g in Gesture::DETECT_AIMED {
+            let t = gen(g);
+            let base = MotionParams::default().base;
+            let start = t.position(0.0).unwrap();
+            let end = t.position(t.duration_s()).unwrap();
+            assert!(start.distance(base) < 0.004, "{g}: start {start:?}");
+            assert!(end.distance(base) < 0.004, "{g}: end {end:?}");
+        }
+    }
+
+    #[test]
+    fn scroll_up_moves_left_to_right() {
+        let t = gen(Gesture::ScrollUp);
+        let first = t.position(0.0).unwrap();
+        let last = t.position(t.duration_s()).unwrap();
+        assert!(first.x < -0.02, "starts left: {}", first.x);
+        assert!(last.x > 0.02, "ends right: {}", last.x);
+    }
+
+    #[test]
+    fn scroll_down_is_mirror_of_up() {
+        let up = gen(Gesture::ScrollUp);
+        let down = gen(Gesture::ScrollDown);
+        assert!(down.position(0.0).unwrap().x > 0.02);
+        assert!(down.position(down.duration_s()).unwrap().x < -0.02);
+        assert!((up.duration_s() - down.duration_s()).abs() < 0.02);
+    }
+
+    #[test]
+    fn partial_scroll_stops_before_far_side() {
+        let p = MotionParams { scroll_extent: 0.4, ..Default::default() };
+        let t = Trajectory::generate(SampleLabel::Gesture(Gesture::ScrollUp), &p, 3);
+        let last = t.position(t.duration_s()).unwrap();
+        assert!(last.x < 0.005, "partial scroll should stay near P1 side: {}", last.x);
+    }
+
+    #[test]
+    fn click_dips_toward_sensor() {
+        let t = gen(Gesture::Click);
+        let base_z = MotionParams::default().base.z;
+        let min_z = t.points().iter().map(|p| p.z).fold(f64::INFINITY, f64::min);
+        assert!(min_z < base_z - 0.006, "click depth: {min_z} vs base {base_z}");
+    }
+
+    #[test]
+    fn double_click_has_two_dips() {
+        let t = gen(Gesture::DoubleClick);
+        let base_z = MotionParams::default().base.z;
+        // Count excursions below base − 5 mm.
+        let mut dips = 0;
+        let mut below = false;
+        for p in t.points() {
+            let is_below = p.z < base_z - 0.005;
+            if is_below && !below {
+                dips += 1;
+            }
+            below = is_below;
+        }
+        assert_eq!(dips, 2);
+    }
+
+    #[test]
+    fn trajectories_are_smooth() {
+        for g in Gesture::ALL {
+            let t = gen(g);
+            // No keyframe jump larger than 3 mm (≤ 0.6 m/s at 5 ms steps).
+            assert!(t.max_step_m() < 0.003, "{g}: step {}", t.max_step_m());
+        }
+    }
+
+    #[test]
+    fn amplitude_scales_extent() {
+        let small = Trajectory::generate(
+            SampleLabel::Gesture(Gesture::Rub),
+            &MotionParams { amplitude: 0.7, tremor_m: 0.0, ..Default::default() },
+            1,
+        );
+        let large = Trajectory::generate(
+            SampleLabel::Gesture(Gesture::Rub),
+            &MotionParams { amplitude: 1.3, tremor_m: 0.0, ..Default::default() },
+            1,
+        );
+        let extent = |t: &Trajectory| {
+            let xs: Vec<f64> = t.points().iter().map(|p| p.x).collect();
+            xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - xs.iter().cloned().fold(f64::INFINITY, f64::min)
+        };
+        assert!(extent(&large) > 1.5 * extent(&small));
+    }
+
+    #[test]
+    fn mirrored_flips_x_only() {
+        let t = gen(Gesture::ScrollUp);
+        let m = t.mirrored();
+        for (a, b) in t.points().iter().zip(m.points()) {
+            assert_eq!(a.x, -b.x);
+            assert_eq!(a.y, b.y);
+            assert_eq!(a.z, b.z);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = gen(Gesture::Circle);
+        let b = gen(Gesture::Circle);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ_via_tremor() {
+        let p = MotionParams::default();
+        let a = Trajectory::generate(SampleLabel::Gesture(Gesture::Circle), &p, 1);
+        let b = Trajectory::generate(SampleLabel::Gesture(Gesture::Circle), &p, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn nongestures_generate_and_move() {
+        for n in NonGestureKind::ALL {
+            let t = Trajectory::generate(
+                SampleLabel::NonGesture(n),
+                &MotionParams::default(),
+                5,
+            );
+            assert!(t.duration_s() > 0.5);
+            let spread = t.max_step_m();
+            assert!(spread > 0.0, "{n} should move");
+        }
+    }
+
+    #[test]
+    fn extend_retreats_from_sensor() {
+        let t = Trajectory::generate(
+            SampleLabel::NonGesture(NonGestureKind::Extend),
+            &MotionParams::default(),
+            5,
+        );
+        let z0 = t.position(0.0).unwrap().z;
+        let z1 = t.position(t.duration_s()).unwrap().z;
+        assert!(z1 > z0 + 0.02, "extend: {z0} → {z1}");
+    }
+
+    #[test]
+    fn position_clamps_and_rejects_negative() {
+        let t = gen(Gesture::Click);
+        assert_eq!(t.position(-0.1), None);
+        assert_eq!(t.position(1e9), Some(*t.points().last().unwrap()));
+    }
+
+    #[test]
+    fn tilt_mixes_x_into_z() {
+        let flat = Trajectory::generate(
+            SampleLabel::Gesture(Gesture::Rub),
+            &MotionParams { tremor_m: 0.0, ..Default::default() },
+            1,
+        );
+        let tilted = Trajectory::generate(
+            SampleLabel::Gesture(Gesture::Rub),
+            &MotionParams { tilt_rad: 0.4, tremor_m: 0.0, ..Default::default() },
+            1,
+        );
+        let z_spread = |t: &Trajectory| {
+            let zs: Vec<f64> = t.points().iter().map(|p| p.z).collect();
+            zs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - zs.iter().cloned().fold(f64::INFINITY, f64::min)
+        };
+        assert!(z_spread(&tilted) > z_spread(&flat));
+    }
+}

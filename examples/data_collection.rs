@@ -1,0 +1,57 @@
+//! Regenerate the paper's data-collection protocol (§V-B): 10 volunteers ×
+//! 8 gestures × 5 sessions × 25 repetitions = 10,000 labelled samples, and
+//! export them as JSON for external analysis.
+//!
+//! ```text
+//! cargo run --release -p airfinger-examples --bin data_collection -- [reps] [out.json]
+//! ```
+//!
+//! Pass a smaller `reps` (default 25) for a quicker run; the full corpus
+//! JSON is several hundred megabytes.
+
+use airfinger_synth::dataset::{generate_corpus, CorpusSpec};
+use std::collections::BTreeMap;
+use std::io::BufWriter;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reps: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(25);
+    let out = args.get(1).cloned();
+
+    let spec = CorpusSpec { reps, ..Default::default() };
+    let total = spec.users * spec.sessions * spec.reps * spec.gestures.len();
+    println!(
+        "collecting {} samples ({} users x {} sessions x {} reps x {} gestures)…",
+        total,
+        spec.users,
+        spec.sessions,
+        spec.reps,
+        spec.gestures.len()
+    );
+    let corpus = generate_corpus(&spec);
+
+    // Session summary, the way a data-collection log would read.
+    let mut per_gesture: BTreeMap<&str, (usize, f64)> = BTreeMap::new();
+    for s in corpus.samples() {
+        let name = s.label.gesture().map_or("non-gesture", |g| g.name());
+        let e = per_gesture.entry(name).or_default();
+        e.0 += 1;
+        e.1 += s.trace.duration_s();
+    }
+    println!("\n{:<15} {:>7} {:>12}", "gesture", "count", "avg dur (s)");
+    for (name, (count, dur)) in &per_gesture {
+        println!("{:<15} {:>7} {:>12.2}", name, count, dur / *count as f64);
+    }
+    let hours: f64 =
+        corpus.samples().iter().map(|s| s.trace.duration_s()).sum::<f64>() / 3600.0;
+    println!("\ntotal recording time: {hours:.2} h across {} samples", corpus.len());
+
+    if let Some(path) = out {
+        println!("writing {path}…");
+        let file = std::fs::File::create(&path).expect("create output file");
+        corpus.write_json(BufWriter::new(file)).expect("serialize corpus");
+        println!("wrote {path}");
+    } else {
+        println!("(pass an output path as the second argument to export JSON)");
+    }
+}

@@ -1,0 +1,88 @@
+//! Streaming engine demo: a continuous 100 Hz feed with interleaved
+//! gestures, idle stretches, unintentional motions and a passer-by; the
+//! engine emits recognition events sample-by-sample, exactly as firmware
+//! would consume the ADC.
+//!
+//! ```text
+//! cargo run --release -p airfinger-examples --bin live_monitor
+//! ```
+
+use airfinger_core::engine::StreamingEngine;
+use airfinger_core::prelude::*;
+use airfinger_nir_sim::ambient::Interference;
+use airfinger_nir_sim::sampler::{Sampler, Scene};
+use airfinger_nir_sim::SensorLayout;
+use airfinger_synth::dataset::{generate_corpus, generate_nongesture_corpus, CorpusSpec};
+use airfinger_synth::gesture::{Gesture, NonGestureKind, SampleLabel};
+use airfinger_synth::profile::UserProfile;
+use airfinger_synth::trajectory::Trajectory;
+
+fn main() -> Result<(), AirFingerError> {
+    // Train a pipeline including the unintentional-motion filter.
+    let spec = CorpusSpec { users: 3, sessions: 2, reps: 4, ..Default::default() };
+    println!("training pipeline + interference filter…");
+    let gestures = generate_corpus(&spec);
+    let non = generate_nongesture_corpus(&CorpusSpec { reps: 24, ..spec.clone() });
+    let mut airfinger = AirFinger::new(AirFingerConfig::default());
+    airfinger.train_on_corpus(&gestures, Some(&non))?;
+
+    // Script a 20-second live session for volunteer 0.
+    let profile = UserProfile::sample(0, spec.seed);
+    let script: Vec<(f64, SampleLabel)> = vec![
+        (1.0, SampleLabel::Gesture(Gesture::Click)),
+        (3.5, SampleLabel::Gesture(Gesture::Circle)),
+        (6.5, SampleLabel::NonGesture(NonGestureKind::Scratch)),
+        (9.5, SampleLabel::Gesture(Gesture::ScrollUp)),
+        (12.0, SampleLabel::Gesture(Gesture::DoubleClick)),
+        (15.0, SampleLabel::NonGesture(NonGestureKind::Reposition)),
+        (17.5, SampleLabel::Gesture(Gesture::ScrollDown)),
+    ];
+    let trajectories: Vec<(f64, Trajectory)> = script
+        .iter()
+        .enumerate()
+        .map(|(i, (start, label))| {
+            let params = profile.trial_params(*label, 0, 500 + i, spec.seed);
+            (*start, Trajectory::generate(*label, &params, spec.seed + i as u64))
+        })
+        .collect();
+    let rest = profile.base;
+    let scene = Scene::new(SensorLayout::paper_prototype())
+        .with_interference(Interference::passerby());
+    let sampler = Sampler::new(scene, 100.0);
+    let trace = sampler.sample(20.0, 42, |t| {
+        for (start, traj) in &trajectories {
+            if t >= *start && t < *start + traj.duration_s() {
+                return traj.position(t - *start);
+            }
+        }
+        Some(rest)
+    });
+
+    // Feed the engine one sample at a time.
+    println!("\nstreaming 20 s of live samples…\n");
+    println!("{:>8}  event", "t (s)");
+    let mut engine = StreamingEngine::new(airfinger, 3)?;
+    let mut hinted = false;
+    for i in 0..trace.len() {
+        let s = [trace.channel(0)[i], trace.channel(1)[i], trace.channel(2)[i]];
+        if let Some(event) = engine.push(&s)? {
+            println!("{:>8.2}  {event}", i as f64 / 100.0);
+            hinted = false;
+        }
+        // ZEBRA's real-time direction: available before the gesture ends.
+        if !hinted {
+            if let Some(direction) = engine.live_hint() {
+                println!("{:>8.2}  … live hint: {direction} (gesture still open)", i as f64 / 100.0);
+                hinted = true;
+            }
+        }
+    }
+    if let Some(event) = engine.flush()? {
+        println!("{:>8.2}  {event} (flush)", trace.len() as f64 / 100.0);
+    }
+    println!("\nscripted ground truth:");
+    for (start, label) in &script {
+        println!("{start:>8.2}  {label}");
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Quickstart: synthesize a small gesture corpus, train the airFinger
+//! pipeline, and recognize a fresh recording of every gesture.
+//!
+//! ```text
+//! cargo run --release -p airfinger-examples --bin quickstart
+//! ```
+
+use airfinger_core::prelude::*;
+use airfinger_synth::dataset::{generate_corpus, generate_sample, CorpusSpec};
+use airfinger_synth::gesture::{Gesture, SampleLabel};
+use airfinger_synth::profile::UserProfile;
+
+fn main() -> Result<(), AirFingerError> {
+    // 1. A small training corpus: 3 volunteers x 2 sessions x 5 reps of
+    //    each of the 8 gestures (the paper's full protocol is 10x5x25).
+    let spec = CorpusSpec { users: 3, sessions: 2, reps: 5, ..Default::default() };
+    println!("generating training corpus ({} samples)…", 3 * 2 * 5 * 8);
+    let corpus = generate_corpus(&spec);
+
+    // 2. Train the pipeline (SBC + DT segmentation happen inside).
+    let mut airfinger = AirFinger::new(AirFingerConfig::default());
+    println!("training…");
+    airfinger.train_on_corpus(&corpus, None)?;
+
+    // 3. Recognize held-out recordings: a new repetition of every gesture
+    //    by a known volunteer.
+    let profile = UserProfile::sample(1, spec.seed);
+    println!("\n{:<16} {:<32}", "performed", "recognized");
+    let mut correct = 0;
+    for gesture in Gesture::ALL {
+        let sample = generate_sample(
+            &profile,
+            SampleLabel::Gesture(gesture),
+            /* session */ 1,
+            /* rep */ 99, // unseen repetition
+            &spec,
+        );
+        let event = airfinger.recognize_primary(&sample.trace)?;
+        let ok = event.gesture() == Some(gesture);
+        if ok {
+            correct += 1;
+        }
+        println!("{:<16} {:<32} {}", gesture.to_string(), event.to_string(), if ok { "✓" } else { "✗" });
+    }
+    println!("\n{correct}/8 recognized correctly");
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Cross-validation harness consistency: the splits used by the paper's
+//! protocols must partition correctly and produce deterministic results
+//! over real extracted features.
+
+use airfinger_core::train::{all_gesture_feature_set, detect_feature_set};
+use airfinger_ml::classifier::Classifier;
+use airfinger_ml::forest::{RandomForest, RandomForestConfig};
+use airfinger_ml::split::{gather, leave_one_group_out, stratified_k_fold, train_test_split};
+use airfinger_synth::dataset::generate_corpus;
+use airfinger_tests::{small_spec, test_config};
+
+#[test]
+fn feature_sets_align_with_corpus_structure() {
+    let spec = small_spec(41);
+    let corpus = generate_corpus(&spec);
+    let all = all_gesture_feature_set(&corpus, &test_config());
+    assert_eq!(all.len(), corpus.len());
+    let detect = detect_feature_set(&corpus, &test_config());
+    assert_eq!(detect.len(), corpus.detect_aimed().len());
+    // Groups enumerate the users and sessions of the spec.
+    let mut users = all.users.clone();
+    users.sort_unstable();
+    users.dedup();
+    assert_eq!(users, (0..spec.users).collect::<Vec<_>>());
+    let mut sessions = all.sessions.clone();
+    sessions.sort_unstable();
+    sessions.dedup();
+    assert_eq!(sessions, (0..spec.sessions).collect::<Vec<_>>());
+}
+
+#[test]
+fn leave_one_user_out_covers_each_user_exactly_once() {
+    let corpus = generate_corpus(&small_spec(42));
+    let features = all_gesture_feature_set(&corpus, &test_config());
+    let splits = leave_one_group_out(&features.users);
+    let mut tested = vec![0usize; features.len()];
+    for (user, split) in &splits {
+        for &i in &split.test {
+            assert_eq!(features.users[i], *user);
+            tested[i] += 1;
+        }
+        for &i in &split.train {
+            assert_ne!(features.users[i], *user);
+        }
+    }
+    assert!(tested.iter().all(|&c| c == 1));
+}
+
+#[test]
+fn k_fold_on_features_is_deterministic_end_to_end() {
+    let corpus = generate_corpus(&small_spec(43));
+    let features = all_gesture_feature_set(&corpus, &test_config());
+    let run = || {
+        let folds = stratified_k_fold(&features.y, 3, 9);
+        let split = &folds[0];
+        let (xtr, ytr) = gather(&features.x, &features.y, &split.train);
+        let mut rf =
+            RandomForest::new(RandomForestConfig { n_trees: 10, seed: 5, ..Default::default() });
+        rf.fit(&xtr, &ytr).expect("fit");
+        split
+            .test
+            .iter()
+            .map(|&i| rf.predict(&features.x[i]).expect("predict"))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn train_test_split_respects_class_balance_on_real_labels() {
+    let corpus = generate_corpus(&small_spec(44));
+    let features = all_gesture_feature_set(&corpus, &test_config());
+    let split = train_test_split(&features.y, 0.25, 1);
+    for class in 0..8 {
+        let total = features.y.iter().filter(|&&l| l == class).count();
+        let in_test = split.test.iter().filter(|&&i| features.y[i] == class).count();
+        let frac = in_test as f64 / total as f64;
+        assert!((0.1..=0.45).contains(&frac), "class {class}: test fraction {frac}");
+    }
+}

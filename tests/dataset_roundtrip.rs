@@ -1,0 +1,90 @@
+//! Dataset serialization, determinism and trajectory/ground-truth
+//! consistency across the synth and nir-sim crates.
+
+use airfinger_synth::dataset::{
+    generate_corpus, generate_sample, trial_trajectory, Corpus, CorpusSpec,
+};
+use airfinger_synth::gesture::{Gesture, SampleLabel};
+use airfinger_synth::profile::UserProfile;
+use airfinger_tests::small_spec;
+
+#[test]
+fn corpus_json_roundtrip_preserves_everything() {
+    let spec = CorpusSpec {
+        users: 1,
+        sessions: 1,
+        reps: 2,
+        gestures: vec![Gesture::Click, Gesture::ScrollUp],
+        ..small_spec(21)
+    };
+    let corpus = generate_corpus(&spec);
+    let mut buf = Vec::new();
+    corpus.write_json(&mut buf).expect("serialize");
+    let back = Corpus::read_json(&buf[..]).expect("deserialize");
+    assert_eq!(back, corpus);
+    assert_eq!(back.samples()[0].trace.sample_rate_hz(), 100.0);
+}
+
+#[test]
+fn corpus_generation_is_fully_deterministic() {
+    let spec = small_spec(22);
+    assert_eq!(generate_corpus(&spec), generate_corpus(&spec));
+}
+
+#[test]
+fn different_seeds_give_different_corpora() {
+    let a = generate_corpus(&small_spec(23));
+    let b = generate_corpus(&small_spec(24));
+    assert_ne!(a, b);
+}
+
+#[test]
+fn trial_trajectory_matches_sample_duration() {
+    // The exposed ground-truth trajectory must describe the same trial the
+    // recorded trace came from: equal durations (to sampling resolution).
+    let spec = small_spec(25);
+    let profile = UserProfile::sample(0, spec.seed);
+    for g in Gesture::ALL {
+        let label = SampleLabel::Gesture(g);
+        let s = generate_sample(&profile, label, 0, 0, &spec);
+        let traj = trial_trajectory(&profile, label, 0, 0, &spec);
+        let trace_dur = s.trace.len() as f64 / s.trace.sample_rate_hz();
+        assert!(
+            (trace_dur - traj.duration_s()).abs() <= 0.02,
+            "{g}: trace {trace_dur:.2}s vs trajectory {:.2}s",
+            traj.duration_s()
+        );
+    }
+}
+
+#[test]
+fn scroll_ground_truth_crosses_the_board() {
+    let spec = small_spec(26);
+    let profile = UserProfile::sample(1, spec.seed);
+    let traj = trial_trajectory(
+        &profile,
+        SampleLabel::Gesture(Gesture::ScrollUp),
+        0,
+        0,
+        &spec,
+    );
+    let x0 = traj.position(0.0).expect("start").x;
+    let x1 = traj.position(traj.duration_s()).expect("end").x;
+    assert!(x0 < -0.015 && x1 > x0 + 0.015, "sweep {x0:.3} → {x1:.3}");
+}
+
+#[test]
+fn filters_partition_the_corpus() {
+    let corpus = generate_corpus(&small_spec(27));
+    let detect = corpus.detect_aimed();
+    let track = corpus.track_aimed();
+    assert_eq!(detect.len() + track.len(), corpus.len());
+    assert!(detect
+        .samples()
+        .iter()
+        .all(|s| s.label.gesture().is_some_and(|g| !g.is_track_aimed())));
+    assert!(track
+        .samples()
+        .iter()
+        .all(|s| s.label.gesture().is_some_and(|g| g.is_track_aimed())));
+}

@@ -1,0 +1,26 @@
+//! Shared fixtures for the cross-crate integration test suite.
+
+use airfinger_core::config::AirFingerConfig;
+use airfinger_core::pipeline::AirFinger;
+use airfinger_synth::dataset::{generate_corpus, Corpus, CorpusSpec};
+
+/// A small-but-meaningful corpus spec: 2 volunteers × 2 sessions × 3 reps.
+#[must_use]
+pub fn small_spec(seed: u64) -> CorpusSpec {
+    CorpusSpec { users: 2, sessions: 2, reps: 3, seed, ..Default::default() }
+}
+
+/// A fast pipeline config for tests (fewer trees than production).
+#[must_use]
+pub fn test_config() -> AirFingerConfig {
+    AirFingerConfig { forest_trees: 20, ..Default::default() }
+}
+
+/// A pipeline trained on [`small_spec`] data, plus the corpus it saw.
+#[must_use]
+pub fn trained_pipeline(seed: u64) -> (AirFinger, Corpus) {
+    let corpus = generate_corpus(&small_spec(seed));
+    let mut af = AirFinger::new(test_config());
+    af.train_on_corpus(&corpus, None).expect("training succeeds on a gesture corpus");
+    (af, corpus)
+}

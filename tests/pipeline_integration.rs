@@ -1,0 +1,255 @@
+//! End-to-end pipeline integration: train on a synthetic corpus, recognize
+//! held-out recordings, and check the paper's qualitative properties.
+
+use airfinger_core::events::Recognition;
+use airfinger_core::pipeline::AirFinger;
+use airfinger_synth::dataset::{
+    generate_corpus, generate_nongesture_corpus, generate_sample, CorpusSpec,
+};
+use airfinger_synth::gesture::{Gesture, SampleLabel};
+use airfinger_synth::profile::UserProfile;
+use airfinger_tests::{small_spec, test_config, trained_pipeline};
+
+#[test]
+fn held_out_recognition_beats_chance_by_far() {
+    let (af, _) = trained_pipeline(11);
+    let spec = small_spec(11);
+    // Held-out repetitions of known users.
+    let mut correct = 0;
+    let mut total = 0;
+    for user in 0..spec.users {
+        let profile = UserProfile::sample(user, spec.seed);
+        for g in Gesture::ALL {
+            let s = generate_sample(&profile, SampleLabel::Gesture(g), 0, 77, &spec);
+            let event = af.recognize_primary(&s.trace).expect("recognize");
+            total += 1;
+            if event.gesture() == Some(g) {
+                correct += 1;
+            }
+        }
+    }
+    let acc = correct as f64 / total as f64;
+    assert!(acc > 0.6, "held-out accuracy {acc} (chance = 0.125)");
+}
+
+#[test]
+fn detect_gestures_yield_detect_events() {
+    let (af, corpus) = trained_pipeline(12);
+    let mut detect_as_detect = 0;
+    let mut detect_total = 0;
+    for s in corpus.samples() {
+        let Some(g) = s.label.gesture() else { continue };
+        if g.is_track_aimed() {
+            continue;
+        }
+        detect_total += 1;
+        if matches!(
+            af.recognize_primary(&s.trace).expect("recognize"),
+            Recognition::Detect { .. }
+        ) {
+            detect_as_detect += 1;
+        }
+    }
+    assert!(
+        detect_as_detect as f64 / detect_total as f64 > 0.85,
+        "{detect_as_detect}/{detect_total} detect-aimed windows routed to Detect"
+    );
+}
+
+#[test]
+fn scrolls_yield_track_events_with_velocity() {
+    let (af, corpus) = trained_pipeline(13);
+    let mut tracked = 0;
+    let mut scrolls = 0;
+    for s in corpus.samples() {
+        let Some(g) = s.label.gesture() else { continue };
+        if !g.is_track_aimed() {
+            continue;
+        }
+        scrolls += 1;
+        if let Recognition::Track { track, .. } =
+            af.recognize_primary(&s.trace).expect("recognize")
+        {
+            tracked += 1;
+            assert!(track.velocity_mm_s > 0.0);
+            assert!(track.duration_s > 0.0);
+        }
+    }
+    assert!(scrolls > 0);
+    assert!(
+        tracked as f64 / scrolls as f64 > 0.7,
+        "{tracked}/{scrolls} scrolls produced Track events"
+    );
+}
+
+#[test]
+fn filter_rejects_most_nongestures_and_passes_gestures() {
+    let spec = small_spec(14);
+    let gestures = generate_corpus(&spec);
+    let non = generate_nongesture_corpus(&CorpusSpec { reps: 18, ..spec.clone() });
+    let non_train = non.filter(|s| s.rep < 12);
+    let non_test = non.filter(|s| s.rep >= 12);
+    let mut af = AirFinger::new(test_config());
+    af.train_on_corpus(&gestures, Some(&non_train)).expect("training");
+    assert!(af.has_filter());
+    let rejected = non_test
+        .samples()
+        .iter()
+        .filter(|s| {
+            matches!(
+                af.recognize_primary(&s.trace).expect("recognize"),
+                Recognition::Rejected { .. }
+            )
+        })
+        .count();
+    assert!(
+        rejected * 2 > non_test.len(),
+        "rejected {rejected}/{} held-out non-gestures",
+        non_test.len()
+    );
+    // And in-corpus gestures still pass.
+    let passed = gestures
+        .samples()
+        .iter()
+        .filter(|s| af.recognize_primary(&s.trace).expect("recognize").is_accepted())
+        .count();
+    assert!(
+        passed * 10 > gestures.len() * 8,
+        "passed {passed}/{} gestures",
+        gestures.len()
+    );
+}
+
+#[test]
+fn retraining_is_deterministic() {
+    let (af1, corpus) = trained_pipeline(15);
+    let (af2, _) = trained_pipeline(15);
+    for s in corpus.samples().iter().take(16) {
+        let a = af1.recognize_primary(&s.trace).expect("recognize");
+        let b = af2.recognize_primary(&s.trace).expect("recognize");
+        assert_eq!(a.gesture(), b.gesture());
+    }
+}
+
+#[test]
+fn trained_pipeline_survives_serialization() {
+    // Train → serialize → deserialize → identical predictions: the
+    // train-on-workstation / deploy-on-wearable workflow.
+    let (af, corpus) = trained_pipeline(16);
+    let json = serde_json::to_string(&af).expect("pipeline serializes");
+    let restored: AirFinger = serde_json::from_str(&json).expect("pipeline deserializes");
+    assert!(restored.is_trained());
+    for s in corpus.samples().iter().take(24) {
+        let a = af.recognize_primary(&s.trace).expect("original");
+        let b = restored.recognize_primary(&s.trace).expect("restored");
+        assert_eq!(a.gesture(), b.gesture());
+    }
+}
+
+#[test]
+fn power_governor_composes_with_streaming_engine() {
+    use airfinger_core::engine::StreamingEngine;
+    use airfinger_core::power::{PowerGovernor, PowerGovernorConfig, PowerMode};
+    use airfinger_nir_sim::SensorLayout;
+
+    let (af, corpus) = trained_pipeline(17);
+    let mut engine = StreamingEngine::new(af, 3).expect("engine");
+    let mut governor = PowerGovernor::new(
+        SensorLayout::paper_prototype(),
+        PowerGovernorConfig { idle_after_s: 1.0, ..Default::default() },
+    );
+    // 10 s idle, then a gesture, then 10 s idle again.
+    let gesture = &corpus.samples()[0].trace;
+    let idle = [230.0, 231.0, 229.0];
+    let mut modes = Vec::new();
+    for _ in 0..1000 {
+        engine.push(&idle).expect("push");
+        governor.tick(0.01, engine.in_gesture());
+        modes.push(governor.mode());
+    }
+    assert_eq!(*modes.last().unwrap(), PowerMode::Sentinel, "idle drops to sentinel");
+    for i in 0..gesture.len() {
+        let s = [gesture.channel(0)[i], gesture.channel(1)[i], gesture.channel(2)[i]];
+        engine.push(&s).expect("push");
+        governor.tick(0.01, engine.in_gesture());
+    }
+    // The gesture woke the governor at some point during the recording.
+    assert!(governor.savings_fraction() > 0.3, "saved {:.2}", governor.savings_fraction());
+}
+
+#[test]
+fn lockin_corpus_flows_through_the_pipeline() {
+    use airfinger_synth::dataset::Frontend;
+    // Train and recognize entirely on lock-in-demodulated recordings: the
+    // §VI front end is drop-in compatible with the rest of the pipeline.
+    let spec = CorpusSpec { frontend: Frontend::LockIn, ..small_spec(18) };
+    let corpus = generate_corpus(&spec);
+    let mut af = AirFinger::new(test_config());
+    af.train_on_corpus(&corpus, None).expect("training on lock-in corpus");
+    let mut correct = 0;
+    for s in corpus.samples().iter().take(32) {
+        if af.recognize_primary(&s.trace).expect("recognize").gesture() == s.label.gesture() {
+            correct += 1;
+        }
+    }
+    assert!(correct >= 24, "in-sample lock-in accuracy {correct}/32");
+}
+
+#[test]
+fn enrollment_improves_out_of_population_accuracy() {
+    use airfinger_core::adapt::UserAdapter;
+    use airfinger_core::train::all_gesture_feature_set;
+
+    let config = test_config();
+    let population = generate_corpus(&CorpusSpec {
+        users: 3,
+        sessions: 2,
+        reps: 4,
+        ..Default::default()
+    });
+    let mut af = AirFinger::new(config);
+    af.train_on_corpus(&population, None).expect("population training");
+
+    // A user outside the population; enrollment comes from their first
+    // session, evaluation from their second.
+    let newcomer = generate_corpus(&CorpusSpec {
+        users: 1,
+        sessions: 2,
+        reps: 6,
+        seed: 0xCAFE,
+        ..Default::default()
+    });
+    let day1 = newcomer.filter(|s| s.session == 0);
+    let day2 = newcomer.filter(|s| s.session == 1);
+    let score = |af: &AirFinger| {
+        day2.samples()
+            .iter()
+            .filter(|s| {
+                af.recognize_primary(&s.trace).expect("recognize").gesture()
+                    == s.label.gesture()
+            })
+            .count()
+    };
+
+    let before = score(&af);
+    let mut adapter = UserAdapter::new(all_gesture_feature_set(&population, &config));
+    for s in day1.samples().iter().filter(|s| s.rep < 4) {
+        let g = s.label.gesture().expect("gesture corpus");
+        adapter.enroll_trace(&af, &s.trace, g);
+    }
+    assert_eq!(adapter.enrolled_count(), 32);
+    assert!(adapter.boost() > 1, "up-weighting should engage");
+    adapter.apply(&mut af).expect("adaptation");
+    let after = score(&af);
+
+    assert!(
+        after >= before,
+        "enrollment must not hurt the enrolled user: {before} -> {after} of {}",
+        day2.len()
+    );
+    assert!(
+        after as f64 >= 0.5 * day2.len() as f64,
+        "adapted accuracy too low: {after}/{}",
+        day2.len()
+    );
+}

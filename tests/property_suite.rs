@@ -1,0 +1,301 @@
+//! Property-based invariants (proptest) across the DSP, ML, synthesis and
+//! tracking layers.
+
+use airfinger_dsp::fft::{fft_in_place, ifft_in_place, Complex};
+use airfinger_dsp::sbc::Sbc;
+use airfinger_dsp::segment::{Segmenter, SegmenterConfig};
+use airfinger_dsp::threshold::{inter_class_variance, otsu_threshold};
+use airfinger_features::FeatureExtractor;
+use airfinger_synth::gesture::{Gesture, SampleLabel};
+use airfinger_synth::trajectory::{MotionParams, Trajectory};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SBC removes any constant offset exactly.
+    #[test]
+    fn sbc_is_dc_invariant(
+        base in proptest::collection::vec(-500.0f64..500.0, 4..120),
+        offset in -1e4f64..1e4,
+        window in 1usize..6,
+    ) {
+        let sbc = Sbc::new(window);
+        let shifted: Vec<f64> = base.iter().map(|v| v + offset).collect();
+        let a = sbc.apply(&base);
+        let b = sbc.apply(&shifted);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-6 * (1.0 + x.abs()));
+        }
+    }
+
+    /// The Otsu threshold lies strictly between the two class means it
+    /// induces, and no grid candidate beats its inter-class variance.
+    #[test]
+    fn otsu_threshold_is_optimal_and_interior(
+        lo in proptest::collection::vec(0.0f64..10.0, 8..60),
+        hi in proptest::collection::vec(50.0f64..200.0, 8..60),
+    ) {
+        let mut v = lo.clone();
+        v.extend(hi.iter());
+        let t = otsu_threshold(&v);
+        prop_assert!(t > 0.0 && t < 200.0);
+        let best = inter_class_variance(&v, t);
+        for k in 0..40 {
+            let cand = 5.0 * k as f64;
+            prop_assert!(best >= inter_class_variance(&v, cand) - 1e-9);
+        }
+    }
+
+    /// Segments are sorted, disjoint and within bounds for any input.
+    #[test]
+    fn segments_are_sorted_disjoint_bounded(
+        delta in proptest::collection::vec(0.0f64..100.0, 0..400),
+        threshold in 1.0f64..80.0,
+        gap in 0usize..20,
+        pad in 0usize..10,
+    ) {
+        let seg = Segmenter::new(SegmenterConfig { merge_gap: gap, min_len: 1, pad });
+        let out = seg.segment(&delta, threshold);
+        for w in out.windows(2) {
+            prop_assert!(w[0].end <= w[1].start);
+        }
+        for s in &out {
+            prop_assert!(s.start < s.end);
+            prop_assert!(s.end <= delta.len());
+        }
+    }
+
+    /// FFT round-trips arbitrary signals (power-of-two lengths).
+    #[test]
+    fn fft_roundtrip(
+        x in proptest::collection::vec(-100.0f64..100.0, 1..65),
+    ) {
+        let n = x.len().next_power_of_two();
+        let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        buf.resize(n, Complex::default());
+        fft_in_place(&mut buf).unwrap();
+        ifft_in_place(&mut buf).unwrap();
+        for (orig, got) in x.iter().zip(&buf) {
+            prop_assert!((got.re - orig).abs() < 1e-6);
+            prop_assert!(got.im.abs() < 1e-6);
+        }
+    }
+
+    /// Every Table-I feature is finite on arbitrary (even hostile) input.
+    #[test]
+    fn features_always_finite(
+        x in proptest::collection::vec(-1e6f64..1e6, 0..200),
+    ) {
+        let e = FeatureExtractor::table1();
+        let f = e.extract(&x);
+        prop_assert_eq!(f.len(), e.len());
+        prop_assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    /// Trajectories stay in a physically plausible box and are smooth.
+    #[test]
+    fn trajectories_are_bounded_and_smooth(
+        gesture_idx in 0usize..8,
+        amplitude in 0.5f64..1.6,
+        speed in 0.5f64..2.0,
+        seed in 0u64..500,
+    ) {
+        let g = Gesture::from_index(gesture_idx).unwrap();
+        let params = MotionParams { amplitude, speed, ..Default::default() };
+        let t = Trajectory::generate(SampleLabel::Gesture(g), &params, seed);
+        for p in t.points() {
+            prop_assert!(p.x.abs() < 0.1, "x = {}", p.x);
+            prop_assert!(p.y.abs() < 0.1);
+            prop_assert!((0.003..0.2).contains(&p.z), "z = {}", p.z);
+        }
+        prop_assert!(t.max_step_m() < 0.004, "step {}", t.max_step_m());
+    }
+
+    /// Mirroring a trajectory twice is the identity.
+    #[test]
+    fn trajectory_mirror_involution(
+        gesture_idx in 0usize..8,
+        seed in 0u64..200,
+    ) {
+        let g = Gesture::from_index(gesture_idx).unwrap();
+        let t = Trajectory::generate(
+            SampleLabel::Gesture(g), &MotionParams::default(), seed);
+        prop_assert_eq!(t.mirrored().mirrored(), t);
+    }
+}
+
+/// Displacement properties of a ZEBRA track, checked over a parameter grid
+/// (plain test: constructing real tracked windows per proptest case would
+/// dominate runtime).
+#[test]
+fn displacement_odd_and_monotone_over_grid() {
+    use airfinger_core::zebra::{ScrollDirection, ScrollTrack, VelocitySource};
+    for velocity in [20.0, 80.0, 250.0] {
+        for duration in [0.2, 0.6, 1.5] {
+            let up = ScrollTrack {
+                direction: ScrollDirection::Up,
+                velocity_mm_s: velocity,
+                velocity_source: VelocitySource::Measured,
+                delta_t_s: Some(0.1),
+                duration_s: duration,
+            };
+            let down = ScrollTrack { direction: ScrollDirection::Down, ..up };
+            let mut prev = 0.0;
+            for k in 0..=20 {
+                let t = duration * k as f64 / 10.0; // runs past T
+                let d = up.displacement_mm(t);
+                assert!(d >= prev);
+                assert_eq!(d, -down.displacement_mm(t));
+                prev = d;
+            }
+            assert_eq!(up.displacement_mm(duration), up.total_displacement_mm());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any stratified split partitions the index set exactly.
+    #[test]
+    fn train_test_split_partitions(
+        labels in proptest::collection::vec(0usize..5, 4..120),
+        frac in 0.1f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        use airfinger_ml::split::train_test_split;
+        let split = train_test_split(&labels, frac, seed);
+        let mut all: Vec<usize> = split.train.iter().chain(&split.test).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..labels.len()).collect::<Vec<_>>());
+        // Every class with ≥ 2 samples appears in training.
+        for class in 0..5 {
+            let total = labels.iter().filter(|&&l| l == class).count();
+            if total >= 2 {
+                prop_assert!(split.train.iter().any(|&i| labels[i] == class));
+            }
+        }
+    }
+
+    /// K-fold test sets tile the index set exactly once.
+    #[test]
+    fn k_fold_tiles_indices(
+        labels in proptest::collection::vec(0usize..4, 6..100),
+        k in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        use airfinger_ml::split::stratified_k_fold;
+        let folds = stratified_k_fold(&labels, k, seed);
+        prop_assert_eq!(folds.len(), k);
+        let mut seen = vec![0usize; labels.len()];
+        for f in &folds {
+            for &i in &f.test {
+                seen[i] += 1;
+            }
+            for &i in &f.train {
+                prop_assert!(!f.test.contains(&i));
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    /// Confusion-matrix identities hold for arbitrary prediction vectors.
+    #[test]
+    fn confusion_matrix_identities(
+        pairs in proptest::collection::vec((0usize..4, 0usize..4), 1..200),
+    ) {
+        use airfinger_ml::metrics::ConfusionMatrix;
+        let truth: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+        let pred: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+        let m = ConfusionMatrix::from_predictions(&truth, &pred, 4);
+        prop_assert_eq!(m.total(), pairs.len());
+        prop_assert!((0.0..=1.0).contains(&m.accuracy()));
+        // Row sums of the normalized matrix are 1 for non-empty rows.
+        for (g, row) in m.normalized().iter().enumerate() {
+            let has = truth.contains(&g);
+            let sum: f64 = row.iter().sum();
+            if has {
+                prop_assert!((sum - 1.0).abs() < 1e-9);
+            } else {
+                prop_assert_eq!(sum, 0.0);
+            }
+            // Per-class F1 is within [0, 1] when defined.
+            if let Some(f1) = m.f1(g) {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&f1));
+            }
+        }
+    }
+
+    /// The streaming dynamic threshold always sits within the observed
+    /// value range (never above the max or below the floor of the data).
+    #[test]
+    fn dynamic_threshold_stays_in_range(
+        lo in 0.5f64..5.0,
+        hi in 50.0f64..5000.0,
+        n_lo in 100usize..400,
+        n_hi in 30usize..200,
+    ) {
+        use airfinger_dsp::threshold::DynamicThreshold;
+        let mut dt = DynamicThreshold::new(10.0, 1.0);
+        for _ in 0..n_lo {
+            dt.observe(lo);
+        }
+        for _ in 0..n_hi {
+            dt.observe(hi);
+        }
+        dt.recalibrate();
+        let t = dt.threshold();
+        prop_assert!(t >= lo.min(10.0) - 1e-9, "t = {t}");
+        prop_assert!(t <= hi, "t = {t} vs hi {hi}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The enrollment up-weight always lands the enrolled mass within one
+    /// trial's worth of the requested mix fraction (and never below 1×).
+    #[test]
+    fn adapter_boost_hits_the_mix_fraction(
+        base_rows in 1usize..5000,
+        enrolled in 1usize..60,
+        mix in 0.05f64..0.9,
+    ) {
+        use airfinger_core::adapt::UserAdapter;
+        use airfinger_core::train::LabeledFeatures;
+        use airfinger_synth::gesture::Gesture;
+
+        let mut base = LabeledFeatures::default();
+        for i in 0..base_rows {
+            base.x.push(vec![i as f64]);
+            base.y.push(i % 8);
+            base.users.push(0);
+            base.sessions.push(0);
+            base.reps.push(i);
+        }
+        let mut a = UserAdapter::new(base).with_mix(mix);
+        for i in 0..enrolled {
+            a.enroll_features(vec![i as f64], Gesture::ALL[i % 8]);
+        }
+        let boost = a.boost();
+        prop_assert!(boost >= 1);
+        let mass = (boost * enrolled) as f64;
+        let ideal = mix / (1.0 - mix) * base_rows as f64;
+        if ideal / enrolled as f64 >= 0.5 {
+            // Rounding to an integer boost moves the mass by at most half
+            // a trial-count in either direction…
+            prop_assert!((mass - ideal).abs() <= 0.5 * enrolled as f64 + 1e-9,
+                "mass {mass} vs ideal {ideal} (boost {boost})");
+        } else {
+            // …unless the floor of 1× dominates (tiny bases), where each
+            // trial simply counts once.
+            prop_assert_eq!(boost, 1);
+        }
+        if boost > 1 {
+            let frac = mass / (mass + base_rows as f64);
+            prop_assert!((frac - mix).abs() < 0.5 * enrolled as f64 / (mass + base_rows as f64) + 0.02,
+                "fraction {frac} vs mix {mix}");
+        }
+    }
+}

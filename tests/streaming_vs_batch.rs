@@ -1,0 +1,119 @@
+//! Streaming engine vs batch recognition: the real-time engine must find
+//! the same gestures the offline processor does on a long multi-gesture
+//! stream.
+
+use airfinger_core::engine::StreamingEngine;
+use airfinger_nir_sim::sampler::{Sampler, Scene};
+use airfinger_nir_sim::trace::RssTrace;
+use airfinger_nir_sim::SensorLayout;
+use airfinger_synth::gesture::{Gesture, SampleLabel};
+use airfinger_synth::profile::UserProfile;
+use airfinger_synth::trajectory::Trajectory;
+use airfinger_tests::{small_spec, trained_pipeline};
+
+/// A 12-second stream with three scripted gestures.
+fn scripted_stream(seed: u64) -> (RssTrace, Vec<(f64, Gesture)>) {
+    let spec = small_spec(seed);
+    let profile = UserProfile::sample(0, spec.seed);
+    let script =
+        [(1.0, Gesture::Click), (4.0, Gesture::Circle), (8.0, Gesture::ScrollUp)];
+    let trajectories: Vec<(f64, Trajectory)> = script
+        .iter()
+        .enumerate()
+        .map(|(i, (start, g))| {
+            let params = profile.trial_params(SampleLabel::Gesture(*g), 0, 900 + i, spec.seed);
+            (*start, Trajectory::generate(SampleLabel::Gesture(*g), &params, seed + i as u64))
+        })
+        .collect();
+    let rest = profile.base;
+    let sampler = Sampler::new(Scene::new(SensorLayout::paper_prototype()), 100.0);
+    let trace = sampler.sample(12.0, seed, |t| {
+        for (start, traj) in &trajectories {
+            if t >= *start && t < *start + traj.duration_s() {
+                return traj.position(t - *start);
+            }
+        }
+        Some(rest)
+    });
+    (trace, script.to_vec())
+}
+
+#[test]
+fn streaming_finds_the_scripted_gestures() {
+    let (af, _) = trained_pipeline(31);
+    let (trace, script) = scripted_stream(31);
+    let mut engine = StreamingEngine::new(af, 3).expect("engine builds");
+    let mut events = Vec::new();
+    for i in 0..trace.len() {
+        let s = [trace.channel(0)[i], trace.channel(1)[i], trace.channel(2)[i]];
+        if let Some(ev) = engine.push(&s).expect("push") {
+            events.push((i, ev));
+        }
+    }
+    if let Some(ev) = engine.flush().expect("flush") {
+        events.push((trace.len(), ev));
+    }
+    // Every scripted gesture overlaps some emitted event's segment.
+    for (start, g) in &script {
+        let s0 = (start * 100.0) as usize;
+        let s1 = s0 + 150;
+        let hit = events.iter().any(|(_, ev)| {
+            let seg = ev.segment();
+            seg.start < s1 && s0 < seg.end
+        });
+        assert!(hit, "{g} at {start}s not covered by any event: {events:?}");
+    }
+    // No event storm: at most two events per scripted gesture.
+    assert!(
+        events.len() <= 2 * script.len(),
+        "too many events: {}",
+        events.len()
+    );
+}
+
+#[test]
+fn streaming_segments_align_with_batch_segments() {
+    let (af, _) = trained_pipeline(32);
+    let (trace, _) = scripted_stream(32);
+    let batch_windows = af.processor().process(&trace);
+    let mut engine = StreamingEngine::new(af.clone(), 3).expect("engine builds");
+    let mut stream_segments = Vec::new();
+    for i in 0..trace.len() {
+        let s = [trace.channel(0)[i], trace.channel(1)[i], trace.channel(2)[i]];
+        if let Some(ev) = engine.push(&s).expect("push") {
+            stream_segments.push(ev.segment());
+        }
+    }
+    if let Some(ev) = engine.flush().expect("flush") {
+        stream_segments.push(ev.segment());
+    }
+    // Each batch window overlaps a streaming segment (thresholds differ —
+    // batch Otsu vs streaming accumulator — so boundaries may shift).
+    let mut matched = 0;
+    for w in &batch_windows {
+        if stream_segments
+            .iter()
+            .any(|s| s.start < w.segment.end && w.segment.start < s.end)
+        {
+            matched += 1;
+        }
+    }
+    assert!(
+        matched * 3 >= batch_windows.len() * 2,
+        "only {matched}/{} batch windows matched by streaming",
+        batch_windows.len()
+    );
+}
+
+#[test]
+fn quiet_stream_stays_quiet() {
+    let (af, _) = trained_pipeline(33);
+    let mut engine = StreamingEngine::new(af, 3).expect("engine builds");
+    for _ in 0..1500 {
+        assert!(engine
+            .push(&[250.0, 251.0, 249.0])
+            .expect("push")
+            .is_none());
+    }
+    assert!(engine.flush().expect("flush").is_none());
+}

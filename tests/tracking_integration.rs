@@ -1,0 +1,132 @@
+//! ZEBRA tracking against synthesis ground truth: direction, velocity and
+//! displacement of real simulated scrolls.
+
+use airfinger_core::processing::DataProcessor;
+use airfinger_core::zebra::{ScrollDirection, VelocitySource, Zebra};
+use airfinger_synth::dataset::{generate_sample, trial_trajectory, CorpusSpec};
+use airfinger_synth::gesture::{Gesture, SampleLabel};
+use airfinger_synth::profile::UserProfile;
+use airfinger_tests::{small_spec, test_config};
+
+fn true_crossing_dt(
+    traj: &airfinger_synth::trajectory::Trajectory,
+    direction_up: bool,
+) -> Option<f64> {
+    let dt = 0.005;
+    let steps = (traj.duration_s() / dt) as usize;
+    let sign = if direction_up { 1.0 } else { -1.0 };
+    let (mut t1, mut t2) = (None, None);
+    for k in 0..=steps {
+        let t = k as f64 * dt;
+        let x = traj.position(t)?.x * sign;
+        if t1.is_none() && x >= -0.01 {
+            t1 = Some(t);
+        }
+        if t2.is_none() && x >= 0.01 {
+            t2 = Some(t);
+        }
+    }
+    match (t1, t2) {
+        (Some(a), Some(b)) if b > a => Some(b - a),
+        _ => None,
+    }
+}
+
+#[test]
+fn full_scrolls_track_direction_and_velocity() {
+    let spec = CorpusSpec {
+        gestures: vec![Gesture::ScrollUp, Gesture::ScrollDown],
+        ..small_spec(51)
+    };
+    let config = test_config();
+    let processor = DataProcessor::new(config);
+    let zebra = Zebra::new(config);
+    let mut checked = 0;
+    for user in 0..spec.users {
+        let profile = UserProfile::sample(user, spec.seed);
+        for (rep, g) in [(0, Gesture::ScrollUp), (0, Gesture::ScrollDown)] {
+            let label = SampleLabel::Gesture(g);
+            let traj = trial_trajectory(&profile, label, 0, rep, &spec);
+            let Some(dt_true) = true_crossing_dt(&traj, g == Gesture::ScrollUp) else {
+                continue; // partial sweep
+            };
+            let s = generate_sample(&profile, label, 0, rep, &spec);
+            let w = processor.primary_window(&s.trace);
+            let Some(track) = zebra.track(&w) else {
+                continue;
+            };
+            if track.velocity_source != VelocitySource::Measured {
+                continue;
+            }
+            checked += 1;
+            let expect = if g == Gesture::ScrollUp {
+                ScrollDirection::Up
+            } else {
+                ScrollDirection::Down
+            };
+            assert_eq!(track.direction, expect, "user {user}, {g}");
+            let v_true = 20.0 / dt_true; // mm/s over the 20 mm baseline
+            let ratio = track.velocity_mm_s / v_true;
+            assert!(
+                (0.4..=2.5).contains(&ratio),
+                "user {user} {g}: v {:.0} vs true {v_true:.0} (ratio {ratio:.2})",
+                track.velocity_mm_s
+            );
+        }
+    }
+    assert!(checked >= 2, "only {checked} scrolls fully tracked");
+}
+
+#[test]
+fn displacement_is_consistent_with_velocity_and_duration() {
+    let spec = CorpusSpec { gestures: vec![Gesture::ScrollUp], ..small_spec(52) };
+    let config = test_config();
+    let processor = DataProcessor::new(config);
+    let zebra = Zebra::new(config);
+    let profile = UserProfile::sample(0, spec.seed);
+    let s = generate_sample(&profile, SampleLabel::Gesture(Gesture::ScrollUp), 0, 0, &spec);
+    let w = processor.primary_window(&s.trace);
+    let track = zebra.track(&w).expect("scroll tracked");
+    let t = track.duration_s / 2.0;
+    assert!(
+        (track.displacement_mm(t) - track.direction.alpha() * track.velocity_mm_s * t).abs()
+            < 1e-9
+    );
+    assert_eq!(
+        track.total_displacement_mm(),
+        track.displacement_mm(track.duration_s * 10.0),
+        "displacement saturates at T"
+    );
+}
+
+#[test]
+fn detect_gestures_rarely_produce_tracks() {
+    // ZEBRA itself (without the class router) should find no scroll in
+    // most click windows: the envelope lag of a stationary gesture is
+    // small, so either `track` returns None or the window is classified
+    // detect-aimed upstream. We assert the upstream contract: the full
+    // pipeline routes clicks to Detect (see pipeline_integration) — here
+    // we check the lag statistic directly.
+    let spec = CorpusSpec { gestures: vec![Gesture::Click], ..small_spec(53) };
+    let config = test_config();
+    let processor = DataProcessor::new(config);
+    let mut small_lag = 0;
+    let mut total = 0;
+    for user in 0..spec.users {
+        let profile = UserProfile::sample(user, spec.seed);
+        for rep in 0..3 {
+            let s =
+                generate_sample(&profile, SampleLabel::Gesture(Gesture::Click), 0, rep, &spec);
+            let w = processor.primary_window(&s.trace);
+            let timing = w.channel_timing(&config);
+            total += 1;
+            if timing.lag_samples.is_none_or(|l| l.unsigned_abs() < 15) {
+                small_lag += 1;
+            }
+        }
+    }
+    assert!(
+        small_lag * 3 >= total * 2,
+        "{small_lag}/{total} clicks have small envelope lag"
+    );
+}
