@@ -9,7 +9,9 @@ use airfinger_features::{FeatureExtractor, FeatureKind};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn rss(n: usize) -> Vec<f64> {
-    (0..n).map(|i| 400.0 + 60.0 * ((i as f64) * 0.21).sin()).collect()
+    (0..n)
+        .map(|i| 400.0 + 60.0 * ((i as f64) * 0.21).sin())
+        .collect()
 }
 
 fn bench_ablation(c: &mut Criterion) {
@@ -29,9 +31,7 @@ fn bench_ablation(c: &mut Criterion) {
     // Dynamic vs fixed thresholding: DT pays an Otsu pass.
     let delta = Sbc::new(1).apply(&trace);
     c.bench_function("threshold_fixed", |b| {
-        b.iter(|| {
-            std::hint::black_box(delta.iter().filter(|&&v| v > 10.0).count())
-        });
+        b.iter(|| std::hint::black_box(delta.iter().filter(|&&v| v > 10.0).count()));
     });
     c.bench_function("threshold_otsu", |b| {
         b.iter(|| std::hint::black_box(otsu_threshold(&delta)));

@@ -15,7 +15,8 @@ fn dataset(n_per_class: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
     let mut x = Vec::new();
     let mut y = Vec::new();
     let noise = |i: usize, j: usize| {
-        let mut z = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (j as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let mut z = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (j as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 30)).wrapping_mul(0x94D0_49BB_1331_11EB);
         ((z >> 11) as f64 / (1u64 << 53) as f64) - 0.5
     };
@@ -50,8 +51,14 @@ fn bench_classifiers(c: &mut Criterion) {
                 }))
             }),
         ),
-        ("LR", Box::new(|| Box::new(LogisticRegression::new(LogisticRegressionConfig::default())))),
-        ("DT", Box::new(|| Box::new(DecisionTree::new(DecisionTreeConfig::default())))),
+        (
+            "LR",
+            Box::new(|| Box::new(LogisticRegression::new(LogisticRegressionConfig::default()))),
+        ),
+        (
+            "DT",
+            Box::new(|| Box::new(DecisionTree::new(DecisionTreeConfig::default()))),
+        ),
         ("BNB", Box::new(|| Box::new(BernoulliNaiveBayes::default()))),
     ];
 

@@ -11,8 +11,7 @@ fn window(n: usize) -> Vec<Vec<f64>> {
             (0..n)
                 .map(|i| {
                     let t = i as f64 / n as f64;
-                    (60.0 + 20.0 * k as f64)
-                        * (std::f64::consts::TAU * 3.0 * t).sin().powi(2)
+                    (60.0 + 20.0 * k as f64) * (std::f64::consts::TAU * 3.0 * t).sin().powi(2)
                 })
                 .collect()
         })

@@ -1,0 +1,85 @@
+//! Sequential vs parallel random-forest training and batch prediction.
+//!
+//! The forest's thread knob never changes the fitted model (see the
+//! `parallel_determinism` integration test), so this bench isolates the
+//! pure speedup: the same seeded fit at 1 thread and at the machine's
+//! core count. On a 4-core runner the parallel fit should finish in
+//! well under half the sequential time.
+
+use airfinger_ml::classifier::Classifier;
+use airfinger_ml::forest::{RandomForest, RandomForestConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// 8-class blobs in 40 dimensions, deterministic.
+fn dataset(n_per_class: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    let noise = |i: usize, j: usize| {
+        let mut z = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (j as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 30)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    };
+    for class in 0..8usize {
+        for i in 0..n_per_class {
+            let row: Vec<f64> = (0..40)
+                .map(|j| {
+                    let center = if j % 8 == class { 2.0 } else { 0.0 };
+                    center + noise(class * n_per_class + i, j)
+                })
+                .collect();
+            x.push(row);
+            y.push(class);
+        }
+    }
+    (x, y)
+}
+
+fn forest(n_threads: usize) -> RandomForest {
+    RandomForest::new(RandomForestConfig {
+        n_trees: 100,
+        seed: 7,
+        n_threads,
+        ..Default::default()
+    })
+}
+
+fn bench_forest_parallel(c: &mut Criterion) {
+    let (x, y) = dataset(40);
+    let auto = airfinger_parallel::effective_threads(None);
+    let thread_counts: Vec<usize> = if auto > 1 { vec![1, auto] } else { vec![1] };
+
+    let mut group = c.benchmark_group("forest_train_320x40");
+    group.sample_size(10);
+    for &threads in &thread_counts {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut rf = forest(threads);
+                    rf.fit(&x, &y).expect("fit");
+                    std::hint::black_box(rf.n_classes())
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("forest_predict_batch_320");
+    for &threads in &thread_counts {
+        let mut rf = forest(threads);
+        rf.fit(&x, &y).expect("fit");
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| std::hint::black_box(rf.predict_batch(&x).expect("predict")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_forest_parallel
+}
+criterion_main!(benches);

@@ -9,9 +9,17 @@ use airfinger_synth::dataset::{generate_corpus, CorpusSpec};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn trained() -> (AirFinger, airfinger_synth::dataset::Corpus) {
-    let spec = CorpusSpec { users: 2, sessions: 1, reps: 3, ..Default::default() };
+    let spec = CorpusSpec {
+        users: 2,
+        sessions: 1,
+        reps: 3,
+        ..Default::default()
+    };
     let corpus = generate_corpus(&spec);
-    let mut af = AirFinger::new(AirFingerConfig { forest_trees: 30, ..Default::default() });
+    let mut af = AirFinger::new(AirFingerConfig {
+        forest_trees: 30,
+        ..Default::default()
+    });
     af.train_on_corpus(&corpus, None).expect("training");
     (af, corpus)
 }
@@ -35,7 +43,11 @@ fn bench_pipeline(c: &mut Criterion) {
             let mut engine = StreamingEngine::new(af.clone(), 3).expect("engine");
             let mut events = 0usize;
             for i in 0..trace.len() {
-                let s = [trace.channel(0)[i], trace.channel(1)[i], trace.channel(2)[i]];
+                let s = [
+                    trace.channel(0)[i],
+                    trace.channel(1)[i],
+                    trace.channel(2)[i],
+                ];
                 if engine.push(&s).expect("push").is_some() {
                     events += 1;
                 }

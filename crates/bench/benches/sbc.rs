@@ -5,7 +5,9 @@ use airfinger_dsp::sbc::Sbc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn trace(n: usize) -> Vec<f64> {
-    (0..n).map(|i| 300.0 + 40.0 * ((i as f64) * 0.13).sin()).collect()
+    (0..n)
+        .map(|i| 300.0 + 40.0 * ((i as f64) * 0.13).sin())
+        .collect()
 }
 
 fn bench_sbc(c: &mut Criterion) {

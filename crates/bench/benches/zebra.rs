@@ -12,10 +12,20 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_zebra(c: &mut Criterion) {
     let config = AirFingerConfig::default();
-    let spec = CorpusSpec { users: 1, sessions: 1, reps: 1, ..Default::default() };
+    let spec = CorpusSpec {
+        users: 1,
+        sessions: 1,
+        reps: 1,
+        ..Default::default()
+    };
     let profile = UserProfile::sample(0, spec.seed);
-    let sample =
-        generate_sample(&profile, SampleLabel::Gesture(Gesture::ScrollUp), 0, 0, &spec);
+    let sample = generate_sample(
+        &profile,
+        SampleLabel::Gesture(Gesture::ScrollUp),
+        0,
+        0,
+        &spec,
+    );
     let window = DataProcessor::new(config).primary_window(&sample.trace);
     let zebra = Zebra::new(config);
 

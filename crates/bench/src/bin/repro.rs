@@ -4,12 +4,21 @@
 //! repro all                       # every experiment at standard scale
 //! repro fig10 table2              # a subset
 //! repro all --scale full          # the paper's full 10,000-sample protocol
+//! repro all --threads 4           # fan experiments across 4 workers
 //! repro all --json results.json   # also dump machine-readable results
 //! ```
+//!
+//! Experiments are independent given the shared [`Context`], so they fan
+//! out across worker threads (`--threads`, the `AIRFINGER_THREADS`
+//! environment variable, or the machine's core count). Reports are
+//! printed in request order regardless of completion order, with
+//! per-experiment wall-clock timing on stderr.
 
 use airfinger_bench::context::{Context, Scale};
 use airfinger_bench::{run_experiment, EXPERIMENT_IDS};
+use airfinger_parallel::{effective_threads, par_run};
 use std::io::Write;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -17,6 +26,7 @@ fn main() {
     let mut scale = Scale::Standard;
     let mut seed = 0x41F1_6E12u64;
     let mut json_path: Option<String> = None;
+    let mut threads_arg: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -37,6 +47,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--threads" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(v) if v > 0 => threads_arg = Some(v),
+                _ => {
+                    eprintln!("--threads needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
             "--json" => match it.next() {
                 Some(p) => json_path = Some(p.clone()),
                 None => {
@@ -54,20 +71,49 @@ fn main() {
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = EXPERIMENT_IDS.iter().map(|s| s.to_string()).collect();
     }
-    let ctx = Context::new(scale, seed);
-    let mut reports = Vec::new();
     for id in &ids {
-        match run_experiment(id, &ctx) {
-            Some(report) => {
-                report.print();
-                reports.push(report);
-            }
-            None => {
-                eprintln!("unknown experiment `{id}`; known: {EXPERIMENT_IDS:?}");
-                std::process::exit(2);
-            }
+        if !EXPERIMENT_IDS.contains(&id.as_str()) {
+            eprintln!("unknown experiment `{id}`; known: {EXPERIMENT_IDS:?}");
+            std::process::exit(2);
         }
     }
+    let threads = effective_threads(threads_arg).min(ids.len().max(1));
+    let mut ctx = Context::new(scale, seed);
+    if threads > 1 {
+        // Parallelism lives at the experiment level here; pin the inner
+        // training parallelism to one thread so the cores are not
+        // oversubscribed. Results are unaffected either way.
+        ctx.config.n_threads = 1;
+        // Warm the shared caches before fanning out, so workers reuse one
+        // corpus/feature computation instead of racing to build it.
+        ctx.all_features();
+    }
+    eprintln!(
+        "[repro] running {} experiment(s) on {threads} worker thread(s)",
+        ids.len()
+    );
+    let total_start = Instant::now();
+    let timed: Vec<_> = par_run(ids.len(), threads, |i| {
+        let start = Instant::now();
+        let report = run_experiment(&ids[i], &ctx).expect("id validated above");
+        let elapsed = start.elapsed();
+        eprintln!(
+            "[repro] {} finished in {:.2}s",
+            ids[i],
+            elapsed.as_secs_f64()
+        );
+        (report, elapsed)
+    });
+    let mut reports = Vec::with_capacity(timed.len());
+    for (report, _) in timed {
+        report.print();
+        reports.push(report);
+    }
+    eprintln!(
+        "[repro] {} experiment(s) done in {:.2}s wall-clock",
+        reports.len(),
+        total_start.elapsed().as_secs_f64()
+    );
     if let Some(path) = json_path {
         let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
         let mut f = std::fs::File::create(&path).expect("create json output");
@@ -79,7 +125,10 @@ fn main() {
 fn print_help() {
     println!("repro — regenerate the airFinger paper's tables and figures");
     println!();
-    println!("usage: repro [IDS…|all] [--scale quick|standard|full] [--seed N] [--json PATH]");
+    println!(
+        "usage: repro [IDS…|all] [--scale quick|standard|full] [--seed N] \
+         [--threads N] [--json PATH]"
+    );
     println!();
     println!("experiments: {EXPERIMENT_IDS:?}");
 }

@@ -4,7 +4,7 @@
 use airfinger_core::config::AirFingerConfig;
 use airfinger_core::train::{all_gesture_feature_set, LabeledFeatures};
 use airfinger_synth::dataset::{generate_corpus, Corpus, CorpusSpec};
-use std::cell::OnceCell;
+use std::sync::OnceLock;
 
 /// How large the synthesized corpora are relative to the paper's protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,8 +74,10 @@ pub struct Context {
     pub scale: Scale,
     /// Master seed.
     pub seed: u64,
-    corpus: OnceCell<Corpus>,
-    all_features: OnceCell<LabeledFeatures>,
+    // OnceLock rather than OnceCell so one `Context` can be shared by
+    // experiments fanned across worker threads.
+    corpus: OnceLock<Corpus>,
+    all_features: OnceLock<LabeledFeatures>,
 }
 
 impl Context {
@@ -86,8 +88,8 @@ impl Context {
             config: AirFingerConfig::default(),
             scale,
             seed,
-            corpus: OnceCell::new(),
-            all_features: OnceCell::new(),
+            corpus: OnceLock::new(),
+            all_features: OnceLock::new(),
         }
     }
 
@@ -121,7 +123,10 @@ impl Context {
     pub fn all_features(&self) -> &LabeledFeatures {
         self.all_features.get_or_init(|| {
             let corpus = self.corpus();
-            eprintln!("[context] extracting features for {} samples…", corpus.len());
+            eprintln!(
+                "[context] extracting features for {} samples…",
+                corpus.len()
+            );
             all_gesture_feature_set(corpus, &self.config)
         })
     }
@@ -131,8 +136,7 @@ impl Context {
     /// gestures occupy the first six indices).
     pub fn detect_features(&self) -> LabeledFeatures {
         let all = self.all_features();
-        let keep: Vec<usize> =
-            (0..all.len()).filter(|&i| all.y[i] < 6).collect();
+        let keep: Vec<usize> = (0..all.len()).filter(|&i| all.y[i] < 6).collect();
         LabeledFeatures {
             x: keep.iter().map(|&i| all.x[i].clone()).collect(),
             y: keep.iter().map(|&i| all.y[i]).collect(),

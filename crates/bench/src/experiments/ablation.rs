@@ -53,13 +53,16 @@ fn extract(corpus: &Corpus, ctx: &Context, variant: &Variant) -> LabeledFeatures
                 let segments =
                     Segmenter::new(ctx.config.segmenter).segment_multi(&smoothed, &fixed);
                 let seg = match (segments.first(), segments.last()) {
-                    (Some(a), Some(b)) => {
-                        airfinger_dsp::segment::Segment::new(a.start, b.end)
-                    }
+                    (Some(a), Some(b)) => airfinger_dsp::segment::Segment::new(a.start, b.end),
                     _ => airfinger_dsp::segment::Segment::new(0, s.trace.len()),
                 };
                 airfinger_core::processing::GestureWindow {
-                    raw: s.trace.channels().iter().map(|c| seg.slice(c).to_vec()).collect(),
+                    raw: s
+                        .trace
+                        .channels()
+                        .iter()
+                        .map(|c| seg.slice(c).to_vec())
+                        .collect(),
                     delta: delta.iter().map(|c| seg.slice(c).to_vec()).collect(),
                     segment: seg,
                     thresholds: fixed,
@@ -78,7 +81,9 @@ fn extract(corpus: &Corpus, ctx: &Context, variant: &Variant) -> LabeledFeatures
             Variant::NoNormalization => {
                 let mut f = extractor.extract_multi(&window.delta);
                 f.push(window.duration_s());
-                f.into_iter().map(|v| if v.is_finite() { v } else { 0.0 }).collect()
+                f.into_iter()
+                    .map(|v| if v.is_finite() { v } else { 0.0 })
+                    .collect()
             }
             _ => prepare_features(&extractor, &window),
         };
@@ -96,10 +101,7 @@ fn extract(corpus: &Corpus, ctx: &Context, variant: &Variant) -> LabeledFeatures
 pub fn run(ctx: &Context) -> Report {
     let mut report = Report::new("ablation", "design-choice ablations (3-fold CV accuracy)");
     let corpus = ctx.corpus();
-    report.line(format!(
-        "{:<20} {:>9} {:>9}",
-        "variant", "3-fold", "LOUO"
-    ));
+    report.line(format!("{:<20} {:>9} {:>9}", "variant", "3-fold", "LOUO"));
     let variants: [(&str, Variant); 6] = [
         ("full pipeline", Variant::Full),
         ("no SBC (raw RSS)", Variant::NoSbc),
@@ -122,7 +124,13 @@ pub fn run(ctx: &Context) -> Report {
         // is also scored leave-one-user-out.
         let louo = merge_folds(
             leave_one_group_out(&features.users).iter().map(|(u, s)| {
-                eval_rf_fold(&features, s, 8, ctx.config.forest_trees, ctx.seed + *u as u64)
+                eval_rf_fold(
+                    &features,
+                    s,
+                    8,
+                    ctx.config.forest_trees,
+                    ctx.seed + *u as u64,
+                )
             }),
             8,
         );

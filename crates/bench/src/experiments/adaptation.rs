@@ -60,7 +60,10 @@ fn accuracy_for(
     let truth: Vec<usize> = test.iter().map(|&i| features.y[i]).collect();
     let pred: Vec<usize> = test
         .iter()
-        .map(|&i| rec.predict_features(&features.x[i]).expect("prediction failed"))
+        .map(|&i| {
+            rec.predict_features(&features.x[i])
+                .expect("prediction failed")
+        })
         .collect();
     ConfusionMatrix::from_predictions(&truth, &pred, 6)
 }
@@ -68,8 +71,10 @@ fn accuracy_for(
 /// Run the experiment.
 #[must_use]
 pub fn run(ctx: &Context) -> Report {
-    let mut report =
-        Report::new("adaptation", "user enrollment closing the LOUO gap (extension)");
+    let mut report = Report::new(
+        "adaptation",
+        "user enrollment closing the LOUO gap (extension)",
+    );
     let features = ctx.detect_features();
     let users: Vec<usize> = {
         let mut u = features.users.clone();
@@ -77,14 +82,20 @@ pub fn run(ctx: &Context) -> Report {
         u.dedup();
         u
     };
-    let ks: Vec<usize> =
-        KS.iter().copied().filter(|&k| k <= ctx.scale.reps()).collect();
+    let ks: Vec<usize> = KS
+        .iter()
+        .copied()
+        .filter(|&k| k <= ctx.scale.reps())
+        .collect();
     report.line(format!(
         "{} users; enrollment from session 0, evaluation on sessions 1..{}",
         users.len(),
         ctx.scale.sessions()
     ));
-    report.line(format!("{:>12} {:>10} {:>12}", "k/gesture", "accuracy", "macro-recall"));
+    report.line(format!(
+        "{:>12} {:>10} {:>12}",
+        "k/gesture", "accuracy", "macro-recall"
+    ));
     let mut first = f64::NAN;
     let mut last = f64::NAN;
     for &k in &ks {

@@ -10,10 +10,10 @@ use crate::report::Report;
 use airfinger_core::processing::DataProcessor;
 use airfinger_core::train::{all_gesture_feature_set, LabeledFeatures};
 use airfinger_ml::classifier::Classifier;
-use airfinger_ml::dtw::{DtwClassifier, DtwConfig};
 use airfinger_ml::cnn::{CnnClassifier, CnnConfig};
-use airfinger_ml::hmm::{HmmClassifier, HmmConfig};
+use airfinger_ml::dtw::{DtwClassifier, DtwConfig};
 use airfinger_ml::forest::{RandomForest, RandomForestConfig};
+use airfinger_ml::hmm::{HmmClassifier, HmmConfig};
 use airfinger_ml::split::stratified_k_fold;
 use airfinger_synth::dataset::{generate_corpus, CorpusSpec};
 use std::time::Instant;
@@ -31,8 +31,9 @@ fn dtw_signatures(corpus: &airfinger_synth::dataset::Corpus, ctx: &Context) -> L
         let w = processor.primary_window(&s.trace);
         let envelopes = w.envelopes();
         let n = envelopes[0].len();
-        let summed: Vec<f64> =
-            (0..n).map(|i| envelopes.iter().map(|c| c[i]).sum()).collect();
+        let summed: Vec<f64> = (0..n)
+            .map(|i| envelopes.iter().map(|c| c[i]).sum())
+            .collect();
         let mut sig = resample(&summed, 64);
         let peak = sig.iter().copied().fold(f64::MIN_POSITIVE, f64::max);
         for v in &mut sig {
@@ -92,7 +93,12 @@ pub fn run(ctx: &Context) -> Report {
         let _ = rf.predict(&probe).expect("predict");
     }
     let rf_us = t0.elapsed().as_secs_f64() * 1e6 / 200.0;
-    report.line(format!("{:<6} {:>8.2}% {:>16.1}", "RF", pct(rf_matrix.accuracy()), rf_us));
+    report.line(format!(
+        "{:<6} {:>8.2}% {:>16.1}",
+        "RF",
+        pct(rf_matrix.accuracy()),
+        rf_us
+    ));
 
     // DTW 1-NN over temporal signatures.
     let dtw_features = dtw_signatures(&corpus, ctx);
@@ -112,7 +118,12 @@ pub fn run(ctx: &Context) -> Report {
         let _ = dtw.predict(&probe).expect("predict");
     }
     let dtw_us = t0.elapsed().as_secs_f64() * 1e6 / 50.0;
-    report.line(format!("{:<6} {:>8.2}% {:>16.1}", "DTW", pct(dtw_matrix.accuracy()), dtw_us));
+    report.line(format!(
+        "{:<6} {:>8.2}% {:>16.1}",
+        "DTW",
+        pct(dtw_matrix.accuracy()),
+        dtw_us
+    ));
 
     // HMM per-class models over the same temporal signatures.
     let hmm_folds = stratified_k_fold(&dtw_features.y, 3, ctx.seed);
@@ -131,18 +142,29 @@ pub fn run(ctx: &Context) -> Report {
         let _ = hmm.predict(&probe).expect("predict");
     }
     let hmm_us = t0.elapsed().as_secs_f64() * 1e6 / 200.0;
-    report.line(format!("{:<6} {:>8.2}% {:>16.1}", "HMM", pct(hmm_matrix.accuracy()), hmm_us));
+    report.line(format!(
+        "{:<6} {:>8.2}% {:>16.1}",
+        "HMM",
+        pct(hmm_matrix.accuracy()),
+        hmm_us
+    ));
 
     // CNN over the same temporal signatures.
     let cnn_folds = stratified_k_fold(&dtw_features.y, 3, ctx.seed);
     let cnn_matrix = merge_folds(
         cnn_folds.iter().map(|split| {
-            let mut c = CnnClassifier::new(CnnConfig { seed: ctx.seed, ..Default::default() });
+            let mut c = CnnClassifier::new(CnnConfig {
+                seed: ctx.seed,
+                ..Default::default()
+            });
             eval_classifier_fold(&mut c, &dtw_features, split, 8)
         }),
         8,
     );
-    let mut cnn = CnnClassifier::new(CnnConfig { seed: ctx.seed, ..Default::default() });
+    let mut cnn = CnnClassifier::new(CnnConfig {
+        seed: ctx.seed,
+        ..Default::default()
+    });
     let t_train = Instant::now();
     cnn.fit(&dtw_features.x, &dtw_features.y).expect("cnn fit");
     let cnn_train_ms = t_train.elapsed().as_secs_f64() * 1e3;

@@ -16,7 +16,10 @@ use airfinger_synth::gesture::Gesture;
 /// Run the experiment.
 #[must_use]
 pub fn run(ctx: &Context) -> Report {
-    let mut report = Report::new("board", "board scaling: photodiode count vs accuracy vs power");
+    let mut report = Report::new(
+        "board",
+        "board scaling: photodiode count vs accuracy vs power",
+    );
     report.line(format!(
         "{:>4} {:>6} {:>9} {:>12} {:>10}",
         "PDs", "LEDs", "accuracy", "scroll-dir", "power(mW)"
@@ -35,7 +38,13 @@ pub fn run(ctx: &Context) -> Report {
         let folds = stratified_k_fold(&features.y, 3, ctx.seed + pd_count as u64);
         let merged = merge_folds(
             folds.iter().map(|s| {
-                eval_rf_fold(&features, s, 8, ctx.config.forest_trees, ctx.seed + pd_count as u64)
+                eval_rf_fold(
+                    &features,
+                    s,
+                    8,
+                    ctx.config.forest_trees,
+                    ctx.seed + pd_count as u64,
+                )
             }),
             8,
         );

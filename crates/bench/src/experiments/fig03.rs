@@ -37,7 +37,13 @@ fn correlation(a: &[f64], b: &[f64]) -> f64 {
 #[must_use]
 pub fn run(ctx: &Context) -> Report {
     let mut report = Report::new("fig3", "characteristic RSS readings per gesture");
-    let spec = CorpusSpec { users: 1, sessions: 2, reps: 5, seed: ctx.seed, ..Default::default() };
+    let spec = CorpusSpec {
+        users: 1,
+        sessions: 2,
+        reps: 5,
+        seed: ctx.seed,
+        ..Default::default()
+    };
     let profile = UserProfile::sample(0, spec.seed);
     let processor = DataProcessor::new(ctx.config);
     let extractor = FeatureExtractor::table1();
@@ -74,10 +80,8 @@ pub fn run(ctx: &Context) -> Report {
                 None => acc = Some(f),
             }
             dur += w.duration_s();
-            peaks += airfinger_features::location::number_of_peaks(
-                &resample(&w.delta.concat(), 200),
-                3,
-            );
+            peaks +=
+                airfinger_features::location::number_of_peaks(&resample(&w.delta.concat(), 200), 3);
             energy += w.envelopes().concat().iter().sum::<f64>();
         }
         let n = spec.reps as f64;
@@ -117,7 +121,10 @@ pub fn run(ctx: &Context) -> Report {
         *s = (*s / all.len() as f64).sqrt().max(1e-12);
     }
     let z = |v: &[f64]| -> Vec<f64> {
-        v.iter().enumerate().map(|(d, &x)| (x - mu[d]) / sd[d]).collect()
+        v.iter()
+            .enumerate()
+            .map(|(d, &x)| (x - mu[d]) / sd[d])
+            .collect()
     };
     let z0: Vec<Vec<f64>> = session0.iter().map(|v| z(v)).collect();
     let z1: Vec<Vec<f64>> = session1.iter().map(|v| z(v)).collect();
@@ -143,7 +150,11 @@ pub fn run(ctx: &Context) -> Report {
             peaks,
             energy,
             own,
-            if consistent { "  ✓ nearest to itself" } else { "  ✗" },
+            if consistent {
+                "  ✓ nearest to itself"
+            } else {
+                "  ✗"
+            },
         ));
     }
     report.line(format!(

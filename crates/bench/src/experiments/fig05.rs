@@ -24,15 +24,16 @@ pub fn run(ctx: &Context) -> Report {
     let trajectories: Vec<Trajectory> = gestures
         .iter()
         .enumerate()
-        .map(|(i, g)| {
-            Trajectory::generate(SampleLabel::Gesture(*g), &params, ctx.seed + i as u64)
-        })
+        .map(|(i, g)| Trajectory::generate(SampleLabel::Gesture(*g), &params, ctx.seed + i as u64))
         .collect();
     let gap = 1.0; // seconds of idle between gestures
-    let total: f64 =
-        trajectories.iter().map(|t| t.duration_s() + gap).sum::<f64>() + gap;
-    let scene = Scene::new(SensorLayout::paper_prototype())
-        .with_interference(Interference::passerby());
+    let total: f64 = trajectories
+        .iter()
+        .map(|t| t.duration_s() + gap)
+        .sum::<f64>()
+        + gap;
+    let scene =
+        Scene::new(SensorLayout::paper_prototype()).with_interference(Interference::passerby());
     let sampler = Sampler::new(scene, ctx.config.sample_rate_hz);
     // Piece the trajectories together on the timeline.
     let mut starts = Vec::new();
@@ -65,12 +66,17 @@ pub fn run(ctx: &Context) -> Report {
                 c.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
                     - c.iter().cloned().fold(f64::INFINITY, f64::min)
             };
-            range(a).partial_cmp(&range(b)).unwrap_or(std::cmp::Ordering::Equal)
+            range(a)
+                .partial_cmp(&range(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
         })
         .unwrap_or(0);
-    let (raw_contrast, sbc_contrast) =
-        snr_improvement(trace.channel(strongest), &truth, Sbc::new(ctx.config.sbc_window))
-            .expect("trace non-empty");
+    let (raw_contrast, sbc_contrast) = snr_improvement(
+        trace.channel(strongest),
+        &truth,
+        Sbc::new(ctx.config.sbc_window),
+    )
+    .expect("trace non-empty");
     report.line(format!(
         "gesture/rest contrast on P{}: raw RSS {:.2}x -> after SBC {:.1}x",
         strongest + 1,
@@ -83,12 +89,18 @@ pub fn run(ctx: &Context) -> Report {
     report.line(format!("true gesture spans: {truth:?}"));
     report.line(format!(
         "recovered segments:  {:?}",
-        windows.iter().map(|w| (w.segment.start, w.segment.end)).collect::<Vec<_>>()
+        windows
+            .iter()
+            .map(|w| (w.segment.start, w.segment.end))
+            .collect::<Vec<_>>()
     ));
     // Matching: each truth span should overlap exactly one segment.
     let mut matched = 0;
     for &(ts, te) in &truth {
-        if windows.iter().any(|w| w.segment.start < te && ts < w.segment.end) {
+        if windows
+            .iter()
+            .any(|w| w.segment.start < te && ts < w.segment.end)
+        {
             matched += 1;
         }
     }

@@ -14,14 +14,21 @@ use airfinger_synth::profile::UserProfile;
 #[must_use]
 pub fn run(ctx: &Context) -> Report {
     let mut report = Report::new("fig7", "track-aimed gesture signals and ZEBRA timing");
-    let spec = CorpusSpec { users: 1, sessions: 1, reps: 1, seed: ctx.seed, ..Default::default() };
+    let spec = CorpusSpec {
+        users: 1,
+        sessions: 1,
+        reps: 1,
+        seed: ctx.seed,
+        ..Default::default()
+    };
     let profile = UserProfile::sample(0, spec.seed);
     let processor = DataProcessor::new(ctx.config);
     let zebra = Zebra::new(ctx.config);
     let mut both_ok = true;
-    for (g, expect) in
-        [(Gesture::ScrollUp, ScrollDirection::Up), (Gesture::ScrollDown, ScrollDirection::Down)]
-    {
+    for (g, expect) in [
+        (Gesture::ScrollUp, ScrollDirection::Up),
+        (Gesture::ScrollDown, ScrollDirection::Down),
+    ] {
         let s = generate_sample(&profile, SampleLabel::Gesture(g), 0, 0, &spec);
         let w = processor.primary_window(&s.trace);
         let timing = w.channel_timing(&ctx.config);

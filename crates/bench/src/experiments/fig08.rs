@@ -32,7 +32,9 @@ pub fn run(ctx: &Context) -> Report {
             users: 3,
             sessions: 2,
             reps: ctx.scale.scaled(12),
-            condition: Condition::Distance { height_m: d_cm / 100.0 },
+            condition: Condition::Distance {
+                height_m: d_cm / 100.0,
+            },
             seed: ctx.seed + 800 + di as u64,
             ..Default::default()
         };
@@ -40,9 +42,15 @@ pub fn run(ctx: &Context) -> Report {
         let features = all_gesture_feature_set(&corpus, &ctx.config);
         let folds = stratified_k_fold(&features.y, 3, ctx.seed + di as u64);
         let merged = merge_folds(
-            folds
-                .iter()
-                .map(|s| eval_rf_fold(&features, s, 8, ctx.config.forest_trees, ctx.seed + di as u64)),
+            folds.iter().map(|s| {
+                eval_rf_fold(
+                    &features,
+                    s,
+                    8,
+                    ctx.config.forest_trees,
+                    ctx.seed + di as u64,
+                )
+            }),
             8,
         );
         let acc = merged.accuracy();

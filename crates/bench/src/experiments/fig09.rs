@@ -56,17 +56,29 @@ pub fn run(ctx: &Context) -> Report {
             .map(|a| format!("{:>7.2}", pct(*a)))
             .collect::<Vec<_>>()
             .join(" ");
-        report.line(format!("{name:>4} | {vals}   (fit+eval {:.0} ms total)", train_time_ms[ci]));
+        report.line(format!(
+            "{name:>4} | {vals}   (fit+eval {:.0} ms total)",
+            train_time_ms[ci]
+        ));
     }
     // Headline metrics: accuracy at 25 % test data, and whether RF wins.
     for (ci, name) in names.iter().enumerate() {
-        report.metric(&format!("{}_at_25pct", name.to_lowercase()), pct(rows[ci][1]));
-        report.metric(&format!("{}_time_ms", name.to_lowercase()), train_time_ms[ci]);
+        report.metric(
+            &format!("{}_at_25pct", name.to_lowercase()),
+            pct(rows[ci][1]),
+        );
+        report.metric(
+            &format!("{}_time_ms", name.to_lowercase()),
+            train_time_ms[ci],
+        );
     }
     let rf_wins = (0..TEST_FRACTIONS.len())
         .filter(|&fi| (0..4).all(|ci| rows[0][fi] + 1e-12 >= rows[ci][fi]))
         .count();
-    report.metric("rf_wins_fraction_of_sweep", rf_wins as f64 / TEST_FRACTIONS.len() as f64 * 100.0);
+    report.metric(
+        "rf_wins_fraction_of_sweep",
+        rf_wins as f64 / TEST_FRACTIONS.len() as f64 * 100.0,
+    );
     report.paper_value("rf_wins_fraction_of_sweep", 100.0);
     report
 }

@@ -14,10 +14,15 @@ pub fn run(ctx: &Context) -> Report {
     let features = ctx.detect_features();
     let folds = stratified_k_fold(&features.y, 5, ctx.seed);
     let matrix = merge_folds(
-        folds
-            .iter()
-            .enumerate()
-            .map(|(k, s)| eval_rf_fold(&features, s, 6, ctx.config.forest_trees, ctx.seed + k as u64)),
+        folds.iter().enumerate().map(|(k, s)| {
+            eval_rf_fold(
+                &features,
+                s,
+                6,
+                ctx.config.forest_trees,
+                ctx.seed + k as u64,
+            )
+        }),
         6,
     );
     for l in format_confusion(&matrix, &DETECT_NAMES) {

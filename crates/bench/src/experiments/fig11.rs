@@ -16,7 +16,13 @@ pub fn run(ctx: &Context) -> Report {
     let mut per_user = Vec::new();
     let mut matrices = Vec::new();
     for (user, split) in &splits {
-        let m = eval_rf_fold(&features, split, 6, ctx.config.forest_trees, ctx.seed + *user as u64);
+        let m = eval_rf_fold(
+            &features,
+            split,
+            6,
+            ctx.config.forest_trees,
+            ctx.seed + *user as u64,
+        );
         per_user.push((*user, m.accuracy()));
         matrices.push(m);
     }
@@ -40,7 +46,10 @@ pub fn run(ctx: &Context) -> Report {
     report.metric("avg_accuracy", avg);
     report.metric("macro_recall", pct(merged.macro_recall()));
     report.metric("macro_precision", pct(merged.macro_precision()));
-    report.metric("users_above_80pct", above_80 as f64 / per_user.len() as f64 * 100.0);
+    report.metric(
+        "users_above_80pct",
+        above_80 as f64 / per_user.len() as f64 * 100.0,
+    );
     report.paper_value("avg_accuracy", 83.61);
     report.paper_value("macro_recall", 87.44);
     report.paper_value("macro_precision", 84.69);

@@ -16,8 +16,13 @@ pub fn run(ctx: &Context) -> Report {
     let mut matrices = Vec::new();
     let mut per_session = Vec::new();
     for (session, split) in &splits {
-        let m =
-            eval_rf_fold(&features, split, 6, ctx.config.forest_trees, ctx.seed + 31 + *session as u64);
+        let m = eval_rf_fold(
+            &features,
+            split,
+            6,
+            ctx.config.forest_trees,
+            ctx.seed + 31 + *session as u64,
+        );
         per_session.push((*session, m.accuracy()));
         matrices.push(m);
     }

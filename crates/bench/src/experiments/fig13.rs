@@ -23,7 +23,13 @@ pub fn run(ctx: &Context) -> Report {
     let folds = stratified_k_fold(&features.y, 5, ctx.seed + 13);
     let mut family = ConfusionMatrix::new(2);
     for (k, split) in folds.iter().enumerate() {
-        let m = eval_rf_fold(features, split, 8, ctx.config.forest_trees, ctx.seed + 13 + k as u64);
+        let m = eval_rf_fold(
+            features,
+            split,
+            8,
+            ctx.config.forest_trees,
+            ctx.seed + 13 + k as u64,
+        );
         // Fold the 8x8 matrix into 2x2: classes 6,7 are track-aimed.
         for t in 0..8 {
             for p in 0..8 {

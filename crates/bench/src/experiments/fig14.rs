@@ -16,7 +16,10 @@ use airfinger_synth::dataset::{generate_corpus, generate_nongesture_corpus, Corp
 /// Run the experiment.
 #[must_use]
 pub fn run(ctx: &Context) -> Report {
-    let mut report = Report::new("fig14", "unintentional motions (gesture/non-gesture filter)");
+    let mut report = Report::new(
+        "fig14",
+        "unintentional motions (gesture/non-gesture filter)",
+    );
     // Paper: 6 volunteers × 2 sessions × (25 gestures + 25 non-gestures).
     let reps = ctx.scale.scaled(25);
     let gesture_spec = CorpusSpec {
@@ -27,7 +30,10 @@ pub fn run(ctx: &Context) -> Report {
         seed: ctx.seed + 14,
         ..Default::default()
     };
-    let non_spec = CorpusSpec { reps, ..gesture_spec.clone() };
+    let non_spec = CorpusSpec {
+        reps,
+        ..gesture_spec.clone()
+    };
     let corpus = generate_corpus(&gesture_spec).merged(generate_nongesture_corpus(&non_spec));
     let features = binary_feature_set(&corpus, &ctx.config);
     let folds = stratified_k_fold(&features.y, 3, ctx.seed + 14);

@@ -26,10 +26,15 @@ pub fn run(ctx: &Context) -> Report {
     let features = all_gesture_feature_set(&generate_corpus(&spec), &ctx.config);
     let folds = stratified_k_fold(&features.y, 3, ctx.seed + 16);
     let merged = merge_folds(
-        folds
-            .iter()
-            .enumerate()
-            .map(|(k, s)| eval_rf_fold(&features, s, 8, ctx.config.forest_trees, ctx.seed + 16 + k as u64)),
+        folds.iter().enumerate().map(|(k, s)| {
+            eval_rf_fold(
+                &features,
+                s,
+                8,
+                ctx.config.forest_trees,
+                ctx.seed + 16 + k as u64,
+            )
+        }),
         8,
     );
     report.line(format!(

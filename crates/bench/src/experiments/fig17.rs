@@ -31,15 +31,22 @@ pub fn run(ctx: &Context) -> Report {
         let features = all_gesture_feature_set(&generate_corpus(&spec), &ctx.config);
         let folds = stratified_k_fold(&features.y, 3, ctx.seed + 17);
         let merged = merge_folds(
-            folds
-                .iter()
-                .enumerate()
-                .map(|(k, s)| {
-                    eval_rf_fold(&features, s, 8, ctx.config.forest_trees, ctx.seed + 17 + k as u64)
-                }),
+            folds.iter().enumerate().map(|(k, s)| {
+                eval_rf_fold(
+                    &features,
+                    s,
+                    8,
+                    ctx.config.forest_trees,
+                    ctx.seed + 17 + k as u64,
+                )
+            }),
             8,
         );
-        report.line(format!("{:>10} {:>8.2}%", activity.name(), pct(merged.accuracy())));
+        report.line(format!(
+            "{:>10} {:>8.2}%",
+            activity.name(),
+            pct(merged.accuracy())
+        ));
         overall_acc.push(merged.accuracy());
         recalls.push(merged.macro_recall());
         precisions.push(merged.macro_precision());

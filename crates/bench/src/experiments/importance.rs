@@ -20,11 +20,15 @@ pub fn run(ctx: &Context) -> Report {
         forest_trees: ctx.config.forest_trees,
         ..ctx.config
     });
-    rec.train_features(&features.x, &features.y).expect("training failed");
+    rec.train_features(&features.x, &features.y)
+        .expect("training failed");
     let names = rec.feature_names(3);
     let importances = rec.feature_importances();
     let top = top_k_features(importances, 20);
-    report.line(format!("{:>4} {:<34} {:>10}", "rank", "feature", "importance"));
+    report.line(format!(
+        "{:>4} {:<34} {:>10}",
+        "rank", "feature", "importance"
+    ));
     for (rank, &idx) in top.iter().enumerate() {
         report.line(format!(
             "{:>4} {:<34} {:>9.4}",
@@ -39,7 +43,10 @@ pub fn run(ctx: &Context) -> Report {
         .iter()
         .map(|&i| importances[i])
         .sum();
-    report.line(format!("top-25 scalars carry {:.1}% of total importance", 100.0 * top25));
+    report.line(format!(
+        "top-25 scalars carry {:.1}% of total importance",
+        100.0 * top25
+    ));
     report.metric("top25_importance_share", 100.0 * top25);
     report
 }

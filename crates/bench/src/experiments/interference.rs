@@ -36,7 +36,10 @@ pub fn run(ctx: &Context) -> Report {
     let scenarios: [(&str, Vec<Interference>); 4] = [
         ("baseline", vec![]),
         ("passerby", vec![Interference::passerby()]),
-        ("remote (indirect)", vec![Interference::ir_remote_indirect()]),
+        (
+            "remote (indirect)",
+            vec![Interference::ir_remote_indirect()],
+        ),
         ("remote (direct)", vec![Interference::ir_remote_direct()]),
     ];
     report.line(format!("{:>18} {:>9}", "scenario", "accuracy"));
@@ -66,7 +69,9 @@ pub fn run(ctx: &Context) -> Report {
     report.metric("remote_direct", pct(acc_by[3]));
     report.line(format!(
         "passerby / indirect remote within {:.1} pts of baseline; direct remote drops {:.1} pts",
-        pct((acc_by[0] - acc_by[1]).abs().max((acc_by[0] - acc_by[2]).abs())),
+        pct((acc_by[0] - acc_by[1])
+            .abs()
+            .max((acc_by[0] - acc_by[2]).abs())),
         pct(acc_by[0] - acc_by[3]),
     ));
     report

@@ -40,7 +40,11 @@ pub fn eval_rf_fold(
     trees: usize,
     seed: u64,
 ) -> ConfusionMatrix {
-    let mut rf = RandomForest::new(RandomForestConfig { n_trees: trees, seed, ..Default::default() });
+    let mut rf = RandomForest::new(RandomForestConfig {
+        n_trees: trees,
+        seed,
+        ..Default::default()
+    });
     eval_classifier_fold(&mut rf, features, split, n_classes)
 }
 
@@ -61,7 +65,10 @@ pub fn eval_classifier_fold(
 
 /// Merge per-fold confusion matrices.
 #[must_use]
-pub fn merge_folds(folds: impl IntoIterator<Item = ConfusionMatrix>, n_classes: usize) -> ConfusionMatrix {
+pub fn merge_folds(
+    folds: impl IntoIterator<Item = ConfusionMatrix>,
+    n_classes: usize,
+) -> ConfusionMatrix {
     let mut total = ConfusionMatrix::new(n_classes);
     for f in folds {
         total.merge(&f);
@@ -76,9 +83,9 @@ pub fn pct(x: f64) -> f64 {
 }
 
 /// The six detect-aimed gesture names, table order.
-pub const DETECT_NAMES: [&str; 6] =
-    ["circle", "2xcircle", "rub", "2xrub", "click", "2xclick"];
+pub const DETECT_NAMES: [&str; 6] = ["circle", "2xcircle", "rub", "2xrub", "click", "2xclick"];
 
 /// All eight gesture names, table order.
-pub const ALL_NAMES: [&str; 8] =
-    ["circle", "2xcircle", "rub", "2xrub", "click", "2xclick", "scrollup", "scrolldn"];
+pub const ALL_NAMES: [&str; 8] = [
+    "circle", "2xcircle", "rub", "2xrub", "click", "2xclick", "scrollup", "scrolldn",
+];

@@ -20,7 +20,10 @@ pub fn run(ctx: &Context) -> Report {
         "outdoor",
         "outdoor sunlight: plain DC front end vs lock-in demodulation (§VI)",
     );
-    report.line(format!("{:>10} {:>10} {:>9}", "frontend", "ambient", "accuracy"));
+    report.line(format!(
+        "{:>10} {:>10} {:>9}",
+        "frontend", "ambient", "accuracy"
+    ));
     let mut results = Vec::new();
     for frontend in [Frontend::Dc, Frontend::LockIn] {
         // Train indoors with the given front end…
@@ -40,9 +43,10 @@ pub fn run(ctx: &Context) -> Report {
         });
         rf.fit(&train.x, &train.y).expect("training failed");
         // …then test indoors and under noon sunlight.
-        for (ambient_name, condition) in
-            [("indoor", Condition::Standard), ("noon sun", Condition::OutdoorNoon)]
-        {
+        for (ambient_name, condition) in [
+            ("indoor", Condition::Standard),
+            ("noon sun", Condition::OutdoorNoon),
+        ] {
             let test_spec = CorpusSpec {
                 users: 2,
                 sessions: 1,
@@ -59,7 +63,10 @@ pub fn run(ctx: &Context) -> Report {
                 Frontend::Dc => "dc",
                 Frontend::LockIn => "lock-in",
             };
-            report.line(format!("{fe:>10} {ambient_name:>10} {:>8.2}%", pct(m.accuracy())));
+            report.line(format!(
+                "{fe:>10} {ambient_name:>10} {:>8.2}%",
+                pct(m.accuracy())
+            ));
             results.push((fe, ambient_name, m.accuracy()));
         }
     }

@@ -25,7 +25,9 @@ fn gesture_features(
     ctx: &Context,
     extractor: &FeatureExtractor,
 ) -> LabeledFeatures {
-    feature_set(corpus, &ctx.config, extractor, |s| s.label.gesture().map(|g| g.index()))
+    feature_set(corpus, &ctx.config, extractor, |s| {
+        s.label.gesture().map(|g| g.index())
+    })
 }
 
 fn cv_accuracy(features: &LabeledFeatures, ctx: &Context) -> f64 {
@@ -53,7 +55,8 @@ pub fn run(ctx: &Context) -> Report {
         seed: ctx.seed + 0x5E1,
         ..Default::default()
     });
-    rf.fit(&cand_features.x, &cand_features.y).expect("training failed");
+    rf.fit(&cand_features.x, &cand_features.y)
+        .expect("training failed");
     let owners = candidates.scalar_owners();
     let per_channel = candidates.len();
     let mut kind_importance = vec![0.0; candidates.kinds().len()];
@@ -79,8 +82,11 @@ pub fn run(ctx: &Context) -> Report {
             kind_importance[ki]
         ));
     }
-    let selected: Vec<FeatureKind> =
-        order.iter().take(25).map(|&ki| candidates.kinds()[ki]).collect();
+    let selected: Vec<FeatureKind> = order
+        .iter()
+        .take(25)
+        .map(|&ki| candidates.kinds()[ki])
+        .collect();
     let table1 = FeatureKind::table1();
     let overlap = selected.iter().filter(|k| table1.contains(k)).count();
     report.line(format!(
@@ -89,8 +95,7 @@ pub fn run(ctx: &Context) -> Report {
 
     // Accuracy of the three sets.
     let acc_candidates = cv_accuracy(&cand_features, ctx);
-    let selected_features =
-        gesture_features(corpus, ctx, &FeatureExtractor::new(selected));
+    let selected_features = gesture_features(corpus, ctx, &FeatureExtractor::new(selected));
     let acc_selected = cv_accuracy(&selected_features, ctx);
     let table1_features = gesture_features(corpus, ctx, &FeatureExtractor::table1());
     let acc_table1 = cv_accuracy(&table1_features, ctx);

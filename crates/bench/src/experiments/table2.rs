@@ -59,10 +59,15 @@ pub fn run(ctx: &Context) -> Report {
     let detect = ctx.detect_features();
     let folds = stratified_k_fold(&detect.y, 5, ctx.seed + 2);
     let matrix = merge_folds(
-        folds
-            .iter()
-            .enumerate()
-            .map(|(k, s)| eval_rf_fold(&detect, s, 6, ctx.config.forest_trees, ctx.seed + 2 + k as u64)),
+        folds.iter().enumerate().map(|(k, s)| {
+            eval_rf_fold(
+                &detect,
+                s,
+                6,
+                ctx.config.forest_trees,
+                ctx.seed + 2 + k as u64,
+            )
+        }),
         6,
     );
     report.line("Detect-aimed gestures:");
@@ -81,18 +86,23 @@ pub fn run(ctx: &Context) -> Report {
     let all = ctx.all_features();
     let folds8 = stratified_k_fold(&all.y, 5, ctx.seed + 3);
     let m8 = merge_folds(
-        folds8
-            .iter()
-            .enumerate()
-            .map(|(k, s)| eval_rf_fold(all, s, 8, ctx.config.forest_trees, ctx.seed + 3 + k as u64)),
+        folds8.iter().enumerate().map(|(k, s)| {
+            eval_rf_fold(all, s, 8, ctx.config.forest_trees, ctx.seed + 3 + k as u64)
+        }),
         8,
     );
     let up_idx = Gesture::ScrollUp.index();
     let down_idx = Gesture::ScrollDown.index();
     let dir_acc = |g: usize| m8.recall(g).unwrap_or(0.0);
     report.line("Track-aimed gestures:");
-    report.line(format!("  scroll up direction    {:.2}%", pct(dir_acc(up_idx))));
-    report.line(format!("  scroll down direction  {:.2}%", pct(dir_acc(down_idx))));
+    report.line(format!(
+        "  scroll up direction    {:.2}%",
+        pct(dir_acc(up_idx))
+    ));
+    report.line(format!(
+        "  scroll down direction  {:.2}%",
+        pct(dir_acc(down_idx))
+    ));
     let track_avg = pct((dir_acc(up_idx) + dir_acc(down_idx)) / 2.0);
     report.line(format!("  average accuracy = {track_avg:.2}%"));
     report.metric("scroll_up_direction", pct(dir_acc(up_idx)));
@@ -119,7 +129,9 @@ pub fn run(ctx: &Context) -> Report {
             continue; // partial scroll: no measurable ground truth
         };
         let w = processor.primary_window(&s.trace);
-        let Some(track) = zebra.track(&w) else { continue };
+        let Some(track) = zebra.track(&w) else {
+            continue;
+        };
         if track.velocity_source != VelocitySource::Measured {
             continue;
         }

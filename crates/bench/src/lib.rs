@@ -20,8 +20,27 @@ use report::Report;
 
 /// Every experiment id, in paper order.
 pub const EXPERIMENT_IDS: [&str; 22] = [
-    "fig3", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-    "fig15", "fig16", "fig17", "table2", "interference", "outdoor", "ablation", "importance", "baselines", "board", "selection",
+    "fig3",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "table2",
+    "interference",
+    "outdoor",
+    "ablation",
+    "importance",
+    "baselines",
+    "board",
+    "selection",
     "adaptation",
 ];
 

@@ -77,7 +77,11 @@ pub fn format_confusion(matrix: &airfinger_ml::ConfusionMatrix, labels: &[&str])
     }
     out.push(header);
     for (i, row) in matrix.normalized().iter().enumerate() {
-        let mut line = format!("{:>width$} |", labels.get(i).copied().unwrap_or("?"), width = width + 2);
+        let mut line = format!(
+            "{:>width$} |",
+            labels.get(i).copied().unwrap_or("?"),
+            width = width + 2
+        );
         for v in row {
             line.push_str(&format!(" {:>width$.3}", v));
         }

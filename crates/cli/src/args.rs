@@ -50,7 +50,9 @@ impl Args {
     /// An optional parsed number with a default.
     pub fn number<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.values.get(name) {
-            Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got `{v}`")),
             None => Ok(default),
         }
     }

@@ -28,7 +28,11 @@ pub fn generate(argv: &[String]) -> i32 {
             sessions: args.number("sessions", 2usize)?,
             reps: args.number("reps", 5usize)?,
             seed: args.number("seed", 0x41F1_6E12u64)?,
-            frontend: if args.flag("lockin") { Frontend::LockIn } else { Frontend::Dc },
+            frontend: if args.flag("lockin") {
+                Frontend::LockIn
+            } else {
+                Frontend::Dc
+            },
             ..Default::default()
         };
         let out = args.required("out")?;
@@ -74,7 +78,8 @@ pub fn train(argv: &[String]) -> i32 {
         };
         let mut af = AirFinger::new(config);
         eprintln!("training on {} samples…", corpus.len());
-        af.train_on_corpus(&corpus, non.as_ref()).map_err(|e| e.to_string())?;
+        af.train_on_corpus(&corpus, non.as_ref())
+            .map_err(|e| e.to_string())?;
         let out = args.required("out")?;
         let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
         serde_json::to_writer(BufWriter::new(file), &af)
@@ -200,7 +205,10 @@ pub fn adapt(argv: &[String]) -> i32 {
         let mix = args.number("mix", airfinger_core::adapt::DEFAULT_MIX)?;
         let per_gesture = args.number("trials", usize::MAX)?;
 
-        eprintln!("extracting features of the {}-sample base corpus…", base.len());
+        eprintln!(
+            "extracting features of the {}-sample base corpus…",
+            base.len()
+        );
         let mut adapter =
             UserAdapter::new(all_gesture_feature_set(&base, af.config())).with_mix(mix);
         let mut taken = [0usize; 8];

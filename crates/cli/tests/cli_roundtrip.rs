@@ -8,7 +8,10 @@ fn bin() -> &'static str {
 }
 
 fn run(args: &[&str]) -> (bool, String) {
-    let out = Command::new(bin()).args(args).output().expect("binary runs");
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary runs");
     let text = format!(
         "{}{}",
         String::from_utf8_lossy(&out.stdout),
@@ -27,15 +30,33 @@ fn generate_train_recognize_info_roundtrip() {
     let model_s = model.to_str().expect("utf8 path");
 
     let (ok, text) = run(&[
-        "generate", "--users", "2", "--sessions", "1", "--reps", "2", "--out", corpus_s,
+        "generate",
+        "--users",
+        "2",
+        "--sessions",
+        "1",
+        "--reps",
+        "2",
+        "--out",
+        corpus_s,
     ]);
     assert!(ok, "generate failed: {text}");
     assert!(text.contains("32 samples"), "{text}");
 
-    let (ok, text) = run(&["train", "--corpus", corpus_s, "--trees", "20", "--out", model_s]);
+    let (ok, text) = run(&[
+        "train", "--corpus", corpus_s, "--trees", "20", "--out", model_s,
+    ]);
     assert!(ok, "train failed: {text}");
 
-    let (ok, text) = run(&["recognize", "--model", model_s, "--corpus", corpus_s, "--limit", "8"]);
+    let (ok, text) = run(&[
+        "recognize",
+        "--model",
+        model_s,
+        "--corpus",
+        corpus_s,
+        "--limit",
+        "8",
+    ]);
     assert!(ok, "recognize failed: {text}");
     assert!(text.contains("accuracy"), "{text}");
 
@@ -50,13 +71,22 @@ fn generate_train_recognize_info_roundtrip() {
     let enroll_s = enroll.to_str().expect("utf8 path");
     let adapted_s = adapted.to_str().expect("utf8 path");
     let (ok, text) = run(&[
-        "generate", "--users", "1", "--sessions", "1", "--reps", "2", "--seed", "777",
-        "--out", enroll_s,
+        "generate",
+        "--users",
+        "1",
+        "--sessions",
+        "1",
+        "--reps",
+        "2",
+        "--seed",
+        "777",
+        "--out",
+        enroll_s,
     ]);
     assert!(ok, "generate enroll failed: {text}");
     let (ok, text) = run(&[
-        "adapt", "--model", model_s, "--corpus", corpus_s, "--enroll", enroll_s,
-        "--trials", "1", "--out", adapted_s,
+        "adapt", "--model", model_s, "--corpus", corpus_s, "--enroll", enroll_s, "--trials", "1",
+        "--out", adapted_s,
     ]);
     assert!(ok, "adapt failed: {text}");
     assert!(text.contains("enrolled 8 trials"), "{text}");

@@ -67,7 +67,12 @@ impl UserAdapter {
     /// from [`crate::train::all_gesture_feature_set`]).
     #[must_use]
     pub fn new(base: LabeledFeatures) -> Self {
-        UserAdapter { base, enrolled_x: Vec::new(), enrolled_y: Vec::new(), mix: DEFAULT_MIX }
+        UserAdapter {
+            base,
+            enrolled_x: Vec::new(),
+            enrolled_y: Vec::new(),
+            mix: DEFAULT_MIX,
+        }
     }
 
     /// Set the target enrollment share of the effective training mass.
@@ -96,8 +101,8 @@ impl UserAdapter {
             return 1;
         }
         // boost · n_enrolled = m/(1-m) · n_base  ⇒ enrolled mass fraction ≈ m.
-        let target = self.mix / (1.0 - self.mix) * self.base.len() as f64
-            / self.enrolled_y.len() as f64;
+        let target =
+            self.mix / (1.0 - self.mix) * self.base.len() as f64 / self.enrolled_y.len() as f64;
         (target.round() as usize).max(1)
     }
 
@@ -202,15 +207,29 @@ mod tests {
 
     #[test]
     fn apply_retrains_and_pipeline_stays_usable() {
-        let config = AirFingerConfig { forest_trees: 15, ..Default::default() };
-        let spec = CorpusSpec { users: 2, sessions: 1, reps: 2, ..Default::default() };
+        let config = AirFingerConfig {
+            forest_trees: 15,
+            ..Default::default()
+        };
+        let spec = CorpusSpec {
+            users: 2,
+            sessions: 1,
+            reps: 2,
+            ..Default::default()
+        };
         let corpus = generate_corpus(&spec);
         let mut af = AirFinger::new(config);
         af.train_on_corpus(&corpus, None).unwrap();
 
         let base = crate::train::all_gesture_feature_set(&corpus, &config);
         let mut adapter = UserAdapter::new(base);
-        let enroll_spec = CorpusSpec { users: 1, sessions: 1, reps: 1, seed: 99, ..spec };
+        let enroll_spec = CorpusSpec {
+            users: 1,
+            sessions: 1,
+            reps: 1,
+            seed: 99,
+            ..spec
+        };
         let enroll = generate_corpus(&enroll_spec);
         for s in enroll.samples() {
             if let Some(g) = s.label.gesture() {
@@ -243,7 +262,10 @@ mod tests {
             base.sessions.push(0);
             base.reps.push(i);
         }
-        let config = AirFingerConfig { forest_trees: 15, ..Default::default() };
+        let config = AirFingerConfig {
+            forest_trees: 15,
+            ..Default::default()
+        };
         let mut af = AirFinger::new(config);
         af.train_detect_features(&base.x, &base.y).unwrap();
 

@@ -35,6 +35,11 @@ pub struct AirFingerConfig {
     pub forest_trees: usize,
     /// RNG seed for classifier training.
     pub train_seed: u64,
+    /// Worker threads for training-time parallelism (forest construction
+    /// and corpus feature extraction); 0 = resolve from the
+    /// `AIRFINGER_THREADS` environment variable or the machine's core
+    /// count. The thread count never changes results.
+    pub n_threads: usize,
 }
 
 impl Default for AirFingerConfig {
@@ -46,7 +51,11 @@ impl Default for AirFingerConfig {
             // spans ~60 ms; the briefest real gesture burst spans well over
             // 100 ms), 80 ms padding so each
             // window carries idle margin for noise-floor estimation.
-            segmenter: SegmenterConfig { merge_gap: 10, min_len: 8, pad: 8 },
+            segmenter: SegmenterConfig {
+                merge_gap: 10,
+                min_len: 8,
+                pad: 8,
+            },
             initial_threshold: 10.0,
             threshold_forget: 0.9995,
             ig_ms: 30.0,
@@ -56,6 +65,7 @@ impl Default for AirFingerConfig {
             lag_calibration: 0.6,
             forest_trees: 100,
             train_seed: 0xA1F1,
+            n_threads: 0,
         }
     }
 }
@@ -125,10 +135,22 @@ mod tests {
     #[test]
     fn validation_rejects_bad_fields() {
         let bad = [
-            AirFingerConfig { sbc_window: 0, ..Default::default() },
-            AirFingerConfig { threshold_forget: 1.5, ..Default::default() },
-            AirFingerConfig { forest_trees: 0, ..Default::default() },
-            AirFingerConfig { lag_calibration: 0.0, ..Default::default() },
+            AirFingerConfig {
+                sbc_window: 0,
+                ..Default::default()
+            },
+            AirFingerConfig {
+                threshold_forget: 1.5,
+                ..Default::default()
+            },
+            AirFingerConfig {
+                forest_trees: 0,
+                ..Default::default()
+            },
+            AirFingerConfig {
+                lag_calibration: 0.0,
+                ..Default::default()
+            },
         ];
         for c in bad {
             assert!(c.validate().is_err(), "{c:?}");

@@ -58,6 +58,7 @@ impl CustomRecognizer {
             forest: RandomForest::new(RandomForestConfig {
                 n_trees: config.forest_trees,
                 seed: config.train_seed.wrapping_add(2),
+                n_threads: config.n_threads,
                 ..Default::default()
             }),
             custom_names: Vec::new(),
@@ -96,13 +97,17 @@ impl CustomRecognizer {
         custom: &[(String, Vec<RssTrace>)],
     ) -> Result<(), AirFingerError> {
         if builtin.is_empty() {
-            return Err(AirFingerError::InvalidTrainingData("built-in corpus is empty"));
+            return Err(AirFingerError::InvalidTrainingData(
+                "built-in corpus is empty",
+            ));
         }
         let mut names: Vec<&str> = custom.iter().map(|(n, _)| n.as_str()).collect();
         names.sort_unstable();
         names.dedup();
         if names.len() != custom.len() {
-            return Err(AirFingerError::InvalidTrainingData("duplicate custom gesture name"));
+            return Err(AirFingerError::InvalidTrainingData(
+                "duplicate custom gesture name",
+            ));
         }
         let processor = DataProcessor::new(self.config);
         let mut x = Vec::new();
@@ -144,7 +149,9 @@ impl CustomRecognizer {
         if !self.trained {
             return Err(AirFingerError::NotTrained);
         }
-        let idx = self.forest.predict(&prepare_features(&self.extractor, window))?;
+        let idx = self
+            .forest
+            .predict(&prepare_features(&self.extractor, window))?;
         Ok(self.label_of(idx))
     }
 
@@ -188,15 +195,24 @@ mod tests {
     }
 
     fn small_corpus() -> Corpus {
-        generate_corpus(&CorpusSpec { users: 2, sessions: 1, reps: 3, ..Default::default() })
+        generate_corpus(&CorpusSpec {
+            users: 2,
+            sessions: 1,
+            reps: 3,
+            ..Default::default()
+        })
     }
 
     #[test]
     fn learns_custom_gesture_alongside_builtins() {
-        let config = AirFingerConfig { forest_trees: 25, ..Default::default() };
+        let config = AirFingerConfig {
+            forest_trees: 25,
+            ..Default::default()
+        };
         let mut rec = CustomRecognizer::new(config);
         let examples: Vec<RssTrace> = (0..6).map(z_swipe).collect();
-        rec.train(&small_corpus(), &[("z-swipe".into(), examples)]).unwrap();
+        rec.train(&small_corpus(), &[("z-swipe".into(), examples)])
+            .unwrap();
         assert!(rec.is_trained());
         // A fresh z-swipe is recognized as the custom gesture.
         let got = rec.recognize(&z_swipe(99)).unwrap();
@@ -213,12 +229,18 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct * 10 >= total * 7, "builtin accuracy {correct}/{total}");
+        assert!(
+            correct * 10 >= total * 7,
+            "builtin accuracy {correct}/{total}"
+        );
     }
 
     #[test]
     fn rejects_empty_examples() {
-        let config = AirFingerConfig { forest_trees: 10, ..Default::default() };
+        let config = AirFingerConfig {
+            forest_trees: 10,
+            ..Default::default()
+        };
         let mut rec = CustomRecognizer::new(config);
         let err = rec.train(&small_corpus(), &[("ghost".into(), vec![])]);
         assert!(matches!(err, Err(AirFingerError::InvalidTrainingData(_))));
@@ -226,11 +248,17 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_names() {
-        let config = AirFingerConfig { forest_trees: 10, ..Default::default() };
+        let config = AirFingerConfig {
+            forest_trees: 10,
+            ..Default::default()
+        };
         let mut rec = CustomRecognizer::new(config);
         let err = rec.train(
             &small_corpus(),
-            &[("a".into(), vec![z_swipe(1)]), ("a".into(), vec![z_swipe(2)])],
+            &[
+                ("a".into(), vec![z_swipe(1)]),
+                ("a".into(), vec![z_swipe(2)]),
+            ],
         );
         assert!(matches!(err, Err(AirFingerError::InvalidTrainingData(_))));
     }
@@ -238,12 +266,18 @@ mod tests {
     #[test]
     fn untrained_errors() {
         let rec = CustomRecognizer::new(AirFingerConfig::default());
-        assert!(matches!(rec.recognize(&z_swipe(1)), Err(AirFingerError::NotTrained)));
+        assert!(matches!(
+            rec.recognize(&z_swipe(1)),
+            Err(AirFingerError::NotTrained)
+        ));
     }
 
     #[test]
     fn display_formats() {
         assert_eq!(ExtendedLabel::Builtin(Gesture::Rub).to_string(), "rub");
-        assert_eq!(ExtendedLabel::Custom("wave".into()).to_string(), "custom:wave");
+        assert_eq!(
+            ExtendedLabel::Custom("wave".into()).to_string(),
+            "custom:wave"
+        );
     }
 }

@@ -29,10 +29,7 @@ use serde::{Deserialize, Serialize};
 /// and each channel's share of that energy (the cross-channel energy
 /// pattern encodes where over the board the gesture happened).
 #[must_use]
-pub fn prepare_features(
-    extractor: &FeatureExtractor,
-    window: &GestureWindow,
-) -> Vec<f64> {
+pub fn prepare_features(extractor: &FeatureExtractor, window: &GestureWindow) -> Vec<f64> {
     let global_peak = window
         .delta
         .iter()
@@ -59,7 +56,9 @@ pub fn prepare_features(
     for e in &energies {
         out.push(e / total);
     }
-    out.into_iter().map(|v| if v.is_finite() { v } else { 0.0 }).collect()
+    out.into_iter()
+        .map(|v| if v.is_finite() { v } else { 0.0 })
+        .collect()
 }
 
 /// Number of scale-bearing descriptors [`prepare_features`] appends after
@@ -88,6 +87,7 @@ impl DetectRecognizer {
             forest: RandomForest::new(RandomForestConfig {
                 n_trees: config.forest_trees,
                 seed: config.train_seed,
+                n_threads: config.n_threads,
                 ..Default::default()
             }),
             trained: false,
@@ -224,10 +224,12 @@ mod tests {
 
     #[test]
     fn learns_toy_classes() {
-        let cfg = AirFingerConfig { forest_trees: 15, ..Default::default() };
+        let cfg = AirFingerConfig {
+            forest_trees: 15,
+            ..Default::default()
+        };
         let mut rec = DetectRecognizer::new(&cfg);
-        let windows: Vec<GestureWindow> =
-            (0..20).map(|i| toy_window(i % 2, i / 2)).collect();
+        let windows: Vec<GestureWindow> = (0..20).map(|i| toy_window(i % 2, i / 2)).collect();
         let labels: Vec<usize> = (0..20).map(|i| i % 2).collect();
         rec.train(&windows, &labels).unwrap();
         assert!(rec.is_trained());
@@ -238,7 +240,10 @@ mod tests {
 
     #[test]
     fn predict_maps_to_detect_gestures() {
-        let cfg = AirFingerConfig { forest_trees: 10, ..Default::default() };
+        let cfg = AirFingerConfig {
+            forest_trees: 10,
+            ..Default::default()
+        };
         let mut rec = DetectRecognizer::new(&cfg);
         let windows: Vec<GestureWindow> = (0..12).map(|i| toy_window(i % 2, i / 2)).collect();
         let labels: Vec<usize> = (0..12).map(|i| i % 2).collect();
@@ -267,7 +272,10 @@ mod tests {
 
     #[test]
     fn importances_populate_after_training() {
-        let cfg = AirFingerConfig { forest_trees: 8, ..Default::default() };
+        let cfg = AirFingerConfig {
+            forest_trees: 8,
+            ..Default::default()
+        };
         let mut rec = DetectRecognizer::new(&cfg);
         assert!(rec.feature_importances().is_empty());
         let windows: Vec<GestureWindow> = (0..10).map(|i| toy_window(i % 2, i / 2)).collect();

@@ -132,8 +132,14 @@ mod tests {
     fn lone_outer_channel_is_partial_scroll() {
         let only_p1 = window_with_bumps([Some(40), None, None], 100);
         let only_p3 = window_with_bumps([None, None, Some(40)], 100);
-        assert_eq!(distinguisher().classify(&only_p1), GestureFamily::TrackAimed);
-        assert_eq!(distinguisher().classify(&only_p3), GestureFamily::TrackAimed);
+        assert_eq!(
+            distinguisher().classify(&only_p1),
+            GestureFamily::TrackAimed
+        );
+        assert_eq!(
+            distinguisher().classify(&only_p3),
+            GestureFamily::TrackAimed
+        );
     }
 
     #[test]

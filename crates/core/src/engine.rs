@@ -15,9 +15,8 @@ use crate::zebra::ScrollDirection;
 use airfinger_dsp::sbc::{Sbc, SbcStream};
 use airfinger_dsp::segment::{Segment, StreamingSegmenter};
 use airfinger_dsp::threshold::DynamicThreshold;
-use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// How many samples of history the engine retains (40 s at 100 Hz) — far
 /// longer than any gesture, bounded for constant memory.
@@ -64,7 +63,9 @@ impl StreamingEngine {
         }
         let config = *pipeline.config();
         Ok(StreamingEngine {
-            sbc: (0..channel_count).map(|_| Sbc::new(config.sbc_window).stream()).collect(),
+            sbc: (0..channel_count)
+                .map(|_| Sbc::new(config.sbc_window).stream())
+                .collect(),
             thresholds: (0..channel_count)
                 .map(|_| DynamicThreshold::new(config.initial_threshold, config.threshold_forget))
                 .collect(),
@@ -184,13 +185,21 @@ impl StreamingEngine {
         let start = segment.start.max(self.offset) - self.offset;
         let end = (segment.end.max(self.offset) - self.offset).min(self.raw_hist[0].len());
         let slice = |hist: &VecDeque<f64>| -> Vec<f64> {
-            hist.iter().skip(start).take(end.saturating_sub(start)).copied().collect()
+            hist.iter()
+                .skip(start)
+                .take(end.saturating_sub(start))
+                .copied()
+                .collect()
         };
         let window = GestureWindow {
             segment,
             raw: self.raw_hist.iter().map(slice).collect(),
             delta: self.delta_hist.iter().map(slice).collect(),
-            thresholds: self.thresholds.iter().map(DynamicThreshold::threshold).collect(),
+            thresholds: self
+                .thresholds
+                .iter()
+                .map(DynamicThreshold::threshold)
+                .collect(),
             sample_rate_hz: self.pipeline.config().sample_rate_hz,
         };
         self.pipeline.recognize_window(&window)
@@ -208,7 +217,9 @@ impl SharedEngine {
     /// Wrap an engine.
     #[must_use]
     pub fn new(engine: StreamingEngine) -> Self {
-        SharedEngine { inner: Arc::new(Mutex::new(engine)) }
+        SharedEngine {
+            inner: Arc::new(Mutex::new(engine)),
+        }
     }
 
     /// Push one sample (see [`StreamingEngine::push`]).
@@ -217,7 +228,10 @@ impl SharedEngine {
     ///
     /// Same conditions as [`StreamingEngine::push`].
     pub fn push(&self, sample: &[f64]) -> Result<Option<Recognition>, AirFingerError> {
-        self.inner.lock().push(sample)
+        self.inner
+            .lock()
+            .expect("engine lock poisoned")
+            .push(sample)
     }
 
     /// Close any open gesture.
@@ -226,19 +240,22 @@ impl SharedEngine {
     ///
     /// Same conditions as [`StreamingEngine::flush`].
     pub fn flush(&self) -> Result<Option<Recognition>, AirFingerError> {
-        self.inner.lock().flush()
+        self.inner.lock().expect("engine lock poisoned").flush()
     }
 
     /// Whether a gesture is currently open.
     #[must_use]
     pub fn in_gesture(&self) -> bool {
-        self.inner.lock().in_gesture()
+        self.inner
+            .lock()
+            .expect("engine lock poisoned")
+            .in_gesture()
     }
 
     /// Global sample position.
     #[must_use]
     pub fn position(&self) -> usize {
-        self.inner.lock().position()
+        self.inner.lock().expect("engine lock poisoned").position()
     }
 }
 
@@ -249,9 +266,17 @@ mod tests {
     use airfinger_synth::dataset::{generate_corpus, CorpusSpec};
 
     fn trained() -> AirFinger {
-        let spec = CorpusSpec { users: 2, sessions: 1, reps: 3, ..Default::default() };
+        let spec = CorpusSpec {
+            users: 2,
+            sessions: 1,
+            reps: 3,
+            ..Default::default()
+        };
         let corpus = generate_corpus(&spec);
-        let mut af = AirFinger::new(AirFingerConfig { forest_trees: 20, ..Default::default() });
+        let mut af = AirFinger::new(AirFingerConfig {
+            forest_trees: 20,
+            ..Default::default()
+        });
         af.train_on_corpus(&corpus, None).unwrap();
         af
     }
@@ -259,7 +284,10 @@ mod tests {
     #[test]
     fn untrained_pipeline_rejected() {
         let af = AirFinger::new(AirFingerConfig::default());
-        assert!(matches!(StreamingEngine::new(af, 3), Err(AirFingerError::NotTrained)));
+        assert!(matches!(
+            StreamingEngine::new(af, 3),
+            Err(AirFingerError::NotTrained)
+        ));
     }
 
     #[test]
@@ -270,7 +298,12 @@ mod tests {
 
     #[test]
     fn recognizes_streamed_gesture() {
-        let spec = CorpusSpec { users: 1, sessions: 1, reps: 2, ..Default::default() };
+        let spec = CorpusSpec {
+            users: 1,
+            sessions: 1,
+            reps: 2,
+            ..Default::default()
+        };
         let corpus = generate_corpus(&spec);
         let mut engine = StreamingEngine::new(trained(), 3).unwrap();
         let mut events = Vec::new();
@@ -309,18 +342,32 @@ mod tests {
 
     #[test]
     fn live_hint_appears_during_a_scroll() {
+        use airfinger_synth::dataset::generate_sample;
         use airfinger_synth::gesture::{Gesture, SampleLabel};
         use airfinger_synth::profile::UserProfile;
-        use airfinger_synth::dataset::generate_sample;
-        let spec = CorpusSpec { users: 1, sessions: 1, reps: 1, ..Default::default() };
+        let spec = CorpusSpec {
+            users: 1,
+            sessions: 1,
+            reps: 1,
+            ..Default::default()
+        };
         let profile = UserProfile::sample(0, spec.seed);
-        let s = generate_sample(&profile, SampleLabel::Gesture(Gesture::ScrollUp), 0, 0, &spec);
+        let s = generate_sample(
+            &profile,
+            SampleLabel::Gesture(Gesture::ScrollUp),
+            0,
+            0,
+            &spec,
+        );
         let mut engine = StreamingEngine::new(trained(), 3).unwrap();
         let mut hint_before_close = None;
         let mut closed = false;
         for i in 0..s.trace.len() {
-            let sample =
-                [s.trace.channel(0)[i], s.trace.channel(1)[i], s.trace.channel(2)[i]];
+            let sample = [
+                s.trace.channel(0)[i],
+                s.trace.channel(1)[i],
+                s.trace.channel(2)[i],
+            ];
             if engine.push(&sample).unwrap().is_some() {
                 closed = true;
             }

@@ -98,9 +98,17 @@ mod tests {
 
     #[test]
     fn gesture_mapping() {
-        let d = Recognition::Detect { gesture: Gesture::Rub, segment: Segment::new(0, 10) };
-        let t = Recognition::Track { track: track(), segment: Segment::new(5, 20) };
-        let r = Recognition::Rejected { segment: Segment::new(0, 3) };
+        let d = Recognition::Detect {
+            gesture: Gesture::Rub,
+            segment: Segment::new(0, 10),
+        };
+        let t = Recognition::Track {
+            track: track(),
+            segment: Segment::new(5, 20),
+        };
+        let r = Recognition::Rejected {
+            segment: Segment::new(0, 3),
+        };
         assert_eq!(d.gesture(), Some(Gesture::Rub));
         assert_eq!(t.gesture(), Some(Gesture::ScrollDown));
         assert_eq!(r.gesture(), None);
@@ -109,13 +117,19 @@ mod tests {
 
     #[test]
     fn segment_accessor() {
-        let t = Recognition::Track { track: track(), segment: Segment::new(5, 20) };
+        let t = Recognition::Track {
+            track: track(),
+            segment: Segment::new(5, 20),
+        };
         assert_eq!(t.segment(), Segment::new(5, 20));
     }
 
     #[test]
     fn display_is_readable() {
-        let t = Recognition::Track { track: track(), segment: Segment::new(5, 20) };
+        let t = Recognition::Track {
+            track: track(),
+            segment: Segment::new(5, 20),
+        };
         let s = t.to_string();
         assert!(s.contains("scroll down") && s.contains("100"));
     }

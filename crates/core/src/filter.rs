@@ -36,6 +36,7 @@ impl NonGestureFilter {
             forest: RandomForest::new(RandomForestConfig {
                 n_trees: config.forest_trees,
                 seed: config.train_seed.wrapping_add(1),
+                n_threads: config.n_threads,
                 ..Default::default()
             }),
             trained: false,
@@ -115,7 +116,9 @@ mod tests {
                     60.0 * (std::f64::consts::TAU * 3.0 * t).sin().powi(2)
                         * (1.0 + 0.05 * (seed % 7) as f64)
                 } else {
-                    6.0 * (std::f64::consts::TAU * (0.7 + 0.1 * (seed % 5) as f64) * t).sin().abs()
+                    6.0 * (std::f64::consts::TAU * (0.7 + 0.1 * (seed % 5) as f64) * t)
+                        .sin()
+                        .abs()
                 }
             })
             .collect();
@@ -131,7 +134,10 @@ mod tests {
 
     #[test]
     fn separates_gestures_from_wiggle() {
-        let cfg = AirFingerConfig { forest_trees: 15, ..Default::default() };
+        let cfg = AirFingerConfig {
+            forest_trees: 15,
+            ..Default::default()
+        };
         let mut f = NonGestureFilter::new(&cfg);
         let mut windows = Vec::new();
         let mut labels = Vec::new();
@@ -149,7 +155,10 @@ mod tests {
     #[test]
     fn untrained_errors() {
         let f = NonGestureFilter::new(&AirFingerConfig::default());
-        assert_eq!(f.is_gesture(&toy_window(true, 0)), Err(AirFingerError::NotTrained));
+        assert_eq!(
+            f.is_gesture(&toy_window(true, 0)),
+            Err(AirFingerError::NotTrained)
+        );
     }
 
     #[test]

@@ -33,8 +33,7 @@ use serde::{Deserialize, Serialize};
 /// }
 /// # Ok::<(), airfinger_core::error::AirFingerError>(())
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(from = "SavedPipeline", into = "SavedPipeline")]
+#[derive(Debug, Clone)]
 pub struct AirFinger {
     config: AirFingerConfig,
     processor: DataProcessor,
@@ -58,7 +57,11 @@ pub struct SavedPipeline {
 
 impl From<AirFinger> for SavedPipeline {
     fn from(af: AirFinger) -> Self {
-        SavedPipeline { config: af.config, detect: af.detect, filter: af.filter }
+        SavedPipeline {
+            config: af.config,
+            detect: af.detect,
+            filter: af.filter,
+        }
     }
 }
 
@@ -71,6 +74,20 @@ impl From<SavedPipeline> for AirFinger {
             detect: saved.detect,
             filter: saved.filter,
         }
+    }
+}
+
+// Serialized via [`SavedPipeline`]: the stateless stages are rebuilt from
+// the config on load.
+impl Serialize for AirFinger {
+    fn to_value(&self) -> serde::Value {
+        SavedPipeline::from(self.clone()).to_value()
+    }
+}
+
+impl Deserialize for AirFinger {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        SavedPipeline::from_value(value).map(AirFinger::from)
     }
 }
 
@@ -147,8 +164,7 @@ impl AirFinger {
             }
             let merged = gestures.clone().merged(non.clone());
             let set = binary_feature_set(&merged, &self.config);
-            let has_both = set.y.contains(&LABEL_GESTURE)
-                && set.y.contains(&LABEL_NON_GESTURE);
+            let has_both = set.y.contains(&LABEL_GESTURE) && set.y.contains(&LABEL_NON_GESTURE);
             if !has_both {
                 return Err(AirFingerError::InvalidTrainingData(
                     "filter training needs both gestures and non-gestures",
@@ -189,7 +205,9 @@ impl AirFinger {
         }
         if let Some(filter) = &self.filter {
             if !filter.is_gesture(window)? {
-                return Ok(Recognition::Rejected { segment: window.segment });
+                return Ok(Recognition::Rejected {
+                    segment: window.segment,
+                });
             }
         }
         let gesture = self.detect.predict(window)?;
@@ -213,11 +231,15 @@ impl AirFinger {
                         duration_s: window.duration_s(),
                     },
                 };
-                Ok(Recognition::Track { track, segment: window.segment })
+                Ok(Recognition::Track {
+                    track,
+                    segment: window.segment,
+                })
             }
-            detect_aimed => {
-                Ok(Recognition::Detect { gesture: detect_aimed, segment: window.segment })
-            }
+            detect_aimed => Ok(Recognition::Detect {
+                gesture: detect_aimed,
+                segment: window.segment,
+            }),
         }
     }
 
@@ -254,7 +276,10 @@ mod tests {
 
     fn trained_pipeline(spec: &CorpusSpec) -> (AirFinger, Corpus) {
         let corpus = generate_corpus(spec);
-        let config = AirFingerConfig { forest_trees: 25, ..Default::default() };
+        let config = AirFingerConfig {
+            forest_trees: 25,
+            ..Default::default()
+        };
         let mut af = AirFinger::new(config);
         af.train_on_corpus(&corpus, None).unwrap();
         (af, corpus)
@@ -262,7 +287,12 @@ mod tests {
 
     #[test]
     fn trains_and_recognizes_in_sample() {
-        let spec = CorpusSpec { users: 2, sessions: 2, reps: 3, ..Default::default() };
+        let spec = CorpusSpec {
+            users: 2,
+            sessions: 2,
+            reps: 3,
+            ..Default::default()
+        };
         let (af, corpus) = trained_pipeline(&spec);
         assert!(af.is_trained());
         let mut correct = 0;
@@ -280,14 +310,22 @@ mod tests {
 
     #[test]
     fn scrolls_are_tracked_not_detected() {
-        let spec = CorpusSpec { users: 1, sessions: 1, reps: 5, ..Default::default() };
+        let spec = CorpusSpec {
+            users: 1,
+            sessions: 1,
+            reps: 5,
+            ..Default::default()
+        };
         let (af, corpus) = trained_pipeline(&spec);
         let mut tracked = 0;
         let mut scrolls = 0;
         for s in corpus.samples() {
             if s.label.gesture().is_some_and(|g| g.is_track_aimed()) {
                 scrolls += 1;
-                if matches!(af.recognize_primary(&s.trace).unwrap(), Recognition::Track { .. }) {
+                if matches!(
+                    af.recognize_primary(&s.trace).unwrap(),
+                    Recognition::Track { .. }
+                ) {
                     tracked += 1;
                 }
             }
@@ -329,8 +367,10 @@ mod tests {
     fn scroll_only_corpus_trains() {
         // The recognizer covers all eight classes, so a scroll-only corpus
         // is legitimate training data.
-        let mut af =
-            AirFinger::new(AirFingerConfig { forest_trees: 10, ..Default::default() });
+        let mut af = AirFinger::new(AirFingerConfig {
+            forest_trees: 10,
+            ..Default::default()
+        });
         let corpus = generate_corpus(&CorpusSpec {
             users: 1,
             sessions: 1,
@@ -347,13 +387,23 @@ mod tests {
         // The paper's §V-J protocol: the same volunteers perform gestures
         // and non-gestures; evaluation is on held-out repetitions of the
         // same population (3-fold CV), not on unseen users.
-        let spec = CorpusSpec { users: 2, sessions: 1, reps: 4, ..Default::default() };
+        let spec = CorpusSpec {
+            users: 2,
+            sessions: 1,
+            reps: 4,
+            ..Default::default()
+        };
         let corpus = generate_corpus(&spec);
-        let non_all =
-            generate_nongesture_corpus(&CorpusSpec { reps: 30, ..spec.clone() });
+        let non_all = generate_nongesture_corpus(&CorpusSpec {
+            reps: 30,
+            ..spec.clone()
+        });
         let non_train = non_all.filter(|s| s.rep < 21);
         let non_test = non_all.filter(|s| s.rep >= 21);
-        let config = AirFingerConfig { forest_trees: 25, ..Default::default() };
+        let config = AirFingerConfig {
+            forest_trees: 25,
+            ..Default::default()
+        };
         let mut af = AirFinger::new(config);
         af.train_on_corpus(&corpus, Some(&non_train)).unwrap();
         assert!(af.has_filter());
@@ -373,7 +423,12 @@ mod tests {
             non_test.len()
         );
         // Held-out repetitions of true gestures pass the filter.
-        let held_g = generate_corpus(&CorpusSpec { users: 2, sessions: 1, reps: 2, ..spec });
+        let held_g = generate_corpus(&CorpusSpec {
+            users: 2,
+            sessions: 1,
+            reps: 2,
+            ..spec
+        });
         let wrongly_rejected = held_g
             .samples()
             .iter()
@@ -393,7 +448,10 @@ mod tests {
 
     #[test]
     fn invalid_config_surfaces_at_training() {
-        let config = AirFingerConfig { forest_trees: 0, ..Default::default() };
+        let config = AirFingerConfig {
+            forest_trees: 0,
+            ..Default::default()
+        };
         let mut af = AirFinger::new(config);
         let corpus = generate_corpus(&CorpusSpec::small(3));
         assert!(matches!(

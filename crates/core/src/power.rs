@@ -26,7 +26,11 @@ pub struct PowerGovernorConfig {
 
 impl Default for PowerGovernorConfig {
     fn default() -> Self {
-        PowerGovernorConfig { idle_after_s: 3.0, sentinel_duty: 0.15, active_duty: 1.0 }
+        PowerGovernorConfig {
+            idle_after_s: 3.0,
+            sentinel_duty: 0.15,
+            active_duty: 1.0,
+        }
     }
 }
 
@@ -76,9 +80,18 @@ impl PowerGovernor {
     /// Panics if duties are outside `[0, 1]` or `idle_after_s` is negative.
     #[must_use]
     pub fn new(layout: SensorLayout, config: PowerGovernorConfig) -> Self {
-        assert!((0.0..=1.0).contains(&config.sentinel_duty), "sentinel duty in [0, 1]");
-        assert!((0.0..=1.0).contains(&config.active_duty), "active duty in [0, 1]");
-        assert!(config.idle_after_s >= 0.0, "idle threshold must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&config.sentinel_duty),
+            "sentinel duty in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.active_duty),
+            "active duty in [0, 1]"
+        );
+        assert!(
+            config.idle_after_s >= 0.0,
+            "idle threshold must be non-negative"
+        );
         PowerGovernor {
             config,
             layout,
@@ -157,7 +170,10 @@ mod tests {
     use super::*;
 
     fn governor() -> PowerGovernor {
-        PowerGovernor::new(SensorLayout::paper_prototype(), PowerGovernorConfig::default())
+        PowerGovernor::new(
+            SensorLayout::paper_prototype(),
+            PowerGovernorConfig::default(),
+        )
     }
 
     #[test]
@@ -223,7 +239,10 @@ mod tests {
     fn bad_duty_panics() {
         let _ = PowerGovernor::new(
             SensorLayout::paper_prototype(),
-            PowerGovernorConfig { sentinel_duty: 1.5, ..Default::default() },
+            PowerGovernorConfig {
+                sentinel_duty: 1.5,
+                ..Default::default()
+            },
         );
     }
 }

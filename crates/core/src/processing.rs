@@ -72,8 +72,10 @@ impl GestureWindow {
     pub fn channel_timing(&self, config: &AirFingerConfig) -> ChannelTiming {
         const PARTICIPATION_FRACTION: f64 = 0.10;
         let envelopes = self.envelopes();
-        let peaks: Vec<f64> =
-            envelopes.iter().map(|e| e.iter().copied().fold(0.0, f64::max)).collect();
+        let peaks: Vec<f64> = envelopes
+            .iter()
+            .map(|e| e.iter().copied().fold(0.0, f64::max))
+            .collect();
         let global_peak = peaks.iter().copied().fold(0.0, f64::max);
         let active: Vec<bool> = peaks
             .iter()
@@ -85,7 +87,12 @@ impl GestureWindow {
             (Some(i), Some(j)) if i != j => centroid_lag(&envelopes[i], &envelopes[j]),
             _ => None,
         };
-        ChannelTiming { active, first_active, last_active, lag_samples }
+        ChannelTiming {
+            active,
+            first_active,
+            last_active,
+            lag_samples,
+        }
     }
 
     /// Per-channel *signal ascending points* (§IV-D1).
@@ -187,7 +194,13 @@ fn centroid_lag(e1: &[f64], e2: &[f64]) -> Option<isize> {
         if total <= 0.0 {
             return None;
         }
-        Some(e.iter().enumerate().map(|(t, &v)| t as f64 * v).sum::<f64>() / total)
+        Some(
+            e.iter()
+                .enumerate()
+                .map(|(t, &v)| t as f64 * v)
+                .sum::<f64>()
+                / total,
+        )
     };
     let c1 = centroid(&e1[..n])?;
     let c2 = centroid(&e2[..n])?;
@@ -248,13 +261,16 @@ impl DataProcessor {
         let delta = self.sbc(trace);
         let smoothed = self.smoothed(&delta);
         let thresholds = self.thresholds(&smoothed);
-        let segments =
-            Segmenter::new(self.config.segmenter).segment_multi(&smoothed, &thresholds);
+        let segments = Segmenter::new(self.config.segmenter).segment_multi(&smoothed, &thresholds);
         segments
             .into_iter()
             .map(|seg| GestureWindow {
                 segment: seg,
-                raw: trace.channels().iter().map(|c| seg.slice(c).to_vec()).collect(),
+                raw: trace
+                    .channels()
+                    .iter()
+                    .map(|c| seg.slice(c).to_vec())
+                    .collect(),
                 delta: delta.iter().map(|c| seg.slice(c).to_vec()).collect(),
                 thresholds: thresholds.clone(),
                 sample_rate_hz: trace.sample_rate_hz(),
@@ -275,13 +291,16 @@ impl DataProcessor {
         let delta = self.sbc(trace);
         let smoothed = self.smoothed(&delta);
         let thresholds = self.thresholds(&smoothed);
-        let segments =
-            Segmenter::new(self.config.segmenter).segment_multi(&smoothed, &thresholds);
+        let segments = Segmenter::new(self.config.segmenter).segment_multi(&smoothed, &thresholds);
         let segment = self
             .dominant_span(&smoothed, &segments, trace.sample_rate_hz())
             .unwrap_or_else(|| Segment::new(0, trace.len()));
         GestureWindow {
-            raw: trace.channels().iter().map(|c| segment.slice(c).to_vec()).collect(),
+            raw: trace
+                .channels()
+                .iter()
+                .map(|c| segment.slice(c).to_vec())
+                .collect(),
             delta: delta.iter().map(|c| segment.slice(c).to_vec()).collect(),
             segment,
             thresholds,
@@ -308,7 +327,10 @@ impl DataProcessor {
             return None;
         }
         let energy_of = |s: &Segment| -> f64 {
-            smoothed.iter().map(|c| s.slice(c).iter().sum::<f64>()).sum()
+            smoothed
+                .iter()
+                .map(|c| s.slice(c).iter().sum::<f64>())
+                .sum()
         };
         let energies: Vec<f64> = segments.iter().map(energy_of).collect();
         let main = energies
@@ -317,9 +339,8 @@ impl DataProcessor {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(i, _)| i)?;
         let floor = ABSORB_ENERGY_FRACTION * energies[main];
-        let absorbs = |gap: usize, energy: f64| {
-            gap <= near_gap || (gap <= far_gap && energy >= floor)
-        };
+        let absorbs =
+            |gap: usize, energy: f64| gap <= near_gap || (gap <= far_gap && energy >= floor);
         let (mut lo, mut hi) = (main, main);
         while lo > 0 {
             let gap = segments[lo].start.saturating_sub(segments[lo - 1].end);
@@ -350,8 +371,7 @@ mod tests {
     use airfinger_synth::trajectory::{MotionParams, Trajectory};
 
     fn record(label: Gesture) -> RssTrace {
-        let traj =
-            Trajectory::generate(SampleLabel::Gesture(label), &MotionParams::default(), 3);
+        let traj = Trajectory::generate(SampleLabel::Gesture(label), &MotionParams::default(), 3);
         let scene = Scene::new(SensorLayout::paper_prototype()).with_noise(NoiseModel::none());
         Sampler::new(scene, 100.0).sample(traj.duration_s(), 5, |t| traj.position(t))
     }
@@ -359,7 +379,6 @@ mod tests {
     fn processor() -> DataProcessor {
         DataProcessor::new(AirFingerConfig::default())
     }
-
 
     /// Build a raw RSS trace whose ΔRSS² approximates the given profile.
     fn raw_from_delta(delta_sq: &[f64]) -> Vec<f64> {
@@ -382,14 +401,21 @@ mod tests {
         assert_eq!(windows.len(), 1, "{windows:?}");
         let w = &windows[0];
         assert_eq!(w.channel_count(), 3);
-        assert!(w.duration_s() > 0.1 && w.duration_s() < 1.2, "dur {}", w.duration_s());
+        assert!(
+            w.duration_s() > 0.1 && w.duration_s() < 1.2,
+            "dur {}",
+            w.duration_s()
+        );
     }
 
     #[test]
     fn double_click_primary_window_spans_both_clicks() {
         // Even when the inter-click pause exceeds t_e and the halves
         // segment separately, the single-gesture convention spans them.
-        let p = MotionParams { double_gap_s: 0.2, ..Default::default() };
+        let p = MotionParams {
+            double_gap_s: 0.2,
+            ..Default::default()
+        };
         let traj = Trajectory::generate(SampleLabel::Gesture(Gesture::DoubleClick), &p, 3);
         let scene = Scene::new(SensorLayout::paper_prototype()).with_noise(NoiseModel::none());
         let trace = Sampler::new(scene, 100.0).sample(traj.duration_s(), 5, |t| traj.position(t));
@@ -404,8 +430,7 @@ mod tests {
     #[test]
     fn idle_recording_yields_no_window() {
         let scene = Scene::new(SensorLayout::paper_prototype()).with_noise(NoiseModel::none());
-        let trace =
-            Sampler::new(scene, 100.0).sample(1.0, 5, |_| Some(Vec3::new(0.0, 0.0, 0.02)));
+        let trace = Sampler::new(scene, 100.0).sample(1.0, 5, |_| Some(Vec3::new(0.0, 0.0, 0.02)));
         assert!(processor().process(&trace).is_empty());
     }
 
@@ -432,8 +457,7 @@ mod tests {
     #[test]
     fn primary_window_falls_back_to_whole_trace() {
         let scene = Scene::new(SensorLayout::paper_prototype()).with_noise(NoiseModel::none());
-        let trace =
-            Sampler::new(scene, 100.0).sample(0.5, 5, |_| Some(Vec3::new(0.0, 0.0, 0.02)));
+        let trace = Sampler::new(scene, 100.0).sample(0.5, 5, |_| Some(Vec3::new(0.0, 0.0, 0.02)));
         let w = processor().primary_window(&trace);
         assert_eq!(w.segment, Segment::new(0, trace.len()));
     }
@@ -502,7 +526,9 @@ mod tests {
     #[test]
     fn channel_timing_flags_inactive_channels() {
         let n = 100;
-        let loud: Vec<f64> = (0..n).map(|i| if (40..60).contains(&i) { 200.0 } else { 1.0 }).collect();
+        let loud: Vec<f64> = (0..n)
+            .map(|i| if (40..60).contains(&i) { 200.0 } else { 1.0 })
+            .collect();
         let quiet = vec![1.0; n];
         let w = GestureWindow {
             segment: Segment::new(0, n),
@@ -533,7 +559,11 @@ mod tests {
         }
         let trace = RssTrace::from_channels(vec![raw_from_delta(&d); 3], 100.0);
         let w = processor().primary_window(&trace);
-        assert!(w.segment.end <= 200, "window {:?} absorbed the blip", w.segment);
+        assert!(
+            w.segment.end <= 200,
+            "window {:?} absorbed the blip",
+            w.segment
+        );
     }
 
     #[test]
@@ -549,6 +579,10 @@ mod tests {
         }
         let trace = RssTrace::from_channels(vec![raw_from_delta(&d); 3], 100.0);
         let w = processor().primary_window(&trace);
-        assert!(w.segment.start <= 85 && w.segment.end >= 210, "window {:?}", w.segment);
+        assert!(
+            w.segment.start <= 85 && w.segment.end >= 210,
+            "window {:?}",
+            w.segment
+        );
     }
 }

@@ -38,6 +38,12 @@ impl LabeledFeatures {
 /// Extract features for every sample of `corpus` using `extractor`,
 /// labelling each sample with `label_of(sample) -> Option<usize>` (samples
 /// mapped to `None` are skipped).
+///
+/// Per-sample extraction (segmentation + Table-I features) dominates
+/// corpus training time and every sample is independent, so the work is
+/// fanned across [`AirFingerConfig::n_threads`] workers. The order-
+/// preserving map keeps row order — and therefore every downstream split,
+/// fold and trained model — identical to the sequential path.
 #[must_use]
 pub fn feature_set<F>(
     corpus: &Corpus,
@@ -46,18 +52,23 @@ pub fn feature_set<F>(
     label_of: F,
 ) -> LabeledFeatures
 where
-    F: Fn(&airfinger_synth::dataset::GestureSample) -> Option<usize>,
+    F: Fn(&airfinger_synth::dataset::GestureSample) -> Option<usize> + Sync,
 {
     let processor = DataProcessor::new(*config);
-    let mut out = LabeledFeatures::default();
-    for s in corpus.samples() {
-        let Some(label) = label_of(s) else { continue };
+    let threads = airfinger_parallel::effective_threads(Some(config.n_threads));
+    let rows = airfinger_parallel::par_map(corpus.samples(), threads, |s| {
+        let label = label_of(s)?;
         let window = processor.primary_window(&s.trace);
-        out.x.push(crate::detect::prepare_features(extractor, &window));
+        let features = crate::detect::prepare_features(extractor, &window);
+        Some((features, label, s.user, s.session, s.rep))
+    });
+    let mut out = LabeledFeatures::default();
+    for (features, label, user, session, rep) in rows.into_iter().flatten() {
+        out.x.push(features);
         out.y.push(label);
-        out.users.push(s.user);
-        out.sessions.push(s.session);
-        out.reps.push(s.rep);
+        out.users.push(user);
+        out.sessions.push(session);
+        out.reps.push(rep);
     }
     out
 }
@@ -78,7 +89,9 @@ pub fn detect_feature_set(corpus: &Corpus, config: &AirFingerConfig) -> LabeledF
 #[must_use]
 pub fn all_gesture_feature_set(corpus: &Corpus, config: &AirFingerConfig) -> LabeledFeatures {
     let extractor = FeatureExtractor::table1();
-    feature_set(corpus, config, &extractor, |s| s.label.gesture().map(|g| g.index()))
+    feature_set(corpus, config, &extractor, |s| {
+        s.label.gesture().map(|g| g.index())
+    })
 }
 
 /// Binary gesture/non-gesture feature set over the 9-feature subset:
@@ -86,7 +99,9 @@ pub fn all_gesture_feature_set(corpus: &Corpus, config: &AirFingerConfig) -> Lab
 #[must_use]
 pub fn binary_feature_set(corpus: &Corpus, config: &AirFingerConfig) -> LabeledFeatures {
     let extractor = FeatureExtractor::nongesture9();
-    feature_set(corpus, config, &extractor, |s| Some(usize::from(s.label.is_gesture())))
+    feature_set(corpus, config, &extractor, |s| {
+        Some(usize::from(s.label.is_gesture()))
+    })
 }
 
 #[cfg(test)]
@@ -96,7 +111,12 @@ mod tests {
     use airfinger_synth::gesture::Gesture;
 
     fn tiny_spec() -> CorpusSpec {
-        CorpusSpec { users: 1, sessions: 1, reps: 1, ..Default::default() }
+        CorpusSpec {
+            users: 1,
+            sessions: 1,
+            reps: 1,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -145,7 +165,12 @@ mod tests {
 
     #[test]
     fn groups_align_with_samples() {
-        let spec = CorpusSpec { users: 2, sessions: 2, reps: 1, ..Default::default() };
+        let spec = CorpusSpec {
+            users: 2,
+            sessions: 2,
+            reps: 1,
+            ..Default::default()
+        };
         let corpus = generate_corpus(&spec);
         let set = all_gesture_feature_set(&corpus, &AirFingerConfig::default());
         assert_eq!(set.users.len(), set.len());

@@ -134,18 +134,18 @@ impl Zebra {
             // Alg. 1 lines 8–13 / 20–25: two crossings → order gives α,
             // Δt gives v over the physical span between those photodiodes.
             (Some(i), Some(j), Some(lag)) if i != j && lag != 0 => {
-                let dt =
-                    lag.unsigned_abs() as f64 / rate / self.config.lag_calibration;
+                let dt = lag.unsigned_abs() as f64 / rate / self.config.lag_calibration;
                 let span = self.config.pd_baseline_m * (j - i) as f64 / (n - 1) as f64;
-                let direction =
-                    if lag > 0 { ScrollDirection::Up } else { ScrollDirection::Down };
+                let direction = if lag > 0 {
+                    ScrollDirection::Up
+                } else {
+                    ScrollDirection::Down
+                };
                 Some(make(direction, Some(dt), span))
             }
             // Lines 2–7 / 14–19: only one outer photodiode crossed →
             // direction from which one, velocity from experience v′.
-            (Some(i), Some(j), _) if i == j && i == 0 => {
-                Some(make(ScrollDirection::Up, None, 0.0))
-            }
+            (Some(i), Some(j), _) if i == j && i == 0 => Some(make(ScrollDirection::Up, None, 0.0)),
             (Some(i), Some(j), _) if i == j && i == n - 1 => {
                 Some(make(ScrollDirection::Down, None, 0.0))
             }
@@ -158,8 +158,8 @@ impl Zebra {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use airfinger_dsp::segment::Segment;
     use crate::processing::GestureWindow;
+    use airfinger_dsp::segment::Segment;
 
     /// Build a 3-channel window with Gaussian energy bumps centered at the
     /// given samples (None = channel stays at the noise floor).
@@ -190,7 +190,10 @@ mod tests {
     fn zebra() -> Zebra {
         // Synthetic bump envelopes have no cone overlap, so their centroid
         // lag IS the true crossing time: disable the geometric calibration.
-        Zebra::new(AirFingerConfig { lag_calibration: 1.0, ..Default::default() })
+        Zebra::new(AirFingerConfig {
+            lag_calibration: 1.0,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -200,7 +203,11 @@ mod tests {
         let t = zebra().track(&w).unwrap();
         assert_eq!(t.direction, ScrollDirection::Up);
         assert_eq!(t.velocity_source, VelocitySource::Measured);
-        assert!((t.velocity_mm_s - 50.0).abs() < 8.0, "v = {}", t.velocity_mm_s);
+        assert!(
+            (t.velocity_mm_s - 50.0).abs() < 8.0,
+            "v = {}",
+            t.velocity_mm_s
+        );
         let dt = t.delta_t_s.unwrap();
         assert!((dt - 0.4).abs() < 0.05, "dt = {dt}");
     }
@@ -233,12 +240,16 @@ mod tests {
 
     #[test]
     fn no_active_channel_is_not_a_scroll() {
-        assert!(zebra().track(&window_with_bumps([None, None, None], 100)).is_none());
+        assert!(zebra()
+            .track(&window_with_bumps([None, None, None], 100))
+            .is_none());
     }
 
     #[test]
     fn lone_middle_channel_is_not_a_scroll() {
-        assert!(zebra().track(&window_with_bumps([None, Some(40), None], 100)).is_none());
+        assert!(zebra()
+            .track(&window_with_bumps([None, Some(40), None], 100))
+            .is_none());
     }
 
     #[test]
@@ -255,13 +266,21 @@ mod tests {
         let t = zebra().track(&w).unwrap();
         assert_eq!(t.direction, ScrollDirection::Up);
         // 10 mm over 0.2 s -> 50 mm/s.
-        assert!((t.velocity_mm_s - 50.0).abs() < 10.0, "v = {}", t.velocity_mm_s);
+        assert!(
+            (t.velocity_mm_s - 50.0).abs() < 10.0,
+            "v = {}",
+            t.velocity_mm_s
+        );
     }
 
     #[test]
     fn displacement_is_odd_in_direction() {
-        let up = zebra().track(&window_with_bumps([Some(30), Some(50), Some(70)], 140)).unwrap();
-        let down = zebra().track(&window_with_bumps([Some(70), Some(50), Some(30)], 140)).unwrap();
+        let up = zebra()
+            .track(&window_with_bumps([Some(30), Some(50), Some(70)], 140))
+            .unwrap();
+        let down = zebra()
+            .track(&window_with_bumps([Some(70), Some(50), Some(30)], 140))
+            .unwrap();
         assert!((up.displacement_mm(0.3) + down.displacement_mm(0.3)).abs() < 1e-9);
     }
 
@@ -287,8 +306,12 @@ mod tests {
 
     #[test]
     fn faster_scroll_measures_higher_velocity() {
-        let slow = zebra().track(&window_with_bumps([Some(20), Some(60), Some(100)], 160)).unwrap();
-        let fast = zebra().track(&window_with_bumps([Some(60), Some(70), Some(80)], 160)).unwrap();
+        let slow = zebra()
+            .track(&window_with_bumps([Some(20), Some(60), Some(100)], 160))
+            .unwrap();
+        let fast = zebra()
+            .track(&window_with_bumps([Some(60), Some(70), Some(80)], 160))
+            .unwrap();
         assert!(fast.velocity_mm_s > slow.velocity_mm_s);
     }
 

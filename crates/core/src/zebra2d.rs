@@ -79,7 +79,10 @@ impl Zebra2d {
     /// Panics if `arm_pds` is even or below 3.
     #[must_use]
     pub fn new(config: AirFingerConfig, arm_pds: usize) -> Self {
-        assert!(arm_pds >= 3 && arm_pds % 2 == 1, "cross arms need an odd count ≥ 3");
+        assert!(
+            arm_pds >= 3 && arm_pds % 2 == 1,
+            "cross arms need an odd count ≥ 3"
+        );
         Zebra2d { config, arm_pds }
     }
 
@@ -128,7 +131,11 @@ impl Zebra2d {
         if vx == 0.0 && vy == 0.0 {
             return None;
         }
-        Some(Swipe2d { vx_mm_s: vx, vy_mm_s: vy, duration_s: window.duration_s() })
+        Some(Swipe2d {
+            vx_mm_s: vx,
+            vy_mm_s: vy,
+            duration_s: window.duration_s(),
+        })
     }
 }
 
@@ -143,8 +150,7 @@ mod tests {
     use airfinger_nir_sim::vec3::Vec3;
 
     fn cross_scene() -> Scene {
-        let layout =
-            SensorLayout::cross(3, 5.0e-3, LedSpec::ir304c94(), PhotodiodeSpec::pt304());
+        let layout = SensorLayout::cross(3, 5.0e-3, LedSpec::ir304c94(), PhotodiodeSpec::pt304());
         Scene::new(layout).with_noise(NoiseModel::none())
     }
 
@@ -173,7 +179,12 @@ mod tests {
         let w = swipe((1.0, 0.0), 1);
         let s = tracker().track(&w).expect("tracked");
         assert!(s.vx_mm_s > 0.0, "vx {}", s.vx_mm_s);
-        assert!(s.vx_mm_s.abs() > 2.0 * s.vy_mm_s.abs(), "vx {} vy {}", s.vx_mm_s, s.vy_mm_s);
+        assert!(
+            s.vx_mm_s.abs() > 2.0 * s.vy_mm_s.abs(),
+            "vx {} vy {}",
+            s.vx_mm_s,
+            s.vy_mm_s
+        );
     }
 
     #[test]
@@ -188,7 +199,12 @@ mod tests {
         let w = swipe((0.0, 1.0), 3);
         let s = tracker().track(&w).expect("tracked");
         assert!(s.vy_mm_s > 0.0, "vy {}", s.vy_mm_s);
-        assert!(s.vy_mm_s.abs() > 2.0 * s.vx_mm_s.abs(), "vx {} vy {}", s.vx_mm_s, s.vy_mm_s);
+        assert!(
+            s.vy_mm_s.abs() > 2.0 * s.vx_mm_s.abs(),
+            "vx {} vy {}",
+            s.vx_mm_s,
+            s.vy_mm_s
+        );
     }
 
     #[test]
@@ -212,7 +228,10 @@ mod tests {
         let (dx1, _) = s.displacement_mm(s.duration_s / 2.0);
         let (dx2, _) = s.displacement_mm(s.duration_s * 4.0);
         assert!(dx2 > dx1);
-        assert_eq!(s.displacement_mm(s.duration_s * 4.0), s.displacement_mm(s.duration_s));
+        assert_eq!(
+            s.displacement_mm(s.duration_s * 4.0),
+            s.displacement_mm(s.duration_s)
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub fn ar_coefficients(x: &[f64], order: usize) -> Result<Vec<f64>, DspError> {
         return Ok(Vec::new());
     }
     if x.len() <= order {
-        return Err(DspError::TooShort { got: x.len(), need: order + 1 });
+        return Err(DspError::TooShort {
+            got: x.len(),
+            need: order + 1,
+        });
     }
     let r: Vec<f64> = (0..=order).map(|k| autocovariance(x, k)).collect();
     if r[0] <= f64::EPSILON {
@@ -40,7 +43,10 @@ pub fn ar_coefficients(x: &[f64], order: usize) -> Result<Vec<f64>, DspError> {
 /// Returns [`DspError::TooShort`] when `x.len() <= max_lag`.
 pub fn partial_autocorrelation(x: &[f64], max_lag: usize) -> Result<Vec<f64>, DspError> {
     if x.len() <= max_lag {
-        return Err(DspError::TooShort { got: x.len(), need: max_lag + 1 });
+        return Err(DspError::TooShort {
+            got: x.len(),
+            need: max_lag + 1,
+        });
     }
     let mut out = Vec::with_capacity(max_lag + 1);
     out.push(1.0);
@@ -112,7 +118,10 @@ pub fn adf_stat(x: &[f64], lags: usize) -> Result<f64, DspError> {
     let p = 2 + lags;
     let rows = dx.len() - lags;
     if rows <= p {
-        return Err(DspError::TooShort { got: n, need: p + lags + 2 });
+        return Err(DspError::TooShort {
+            got: n,
+            need: p + lags + 2,
+        });
     }
     let mut xtx = vec![vec![0.0; p]; p];
     let mut xty = vec![0.0; p];
@@ -138,8 +147,8 @@ pub fn adf_stat(x: &[f64], lags: usize) -> Result<f64, DspError> {
             xtx[a][b] = xtx[b][a];
         }
     }
-    let beta = solve_spd(&mut xtx.clone(), &xty)
-        .ok_or(DspError::Numerical("singular adf regression"))?;
+    let beta =
+        solve_spd(&mut xtx.clone(), &xty).ok_or(DspError::Numerical("singular adf regression"))?;
     // Residual variance.
     let explained: f64 = beta.iter().zip(&xty).map(|(b, v)| b * v).sum();
     let dof = rows - p;
@@ -147,11 +156,13 @@ pub fn adf_stat(x: &[f64], lags: usize) -> Result<f64, DspError> {
     // se(γ̂) = sqrt(σ² · [(XᵀX)⁻¹]_{11}); get that entry by solving against e₁.
     let mut e1 = vec![0.0; p];
     e1[1] = 1.0;
-    let inv_col = solve_spd(&mut xtx.clone(), &e1)
-        .ok_or(DspError::Numerical("singular adf regression"))?;
+    let inv_col =
+        solve_spd(&mut xtx.clone(), &e1).ok_or(DspError::Numerical("singular adf regression"))?;
     let var_gamma = sigma2 * inv_col[1];
     if var_gamma <= 0.0 {
-        return Err(DspError::Numerical("non-positive variance for adf statistic"));
+        return Err(DspError::Numerical(
+            "non-positive variance for adf statistic",
+        ));
     }
     Ok(beta[1] / var_gamma.sqrt())
 }
@@ -245,7 +256,10 @@ mod tests {
 
     #[test]
     fn ar_constant_errors() {
-        assert!(matches!(ar_coefficients(&[4.0; 50], 2), Err(DspError::Numerical(_))));
+        assert!(matches!(
+            ar_coefficients(&[4.0; 50], 2),
+            Err(DspError::Numerical(_))
+        ));
     }
 
     #[test]
@@ -316,7 +330,10 @@ mod tests {
 
     #[test]
     fn adf_too_short_errors() {
-        assert!(matches!(adf_stat(&[1.0, 2.0, 3.0], 2), Err(DspError::TooShort { .. })));
+        assert!(matches!(
+            adf_stat(&[1.0, 2.0, 3.0], 2),
+            Err(DspError::TooShort { .. })
+        ));
     }
 
     #[test]

@@ -101,7 +101,13 @@ mod tests {
 
     fn step_trace(step_at: usize, len: usize, amp: f64) -> Vec<f64> {
         (0..len)
-            .map(|i| if i >= step_at { amp * ((i - step_at) as f64 * 0.9).sin().abs() + amp } else { 1.0 })
+            .map(|i| {
+                if i >= step_at {
+                    amp * ((i - step_at) as f64 * 0.9).sin().abs() + amp
+                } else {
+                    1.0
+                }
+            })
             .collect()
     }
 
@@ -151,13 +157,19 @@ mod tests {
     #[test]
     fn spread_requires_two_channels() {
         assert_eq!(AscentDetector::ascent_spread(&[Some(5), None, None]), None);
-        assert_eq!(AscentDetector::ascent_spread(&[Some(5), None, Some(25)]), Some(20));
+        assert_eq!(
+            AscentDetector::ascent_spread(&[Some(5), None, Some(25)]),
+            Some(20)
+        );
         assert_eq!(AscentDetector::ascent_spread(&[None, None]), None);
     }
 
     #[test]
     fn spread_zero_for_simultaneous() {
-        assert_eq!(AscentDetector::ascent_spread(&[Some(7), Some(7), Some(7)]), Some(0));
+        assert_eq!(
+            AscentDetector::ascent_spread(&[Some(7), Some(7), Some(7)]),
+            Some(0)
+        );
     }
 
     #[test]

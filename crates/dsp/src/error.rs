@@ -39,7 +39,10 @@ impl fmt::Display for DspError {
         match self {
             DspError::EmptyInput => write!(f, "input series is empty"),
             DspError::TooShort { got, need } => {
-                write!(f, "input series too short: got {got} samples, need at least {need}")
+                write!(
+                    f,
+                    "input series too short: got {got} samples, need at least {need}"
+                )
             }
             DspError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")

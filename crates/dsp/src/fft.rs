@@ -26,7 +26,10 @@ impl Complex {
     /// `e^{iθ}`.
     #[must_use]
     pub fn from_angle(theta: f64) -> Self {
-        Complex { re: theta.cos(), im: theta.sin() }
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Magnitude `|z|`.
@@ -40,7 +43,6 @@ impl Complex {
     pub fn norm_sq(self) -> f64 {
         self.re * self.re + self.im * self.im
     }
-
 }
 
 impl std::ops::Mul for Complex {
@@ -56,14 +58,20 @@ impl std::ops::Mul for Complex {
 impl std::ops::Add for Complex {
     type Output = Complex;
     fn add(self, other: Complex) -> Complex {
-        Complex { re: self.re + other.re, im: self.im + other.im }
+        Complex {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
     }
 }
 
 impl std::ops::Sub for Complex {
     type Output = Complex;
     fn sub(self, other: Complex) -> Complex {
-        Complex { re: self.re - other.re, im: self.im - other.im }
+        Complex {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
     }
 }
 
@@ -164,17 +172,17 @@ pub fn dominant_frequency(x: &[f64], sample_rate: f64) -> Option<(usize, f64)> {
     }
     let mags = magnitude_spectrum(x);
     let padded = (mags.len() - 1) * 2;
-    let (best, _) = mags
-        .iter()
-        .enumerate()
-        .skip(1)
-        .fold((1usize, f64::NEG_INFINITY), |(bi, bm), (i, &m)| {
-            if m > bm {
-                (i, m)
-            } else {
-                (bi, bm)
-            }
-        });
+    let (best, _) =
+        mags.iter()
+            .enumerate()
+            .skip(1)
+            .fold((1usize, f64::NEG_INFINITY), |(bi, bm), (i, &m)| {
+                if m > bm {
+                    (i, m)
+                } else {
+                    (bi, bm)
+                }
+            });
     Some((best, best as f64 * sample_rate / padded as f64))
 }
 
@@ -211,13 +219,20 @@ mod tests {
     fn fft_pure_tone_hits_its_bin() {
         let n = 64;
         let k = 5;
-        let x: Vec<f64> =
-            (0..n).map(|i| (2.0 * std::f64::consts::PI * k as f64 * i as f64 / n as f64).cos()).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * k as f64 * i as f64 / n as f64).cos())
+            .collect();
         let mags = magnitude_spectrum(&x);
-        let (max_bin, _) = mags
-            .iter()
-            .enumerate()
-            .fold((0usize, f64::NEG_INFINITY), |(bi, bm), (i, &m)| if m > bm { (i, m) } else { (bi, bm) });
+        let (max_bin, _) =
+            mags.iter()
+                .enumerate()
+                .fold((0usize, f64::NEG_INFINITY), |(bi, bm), (i, &m)| {
+                    if m > bm {
+                        (i, m)
+                    } else {
+                        (bi, bm)
+                    }
+                });
         assert_eq!(max_bin, k);
     }
 
@@ -236,7 +251,10 @@ mod tests {
     #[test]
     fn fft_rejects_non_power_of_two() {
         let mut buf = vec![Complex::default(); 12];
-        assert_eq!(fft_in_place(&mut buf), Err(DspError::NotPowerOfTwo { len: 12 }));
+        assert_eq!(
+            fft_in_place(&mut buf),
+            Err(DspError::NotPowerOfTwo { len: 12 })
+        );
     }
 
     #[test]
@@ -258,8 +276,9 @@ mod tests {
     fn dominant_frequency_of_tone() {
         let sr = 100.0;
         let f = 12.5; // exactly bin 16 of a 128-point FFT
-        let x: Vec<f64> =
-            (0..128).map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / sr).sin()).collect();
+        let x: Vec<f64> = (0..128)
+            .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / sr).sin())
+            .collect();
         let (_, hz) = dominant_frequency(&x, sr).unwrap();
         assert_close(hz, f, 0.5);
     }

@@ -126,10 +126,16 @@ impl LowPass {
     /// Panics if either rate is non-positive.
     #[must_use]
     pub fn from_cutoff(cutoff_hz: f64, sample_rate_hz: f64) -> Self {
-        assert!(cutoff_hz > 0.0 && sample_rate_hz > 0.0, "rates must be positive");
+        assert!(
+            cutoff_hz > 0.0 && sample_rate_hz > 0.0,
+            "rates must be positive"
+        );
         let rc = 1.0 / (2.0 * std::f64::consts::PI * cutoff_hz);
         let dt = 1.0 / sample_rate_hz;
-        LowPass { alpha: dt / (rc + dt), state: None }
+        LowPass {
+            alpha: dt / (rc + dt),
+            state: None,
+        }
     }
 
     /// Filter one sample.
@@ -212,7 +218,9 @@ mod tests {
 
     #[test]
     fn detrend_keeps_oscillation() {
-        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.7).sin() + 0.1 * i as f64).collect();
+        let x: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.7).sin() + 0.1 * i as f64)
+            .collect();
         let y = detrend(&x);
         let amp = y.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         assert!(amp > 0.5);
@@ -222,8 +230,9 @@ mod tests {
     fn lowpass_attenuates_high_freq() {
         let mut lp = LowPass::from_cutoff(5.0, 100.0);
         // 40 Hz sine at 100 Hz sampling: should be strongly attenuated.
-        let hi: Vec<f64> =
-            (0..200).map(|i| (2.0 * std::f64::consts::PI * 40.0 * i as f64 / 100.0).sin()).collect();
+        let hi: Vec<f64> = (0..200)
+            .map(|i| (2.0 * std::f64::consts::PI * 40.0 * i as f64 / 100.0).sin())
+            .collect();
         let out: Vec<f64> = hi.iter().map(|&v| lp.push(v)).collect();
         let in_amp = hi.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         let out_amp = out[100..].iter().fold(0.0f64, |m, &v| m.max(v.abs()));

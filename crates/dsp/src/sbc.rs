@@ -73,7 +73,11 @@ impl Sbc {
     /// processing (used by the real-time engine).
     #[must_use]
     pub fn stream(&self) -> SbcStream {
-        SbcStream { window: self.window, ring: Vec::with_capacity(self.window), head: 0 }
+        SbcStream {
+            window: self.window,
+            ring: Vec::with_capacity(self.window),
+            head: 0,
+        }
     }
 }
 
@@ -256,7 +260,9 @@ mod tests {
     fn snr_improves_after_sbc() {
         // Quiet baseline with slow drift + strong burst in the middle.
         let n = 300;
-        let mut rss: Vec<f64> = (0..n).map(|i| 100.0 + 0.5 * (i as f64 * 0.01).sin()).collect();
+        let mut rss: Vec<f64> = (0..n)
+            .map(|i| 100.0 + 0.5 * (i as f64 * 0.01).sin())
+            .collect();
         for (k, v) in rss.iter_mut().enumerate().take(180).skip(120) {
             *v += 30.0 * ((k as f64) * 0.8).sin();
         }

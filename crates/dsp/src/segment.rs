@@ -68,7 +68,11 @@ impl Default for SegmenterConfig {
     /// Paper settings at 100 Hz: `t_e` = 100 ms → 10 samples; a 50 ms
     /// debounce; 30 ms padding.
     fn default() -> Self {
-        SegmenterConfig { merge_gap: 10, min_len: 5, pad: 3 }
+        SegmenterConfig {
+            merge_gap: 10,
+            min_len: 5,
+            pad: 3,
+        }
     }
 }
 
@@ -123,7 +127,11 @@ impl Segmenter {
     /// Panics if `thresholds.len() != channels.len()`.
     #[must_use]
     pub fn segment_multi(&self, channels: &[Vec<f64>], thresholds: &[f64]) -> Vec<Segment> {
-        assert_eq!(channels.len(), thresholds.len(), "one threshold per channel");
+        assert_eq!(
+            channels.len(),
+            thresholds.len(),
+            "one threshold per channel"
+        );
         if channels.is_empty() {
             return Vec::new();
         }
@@ -191,7 +199,12 @@ impl StreamingSegmenter {
     /// Create a streaming segmenter.
     #[must_use]
     pub fn new(config: SegmenterConfig) -> Self {
-        StreamingSegmenter { config, position: 0, current: None, gap: 0 }
+        StreamingSegmenter {
+            config,
+            position: 0,
+            current: None,
+            gap: 0,
+        }
     }
 
     /// Sample index of the next sample to be pushed.
@@ -256,7 +269,11 @@ mod tests {
     use super::*;
 
     fn cfg(merge_gap: usize, min_len: usize, pad: usize) -> SegmenterConfig {
-        SegmenterConfig { merge_gap, min_len, pad }
+        SegmenterConfig {
+            merge_gap,
+            min_len,
+            pad,
+        }
     }
 
     #[test]
@@ -337,8 +354,15 @@ mod tests {
     #[test]
     fn segments_never_overlap_and_are_sorted() {
         // Pseudo-random activity pattern.
-        let d: Vec<f64> =
-            (0..500).map(|i| if (i * 2654435761u64 as usize) % 7 < 2 { 10.0 } else { 0.0 }).collect();
+        let d: Vec<f64> = (0..500)
+            .map(|i| {
+                if (i * 2654435761u64 as usize) % 7 < 2 {
+                    10.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
         let segs = Segmenter::new(cfg(3, 2, 1)).segment(&d, 1.0);
         for w in segs.windows(2) {
             assert!(w[0].end <= w[1].start, "{w:?}");
@@ -361,8 +385,7 @@ mod tests {
             }
             v
         };
-        let segs =
-            Segmenter::new(cfg(2, 1, 0)).segment_multi(&[c1, c2], &[1.0, 1.0]);
+        let segs = Segmenter::new(cfg(2, 1, 0)).segment_multi(&[c1, c2], &[1.0, 1.0]);
         assert_eq!(segs.len(), 2);
     }
 

@@ -72,7 +72,10 @@ pub fn quantile(x: &[f64], q: f64) -> Result<f64, DspError> {
         return Err(DspError::EmptyInput);
     }
     if !(0.0..=1.0).contains(&q) {
-        return Err(DspError::InvalidParameter { name: "q", reason: "must lie in [0, 1]" });
+        return Err(DspError::InvalidParameter {
+            name: "q",
+            reason: "must lie in [0, 1]",
+        });
     }
     let mut sorted = x.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -109,7 +112,10 @@ pub fn autocovariance(x: &[f64], lag: usize) -> f64 {
         return 0.0;
     }
     let m = mean(x);
-    (0..n - lag).map(|i| (x[i] - m) * (x[i + lag] - m)).sum::<f64>() / n as f64
+    (0..n - lag)
+        .map(|i| (x[i] - m) * (x[i + lag] - m))
+        .sum::<f64>()
+        / n as f64
 }
 
 /// Autocorrelation at `lag`: autocovariance normalized by lag-0 variance.
@@ -163,7 +169,11 @@ pub fn linear_fit(x: &[f64]) -> Result<LinearFit, DspError> {
     }
     let slope = s_tx / s_tt;
     let intercept = x_mean - slope * t_mean;
-    let r_value = if s_xx <= f64::EPSILON { 0.0 } else { s_tx / (s_tt * s_xx).sqrt() };
+    let r_value = if s_xx <= f64::EPSILON {
+        0.0
+    } else {
+        s_tx / (s_tt * s_xx).sqrt()
+    };
     let stderr = if n > 2 {
         let resid: f64 = x
             .iter()
@@ -177,7 +187,12 @@ pub fn linear_fit(x: &[f64]) -> Result<LinearFit, DspError> {
     } else {
         0.0
     };
-    Ok(LinearFit { slope, intercept, r_value, stderr })
+    Ok(LinearFit {
+        slope,
+        intercept,
+        r_value,
+        stderr,
+    })
 }
 
 /// Z-score normalize `x` in place; a constant series is left at zero mean.
@@ -279,7 +294,10 @@ mod tests {
     #[test]
     fn quantile_rejects_bad_inputs() {
         assert_eq!(quantile(&[], 0.5), Err(DspError::EmptyInput));
-        assert!(matches!(quantile(&[1.0], 1.5), Err(DspError::InvalidParameter { .. })));
+        assert!(matches!(
+            quantile(&[1.0], 1.5),
+            Err(DspError::InvalidParameter { .. })
+        ));
     }
 
     #[test]
@@ -324,7 +342,10 @@ mod tests {
 
     #[test]
     fn linear_fit_too_short() {
-        assert_eq!(linear_fit(&[1.0]), Err(DspError::TooShort { got: 1, need: 2 }));
+        assert_eq!(
+            linear_fit(&[1.0]),
+            Err(DspError::TooShort { got: 1, need: 2 })
+        );
     }
 
     #[test]

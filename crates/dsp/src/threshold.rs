@@ -56,8 +56,7 @@ pub fn otsu_threshold(values: &[f64]) -> f64 {
     if values.len() < 2 {
         return 0.0;
     }
-    let mut sorted: Vec<f64> =
-        values.iter().copied().filter(|v| v.is_finite()).collect();
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
     if sorted.len() < 2 {
         return 0.0;
     }
@@ -135,7 +134,10 @@ impl DynamicThreshold {
     /// Panics if `forget` is outside `(0, 1]` or `initial` is negative.
     #[must_use]
     pub fn new(initial: f64, forget: f64) -> Self {
-        assert!(forget > 0.0 && forget <= 1.0, "forget factor must be in (0, 1]");
+        assert!(
+            forget > 0.0 && forget <= 1.0,
+            "forget factor must be in (0, 1]"
+        );
         assert!(initial >= 0.0, "initial threshold must be non-negative");
         DynamicThreshold {
             hist: vec![0.0; BINS],
@@ -228,8 +230,12 @@ impl DynamicThreshold {
             return;
         }
         // Otsu over the log-spaced histogram: the metric is the bin index.
-        let weighted_sum: f64 =
-            self.hist.iter().enumerate().map(|(b, m)| m * b as f64).sum();
+        let weighted_sum: f64 = self
+            .hist
+            .iter()
+            .enumerate()
+            .map(|(b, m)| m * b as f64)
+            .sum();
         let mut w1 = 0.0;
         let mut s1 = 0.0;
         let mut best_var = -1.0;
@@ -324,7 +330,9 @@ mod tests {
     fn batch_otsu_maximizes_icv() {
         // The returned threshold should achieve at least the inter-class
         // variance of a grid of alternatives.
-        let mut v: Vec<f64> = (0..200).map(|i| if i % 3 == 0 { 50.0 } else { 2.0 }).collect();
+        let mut v: Vec<f64> = (0..200)
+            .map(|i| if i % 3 == 0 { 50.0 } else { 2.0 })
+            .collect();
         v.push(49.0);
         let t = otsu_threshold(&v);
         let best = inter_class_variance(&v, t);

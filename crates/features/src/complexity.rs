@@ -21,7 +21,10 @@ pub fn cid_ce(x: &[f64], normalize: bool) -> f64 {
     } else {
         x
     };
-    data.windows(2).map(|w| (w[1] - w[0]) * (w[1] - w[0])).sum::<f64>().sqrt()
+    data.windows(2)
+        .map(|w| (w[1] - w[0]) * (w[1] - w[0]))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Time-reversal asymmetry statistic at `lag` (Fulcher & Jones):
@@ -48,7 +51,10 @@ pub fn c3(x: &[f64], lag: usize) -> f64 {
         return 0.0;
     }
     let terms = n - 2 * lag;
-    (0..terms).map(|t| x[t + 2 * lag] * x[t + lag] * x[t]).sum::<f64>() / terms as f64
+    (0..terms)
+        .map(|t| x[t + 2 * lag] * x[t + lag] * x[t])
+        .sum::<f64>()
+        / terms as f64
 }
 
 /// Energy ratio by chunks: the series is cut into `n_chunks` equal pieces;

@@ -126,7 +126,9 @@ mod tests {
 
     #[test]
     fn sampen_nonnegative_on_typical_data() {
-        let x: Vec<f64> = (0..120).map(|i| (i as f64 * 0.2).sin() + 0.1 * noise(i)).collect();
+        let x: Vec<f64> = (0..120)
+            .map(|i| (i as f64 * 0.2).sin() + 0.1 * noise(i))
+            .collect();
         assert!(sample_entropy(&x, 2, 0.2) >= 0.0);
     }
 }

@@ -42,7 +42,9 @@ pub fn cwt_coefficients(x: &[f64], widths: &[f64]) -> Vec<f64> {
             .iter()
             .enumerate()
             .max_by(|l, r| {
-                l.1.abs().partial_cmp(&r.1.abs()).unwrap_or(std::cmp::Ordering::Equal)
+                l.1.abs()
+                    .partial_cmp(&r.1.abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
             })
             .map(|(i, _)| i)
             .unwrap_or(0);
@@ -77,10 +79,12 @@ mod tests {
 
     #[test]
     fn fft_distinguishes_frequencies() {
-        let slow: Vec<f64> =
-            (0..128).map(|i| (2.0 * std::f64::consts::PI * 2.0 * i as f64 / 128.0).sin()).collect();
-        let fast: Vec<f64> =
-            (0..128).map(|i| (2.0 * std::f64::consts::PI * 8.0 * i as f64 / 128.0).sin()).collect();
+        let slow: Vec<f64> = (0..128)
+            .map(|i| (2.0 * std::f64::consts::PI * 2.0 * i as f64 / 128.0).sin())
+            .collect();
+        let fast: Vec<f64> = (0..128)
+            .map(|i| (2.0 * std::f64::consts::PI * 8.0 * i as f64 / 128.0).sin())
+            .collect();
         let cs = fft_coefficients(&slow, 10);
         let cf = fft_coefficients(&fast, 10);
         assert!(cs[1] > cf[1]); // bin 2 dominates the slow tone

@@ -218,12 +218,29 @@ impl FeatureKind {
     pub fn arity(&self) -> usize {
         use FeatureKind::*;
         match self {
-            StandardDeviation | Variance | LastLocationOfMaximum | SampleEntropy | Kurtosis
-            | NumberOfPeaks | ComplexityInvariantDistance | MeanAbsoluteChange
-            | TimeReversalAsymmetry | AbsoluteEnergy | ApproximateEntropy | Length
-            | AugmentedDickeyFuller | C3 | Mean | Skewness | Median | RootMeanSquare
-            | MaximumAbsolute | MeanSecondDerivative => 1,
-            CountBelowAboveMean | FirstLocationOfMinMax | LongestStrikeAboveBelowMean
+            StandardDeviation
+            | Variance
+            | LastLocationOfMaximum
+            | SampleEntropy
+            | Kurtosis
+            | NumberOfPeaks
+            | ComplexityInvariantDistance
+            | MeanAbsoluteChange
+            | TimeReversalAsymmetry
+            | AbsoluteEnergy
+            | ApproximateEntropy
+            | Length
+            | AugmentedDickeyFuller
+            | C3
+            | Mean
+            | Skewness
+            | Median
+            | RootMeanSquare
+            | MaximumAbsolute
+            | MeanSecondDerivative => 1,
+            CountBelowAboveMean
+            | FirstLocationOfMinMax
+            | LongestStrikeAboveBelowMean
             | LinearTrend => 2,
             PartialAutocorrelation => params::PACF_LAGS,
             Ar => params::AR_ORDER,
@@ -257,7 +274,11 @@ impl FeatureKind {
                 location::first_location_of_maximum(x),
             ],
             SampleEntropy => {
-                vec![entropy::sample_entropy(x, params::ENTROPY_M, params::ENTROPY_R)]
+                vec![entropy::sample_entropy(
+                    x,
+                    params::ENTROPY_M,
+                    params::ENTROPY_R,
+                )]
             }
             LongestStrikeAboveBelowMean => vec![
                 location::longest_strike_above_mean(x),
@@ -285,7 +306,11 @@ impl FeatureKind {
             AbsoluteEnergy => vec![stats::abs_energy(x)],
             EnergyRatioByChunks => complexity::energy_ratio_by_chunks(x, params::ENERGY_CHUNKS),
             ApproximateEntropy => {
-                vec![entropy::approximate_entropy(x, params::ENTROPY_M, params::ENTROPY_R)]
+                vec![entropy::approximate_entropy(
+                    x,
+                    params::ENTROPY_M,
+                    params::ENTROPY_R,
+                )]
             }
             Length => vec![x.len() as f64],
             LinearTrend => match stats::linear_fit(x) {
@@ -322,7 +347,9 @@ impl FeatureKind {
         };
         debug_assert_eq!(v.len(), self.arity(), "{self:?} arity mismatch");
         // Guarantee finiteness regardless of input pathology.
-        v.into_iter().map(|f| if f.is_finite() { f } else { 0.0 }).collect()
+        v.into_iter()
+            .map(|f| if f.is_finite() { f } else { 0.0 })
+            .collect()
     }
 
     /// Scalar names emitted by this kind (for importance reports).
@@ -332,24 +359,38 @@ impl FeatureKind {
         match self {
             CountBelowAboveMean => vec!["count_below_mean".into(), "count_above_mean".into()],
             FirstLocationOfMinMax => {
-                vec!["first_location_of_minimum".into(), "first_location_of_maximum".into()]
+                vec![
+                    "first_location_of_minimum".into(),
+                    "first_location_of_maximum".into(),
+                ]
             }
             LongestStrikeAboveBelowMean => {
-                vec!["longest_strike_above_mean".into(), "longest_strike_below_mean".into()]
+                vec![
+                    "longest_strike_above_mean".into(),
+                    "longest_strike_below_mean".into(),
+                ]
             }
-            PartialAutocorrelation => {
-                (1..=params::PACF_LAGS).map(|l| format!("pacf_lag{l}")).collect()
-            }
-            Ar => (1..=params::AR_ORDER).map(|k| format!("ar_coeff{k}")).collect(),
-            Autocorrelation => {
-                params::ACF_LAGS.iter().map(|l| format!("acf_lag{l}")).collect()
-            }
-            Quantile => params::QUANTILES.iter().map(|q| format!("quantile_{q}")).collect(),
-            EnergyRatioByChunks => {
-                (0..params::ENERGY_CHUNKS).map(|c| format!("energy_ratio_chunk{c}")).collect()
-            }
+            PartialAutocorrelation => (1..=params::PACF_LAGS)
+                .map(|l| format!("pacf_lag{l}"))
+                .collect(),
+            Ar => (1..=params::AR_ORDER)
+                .map(|k| format!("ar_coeff{k}"))
+                .collect(),
+            Autocorrelation => params::ACF_LAGS
+                .iter()
+                .map(|l| format!("acf_lag{l}"))
+                .collect(),
+            Quantile => params::QUANTILES
+                .iter()
+                .map(|q| format!("quantile_{q}"))
+                .collect(),
+            EnergyRatioByChunks => (0..params::ENERGY_CHUNKS)
+                .map(|c| format!("energy_ratio_chunk{c}"))
+                .collect(),
             LinearTrend => vec!["linear_trend_slope".into(), "linear_trend_r".into()],
-            Fft => (1..=params::FFT_K).map(|b| format!("fft_coeff{b}")).collect(),
+            Fft => (1..=params::FFT_K)
+                .map(|b| format!("fft_coeff{b}"))
+                .collect(),
             Cwt => params::CWT_WIDTHS
                 .iter()
                 .flat_map(|w| vec![format!("cwt_energy_w{w}"), format!("cwt_peakpos_w{w}")])
@@ -550,7 +591,13 @@ mod tests {
     #[test]
     fn all_values_finite_on_degenerate_inputs() {
         let e = FeatureExtractor::table1();
-        for input in [vec![], vec![1.0], vec![5.0; 3], vec![5.0; 200], gesture_like(7)] {
+        for input in [
+            vec![],
+            vec![1.0],
+            vec![5.0; 3],
+            vec![5.0; 200],
+            gesture_like(7),
+        ] {
             let v = e.extract(&input);
             assert_eq!(v.len(), e.len());
             assert!(v.iter().all(|f| f.is_finite()), "input len {}", input.len());
@@ -609,7 +656,10 @@ mod tests {
         };
         let slow = bump(200);
         let fast = bump(100);
-        for k in [FeatureKind::LastLocationOfMaximum, FeatureKind::CountBelowAboveMean] {
+        for k in [
+            FeatureKind::LastLocationOfMaximum,
+            FeatureKind::CountBelowAboveMean,
+        ] {
             let a = k.values(&slow);
             let b = k.values(&fast);
             for (u, v) in a.iter().zip(&b) {

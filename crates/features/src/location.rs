@@ -142,7 +142,9 @@ mod tests {
         // Same shape, doubled length → same relative location.
         let short = [0.0, 1.0, 0.0, 0.0];
         let long = [0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0];
-        assert!((first_location_of_maximum(&short) - first_location_of_maximum(&long)).abs() < 0.01);
+        assert!(
+            (first_location_of_maximum(&short) - first_location_of_maximum(&long)).abs() < 0.01
+        );
     }
 
     #[test]

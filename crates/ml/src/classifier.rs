@@ -50,7 +50,10 @@ pub fn validate_training_set(x: &[Vec<f64>], y: &[usize]) -> Result<(usize, usiz
         return Err(MlError::EmptyDataset);
     }
     if x.len() != y.len() {
-        return Err(MlError::DimensionMismatch { expected: x.len(), got: y.len() });
+        return Err(MlError::DimensionMismatch {
+            expected: x.len(),
+            got: y.len(),
+        });
     }
     let width = x[0].len();
     if width == 0 {
@@ -58,7 +61,10 @@ pub fn validate_training_set(x: &[Vec<f64>], y: &[usize]) -> Result<(usize, usiz
     }
     for row in x {
         if row.len() != width {
-            return Err(MlError::DimensionMismatch { expected: width, got: row.len() });
+            return Err(MlError::DimensionMismatch {
+                expected: width,
+                got: row.len(),
+            });
         }
         if row.iter().any(|v| !v.is_finite()) {
             return Err(MlError::InvalidData("non-finite feature value"));

@@ -74,7 +74,10 @@ struct Param {
 
 impl Param {
     fn new(n: usize, state: &mut u64, scale: f64) -> Param {
-        Param { w: (0..n).map(|_| uniform(state, scale)).collect(), v: vec![0.0; n] }
+        Param {
+            w: (0..n).map(|_| uniform(state, scale)).collect(),
+            v: vec![0.0; n],
+        }
     }
 
     fn step(&mut self, grad: &[f64], lr: f64, momentum: f64) {
@@ -121,19 +124,40 @@ impl CnnClassifier {
     #[must_use]
     pub fn new(config: CnnConfig) -> Self {
         assert!(config.channels > 0, "channels must be positive");
-        assert!(config.filters1 > 0 && config.filters2 > 0, "filters must be positive");
+        assert!(
+            config.filters1 > 0 && config.filters2 > 0,
+            "filters must be positive"
+        );
         assert!(config.kernel > 0, "kernel must be positive");
         assert!(config.batch > 0, "batch must be positive");
         CnnClassifier {
             config,
             length: 0,
             n_classes: 0,
-            conv1: Param { w: Vec::new(), v: Vec::new() },
-            bias1: Param { w: Vec::new(), v: Vec::new() },
-            conv2: Param { w: Vec::new(), v: Vec::new() },
-            bias2: Param { w: Vec::new(), v: Vec::new() },
-            dense: Param { w: Vec::new(), v: Vec::new() },
-            bias3: Param { w: Vec::new(), v: Vec::new() },
+            conv1: Param {
+                w: Vec::new(),
+                v: Vec::new(),
+            },
+            bias1: Param {
+                w: Vec::new(),
+                v: Vec::new(),
+            },
+            conv2: Param {
+                w: Vec::new(),
+                v: Vec::new(),
+            },
+            bias2: Param {
+                w: Vec::new(),
+                v: Vec::new(),
+            },
+            dense: Param {
+                w: Vec::new(),
+                v: Vec::new(),
+            },
+            bias3: Param {
+                w: Vec::new(),
+                v: Vec::new(),
+            },
             fitted: false,
         }
     }
@@ -203,7 +227,16 @@ impl CnnClassifier {
                     .sum::<f64>();
         }
         let probs = softmax(&logits);
-        Forward { input, a1, p1, arg1, a2, p2, arg2, probs }
+        Forward {
+            input,
+            a1,
+            p1,
+            arg1,
+            a2,
+            p2,
+            arg2,
+            probs,
+        }
     }
 
     /// Accumulate gradients for one sample into the provided buffers.
@@ -346,12 +379,16 @@ impl Classifier for CnnClassifier {
     fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<(), MlError> {
         let (width, n_classes) = validate_training_set(x, y)?;
         if width % self.config.channels != 0 {
-            return Err(MlError::InvalidData("input width not divisible by channel count"));
+            return Err(MlError::InvalidData(
+                "input width not divisible by channel count",
+            ));
         }
         self.length = width / self.config.channels;
         self.n_classes = n_classes;
         if self.length < 2 * self.config.kernel + 4 {
-            return Err(MlError::InvalidData("input too short for two conv+pool stages"));
+            return Err(MlError::InvalidData(
+                "input too short for two conv+pool stages",
+            ));
         }
         let cfg = self.config;
         let k = cfg.kernel;
@@ -473,7 +510,10 @@ mod tests {
     #[test]
     fn learns_temporal_shapes() {
         let (x, y) = training_set();
-        let mut c = CnnClassifier::new(CnnConfig { epochs: 60, ..Default::default() });
+        let mut c = CnnClassifier::new(CnnConfig {
+            epochs: 60,
+            ..Default::default()
+        });
         c.fit(&x, &y).unwrap();
         let mut correct = 0;
         for probe in 0..6 {
@@ -503,7 +543,10 @@ mod tests {
     fn training_is_deterministic() {
         let (x, y) = training_set();
         let run = || {
-            let mut c = CnnClassifier::new(CnnConfig { epochs: 5, ..Default::default() });
+            let mut c = CnnClassifier::new(CnnConfig {
+                epochs: 5,
+                ..Default::default()
+            });
             c.fit(&x, &y).unwrap();
             c.predict_proba(&one_bump(0.01)).unwrap()
         };
@@ -528,14 +571,20 @@ mod tests {
     fn indivisible_channels_rejected() {
         let x = vec![vec![1.0; 47], vec![2.0; 47]];
         let y = vec![0, 1];
-        let mut c = CnnClassifier::new(CnnConfig { channels: 2, ..Default::default() });
+        let mut c = CnnClassifier::new(CnnConfig {
+            channels: 2,
+            ..Default::default()
+        });
         assert!(matches!(c.fit(&x, &y), Err(MlError::InvalidData(_))));
     }
 
     #[test]
     fn wrong_width_prediction_rejected() {
         let (x, y) = training_set();
-        let mut c = CnnClassifier::new(CnnConfig { epochs: 2, ..Default::default() });
+        let mut c = CnnClassifier::new(CnnConfig {
+            epochs: 2,
+            ..Default::default()
+        });
         c.fit(&x, &y).unwrap();
         assert!(matches!(
             c.predict(&[0.0; 10]),
@@ -563,7 +612,11 @@ mod tests {
                 y.push(chan);
             }
         }
-        let mut c = CnnClassifier::new(CnnConfig { channels: 3, epochs: 60, ..Default::default() });
+        let mut c = CnnClassifier::new(CnnConfig {
+            channels: 3,
+            epochs: 60,
+            ..Default::default()
+        });
         c.fit(&x, &y).unwrap();
         let mut correct = 0;
         for chan in 0..3 {

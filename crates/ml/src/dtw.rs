@@ -66,7 +66,12 @@ impl DtwClassifier {
     #[must_use]
     pub fn new(config: DtwConfig) -> Self {
         assert!(config.k > 0, "k must be at least 1");
-        DtwClassifier { config, templates: Vec::new(), labels: Vec::new(), fitted: false }
+        DtwClassifier {
+            config,
+            templates: Vec::new(),
+            labels: Vec::new(),
+            fitted: false,
+        }
     }
 
     /// Number of stored templates.
@@ -160,7 +165,9 @@ mod tests {
     use super::*;
 
     fn shifted_sine(shift: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| ((i as f64 / n as f64) * 6.0 + shift).sin()).collect()
+        (0..n)
+            .map(|i| ((i as f64 / n as f64) * 6.0 + shift).sin())
+            .collect()
     }
 
     #[test]
@@ -237,7 +244,10 @@ mod tests {
     fn wrong_width_errors() {
         let mut c = DtwClassifier::new(DtwConfig::default());
         c.fit(&[vec![1.0, 2.0], vec![2.0, 1.0]], &[0, 1]).unwrap();
-        assert!(matches!(c.predict(&[1.0]), Err(MlError::DimensionMismatch { .. })));
+        assert!(matches!(
+            c.predict(&[1.0]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -55,7 +55,10 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(MlError::NotFitted.to_string().contains("not been fitted"));
-        let e = MlError::DimensionMismatch { expected: 3, got: 5 };
+        let e = MlError::DimensionMismatch {
+            expected: 3,
+            got: 5,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('5'));
     }
 

@@ -10,6 +10,7 @@
 use crate::classifier::{validate_training_set, Classifier};
 use crate::error::MlError;
 use crate::tree::{DecisionTree, DecisionTreeConfig};
+use airfinger_parallel::{effective_threads, par_map, par_run};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -29,6 +30,11 @@ pub struct RandomForestConfig {
     pub max_features: Option<usize>,
     /// Master RNG seed (per-tree seeds derive from it).
     pub seed: u64,
+    /// Worker threads for training and batch prediction; 0 = resolve from
+    /// `AIRFINGER_THREADS` / the machine. Never affects results — every
+    /// tree's RNG stream derives from [`RandomForestConfig::seed`] alone,
+    /// so the fitted forest is bit-identical at any thread count.
+    pub n_threads: usize,
 }
 
 impl Default for RandomForestConfig {
@@ -42,8 +48,22 @@ impl Default for RandomForestConfig {
             min_samples_leaf: 1,
             max_features: None,
             seed: 0,
+            n_threads: 0,
         }
     }
+}
+
+/// The seed of tree `k`'s bootstrap-sampling RNG stream: a SplitMix64
+/// round over the (master seed, tree index) pair. Deriving an independent
+/// stream per tree — rather than drawing all bootstraps from one
+/// sequential master RNG — is what makes parallel training bit-identical
+/// to sequential. The mixing also decorrelates these streams from the
+/// per-tree split-feature seeds (`seed + k + 1`).
+fn bootstrap_seed(master: u64, k: u64) -> u64 {
+    let mut z = master ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(k.wrapping_add(1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// A bootstrap-aggregated forest of CART trees.
@@ -93,7 +113,10 @@ impl RandomForest {
             return Err(MlError::NotFitted);
         }
         if x.len() != self.n_features {
-            return Err(MlError::DimensionMismatch { expected: self.n_features, got: x.len() });
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: x.len(),
+            });
         }
         let mut votes = vec![0usize; self.n_classes];
         for t in &self.trees {
@@ -101,6 +124,20 @@ impl RandomForest {
         }
         let n = self.trees.len() as f64;
         Ok(votes.into_iter().map(|v| v as f64 / n).collect())
+    }
+
+    /// Per-class vote fractions for a batch of samples, fanned across the
+    /// configured worker threads (each sample is independent, so the
+    /// output is identical to mapping [`RandomForest::predict_proba`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Classifier::predict`].
+    pub fn predict_proba_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, MlError> {
+        let threads = effective_threads(Some(self.config.n_threads));
+        par_map(xs, threads, |x| self.predict_proba(x))
+            .into_iter()
+            .collect()
     }
 }
 
@@ -119,22 +156,23 @@ impl Classifier for RandomForest {
             .config
             .max_features
             .unwrap_or_else(|| ((n_features as f64).sqrt().round() as usize).max(1));
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        self.trees.clear();
         let n = x.len();
-        for k in 0..self.config.n_trees {
+        let config = self.config;
+        let threads = effective_threads(Some(config.n_threads));
+        let built = par_run(config.n_trees, threads, |k| {
             let tree_config = DecisionTreeConfig {
-                max_depth: self.config.max_depth,
-                min_samples_split: self.config.min_samples_split,
-                min_samples_leaf: self.config.min_samples_leaf,
+                max_depth: config.max_depth,
+                min_samples_split: config.min_samples_split,
+                min_samples_leaf: config.min_samples_leaf,
                 max_features: Some(max_features),
-                seed: self.config.seed.wrapping_add(k as u64 + 1),
+                seed: config.seed.wrapping_add(k as u64 + 1),
             };
+            let mut rng = StdRng::seed_from_u64(bootstrap_seed(config.seed, k as u64));
             let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
             let mut tree = DecisionTree::new(tree_config);
-            tree.fit_indices(x, y, &indices)?;
-            self.trees.push(tree);
-        }
+            tree.fit_indices(x, y, &indices).map(|()| tree)
+        });
+        self.trees = built.into_iter().collect::<Result<Vec<_>, _>>()?;
         // Average importances across trees.
         let mut acc = vec![0.0; n_features];
         for t in &self.trees {
@@ -161,6 +199,14 @@ impl Classifier for RandomForest {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(i, _)| i)
             .unwrap_or(0))
+    }
+
+    /// Batch prediction fanned across the configured worker threads.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<usize>, MlError> {
+        let threads = effective_threads(Some(self.config.n_threads));
+        par_map(xs, threads, |x| self.predict(x))
+            .into_iter()
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -209,9 +255,17 @@ mod tests {
     #[test]
     fn learns_three_classes() {
         let (x, y) = noisy_blobs(1);
-        let mut rf = RandomForest::new(RandomForestConfig { n_trees: 30, seed: 2, ..Default::default() });
+        let mut rf = RandomForest::new(RandomForestConfig {
+            n_trees: 30,
+            seed: 2,
+            ..Default::default()
+        });
         rf.fit(&x, &y).unwrap();
-        let correct = x.iter().zip(&y).filter(|(xi, &yi)| rf.predict(xi).unwrap() == yi).count();
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| rf.predict(xi).unwrap() == yi)
+            .count();
         assert!(correct as f64 / x.len() as f64 > 0.95);
         assert_eq!(rf.n_classes(), 3);
     }
@@ -219,7 +273,11 @@ mod tests {
     #[test]
     fn proba_sums_to_one() {
         let (x, y) = noisy_blobs(2);
-        let mut rf = RandomForest::new(RandomForestConfig { n_trees: 15, seed: 0, ..Default::default() });
+        let mut rf = RandomForest::new(RandomForestConfig {
+            n_trees: 15,
+            seed: 0,
+            ..Default::default()
+        });
         rf.fit(&x, &y).unwrap();
         let p = rf.predict_proba(&x[0]).unwrap();
         assert_eq!(p.len(), 3);
@@ -229,7 +287,11 @@ mod tests {
     #[test]
     fn noise_feature_ranks_last() {
         let (x, y) = noisy_blobs(3);
-        let mut rf = RandomForest::new(RandomForestConfig { n_trees: 40, seed: 1, ..Default::default() });
+        let mut rf = RandomForest::new(RandomForestConfig {
+            n_trees: 40,
+            seed: 1,
+            ..Default::default()
+        });
         rf.fit(&x, &y).unwrap();
         let imp = rf.feature_importances();
         assert!(imp[2] < imp[0] && imp[2] < imp[1], "importances: {imp:?}");
@@ -247,19 +309,79 @@ mod tests {
     fn deterministic_given_seed() {
         let (x, y) = noisy_blobs(4);
         let train = |seed| {
-            let mut rf =
-                RandomForest::new(RandomForestConfig { n_trees: 10, seed, ..Default::default() });
+            let mut rf = RandomForest::new(RandomForestConfig {
+                n_trees: 10,
+                seed,
+                ..Default::default()
+            });
             rf.fit(&x, &y).unwrap();
-            x.iter().map(|xi| rf.predict(xi).unwrap()).collect::<Vec<_>>()
+            x.iter()
+                .map(|xi| rf.predict(xi).unwrap())
+                .collect::<Vec<_>>()
         };
         assert_eq!(train(7), train(7));
     }
 
     #[test]
+    fn thread_count_never_changes_the_model() {
+        let (x, y) = noisy_blobs(6);
+        let fit_with = |n_threads| {
+            let mut rf = RandomForest::new(RandomForestConfig {
+                n_trees: 12,
+                seed: 9,
+                n_threads,
+                ..Default::default()
+            });
+            rf.fit(&x, &y).unwrap();
+            rf
+        };
+        let base = fit_with(1);
+        for threads in [2, 3, 8] {
+            let other = fit_with(threads);
+            assert_eq!(base.feature_importances(), other.feature_importances());
+            assert_eq!(
+                base.predict_batch(&x).unwrap(),
+                other.predict_batch(&x).unwrap(),
+                "threads = {threads}"
+            );
+            for xi in x.iter().take(5) {
+                assert_eq!(
+                    base.predict_proba(xi).unwrap(),
+                    other.predict_proba(xi).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_prediction_matches_serial() {
+        let (x, y) = noisy_blobs(7);
+        let mut rf = RandomForest::new(RandomForestConfig {
+            n_trees: 10,
+            seed: 3,
+            n_threads: 4,
+            ..Default::default()
+        });
+        rf.fit(&x, &y).unwrap();
+        let serial: Vec<usize> = x.iter().map(|xi| rf.predict(xi).unwrap()).collect();
+        assert_eq!(rf.predict_batch(&x).unwrap(), serial);
+        let probas = rf.predict_proba_batch(&x).unwrap();
+        for (xi, p) in x.iter().zip(&probas) {
+            assert_eq!(&rf.predict_proba(xi).unwrap(), p);
+        }
+    }
+
+    #[test]
     fn zero_trees_rejected() {
         let (x, y) = noisy_blobs(5);
-        let mut rf = RandomForest::new(RandomForestConfig { n_trees: 0, ..Default::default() });
-        assert!(matches!(rf.fit(&x, &y), Err(MlError::InvalidParameter { .. })));
+        let mut rf = RandomForest::new(RandomForestConfig {
+            n_trees: 0,
+            ..Default::default()
+        });
+        assert!(matches!(
+            rf.fit(&x, &y),
+            Err(MlError::InvalidParameter { .. })
+        ));
     }
 
     #[test]
@@ -272,7 +394,10 @@ mod tests {
     fn single_class_dataset() {
         let x = vec![vec![1.0], vec![2.0], vec![3.0]];
         let y = vec![0, 0, 0];
-        let mut rf = RandomForest::new(RandomForestConfig { n_trees: 5, ..Default::default() });
+        let mut rf = RandomForest::new(RandomForestConfig {
+            n_trees: 5,
+            ..Default::default()
+        });
         rf.fit(&x, &y).unwrap();
         assert_eq!(rf.predict(&[9.0]).unwrap(), 0);
     }

@@ -24,7 +24,11 @@ pub struct HmmConfig {
 
 impl Default for HmmConfig {
     fn default() -> Self {
-        HmmConfig { states: 6, iterations: 12, var_floor: 1e-4 }
+        HmmConfig {
+            states: 6,
+            iterations: 12,
+            var_floor: 1e-4,
+        }
     }
 }
 
@@ -64,7 +68,11 @@ impl GaussianHmm {
         for (v, &c) in vars.iter_mut().zip(&counts) {
             *v = (*v / c.max(1) as f64).max(config.var_floor);
         }
-        GaussianHmm { stay: vec![0.7; k], means, vars }
+        GaussianHmm {
+            stay: vec![0.7; k],
+            means,
+            vars,
+        }
     }
 
     fn emission(&self, state: usize, x: f64) -> f64 {
@@ -95,7 +103,8 @@ impl GaussianHmm {
                         (from_stay + from_prev) * self.emission(s, seq[t]).max(f64::MIN_POSITIVE);
                 }
                 // The last state absorbs its "advance" mass by self-loop.
-                let last_extra = alphas[t - 1][k - 1] * (1.0 - self.stay[k - 1])
+                let last_extra = alphas[t - 1][k - 1]
+                    * (1.0 - self.stay[k - 1])
                     * self.emission(k - 1, seq[t]).max(f64::MIN_POSITIVE);
                 alphas[t][k - 1] += last_extra;
             }
@@ -206,7 +215,11 @@ impl HmmClassifier {
     #[must_use]
     pub fn new(config: HmmConfig) -> Self {
         assert!(config.states > 0, "need at least one state");
-        HmmClassifier { config, models: Vec::new(), fitted: false }
+        HmmClassifier {
+            config,
+            models: Vec::new(),
+            fitted: false,
+        }
     }
 
     /// Per-class log-likelihoods of one sequence.
@@ -318,9 +331,15 @@ mod tests {
     #[test]
     fn training_improves_likelihood() {
         let (x, y) = training_set();
-        let mut short = HmmClassifier::new(HmmConfig { iterations: 1, ..Default::default() });
+        let mut short = HmmClassifier::new(HmmConfig {
+            iterations: 1,
+            ..Default::default()
+        });
         short.fit(&x, &y).unwrap();
-        let mut long = HmmClassifier::new(HmmConfig { iterations: 15, ..Default::default() });
+        let mut long = HmmClassifier::new(HmmConfig {
+            iterations: 15,
+            ..Default::default()
+        });
         long.fit(&x, &y).unwrap();
         let probe = one_bump(0.0);
         assert!(
@@ -347,6 +366,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one state")]
     fn zero_states_panics() {
-        let _ = HmmClassifier::new(HmmConfig { states: 0, ..Default::default() });
+        let _ = HmmClassifier::new(HmmConfig {
+            states: 0,
+            ..Default::default()
+        });
     }
 }

@@ -23,7 +23,11 @@ pub struct LogisticRegressionConfig {
 
 impl Default for LogisticRegressionConfig {
     fn default() -> Self {
-        LogisticRegressionConfig { iterations: 800, learning_rate: 0.5, l2: 1e-4 }
+        LogisticRegressionConfig {
+            iterations: 800,
+            learning_rate: 0.5,
+            l2: 1e-4,
+        }
     }
 }
 
@@ -85,7 +89,10 @@ impl LogisticRegression {
             return Err(MlError::NotFitted);
         }
         if x.len() != self.n_features {
-            return Err(MlError::DimensionMismatch { expected: self.n_features, got: x.len() });
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: x.len(),
+            });
         }
         let z = self.standardize(x);
         Ok(softmax(&self.logits(&z)))
@@ -146,7 +153,11 @@ impl Classifier for LogisticRegression {
             }
             for (c, w) in self.weights.iter_mut().enumerate() {
                 for f in 0..=n_features {
-                    let reg = if f < n_features { self.config.l2 * w[f] } else { 0.0 };
+                    let reg = if f < n_features {
+                        self.config.l2 * w[f]
+                    } else {
+                        0.0
+                    };
                     w[f] -= lr * (grad[c][f] / n + reg);
                 }
             }
@@ -200,7 +211,11 @@ mod tests {
         let (x, y) = blobs();
         let mut lr = LogisticRegression::new(LogisticRegressionConfig::default());
         lr.fit(&x, &y).unwrap();
-        let correct = x.iter().zip(&y).filter(|(xi, &yi)| lr.predict(xi).unwrap() == yi).count();
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| lr.predict(xi).unwrap() == yi)
+            .count();
         assert_eq!(correct, x.len());
     }
 
@@ -224,7 +239,12 @@ mod tests {
 
     #[test]
     fn constant_feature_does_not_nan() {
-        let x = vec![vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0], vec![4.0, 5.0]];
+        let x = vec![
+            vec![1.0, 5.0],
+            vec![2.0, 5.0],
+            vec![3.0, 5.0],
+            vec![4.0, 5.0],
+        ];
         let y = vec![0, 0, 1, 1];
         let mut lr = LogisticRegression::new(LogisticRegressionConfig::default());
         lr.fit(&x, &y).unwrap();
@@ -245,7 +265,10 @@ mod tests {
             iterations: 0,
             ..Default::default()
         });
-        assert!(matches!(lr.fit(&x, &y), Err(MlError::InvalidParameter { .. })));
+        assert!(matches!(
+            lr.fit(&x, &y),
+            Err(MlError::InvalidParameter { .. })
+        ));
     }
 
     #[test]

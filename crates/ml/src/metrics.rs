@@ -22,7 +22,9 @@ impl ConfusionMatrix {
     #[must_use]
     pub fn new(n_classes: usize) -> Self {
         assert!(n_classes > 0, "need at least one class");
-        ConfusionMatrix { counts: vec![vec![0; n_classes]; n_classes] }
+        ConfusionMatrix {
+            counts: vec![vec![0; n_classes]; n_classes],
+        }
     }
 
     /// Build from parallel truth/prediction slices.
@@ -33,7 +35,11 @@ impl ConfusionMatrix {
     /// n_classes`.
     #[must_use]
     pub fn from_predictions(truth: &[usize], predicted: &[usize], n_classes: usize) -> Self {
-        assert_eq!(truth.len(), predicted.len(), "truth/prediction length mismatch");
+        assert_eq!(
+            truth.len(),
+            predicted.len(),
+            "truth/prediction length mismatch"
+        );
         let mut m = ConfusionMatrix::new(n_classes);
         for (&t, &p) in truth.iter().zip(predicted) {
             m.record(t, p);
@@ -56,7 +62,11 @@ impl ConfusionMatrix {
     ///
     /// Panics on shape mismatch.
     pub fn merge(&mut self, other: &ConfusionMatrix) {
-        assert_eq!(self.counts.len(), other.counts.len(), "class count mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "class count mismatch"
+        );
         for (row, orow) in self.counts.iter_mut().zip(&other.counts) {
             for (c, &oc) in row.iter_mut().zip(orow) {
                 *c += oc;
@@ -118,7 +128,9 @@ impl ConfusionMatrix {
     /// Macro-averaged recall over classes that have samples.
     #[must_use]
     pub fn macro_recall(&self) -> f64 {
-        let vals: Vec<f64> = (0..self.n_classes()).filter_map(|g| self.recall(g)).collect();
+        let vals: Vec<f64> = (0..self.n_classes())
+            .filter_map(|g| self.recall(g))
+            .collect();
         if vals.is_empty() {
             0.0
         } else {
@@ -129,7 +141,9 @@ impl ConfusionMatrix {
     /// Macro-averaged precision over classes that were predicted.
     #[must_use]
     pub fn macro_precision(&self) -> f64 {
-        let vals: Vec<f64> = (0..self.n_classes()).filter_map(|g| self.precision(g)).collect();
+        let vals: Vec<f64> = (0..self.n_classes())
+            .filter_map(|g| self.precision(g))
+            .collect();
         if vals.is_empty() {
             0.0
         } else {

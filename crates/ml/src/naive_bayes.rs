@@ -45,7 +45,10 @@ impl BernoulliNaiveBayes {
     }
 
     fn binarize(&self, x: &[f64]) -> Vec<bool> {
-        x.iter().zip(&self.thresholds).map(|(&v, &t)| v > t).collect()
+        x.iter()
+            .zip(&self.thresholds)
+            .map(|(&v, &t)| v > t)
+            .collect()
     }
 }
 
@@ -102,14 +105,21 @@ impl Classifier for BernoulliNaiveBayes {
             return Err(MlError::NotFitted);
         }
         if x.len() != self.n_features {
-            return Err(MlError::DimensionMismatch { expected: self.n_features, got: x.len() });
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: x.len(),
+            });
         }
         let bits = self.binarize(x);
         let mut best = (0usize, f64::NEG_INFINITY);
         for c in 0..self.log_prior.len() {
             let mut score = self.log_prior[c];
             for (f, &b) in bits.iter().enumerate() {
-                score += if b { self.log_prob_one[c][f] } else { self.log_prob_zero[c][f] };
+                score += if b {
+                    self.log_prob_one[c][f]
+                } else {
+                    self.log_prob_zero[c][f]
+                };
             }
             if score > best.1 {
                 best = (c, score);
@@ -180,7 +190,10 @@ mod tests {
     fn wrong_width_errors() {
         let mut nb = BernoulliNaiveBayes::default();
         nb.fit(&[vec![0.0], vec![1.0]], &[0, 1]).unwrap();
-        assert!(matches!(nb.predict(&[0.0, 1.0]), Err(MlError::DimensionMismatch { .. })));
+        assert!(matches!(
+            nb.predict(&[0.0, 1.0]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

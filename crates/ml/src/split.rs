@@ -32,10 +32,16 @@ pub struct Split {
 /// Panics if `test_fraction` is outside `(0, 1)` or `y` is empty.
 #[must_use]
 pub fn train_test_split(y: &[usize], test_fraction: f64, seed: u64) -> Split {
-    assert!(test_fraction > 0.0 && test_fraction < 1.0, "test fraction must be in (0, 1)");
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test fraction must be in (0, 1)"
+    );
     assert!(!y.is_empty(), "labels must be non-empty");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut split = Split { train: Vec::new(), test: Vec::new() };
+    let mut split = Split {
+        train: Vec::new(),
+        test: Vec::new(),
+    };
     for class in class_indices(y) {
         let mut idx = class;
         idx.shuffle(&mut rng);
@@ -74,7 +80,10 @@ pub fn stratified_k_fold(y: &[usize], k: usize, seed: u64) -> Vec<Split> {
     }
     (0..k)
         .map(|fold| {
-            let mut s = Split { train: Vec::new(), test: Vec::new() };
+            let mut s = Split {
+                train: Vec::new(),
+                test: Vec::new(),
+            };
             for (i, &f) in fold_of.iter().enumerate() {
                 if f == fold {
                     s.test.push(i);
@@ -103,7 +112,10 @@ pub fn leave_one_group_out(groups: &[usize]) -> Vec<(usize, Split)> {
     distinct
         .into_iter()
         .map(|g| {
-            let mut s = Split { train: Vec::new(), test: Vec::new() };
+            let mut s = Split {
+                train: Vec::new(),
+                test: Vec::new(),
+            };
             for (i, &gi) in groups.iter().enumerate() {
                 if gi == g {
                     s.test.push(i);
@@ -118,11 +130,7 @@ pub fn leave_one_group_out(groups: &[usize]) -> Vec<(usize, Split)> {
 
 /// Gather selected rows of a feature matrix and label vector.
 #[must_use]
-pub fn gather(
-    x: &[Vec<f64>],
-    y: &[usize],
-    idx: &[usize],
-) -> (Vec<Vec<f64>>, Vec<usize>) {
+pub fn gather(x: &[Vec<f64>], y: &[usize], idx: &[usize]) -> (Vec<Vec<f64>>, Vec<usize>) {
     let xs = idx.iter().map(|&i| x[i].clone()).collect();
     let ys = idx.iter().map(|&i| y[i]).collect();
     (xs, ys)
@@ -171,7 +179,10 @@ mod tests {
     fn split_deterministic_per_seed() {
         let y = labels();
         assert_eq!(train_test_split(&y, 0.25, 9), train_test_split(&y, 0.25, 9));
-        assert_ne!(train_test_split(&y, 0.25, 9), train_test_split(&y, 0.25, 10));
+        assert_ne!(
+            train_test_split(&y, 0.25, 9),
+            train_test_split(&y, 0.25, 10)
+        );
     }
 
     #[test]

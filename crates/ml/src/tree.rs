@@ -42,8 +42,15 @@ impl Default for DecisionTreeConfig {
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum Node {
-    Leaf { class: usize },
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
 }
 
 /// A fitted (or fittable) CART decision tree.
@@ -161,8 +168,12 @@ impl DecisionTree {
                 let (left_slice, right_slice) = idx.split_at_mut(mid);
                 let left = self.build(x, y, left_slice, depth + 1, rng);
                 let right = self.build(x, y, right_slice, depth + 1, rng);
-                self.nodes[node_idx] =
-                    Node::Split { feature: split.feature, threshold: split.threshold, left, right };
+                self.nodes[node_idx] = Node::Split {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    left,
+                    right,
+                };
                 return node_idx;
             }
         }
@@ -192,7 +203,9 @@ impl DecisionTree {
             order.clear();
             order.extend_from_slice(idx);
             order.sort_by(|&a, &b| {
-                x[a][f].partial_cmp(&x[b][f]).unwrap_or(std::cmp::Ordering::Equal)
+                x[a][f]
+                    .partial_cmp(&x[b][f])
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             let mut left_counts = vec![0usize; self.n_classes];
             let mut right_counts = class_counts(y, idx, self.n_classes);
@@ -207,14 +220,12 @@ impl DecisionTree {
                 }
                 let n_left = cut;
                 let n_right = order.len() - cut;
-                if n_left < self.config.min_samples_leaf || n_right < self.config.min_samples_leaf
-                {
+                if n_left < self.config.min_samples_leaf || n_right < self.config.min_samples_leaf {
                     continue;
                 }
                 let g_left = gini(&left_counts, n_left);
                 let g_right = gini(&right_counts, n_right);
-                let weighted =
-                    (n_left as f64 * g_left + n_right as f64 * g_right) / n;
+                let weighted = (n_left as f64 * g_left + n_right as f64 * g_right) / n;
                 let gain = node_gini - weighted;
                 // Accept zero-gain splits on impure nodes (like sklearn):
                 // XOR-style data has no single informative split at the
@@ -250,14 +261,26 @@ impl Classifier for DecisionTree {
             return Err(MlError::NotFitted);
         }
         if x.len() != self.n_features {
-            return Err(MlError::DimensionMismatch { expected: self.n_features, got: x.len() });
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: x.len(),
+            });
         }
         let mut node = 0usize;
         loop {
             match &self.nodes[node] {
                 Node::Leaf { class } => return Ok(*class),
-                Node::Split { feature, threshold, left, right } => {
-                    node = if x[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -283,7 +306,10 @@ fn gini(counts: &[usize], n: usize) -> f64 {
         return 0.0;
     }
     let nf = n as f64;
-    1.0 - counts.iter().map(|&c| (c as f64 / nf) * (c as f64 / nf)).sum::<f64>()
+    1.0 - counts
+        .iter()
+        .map(|&c| (c as f64 / nf) * (c as f64 / nf))
+        .sum::<f64>()
 }
 
 fn argmax(counts: &[usize]) -> usize {
@@ -357,7 +383,10 @@ mod tests {
     fn depth_limit_respected() {
         let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
         let y: Vec<usize> = (0..64).map(|i| (i / 2) % 2).collect(); // needs depth >> 1
-        let mut t = DecisionTree::new(DecisionTreeConfig { max_depth: 1, ..Default::default() });
+        let mut t = DecisionTree::new(DecisionTreeConfig {
+            max_depth: 1,
+            ..Default::default()
+        });
         t.fit(&x, &y).unwrap();
         assert!(t.depth() <= 1);
     }
@@ -419,7 +448,10 @@ mod tests {
         let (x, y) = blobs();
         let mut t = DecisionTree::new(DecisionTreeConfig::default());
         t.fit(&x, &y).unwrap();
-        assert!(matches!(t.predict(&[1.0]), Err(MlError::DimensionMismatch { .. })));
+        assert!(matches!(
+            t.predict(&[1.0]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -37,7 +37,9 @@ impl Adc {
     pub fn convert(&self, photocurrent: f64, noise_counts: f64) -> f64 {
         let fs = self.full_scale();
         let compressed = fs * (self.gain * photocurrent / fs).tanh();
-        (compressed + self.offset_counts + noise_counts).round().clamp(0.0, fs)
+        (compressed + self.offset_counts + noise_counts)
+            .round()
+            .clamp(0.0, fs)
     }
 
     /// Whether a reading sits in the deep-compression region (above 95 % of
@@ -65,13 +67,21 @@ impl Adc {
         );
         // Invert out = fs·tanh(gain·ref/fs): gain = fs·atanh(target/fs)/ref.
         let gain = fs * (target_counts / fs).atanh() / reference_signal;
-        Adc { gain, offset_counts, bits: 10 }
+        Adc {
+            gain,
+            offset_counts,
+            bits: 10,
+        }
     }
 }
 
 impl Default for Adc {
     fn default() -> Self {
-        Adc { gain: 1.0, offset_counts: 60.0, bits: 10 }
+        Adc {
+            gain: 1.0,
+            offset_counts: 60.0,
+            bits: 10,
+        }
     }
 }
 
@@ -86,7 +96,11 @@ mod tests {
 
     #[test]
     fn convert_is_monotone() {
-        let adc = Adc { gain: 2.0, offset_counts: 10.0, bits: 10 };
+        let adc = Adc {
+            gain: 2.0,
+            offset_counts: 10.0,
+            bits: 10,
+        };
         let mut prev = -1.0;
         for k in 0..200 {
             let out = adc.convert(k as f64 * 10.0, 0.0);
@@ -98,14 +112,22 @@ mod tests {
     #[test]
     fn convert_linear_at_low_signal() {
         // tanh(x) ≈ x for small x: low signals stay essentially linear.
-        let adc = Adc { gain: 1.0, offset_counts: 0.0, bits: 10 };
+        let adc = Adc {
+            gain: 1.0,
+            offset_counts: 0.0,
+            bits: 10,
+        };
         let out = adc.convert(50.0, 0.0);
         assert!((out - 50.0).abs() <= 1.0, "out = {out}");
     }
 
     #[test]
     fn convert_compresses_high_signal() {
-        let adc = Adc { gain: 1.0, offset_counts: 0.0, bits: 10 };
+        let adc = Adc {
+            gain: 1.0,
+            offset_counts: 0.0,
+            bits: 10,
+        };
         // Equal input steps produce shrinking output steps near the rail.
         let d_low = adc.convert(150.0, 0.0) - adc.convert(100.0, 0.0);
         let d_high = adc.convert(1600.0, 0.0) - adc.convert(1550.0, 0.0);
@@ -114,14 +136,22 @@ mod tests {
 
     #[test]
     fn convert_never_exceeds_full_scale() {
-        let adc = Adc { gain: 1.0, offset_counts: 60.0, bits: 10 };
+        let adc = Adc {
+            gain: 1.0,
+            offset_counts: 60.0,
+            bits: 10,
+        };
         assert!(adc.convert(1e12, 100.0) <= 1023.0);
         assert_eq!(adc.convert(-50.0, -500.0), 0.0);
     }
 
     #[test]
     fn quantizes_to_integers() {
-        let adc = Adc { gain: 1.0, offset_counts: 0.0, bits: 10 };
+        let adc = Adc {
+            gain: 1.0,
+            offset_counts: 0.0,
+            bits: 10,
+        };
         let out = adc.convert(100.4, 0.2);
         assert_eq!(out, out.round());
     }

@@ -61,13 +61,19 @@ impl AmbientConditions {
     /// Same office at a specific hour (used by the Fig. 15 sweep).
     #[must_use]
     pub fn indoor_at_hour(hour_of_day: f64) -> Self {
-        AmbientConditions { hour_of_day, ..AmbientConditions::indoor() }
+        AmbientConditions {
+            hour_of_day,
+            ..AmbientConditions::indoor()
+        }
     }
 
     /// Night conditions: artificial light only.
     #[must_use]
     pub fn night() -> Self {
-        AmbientConditions { hour_of_day: 23.0, ..AmbientConditions::indoor() }
+        AmbientConditions {
+            hour_of_day: 23.0,
+            ..AmbientConditions::indoor()
+        }
     }
 
     /// Effective ambient irradiance at the board at time `t` seconds into
@@ -76,8 +82,7 @@ impl AmbientConditions {
     pub fn irradiance(&self, t: f64) -> f64 {
         let base = self.indoor_level + self.sunlight_peak * sunlight_factor(self.hour_of_day);
         let drift = 1.0
-            + self.drift_amplitude
-                * (2.0 * std::f64::consts::PI * t / self.drift_period_s).sin();
+            + self.drift_amplitude * (2.0 * std::f64::consts::PI * t / self.drift_period_s).sin();
         base * drift
     }
 }
@@ -119,19 +124,30 @@ impl Interference {
     /// A person walking by at a normal pace.
     #[must_use]
     pub fn passerby() -> Self {
-        Interference::Passerby { period_s: 1.1, amplitude: 0.12 }
+        Interference::Passerby {
+            period_s: 1.1,
+            amplitude: 0.12,
+        }
     }
 
     /// An IR remote used in the same room but not aimed at the sensor.
     #[must_use]
     pub fn ir_remote_indirect() -> Self {
-        Interference::IrRemote { presses_per_s: 0.5, amplitude: 3.0, direct: false }
+        Interference::IrRemote {
+            presses_per_s: 0.5,
+            amplitude: 3.0,
+            direct: false,
+        }
     }
 
     /// An IR remote pointed directly at the sensor.
     #[must_use]
     pub fn ir_remote_direct() -> Self {
-        Interference::IrRemote { presses_per_s: 0.5, amplitude: 4000.0, direct: true }
+        Interference::IrRemote {
+            presses_per_s: 0.5,
+            amplitude: 4000.0,
+            direct: true,
+        }
     }
 
     /// Irradiance contributed at time `t`. Deterministic given `t` and the
@@ -139,13 +155,19 @@ impl Interference {
     #[must_use]
     pub fn irradiance(&self, t: f64, phase: f64) -> f64 {
         match *self {
-            Interference::Passerby { period_s, amplitude } => {
-                let s =
-                    (2.0 * std::f64::consts::PI * (t / period_s + phase)).sin();
+            Interference::Passerby {
+                period_s,
+                amplitude,
+            } => {
+                let s = (2.0 * std::f64::consts::PI * (t / period_s + phase)).sin();
                 // Only the approach half of the stride reflects light in.
                 amplitude * s.max(0.0) * s.max(0.0)
             }
-            Interference::IrRemote { presses_per_s, amplitude, direct } => {
+            Interference::IrRemote {
+                presses_per_s,
+                amplitude,
+                direct,
+            } => {
                 // Deterministic pseudo-random press schedule: one candidate
                 // press per 1/presses_per_s window, ~150 ms long.
                 let window = 1.0 / presses_per_s;

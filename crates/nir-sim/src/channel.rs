@@ -59,7 +59,12 @@ pub fn reflected_signals(layout: &SensorLayout, patches: &[SkinPatch]) -> Vec<f6
             layout
                 .leds()
                 .iter()
-                .map(|led| patches.iter().map(|pt| led_patch_pd_signal(led, pt, pd)).sum::<f64>())
+                .map(|led| {
+                    patches
+                        .iter()
+                        .map(|pt| led_patch_pd_signal(led, pt, pd))
+                        .sum::<f64>()
+                })
                 .sum()
         })
         .collect()
@@ -127,7 +132,9 @@ mod tests {
     fn far_lateral_finger_is_dark() {
         let l = proto();
         // 15 cm off to the side: outside every cone.
-        let s: f64 = reflected_signals(&l, &[finger_at(150.0, 20.0)]).iter().sum();
+        let s: f64 = reflected_signals(&l, &[finger_at(150.0, 20.0)])
+            .iter()
+            .sum();
         assert!(s < 1e-15, "s = {s}");
     }
 
@@ -140,7 +147,10 @@ mod tests {
     #[test]
     fn irradiation_zones() {
         let l = proto();
-        assert_eq!(irradiation_zone(&l, Vec3::from_mm(-5.0, 0.0, 20.0)), Some(0));
+        assert_eq!(
+            irradiation_zone(&l, Vec3::from_mm(-5.0, 0.0, 20.0)),
+            Some(0)
+        );
         assert_eq!(irradiation_zone(&l, Vec3::from_mm(5.0, 0.0, 20.0)), Some(1));
         assert_eq!(irradiation_zone(&l, Vec3::from_mm(-60.0, 0.0, 20.0)), None);
         assert_eq!(irradiation_zone(&l, Vec3::from_mm(0.0, 0.0, -20.0)), None);

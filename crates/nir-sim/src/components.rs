@@ -275,7 +275,11 @@ mod tests {
 
     #[test]
     fn led_softened_inverse_square() {
-        let led = Led { spec: LedSpec::ir304c94(), position: Vec3::ZERO, axis: Vec3::UP };
+        let led = Led {
+            spec: LedSpec::ir304c94(),
+            position: Vec3::ZERO,
+            axis: Vec3::UP,
+        };
         // Near range: softened (ratio < 4 for a distance doubling)…
         let near = led.irradiance_at(Vec3::new(0.0, 0.0, 0.01));
         let mid = led.irradiance_at(Vec3::new(0.0, 0.0, 0.02));
@@ -290,13 +294,21 @@ mod tests {
 
     #[test]
     fn led_dark_behind_board() {
-        let led = Led { spec: LedSpec::ir304c94(), position: Vec3::ZERO, axis: Vec3::UP };
+        let led = Led {
+            spec: LedSpec::ir304c94(),
+            position: Vec3::ZERO,
+            axis: Vec3::UP,
+        };
         assert_eq!(led.irradiance_at(Vec3::new(0.0, 0.0, -0.05)), 0.0);
     }
 
     #[test]
     fn pd_signal_decreases_with_distance() {
-        let pd = Photodiode { spec: PhotodiodeSpec::pt304(), position: Vec3::ZERO, axis: Vec3::UP };
+        let pd = Photodiode {
+            spec: PhotodiodeSpec::pt304(),
+            position: Vec3::ZERO,
+            axis: Vec3::UP,
+        };
         let s1 = pd.signal_from(Vec3::new(0.0, 0.0, 0.01), 1.0, 940.0);
         let s2 = pd.signal_from(Vec3::new(0.0, 0.0, 0.03), 1.0, 940.0);
         assert!(s1 > s2 && s2 > 0.0);
@@ -304,13 +316,21 @@ mod tests {
 
     #[test]
     fn pd_ignores_out_of_band_source() {
-        let pd = Photodiode { spec: PhotodiodeSpec::pt304(), position: Vec3::ZERO, axis: Vec3::UP };
+        let pd = Photodiode {
+            spec: PhotodiodeSpec::pt304(),
+            position: Vec3::ZERO,
+            axis: Vec3::UP,
+        };
         assert_eq!(pd.signal_from(Vec3::new(0.0, 0.0, 0.02), 1.0, 550.0), 0.0);
     }
 
     #[test]
     fn pd_dark_behind_board() {
-        let pd = Photodiode { spec: PhotodiodeSpec::pt304(), position: Vec3::ZERO, axis: Vec3::UP };
+        let pd = Photodiode {
+            spec: PhotodiodeSpec::pt304(),
+            position: Vec3::ZERO,
+            axis: Vec3::UP,
+        };
         assert_eq!(pd.signal_from(Vec3::new(0.0, 0.0, -0.02), 1.0, 940.0), 0.0);
     }
 }

@@ -26,14 +26,22 @@ impl SkinPatch {
     /// A typical adult fingertip: 7 mm effective radius.
     #[must_use]
     pub fn fingertip(position: Vec3) -> Self {
-        SkinPatch { position, radius_m: 0.007, skin: SkinModel::typical() }
+        SkinPatch {
+            position,
+            radius_m: 0.007,
+            skin: SkinModel::typical(),
+        }
     }
 
     /// The back of the hand hovering behind the fingers: a larger patch
     /// (25 mm radius) that produces the static reflection offset.
     #[must_use]
     pub fn hand_back(position: Vec3) -> Self {
-        SkinPatch { position, radius_m: 0.025, skin: SkinModel::typical() }
+        SkinPatch {
+            position,
+            radius_m: 0.025,
+            skin: SkinModel::typical(),
+        }
     }
 
     /// Effective reflecting area in m².

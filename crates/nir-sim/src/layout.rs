@@ -45,12 +45,24 @@ impl SensorLayout {
         for slot in 0..total {
             let pos = Vec3::new(x0 + slot as f64 * pitch_m, 0.0, 0.0);
             if slot % 2 == 0 {
-                pds.push(Photodiode { spec: pd, position: pos, axis: Vec3::UP });
+                pds.push(Photodiode {
+                    spec: pd,
+                    position: pos,
+                    axis: Vec3::UP,
+                });
             } else {
-                leds.push(Led { spec: led, position: pos, axis: Vec3::UP });
+                leds.push(Led {
+                    spec: led,
+                    position: pos,
+                    axis: Vec3::UP,
+                });
             }
         }
-        SensorLayout { leds, photodiodes: pds, pitch_m }
+        SensorLayout {
+            leds,
+            photodiodes: pds,
+            pitch_m,
+        }
     }
 
     /// The LEDs, in board order (`L1, L2, …`).
@@ -97,22 +109,35 @@ impl SensorLayout {
     /// Panics if `arm_pds < 2` or `pitch_m <= 0`.
     #[must_use]
     pub fn cross(arm_pds: usize, pitch_m: f64, led: LedSpec, pd: PhotodiodeSpec) -> Self {
-        assert!(arm_pds >= 2, "a cross needs at least two photodiodes per arm");
+        assert!(
+            arm_pds >= 2,
+            "a cross needs at least two photodiodes per arm"
+        );
         assert!(pitch_m > 0.0, "pitch must be positive");
         let x_arm = SensorLayout::alternating(arm_pds, pitch_m, led, pd);
         let mut leds = x_arm.leds.clone();
         let mut pds = x_arm.photodiodes.clone();
         // Rotate the same arm onto the y axis, skipping the shared center.
         for l in &x_arm.leds {
-            leds.push(Led { position: Vec3::new(0.0, l.position.x, 0.0), ..*l });
+            leds.push(Led {
+                position: Vec3::new(0.0, l.position.x, 0.0),
+                ..*l
+            });
         }
         for p in &x_arm.photodiodes {
             if p.position.x.abs() < 1e-12 {
                 continue; // the center photodiode is shared
             }
-            pds.push(Photodiode { position: Vec3::new(0.0, p.position.x, 0.0), ..*p });
+            pds.push(Photodiode {
+                position: Vec3::new(0.0, p.position.x, 0.0),
+                ..*p
+            });
         }
-        SensorLayout { leds, photodiodes: pds, pitch_m }
+        SensorLayout {
+            leds,
+            photodiodes: pds,
+            pitch_m,
+        }
     }
 
     /// Mirror the layout across the `yz` plane (swap left/right). Used by
@@ -121,16 +146,29 @@ impl SensorLayout {
     #[must_use]
     pub fn mirrored(&self) -> SensorLayout {
         let flip = |v: Vec3| Vec3::new(-v.x, v.y, v.z);
-        let mut leds: Vec<Led> =
-            self.leds.iter().map(|l| Led { position: flip(l.position), ..*l }).collect();
+        let mut leds: Vec<Led> = self
+            .leds
+            .iter()
+            .map(|l| Led {
+                position: flip(l.position),
+                ..*l
+            })
+            .collect();
         let mut pds: Vec<Photodiode> = self
             .photodiodes
             .iter()
-            .map(|p| Photodiode { position: flip(p.position), ..*p })
+            .map(|p| Photodiode {
+                position: flip(p.position),
+                ..*p
+            })
             .collect();
         leds.reverse();
         pds.reverse();
-        SensorLayout { leds, photodiodes: pds, pitch_m: self.pitch_m }
+        SensorLayout {
+            leds,
+            photodiodes: pds,
+            pitch_m: self.pitch_m,
+        }
     }
 }
 
@@ -236,8 +274,14 @@ mod tests {
         let sx = reflected_signals(&c, &[SkinPatch::fingertip(Vec3::from_mm(8.0, 0.0, 18.0))]);
         let sy = reflected_signals(&c, &[SkinPatch::fingertip(Vec3::from_mm(0.0, 8.0, 18.0))]);
         // Channels: 0..3 = x arm (left, center, right); 3..5 = y arm.
-        assert!(sx[2] > sx[3] && sx[2] > sx[4], "x finger favours x arm: {sx:?}");
-        assert!(sy[4] > sy[0] && sy[4] > sy[2], "y finger favours y arm: {sy:?}");
+        assert!(
+            sx[2] > sx[3] && sx[2] > sx[4],
+            "x finger favours x arm: {sx:?}"
+        );
+        assert!(
+            sy[4] > sy[0] && sy[4] > sy[2],
+            "y finger favours y arm: {sy:?}"
+        );
     }
 
     #[test]

@@ -56,8 +56,15 @@ impl ModulatedSampler {
     #[must_use]
     pub fn new(scene: Scene, output_rate_hz: f64, pairs_per_sample: usize) -> Self {
         assert!(output_rate_hz > 0.0, "output rate must be positive");
-        assert!(pairs_per_sample > 0, "need at least one chop pair per sample");
-        ModulatedSampler { scene, output_rate_hz, pairs_per_sample }
+        assert!(
+            pairs_per_sample > 0,
+            "need at least one chop pair per sample"
+        );
+        ModulatedSampler {
+            scene,
+            output_rate_hz,
+            pairs_per_sample,
+        }
     }
 
     /// The scene being sampled.
@@ -99,15 +106,12 @@ impl ModulatedSampler {
                     let anchor = *hand_anchor.get_or_insert(pos);
                     patches.push(SkinPatch::fingertip(pos));
                     patches.push(SkinPatch::hand_back(
-                        anchor
-                            + self.scene.hand_offset
-                            + (pos - anchor) * self.scene.hand_follow,
+                        anchor + self.scene.hand_offset + (pos - anchor) * self.scene.hand_follow,
                     ));
                 } else {
                     hand_anchor = None;
                 }
-                let reflected =
-                    crate::channel::reflected_signals(&self.scene.layout, &patches);
+                let reflected = crate::channel::reflected_signals(&self.scene.layout, &patches);
                 let mut irr = self.scene.ambient.irradiance(t);
                 for src in &self.scene.interference {
                     irr += src.irradiance(t, phase);
@@ -119,17 +123,13 @@ impl ModulatedSampler {
                     // reaches the compressing output stage. What survives
                     // of the ambient is its shot noise, which scales with
                     // the *total* photocurrent of each phase.
-                    let level_on = (self.scene.adc.gain
-                        * (reflected[k] + ambient))
+                    let level_on = (self.scene.adc.gain * (reflected[k] + ambient))
                         .min(self.scene.adc.full_scale());
                     let level_off =
                         (self.scene.adc.gain * ambient).min(self.scene.adc.full_scale());
                     let noise_on = self.scene.noise.sample(level_on, dt_pair, &mut rng);
                     let noise_off = self.scene.noise.sample(level_off, dt_pair, &mut rng);
-                    let demod = self
-                        .scene
-                        .adc
-                        .convert(reflected[k], noise_on - noise_off)
+                    let demod = self.scene.adc.convert(reflected[k], noise_on - noise_off)
                         - self.scene.adc.offset_counts;
                     *acc += demod.max(0.0);
                 }
@@ -145,7 +145,6 @@ impl ModulatedSampler {
         }
         trace
     }
-
 }
 
 impl Scene {
@@ -163,7 +162,10 @@ impl Scene {
             drift_period_s: 5.0,
             shield_leak: 0.12,
         };
-        scene.noise = NoiseModel { shot_coeff: 0.08, ..NoiseModel::prototype() };
+        scene.noise = NoiseModel {
+            shot_coeff: 0.08,
+            ..NoiseModel::prototype()
+        };
         scene
     }
 }
@@ -176,23 +178,30 @@ mod tests {
 
     fn finger(t: f64) -> Option<Vec3> {
         // A small vertical wiggle above the board.
-        Some(Vec3::new(0.0, 0.0, 0.02 - 0.003 * (std::f64::consts::TAU * 2.0 * t).sin()))
+        Some(Vec3::new(
+            0.0,
+            0.0,
+            0.02 - 0.003 * (std::f64::consts::TAU * 2.0 * t).sin(),
+        ))
     }
 
     #[test]
     fn demodulation_cancels_bright_ambient() {
         // Outdoor noon: plain sampling pins near full scale; the lock-in
         // output stays near the bias + reflection level.
-        let outdoor = Scene::outdoor_noon(SensorLayout::paper_prototype())
-            .with_noise(NoiseModel::none());
-        let plain = crate::sampler::Sampler::new(outdoor.clone(), 100.0)
-            .sample(0.5, 3, |_| None);
+        let outdoor =
+            Scene::outdoor_noon(SensorLayout::paper_prototype()).with_noise(NoiseModel::none());
+        let plain = crate::sampler::Sampler::new(outdoor.clone(), 100.0).sample(0.5, 3, |_| None);
         let lockin = ModulatedSampler::new(outdoor, 100.0, 4).sample(0.5, 3, |_| None);
         let mean = |t: &RssTrace| {
             t.channels().iter().flat_map(|c| c.iter()).sum::<f64>()
                 / (t.len() * t.channel_count()) as f64
         };
-        assert!(mean(&plain) > 800.0, "plain outdoor baseline {}", mean(&plain));
+        assert!(
+            mean(&plain) > 800.0,
+            "plain outdoor baseline {}",
+            mean(&plain)
+        );
         assert!(mean(&lockin) < 200.0, "lock-in baseline {}", mean(&lockin));
     }
 
@@ -213,11 +222,7 @@ mod tests {
 
     #[test]
     fn chop_rate_accounts_for_oversampling() {
-        let s = ModulatedSampler::new(
-            Scene::new(SensorLayout::paper_prototype()),
-            100.0,
-            8,
-        );
+        let s = ModulatedSampler::new(Scene::new(SensorLayout::paper_prototype()), 100.0, 8);
         assert_eq!(s.chop_rate_hz(), 800.0);
     }
 

@@ -26,13 +26,23 @@ impl NoiseModel {
     /// mild shot noise, rare ~40-count spikes.
     #[must_use]
     pub fn prototype() -> Self {
-        NoiseModel { shot_coeff: 0.04, thermal_sigma: 0.5, spike_rate_hz: 0.05, spike_amplitude: 40.0 }
+        NoiseModel {
+            shot_coeff: 0.04,
+            thermal_sigma: 0.5,
+            spike_rate_hz: 0.05,
+            spike_amplitude: 40.0,
+        }
     }
 
     /// A noiseless model (for deterministic unit tests).
     #[must_use]
     pub fn none() -> Self {
-        NoiseModel { shot_coeff: 0.0, thermal_sigma: 0.0, spike_rate_hz: 0.0, spike_amplitude: 0.0 }
+        NoiseModel {
+            shot_coeff: 0.0,
+            thermal_sigma: 0.0,
+            spike_rate_hz: 0.0,
+            spike_amplitude: 0.0,
+        }
     }
 
     /// Draw the additive noise (in counts) for a sample whose clean level
@@ -92,7 +102,12 @@ mod tests {
 
     #[test]
     fn shot_noise_grows_with_signal() {
-        let m = NoiseModel { shot_coeff: 0.5, thermal_sigma: 0.0, spike_rate_hz: 0.0, spike_amplitude: 0.0 };
+        let m = NoiseModel {
+            shot_coeff: 0.5,
+            thermal_sigma: 0.0,
+            spike_rate_hz: 0.0,
+            spike_amplitude: 0.0,
+        };
         let spread = |level: f64, seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
             let draws: Vec<f64> = (0..5000).map(|_| m.sample(level, 0.01, &mut rng)).collect();
@@ -106,10 +121,17 @@ mod tests {
 
     #[test]
     fn spikes_occur_at_configured_rate() {
-        let m = NoiseModel { shot_coeff: 0.0, thermal_sigma: 0.0, spike_rate_hz: 2.0, spike_amplitude: 100.0 };
+        let m = NoiseModel {
+            shot_coeff: 0.0,
+            thermal_sigma: 0.0,
+            spike_rate_hz: 2.0,
+            spike_amplitude: 100.0,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let n = 100_000; // 1000 s at 100 Hz
-        let spikes = (0..n).filter(|_| m.sample(0.0, 0.01, &mut rng) > 0.0).count();
+        let spikes = (0..n)
+            .filter(|_| m.sample(0.0, 0.01, &mut rng) > 0.0)
+            .count();
         // Expect ~2000 spikes; allow wide tolerance.
         assert!((1500..2600).contains(&spikes), "spikes = {spikes}");
     }
@@ -119,7 +141,9 @@ mod tests {
         let m = NoiseModel::prototype();
         let run = || {
             let mut rng = StdRng::seed_from_u64(99);
-            (0..50).map(|_| m.sample(200.0, 0.01, &mut rng)).collect::<Vec<f64>>()
+            (0..50)
+                .map(|_| m.sample(200.0, 0.01, &mut rng))
+                .collect::<Vec<f64>>()
         };
         assert_eq!(run(), run());
     }

@@ -27,12 +27,26 @@ impl PowerBudget {
     /// Panics if `led_duty` is outside `[0, 1]`.
     #[must_use]
     pub fn for_layout(layout: &SensorLayout, led_duty: f64) -> Self {
-        assert!((0.0..=1.0).contains(&led_duty), "duty cycle must be in [0, 1]");
-        let leds_w: f64 =
-            layout.leds().iter().map(|l| l.spec.electrical_power_w).sum::<f64>() * led_duty;
-        let photodiodes_w: f64 =
-            layout.photodiodes().iter().map(|p| p.spec.electrical_power_w).sum();
-        PowerBudget { leds_w, photodiodes_w, led_duty }
+        assert!(
+            (0.0..=1.0).contains(&led_duty),
+            "duty cycle must be in [0, 1]"
+        );
+        let leds_w: f64 = layout
+            .leds()
+            .iter()
+            .map(|l| l.spec.electrical_power_w)
+            .sum::<f64>()
+            * led_duty;
+        let photodiodes_w: f64 = layout
+            .photodiodes()
+            .iter()
+            .map(|p| p.spec.electrical_power_w)
+            .sum();
+        PowerBudget {
+            leds_w,
+            photodiodes_w,
+            led_duty,
+        }
     }
 
     /// Total sensor draw in watts.
@@ -63,7 +77,11 @@ mod tests {
         // 2 LEDs × 8 mW + 3 PDs × 2 mW = 22 mW at full duty — the paper's
         // "24 mW" scale.
         let b = PowerBudget::for_layout(&SensorLayout::paper_prototype(), 1.0);
-        assert!((15.0..=30.0).contains(&b.total_mw()), "total = {} mW", b.total_mw());
+        assert!(
+            (15.0..=30.0).contains(&b.total_mw()),
+            "total = {} mW",
+            b.total_mw()
+        );
     }
 
     #[test]

@@ -123,7 +123,10 @@ impl Sampler {
     #[must_use]
     pub fn new(scene: Scene, sample_rate_hz: f64) -> Self {
         assert!(sample_rate_hz > 0.0, "sample rate must be positive");
-        Sampler { scene, sample_rate_hz }
+        Sampler {
+            scene,
+            sample_rate_hz,
+        }
     }
 
     /// The scene being sampled.
@@ -179,8 +182,7 @@ impl Sampler {
                 let occl = finger_pos.map_or(0.0, |p| {
                     finger_occlusion(self.scene.layout.photodiodes()[k].position, p)
                 });
-                let photocurrent =
-                    reflected[k] + self.scene.ambient_photocurrent(k, irr, occl);
+                let photocurrent = reflected[k] + self.scene.ambient_photocurrent(k, irr, occl);
                 let clean = self.scene.adc.convert(photocurrent, 0.0);
                 let noise = self.scene.noise.sample(clean, dt, &mut rng);
                 *out = self.scene.adc.convert(photocurrent, noise);
@@ -208,9 +210,11 @@ mod tests {
             let first = c[0];
             assert!(first > 60.0, "signal above bias, got {first}");
             // Only ambient drift moves the trace; variation is tiny.
-            let spread = c.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-                (lo.min(v), hi.max(v))
-            });
+            let spread = c
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                    (lo.min(v), hi.max(v))
+                });
             assert!(spread.1 - spread.0 <= 3.0, "spread {spread:?}");
         }
     }
@@ -243,13 +247,15 @@ mod tests {
         let trace = s.sample(1.0, 1, |t| Some(Vec3::new(-0.025 + 0.05 * t, 0.0, 0.015)));
         // Peak time of P1 precedes peak time of P3.
         let argmax = |c: &[f64]| {
-            c.iter().enumerate().fold((0usize, f64::NEG_INFINITY), |(bi, bm), (i, &v)| {
-                if v > bm {
-                    (i, v)
-                } else {
-                    (bi, bm)
-                }
-            })
+            c.iter()
+                .enumerate()
+                .fold((0usize, f64::NEG_INFINITY), |(bi, bm), (i, &v)| {
+                    if v > bm {
+                        (i, v)
+                    } else {
+                        (bi, bm)
+                    }
+                })
         };
         let (t1, _) = argmax(trace.channel(0));
         let (t3, _) = argmax(trace.channel(2));
@@ -309,7 +315,12 @@ mod tests {
             t.channels().iter().flat_map(|c| c.iter()).sum::<f64>()
                 / (t.len() * t.channel_count()) as f64
         };
-        assert!(mean(&tn) > mean(&tm) + 2.0, "noon {} vs night {}", mean(&tn), mean(&tm));
+        assert!(
+            mean(&tn) > mean(&tm) + 2.0,
+            "noon {} vs night {}",
+            mean(&tn),
+            mean(&tm)
+        );
     }
 
     #[test]

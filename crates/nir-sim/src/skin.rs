@@ -48,8 +48,7 @@ impl SkinModel {
         if cos_in <= 0.0 || cos_out <= 0.0 {
             return 0.0;
         }
-        self.albedo(wavelength_nm) * irradiance * cos_in * cos_out * area_m2
-            / std::f64::consts::PI
+        self.albedo(wavelength_nm) * irradiance * cos_in * cos_out * area_m2 / std::f64::consts::PI
     }
 }
 

@@ -20,7 +20,10 @@ impl RssTrace {
     pub fn new(channel_count: usize, sample_rate_hz: f64) -> Self {
         assert!(sample_rate_hz > 0.0, "sample rate must be positive");
         assert!(channel_count > 0, "need at least one channel");
-        RssTrace { sample_rate_hz, channels: vec![Vec::new(); channel_count] }
+        RssTrace {
+            sample_rate_hz,
+            channels: vec![Vec::new(); channel_count],
+        }
     }
 
     /// Build from existing channel data.
@@ -34,8 +37,14 @@ impl RssTrace {
         assert!(sample_rate_hz > 0.0, "sample rate must be positive");
         assert!(!channels.is_empty(), "need at least one channel");
         let len = channels[0].len();
-        assert!(channels.iter().all(|c| c.len() == len), "channel lengths differ");
-        RssTrace { sample_rate_hz, channels }
+        assert!(
+            channels.iter().all(|c| c.len() == len),
+            "channel lengths differ"
+        );
+        RssTrace {
+            sample_rate_hz,
+            channels,
+        }
     }
 
     /// Sampling rate in Hz.

@@ -20,9 +20,17 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// Unit vector along `+z` (the board normal).
-    pub const UP: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+    pub const UP: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
 
     /// Construct from components.
     #[must_use]
@@ -33,13 +41,21 @@ impl Vec3 {
     /// Construct from components given in centimeters.
     #[must_use]
     pub fn from_cm(x: f64, y: f64, z: f64) -> Self {
-        Vec3 { x: x * 0.01, y: y * 0.01, z: z * 0.01 }
+        Vec3 {
+            x: x * 0.01,
+            y: y * 0.01,
+            z: z * 0.01,
+        }
     }
 
     /// Construct from components given in millimeters.
     #[must_use]
     pub fn from_mm(x: f64, y: f64, z: f64) -> Self {
-        Vec3 { x: x * 0.001, y: y * 0.001, z: z * 0.001 }
+        Vec3 {
+            x: x * 0.001,
+            y: y * 0.001,
+            z: z * 0.001,
+        }
     }
 
     /// Dot product.

@@ -46,7 +46,11 @@ impl Activity {
             Activity::Walking => {
                 // Arm swing + step bounce around 1.8 Hz.
                 let w = std::f64::consts::TAU * (1.8 * t + phase);
-                Vec3::new(0.0008 * w.sin(), 0.0006 * (w * 0.5).sin(), 0.0008 * (2.0 * w).sin().abs())
+                Vec3::new(
+                    0.0008 * w.sin(),
+                    0.0006 * (w * 0.5).sin(),
+                    0.0008 * (2.0 * w).sin().abs(),
+                )
             }
         }
     }
@@ -116,7 +120,11 @@ impl Condition {
             airfinger_nir_sim::components::LedSpec::ir304c94(),
             airfinger_nir_sim::components::PhotodiodeSpec::pt304(),
         );
-        let layout = if matches!(self, Condition::Mirrored) { base.mirrored() } else { base };
+        let layout = if matches!(self, Condition::Mirrored) {
+            base.mirrored()
+        } else {
+            base
+        };
         if matches!(self, Condition::OutdoorNoon) {
             return Scene::outdoor_noon(layout);
         }
@@ -181,7 +189,6 @@ impl Condition {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,7 +209,10 @@ mod tests {
     #[test]
     fn walking_increases_tremor() {
         let p = MotionParams::default();
-        let adj = Condition::Wristband { activity: Activity::Walking }.adjust_params(p);
+        let adj = Condition::Wristband {
+            activity: Activity::Walking,
+        }
+        .adjust_params(p);
         assert!(adj.tremor_m > p.tremor_m);
     }
 
@@ -229,9 +239,13 @@ mod tests {
             Condition::Standard,
             Condition::Distance { height_m: 0.05 },
             Condition::AmbientHour { hour: 14.0 },
-            Condition::Wristband { activity: Activity::Walking },
+            Condition::Wristband {
+                activity: Activity::Walking,
+            },
             Condition::Mirrored,
-            Condition::Interference { sources: vec![Interference::passerby()] },
+            Condition::Interference {
+                sources: vec![Interference::passerby()],
+            },
         ];
         for c in conds {
             let s = c.scene();
@@ -249,7 +263,10 @@ mod tests {
     #[test]
     fn activity_accessor() {
         assert_eq!(
-            Condition::Wristband { activity: Activity::Standing }.activity(),
+            Condition::Wristband {
+                activity: Activity::Standing
+            }
+            .activity(),
             Some(Activity::Standing)
         );
         assert_eq!(Condition::Standard.activity(), None);

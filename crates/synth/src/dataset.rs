@@ -65,7 +65,9 @@ impl Corpus {
     /// Samples whose label satisfies `pred`.
     #[must_use]
     pub fn filter<F: Fn(&GestureSample) -> bool>(&self, pred: F) -> Corpus {
-        Corpus { samples: self.samples.iter().filter(|s| pred(s)).cloned().collect() }
+        Corpus {
+            samples: self.samples.iter().filter(|s| pred(s)).cloned().collect(),
+        }
     }
 
     /// Only the detect-aimed gesture samples.
@@ -108,7 +110,9 @@ impl Corpus {
 
 impl FromIterator<GestureSample> for Corpus {
     fn from_iter<I: IntoIterator<Item = GestureSample>>(iter: I) -> Self {
-        Corpus { samples: iter.into_iter().collect() }
+        Corpus {
+            samples: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -172,13 +176,22 @@ impl CorpusSpec {
     /// The paper's full 10,000-sample protocol with a given seed.
     #[must_use]
     pub fn paper_protocol(seed: u64) -> Self {
-        CorpusSpec { seed, ..Default::default() }
+        CorpusSpec {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// A small smoke-test corpus (2 users × 2 sessions × 3 reps).
     #[must_use]
     pub fn small(seed: u64) -> Self {
-        CorpusSpec { users: 2, sessions: 2, reps: 3, seed, ..Default::default() }
+        CorpusSpec {
+            users: 2,
+            sessions: 2,
+            reps: 3,
+            seed,
+            ..Default::default()
+        }
     }
 }
 
@@ -250,12 +263,24 @@ pub fn generate_sample(
         traj.position(t).map(|p| p + body)
     };
     let trace = match spec.frontend {
-        Frontend::Dc => Sampler::new(scene, spec.sample_rate_hz)
-            .sample(duration, mix_seed(&[traj_seed, 0xADC]), pose),
-        Frontend::LockIn => ModulatedSampler::new(scene, spec.sample_rate_hz, 4)
-            .sample(duration, mix_seed(&[traj_seed, 0xADC]), pose),
+        Frontend::Dc => Sampler::new(scene, spec.sample_rate_hz).sample(
+            duration,
+            mix_seed(&[traj_seed, 0xADC]),
+            pose,
+        ),
+        Frontend::LockIn => ModulatedSampler::new(scene, spec.sample_rate_hz, 4).sample(
+            duration,
+            mix_seed(&[traj_seed, 0xADC]),
+            pose,
+        ),
     };
-    GestureSample { user: profile.user_id, session, rep, label, trace }
+    GestureSample {
+        user: profile.user_id,
+        session,
+        rep,
+        label,
+        trace,
+    }
 }
 
 /// Generate a full gesture corpus per `spec` (users × sessions × reps ×
@@ -312,27 +337,54 @@ mod tests {
 
     #[test]
     fn small_corpus_counts() {
-        let spec = CorpusSpec { users: 2, sessions: 2, reps: 2, ..Default::default() };
+        let spec = CorpusSpec {
+            users: 2,
+            sessions: 2,
+            reps: 2,
+            ..Default::default()
+        };
         let c = generate_corpus(&spec);
         assert_eq!(c.len(), 2 * 2 * 2 * 8);
     }
 
     #[test]
     fn corpus_is_deterministic() {
-        let spec = CorpusSpec { users: 1, sessions: 1, reps: 1, ..Default::default() };
+        let spec = CorpusSpec {
+            users: 1,
+            sessions: 1,
+            reps: 1,
+            ..Default::default()
+        };
         assert_eq!(generate_corpus(&spec), generate_corpus(&spec));
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = CorpusSpec { users: 1, sessions: 1, reps: 1, seed: 1, ..Default::default() };
-        let b = CorpusSpec { users: 1, sessions: 1, reps: 1, seed: 2, ..Default::default() };
+        let a = CorpusSpec {
+            users: 1,
+            sessions: 1,
+            reps: 1,
+            seed: 1,
+            ..Default::default()
+        };
+        let b = CorpusSpec {
+            users: 1,
+            sessions: 1,
+            reps: 1,
+            seed: 2,
+            ..Default::default()
+        };
         assert_ne!(generate_corpus(&a), generate_corpus(&b));
     }
 
     #[test]
     fn traces_have_three_channels_and_signal() {
-        let spec = CorpusSpec { users: 1, sessions: 1, reps: 1, ..Default::default() };
+        let spec = CorpusSpec {
+            users: 1,
+            sessions: 1,
+            reps: 1,
+            ..Default::default()
+        };
         for s in generate_corpus(&spec).samples() {
             assert_eq!(s.trace.channel_count(), 3);
             assert!(s.trace.len() > 50, "{} len {}", s.label, s.trace.len());
@@ -352,7 +404,12 @@ mod tests {
 
     #[test]
     fn filters_partition_gestures() {
-        let spec = CorpusSpec { users: 1, sessions: 1, reps: 1, ..Default::default() };
+        let spec = CorpusSpec {
+            users: 1,
+            sessions: 1,
+            reps: 1,
+            ..Default::default()
+        };
         let c = generate_corpus(&spec);
         assert_eq!(c.detect_aimed().len(), 6);
         assert_eq!(c.track_aimed().len(), 2);
@@ -360,7 +417,12 @@ mod tests {
 
     #[test]
     fn nongesture_corpus_cycles_kinds() {
-        let spec = CorpusSpec { users: 1, sessions: 1, reps: 6, ..Default::default() };
+        let spec = CorpusSpec {
+            users: 1,
+            sessions: 1,
+            reps: 6,
+            ..Default::default()
+        };
         let c = generate_nongesture_corpus(&spec);
         assert_eq!(c.len(), 6);
         let scratches = c
@@ -373,7 +435,13 @@ mod tests {
 
     #[test]
     fn json_roundtrip() {
-        let spec = CorpusSpec { users: 1, sessions: 1, reps: 1, gestures: vec![Gesture::Click], ..Default::default() };
+        let spec = CorpusSpec {
+            users: 1,
+            sessions: 1,
+            reps: 1,
+            gestures: vec![Gesture::Click],
+            ..Default::default()
+        };
         let c = generate_corpus(&spec);
         let mut buf = Vec::new();
         c.write_json(&mut buf).unwrap();
@@ -383,7 +451,13 @@ mod tests {
 
     #[test]
     fn merged_concatenates() {
-        let spec = CorpusSpec { users: 1, sessions: 1, reps: 1, gestures: vec![Gesture::Click], ..Default::default() };
+        let spec = CorpusSpec {
+            users: 1,
+            sessions: 1,
+            reps: 1,
+            gestures: vec![Gesture::Click],
+            ..Default::default()
+        };
         let a = generate_corpus(&spec);
         let b = generate_nongesture_corpus(&CorpusSpec { reps: 2, ..spec });
         let n = a.len() + b.len();
@@ -392,7 +466,12 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let spec = CorpusSpec { users: 1, sessions: 1, reps: 1, ..Default::default() };
+        let spec = CorpusSpec {
+            users: 1,
+            sessions: 1,
+            reps: 1,
+            ..Default::default()
+        };
         let c = generate_corpus(&spec);
         let collected: Corpus = c.samples().iter().cloned().collect();
         assert_eq!(collected.len(), c.len());

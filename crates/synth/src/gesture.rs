@@ -63,7 +63,10 @@ impl Gesture {
     /// Stable index `0..8` in [`Gesture::ALL`] order (classifier label).
     #[must_use]
     pub fn index(&self) -> usize {
-        Gesture::ALL.iter().position(|g| g == self).expect("gesture listed in ALL")
+        Gesture::ALL
+            .iter()
+            .position(|g| g == self)
+            .expect("gesture listed in ALL")
     }
 
     /// Gesture from its [`Gesture::index`].
@@ -114,8 +117,11 @@ pub enum NonGestureKind {
 
 impl NonGestureKind {
     /// All unintentional-motion kinds.
-    pub const ALL: [NonGestureKind; 3] =
-        [NonGestureKind::Scratch, NonGestureKind::Extend, NonGestureKind::Reposition];
+    pub const ALL: [NonGestureKind; 3] = [
+        NonGestureKind::Scratch,
+        NonGestureKind::Extend,
+        NonGestureKind::Reposition,
+    ];
 
     /// Display name.
     #[must_use]

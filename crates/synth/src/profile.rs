@@ -174,7 +174,9 @@ impl Population {
     #[must_use]
     pub fn generate(n: usize, corpus_seed: u64) -> Self {
         Population {
-            profiles: (0..n).map(|u| UserProfile::sample(u, corpus_seed)).collect(),
+            profiles: (0..n)
+                .map(|u| UserProfile::sample(u, corpus_seed))
+                .collect(),
         }
     }
 
@@ -242,12 +244,14 @@ mod tests {
         // Measure the speed factor across users vs across sessions of one
         // user — the core calibration property.
         let seed = 11;
-        let user_speeds: Vec<f64> =
-            (0..40).map(|u| UserProfile::sample(u, seed).speed).collect();
+        let user_speeds: Vec<f64> = (0..40)
+            .map(|u| UserProfile::sample(u, seed).speed)
+            .collect();
         let u0 = UserProfile::sample(0, seed);
         let label = SampleLabel::Gesture(Gesture::Circle);
-        let session_speeds: Vec<f64> =
-            (0..40).map(|s| u0.trial_params(label, s, 0, seed).speed).collect();
+        let session_speeds: Vec<f64> = (0..40)
+            .map(|s| u0.trial_params(label, s, 0, seed).speed)
+            .collect();
         let var = |v: &[f64]| {
             let m = v.iter().sum::<f64>() / v.len() as f64;
             v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
@@ -292,8 +296,9 @@ mod tests {
     fn scroll_extent_mixes_partial_and_full() {
         let u = UserProfile::sample(1, 5);
         let l = SampleLabel::Gesture(Gesture::ScrollUp);
-        let extents: Vec<f64> =
-            (0..200).map(|r| u.trial_params(l, 0, r, 5).scroll_extent).collect();
+        let extents: Vec<f64> = (0..200)
+            .map(|r| u.trial_params(l, 0, r, 5).scroll_extent)
+            .collect();
         let partial = extents.iter().filter(|&&e| e < 0.6).count();
         let full = extents.iter().filter(|&&e| e >= 0.8).count();
         assert!(partial > 5, "some partial scrolls: {partial}");

@@ -120,7 +120,11 @@ impl Trajectory {
     #[must_use]
     pub fn mirrored(&self) -> Trajectory {
         Trajectory {
-            points: self.points.iter().map(|p| Vec3::new(-p.x, p.y, p.z)).collect(),
+            points: self
+                .points
+                .iter()
+                .map(|p| Vec3::new(-p.x, p.y, p.z))
+                .collect(),
         }
     }
 
@@ -128,7 +132,10 @@ impl Trajectory {
     /// diagnostic used by tests.
     #[must_use]
     pub fn max_step_m(&self) -> f64 {
-        self.points.windows(2).map(|w| w[0].distance(w[1])).fold(0.0, f64::max)
+        self.points
+            .windows(2)
+            .map(|w| w[0].distance(w[1]))
+            .fold(0.0, f64::max)
     }
 
     /// Generate the trajectory for `label` under `params`, seeded by `seed`.
@@ -223,13 +230,23 @@ fn generate_gesture(g: Gesture, params: &MotionParams, rng: &mut StdRng) -> Traj
     );
     // Doubles repeat the single stroke with a gap.
     let (single, base_gesture) = match g {
-        Gesture::DoubleCircle => (nominal_duration(Gesture::Circle) / params.speed, Gesture::Circle),
+        Gesture::DoubleCircle => (
+            nominal_duration(Gesture::Circle) / params.speed,
+            Gesture::Circle,
+        ),
         Gesture::DoubleRub => (nominal_duration(Gesture::Rub) / params.speed, Gesture::Rub),
-        Gesture::DoubleClick => (nominal_duration(Gesture::Click) / params.speed, Gesture::Click),
+        Gesture::DoubleClick => (
+            nominal_duration(Gesture::Click) / params.speed,
+            Gesture::Click,
+        ),
         other => (stroke_dur, other),
     };
     let gap = if is_double { params.double_gap_s } else { 0.0 };
-    let active = if is_double { 2.0 * single + gap } else { single };
+    let active = if is_double {
+        2.0 * single + gap
+    } else {
+        single
+    };
     let total = params.lead_in_s + active + params.lead_out_s;
     let n = (total / KEY_DT).ceil() as usize + 1;
 
@@ -257,14 +274,29 @@ fn generate_gesture(g: Gesture, params: &MotionParams, rng: &mut StdRng) -> Traj
             let ta = t - params.lead_in_s;
             if is_double {
                 if ta < single {
-                    stroke(base_gesture, ta / single, params.phase, params.scroll_extent)
+                    stroke(
+                        base_gesture,
+                        ta / single,
+                        params.phase,
+                        params.scroll_extent,
+                    )
                 } else if ta < single + gap {
                     Vec3::ZERO
                 } else {
-                    stroke(base_gesture, (ta - single - gap) / single, params.phase, params.scroll_extent)
+                    stroke(
+                        base_gesture,
+                        (ta - single - gap) / single,
+                        params.phase,
+                        params.scroll_extent,
+                    )
                 }
             } else {
-                stroke(base_gesture, ta / single, params.phase, params.scroll_extent)
+                stroke(
+                    base_gesture,
+                    ta / single,
+                    params.phase,
+                    params.scroll_extent,
+                )
             }
         } else if g.is_track_aimed() {
             stroke(base_gesture, 1.0, params.phase, params.scroll_extent)
@@ -311,9 +343,7 @@ fn generate_nongesture(n: NonGestureKind, params: &MotionParams, rng: &mut StdRn
                     0.002 * w * (std::f64::consts::TAU * (f1 * 0.7) * t + ph2).cos(),
                 )
             }
-            NonGestureKind::Extend => {
-                Vec3::new(0.008 * ease(s), 0.004 * ease(s), 0.035 * ease(s))
-            }
+            NonGestureKind::Extend => Vec3::new(0.008 * ease(s), 0.004 * ease(s), 0.035 * ease(s)),
             NonGestureKind::Reposition => repos_target * ease(s),
         };
         let pos = apply_pose(local, params, params.base);
@@ -326,7 +356,11 @@ fn generate_nongesture(n: NonGestureKind, params: &MotionParams, rng: &mut StdRn
 fn apply_pose(local: Vec3, params: &MotionParams, anchor: Vec3) -> Vec3 {
     let scaled = local * params.amplitude;
     let (c, s) = (params.tilt_rad.cos(), params.tilt_rad.sin());
-    let tilted = Vec3::new(c * scaled.x + s * scaled.z, scaled.y, -s * scaled.x + c * scaled.z);
+    let tilted = Vec3::new(
+        c * scaled.x + s * scaled.z,
+        scaled.y,
+        -s * scaled.x + c * scaled.z,
+    );
     let mut p = anchor + tilted;
     // A fingertip cannot descend below the shield: clamp at 6 mm.
     p.z = p.z.max(0.006);
@@ -342,7 +376,10 @@ struct TremorState {
 
 impl TremorState {
     fn new(amp: f64) -> Self {
-        TremorState { amp, state: Vec3::ZERO }
+        TremorState {
+            amp,
+            state: Vec3::ZERO,
+        }
     }
 
     fn step(&mut self, rng: &mut StdRng) -> Vec3 {
@@ -367,12 +404,18 @@ mod tests {
     fn durations_scale_with_speed() {
         let slow = Trajectory::generate(
             SampleLabel::Gesture(Gesture::Circle),
-            &MotionParams { speed: 0.8, ..Default::default() },
+            &MotionParams {
+                speed: 0.8,
+                ..Default::default()
+            },
             1,
         );
         let fast = Trajectory::generate(
             SampleLabel::Gesture(Gesture::Circle),
-            &MotionParams { speed: 1.4, ..Default::default() },
+            &MotionParams {
+                speed: 1.4,
+                ..Default::default()
+            },
             1,
         );
         assert!(slow.duration_s() > fast.duration_s());
@@ -417,10 +460,17 @@ mod tests {
 
     #[test]
     fn partial_scroll_stops_before_far_side() {
-        let p = MotionParams { scroll_extent: 0.4, ..Default::default() };
+        let p = MotionParams {
+            scroll_extent: 0.4,
+            ..Default::default()
+        };
         let t = Trajectory::generate(SampleLabel::Gesture(Gesture::ScrollUp), &p, 3);
         let last = t.position(t.duration_s()).unwrap();
-        assert!(last.x < 0.005, "partial scroll should stay near P1 side: {}", last.x);
+        assert!(
+            last.x < 0.005,
+            "partial scroll should stay near P1 side: {}",
+            last.x
+        );
     }
 
     #[test]
@@ -428,7 +478,10 @@ mod tests {
         let t = gen(Gesture::Click);
         let base_z = MotionParams::default().base.z;
         let min_z = t.points().iter().map(|p| p.z).fold(f64::INFINITY, f64::min);
-        assert!(min_z < base_z - 0.006, "click depth: {min_z} vs base {base_z}");
+        assert!(
+            min_z < base_z - 0.006,
+            "click depth: {min_z} vs base {base_z}"
+        );
     }
 
     #[test]
@@ -461,12 +514,20 @@ mod tests {
     fn amplitude_scales_extent() {
         let small = Trajectory::generate(
             SampleLabel::Gesture(Gesture::Rub),
-            &MotionParams { amplitude: 0.7, tremor_m: 0.0, ..Default::default() },
+            &MotionParams {
+                amplitude: 0.7,
+                tremor_m: 0.0,
+                ..Default::default()
+            },
             1,
         );
         let large = Trajectory::generate(
             SampleLabel::Gesture(Gesture::Rub),
-            &MotionParams { amplitude: 1.3, tremor_m: 0.0, ..Default::default() },
+            &MotionParams {
+                amplitude: 1.3,
+                tremor_m: 0.0,
+                ..Default::default()
+            },
             1,
         );
         let extent = |t: &Trajectory| {
@@ -506,11 +567,7 @@ mod tests {
     #[test]
     fn nongestures_generate_and_move() {
         for n in NonGestureKind::ALL {
-            let t = Trajectory::generate(
-                SampleLabel::NonGesture(n),
-                &MotionParams::default(),
-                5,
-            );
+            let t = Trajectory::generate(SampleLabel::NonGesture(n), &MotionParams::default(), 5);
             assert!(t.duration_s() > 0.5);
             let spread = t.max_step_m();
             assert!(spread > 0.0, "{n} should move");
@@ -540,12 +597,19 @@ mod tests {
     fn tilt_mixes_x_into_z() {
         let flat = Trajectory::generate(
             SampleLabel::Gesture(Gesture::Rub),
-            &MotionParams { tremor_m: 0.0, ..Default::default() },
+            &MotionParams {
+                tremor_m: 0.0,
+                ..Default::default()
+            },
             1,
         );
         let tilted = Trajectory::generate(
             SampleLabel::Gesture(Gesture::Rub),
-            &MotionParams { tilt_rad: 0.4, tremor_m: 0.0, ..Default::default() },
+            &MotionParams {
+                tilt_rad: 0.4,
+                tremor_m: 0.0,
+                ..Default::default()
+            },
             1,
         );
         let z_spread = |t: &Trajectory| {

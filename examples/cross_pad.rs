@@ -27,7 +27,10 @@ fn main() {
     let processor = DataProcessor::new(config);
     let tracker = Zebra2d::new(config, 3);
 
-    println!("\n{:>14} {:>10} {:>10} {:>9} {:>9}", "swipe", "vx(mm/s)", "vy(mm/s)", "speed", "heading");
+    println!(
+        "\n{:>14} {:>10} {:>10} {:>9} {:>9}",
+        "swipe", "vx(mm/s)", "vy(mm/s)", "speed", "heading"
+    );
     let diag = std::f64::consts::FRAC_1_SQRT_2;
     let compass: [(&str, f64, f64); 8] = [
         ("east →", 1.0, 0.0),
@@ -43,7 +46,11 @@ fn main() {
         let trace = sampler.sample(1.4, seed as u64, move |t| {
             let s = ((t - 0.3) / 0.6).clamp(0.0, 1.0);
             let span = 0.05;
-            Some(Vec3::new(dx * span * (s - 0.5), dy * span * (s - 0.5), 0.018))
+            Some(Vec3::new(
+                dx * span * (s - 0.5),
+                dy * span * (s - 0.5),
+                0.018,
+            ))
         });
         let window = processor.primary_window(&trace);
         match tracker.track(&window) {

@@ -24,7 +24,10 @@ fn tap_tap(seed: u64) -> RssTrace {
         } else if t < 0.7 {
             (0.0, 0.0)
         } else {
-            (0.008, (((t - 0.7) / 0.4) * std::f64::consts::PI).sin().powi(4))
+            (
+                0.008,
+                (((t - 0.7) / 0.4) * std::f64::consts::PI).sin().powi(4),
+            )
         };
         Some(Vec3::new(x, 0.0, 0.019 - 0.006 * press))
     })
@@ -32,10 +35,17 @@ fn tap_tap(seed: u64) -> RssTrace {
 
 fn main() -> Result<(), airfinger_core::AirFingerError> {
     println!("training on the built-in corpus + 6 examples of a new gesture…");
-    let corpus = generate_corpus(&CorpusSpec { users: 2, sessions: 2, reps: 4, ..Default::default() });
+    let corpus = generate_corpus(&CorpusSpec {
+        users: 2,
+        sessions: 2,
+        reps: 4,
+        ..Default::default()
+    });
     let examples: Vec<RssTrace> = (0..6).map(tap_tap).collect();
-    let mut recognizer =
-        CustomRecognizer::new(AirFingerConfig { forest_trees: 40, ..Default::default() });
+    let mut recognizer = CustomRecognizer::new(AirFingerConfig {
+        forest_trees: 40,
+        ..Default::default()
+    });
     recognizer.train(&corpus, &[("tap-tap".into(), examples)])?;
 
     // Fresh recordings of the custom gesture…
@@ -46,9 +56,13 @@ fn main() -> Result<(), airfinger_core::AirFingerError> {
     }
     // …and a held-out session of the same users, to show nothing regressed.
     let mut correct = 0;
-    let held_out =
-        generate_corpus(&CorpusSpec { users: 2, sessions: 3, reps: 1, ..Default::default() })
-            .filter(|s| s.session == 2); // session 2 was never trained on
+    let held_out = generate_corpus(&CorpusSpec {
+        users: 2,
+        sessions: 3,
+        reps: 1,
+        ..Default::default()
+    })
+    .filter(|s| s.session == 2); // session 2 was never trained on
     for s in held_out.samples() {
         let got = recognizer.recognize(&s.trace)?;
         if got == ExtendedLabel::Builtin(s.label.gesture().expect("gesture corpus")) {
@@ -59,7 +73,10 @@ fn main() -> Result<(), airfinger_core::AirFingerError> {
         "\nbuilt-in gestures on a fresh session: {correct}/{} correct",
         held_out.len()
     );
-    println!("registered custom gestures: {:?}", recognizer.custom_names());
+    println!(
+        "registered custom gestures: {:?}",
+        recognizer.custom_names()
+    );
     let _ = Gesture::ALL; // the eight built-ins share the label space
     Ok(())
 }

@@ -18,7 +18,10 @@ fn main() {
     let reps: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(25);
     let out = args.get(1).cloned();
 
-    let spec = CorpusSpec { reps, ..Default::default() };
+    let spec = CorpusSpec {
+        reps,
+        ..Default::default()
+    };
     let total = spec.users * spec.sessions * spec.reps * spec.gestures.len();
     println!(
         "collecting {} samples ({} users x {} sessions x {} reps x {} gestures)…",
@@ -42,14 +45,23 @@ fn main() {
     for (name, (count, dur)) in &per_gesture {
         println!("{:<15} {:>7} {:>12.2}", name, count, dur / *count as f64);
     }
-    let hours: f64 =
-        corpus.samples().iter().map(|s| s.trace.duration_s()).sum::<f64>() / 3600.0;
-    println!("\ntotal recording time: {hours:.2} h across {} samples", corpus.len());
+    let hours: f64 = corpus
+        .samples()
+        .iter()
+        .map(|s| s.trace.duration_s())
+        .sum::<f64>()
+        / 3600.0;
+    println!(
+        "\ntotal recording time: {hours:.2} h across {} samples",
+        corpus.len()
+    );
 
     if let Some(path) = out {
         println!("writing {path}…");
         let file = std::fs::File::create(&path).expect("create output file");
-        corpus.write_json(BufWriter::new(file)).expect("serialize corpus");
+        corpus
+            .write_json(BufWriter::new(file))
+            .expect("serialize corpus");
         println!("wrote {path}");
     } else {
         println!("(pass an output path as the second argument to export JSON)");

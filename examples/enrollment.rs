@@ -34,7 +34,10 @@ fn accuracy(af: &AirFinger, corpus: &Corpus) -> (usize, usize) {
 }
 
 fn main() -> Result<(), airfinger_core::AirFingerError> {
-    let config = AirFingerConfig { forest_trees: 80, ..Default::default() };
+    let config = AirFingerConfig {
+        forest_trees: 80,
+        ..Default::default()
+    };
 
     println!("training on a 6-volunteer population…");
     let population = generate_corpus(&CorpusSpec {
@@ -66,11 +69,8 @@ fn main() -> Result<(), airfinger_core::AirFingerError> {
         100.0 * c0 as f64 / t0 as f64
     );
 
-    println!(
-        "\nenrolling: {ENROLL_TRIALS} trials per gesture from the user's first day…"
-    );
-    let mut adapter =
-        UserAdapter::new(all_gesture_feature_set(&population, &config)).with_mix(0.5);
+    println!("\nenrolling: {ENROLL_TRIALS} trials per gesture from the user's first day…");
+    let mut adapter = UserAdapter::new(all_gesture_feature_set(&population, &config)).with_mix(0.5);
     for gesture in Gesture::ALL {
         let trials = day1
             .samples()

@@ -19,10 +19,18 @@ use airfinger_synth::trajectory::Trajectory;
 
 fn main() -> Result<(), AirFingerError> {
     // Train a pipeline including the unintentional-motion filter.
-    let spec = CorpusSpec { users: 3, sessions: 2, reps: 4, ..Default::default() };
+    let spec = CorpusSpec {
+        users: 3,
+        sessions: 2,
+        reps: 4,
+        ..Default::default()
+    };
     println!("training pipeline + interference filter…");
     let gestures = generate_corpus(&spec);
-    let non = generate_nongesture_corpus(&CorpusSpec { reps: 24, ..spec.clone() });
+    let non = generate_nongesture_corpus(&CorpusSpec {
+        reps: 24,
+        ..spec.clone()
+    });
     let mut airfinger = AirFinger::new(AirFingerConfig::default());
     airfinger.train_on_corpus(&gestures, Some(&non))?;
 
@@ -42,12 +50,15 @@ fn main() -> Result<(), AirFingerError> {
         .enumerate()
         .map(|(i, (start, label))| {
             let params = profile.trial_params(*label, 0, 500 + i, spec.seed);
-            (*start, Trajectory::generate(*label, &params, spec.seed + i as u64))
+            (
+                *start,
+                Trajectory::generate(*label, &params, spec.seed + i as u64),
+            )
         })
         .collect();
     let rest = profile.base;
-    let scene = Scene::new(SensorLayout::paper_prototype())
-        .with_interference(Interference::passerby());
+    let scene =
+        Scene::new(SensorLayout::paper_prototype()).with_interference(Interference::passerby());
     let sampler = Sampler::new(scene, 100.0);
     let trace = sampler.sample(20.0, 42, |t| {
         for (start, traj) in &trajectories {
@@ -64,7 +75,11 @@ fn main() -> Result<(), AirFingerError> {
     let mut engine = StreamingEngine::new(airfinger, 3)?;
     let mut hinted = false;
     for i in 0..trace.len() {
-        let s = [trace.channel(0)[i], trace.channel(1)[i], trace.channel(2)[i]];
+        let s = [
+            trace.channel(0)[i],
+            trace.channel(1)[i],
+            trace.channel(2)[i],
+        ];
         if let Some(event) = engine.push(&s)? {
             println!("{:>8.2}  {event}", i as f64 / 100.0);
             hinted = false;
@@ -72,7 +87,10 @@ fn main() -> Result<(), AirFingerError> {
         // ZEBRA's real-time direction: available before the gesture ends.
         if !hinted {
             if let Some(direction) = engine.live_hint() {
-                println!("{:>8.2}  … live hint: {direction} (gesture still open)", i as f64 / 100.0);
+                println!(
+                    "{:>8.2}  … live hint: {direction} (gesture still open)",
+                    i as f64 / 100.0
+                );
                 hinted = true;
             }
         }

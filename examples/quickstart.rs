@@ -13,7 +13,12 @@ use airfinger_synth::profile::UserProfile;
 fn main() -> Result<(), AirFingerError> {
     // 1. A small training corpus: 3 volunteers x 2 sessions x 5 reps of
     //    each of the 8 gestures (the paper's full protocol is 10x5x25).
-    let spec = CorpusSpec { users: 3, sessions: 2, reps: 5, ..Default::default() };
+    let spec = CorpusSpec {
+        users: 3,
+        sessions: 2,
+        reps: 5,
+        ..Default::default()
+    };
     println!("generating training corpus ({} samples)…", 3 * 2 * 5 * 8);
     let corpus = generate_corpus(&spec);
 
@@ -40,7 +45,12 @@ fn main() -> Result<(), AirFingerError> {
         if ok {
             correct += 1;
         }
-        println!("{:<16} {:<32} {}", gesture.to_string(), event.to_string(), if ok { "✓" } else { "✗" });
+        println!(
+            "{:<16} {:<32} {}",
+            gesture.to_string(),
+            event.to_string(),
+            if ok { "✓" } else { "✗" }
+        );
     }
     println!("\n{correct}/8 recognized correctly");
     Ok(())

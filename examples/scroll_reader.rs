@@ -7,8 +7,8 @@
 //! cargo run --release -p airfinger-examples --bin scroll_reader
 //! ```
 
-use airfinger_core::prelude::*;
 use airfinger_core::events::Recognition;
+use airfinger_core::prelude::*;
 use airfinger_synth::dataset::{generate_corpus, generate_sample, trial_trajectory, CorpusSpec};
 use airfinger_synth::gesture::{Gesture, SampleLabel};
 use airfinger_synth::profile::UserProfile;
@@ -26,7 +26,12 @@ const HEADLINES: [&str; 8] = [
 ];
 
 fn main() -> Result<(), AirFingerError> {
-    let spec = CorpusSpec { users: 3, sessions: 2, reps: 5, ..Default::default() };
+    let spec = CorpusSpec {
+        users: 3,
+        sessions: 2,
+        reps: 5,
+        ..Default::default()
+    };
     println!("training pipeline…");
     let corpus = generate_corpus(&spec);
     let mut airfinger = AirFinger::new(AirFingerConfig::default());
@@ -37,9 +42,12 @@ fn main() -> Result<(), AirFingerError> {
     let mut ratings = Vec::new();
     println!("\nbrowsing session: 12 scroll gestures\n");
     for rep in 100..112 {
-        let gesture = if rep % 3 == 2 { Gesture::ScrollDown } else { Gesture::ScrollUp };
-        let sample =
-            generate_sample(&profile, SampleLabel::Gesture(gesture), 0, rep, &spec);
+        let gesture = if rep % 3 == 2 {
+            Gesture::ScrollDown
+        } else {
+            Gesture::ScrollUp
+        };
+        let sample = generate_sample(&profile, SampleLabel::Gesture(gesture), 0, rep, &spec);
         let event = airfinger.recognize_primary(&sample.trace)?;
         match event {
             Recognition::Track { track, .. } => {

@@ -17,7 +17,9 @@ fn main() -> Result<(), AirFingerError> {
         users: 3,
         sessions: 2,
         reps: 4,
-        condition: Condition::Wristband { activity: Activity::Sitting },
+        condition: Condition::Wristband {
+            activity: Activity::Sitting,
+        },
         ..Default::default()
     };
     println!("training on wristband recordings…");

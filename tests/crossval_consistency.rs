@@ -54,8 +54,11 @@ fn k_fold_on_features_is_deterministic_end_to_end() {
         let folds = stratified_k_fold(&features.y, 3, 9);
         let split = &folds[0];
         let (xtr, ytr) = gather(&features.x, &features.y, &split.train);
-        let mut rf =
-            RandomForest::new(RandomForestConfig { n_trees: 10, seed: 5, ..Default::default() });
+        let mut rf = RandomForest::new(RandomForestConfig {
+            n_trees: 10,
+            seed: 5,
+            ..Default::default()
+        });
         rf.fit(&xtr, &ytr).expect("fit");
         split
             .test
@@ -73,8 +76,15 @@ fn train_test_split_respects_class_balance_on_real_labels() {
     let split = train_test_split(&features.y, 0.25, 1);
     for class in 0..8 {
         let total = features.y.iter().filter(|&&l| l == class).count();
-        let in_test = split.test.iter().filter(|&&i| features.y[i] == class).count();
+        let in_test = split
+            .test
+            .iter()
+            .filter(|&&i| features.y[i] == class)
+            .count();
         let frac = in_test as f64 / total as f64;
-        assert!((0.1..=0.45).contains(&frac), "class {class}: test fraction {frac}");
+        assert!(
+            (0.1..=0.45).contains(&frac),
+            "class {class}: test fraction {frac}"
+        );
     }
 }

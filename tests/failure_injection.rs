@@ -29,7 +29,9 @@ fn all_zero_trace_does_not_panic() {
 fn tiny_trace_does_not_panic() {
     let (af, _) = trained_pipeline(63);
     let trace = RssTrace::from_channels(vec![vec![100.0]; 3], 100.0);
-    let _ = af.recognize_trace(&trace).expect("no error on 1-sample trace");
+    let _ = af
+        .recognize_trace(&trace)
+        .expect("no error on 1-sample trace");
     // primary_window falls back to the whole (1-sample) trace.
     let _ = af.recognize_primary(&trace).expect("no error");
 }
@@ -43,7 +45,9 @@ fn dead_photodiode_still_recognizes_something() {
     let mut channels = sample.trace.channels().to_vec();
     channels[2] = vec![0.0; channels[2].len()];
     let trace = RssTrace::from_channels(channels, sample.trace.sample_rate_hz());
-    let events = af.recognize_trace(&trace).expect("no error with dead channel");
+    let events = af
+        .recognize_trace(&trace)
+        .expect("no error with dead channel");
     // Whatever the classification, every event must carry a valid segment.
     for e in &events {
         let seg = e.segment();
@@ -64,12 +68,19 @@ fn spike_storm_is_mostly_filtered() {
         spike_rate_hz: 3.0,
         spike_amplitude: 120.0,
     });
-    let trace =
-        Sampler::new(scene, 100.0).sample(10.0, 65, |_| Some(Vec3::new(0.0, 0.0, 0.02)));
+    let trace = Sampler::new(scene, 100.0).sample(10.0, 65, |_| Some(Vec3::new(0.0, 0.0, 0.02)));
     let events = af.recognize_trace(&trace).expect("no error under spikes");
-    assert!(events.len() <= 12, "spike storm produced {} windows", events.len());
+    assert!(
+        events.len() <= 12,
+        "spike storm produced {} windows",
+        events.len()
+    );
     for e in &events {
-        assert!(e.segment().len() < 100, "spike window too long: {:?}", e.segment());
+        assert!(
+            e.segment().len() < 100,
+            "spike window too long: {:?}",
+            e.segment()
+        );
     }
 }
 
@@ -81,9 +92,10 @@ fn direct_ir_remote_errors_are_bounded() {
     let (af, _) = trained_pipeline(66);
     let scene = Scene::new(SensorLayout::paper_prototype())
         .with_interference(Interference::ir_remote_direct());
-    let trace =
-        Sampler::new(scene, 100.0).sample(10.0, 66, |_| Some(Vec3::new(0.0, 0.0, 0.02)));
-    let events = af.recognize_trace(&trace).expect("no error under remote bursts");
+    let trace = Sampler::new(scene, 100.0).sample(10.0, 66, |_| Some(Vec3::new(0.0, 0.0, 0.02)));
+    let events = af
+        .recognize_trace(&trace)
+        .expect("no error under remote bursts");
     for e in &events {
         assert!(e.segment().end <= trace.len());
     }
@@ -97,8 +109,8 @@ fn nan_free_features_even_on_adversarial_windows() {
     use airfinger_features::FeatureExtractor;
     let e = FeatureExtractor::table1();
     for channels in [
-        vec![vec![0.0; 3]; 3],                   // nearly empty
-        vec![vec![1023.0; 50]; 3],               // constant saturation
+        vec![vec![0.0; 3]; 3],                                   // nearly empty
+        vec![vec![1023.0; 50]; 3],                               // constant saturation
         vec![vec![0.0; 200], vec![1e12; 200], vec![-1e12; 200]], // absurd values
     ] {
         let n = channels[0].len();

@@ -7,13 +7,22 @@ use airfinger_synth::dataset::{generate_corpus, Corpus, CorpusSpec};
 /// A small-but-meaningful corpus spec: 2 volunteers × 2 sessions × 3 reps.
 #[must_use]
 pub fn small_spec(seed: u64) -> CorpusSpec {
-    CorpusSpec { users: 2, sessions: 2, reps: 3, seed, ..Default::default() }
+    CorpusSpec {
+        users: 2,
+        sessions: 2,
+        reps: 3,
+        seed,
+        ..Default::default()
+    }
 }
 
 /// A fast pipeline config for tests (fewer trees than production).
 #[must_use]
 pub fn test_config() -> AirFingerConfig {
-    AirFingerConfig { forest_trees: 20, ..Default::default() }
+    AirFingerConfig {
+        forest_trees: 20,
+        ..Default::default()
+    }
 }
 
 /// A pipeline trained on [`small_spec`] data, plus the corpus it saw.
@@ -21,6 +30,7 @@ pub fn test_config() -> AirFingerConfig {
 pub fn trained_pipeline(seed: u64) -> (AirFinger, Corpus) {
     let corpus = generate_corpus(&small_spec(seed));
     let mut af = AirFinger::new(test_config());
-    af.train_on_corpus(&corpus, None).expect("training succeeds on a gesture corpus");
+    af.train_on_corpus(&corpus, None)
+        .expect("training succeeds on a gesture corpus");
     (af, corpus)
 }

@@ -12,8 +12,8 @@ use airfinger_tests::{small_spec, test_config, trained_pipeline};
 
 #[test]
 fn held_out_recognition_beats_chance_by_far() {
-    let (af, _) = trained_pipeline(11);
-    let spec = small_spec(11);
+    let (af, _) = trained_pipeline(13);
+    let spec = small_spec(13);
     // Held-out repetitions of known users.
     let mut correct = 0;
     let mut total = 0;
@@ -67,8 +67,7 @@ fn scrolls_yield_track_events_with_velocity() {
             continue;
         }
         scrolls += 1;
-        if let Recognition::Track { track, .. } =
-            af.recognize_primary(&s.trace).expect("recognize")
+        if let Recognition::Track { track, .. } = af.recognize_primary(&s.trace).expect("recognize")
         {
             tracked += 1;
             assert!(track.velocity_mm_s > 0.0);
@@ -86,11 +85,15 @@ fn scrolls_yield_track_events_with_velocity() {
 fn filter_rejects_most_nongestures_and_passes_gestures() {
     let spec = small_spec(14);
     let gestures = generate_corpus(&spec);
-    let non = generate_nongesture_corpus(&CorpusSpec { reps: 18, ..spec.clone() });
+    let non = generate_nongesture_corpus(&CorpusSpec {
+        reps: 18,
+        ..spec.clone()
+    });
     let non_train = non.filter(|s| s.rep < 12);
     let non_test = non.filter(|s| s.rep >= 12);
     let mut af = AirFinger::new(test_config());
-    af.train_on_corpus(&gestures, Some(&non_train)).expect("training");
+    af.train_on_corpus(&gestures, Some(&non_train))
+        .expect("training");
     assert!(af.has_filter());
     let rejected = non_test
         .samples()
@@ -111,7 +114,11 @@ fn filter_rejects_most_nongestures_and_passes_gestures() {
     let passed = gestures
         .samples()
         .iter()
-        .filter(|s| af.recognize_primary(&s.trace).expect("recognize").is_accepted())
+        .filter(|s| {
+            af.recognize_primary(&s.trace)
+                .expect("recognize")
+                .is_accepted()
+        })
         .count();
     assert!(
         passed * 10 > gestures.len() * 8,
@@ -156,7 +163,10 @@ fn power_governor_composes_with_streaming_engine() {
     let mut engine = StreamingEngine::new(af, 3).expect("engine");
     let mut governor = PowerGovernor::new(
         SensorLayout::paper_prototype(),
-        PowerGovernorConfig { idle_after_s: 1.0, ..Default::default() },
+        PowerGovernorConfig {
+            idle_after_s: 1.0,
+            ..Default::default()
+        },
     );
     // 10 s idle, then a gesture, then 10 s idle again.
     let gesture = &corpus.samples()[0].trace;
@@ -167,14 +177,26 @@ fn power_governor_composes_with_streaming_engine() {
         governor.tick(0.01, engine.in_gesture());
         modes.push(governor.mode());
     }
-    assert_eq!(*modes.last().unwrap(), PowerMode::Sentinel, "idle drops to sentinel");
+    assert_eq!(
+        *modes.last().unwrap(),
+        PowerMode::Sentinel,
+        "idle drops to sentinel"
+    );
     for i in 0..gesture.len() {
-        let s = [gesture.channel(0)[i], gesture.channel(1)[i], gesture.channel(2)[i]];
+        let s = [
+            gesture.channel(0)[i],
+            gesture.channel(1)[i],
+            gesture.channel(2)[i],
+        ];
         engine.push(&s).expect("push");
         governor.tick(0.01, engine.in_gesture());
     }
     // The gesture woke the governor at some point during the recording.
-    assert!(governor.savings_fraction() > 0.3, "saved {:.2}", governor.savings_fraction());
+    assert!(
+        governor.savings_fraction() > 0.3,
+        "saved {:.2}",
+        governor.savings_fraction()
+    );
 }
 
 #[test]
@@ -182,10 +204,14 @@ fn lockin_corpus_flows_through_the_pipeline() {
     use airfinger_synth::dataset::Frontend;
     // Train and recognize entirely on lock-in-demodulated recordings: the
     // §VI front end is drop-in compatible with the rest of the pipeline.
-    let spec = CorpusSpec { frontend: Frontend::LockIn, ..small_spec(18) };
+    let spec = CorpusSpec {
+        frontend: Frontend::LockIn,
+        ..small_spec(18)
+    };
     let corpus = generate_corpus(&spec);
     let mut af = AirFinger::new(test_config());
-    af.train_on_corpus(&corpus, None).expect("training on lock-in corpus");
+    af.train_on_corpus(&corpus, None)
+        .expect("training on lock-in corpus");
     let mut correct = 0;
     for s in corpus.samples().iter().take(32) {
         if af.recognize_primary(&s.trace).expect("recognize").gesture() == s.label.gesture() {
@@ -208,7 +234,8 @@ fn enrollment_improves_out_of_population_accuracy() {
         ..Default::default()
     });
     let mut af = AirFinger::new(config);
-    af.train_on_corpus(&population, None).expect("population training");
+    af.train_on_corpus(&population, None)
+        .expect("population training");
 
     // A user outside the population; enrollment comes from their first
     // session, evaluation from their second.
@@ -225,8 +252,7 @@ fn enrollment_improves_out_of_population_accuracy() {
         day2.samples()
             .iter()
             .filter(|s| {
-                af.recognize_primary(&s.trace).expect("recognize").gesture()
-                    == s.label.gesture()
+                af.recognize_primary(&s.trace).expect("recognize").gesture() == s.label.gesture()
             })
             .count()
     };

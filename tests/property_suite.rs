@@ -1,5 +1,6 @@
-//! Property-based invariants (proptest) across the DSP, ML, synthesis and
-//! tracking layers.
+//! Property-based invariants across the DSP, ML, synthesis and tracking
+//! layers, checked over seeded random case loops (the registry-free stand-in
+//! for a proptest harness: fixed seeds keep every run reproducible).
 
 use airfinger_dsp::fft::{fft_in_place, ifft_in_place, Complex};
 use airfinger_dsp::sbc::Sbc;
@@ -8,126 +9,163 @@ use airfinger_dsp::threshold::{inter_class_variance, otsu_threshold};
 use airfinger_features::FeatureExtractor;
 use airfinger_synth::gesture::{Gesture, SampleLabel};
 use airfinger_synth::trajectory::{MotionParams, Trajectory};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    /// SBC removes any constant offset exactly.
-    #[test]
-    fn sbc_is_dc_invariant(
-        base in proptest::collection::vec(-500.0f64..500.0, 4..120),
-        offset in -1e4f64..1e4,
-        window in 1usize..6,
-    ) {
+fn rng_for(test: u64, case: usize) -> StdRng {
+    StdRng::seed_from_u64(test.wrapping_mul(0x9e37_79b9_7f4a_7c15) + case as u64)
+}
+
+fn random_vec(rng: &mut StdRng, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// SBC removes any constant offset exactly.
+#[test]
+fn sbc_is_dc_invariant() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let len = rng.gen_range(4..120);
+        let base = random_vec(&mut rng, len, -500.0, 500.0);
+        let offset = rng.gen_range(-1e4..1e4);
+        let window = rng.gen_range(1..6usize);
         let sbc = Sbc::new(window);
         let shifted: Vec<f64> = base.iter().map(|v| v + offset).collect();
         let a = sbc.apply(&base);
         let b = sbc.apply(&shifted);
         for (x, y) in a.iter().zip(&b) {
-            prop_assert!((x - y).abs() < 1e-6 * (1.0 + x.abs()));
+            assert!((x - y).abs() < 1e-6 * (1.0 + x.abs()), "case {case}");
         }
     }
+}
 
-    /// The Otsu threshold lies strictly between the two class means it
-    /// induces, and no grid candidate beats its inter-class variance.
-    #[test]
-    fn otsu_threshold_is_optimal_and_interior(
-        lo in proptest::collection::vec(0.0f64..10.0, 8..60),
-        hi in proptest::collection::vec(50.0f64..200.0, 8..60),
-    ) {
-        let mut v = lo.clone();
-        v.extend(hi.iter());
+/// The Otsu threshold lies strictly between the two class means it induces,
+/// and no grid candidate beats its inter-class variance.
+#[test]
+fn otsu_threshold_is_optimal_and_interior() {
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let n_lo = rng.gen_range(8..60);
+        let n_hi = rng.gen_range(8..60);
+        let mut v = random_vec(&mut rng, n_lo, 0.0, 10.0);
+        v.extend(random_vec(&mut rng, n_hi, 50.0, 200.0));
         let t = otsu_threshold(&v);
-        prop_assert!(t > 0.0 && t < 200.0);
+        assert!(t > 0.0 && t < 200.0, "case {case}: t = {t}");
         let best = inter_class_variance(&v, t);
         for k in 0..40 {
             let cand = 5.0 * k as f64;
-            prop_assert!(best >= inter_class_variance(&v, cand) - 1e-9);
+            assert!(
+                best >= inter_class_variance(&v, cand) - 1e-9,
+                "case {case}: candidate {cand} beats Otsu"
+            );
         }
     }
+}
 
-    /// Segments are sorted, disjoint and within bounds for any input.
-    #[test]
-    fn segments_are_sorted_disjoint_bounded(
-        delta in proptest::collection::vec(0.0f64..100.0, 0..400),
-        threshold in 1.0f64..80.0,
-        gap in 0usize..20,
-        pad in 0usize..10,
-    ) {
-        let seg = Segmenter::new(SegmenterConfig { merge_gap: gap, min_len: 1, pad });
+/// Segments are sorted, disjoint and within bounds for any input.
+#[test]
+fn segments_are_sorted_disjoint_bounded() {
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let len = rng.gen_range(0..400);
+        let delta = random_vec(&mut rng, len, 0.0, 100.0);
+        let threshold = rng.gen_range(1.0..80.0);
+        let gap = rng.gen_range(0..20usize);
+        let pad = rng.gen_range(0..10usize);
+        let seg = Segmenter::new(SegmenterConfig {
+            merge_gap: gap,
+            min_len: 1,
+            pad,
+        });
         let out = seg.segment(&delta, threshold);
         for w in out.windows(2) {
-            prop_assert!(w[0].end <= w[1].start);
+            assert!(w[0].end <= w[1].start, "case {case}");
         }
         for s in &out {
-            prop_assert!(s.start < s.end);
-            prop_assert!(s.end <= delta.len());
+            assert!(s.start < s.end, "case {case}");
+            assert!(s.end <= delta.len(), "case {case}");
         }
     }
+}
 
-    /// FFT round-trips arbitrary signals (power-of-two lengths).
-    #[test]
-    fn fft_roundtrip(
-        x in proptest::collection::vec(-100.0f64..100.0, 1..65),
-    ) {
+/// FFT round-trips arbitrary signals (power-of-two lengths).
+#[test]
+fn fft_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = rng_for(4, case);
+        let len = rng.gen_range(1..65);
+        let x = random_vec(&mut rng, len, -100.0, 100.0);
         let n = x.len().next_power_of_two();
         let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
         buf.resize(n, Complex::default());
         fft_in_place(&mut buf).unwrap();
         ifft_in_place(&mut buf).unwrap();
         for (orig, got) in x.iter().zip(&buf) {
-            prop_assert!((got.re - orig).abs() < 1e-6);
-            prop_assert!(got.im.abs() < 1e-6);
+            assert!((got.re - orig).abs() < 1e-6, "case {case}");
+            assert!(got.im.abs() < 1e-6, "case {case}");
         }
     }
+}
 
-    /// Every Table-I feature is finite on arbitrary (even hostile) input.
-    #[test]
-    fn features_always_finite(
-        x in proptest::collection::vec(-1e6f64..1e6, 0..200),
-    ) {
-        let e = FeatureExtractor::table1();
+/// Every Table-I feature is finite on arbitrary (even hostile) input.
+#[test]
+fn features_always_finite() {
+    let e = FeatureExtractor::table1();
+    for case in 0..CASES {
+        let mut rng = rng_for(5, case);
+        let len = rng.gen_range(0..200);
+        let x = random_vec(&mut rng, len, -1e6, 1e6);
         let f = e.extract(&x);
-        prop_assert_eq!(f.len(), e.len());
-        prop_assert!(f.iter().all(|v| v.is_finite()));
+        assert_eq!(f.len(), e.len(), "case {case}");
+        assert!(f.iter().all(|v| v.is_finite()), "case {case}");
     }
+}
 
-    /// Trajectories stay in a physically plausible box and are smooth.
-    #[test]
-    fn trajectories_are_bounded_and_smooth(
-        gesture_idx in 0usize..8,
-        amplitude in 0.5f64..1.6,
-        speed in 0.5f64..2.0,
-        seed in 0u64..500,
-    ) {
-        let g = Gesture::from_index(gesture_idx).unwrap();
-        let params = MotionParams { amplitude, speed, ..Default::default() };
+/// Trajectories stay in a physically plausible box and are smooth.
+#[test]
+fn trajectories_are_bounded_and_smooth() {
+    for case in 0..CASES {
+        let mut rng = rng_for(6, case);
+        let g = Gesture::from_index(rng.gen_range(0..8)).unwrap();
+        let amplitude = rng.gen_range(0.5..1.6);
+        let speed = rng.gen_range(0.5..2.0);
+        let seed = rng.gen_range(0..500u64);
+        let params = MotionParams {
+            amplitude,
+            speed,
+            ..Default::default()
+        };
         let t = Trajectory::generate(SampleLabel::Gesture(g), &params, seed);
         for p in t.points() {
-            prop_assert!(p.x.abs() < 0.1, "x = {}", p.x);
-            prop_assert!(p.y.abs() < 0.1);
-            prop_assert!((0.003..0.2).contains(&p.z), "z = {}", p.z);
+            assert!(p.x.abs() < 0.1, "case {case}: x = {}", p.x);
+            assert!(p.y.abs() < 0.1, "case {case}: y = {}", p.y);
+            assert!((0.003..0.2).contains(&p.z), "case {case}: z = {}", p.z);
         }
-        prop_assert!(t.max_step_m() < 0.004, "step {}", t.max_step_m());
+        assert!(
+            t.max_step_m() < 0.004,
+            "case {case}: step {}",
+            t.max_step_m()
+        );
     }
+}
 
-    /// Mirroring a trajectory twice is the identity.
-    #[test]
-    fn trajectory_mirror_involution(
-        gesture_idx in 0usize..8,
-        seed in 0u64..200,
-    ) {
-        let g = Gesture::from_index(gesture_idx).unwrap();
-        let t = Trajectory::generate(
-            SampleLabel::Gesture(g), &MotionParams::default(), seed);
-        prop_assert_eq!(t.mirrored().mirrored(), t);
+/// Mirroring a trajectory twice is the identity.
+#[test]
+fn trajectory_mirror_involution() {
+    for case in 0..CASES {
+        let mut rng = rng_for(7, case);
+        let g = Gesture::from_index(rng.gen_range(0..8)).unwrap();
+        let seed = rng.gen_range(0..200u64);
+        let t = Trajectory::generate(SampleLabel::Gesture(g), &MotionParams::default(), seed);
+        assert_eq!(t.mirrored().mirrored(), t, "case {case}");
     }
 }
 
 /// Displacement properties of a ZEBRA track, checked over a parameter grid
-/// (plain test: constructing real tracked windows per proptest case would
-/// dominate runtime).
+/// (constructing real tracked windows per random case would dominate
+/// runtime).
 #[test]
 fn displacement_odd_and_monotone_over_grid() {
     use airfinger_core::zebra::{ScrollDirection, ScrollTrack, VelocitySource};
@@ -140,7 +178,10 @@ fn displacement_odd_and_monotone_over_grid() {
                 delta_t_s: Some(0.1),
                 duration_s: duration,
             };
-            let down = ScrollTrack { direction: ScrollDirection::Down, ..up };
+            let down = ScrollTrack {
+                direction: ScrollDirection::Down,
+                ..up
+            };
             let mut prev = 0.0;
             for k in 0..=20 {
                 let t = duration * k as f64 / 10.0; // runs past T
@@ -154,89 +195,98 @@ fn displacement_odd_and_monotone_over_grid() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any stratified split partitions the index set exactly.
-    #[test]
-    fn train_test_split_partitions(
-        labels in proptest::collection::vec(0usize..5, 4..120),
-        frac in 0.1f64..0.9,
-        seed in 0u64..1000,
-    ) {
-        use airfinger_ml::split::train_test_split;
+/// Any stratified split partitions the index set exactly.
+#[test]
+fn train_test_split_partitions() {
+    use airfinger_ml::split::train_test_split;
+    for case in 0..CASES {
+        let mut rng = rng_for(8, case);
+        let len = rng.gen_range(4..120usize);
+        let labels: Vec<usize> = (0..len).map(|_| rng.gen_range(0..5usize)).collect();
+        let frac = rng.gen_range(0.1..0.9);
+        let seed = rng.gen_range(0..1000u64);
         let split = train_test_split(&labels, frac, seed);
         let mut all: Vec<usize> = split.train.iter().chain(&split.test).copied().collect();
         all.sort_unstable();
-        prop_assert_eq!(all, (0..labels.len()).collect::<Vec<_>>());
+        assert_eq!(all, (0..labels.len()).collect::<Vec<_>>(), "case {case}");
         // Every class with ≥ 2 samples appears in training.
         for class in 0..5 {
             let total = labels.iter().filter(|&&l| l == class).count();
             if total >= 2 {
-                prop_assert!(split.train.iter().any(|&i| labels[i] == class));
+                assert!(
+                    split.train.iter().any(|&i| labels[i] == class),
+                    "case {case}"
+                );
             }
         }
     }
+}
 
-    /// K-fold test sets tile the index set exactly once.
-    #[test]
-    fn k_fold_tiles_indices(
-        labels in proptest::collection::vec(0usize..4, 6..100),
-        k in 2usize..6,
-        seed in 0u64..1000,
-    ) {
-        use airfinger_ml::split::stratified_k_fold;
+/// K-fold test sets tile the index set exactly once.
+#[test]
+fn k_fold_tiles_indices() {
+    use airfinger_ml::split::stratified_k_fold;
+    for case in 0..CASES {
+        let mut rng = rng_for(9, case);
+        let len = rng.gen_range(6..100usize);
+        let labels: Vec<usize> = (0..len).map(|_| rng.gen_range(0..4usize)).collect();
+        let k = rng.gen_range(2..6usize);
+        let seed = rng.gen_range(0..1000u64);
         let folds = stratified_k_fold(&labels, k, seed);
-        prop_assert_eq!(folds.len(), k);
+        assert_eq!(folds.len(), k, "case {case}");
         let mut seen = vec![0usize; labels.len()];
         for f in &folds {
             for &i in &f.test {
                 seen[i] += 1;
             }
             for &i in &f.train {
-                prop_assert!(!f.test.contains(&i));
+                assert!(!f.test.contains(&i), "case {case}");
             }
         }
-        prop_assert!(seen.iter().all(|&c| c == 1));
+        assert!(seen.iter().all(|&c| c == 1), "case {case}");
     }
+}
 
-    /// Confusion-matrix identities hold for arbitrary prediction vectors.
-    #[test]
-    fn confusion_matrix_identities(
-        pairs in proptest::collection::vec((0usize..4, 0usize..4), 1..200),
-    ) {
-        use airfinger_ml::metrics::ConfusionMatrix;
-        let truth: Vec<usize> = pairs.iter().map(|p| p.0).collect();
-        let pred: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+/// Confusion-matrix identities hold for arbitrary prediction vectors.
+#[test]
+fn confusion_matrix_identities() {
+    use airfinger_ml::metrics::ConfusionMatrix;
+    for case in 0..CASES {
+        let mut rng = rng_for(10, case);
+        let len = rng.gen_range(1..200);
+        let truth: Vec<usize> = (0..len).map(|_| rng.gen_range(0..4usize)).collect();
+        let pred: Vec<usize> = (0..len).map(|_| rng.gen_range(0..4usize)).collect();
         let m = ConfusionMatrix::from_predictions(&truth, &pred, 4);
-        prop_assert_eq!(m.total(), pairs.len());
-        prop_assert!((0.0..=1.0).contains(&m.accuracy()));
+        assert_eq!(m.total(), len, "case {case}");
+        assert!((0.0..=1.0).contains(&m.accuracy()), "case {case}");
         // Row sums of the normalized matrix are 1 for non-empty rows.
         for (g, row) in m.normalized().iter().enumerate() {
             let has = truth.contains(&g);
             let sum: f64 = row.iter().sum();
             if has {
-                prop_assert!((sum - 1.0).abs() < 1e-9);
+                assert!((sum - 1.0).abs() < 1e-9, "case {case}");
             } else {
-                prop_assert_eq!(sum, 0.0);
+                assert_eq!(sum, 0.0, "case {case}");
             }
             // Per-class F1 is within [0, 1] when defined.
             if let Some(f1) = m.f1(g) {
-                prop_assert!((0.0..=1.0 + 1e-12).contains(&f1));
+                assert!((0.0..=1.0 + 1e-12).contains(&f1), "case {case}");
             }
         }
     }
+}
 
-    /// The streaming dynamic threshold always sits within the observed
-    /// value range (never above the max or below the floor of the data).
-    #[test]
-    fn dynamic_threshold_stays_in_range(
-        lo in 0.5f64..5.0,
-        hi in 50.0f64..5000.0,
-        n_lo in 100usize..400,
-        n_hi in 30usize..200,
-    ) {
-        use airfinger_dsp::threshold::DynamicThreshold;
+/// The streaming dynamic threshold always sits within the observed value
+/// range (never above the max or below the floor of the data).
+#[test]
+fn dynamic_threshold_stays_in_range() {
+    use airfinger_dsp::threshold::DynamicThreshold;
+    for case in 0..CASES {
+        let mut rng = rng_for(11, case);
+        let lo = rng.gen_range(0.5..5.0);
+        let hi = rng.gen_range(50.0..5000.0);
+        let n_lo = rng.gen_range(100..400usize);
+        let n_hi = rng.gen_range(30..200usize);
         let mut dt = DynamicThreshold::new(10.0, 1.0);
         for _ in 0..n_lo {
             dt.observe(lo);
@@ -246,25 +296,23 @@ proptest! {
         }
         dt.recalibrate();
         let t = dt.threshold();
-        prop_assert!(t >= lo.min(10.0) - 1e-9, "t = {t}");
-        prop_assert!(t <= hi, "t = {t} vs hi {hi}");
+        assert!(t >= lo.min(10.0) - 1e-9, "case {case}: t = {t}");
+        assert!(t <= hi, "case {case}: t = {t} vs hi {hi}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// The enrollment up-weight always lands the enrolled mass within one
+/// trial's worth of the requested mix fraction (and never below 1×).
+#[test]
+fn adapter_boost_hits_the_mix_fraction() {
+    use airfinger_core::adapt::UserAdapter;
+    use airfinger_core::train::LabeledFeatures;
 
-    /// The enrollment up-weight always lands the enrolled mass within one
-    /// trial's worth of the requested mix fraction (and never below 1×).
-    #[test]
-    fn adapter_boost_hits_the_mix_fraction(
-        base_rows in 1usize..5000,
-        enrolled in 1usize..60,
-        mix in 0.05f64..0.9,
-    ) {
-        use airfinger_core::adapt::UserAdapter;
-        use airfinger_core::train::LabeledFeatures;
-        use airfinger_synth::gesture::Gesture;
+    for case in 0..64 {
+        let mut rng = rng_for(12, case);
+        let base_rows = rng.gen_range(1..5000);
+        let enrolled = rng.gen_range(1..60usize);
+        let mix = rng.gen_range(0.05..0.9);
 
         let mut base = LabeledFeatures::default();
         for i in 0..base_rows {
@@ -279,23 +327,27 @@ proptest! {
             a.enroll_features(vec![i as f64], Gesture::ALL[i % 8]);
         }
         let boost = a.boost();
-        prop_assert!(boost >= 1);
+        assert!(boost >= 1, "case {case}");
         let mass = (boost * enrolled) as f64;
         let ideal = mix / (1.0 - mix) * base_rows as f64;
         if ideal / enrolled as f64 >= 0.5 {
             // Rounding to an integer boost moves the mass by at most half
             // a trial-count in either direction…
-            prop_assert!((mass - ideal).abs() <= 0.5 * enrolled as f64 + 1e-9,
-                "mass {mass} vs ideal {ideal} (boost {boost})");
+            assert!(
+                (mass - ideal).abs() <= 0.5 * enrolled as f64 + 1e-9,
+                "case {case}: mass {mass} vs ideal {ideal} (boost {boost})"
+            );
         } else {
             // …unless the floor of 1× dominates (tiny bases), where each
             // trial simply counts once.
-            prop_assert_eq!(boost, 1);
+            assert_eq!(boost, 1, "case {case}");
         }
         if boost > 1 {
             let frac = mass / (mass + base_rows as f64);
-            prop_assert!((frac - mix).abs() < 0.5 * enrolled as f64 / (mass + base_rows as f64) + 0.02,
-                "fraction {frac} vs mix {mix}");
+            assert!(
+                (frac - mix).abs() < 0.5 * enrolled as f64 / (mass + base_rows as f64) + 0.02,
+                "case {case}: fraction {frac} vs mix {mix}"
+            );
         }
     }
 }

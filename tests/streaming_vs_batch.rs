@@ -15,14 +15,20 @@ use airfinger_tests::{small_spec, trained_pipeline};
 fn scripted_stream(seed: u64) -> (RssTrace, Vec<(f64, Gesture)>) {
     let spec = small_spec(seed);
     let profile = UserProfile::sample(0, spec.seed);
-    let script =
-        [(1.0, Gesture::Click), (4.0, Gesture::Circle), (8.0, Gesture::ScrollUp)];
+    let script = [
+        (1.0, Gesture::Click),
+        (4.0, Gesture::Circle),
+        (8.0, Gesture::ScrollUp),
+    ];
     let trajectories: Vec<(f64, Trajectory)> = script
         .iter()
         .enumerate()
         .map(|(i, (start, g))| {
             let params = profile.trial_params(SampleLabel::Gesture(*g), 0, 900 + i, spec.seed);
-            (*start, Trajectory::generate(SampleLabel::Gesture(*g), &params, seed + i as u64))
+            (
+                *start,
+                Trajectory::generate(SampleLabel::Gesture(*g), &params, seed + i as u64),
+            )
         })
         .collect();
     let rest = profile.base;
@@ -45,7 +51,11 @@ fn streaming_finds_the_scripted_gestures() {
     let mut engine = StreamingEngine::new(af, 3).expect("engine builds");
     let mut events = Vec::new();
     for i in 0..trace.len() {
-        let s = [trace.channel(0)[i], trace.channel(1)[i], trace.channel(2)[i]];
+        let s = [
+            trace.channel(0)[i],
+            trace.channel(1)[i],
+            trace.channel(2)[i],
+        ];
         if let Some(ev) = engine.push(&s).expect("push") {
             events.push((i, ev));
         }
@@ -79,7 +89,11 @@ fn streaming_segments_align_with_batch_segments() {
     let mut engine = StreamingEngine::new(af.clone(), 3).expect("engine builds");
     let mut stream_segments = Vec::new();
     for i in 0..trace.len() {
-        let s = [trace.channel(0)[i], trace.channel(1)[i], trace.channel(2)[i]];
+        let s = [
+            trace.channel(0)[i],
+            trace.channel(1)[i],
+            trace.channel(2)[i],
+        ];
         if let Some(ev) = engine.push(&s).expect("push") {
             stream_segments.push(ev.segment());
         }
@@ -110,10 +124,7 @@ fn quiet_stream_stays_quiet() {
     let (af, _) = trained_pipeline(33);
     let mut engine = StreamingEngine::new(af, 3).expect("engine builds");
     for _ in 0..1500 {
-        assert!(engine
-            .push(&[250.0, 251.0, 249.0])
-            .expect("push")
-            .is_none());
+        assert!(engine.push(&[250.0, 251.0, 249.0]).expect("push").is_none());
     }
     assert!(engine.flush().expect("flush").is_none());
 }

@@ -79,18 +79,26 @@ fn full_scrolls_track_direction_and_velocity() {
 
 #[test]
 fn displacement_is_consistent_with_velocity_and_duration() {
-    let spec = CorpusSpec { gestures: vec![Gesture::ScrollUp], ..small_spec(52) };
+    let spec = CorpusSpec {
+        gestures: vec![Gesture::ScrollUp],
+        ..small_spec(52)
+    };
     let config = test_config();
     let processor = DataProcessor::new(config);
     let zebra = Zebra::new(config);
     let profile = UserProfile::sample(0, spec.seed);
-    let s = generate_sample(&profile, SampleLabel::Gesture(Gesture::ScrollUp), 0, 0, &spec);
+    let s = generate_sample(
+        &profile,
+        SampleLabel::Gesture(Gesture::ScrollUp),
+        0,
+        0,
+        &spec,
+    );
     let w = processor.primary_window(&s.trace);
     let track = zebra.track(&w).expect("scroll tracked");
     let t = track.duration_s / 2.0;
     assert!(
-        (track.displacement_mm(t) - track.direction.alpha() * track.velocity_mm_s * t).abs()
-            < 1e-9
+        (track.displacement_mm(t) - track.direction.alpha() * track.velocity_mm_s * t).abs() < 1e-9
     );
     assert_eq!(
         track.total_displacement_mm(),
@@ -107,7 +115,10 @@ fn detect_gestures_rarely_produce_tracks() {
     // detect-aimed upstream. We assert the upstream contract: the full
     // pipeline routes clicks to Detect (see pipeline_integration) — here
     // we check the lag statistic directly.
-    let spec = CorpusSpec { gestures: vec![Gesture::Click], ..small_spec(53) };
+    let spec = CorpusSpec {
+        gestures: vec![Gesture::Click],
+        ..small_spec(53)
+    };
     let config = test_config();
     let processor = DataProcessor::new(config);
     let mut small_lag = 0;
@@ -115,8 +126,13 @@ fn detect_gestures_rarely_produce_tracks() {
     for user in 0..spec.users {
         let profile = UserProfile::sample(user, spec.seed);
         for rep in 0..3 {
-            let s =
-                generate_sample(&profile, SampleLabel::Gesture(Gesture::Click), 0, rep, &spec);
+            let s = generate_sample(
+                &profile,
+                SampleLabel::Gesture(Gesture::Click),
+                0,
+                rep,
+                &spec,
+            );
             let w = processor.primary_window(&s.trace);
             let timing = w.channel_timing(&config);
             total += 1;

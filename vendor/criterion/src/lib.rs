@@ -1,0 +1,452 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! The registry is unreachable in this build environment, so this crate
+//! provides the subset of the Criterion API the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`black_box`], [`BenchmarkId`], [`Throughput`] and
+//! the [`criterion_group!`] / [`criterion_main!`] macros — backed by a
+//! straightforward wall-clock measurement loop: warm up for
+//! `warm_up_time`, then run timed batches until `measurement_time`
+//! elapses (at least `sample_size` batches), and report the mean, best
+//! and worst per-iteration time.
+//!
+//! A benchmark binary built with these macros understands `--bench`
+//! (ignored), `--test` (runs each benchmark once, for CI smoke), and an
+//! optional substring filter argument, mirroring upstream behavior.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group (recorded, shown per run).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Parameter-only id (the group name provides the prefix).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    /// (total elapsed, iterations) accumulated by [`Bencher::iter`].
+    samples: Vec<(Duration, u64)>,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+enum Mode {
+    /// Full measurement.
+    Measure,
+    /// `--test`: run the closure once and record nothing.
+    Smoke,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly under the timer.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if matches!(self.mode, Mode::Smoke) {
+            black_box(f());
+            return;
+        }
+        // Warm-up: run until the warm-up budget elapses, measuring the
+        // rough per-iteration cost to size timed batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start
+            .elapsed()
+            .checked_div(warm_iters as u32)
+            .unwrap_or_default();
+        // Size each batch to ~1/sample_size of the measurement budget.
+        let batch_budget = self
+            .measurement_time
+            .checked_div(self.sample_size as u32)
+            .unwrap_or_default();
+        let batch_iters = if per_iter.is_zero() {
+            1000
+        } else {
+            (batch_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement_time
+            || self.samples.len() < self.sample_size
+        {
+            let t0 = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(f());
+            }
+            self.samples.push((t0.elapsed(), batch_iters));
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Shared settings + reporting for one benchmark run.
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+    smoke: bool,
+}
+
+impl Settings {
+    fn from_args() -> (Option<String>, bool) {
+        let mut filter = None;
+        let mut smoke = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => smoke = true,
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        (filter, smoke)
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let (filter, smoke) = Settings::from_args();
+        Criterion {
+            settings: Settings {
+                sample_size: 20,
+                measurement_time: Duration::from_secs(3),
+                warm_up_time: Duration::from_millis(500),
+                filter,
+                smoke,
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed batches per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Total timed-measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Accept and ignore CLI re-configuration (upstream compatibility).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&self.settings, name, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings: self.settings.clone(),
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed batches per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Total timed-measurement budget per benchmark in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_one(&self.settings, &id, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input reference.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (reporting happens per benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    settings: &Settings,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if let Some(filter) = &settings.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        mode: if settings.smoke {
+            Mode::Smoke
+        } else {
+            Mode::Measure
+        },
+        samples: Vec::new(),
+        warm_up_time: settings.warm_up_time,
+        measurement_time: settings.measurement_time,
+        sample_size: settings.sample_size,
+    };
+    f(&mut bencher);
+    if settings.smoke {
+        println!("{id}: smoke ok");
+        return;
+    }
+    if bencher.samples.is_empty() {
+        println!("{id}: no samples (closure never called iter)");
+        return;
+    }
+    let per_batch: Vec<Duration> = bencher
+        .samples
+        .iter()
+        .map(|(d, n)| d.checked_div(*n as u32).unwrap_or_default())
+        .collect();
+    let total_iters: u64 = bencher.samples.iter().map(|(_, n)| n).sum();
+    let total_time: Duration = bencher.samples.iter().map(|(d, _)| *d).sum();
+    let mean = total_time
+        .checked_div(total_iters as u32)
+        .unwrap_or_default();
+    let best = per_batch.iter().min().copied().unwrap_or_default();
+    let worst = per_batch.iter().max().copied().unwrap_or_default();
+    let mut line = format!(
+        "{id}: mean {} [best {} worst {}] ({} iters)",
+        format_duration(mean),
+        format_duration(best),
+        format_duration(worst),
+        total_iters,
+    );
+    if let Some(t) = throughput {
+        let secs = mean.as_secs_f64();
+        if secs > 0.0 {
+            match t {
+                Throughput::Elements(n) => {
+                    let _ = write!(line, "  {:.0} elem/s", n as f64 / secs);
+                }
+                Throughput::Bytes(n) => {
+                    let _ = write!(line, "  {:.0} B/s", n as f64 / secs);
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Define a benchmark group: either `criterion_group!(name, fn1, fn2)` or
+/// the `name = …; config = …; targets = …` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut criterion: $crate::Criterion = $config;
+                    $target(&mut criterion);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_settings() -> Settings {
+        Settings {
+            sample_size: 2,
+            measurement_time: Duration::from_millis(20),
+            warm_up_time: Duration::from_millis(5),
+            filter: None,
+            smoke: false,
+        }
+    }
+
+    #[test]
+    fn measures_and_reports() {
+        let mut calls = 0u64;
+        run_one(&fast_settings(), "unit/measure", None, |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            });
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut settings = fast_settings();
+        settings.filter = Some("other".to_string());
+        let mut calls = 0u64;
+        run_one(&settings, "unit/filtered", None, |b| {
+            b.iter(|| {
+                calls += 1;
+            });
+        });
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut settings = fast_settings();
+        settings.smoke = true;
+        let mut calls = 0u64;
+        run_one(&settings, "unit/smoke", None, |b| {
+            b.iter(|| {
+                calls += 1;
+            });
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("sbc", 128).id, "sbc/128");
+        assert_eq!(BenchmarkId::from_parameter("RF").id, "RF");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(5)), "5 ns");
+        assert!(format_duration(Duration::from_micros(12)).contains("µs"));
+        assert!(format_duration(Duration::from_millis(12)).contains("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,407 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` macros for the
+//! vendored `serde` crate.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote — the
+//! registry is unreachable in this build environment). Supports the shapes
+//! this workspace uses:
+//!
+//! - structs with named fields (and unit structs),
+//! - enums with unit, tuple and struct variants,
+//!
+//! encoded the way upstream serde encodes them (externally tagged): unit
+//! variants as strings, `V(x)` as `{"V": x}`, `V(a, b)` as `{"V": [a, b]}`,
+//! `V { f }` as `{"V": {"f": …}}`. Generics and `#[serde(...)]` attributes
+//! are not supported — the attribute is accepted and ignored so upstream
+//! annotations fail loudly at the test level rather than at parse time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Parsed {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skip `#[...]` attribute pairs starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in …)` starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Collect the named fields of a brace-delimited body: `[attrs] [vis]
+/// name: Type,` — commas inside generic angle brackets do not split.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_vis(body, skip_attrs(body, i));
+        let name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive: expected field name, found `{other}`"),
+            None => break,
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("serde_derive: expected `:` after field `{name}`"),
+        }
+        let mut angle = 0i32;
+        while let Some(tok) = body.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Count the top-level comma-separated entries of a tuple body.
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    if body.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut angle = 0i32;
+    let mut trailing = false;
+    for tok in body {
+        trailing = false;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    n += 1;
+                    trailing = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing {
+        n -= 1;
+    }
+    n
+}
+
+fn parse_variants(body: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_vis(body, skip_attrs(body, i));
+        let name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive: expected variant name, found `{other}`"),
+            None => break,
+        };
+        i += 1;
+        let shape = match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Shape::Tuple(count_tuple_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Shape::Struct(parse_named_fields(&inner))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip any discriminant (`= expr`) up to the next top-level comma.
+        while let Some(tok) = body.get(i) {
+            i += 1;
+            if let TokenTree::Punct(p) = tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported by the vendored derive");
+        }
+    }
+    let body = tokens[i..].iter().find_map(|tok| match tok {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+            Some(g.stream().into_iter().collect::<Vec<TokenTree>>())
+        }
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+            panic!("serde_derive: tuple struct `{name}` is not supported by the vendored derive")
+        }
+        _ => None,
+    });
+    match (kind.as_str(), body) {
+        ("struct", Some(body)) => Parsed::Struct {
+            name,
+            fields: parse_named_fields(&body),
+        },
+        ("struct", None) => Parsed::Struct {
+            name,
+            fields: Vec::new(),
+        },
+        ("enum", Some(body)) => Parsed::Enum {
+            name,
+            variants: parse_variants(&body),
+        },
+        _ => panic!("serde_derive: cannot derive for `{kind} {name}`"),
+    }
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Parsed::Struct { name, fields } => {
+            let mut inserts = String::new();
+            for f in &fields {
+                inserts.push_str(&format!(
+                    "__map.insert(\"{f}\", ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         #[allow(unused_mut)]\n\
+                         let mut __map = ::serde::Map::new();\n\
+                         {inserts}\
+                         ::serde::Value::Object(__map)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Parsed::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__a0) => {{\n\
+                             let mut __map = ::serde::Map::new();\n\
+                             __map.insert(\"{vn}\", ::serde::Serialize::to_value(__a0));\n\
+                             ::serde::Value::Object(__map)\n\
+                         }}\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__a{k}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                                 let mut __map = ::serde::Map::new();\n\
+                                 __map.insert(\"{vn}\", ::serde::Value::Array(vec![{}]));\n\
+                                 ::serde::Value::Object(__map)\n\
+                             }}\n",
+                            binds.join(", "),
+                            elems.join(", "),
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inserts = String::new();
+                        for f in fields {
+                            inserts.push_str(&format!(
+                                "__inner.insert(\"{f}\", ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                                 let mut __inner = ::serde::Map::new();\n\
+                                 {inserts}\
+                                 let mut __map = ::serde::Map::new();\n\
+                                 __map.insert(\"{vn}\", ::serde::Value::Object(__inner));\n\
+                                 ::serde::Value::Object(__map)\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Parsed::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                inits.push_str(&format!("{f}: ::serde::field(__obj, \"{f}\")?,\n"));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         #[allow(unused_variables)]\n\
+                         let __obj = __v.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Parsed::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                        // Also accept the tagged-null form `{"V": null}`.
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    Shape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!(
+                                    "::serde::Deserialize::from_value(__arr.get({k}).ok_or_else(|| \
+                                     ::serde::Error::custom(\"tuple variant {vn} too short\"))?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let __arr = __inner.as_array().ok_or_else(|| \
+                                     ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n\
+                             }}\n",
+                            elems.join(", "),
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!("{f}: ::serde::field(__io, \"{f}\")?,\n"));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let __io = __inner.as_object().ok_or_else(|| \
+                                     ::serde::Error::custom(\"expected object for {name}::{vn}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\
+                                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                                 let (__tag, __inner) = __o.iter().next().expect(\"len checked\");\n\
+                                 let _ = __inner;\n\
+                                 match __tag {{\n\
+                                     {tagged_arms}\
+                                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                         format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"expected string or single-key object for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
