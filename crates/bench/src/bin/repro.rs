@@ -6,19 +6,27 @@
 //! repro all --scale full          # the paper's full 10,000-sample protocol
 //! repro all --threads 4           # fan experiments across 4 workers
 //! repro all --json results.json   # also dump machine-readable results
+//! repro all --metrics run.json    # structured run report (timings + metrics)
+//! repro all --label nightly       # also snapshot the report as BENCH_nightly.json
+//! repro all --trace               # print every instrumentation span to stderr
 //! ```
 //!
 //! Experiments are independent given the shared [`Context`], so they fan
 //! out across worker threads (`--threads`, the `AIRFINGER_THREADS`
 //! environment variable, or the machine's core count). Reports are
-//! printed in request order regardless of completion order, with
-//! per-experiment wall-clock timing on stderr.
+//! printed in request order regardless of completion order.
+//!
+//! Per-experiment wall time has a single source of truth: a traced
+//! [`airfinger_obs`] span per experiment, which prints to stderr on
+//! completion *and* feeds the `repro_experiment_seconds` histogram that
+//! the `--metrics` run report serializes — the stderr line and the JSON
+//! number can never disagree.
 
 use airfinger_bench::context::{Context, Scale};
 use airfinger_bench::{run_experiment, EXPERIMENT_IDS};
+use airfinger_obs::report::RunReport;
 use airfinger_parallel::{effective_threads, par_run};
 use std::io::Write;
-use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,6 +34,8 @@ fn main() {
     let mut scale = Scale::Standard;
     let mut seed = 0x41F1_6E12u64;
     let mut json_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut label: Option<String> = None;
     let mut threads_arg: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -61,6 +71,21 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--metrics" => match it.next() {
+                Some(p) => metrics_path = Some(p.clone()),
+                None => {
+                    eprintln!("--metrics needs a path");
+                    std::process::exit(2);
+                }
+            },
+            "--label" => match it.next() {
+                Some(l) if !l.is_empty() => label = Some(l.clone()),
+                _ => {
+                    eprintln!("--label needs a name");
+                    std::process::exit(2);
+                }
+            },
+            "--trace" => airfinger_obs::set_trace(true),
             "--help" | "-h" => {
                 print_help();
                 return;
@@ -92,34 +117,62 @@ fn main() {
         "[repro] running {} experiment(s) on {threads} worker thread(s)",
         ids.len()
     );
-    let total_start = Instant::now();
+    let run_span = airfinger_obs::span_with("repro_run_seconds", &[]);
     let timed: Vec<_> = par_run(ids.len(), threads, |i| {
-        let start = Instant::now();
+        let span =
+            airfinger_obs::span_with("repro_experiment_seconds", &[("id", &ids[i])]).traced();
         let report = run_experiment(&ids[i], &ctx).expect("id validated above");
-        let elapsed = start.elapsed();
-        eprintln!(
-            "[repro] {} finished in {:.2}s",
-            ids[i],
-            elapsed.as_secs_f64()
-        );
+        let elapsed = span.elapsed_s();
+        drop(span);
         (report, elapsed)
     });
+    let wall = run_span.elapsed_s();
+    drop(run_span);
     let mut reports = Vec::with_capacity(timed.len());
-    for (report, _) in timed {
+    let mut timings = Vec::with_capacity(timed.len());
+    for (id, (report, elapsed)) in ids.iter().zip(timed) {
         report.print();
         reports.push(report);
+        timings.push((id.clone(), elapsed));
     }
     eprintln!(
-        "[repro] {} experiment(s) done in {:.2}s wall-clock",
-        reports.len(),
-        total_start.elapsed().as_secs_f64()
+        "[repro] {} experiment(s) done in {wall:.2}s wall-clock",
+        reports.len()
     );
     if let Some(path) = json_path {
         let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
-        let mut f = std::fs::File::create(&path).expect("create json output");
-        f.write_all(json.as_bytes()).expect("write json output");
+        write_file(&path, json.as_bytes());
         eprintln!("[repro] wrote {path}");
     }
+    if metrics_path.is_some() || label.is_some() {
+        let mut run = RunReport::new(
+            label.as_deref().unwrap_or("repro"),
+            airfinger_obs::global().snapshot(),
+        );
+        run.meta("scale", format!("{scale:?}").to_lowercase());
+        run.meta("seed", seed);
+        run.meta("threads", threads);
+        run.meta("wall_clock_s", format!("{wall:.3}"));
+        for (id, seconds) in &timings {
+            run.experiment(id, *seconds);
+        }
+        let json = run.to_json();
+        if let Some(path) = &metrics_path {
+            write_file(path, json.as_bytes());
+            eprintln!("[repro] wrote run report to {path}");
+        }
+        if let Some(name) = &label {
+            let path = format!("BENCH_{name}.json");
+            write_file(&path, json.as_bytes());
+            eprintln!("[repro] wrote benchmark snapshot to {path}");
+        }
+    }
+}
+
+fn write_file(path: &str, bytes: &[u8]) {
+    let mut f = std::fs::File::create(path).unwrap_or_else(|e| panic!("create {path}: {e}"));
+    f.write_all(bytes)
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
 }
 
 fn print_help() {
@@ -127,8 +180,14 @@ fn print_help() {
     println!();
     println!(
         "usage: repro [IDS…|all] [--scale quick|standard|full] [--seed N] \
-         [--threads N] [--json PATH]"
+         [--threads N] [--json PATH] [--metrics PATH] [--label NAME] [--trace]"
     );
+    println!();
+    println!("  --json PATH     dump the experiment results as JSON");
+    println!("  --metrics PATH  write a structured run report: per-experiment wall");
+    println!("                  time plus every counter and latency histogram");
+    println!("  --label NAME    also snapshot the run report as BENCH_NAME.json");
+    println!("  --trace         print every instrumentation span to stderr");
     println!();
     println!("experiments: {EXPERIMENT_IDS:?}");
 }

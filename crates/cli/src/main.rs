@@ -7,12 +7,39 @@
 //! airfinger adapt --model model.json --corpus corpus.json --enroll me.json --out adapted.json
 //! airfinger info --model model.json
 //! ```
+//!
+//! Every command also accepts the global observability flags
+//! `--metrics PATH` (write a machine-readable run report on exit) and
+//! `--trace` (print every instrumentation span to stderr).
 
 mod args;
 mod commands;
 
+/// Strip the global `--metrics PATH` / `--trace` flags out of the argv,
+/// returning the remaining arguments and the requested metrics path.
+fn split_global_flags(argv: Vec<String>) -> (Vec<String>, Option<String>) {
+    let mut rest = Vec::with_capacity(argv.len());
+    let mut metrics = None;
+    let mut it = argv.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--metrics" => match it.next() {
+                Some(p) => metrics = Some(p),
+                None => {
+                    eprintln!("--metrics needs a path");
+                    std::process::exit(2);
+                }
+            },
+            "--trace" => airfinger_obs::set_trace(true),
+            _ => rest.push(arg),
+        }
+    }
+    (rest, metrics)
+}
+
 fn main() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (argv, metrics_path) = split_global_flags(std::env::args().skip(1).collect());
+    let command = argv.first().cloned().unwrap_or_default();
     let code = match argv.first().map(String::as_str) {
         Some("generate") => commands::generate(&argv[1..]),
         Some("train") => commands::train(&argv[1..]),
@@ -29,6 +56,21 @@ fn main() {
             2
         }
     };
+    if let Some(path) = metrics_path {
+        let mut report = airfinger_obs::report::RunReport::new(
+            "airfinger-cli",
+            airfinger_obs::global().snapshot(),
+        );
+        report.meta("command", &command);
+        report.meta("exit_code", code);
+        match std::fs::write(&path, report.to_json()) {
+            Ok(()) => eprintln!("[airfinger] wrote run report to {path}"),
+            Err(e) => {
+                eprintln!("[airfinger] failed to write run report to {path}: {e}");
+                std::process::exit(if code == 0 { 1 } else { code });
+            }
+        }
+    }
     std::process::exit(code);
 }
 
@@ -48,4 +90,9 @@ fn print_help() {
     println!("             [--mix F] [--trials N]");
     println!("  info       describe a trained model");
     println!("             --model PATH [--top N]");
+    println!();
+    println!("global flags (any command):");
+    println!("  --metrics PATH  write a machine-readable run report (counters,");
+    println!("                  latency histograms) as JSON on exit");
+    println!("  --trace         print every instrumentation span to stderr");
 }

@@ -146,7 +146,12 @@ impl DetectRecognizer {
         if !self.trained {
             return Err(AirFingerError::NotTrained);
         }
-        Ok(self.forest.predict(&self.features(window))?)
+        let features = {
+            let _s = airfinger_obs::span!("pipeline_stage_seconds", stage = "features");
+            self.features(window)
+        };
+        let _s = airfinger_obs::span!("pipeline_stage_seconds", stage = "rf_predict");
+        Ok(self.forest.predict(&features)?)
     }
 
     /// Predict the gesture index from a precomputed feature row (the

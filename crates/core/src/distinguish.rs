@@ -48,6 +48,7 @@ impl Distinguisher {
     /// a scroll passing only `P1` is still a scroll).
     #[must_use]
     pub fn classify(&self, window: &GestureWindow) -> GestureFamily {
+        let _span = airfinger_obs::span!("pipeline_stage_seconds", stage = "distinguish");
         let timing = window.channel_timing(&self.config);
         let ig = self.config.ig_samples() as isize;
         match timing.lag_samples {

@@ -109,6 +109,8 @@ impl StreamingEngine {
         if sample.len() != self.channel_count {
             return Err(AirFingerError::InvalidTrainingData("sample width mismatch"));
         }
+        let _span = airfinger_obs::span!("engine_push_seconds");
+        airfinger_obs::counter!("engine_samples_total").inc();
         let mut activity = 0.0f64;
         let position = self.segmenter.position();
         for (k, &raw) in sample.iter().enumerate() {
@@ -175,6 +177,7 @@ impl StreamingEngine {
     ///
     /// Propagates recognition errors.
     pub fn flush(&mut self) -> Result<Option<Recognition>, AirFingerError> {
+        let _span = airfinger_obs::span!("engine_flush_seconds");
         match self.segmenter.flush() {
             Some(seg) => self.emit(seg).map(Some),
             None => Ok(None),

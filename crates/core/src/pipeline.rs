@@ -204,7 +204,12 @@ impl AirFinger {
             return Err(AirFingerError::NotTrained);
         }
         if let Some(filter) = &self.filter {
-            if !filter.is_gesture(window)? {
+            let is_gesture = {
+                let _s = airfinger_obs::span!("pipeline_stage_seconds", stage = "filter");
+                filter.is_gesture(window)?
+            };
+            if !is_gesture {
+                airfinger_obs::counter!("pipeline_recognitions_total", kind = "rejected").inc();
                 return Ok(Recognition::Rejected {
                     segment: window.segment,
                 });
@@ -221,7 +226,11 @@ impl AirFinger {
                 // ZEBRA supplies Δt / velocity / displacement; the
                 // recognized class supplies the direction (the two agree
                 // when the envelope lag is clean).
-                let track = match self.zebra.track(window) {
+                let tracked = {
+                    let _s = airfinger_obs::span!("pipeline_stage_seconds", stage = "zebra");
+                    self.zebra.track(window)
+                };
+                let track = match tracked {
                     Some(t) => ScrollTrack { direction, ..t },
                     None => ScrollTrack {
                         direction,
@@ -231,15 +240,19 @@ impl AirFinger {
                         duration_s: window.duration_s(),
                     },
                 };
+                airfinger_obs::counter!("pipeline_recognitions_total", kind = "track").inc();
                 Ok(Recognition::Track {
                     track,
                     segment: window.segment,
                 })
             }
-            detect_aimed => Ok(Recognition::Detect {
-                gesture: detect_aimed,
-                segment: window.segment,
-            }),
+            detect_aimed => {
+                airfinger_obs::counter!("pipeline_recognitions_total", kind = "detect").inc();
+                Ok(Recognition::Detect {
+                    gesture: detect_aimed,
+                    segment: window.segment,
+                })
+            }
         }
     }
 

@@ -258,10 +258,8 @@ impl DataProcessor {
     /// Segment a recording into gesture windows.
     #[must_use]
     pub fn process(&self, trace: &RssTrace) -> Vec<GestureWindow> {
-        let delta = self.sbc(trace);
-        let smoothed = self.smoothed(&delta);
-        let thresholds = self.thresholds(&smoothed);
-        let segments = Segmenter::new(self.config.segmenter).segment_multi(&smoothed, &thresholds);
+        let (delta, _smoothed, thresholds, segments) = self.stages(trace);
+        airfinger_obs::counter!("pipeline_windows_total").add(segments.len() as u64);
         segments
             .into_iter()
             .map(|seg| GestureWindow {
@@ -288,10 +286,8 @@ impl DataProcessor {
     /// back to the whole trace when segmentation finds nothing.
     #[must_use]
     pub fn primary_window(&self, trace: &RssTrace) -> GestureWindow {
-        let delta = self.sbc(trace);
-        let smoothed = self.smoothed(&delta);
-        let thresholds = self.thresholds(&smoothed);
-        let segments = Segmenter::new(self.config.segmenter).segment_multi(&smoothed, &thresholds);
+        let (delta, smoothed, thresholds, segments) = self.stages(trace);
+        airfinger_obs::counter!("pipeline_windows_total").inc();
         let segment = self
             .dominant_span(&smoothed, &segments, trace.sample_rate_hz())
             .unwrap_or_else(|| Segment::new(0, trace.len()));
@@ -306,6 +302,28 @@ impl DataProcessor {
             thresholds,
             sample_rate_hz: trace.sample_rate_hz(),
         }
+    }
+
+    /// The shared front half of [`DataProcessor::process`] and
+    /// [`DataProcessor::primary_window`], with a latency span per stage:
+    /// SBC, threshold computation, segmentation.
+    #[allow(clippy::type_complexity)]
+    fn stages(&self, trace: &RssTrace) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<f64>, Vec<Segment>) {
+        let delta = {
+            let _s = airfinger_obs::span!("pipeline_stage_seconds", stage = "sbc");
+            self.sbc(trace)
+        };
+        let (smoothed, thresholds) = {
+            let _s = airfinger_obs::span!("pipeline_stage_seconds", stage = "threshold");
+            let smoothed = self.smoothed(&delta);
+            let thresholds = self.thresholds(&smoothed);
+            (smoothed, thresholds)
+        };
+        let segments = {
+            let _s = airfinger_obs::span!("pipeline_stage_seconds", stage = "segment");
+            Segmenter::new(self.config.segmenter).segment_multi(&smoothed, &thresholds)
+        };
+        (delta, smoothed, thresholds, segments)
     }
 
     /// Merge the dominant segment with energetically comparable neighbours.

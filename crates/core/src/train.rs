@@ -54,6 +54,7 @@ pub fn feature_set<F>(
 where
     F: Fn(&airfinger_synth::dataset::GestureSample) -> Option<usize> + Sync,
 {
+    let _span = airfinger_obs::span!("train_feature_extraction_seconds");
     let processor = DataProcessor::new(*config);
     let threads = airfinger_parallel::effective_threads(Some(config.n_threads));
     let rows = airfinger_parallel::par_map(corpus.samples(), threads, |s| {
@@ -70,6 +71,7 @@ where
         out.sessions.push(session);
         out.reps.push(rep);
     }
+    airfinger_obs::counter!("train_feature_rows_total").add(out.len() as u64);
     out
 }
 

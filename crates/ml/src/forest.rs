@@ -134,6 +134,7 @@ impl RandomForest {
     ///
     /// Same conditions as [`Classifier::predict`].
     pub fn predict_proba_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, MlError> {
+        let _span = airfinger_obs::span!("ml_forest_predict_batch_seconds");
         let threads = effective_threads(Some(self.config.n_threads));
         par_map(xs, threads, |x| self.predict_proba(x))
             .into_iter()
@@ -143,6 +144,7 @@ impl RandomForest {
 
 impl Classifier for RandomForest {
     fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<(), MlError> {
+        let _span = airfinger_obs::span!("ml_forest_fit_seconds");
         let (n_features, n_classes) = validate_training_set(x, y)?;
         if self.config.n_trees == 0 {
             return Err(MlError::InvalidParameter {
@@ -173,6 +175,7 @@ impl Classifier for RandomForest {
             tree.fit_indices(x, y, &indices).map(|()| tree)
         });
         self.trees = built.into_iter().collect::<Result<Vec<_>, _>>()?;
+        airfinger_obs::counter!("ml_trees_trained_total").add(self.trees.len() as u64);
         // Average importances across trees.
         let mut acc = vec![0.0; n_features];
         for t in &self.trees {
@@ -203,6 +206,7 @@ impl Classifier for RandomForest {
 
     /// Batch prediction fanned across the configured worker threads.
     fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<usize>, MlError> {
+        let _span = airfinger_obs::span!("ml_forest_predict_batch_seconds");
         let threads = effective_threads(Some(self.config.n_threads));
         par_map(xs, threads, |x| self.predict(x))
             .into_iter()

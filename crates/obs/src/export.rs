@@ -1,0 +1,403 @@
+//! Snapshot exporters: machine-readable JSON and Prometheus text format.
+//!
+//! Both are hand-rolled (this crate takes no dependencies, not even the
+//! workspace's vendored `serde_json`) and deterministic: metrics render
+//! sorted by identity, so two snapshots of identical state produce
+//! identical bytes.
+
+use crate::registry::{HistogramSnapshot, MetricId, Snapshot};
+use std::fmt::Write;
+
+impl Snapshot {
+    /// Render as a JSON object:
+    ///
+    /// ```json
+    /// {
+    ///   "counters": [{"name": "...", "labels": {...}, "value": 1}],
+    ///   "gauges": [{"name": "...", "labels": {...}, "value": 1.5}],
+    ///   "histograms": [{"name": "...", "labels": {...}, "count": 2,
+    ///                   "sum": 0.5, "mean": 0.25,
+    ///                   "buckets": [{"le": 1.0, "count": 2},
+    ///                               {"le": "+Inf", "count": 2}]}]
+    /// }
+    /// ```
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": [");
+        for (i, c) in self.counters.iter().enumerate() {
+            push_sep(&mut out, i);
+            let _ = write!(
+                out,
+                "{{\"name\": {}, \"labels\": {}, \"value\": {}}}",
+                json_string(&c.id.name),
+                json_labels(&c.id),
+                c.value
+            );
+        }
+        out.push_str("],\n  \"gauges\": [");
+        for (i, g) in self.gauges.iter().enumerate() {
+            push_sep(&mut out, i);
+            let _ = write!(
+                out,
+                "{{\"name\": {}, \"labels\": {}, \"value\": {}}}",
+                json_string(&g.id.name),
+                json_labels(&g.id),
+                json_number(g.value)
+            );
+        }
+        out.push_str("],\n  \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            push_sep(&mut out, i);
+            out.push_str(&histogram_json(h));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Render in the Prometheus text exposition format (`# HELP`/`# TYPE`
+    /// lines, `_bucket`/`_sum`/`_count` histogram series, escaped label
+    /// values and help text).
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            prom_header(&mut out, &c.id.name, &c.help, "counter");
+            let _ = writeln!(out, "{} {}", prom_identity(&c.id, &[]), c.value);
+        }
+        for g in &self.gauges {
+            prom_header(&mut out, &g.id.name, &g.help, "gauge");
+            let _ = writeln!(
+                out,
+                "{} {}",
+                prom_identity(&g.id, &[]),
+                prom_number(g.value)
+            );
+        }
+        for h in &self.histograms {
+            prom_header(&mut out, &h.id.name, &h.help, "histogram");
+            let base = sanitize_name(&h.id.name);
+            for (edge, count) in h
+                .edges
+                .iter()
+                .map(|e| prom_number(*e))
+                .chain(std::iter::once("+Inf".to_string()))
+                .zip(&h.cumulative)
+            {
+                let _ = writeln!(
+                    out,
+                    "{} {count}",
+                    prom_identity_named(&format!("{base}_bucket"), &h.id, &[("le", &edge)])
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{} {}",
+                prom_identity_named(&format!("{base}_sum"), &h.id, &[]),
+                prom_number(h.sum)
+            );
+            let _ = writeln!(
+                out,
+                "{} {}",
+                prom_identity_named(&format!("{base}_count"), &h.id, &[]),
+                h.count
+            );
+        }
+        out
+    }
+}
+
+fn push_sep(out: &mut String, i: usize) {
+    if i > 0 {
+        out.push_str(", ");
+    }
+    out.push_str("\n    ");
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"name\": {}, \"labels\": {}, \"count\": {}, \"sum\": {}, \"mean\": {}, \"buckets\": [",
+        json_string(&h.id.name),
+        json_labels(&h.id),
+        h.count,
+        json_number(h.sum),
+        json_number(h.mean())
+    );
+    for (i, (edge, count)) in h
+        .edges
+        .iter()
+        .map(|e| json_number(*e))
+        .chain(std::iter::once("\"+Inf\"".to_string()))
+        .zip(&h.cumulative)
+        .enumerate()
+    {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{{\"le\": {edge}, \"count\": {count}}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Escape and quote a JSON string.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a finite f64 as a JSON number (non-finite values become null —
+/// JSON has no Inf/NaN).
+#[must_use]
+pub fn json_number(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    // `{}` on f64 is the shortest roundtrip-exact form, but bare integers
+    // ("3") are still valid JSON numbers, so no fixup is needed.
+    format!("{v}")
+}
+
+fn json_labels(id: &MetricId) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in id.labels.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {}", json_string(k), json_string(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Replace characters outside `[a-zA-Z0-9_:]` with `_` and prefix a
+/// leading digit — Prometheus metric-name rules.
+#[must_use]
+pub fn sanitize_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a Prometheus label **value**: backslash, double-quote and
+/// newline must be escaped inside the quoted value.
+#[must_use]
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape Prometheus `# HELP` text: only backslash and newline.
+#[must_use]
+pub fn escape_help(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    for ch in help.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn prom_header(out: &mut String, name: &str, help: &str, kind: &str) {
+    let name = sanitize_name(name);
+    if !help.is_empty() {
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+    }
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn prom_identity(id: &MetricId, extra: &[(&str, &str)]) -> String {
+    prom_identity_named(&sanitize_name(&id.name), id, extra)
+}
+
+fn prom_identity_named(name: &str, id: &MetricId, extra: &[(&str, &str)]) -> String {
+    let mut pairs: Vec<(String, String)> = id
+        .labels
+        .iter()
+        .map(|(k, v)| (sanitize_name(k), escape_label_value(v)))
+        .collect();
+    pairs.extend(
+        extra
+            .iter()
+            .map(|(k, v)| (sanitize_name(k), escape_label_value(v))),
+    );
+    if pairs.is_empty() {
+        return name.to_string();
+    }
+    let body: Vec<String> = pairs
+        .into_iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect();
+    format!("{name}{{{}}}", body.join(","))
+}
+
+/// Render an f64 the way Prometheus expects (`+Inf`, `-Inf`, `NaN`
+/// spelled out).
+#[must_use]
+pub fn prom_number(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("events_total", &[("kind", "ok")], "Number of events")
+            .add(3);
+        r.gauge("depth", &[], "Queue depth").set(1.5);
+        let h = r.histogram("lat_seconds", &[], vec![0.1, 1.0], "Latency");
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(5.0);
+        r
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn json_export_parses_and_roundtrips_values() {
+        let snap = sample_registry().snapshot();
+        let json = snap.to_json();
+        let value: serde::Value = serde_json::from_str(&json).expect("exporter emits valid JSON");
+        let text = serde_json::to_string(&value).unwrap();
+        assert!(text.contains("events_total"));
+        assert!(text.contains("lat_seconds"));
+        assert!(json.contains("\"mean\""));
+        assert!(json.contains("\"+Inf\""));
+    }
+
+    #[test]
+    fn json_escapes_control_and_quote_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_string("\u{1}"), r#""\u0001""#);
+        let _: serde::Value = serde_json::from_str(&json_string("q\"\\\n\t\r\u{2}")).unwrap();
+    }
+
+    #[test]
+    fn json_numbers_are_finite_or_null() {
+        assert_eq!(json_number(2.5), "2.5");
+        assert_eq!(json_number(3.0), "3");
+        assert_eq!(json_number(f64::INFINITY), "null");
+        assert_eq!(json_number(f64::NAN), "null");
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn prometheus_format_shape() {
+        let text = sample_registry().snapshot().to_prometheus();
+        assert!(text.contains("# HELP events_total Number of events\n"));
+        assert!(text.contains("# TYPE events_total counter\n"));
+        assert!(text.contains("events_total{kind=\"ok\"} 3\n"));
+        assert!(text.contains("# TYPE lat_seconds histogram\n"));
+        assert!(text.contains("lat_seconds_bucket{le=\"0.1\"} 1\n"));
+        assert!(text.contains("lat_seconds_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_seconds_count 3\n"));
+        assert!(text.contains("depth 1.5\n"));
+    }
+
+    #[test]
+    fn prometheus_escaping_rules() {
+        // Label values: backslash, quote and newline escaped.
+        assert_eq!(escape_label_value(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        // Help text: backslash and newline, but quotes pass through.
+        assert_eq!(escape_help("x\ny"), "x\\ny");
+        assert_eq!(escape_help(r#"say "hi""#), r#"say "hi""#);
+        assert_eq!(escape_help("back\\slash"), "back\\\\slash");
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn prometheus_escapes_hostile_labels_end_to_end() {
+        let r = Registry::new();
+        r.counter("weird total", &[("path", "C:\\dir\n\"x\"")], "multi\nline")
+            .inc();
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# HELP weird_total multi\\nline\n"));
+        assert!(
+            text.contains(r#"weird_total{path="C:\\dir\n\"x\""} 1"#),
+            "{text}"
+        );
+        // No raw newline may survive inside any sample line.
+        for line in text.lines() {
+            assert!(!line.contains('\r'));
+        }
+    }
+
+    #[test]
+    fn names_sanitize_to_prometheus_charset() {
+        assert_eq!(sanitize_name("ok_name:x"), "ok_name:x");
+        assert_eq!(sanitize_name("has space-and.dots"), "has_space_and_dots");
+        assert_eq!(sanitize_name("9starts_digit"), "_9starts_digit");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn prom_numbers_spell_infinities() {
+        assert_eq!(prom_number(0.25), "0.25");
+        assert_eq!(prom_number(f64::INFINITY), "+Inf");
+        assert_eq!(prom_number(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(prom_number(f64::NAN), "NaN");
+    }
+
+    #[test]
+    fn empty_snapshot_exports() {
+        let snap = Registry::new().snapshot();
+        let _: serde::Value = serde_json::from_str(&snap.to_json()).unwrap();
+        assert!(snap.to_prometheus().is_empty());
+    }
+}

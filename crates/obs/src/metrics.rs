@@ -1,0 +1,377 @@
+//! Metric primitives: counters, gauges, and fixed-bucket histograms.
+//!
+//! Handles are cheap `Arc` clones around atomics; every record operation
+//! is a few relaxed atomic instructions, safe to share across the
+//! workspace's scoped worker threads. All record paths short-circuit when
+//! [`crate::recording`] is off.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default histogram bucket upper bounds for latencies, in seconds:
+/// roughly exponential from 1 µs to 10 s, dense around the pipeline's
+/// per-stage millisecond range. The implicit `+Inf` bucket is appended by
+/// the histogram itself.
+#[must_use]
+pub fn default_latency_edges() -> Vec<f64> {
+    vec![
+        1e-6, 1e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25,
+        0.5, 1.0, 2.5, 5.0, 10.0,
+    ]
+}
+
+/// A monotone event counter.
+///
+/// Additions **saturate** at `u64::MAX` rather than wrapping: a counter
+/// that has been running for months must never appear to jump backwards
+/// to a small value, which is what a silent wrap would look like to a
+/// rate() over scrapes.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Create a detached counter (registry code and tests; instrumentation
+    /// should go through [`crate::counter!`] or the registry).
+    #[must_use]
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`, saturating at `u64::MAX`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !crate::recording() || n == 0 {
+            return;
+        }
+        let mut current = self.value.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_add(n);
+            match self.value.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Current count.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zero the counter (test/reset support; see [`crate::Registry::reset`]).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An instantaneous `f64` value (queue depths, thread counts, ratios).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Create a detached gauge.
+    #[must_use]
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if !crate::recording() {
+            return;
+        }
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: f64) {
+        if !crate::recording() {
+            return;
+        }
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Zero the gauge.
+    pub fn reset(&self) {
+        self.bits.store(0.0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// A fixed-bucket histogram.
+///
+/// Buckets follow Prometheus `le` semantics: bucket `i` counts
+/// observations `v <= edges[i]`; one implicit `+Inf` bucket catches the
+/// rest. Edges are fixed at registration — no resizing, no locks on the
+/// observe path.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Strictly increasing, finite upper bounds (`+Inf` is implicit).
+    edges: Vec<f64>,
+    /// Per-bucket counts, `edges.len() + 1` entries (last is `+Inf`).
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Create a detached histogram with the given bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty, non-finite, or not strictly increasing
+    /// — bucket layouts are static configuration, and a malformed one is
+    /// a programming error best caught at registration.
+    #[must_use]
+    pub fn new(edges: Vec<f64>) -> Self {
+        assert!(
+            !edges.is_empty(),
+            "histogram needs at least one bucket edge"
+        );
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]) && edges.iter().all(|e| e.is_finite()),
+            "histogram edges must be finite and strictly increasing: {edges:?}"
+        );
+        let buckets = (0..=edges.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                edges,
+                buckets,
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            }),
+        }
+    }
+
+    /// The bucket upper bounds (without the implicit `+Inf`).
+    #[must_use]
+    pub fn edges(&self) -> &[f64] {
+        &self.inner.edges
+    }
+
+    /// Record one observation. `NaN` observations are dropped.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        if !crate::recording() || v.is_nan() {
+            return;
+        }
+        // First edge >= v, i.e. the `le` bucket; the +Inf bucket when none.
+        let bucket = self.inner.edges.partition_point(|&e| e < v);
+        self.inner.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        let mut current = self.inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self.inner.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Per-bucket counts (non-cumulative), `edges.len() + 1` entries; the
+    /// last entry is the `+Inf` bucket.
+    #[must_use]
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Zero every bucket, the count and the sum.
+    pub fn reset(&self) {
+        for b in &self.inner.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.inner.count.store(0, Ordering::Relaxed);
+        self.inner
+            .sum_bits
+            .store(0.0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        if cfg!(feature = "obs") {
+            assert_eq!(c.value(), 5);
+        } else {
+            assert_eq!(c.value(), 0);
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let c = Counter::new();
+        c.add(u64::MAX - 2);
+        assert_eq!(c.value(), u64::MAX - 2);
+        c.add(1);
+        assert_eq!(c.value(), u64::MAX - 1);
+        // Overflow clamps at the ceiling — a scrape never sees a wrap.
+        c.add(10);
+        assert_eq!(c.value(), u64::MAX);
+        c.inc();
+        assert_eq!(c.value(), u64::MAX);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn gauge_sets_and_adds() {
+        let g = Gauge::new();
+        g.set(2.5);
+        assert_eq!(g.value(), 2.5);
+        g.add(-1.0);
+        assert_eq!(g.value(), 1.5);
+        g.reset();
+        assert_eq!(g.value(), 0.0);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn histogram_bucket_edges_are_le_inclusive() {
+        let h = Histogram::new(vec![1.0, 2.0, 5.0]);
+        // Exactly on an edge lands in that edge's bucket (Prometheus `le`).
+        h.observe(1.0);
+        h.observe(2.0);
+        h.observe(5.0);
+        // Strictly between edges lands in the next bucket up.
+        h.observe(1.5);
+        // Below the first edge lands in the first bucket.
+        h.observe(0.0);
+        h.observe(-3.0);
+        // Above the last edge lands in the implicit +Inf bucket.
+        h.observe(100.0);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.bucket_counts(), vec![3, 2, 1, 2]);
+        assert_eq!(h.count(), 8);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn histogram_sum_accumulates() {
+        let h = Histogram::new(vec![1.0]);
+        h.observe(0.25);
+        h.observe(0.5);
+        h.observe(4.0);
+        assert!((h.sum() - 4.75).abs() < 1e-12);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.bucket_counts(), vec![0, 0]);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn histogram_drops_nan() {
+        let h = Histogram::new(vec![1.0]);
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_edges() {
+        let _ = Histogram::new(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket edge")]
+    fn histogram_rejects_empty_edges() {
+        let _ = Histogram::new(vec![]);
+    }
+
+    #[test]
+    fn default_edges_are_valid() {
+        let edges = default_latency_edges();
+        assert!(edges.windows(2).all(|w| w[0] < w[1]));
+        let _ = Histogram::new(edges);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn concurrent_increments_all_land() {
+        let c = Counter::new();
+        let h = Histogram::new(vec![0.5, 1.5]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = &c;
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe(f64::from(i % 2));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 4000);
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.bucket_counts(), vec![2000, 2000, 0]);
+    }
+}

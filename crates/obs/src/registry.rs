@@ -1,0 +1,391 @@
+//! The metric registry: name+labels → handle, plus point-in-time
+//! snapshots.
+//!
+//! Registration takes one mutex; the returned handles record through
+//! relaxed atomics without ever re-entering the lock, which is what makes
+//! the layer cheap enough for the 100 Hz streaming path. [`Registry::reset`]
+//! zeroes values **in place**, so handles cached in `OnceLock` statics by
+//! the [`crate::counter!`]-family macros stay valid across resets.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// A metric's identity: name plus sorted `(key, value)` labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId {
+    /// Metric name, e.g. `pipeline_stage_seconds`.
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    /// Build an id (labels are sorted by key).
+    #[must_use]
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect();
+        labels.sort();
+        MetricId {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+impl fmt::Display for MetricId {
+    /// `name{k="v",…}` — the Prometheus sample identity.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)?;
+        if self.labels.is_empty() {
+            return Ok(());
+        }
+        f.write_str("{")?;
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{k}={v:?}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Registered {
+    metric: Metric,
+    help: String,
+}
+
+/// A collection of named metrics.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<MetricId, Registered>>,
+}
+
+/// The process-wide registry used by all instrumentation macros.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+impl Registry {
+    /// Create a standalone registry (tests; instrumentation uses
+    /// [`global`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<MetricId, Registered>> {
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Register (or fetch) a counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name+labels is already registered as a
+    /// different metric kind — conflicting registrations are programming
+    /// errors, not runtime conditions.
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        let id = MetricId::new(name, labels);
+        let mut map = self.lock();
+        let entry = map.entry(id.clone()).or_insert_with(|| Registered {
+            metric: Metric::Counter(Counter::new()),
+            help: help.to_string(),
+        });
+        match &entry.metric {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("{id} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Register (or fetch) a gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a metric-kind conflict (see [`Registry::counter`]).
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
+        let id = MetricId::new(name, labels);
+        let mut map = self.lock();
+        let entry = map.entry(id.clone()).or_insert_with(|| Registered {
+            metric: Metric::Gauge(Gauge::new()),
+            help: help.to_string(),
+        });
+        match &entry.metric {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("{id} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Register (or fetch) a histogram. `edges` only applies on first
+    /// registration; later fetches reuse the existing bucket layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a metric-kind conflict or malformed `edges` (see
+    /// [`Histogram::new`]).
+    #[must_use]
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        edges: Vec<f64>,
+        help: &str,
+    ) -> Histogram {
+        let id = MetricId::new(name, labels);
+        let mut map = self.lock();
+        let entry = map.entry(id.clone()).or_insert_with(|| Registered {
+            metric: Metric::Histogram(Histogram::new(edges)),
+            help: help.to_string(),
+        });
+        match &entry.metric {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("{id} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Zero every registered metric **in place**. Registrations (and any
+    /// handles held by call sites) stay valid.
+    pub fn reset(&self) {
+        for registered in self.lock().values() {
+            match &registered.metric {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// A point-in-time copy of every metric, sorted by identity.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.lock();
+        let mut snapshot = Snapshot::default();
+        for (id, registered) in map.iter() {
+            match &registered.metric {
+                Metric::Counter(c) => snapshot.counters.push(CounterSnapshot {
+                    id: id.clone(),
+                    help: registered.help.clone(),
+                    value: c.value(),
+                }),
+                Metric::Gauge(g) => snapshot.gauges.push(GaugeSnapshot {
+                    id: id.clone(),
+                    help: registered.help.clone(),
+                    value: g.value(),
+                }),
+                Metric::Histogram(h) => {
+                    let edges = h.edges().to_vec();
+                    let mut cumulative = Vec::with_capacity(edges.len() + 1);
+                    let mut running = 0u64;
+                    for count in h.bucket_counts() {
+                        running += count;
+                        cumulative.push(running);
+                    }
+                    snapshot.histograms.push(HistogramSnapshot {
+                        id: id.clone(),
+                        help: registered.help.clone(),
+                        count: h.count(),
+                        sum: h.sum(),
+                        edges,
+                        cumulative,
+                    });
+                }
+            }
+        }
+        snapshot
+    }
+}
+
+/// Frozen value of one counter.
+#[derive(Debug, Clone)]
+pub struct CounterSnapshot {
+    /// Metric identity.
+    pub id: MetricId,
+    /// Help text (may be empty).
+    pub help: String,
+    /// Count at snapshot time.
+    pub value: u64,
+}
+
+/// Frozen value of one gauge.
+#[derive(Debug, Clone)]
+pub struct GaugeSnapshot {
+    /// Metric identity.
+    pub id: MetricId,
+    /// Help text (may be empty).
+    pub help: String,
+    /// Value at snapshot time.
+    pub value: f64,
+}
+
+/// Frozen state of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Metric identity.
+    pub id: MetricId,
+    /// Help text (may be empty).
+    pub help: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Finite bucket upper bounds (`+Inf` implicit as the last bucket).
+    pub edges: Vec<f64>,
+    /// Cumulative bucket counts, `edges.len() + 1` entries (Prometheus
+    /// `le` semantics; the last entry equals [`HistogramSnapshot::count`]).
+    pub cumulative: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of a whole registry, ready for export.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// All counters, sorted by identity.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, sorted by identity.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, sorted by identity.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Value of the counter with this name+labels, if registered.
+    #[must_use]
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let id = MetricId::new(name, labels);
+        self.counters.iter().find(|c| c.id == id).map(|c| c.value)
+    }
+
+    /// Value of the gauge with this name+labels, if registered.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let id = MetricId::new(name, labels);
+        self.gauges.iter().find(|g| g.id == id).map(|g| g.value)
+    }
+
+    /// The histogram with this name+labels, if registered.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        let id = MetricId::new(name, labels);
+        self.histograms.iter().find(|h| h.id == id)
+    }
+
+    /// All counters as a `identity → value` map (the shape the
+    /// determinism tests compare across thread counts).
+    #[must_use]
+    pub fn counter_map(&self) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .map(|c| (c.id.to_string(), c.value))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_sort_labels_and_render() {
+        let id = MetricId::new("m", &[("b", "2"), ("a", "1")]);
+        assert_eq!(id.labels[0].0, "a");
+        assert_eq!(id.to_string(), r#"m{a="1",b="2"}"#);
+        assert_eq!(MetricId::new("m", &[]).to_string(), "m");
+    }
+
+    #[test]
+    fn same_id_returns_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("hits", &[("route", "/x")], "");
+        let b = r.counter("hits", &[("route", "/x")], "first help wins");
+        a.add(2);
+        assert_eq!(a.value(), b.value());
+        // A different label set is a different metric.
+        let c = r.counter("hits", &[("route", "/y")], "");
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflict_panics() {
+        let r = Registry::new();
+        let _ = r.counter("m", &[], "");
+        let _ = r.gauge("m", &[], "");
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn snapshot_freezes_values_sorted() {
+        let r = Registry::new();
+        r.counter("z_last", &[], "").inc();
+        r.counter("a_first", &[], "").add(3);
+        r.gauge("depth", &[], "").set(2.0);
+        let h = r.histogram("lat", &[], vec![1.0, 2.0], "");
+        h.observe(0.5);
+        h.observe(1.5);
+        h.observe(9.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters[0].id.name, "a_first");
+        assert_eq!(snap.counter_value("z_last", &[]), Some(1));
+        assert_eq!(snap.gauge_value("depth", &[]), Some(2.0));
+        let hs = snap.histogram("lat", &[]).unwrap();
+        assert_eq!(hs.cumulative, vec![1, 2, 3]);
+        assert_eq!(hs.count, 3);
+        assert!((hs.mean() - (0.5 + 1.5 + 9.0) / 3.0).abs() < 1e-12);
+        assert_eq!(
+            snap.counter_map(),
+            BTreeMap::from([("a_first".to_string(), 3), ("z_last".to_string(), 1)])
+        );
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn reset_zeroes_in_place() {
+        let r = Registry::new();
+        let c = r.counter("n", &[], "");
+        let h = r.histogram("h", &[], vec![1.0], "");
+        c.add(7);
+        h.observe(0.5);
+        r.reset();
+        // The *same handles* read zero — registrations survive.
+        assert_eq!(c.value(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(r.snapshot().counter_value("n", &[]), Some(0));
+    }
+}

@@ -1,0 +1,129 @@
+//! Machine-readable run reports: one JSON document per run, combining
+//! run identity (label + metadata), per-experiment wall time, and the
+//! full metrics snapshot (per-stage latency histograms, counters,
+//! gauges). This is the payload behind `--metrics <path>` and the
+//! `BENCH_<label>.json` perf-trajectory artifacts.
+
+use crate::export::{json_number, json_string};
+use crate::registry::Snapshot;
+use std::fmt::Write;
+
+/// A structured report of one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    label: String,
+    meta: Vec<(String, String)>,
+    experiments: Vec<(String, f64)>,
+    snapshot: Snapshot,
+}
+
+impl RunReport {
+    /// Start a report for `label` around a metrics snapshot.
+    #[must_use]
+    pub fn new(label: &str, snapshot: Snapshot) -> Self {
+        RunReport {
+            label: label.to_string(),
+            meta: Vec::new(),
+            experiments: Vec::new(),
+            snapshot,
+        }
+    }
+
+    /// Attach a metadata pair (scale, seed, thread count, …).
+    pub fn meta(&mut self, key: &str, value: impl ToString) {
+        self.meta.push((key.to_string(), value.to_string()));
+    }
+
+    /// Record one experiment's wall time in seconds.
+    pub fn experiment(&mut self, id: &str, seconds: f64) {
+        self.experiments.push((id.to_string(), seconds));
+    }
+
+    /// The wrapped metrics snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// Render the report as a JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "label": "pr2",
+    ///   "meta": {"scale": "quick", "threads": "4"},
+    ///   "experiments": [{"id": "fig10", "seconds": 4.05}],
+    ///   "total_seconds": 4.05,
+    ///   "metrics": { "counters": [...], "gauges": [...], "histograms": [...] }
+    /// }
+    /// ```
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "\"label\": {},", json_string(&self.label));
+        out.push_str("\"meta\": {");
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {}", json_string(k), json_string(v));
+        }
+        out.push_str("},\n\"experiments\": [");
+        for (i, (id, seconds)) in self.experiments.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "\n  {{\"id\": {}, \"seconds\": {}}}",
+                json_string(id),
+                json_number(*seconds)
+            );
+        }
+        let total: f64 = self.experiments.iter().map(|(_, s)| s).sum();
+        let _ = write!(out, "],\n\"total_seconds\": {},\n", json_number(total));
+        // Splice the snapshot object in as the "metrics" member.
+        out.push_str("\"metrics\": ");
+        out.push_str(self.snapshot.to_json().trim_end());
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn report_renders_valid_json() {
+        let registry = Registry::new();
+        registry.counter("runs_total", &[], "").inc();
+        let h = registry.histogram("stage_seconds", &[("stage", "sbc")], vec![0.1, 1.0], "");
+        h.observe(0.02);
+        let mut report = RunReport::new("test", registry.snapshot());
+        report.meta("scale", "quick");
+        report.meta("threads", 4);
+        report.experiment("fig10", 1.25);
+        report.experiment("table2", 0.75);
+        let json = report.to_json();
+        let value: serde::Value = serde_json::from_str(&json).expect("report is valid JSON");
+        let obj = value.as_object().unwrap();
+        assert_eq!(
+            obj.get("label").and_then(serde::Value::as_str),
+            Some("test")
+        );
+        let experiments = obj
+            .get("experiments")
+            .and_then(serde::Value::as_array)
+            .unwrap();
+        assert_eq!(experiments.len(), 2);
+        assert!(obj.get("metrics").is_some());
+        assert!(json.contains("\"total_seconds\": 2"));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let report = RunReport::new("empty", Registry::new().snapshot());
+        let _: serde::Value = serde_json::from_str(&report.to_json()).unwrap();
+    }
+}

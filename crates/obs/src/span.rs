@@ -1,0 +1,149 @@
+//! RAII spans: monotonic wall-clock timing over [`std::time::Instant`],
+//! recorded into a histogram when the span drops.
+
+use crate::metrics::Histogram;
+use std::time::Instant;
+
+/// A timed scope. Created by [`crate::span!`] or [`crate::span_with`];
+/// when dropped, records the elapsed seconds into its histogram and —
+/// when [`crate::tracing`] is on or the span was marked [`Span::traced`]
+/// — prints `[obs] <name>: <elapsed>` to stderr.
+///
+/// A disabled span (recording off) holds no clock reading and its drop is
+/// a branch on two `None`s.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    start: Option<Instant>,
+    histogram: Option<Histogram>,
+    name: &'static str,
+    /// Owned name for dynamically-labelled spans ([`crate::span_with`]).
+    dyn_name: Option<String>,
+    trace: bool,
+}
+
+impl Span {
+    /// An inert span: no clock read, no recording, no print.
+    pub fn disabled() -> Span {
+        Span {
+            start: None,
+            histogram: None,
+            name: "",
+            dyn_name: None,
+            trace: false,
+        }
+    }
+
+    /// Start a span recording into `histogram` under a static name.
+    pub fn from_histogram(histogram: Histogram, name: &'static str) -> Span {
+        if !crate::recording() {
+            return Span::disabled();
+        }
+        Span {
+            start: Some(Instant::now()),
+            histogram: Some(histogram),
+            name,
+            dyn_name: None,
+            trace: false,
+        }
+    }
+
+    /// Start a span with an owned (runtime-built) display name.
+    pub fn from_histogram_named(histogram: Histogram, name: String) -> Span {
+        if !crate::recording() {
+            return Span::disabled();
+        }
+        Span {
+            start: Some(Instant::now()),
+            histogram: Some(histogram),
+            name: "",
+            dyn_name: Some(name),
+            trace: false,
+        }
+    }
+
+    /// Force this span to print its elapsed time on completion even when
+    /// global tracing is off — how the repro runner surfaces
+    /// per-experiment wall time on stderr from the same measurement that
+    /// feeds the JSON report.
+    pub fn traced(mut self) -> Span {
+        self.trace = true;
+        self
+    }
+
+    /// Elapsed seconds so far (0 for a disabled span).
+    #[must_use]
+    pub fn elapsed_s(&self) -> f64 {
+        self.start.map_or(0.0, |t0| t0.elapsed().as_secs_f64())
+    }
+
+    fn display_name(&self) -> &str {
+        self.dyn_name.as_deref().unwrap_or(self.name)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed = start.elapsed().as_secs_f64();
+        if let Some(histogram) = &self.histogram {
+            histogram.observe(elapsed);
+        }
+        if self.trace || crate::tracing() {
+            eprintln!("[obs] {}: {}", self.display_name(), format_seconds(elapsed));
+        }
+    }
+}
+
+/// Render a duration with a unit fitting its magnitude.
+#[must_use]
+pub fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn span_records_on_drop() {
+        let h = Histogram::new(vec![10.0]);
+        {
+            let span = Span::from_histogram(h.clone(), "test_span");
+            assert!(span.elapsed_s() >= 0.0);
+        }
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.bucket_counts(), vec![1, 0]);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn traced_span_still_records() {
+        let h = Histogram::new(vec![10.0]);
+        {
+            let _span = Span::from_histogram_named(h.clone(), "dyn".to_string()).traced();
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let span = Span::disabled();
+        assert_eq!(span.elapsed_s(), 0.0);
+        drop(span); // must not record or print
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(format_seconds(2.5), "2.50s");
+        assert_eq!(format_seconds(0.0042), "4.20ms");
+        assert_eq!(format_seconds(12e-6), "12.0µs");
+    }
+}

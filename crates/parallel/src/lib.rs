@@ -51,6 +51,21 @@ fn auto_threads() -> usize {
     std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
 }
 
+/// Record how many jobs one worker executed during one dispatch. The
+/// per-worker distribution is a scheduling observation, not a result, so
+/// it lives in a histogram (which the determinism suite deliberately
+/// ignores — only counters must be thread-count-invariant).
+fn observe_worker_jobs(op: &'static str, jobs: usize) {
+    if !airfinger_obs::recording() {
+        return;
+    }
+    const EDGES: [f64; 11] = [
+        1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+    ];
+    airfinger_obs::histogram_with("parallel_worker_jobs", &[("op", op)], &EDGES)
+        .observe(jobs as f64);
+}
+
 /// Map `f` over `items` using up to `threads` scoped worker threads,
 /// preserving input order in the output.
 ///
@@ -70,8 +85,13 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let n = items.len();
+    // Counted at the dispatch site — once per item, never per worker — so
+    // the total is identical at every thread count.
+    airfinger_obs::counter!("parallel_jobs_total", op = "map").add(n as u64);
     let workers = threads.max(1).min(n);
     if workers <= 1 {
+        let _busy = airfinger_obs::span!("parallel_worker_busy_seconds", op = "map");
+        observe_worker_jobs("map", n);
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     // Ceil-divide so the last chunk is never longer than the others.
@@ -83,6 +103,8 @@ where
             .map(|(c, slice)| {
                 let f = &f;
                 scope.spawn(move || {
+                    let _busy = airfinger_obs::span!("parallel_worker_busy_seconds", op = "map");
+                    observe_worker_jobs("map", slice.len());
                     slice
                         .iter()
                         .enumerate()
@@ -126,8 +148,11 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    airfinger_obs::counter!("parallel_jobs_total", op = "run").add(count as u64);
     let workers = threads.max(1).min(count);
     if workers <= 1 {
+        let _busy = airfinger_obs::span!("parallel_worker_busy_seconds", op = "run");
+        observe_worker_jobs("run", count);
         return (0..count).map(f).collect();
     }
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -138,6 +163,7 @@ where
                 let next = &next;
                 let f = &f;
                 scope.spawn(move || {
+                    let _busy = airfinger_obs::span!("parallel_worker_busy_seconds", op = "run");
                     let mut mine = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -146,6 +172,7 @@ where
                         }
                         mine.push((i, f(i)));
                     }
+                    observe_worker_jobs("run", mine.len());
                     mine
                 })
             })

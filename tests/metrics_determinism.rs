@@ -1,0 +1,119 @@
+//! Instrumentation must be an observer, never a participant:
+//!
+//! 1. every **counter** in the global registry is identical no matter how
+//!    many worker threads the pipeline uses (timing histograms are
+//!    scheduling observations and are deliberately excluded), and
+//! 2. recognition output is bit-identical with recording enabled and
+//!    disabled.
+//!
+//! The test functions share the process-wide metrics registry, so they
+//! serialize on a local mutex and reset the registry around each run.
+
+use airfinger_core::config::AirFingerConfig;
+use airfinger_core::engine::StreamingEngine;
+use airfinger_core::pipeline::AirFinger;
+use airfinger_synth::dataset::{generate_corpus, Corpus};
+use airfinger_tests::small_spec;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn registry_guard() -> MutexGuard<'static, ()> {
+    REGISTRY_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn corpus() -> Corpus {
+    generate_corpus(&small_spec(7))
+}
+
+fn config(n_threads: usize) -> AirFingerConfig {
+    AirFingerConfig {
+        forest_trees: 15,
+        n_threads,
+        ..Default::default()
+    }
+}
+
+/// Train on `n_threads` workers, recognize every sample in batch, then
+/// stream one sample through the engine; return the registry's counters.
+fn counters_at(n_threads: usize, corpus: &Corpus) -> BTreeMap<String, u64> {
+    airfinger_obs::global().reset();
+    let mut af = AirFinger::new(config(n_threads));
+    af.train_on_corpus(corpus, None).expect("training succeeds");
+    for s in corpus.samples() {
+        af.recognize_primary(&s.trace)
+            .expect("recognition succeeds");
+    }
+    let mut engine = StreamingEngine::new(af, 3).expect("engine builds");
+    let trace = &corpus.samples()[0].trace;
+    for i in 0..trace.len() {
+        let sample: Vec<f64> = (0..3).map(|k| trace.channel(k)[i]).collect();
+        engine.push(&sample).expect("push succeeds");
+    }
+    engine.flush().expect("flush succeeds");
+    airfinger_obs::global().snapshot().counter_map()
+}
+
+#[test]
+fn counters_are_identical_across_thread_counts() {
+    let _guard = registry_guard();
+    let corpus = corpus();
+    let baseline = counters_at(1, &corpus);
+    // `recording()` reflects the obs crate's compile-time feature; with it
+    // off the registry stays empty and the invariance check is vacuous.
+    if airfinger_obs::recording() {
+        assert!(
+            baseline.contains_key("engine_samples_total"),
+            "expected engine counters in {baseline:?}"
+        );
+        assert!(
+            baseline
+                .keys()
+                .any(|k| k.starts_with("parallel_jobs_total")),
+            "expected dispatch counters in {baseline:?}"
+        );
+        assert!(
+            baseline.contains_key("ml_trees_trained_total"),
+            "expected forest counters in {baseline:?}"
+        );
+    }
+    for threads in [2, 3, 4, 8] {
+        let got = counters_at(threads, &corpus);
+        assert_eq!(got, baseline, "counters diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn recognition_is_identical_with_obs_on_and_off() {
+    let _guard = registry_guard();
+    let corpus = corpus();
+    let mut af = AirFinger::new(config(1));
+    af.train_on_corpus(&corpus, None)
+        .expect("training succeeds");
+
+    airfinger_obs::set_recording(true);
+    let on: Vec<_> = corpus
+        .samples()
+        .iter()
+        .map(|s| {
+            af.recognize_primary(&s.trace)
+                .expect("recognition succeeds")
+        })
+        .collect();
+
+    airfinger_obs::set_recording(false);
+    let off: Vec<_> = corpus
+        .samples()
+        .iter()
+        .map(|s| {
+            af.recognize_primary(&s.trace)
+                .expect("recognition succeeds")
+        })
+        .collect();
+    airfinger_obs::set_recording(true);
+
+    assert_eq!(on, off, "instrumentation changed recognition output");
+}

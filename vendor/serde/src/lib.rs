@@ -231,6 +231,21 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// The data model is trivially its own serialized form, so callers can
+// round-trip arbitrary JSON (`serde_json::from_str::<Value>`) without
+// declaring a matching struct — e.g. to validate exporter output.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
