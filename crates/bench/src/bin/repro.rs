@@ -9,6 +9,8 @@
 //! repro all --metrics run.json    # structured run report (timings + metrics)
 //! repro all --label nightly       # also snapshot the report as BENCH_nightly.json
 //! repro all --trace               # print every instrumentation span to stderr
+//! repro all --trace-out t.json    # export a Chrome trace_event timeline
+//! repro diff BASE.json NEW.json --max-time-regress 50 --min-accuracy 90
 //! ```
 //!
 //! Experiments are independent given the shared [`Context`], so they fan
@@ -30,6 +32,10 @@ use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("diff") {
+        run_diff(&args[1..]);
+        return;
+    }
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::Standard;
     let mut seed = 0x41F1_6E12u64;
@@ -37,6 +43,7 @@ fn main() {
     let mut metrics_path: Option<String> = None;
     let mut label: Option<String> = None;
     let mut threads_arg: Option<usize> = None;
+    let mut trace_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -86,6 +93,16 @@ fn main() {
                 }
             },
             "--trace" => airfinger_obs::set_trace(true),
+            "--trace-out" => match it.next() {
+                Some(p) if !p.is_empty() => {
+                    airfinger_obs::trace::set_capture(true);
+                    trace_out = Some(p.clone());
+                }
+                _ => {
+                    eprintln!("--trace-out needs a path");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
                 print_help();
                 return;
@@ -145,6 +162,21 @@ fn main() {
         eprintln!("[repro] wrote {path}");
     }
     if metrics_path.is_some() || label.is_some() {
+        // Runtime-shape gauges: configured worker count and how busy those
+        // workers actually were. Busy time is the summed per-experiment
+        // span time — the worker-busy histograms nest (an experiment's
+        // inner parallel ops re-enter them) and would double-count.
+        airfinger_obs::gauge!("repro_threads").set(threads as f64);
+        let busy: f64 = airfinger_obs::global()
+            .snapshot()
+            .histograms
+            .iter()
+            .filter(|h| h.id.name == "repro_experiment_seconds")
+            .map(|h| h.sum)
+            .sum();
+        if wall > 0.0 {
+            airfinger_obs::gauge!("repro_worker_utilization").set(busy / (wall * threads as f64));
+        }
         let mut run = RunReport::new(
             label.as_deref().unwrap_or("repro"),
             airfinger_obs::global().snapshot(),
@@ -167,6 +199,79 @@ fn main() {
             eprintln!("[repro] wrote benchmark snapshot to {path}");
         }
     }
+    if let Some(path) = trace_out {
+        match airfinger_obs::trace::write_chrome_trace(&path) {
+            Ok(()) => eprintln!(
+                "[repro] wrote Chrome trace to {path} ({} event(s), {} dropped)",
+                airfinger_obs::trace::events().len(),
+                airfinger_obs::trace::dropped()
+            ),
+            Err(e) => {
+                eprintln!("[repro] failed to write trace {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// `repro diff BASE.json NEW.json [--max-time-regress PCT] [--min-accuracy PCT]`
+/// — compare two benchmark snapshots and exit nonzero on regression.
+fn run_diff(args: &[String]) {
+    use airfinger_bench::diff::{diff_reports, DiffOptions};
+    let mut paths: Vec<&String> = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-time-regress" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(v) => opts.max_time_regress_pct = Some(v),
+                None => {
+                    eprintln!("--max-time-regress needs a percentage");
+                    std::process::exit(2);
+                }
+            },
+            "--min-accuracy" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(v) => opts.min_accuracy_pct = Some(v),
+                None => {
+                    eprintln!("--min-accuracy needs a percentage");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro diff BASE.json NEW.json \
+                     [--max-time-regress PCT] [--min-accuracy PCT]"
+                );
+                return;
+            }
+            _ => paths.push(arg),
+        }
+    }
+    let [base_path, new_path] = paths[..] else {
+        eprintln!("repro diff needs exactly two snapshot paths (BASE.json NEW.json)");
+        std::process::exit(2);
+    };
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("cannot read {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (base, new) = (read(base_path), read(new_path));
+    match diff_reports(&base, &new, &opts) {
+        Ok(report) => {
+            for line in &report.lines {
+                println!("{line}");
+            }
+            if !report.passed() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("repro diff: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn write_file(path: &str, bytes: &[u8]) {
@@ -180,14 +285,23 @@ fn print_help() {
     println!();
     println!(
         "usage: repro [IDS…|all] [--scale quick|standard|full] [--seed N] \
-         [--threads N] [--json PATH] [--metrics PATH] [--label NAME] [--trace]"
+         [--threads N] [--json PATH] [--metrics PATH] [--label NAME] [--trace] \
+         [--trace-out PATH]"
     );
+    println!("       repro diff BASE.json NEW.json [--max-time-regress PCT] [--min-accuracy PCT]");
     println!();
-    println!("  --json PATH     dump the experiment results as JSON");
-    println!("  --metrics PATH  write a structured run report: per-experiment wall");
-    println!("                  time plus every counter and latency histogram");
-    println!("  --label NAME    also snapshot the run report as BENCH_NAME.json");
-    println!("  --trace         print every instrumentation span to stderr");
+    println!("  --json PATH       dump the experiment results as JSON");
+    println!("  --metrics PATH    write a structured run report: per-experiment wall");
+    println!("                    time, quality metrics, and every counter and");
+    println!("                    latency histogram (with p50/p95/p99)");
+    println!("  --label NAME      also snapshot the run report as BENCH_NAME.json");
+    println!("  --trace           print every instrumentation span to stderr");
+    println!("  --trace-out PATH  export the span timeline as Chrome trace_event");
+    println!("                    JSON (open in Perfetto or chrome://tracing)");
+    println!();
+    println!("  diff              compare two BENCH_*.json snapshots; exits 1 when");
+    println!("                    wall time regresses past --max-time-regress or");
+    println!("                    accuracy falls below --min-accuracy");
     println!();
     println!("experiments: {EXPERIMENT_IDS:?}");
 }

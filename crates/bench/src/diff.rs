@@ -1,0 +1,426 @@
+//! `repro diff` — the bench-snapshot regression gate.
+//!
+//! Compares two `BENCH_<label>.json` run reports (the artifacts written
+//! by `repro --label` / `--metrics`): per-experiment wall time, pipeline
+//! histogram percentiles, and the quality section (per-experiment
+//! accuracy). Prints a delta table and collects **violations** —
+//! wall-time regressions beyond `--max-time-regress` and accuracies
+//! below `--min-accuracy` — which drive the nonzero exit that fails CI.
+//!
+//! The comparison is deliberately tolerant of missing data: experiments,
+//! histograms or quality entries present in only one snapshot are
+//! reported but never count as violations, so a baseline produced by an
+//! older binary still gates what it can.
+
+use serde::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Gate thresholds for [`diff_reports`].
+#[derive(Debug, Clone, Copy)]
+pub struct DiffOptions {
+    /// Maximum tolerated per-experiment (and total) wall-time growth, in
+    /// percent of the baseline. `None` disables the time gate.
+    pub max_time_regress_pct: Option<f64>,
+    /// Minimum tolerated quality accuracy (percent) in the new snapshot.
+    /// `None` disables the accuracy gate.
+    pub min_accuracy_pct: Option<f64>,
+}
+
+impl Default for DiffOptions {
+    /// Display-only: both gates off.
+    fn default() -> Self {
+        DiffOptions {
+            max_time_regress_pct: None,
+            min_accuracy_pct: None,
+        }
+    }
+}
+
+/// Outcome of one snapshot comparison.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// The rendered delta table, line by line.
+    pub lines: Vec<String>,
+    /// Human-readable gate violations; empty means the gate passes.
+    pub violations: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether the gate passes (no violations).
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// What the differ extracts from one `BENCH_*.json` document.
+#[derive(Debug, Default)]
+struct BenchView {
+    label: String,
+    experiments: Vec<(String, f64)>,
+    total_seconds: Option<f64>,
+    /// experiment → accuracy percent, from the quality section.
+    accuracy: BTreeMap<String, f64>,
+    /// histogram identity → (p50, p95, p99), where present and non-null.
+    percentiles: BTreeMap<String, [Option<f64>; 3]>,
+}
+
+fn get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    v.as_object()?.get(key)
+}
+
+fn metric_identity(entry: &serde::Map) -> String {
+    let name = entry
+        .get("name")
+        .and_then(Value::as_str)
+        .unwrap_or("?")
+        .to_string();
+    let labels: Vec<String> = entry
+        .get("labels")
+        .and_then(Value::as_object)
+        .map(|m| {
+            m.iter()
+                .map(|(k, v)| format!("{k}={:?}", v.as_str().unwrap_or("")))
+                .collect()
+        })
+        .unwrap_or_default();
+    if labels.is_empty() {
+        name
+    } else {
+        format!("{name}{{{}}}", labels.join(","))
+    }
+}
+
+fn parse_view(text: &str, which: &str) -> Result<BenchView, String> {
+    let value: Value =
+        serde_json::from_str(text).map_err(|e| format!("{which}: not valid JSON: {e:?}"))?;
+    let mut view = BenchView {
+        label: get(&value, "label")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string(),
+        ..BenchView::default()
+    };
+    if let Some(exps) = get(&value, "experiments").and_then(Value::as_array) {
+        for e in exps {
+            let (Some(id), Some(seconds)) = (
+                get(e, "id").and_then(Value::as_str),
+                get(e, "seconds").and_then(Value::as_f64),
+            ) else {
+                continue;
+            };
+            view.experiments.push((id.to_string(), seconds));
+        }
+    }
+    view.total_seconds = get(&value, "total_seconds").and_then(Value::as_f64);
+    if let Some(quality_exps) = get(&value, "quality")
+        .and_then(|q| get(q, "experiments"))
+        .and_then(Value::as_object)
+    {
+        for (experiment, metrics) in quality_exps.iter() {
+            if let Some(acc) = get(metrics, "accuracy").and_then(Value::as_f64) {
+                view.accuracy.insert(experiment.to_string(), acc);
+            }
+        }
+    }
+    if let Some(hists) = get(&value, "metrics")
+        .and_then(|m| get(m, "histograms"))
+        .and_then(Value::as_array)
+    {
+        for h in hists {
+            let Some(entry) = h.as_object() else { continue };
+            let ps = ["p50", "p95", "p99"].map(|p| entry.get(p).and_then(Value::as_f64));
+            if ps.iter().any(Option::is_some) {
+                view.percentiles.insert(metric_identity(entry), ps);
+            }
+        }
+    }
+    Ok(view)
+}
+
+fn pct_delta(base: f64, new: f64) -> Option<f64> {
+    if base > 0.0 {
+        Some((new - base) / base * 100.0)
+    } else {
+        None
+    }
+}
+
+fn fmt_delta(delta: Option<f64>) -> String {
+    match delta {
+        Some(d) => format!("{d:+.1}%"),
+        None => "   n/a".to_string(),
+    }
+}
+
+/// Compare two run-report JSON documents and evaluate the gate.
+///
+/// # Errors
+///
+/// Returns an error when either document is not valid JSON.
+pub fn diff_reports(base: &str, new: &str, opts: &DiffOptions) -> Result<DiffReport, String> {
+    let base = parse_view(base, "baseline")?;
+    let new = parse_view(new, "candidate")?;
+    let mut lines = Vec::new();
+    let mut violations = Vec::new();
+
+    lines.push(format!(
+        "bench diff: baseline `{}` vs candidate `{}`",
+        base.label, new.label
+    ));
+    lines.push(String::new());
+
+    // Per-experiment wall time.
+    lines.push(format!(
+        "{:<14} {:>10} {:>10} {:>8}",
+        "experiment", "base s", "new s", "delta"
+    ));
+    let base_times: BTreeMap<&str, f64> = base
+        .experiments
+        .iter()
+        .map(|(id, s)| (id.as_str(), *s))
+        .collect();
+    for (id, new_s) in &new.experiments {
+        let row = match base_times.get(id.as_str()) {
+            Some(&base_s) => {
+                let delta = pct_delta(base_s, *new_s);
+                if let (Some(limit), Some(d)) = (opts.max_time_regress_pct, delta) {
+                    if d > limit {
+                        violations.push(format!(
+                            "experiment `{id}` wall time regressed {d:+.1}% \
+                             (limit +{limit:.0}%): {base_s:.3}s -> {new_s:.3}s"
+                        ));
+                    }
+                }
+                format!(
+                    "{id:<14} {base_s:>10.3} {new_s:>10.3} {:>8}",
+                    fmt_delta(delta)
+                )
+            }
+            None => format!("{id:<14} {:>10} {new_s:>10.3} {:>8}", "-", "new"),
+        };
+        lines.push(row);
+    }
+    for (id, base_s) in &base.experiments {
+        if !new.experiments.iter().any(|(n, _)| n == id) {
+            lines.push(format!("{id:<14} {base_s:>10.3} {:>10} {:>8}", "-", "gone"));
+        }
+    }
+    if let (Some(b), Some(n)) = (base.total_seconds, new.total_seconds) {
+        let delta = pct_delta(b, n);
+        lines.push(format!(
+            "{:<14} {b:>10.3} {n:>10.3} {:>8}",
+            "total",
+            fmt_delta(delta)
+        ));
+        if let (Some(limit), Some(d)) = (opts.max_time_regress_pct, delta) {
+            if d > limit {
+                violations.push(format!(
+                    "total wall time regressed {d:+.1}% (limit +{limit:.0}%)"
+                ));
+            }
+        }
+    }
+
+    // Quality accuracy.
+    let quality_ids: std::collections::BTreeSet<&String> =
+        base.accuracy.keys().chain(new.accuracy.keys()).collect();
+    if !quality_ids.is_empty() {
+        lines.push(String::new());
+        lines.push(format!(
+            "{:<14} {:>10} {:>10} {:>8}",
+            "accuracy", "base %", "new %", "delta"
+        ));
+        for id in quality_ids {
+            let (b, n) = (base.accuracy.get(id), new.accuracy.get(id));
+            let mut row = format!("{id:<14} ");
+            match b {
+                Some(b) => {
+                    let _ = write!(row, "{b:>10.2} ");
+                }
+                None => {
+                    let _ = write!(row, "{:>10} ", "-");
+                }
+            }
+            match n {
+                Some(n) => {
+                    let _ = write!(row, "{n:>10.2} ");
+                }
+                None => {
+                    let _ = write!(row, "{:>10} ", "-");
+                }
+            }
+            if let (Some(b), Some(n)) = (b, n) {
+                let _ = write!(row, "{:>8}", fmt_delta(Some(n - b)));
+            }
+            lines.push(row);
+            if let (Some(floor), Some(&n)) = (opts.min_accuracy_pct, n) {
+                if n < floor {
+                    violations.push(format!(
+                        "quality accuracy of `{id}` is {n:.2}% (floor {floor:.2}%)"
+                    ));
+                }
+            }
+        }
+    }
+
+    // Histogram percentile drift (informational, never a violation: the
+    // per-stage tails are scheduling observations).
+    let shared: Vec<&String> = base
+        .percentiles
+        .keys()
+        .filter(|k| new.percentiles.contains_key(*k))
+        .collect();
+    if !shared.is_empty() {
+        lines.push(String::new());
+        lines.push(format!(
+            "{:<44} {:>11} {:>11} {:>11}",
+            "histogram (p95 seconds)", "base", "new", "delta"
+        ));
+        for key in shared {
+            let (b, n) = (&base.percentiles[key], &new.percentiles[key]);
+            if let (Some(bp), Some(np)) = (b[1], n[1]) {
+                lines.push(format!(
+                    "{key:<44} {bp:>11.6} {np:>11.6} {:>11}",
+                    fmt_delta(pct_delta(bp, np))
+                ));
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        lines.push(String::new());
+        lines.push("gate: PASS".to_string());
+    } else {
+        lines.push(String::new());
+        lines.push(format!("gate: FAIL ({} violation(s))", violations.len()));
+        for v in &violations {
+            lines.push(format!("  - {v}"));
+        }
+    }
+    Ok(DiffReport { lines, violations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal but structurally faithful run report.
+    fn report(label: &str, fig10_s: f64, accuracy: f64, p95: f64) -> String {
+        format!(
+            r#"{{
+  "label": "{label}",
+  "meta": {{"scale": "quick", "threads": "2"}},
+  "experiments": [
+    {{"id": "fig10", "seconds": {fig10_s}}},
+    {{"id": "table2", "seconds": 0.5}}
+  ],
+  "total_seconds": {total},
+  "quality": {{
+    "experiments": {{"fig10": {{"accuracy": {accuracy}, "macro_f1": 90.0}}}},
+    "segmentation": {{"segments_found": 10, "segments_merged": 2, "otsu_threshold": 0.01}},
+    "distinguish": {{"detect": 8, "track": 2, "rejected": 0, "rejection_rate": 0}}
+  }},
+  "metrics": {{
+    "counters": [],
+    "gauges": [],
+    "histograms": [
+      {{"name": "pipeline_stage_seconds", "labels": {{"stage": "sbc"}},
+        "count": 4, "sum": 0.04, "mean": 0.01,
+        "p50": 0.01, "p95": {p95}, "p99": {p95},
+        "buckets": [{{"le": 1.0, "count": 4}}, {{"le": "+Inf", "count": 4}}]}}
+    ]
+  }}
+}}"#,
+            total = fig10_s + 0.5,
+        )
+    }
+
+    fn gate() -> DiffOptions {
+        DiffOptions {
+            max_time_regress_pct: Some(50.0),
+            min_accuracy_pct: Some(90.0),
+        }
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let a = report("base", 1.0, 97.5, 0.012);
+        let diff = diff_reports(&a, &a, &gate()).unwrap();
+        assert!(diff.passed(), "{:?}", diff.violations);
+        let text = diff.lines.join("\n");
+        assert!(text.contains("gate: PASS"));
+        assert!(text.contains("fig10"));
+        assert!(text.contains("pipeline_stage_seconds"));
+    }
+
+    #[test]
+    fn injected_accuracy_regression_fails() {
+        let base = report("base", 1.0, 97.5, 0.012);
+        let bad = report("bad", 1.0, 80.0, 0.012);
+        let diff = diff_reports(&base, &bad, &gate()).unwrap();
+        assert!(!diff.passed());
+        assert!(
+            diff.violations.iter().any(|v| v.contains("accuracy")),
+            "{:?}",
+            diff.violations
+        );
+        assert!(diff.lines.join("\n").contains("gate: FAIL"));
+    }
+
+    #[test]
+    fn injected_time_regression_fails() {
+        let base = report("base", 1.0, 97.5, 0.012);
+        let slow = report("slow", 2.0, 97.5, 0.012);
+        let diff = diff_reports(&base, &slow, &gate()).unwrap();
+        assert!(!diff.passed());
+        assert!(
+            diff.violations.iter().any(|v| v.contains("wall time")),
+            "{:?}",
+            diff.violations
+        );
+    }
+
+    #[test]
+    fn regression_within_threshold_passes() {
+        let base = report("base", 1.0, 97.5, 0.012);
+        let slightly = report("new", 1.2, 95.0, 0.02);
+        let diff = diff_reports(&base, &slightly, &gate()).unwrap();
+        assert!(diff.passed(), "{:?}", diff.violations);
+    }
+
+    #[test]
+    fn gates_off_never_fail() {
+        let base = report("base", 1.0, 97.5, 0.012);
+        let awful = report("awful", 50.0, 10.0, 0.5);
+        let diff = diff_reports(&base, &awful, &DiffOptions::default()).unwrap();
+        assert!(diff.passed());
+    }
+
+    #[test]
+    fn missing_quality_in_baseline_is_tolerated() {
+        // An old baseline without quality/percentiles still gates time.
+        let old = r#"{
+  "label": "old",
+  "meta": {},
+  "experiments": [{"id": "fig10", "seconds": 1.0}],
+  "total_seconds": 1.5,
+  "metrics": {"counters": [], "gauges": [], "histograms": []}
+}"#;
+        let new = report("new", 1.1, 97.5, 0.012);
+        let diff = diff_reports(old, &new, &gate()).unwrap();
+        assert!(diff.passed(), "{:?}", diff.violations);
+        // But a *low* accuracy in the candidate is still caught: the
+        // floor gate needs no baseline.
+        let bad = report("bad", 1.1, 50.0, 0.012);
+        let diff = diff_reports(old, &bad, &gate()).unwrap();
+        assert!(!diff.passed());
+    }
+
+    #[test]
+    fn invalid_json_is_an_error() {
+        assert!(diff_reports("{", "{}", &DiffOptions::default()).is_err());
+        assert!(diff_reports("{}", "not json", &DiffOptions::default()).is_err());
+    }
+}

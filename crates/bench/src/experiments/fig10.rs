@@ -25,6 +25,7 @@ pub fn run(ctx: &Context) -> Report {
         }),
         6,
     );
+    matrix.export_obs("fig10", &DETECT_NAMES);
     for l in format_confusion(&matrix, &DETECT_NAMES) {
         report.line(l);
     }

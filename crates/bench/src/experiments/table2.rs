@@ -5,7 +5,7 @@
 //! scroll down 99.26 %, rating 2.6/3.0, summary 98.72 %.
 
 use crate::context::Context;
-use crate::experiments::{eval_rf_fold, merge_folds, pct, DETECT_NAMES};
+use crate::experiments::{eval_rf_fold, merge_folds, pct, ALL_NAMES, DETECT_NAMES};
 use crate::report::Report;
 use airfinger_core::processing::DataProcessor;
 use airfinger_core::zebra::{VelocitySource, Zebra};
@@ -70,6 +70,7 @@ pub fn run(ctx: &Context) -> Report {
         }),
         6,
     );
+    matrix.export_obs("table2_detect", &DETECT_NAMES);
     report.line("Detect-aimed gestures:");
     for (g, name) in DETECT_NAMES.iter().enumerate() {
         let acc = pct(matrix.class_accuracy(g));
@@ -91,6 +92,7 @@ pub fn run(ctx: &Context) -> Report {
         }),
         8,
     );
+    m8.export_obs("table2_all", &ALL_NAMES);
     let up_idx = Gesture::ScrollUp.index();
     let down_idx = Gesture::ScrollDown.index();
     let dir_acc = |g: usize| m8.recall(g).unwrap_or(0.0);

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod context;
+pub mod diff;
 pub mod experiments;
 pub mod report;
 

@@ -9,17 +9,21 @@
 //! ```
 //!
 //! Every command also accepts the global observability flags
-//! `--metrics PATH` (write a machine-readable run report on exit) and
-//! `--trace` (print every instrumentation span to stderr).
+//! `--metrics PATH` (write a machine-readable run report on exit),
+//! `--trace` (print every instrumentation span to stderr), and
+//! `--trace-out PATH` (export the span timeline as Chrome trace_event
+//! JSON, loadable in Perfetto or chrome://tracing).
 
 mod args;
 mod commands;
 
-/// Strip the global `--metrics PATH` / `--trace` flags out of the argv,
-/// returning the remaining arguments and the requested metrics path.
-fn split_global_flags(argv: Vec<String>) -> (Vec<String>, Option<String>) {
+/// Strip the global `--metrics PATH` / `--trace` / `--trace-out PATH`
+/// flags out of the argv, returning the remaining arguments, the
+/// requested metrics path, and the requested trace path.
+fn split_global_flags(argv: Vec<String>) -> (Vec<String>, Option<String>, Option<String>) {
     let mut rest = Vec::with_capacity(argv.len());
     let mut metrics = None;
+    let mut trace_out = None;
     let mut it = argv.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -31,14 +35,24 @@ fn split_global_flags(argv: Vec<String>) -> (Vec<String>, Option<String>) {
                 }
             },
             "--trace" => airfinger_obs::set_trace(true),
+            "--trace-out" => match it.next() {
+                Some(p) => {
+                    airfinger_obs::trace::set_capture(true);
+                    trace_out = Some(p);
+                }
+                None => {
+                    eprintln!("--trace-out needs a path");
+                    std::process::exit(2);
+                }
+            },
             _ => rest.push(arg),
         }
     }
-    (rest, metrics)
+    (rest, metrics, trace_out)
 }
 
 fn main() {
-    let (argv, metrics_path) = split_global_flags(std::env::args().skip(1).collect());
+    let (argv, metrics_path, trace_out) = split_global_flags(std::env::args().skip(1).collect());
     let command = argv.first().cloned().unwrap_or_default();
     let code = match argv.first().map(String::as_str) {
         Some("generate") => commands::generate(&argv[1..]),
@@ -71,6 +85,15 @@ fn main() {
             }
         }
     }
+    if let Some(path) = trace_out {
+        match airfinger_obs::trace::write_chrome_trace(&path) {
+            Ok(()) => eprintln!("[airfinger] wrote Chrome trace to {path}"),
+            Err(e) => {
+                eprintln!("[airfinger] failed to write trace to {path}: {e}");
+                std::process::exit(if code == 0 { 1 } else { code });
+            }
+        }
+    }
     std::process::exit(code);
 }
 
@@ -92,7 +115,10 @@ fn print_help() {
     println!("             --model PATH [--top N]");
     println!();
     println!("global flags (any command):");
-    println!("  --metrics PATH  write a machine-readable run report (counters,");
-    println!("                  latency histograms) as JSON on exit");
-    println!("  --trace         print every instrumentation span to stderr");
+    println!("  --metrics PATH    write a machine-readable run report (counters,");
+    println!("                    latency histograms with p50/p95/p99, quality");
+    println!("                    metrics) as JSON on exit");
+    println!("  --trace           print every instrumentation span to stderr");
+    println!("  --trace-out PATH  export the span timeline as Chrome trace_event");
+    println!("                    JSON (open in Perfetto or chrome://tracing)");
 }

@@ -51,7 +51,7 @@ impl Distinguisher {
         let _span = airfinger_obs::span!("pipeline_stage_seconds", stage = "distinguish");
         let timing = window.channel_timing(&self.config);
         let ig = self.config.ig_samples() as isize;
-        match timing.lag_samples {
+        let family = match timing.lag_samples {
             Some(lag) => {
                 if lag.abs() >= ig {
                     GestureFamily::TrackAimed
@@ -70,7 +70,16 @@ impl Distinguisher {
                     GestureFamily::DetectAimed
                 }
             }
+        };
+        match family {
+            GestureFamily::DetectAimed => {
+                airfinger_obs::counter!("pipeline_family_total", family = "detect").inc();
+            }
+            GestureFamily::TrackAimed => {
+                airfinger_obs::counter!("pipeline_family_total", family = "track").inc();
+            }
         }
+        family
     }
 }
 

@@ -319,10 +319,15 @@ impl DataProcessor {
             let thresholds = self.thresholds(&smoothed);
             (smoothed, thresholds)
         };
+        if !thresholds.is_empty() {
+            let mean = thresholds.iter().sum::<f64>() / thresholds.len() as f64;
+            airfinger_obs::gauge!("pipeline_otsu_threshold").set(mean);
+        }
         let segments = {
             let _s = airfinger_obs::span!("pipeline_stage_seconds", stage = "segment");
             Segmenter::new(self.config.segmenter).segment_multi(&smoothed, &thresholds)
         };
+        airfinger_obs::counter!("pipeline_segments_found_total").add(segments.len() as u64);
         (delta, smoothed, thresholds, segments)
     }
 
@@ -374,6 +379,7 @@ impl DataProcessor {
             }
             hi += 1;
         }
+        airfinger_obs::counter!("pipeline_segments_merged_total").add((hi - lo) as u64);
         Some(Segment::new(segments[lo].start, segments[hi].end))
     }
 }

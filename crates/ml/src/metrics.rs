@@ -191,6 +191,50 @@ impl ConfusionMatrix {
             .collect()
     }
 
+    /// Publish this matrix's quality metrics to the global obs registry
+    /// under the stable `quality_*` gauge schema (values in **percent**,
+    /// labelled by `experiment` and, per class, `gesture`): overall
+    /// accuracy, macro recall/precision/F1, and per-gesture
+    /// recall/precision. `class_names` must cover [`Self::n_classes`];
+    /// classes with no samples (recall/precision undefined) are skipped.
+    /// The run report assembles its `quality` section from exactly these
+    /// gauges — see DESIGN.md §Observability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class_names` is shorter than the class count.
+    pub fn export_obs(&self, experiment: &str, class_names: &[&str]) {
+        assert!(
+            class_names.len() >= self.n_classes(),
+            "need a name for each of the {} classes",
+            self.n_classes()
+        );
+        if !airfinger_obs::recording() {
+            return;
+        }
+        let registry = airfinger_obs::global();
+        let scalar = |name: &str, value: f64| {
+            registry
+                .gauge(name, &[("experiment", experiment)], "")
+                .set(value * 100.0);
+        };
+        scalar("quality_accuracy", self.accuracy());
+        scalar("quality_macro_recall", self.macro_recall());
+        scalar("quality_macro_precision", self.macro_precision());
+        scalar("quality_macro_f1", self.macro_f1());
+        for (g, name) in class_names.iter().take(self.n_classes()).enumerate() {
+            let labels = [("experiment", experiment), ("gesture", *name)];
+            if let Some(r) = self.recall(g) {
+                registry.gauge("quality_recall", &labels, "").set(r * 100.0);
+            }
+            if let Some(p) = self.precision(g) {
+                registry
+                    .gauge("quality_precision", &labels, "")
+                    .set(p * 100.0);
+            }
+        }
+    }
+
     /// Per-class accuracy in the one-vs-rest sense (correct assignments to
     /// or away from `g`, over all samples).
     #[must_use]
@@ -338,5 +382,36 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_predictions_panic() {
         let _ = ConfusionMatrix::from_predictions(&[0], &[0, 1], 2);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn export_obs_publishes_quality_gauges() {
+        let m = sample_matrix();
+        m.export_obs("unit_test_exp", &["alpha", "beta"]);
+        let snap = airfinger_obs::global().snapshot();
+        let exp = [("experiment", "unit_test_exp")];
+        let acc = snap.gauge_value("quality_accuracy", &exp).unwrap();
+        assert!((acc - 85.0).abs() < 1e-9);
+        let recall_alpha = snap
+            .gauge_value(
+                "quality_recall",
+                &[("experiment", "unit_test_exp"), ("gesture", "alpha")],
+            )
+            .unwrap();
+        assert!((recall_alpha - 80.0).abs() < 1e-9);
+        assert!(snap
+            .gauge_value(
+                "quality_precision",
+                &[("experiment", "unit_test_exp"), ("gesture", "beta")],
+            )
+            .is_some());
+        assert!(snap.gauge_value("quality_macro_f1", &exp).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "need a name for each")]
+    fn export_obs_rejects_short_name_list() {
+        sample_matrix().export_obs("x", &["only_one"]);
     }
 }

@@ -17,10 +17,14 @@ impl Snapshot {
     ///   "gauges": [{"name": "...", "labels": {...}, "value": 1.5}],
     ///   "histograms": [{"name": "...", "labels": {...}, "count": 2,
     ///                   "sum": 0.5, "mean": 0.25,
+    ///                   "p50": 0.25, "p95": 0.5, "p99": 0.5,
     ///                   "buckets": [{"le": 1.0, "count": 2},
     ///                               {"le": "+Inf", "count": 2}]}]
     /// }
     /// ```
+    ///
+    /// Non-finite values never appear: an empty histogram exports
+    /// `"mean": 0` and `null` percentiles.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": [");
@@ -101,6 +105,37 @@ impl Snapshot {
                 prom_identity_named(&format!("{base}_count"), &h.id, &[]),
                 h.count
             );
+            // A histogram-typed metric cannot carry {quantile=} series, so
+            // the streaming percentiles export as a companion summary.
+            if h.count > 0 {
+                let qname = format!("{base}_quantiles");
+                prom_header(&mut out, &qname, &h.help, "summary");
+                for (label, value) in h.percentiles.entries() {
+                    let quantile = &label[1..]; // "p50" → "50"
+                    let _ = writeln!(
+                        out,
+                        "{} {}",
+                        prom_identity_named(
+                            &qname,
+                            &h.id,
+                            &[("quantile", &format!("0.{quantile}"))]
+                        ),
+                        prom_number(value)
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{} {}",
+                    prom_identity_named(&format!("{qname}_sum"), &h.id, &[]),
+                    prom_number(h.sum)
+                );
+                let _ = writeln!(
+                    out,
+                    "{} {}",
+                    prom_identity_named(&format!("{qname}_count"), &h.id, &[]),
+                    h.count
+                );
+            }
         }
         out
     }
@@ -117,13 +152,18 @@ fn histogram_json(h: &HistogramSnapshot) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"name\": {}, \"labels\": {}, \"count\": {}, \"sum\": {}, \"mean\": {}, \"buckets\": [",
+        "{{\"name\": {}, \"labels\": {}, \"count\": {}, \"sum\": {}, \"mean\": {}",
         json_string(&h.id.name),
         json_labels(&h.id),
         h.count,
         json_number(h.sum),
         json_number(h.mean())
     );
+    // `json_number` maps the NaN estimates of an empty histogram to null.
+    for (label, value) in h.percentiles.entries() {
+        let _ = write!(out, ", \"{label}\": {}", json_number(value));
+    }
+    out.push_str(", \"buckets\": [");
     for (i, (edge, count)) in h
         .edges
         .iter()
@@ -399,5 +439,130 @@ mod tests {
         let snap = Registry::new().snapshot();
         let _: serde::Value = serde_json::from_str(&snap.to_json()).unwrap();
         assert!(snap.to_prometheus().is_empty());
+    }
+
+    /// An *empty histogram* (registered, zero observations) must export
+    /// finite JSON: mean 0, percentiles null — never NaN/inf, which would
+    /// make the document unparseable.
+    #[test]
+    fn empty_histogram_exports_finite_json_and_parses_back() {
+        let r = Registry::new();
+        let _ = r.histogram("idle_seconds", &[], vec![0.1, 1.0], "never observed");
+        let json = r.snapshot().to_json();
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+        let value: serde::Value = serde_json::from_str(&json).expect("empty snapshot parses back");
+        let hists = value.as_object().unwrap().get("histograms").unwrap();
+        let h = hists.as_array().unwrap()[0].as_object().unwrap();
+        assert_eq!(h.get("mean").unwrap().as_f64(), Some(0.0));
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(0));
+        for p in ["p50", "p95", "p99"] {
+            assert!(h.get(p).unwrap().is_null(), "{p} must be null when empty");
+        }
+        // The Prometheus side emits no quantile summary for an empty
+        // histogram (a NaN quantile sample would poison scrapes).
+        assert!(!r.snapshot().to_prometheus().contains("_quantiles"));
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn json_export_carries_percentiles() {
+        let snap = sample_registry().snapshot();
+        let value: serde::Value = serde_json::from_str(&snap.to_json()).unwrap();
+        let hists = value.as_object().unwrap().get("histograms").unwrap();
+        let h = hists.as_array().unwrap()[0].as_object().unwrap();
+        // 3 observations → warm-up → exact median of {0.05, 0.5, 5.0}.
+        let p50 = h.get("p50").unwrap().as_f64().unwrap();
+        assert!((p50 - 0.5).abs() < 1e-12);
+        let p99 = h.get("p99").unwrap().as_f64().unwrap();
+        assert!(p50 <= p99);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn prometheus_emits_quantile_summary() {
+        let text = sample_registry().snapshot().to_prometheus();
+        assert!(text.contains("# TYPE lat_seconds_quantiles summary\n"));
+        assert!(text.contains("lat_seconds_quantiles{quantile=\"0.50\"} 0.5\n"));
+        assert!(text.contains("lat_seconds_quantiles{quantile=\"0.95\"}"));
+        assert!(text.contains("lat_seconds_quantiles{quantile=\"0.99\"}"));
+        assert!(text.contains("lat_seconds_quantiles_sum"));
+        assert!(text.contains("lat_seconds_quantiles_count 3\n"));
+    }
+
+    /// Prometheus exposition conformance: every `# HELP`/`# TYPE` comment
+    /// precedes the first series of its metric, and `_bucket` counts are
+    /// cumulative in `le`.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn prometheus_headers_precede_series_and_buckets_are_cumulative() {
+        let text = sample_registry().snapshot().to_prometheus();
+        let lines: Vec<&str> = text.lines().collect();
+        // For each metric family, the first mention must be a comment line.
+        for family in ["events_total", "depth", "lat_seconds"] {
+            let first = lines
+                .iter()
+                .position(|l| {
+                    let name = l
+                        .strip_prefix("# HELP ")
+                        .or_else(|| l.strip_prefix("# TYPE "));
+                    match name {
+                        Some(rest) => rest.split_whitespace().next() == Some(family),
+                        None => l.starts_with(family),
+                    }
+                })
+                .expect("family present");
+            assert!(
+                lines[first].starts_with("# HELP"),
+                "{family}: first line is {:?}",
+                lines[first]
+            );
+            let type_line = first + 1;
+            assert!(
+                lines[type_line].starts_with("# TYPE"),
+                "{family}: HELP not followed by TYPE"
+            );
+        }
+        // Bucket counts never decrease as `le` grows, and +Inf == count.
+        let buckets: Vec<u64> = lines
+            .iter()
+            .filter(|l| l.starts_with("lat_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(buckets, vec![1, 2, 3]);
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]));
+        let count: u64 = lines
+            .iter()
+            .find(|l| l.starts_with("lat_seconds_count"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .unwrap();
+        assert_eq!(*buckets.last().unwrap(), count);
+    }
+
+    /// Round-trip: a hostile label value survives escaping and a simple
+    /// unescape reproduces the original.
+    #[test]
+    fn label_escaping_round_trips() {
+        let hostile = "a\\b\"c\nd";
+        let escaped = escape_label_value(hostile);
+        assert!(!escaped.contains('\n'));
+        let mut unescaped = String::new();
+        let mut chars = escaped.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('\\') => unescaped.push('\\'),
+                    Some('"') => unescaped.push('"'),
+                    Some('n') => unescaped.push('\n'),
+                    other => panic!("unknown escape {other:?}"),
+                }
+            } else {
+                unescaped.push(c);
+            }
+        }
+        assert_eq!(unescaped, hostile);
+        // Help-text escaping round-trips the same way minus the quote rule.
+        let help = "line1\nline2\\end";
+        let esc = escape_help(help);
+        assert_eq!(esc, "line1\\nline2\\\\end");
     }
 }

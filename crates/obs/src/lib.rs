@@ -55,11 +55,14 @@
 
 pub mod export;
 pub mod metrics;
+pub mod quantile;
 pub mod registry;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram};
+pub use quantile::{PercentileSnapshot, Percentiles, P2};
 pub use registry::{global, MetricId, Registry, Snapshot};
 pub use span::Span;
 

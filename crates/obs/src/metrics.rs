@@ -5,8 +5,9 @@
 //! workspace's scoped worker threads. All record paths short-circuit when
 //! [`crate::recording`] is off.
 
+use crate::quantile::{PercentileSnapshot, Percentiles};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Default histogram bucket upper bounds for latencies, in seconds:
 /// roughly exponential from 1 µs to 10 s, dense around the pipeline's
@@ -137,8 +138,15 @@ impl Gauge {
 ///
 /// Buckets follow Prometheus `le` semantics: bucket `i` counts
 /// observations `v <= edges[i]`; one implicit `+Inf` bucket catches the
-/// rest. Edges are fixed at registration — no resizing, no locks on the
-/// observe path.
+/// rest. Edges are fixed at registration.
+///
+/// Alongside the lock-free bucket counts, every histogram carries a set
+/// of P² streaming quantile estimators (p50/p95/p99, see
+/// [`crate::quantile`]) guarded by a short critical section — the only
+/// lock on the observe path, held for a few dozen float ops. Percentile
+/// estimates, like the bucket distribution itself, depend on observation
+/// order and are therefore *scheduling observations*: excluded from the
+/// cross-thread determinism contract that covers counters.
 #[derive(Debug, Clone)]
 pub struct Histogram {
     inner: Arc<HistogramInner>,
@@ -152,6 +160,7 @@ struct HistogramInner {
     buckets: Vec<AtomicU64>,
     count: AtomicU64,
     sum_bits: AtomicU64,
+    quantiles: Mutex<Percentiles>,
 }
 
 impl Histogram {
@@ -179,6 +188,7 @@ impl Histogram {
                 buckets,
                 count: AtomicU64::new(0),
                 sum_bits: AtomicU64::new(0.0f64.to_bits()),
+                quantiles: Mutex::new(Percentiles::new()),
             }),
         }
     }
@@ -208,10 +218,15 @@ impl Histogram {
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return,
+                Ok(_) => break,
                 Err(observed) => current = observed,
             }
         }
+        self.inner
+            .quantiles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .observe(v);
     }
 
     /// Total number of observations.
@@ -237,7 +252,17 @@ impl Histogram {
             .collect()
     }
 
-    /// Zero every bucket, the count and the sum.
+    /// Current p50/p95/p99 estimates (all `NaN` when no observations).
+    #[must_use]
+    pub fn percentiles(&self) -> PercentileSnapshot {
+        self.inner
+            .quantiles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .snapshot()
+    }
+
+    /// Zero every bucket, the count, the sum, and the quantile markers.
     pub fn reset(&self) {
         for b in &self.inner.buckets {
             b.store(0, Ordering::Relaxed);
@@ -246,6 +271,11 @@ impl Histogram {
         self.inner
             .sum_bits
             .store(0.0f64.to_bits(), Ordering::Relaxed);
+        self.inner
+            .quantiles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .reset();
     }
 }
 
@@ -332,6 +362,22 @@ mod tests {
         let h = Histogram::new(vec![1.0]);
         h.observe(f64::NAN);
         assert_eq!(h.count(), 0);
+        assert!(h.percentiles().p50.is_nan());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn histogram_percentiles_track_observations() {
+        let h = Histogram::new(vec![1.0]);
+        assert!(h.percentiles().p50.is_nan());
+        for i in 1..=100 {
+            h.observe(f64::from(i) / 100.0);
+        }
+        let p = h.percentiles();
+        assert!((p.p50 - 0.5).abs() < 0.1, "p50 = {}", p.p50);
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99);
+        h.reset();
+        assert!(h.percentiles().p50.is_nan());
     }
 
     #[test]

@@ -1,0 +1,439 @@
+//! Streaming quantile estimation: the P² algorithm of Jain & Chlamtac
+//! (CACM 1985).
+//!
+//! A [`P2`] estimator tracks one quantile of an unbounded observation
+//! stream in O(1) memory (five markers) and O(1) time per observation —
+//! no sample buffer, no sorting. Every histogram in this crate carries a
+//! [`Percentiles`] set (p50/p95/p99) fed from the same `observe` call
+//! that updates the buckets, which is how run reports surface tail
+//! latency without storing raw samples.
+//!
+//! # Accuracy
+//!
+//! P² is an approximation: the markers follow a piecewise-parabolic model
+//! of the empirical CDF. On smooth unimodal distributions the estimate
+//! lands within ~1 % of the exact quantile after a few hundred
+//! observations; on hard cases the tested tolerance is 10 % of the exact
+//! value plus a small absolute floor (25 % for the p99 of an
+//! infinite-variance heavy tail, where the parabolic model is weakest) —
+//! see the unit tests, which pin uniform, bimodal and heavy-tail
+//! distributions against exact order statistics.
+//!
+//! Estimates depend on observation *order* (like any streaming summary),
+//! so percentiles are scheduling observations in the same sense as
+//! latency histograms: the workspace determinism suite pins counters, not
+//! quantiles, across thread counts.
+
+/// Streaming estimator for a single quantile `p` in `(0, 1)`.
+#[derive(Debug, Clone)]
+pub struct P2 {
+    p: f64,
+    /// Marker heights; during warm-up (`count < 5`) the first `count`
+    /// entries hold the raw observations instead.
+    q: [f64; 5],
+    /// Actual marker positions (1-based observation ranks).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    count: u64,
+}
+
+impl P2 {
+    /// Create an estimator for quantile `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1` — estimating the min/max needs no
+    /// marker machinery, and a quantile outside the unit interval is a
+    /// programming error.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0, 1), got {p}");
+        P2 {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            count: 0,
+        }
+    }
+
+    /// The quantile this estimator tracks.
+    #[must_use]
+    pub fn quantile(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feed one observation. `NaN` is dropped (callers observing into a
+    /// histogram have already filtered it, but a detached estimator must
+    /// not poison its markers).
+    pub fn observe(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        if self.count < 5 {
+            self.q[self.count as usize] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.q.sort_by(f64::total_cmp);
+            }
+            return;
+        }
+        self.count += 1;
+        // Find the marker cell containing x, extending the extremes.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            // q[0] <= x < q[4]: the last marker with q[k] <= x.
+            let mut k = 0;
+            for i in 1..4 {
+                if x >= self.q[i] {
+                    k = i;
+                }
+            }
+            k
+        };
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        let dn = [0.0, self.p / 2.0, self.p, (1.0 + self.p) / 2.0, 1.0];
+        for (np, d) in self.np.iter_mut().zip(dn) {
+            *np += d;
+        }
+        // Adjust the three interior markers toward their desired
+        // positions, preferring the piecewise-parabolic (P²) height
+        // update and falling back to linear when it would break marker
+        // monotonicity.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            let room_up = self.n[i + 1] - self.n[i] > 1.0;
+            let room_down = self.n[i - 1] - self.n[i] < -1.0;
+            if (d >= 1.0 && room_up) || (d <= -1.0 && room_down) {
+                let d = d.signum();
+                let parabolic = self.parabolic(i, d);
+                let new_q = if self.q[i - 1] < parabolic && parabolic < self.q[i + 1] {
+                    parabolic
+                } else {
+                    self.linear(i, d)
+                };
+                self.q[i] = new_q;
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.q;
+        let n = &self.n;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current estimate, or `NaN` before any observation. During warm-up
+    /// (< 5 observations) the estimate is the exact quantile of the
+    /// stored sample by linear interpolation.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        match self.count {
+            0 => f64::NAN,
+            c if c < 5 => {
+                let mut sample = self.q[..c as usize].to_vec();
+                sample.sort_by(f64::total_cmp);
+                exact_quantile(&sample, self.p)
+            }
+            _ => self.q[2],
+        }
+    }
+
+    /// Forget everything (see [`crate::Registry::reset`]).
+    pub fn reset(&mut self) {
+        *self = P2::new(self.p);
+    }
+}
+
+/// Exact quantile of an already-**sorted** slice by linear interpolation
+/// between closest ranks; `NaN` on an empty slice. This is the reference
+/// the P² tests compare against, and the warm-up fallback.
+#[must_use]
+pub fn exact_quantile(sorted: &[f64], p: f64) -> f64 {
+    match sorted.len() {
+        0 => f64::NAN,
+        1 => sorted[0],
+        n => {
+            let rank = p * (n - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let frac = rank - lo as f64;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+        }
+    }
+}
+
+/// The fixed percentile set every histogram carries: p50, p95, p99.
+#[derive(Debug, Clone)]
+pub struct Percentiles {
+    p50: P2,
+    p95: P2,
+    p99: P2,
+}
+
+/// Frozen estimates of one [`Percentiles`] set. All three are `NaN` when
+/// the histogram has no observations; exporters render that as `null`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PercentileSnapshot {
+    /// Median estimate.
+    pub p50: f64,
+    /// 95th-percentile estimate.
+    pub p95: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+impl PercentileSnapshot {
+    /// A snapshot with no observations behind it.
+    #[must_use]
+    pub fn empty() -> Self {
+        PercentileSnapshot {
+            p50: f64::NAN,
+            p95: f64::NAN,
+            p99: f64::NAN,
+        }
+    }
+
+    /// The `(label, value)` pairs in export order.
+    #[must_use]
+    pub fn entries(&self) -> [(&'static str, f64); 3] {
+        [("p50", self.p50), ("p95", self.p95), ("p99", self.p99)]
+    }
+}
+
+impl Default for Percentiles {
+    fn default() -> Self {
+        Percentiles::new()
+    }
+}
+
+impl Percentiles {
+    /// Create the p50/p95/p99 set.
+    #[must_use]
+    pub fn new() -> Self {
+        Percentiles {
+            p50: P2::new(0.50),
+            p95: P2::new(0.95),
+            p99: P2::new(0.99),
+        }
+    }
+
+    /// Feed one observation to all three estimators.
+    pub fn observe(&mut self, x: f64) {
+        self.p50.observe(x);
+        self.p95.observe(x);
+        self.p99.observe(x);
+    }
+
+    /// Freeze the current estimates.
+    #[must_use]
+    pub fn snapshot(&self) -> PercentileSnapshot {
+        PercentileSnapshot {
+            p50: self.p50.estimate(),
+            p95: self.p95.estimate(),
+            p99: self.p99.estimate(),
+        }
+    }
+
+    /// Forget everything.
+    pub fn reset(&mut self) {
+        self.p50.reset();
+        self.p95.reset();
+        self.p99.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift64* stream in [0, 1).
+    struct Rng(u64);
+
+    impl Rng {
+        fn next_f64(&mut self) -> f64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            (self.0.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Assert the P² estimate of `p` over `data` lands within `rel` of
+    /// the exact quantile (plus a small absolute floor for near-zero
+    /// quantiles). The documented tolerance is 10 % on uniform/bimodal
+    /// streams and 25 % for the extreme tail (p99) of heavy-tailed
+    /// distributions, where the parabolic CDF model is weakest.
+    fn assert_close_rel(data: &[f64], p: f64, rel: f64) {
+        let mut est = P2::new(p);
+        for &x in data {
+            est.observe(x);
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let exact = exact_quantile(&sorted, p);
+        let tol = rel * exact.abs() + 0.02;
+        let got = est.estimate();
+        assert!(
+            (got - exact).abs() <= tol,
+            "p{}: estimate {got} vs exact {exact} (tol {tol})",
+            p * 100.0
+        );
+    }
+
+    fn assert_close(data: &[f64], p: f64) {
+        assert_close_rel(data, p, 0.10);
+    }
+
+    #[test]
+    fn uniform_distribution_quantiles() {
+        let mut rng = Rng(0xDEAD_BEEF);
+        let data: Vec<f64> = (0..4000).map(|_| rng.next_f64() * 10.0).collect();
+        for p in [0.5, 0.95, 0.99] {
+            assert_close(&data, p);
+        }
+    }
+
+    #[test]
+    fn bimodal_distribution_quantiles() {
+        // Two well-separated uniform modes, 70/30 mixture: the p50 sits
+        // inside the low mode, the p95/p99 inside the high one.
+        let mut rng = Rng(42);
+        let data: Vec<f64> = (0..6000)
+            .map(|_| {
+                if rng.next_f64() < 0.7 {
+                    rng.next_f64()
+                } else {
+                    100.0 + rng.next_f64()
+                }
+            })
+            .collect();
+        for p in [0.5, 0.95, 0.99] {
+            assert_close(&data, p);
+        }
+    }
+
+    #[test]
+    fn heavy_tail_distribution_quantiles() {
+        // Pareto-like: x = (1-u)^(-1/alpha), alpha = 1.5 — infinite
+        // variance, the p99 is far above the p50.
+        let mut rng = Rng(7);
+        let data: Vec<f64> = (0..8000)
+            .map(|_| (1.0 - rng.next_f64()).powf(-1.0 / 1.5))
+            .collect();
+        assert_close(&data, 0.5);
+        assert_close(&data, 0.95);
+        // The p99 of an infinite-variance tail is the hardest case for
+        // the five-marker model; the contract there is 25 %.
+        assert_close_rel(&data, 0.99, 0.25);
+    }
+
+    #[test]
+    fn warmup_is_exact() {
+        let mut est = P2::new(0.5);
+        assert!(est.estimate().is_nan());
+        est.observe(3.0);
+        assert_eq!(est.estimate(), 3.0);
+        est.observe(1.0);
+        est.observe(2.0);
+        // Exact median of {1, 2, 3}.
+        assert_eq!(est.estimate(), 2.0);
+    }
+
+    #[test]
+    fn constant_stream_is_exact() {
+        let mut est = P2::new(0.95);
+        for _ in 0..1000 {
+            est.observe(4.25);
+        }
+        assert_eq!(est.estimate(), 4.25);
+    }
+
+    #[test]
+    fn sorted_and_reversed_streams_agree_with_exact() {
+        let asc: Vec<f64> = (0..2000).map(f64::from).collect();
+        let desc: Vec<f64> = asc.iter().rev().copied().collect();
+        assert_close(&asc, 0.5);
+        assert_close(&desc, 0.5);
+        assert_close(&asc, 0.99);
+        assert_close(&desc, 0.99);
+    }
+
+    #[test]
+    fn nan_observations_are_dropped() {
+        let mut est = P2::new(0.5);
+        for i in 0..100 {
+            est.observe(f64::from(i));
+            est.observe(f64::NAN);
+        }
+        assert_eq!(est.count(), 100);
+        assert!(est.estimate().is_finite());
+    }
+
+    #[test]
+    fn reset_forgets() {
+        let mut est = P2::new(0.5);
+        for i in 0..50 {
+            est.observe(f64::from(i));
+        }
+        est.reset();
+        assert_eq!(est.count(), 0);
+        assert!(est.estimate().is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1)")]
+    fn rejects_out_of_range_quantile() {
+        let _ = P2::new(1.0);
+    }
+
+    #[test]
+    fn percentile_set_orders() {
+        let mut set = Percentiles::new();
+        let mut rng = Rng(99);
+        for _ in 0..3000 {
+            set.observe(rng.next_f64());
+        }
+        let snap = set.snapshot();
+        assert!(snap.p50 < snap.p95 && snap.p95 < snap.p99, "{snap:?}");
+        assert_eq!(snap.entries()[0].0, "p50");
+    }
+
+    #[test]
+    fn empty_percentiles_are_nan() {
+        let snap = Percentiles::new().snapshot();
+        assert!(snap.p50.is_nan() && snap.p95.is_nan() && snap.p99.is_nan());
+        let empty = PercentileSnapshot::empty();
+        assert!(empty.p50.is_nan() && empty.p95.is_nan() && empty.p99.is_nan());
+    }
+
+    #[test]
+    fn exact_quantile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(exact_quantile(&data, 0.5), 2.5);
+        assert!(exact_quantile(&[], 0.5).is_nan());
+        assert_eq!(exact_quantile(&[7.0], 0.99), 7.0);
+    }
+}

@@ -8,6 +8,7 @@
 //! the [`crate::counter!`]-family macros stay valid across resets.
 
 use crate::metrics::{Counter, Gauge, Histogram};
+use crate::quantile::PercentileSnapshot;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Mutex, OnceLock, PoisonError};
@@ -213,6 +214,7 @@ impl Registry {
                         sum: h.sum(),
                         edges,
                         cumulative,
+                        percentiles: h.percentiles(),
                     });
                 }
             }
@@ -259,6 +261,9 @@ pub struct HistogramSnapshot {
     /// Cumulative bucket counts, `edges.len() + 1` entries (Prometheus
     /// `le` semantics; the last entry equals [`HistogramSnapshot::count`]).
     pub cumulative: Vec<u64>,
+    /// Streaming p50/p95/p99 estimates (all `NaN` when `count == 0`;
+    /// exporters render empty percentiles as `null`, never `NaN`).
+    pub percentiles: PercentileSnapshot,
 }
 
 impl HistogramSnapshot {
@@ -368,6 +373,8 @@ mod tests {
         assert_eq!(hs.cumulative, vec![1, 2, 3]);
         assert_eq!(hs.count, 3);
         assert!((hs.mean() - (0.5 + 1.5 + 9.0) / 3.0).abs() < 1e-12);
+        // With fewer than five observations the P² estimator is exact.
+        assert!((hs.percentiles.p50 - 1.5).abs() < 1e-12);
         assert_eq!(
             snap.counter_map(),
             BTreeMap::from([("a_first".to_string(), 3), ("z_last".to_string(), 1)])

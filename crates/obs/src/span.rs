@@ -20,6 +20,10 @@ pub struct Span {
     /// Owned name for dynamically-labelled spans ([`crate::span_with`]).
     dyn_name: Option<String>,
     trace: bool,
+    /// Whether this span's begin event made it into the bounded timeline
+    /// log ([`crate::trace`]) — the end event is only emitted when it did,
+    /// so the exported trace never contains an unmatched `E`.
+    timeline: bool,
 }
 
 impl Span {
@@ -31,6 +35,7 @@ impl Span {
             name: "",
             dyn_name: None,
             trace: false,
+            timeline: false,
         }
     }
 
@@ -39,12 +44,14 @@ impl Span {
         if !crate::recording() {
             return Span::disabled();
         }
+        let timeline = crate::trace::capturing() && crate::trace::begin(name);
         Span {
             start: Some(Instant::now()),
             histogram: Some(histogram),
             name,
             dyn_name: None,
             trace: false,
+            timeline,
         }
     }
 
@@ -53,12 +60,14 @@ impl Span {
         if !crate::recording() {
             return Span::disabled();
         }
+        let timeline = crate::trace::capturing() && crate::trace::begin(&name);
         Span {
             start: Some(Instant::now()),
             histogram: Some(histogram),
             name: "",
             dyn_name: Some(name),
             trace: false,
+            timeline,
         }
     }
 
@@ -88,6 +97,9 @@ impl Drop for Span {
         let elapsed = start.elapsed().as_secs_f64();
         if let Some(histogram) = &self.histogram {
             histogram.observe(elapsed);
+        }
+        if self.timeline {
+            crate::trace::end(self.display_name());
         }
         if self.trace || crate::tracing() {
             eprintln!("[obs] {}: {}", self.display_name(), format_seconds(elapsed));

@@ -1,0 +1,127 @@
+//! End-to-end validation of the span timeline capture: spans across
+//! several threads, exported as Chrome `trace_event` JSON, parsed back
+//! and structurally checked — matched begin/end pairs, proper nesting,
+//! monotonic timestamps per thread. Runs in its own process (and as one
+//! sequential test) so toggling the global capture switch cannot race
+//! anything.
+
+#![cfg(feature = "obs")]
+
+use airfinger_obs::trace;
+
+/// Parse the `traceEvents` array into `(name, phase, ts, tid)` tuples.
+fn parse_events(json: &str) -> Vec<(String, String, u64, u64)> {
+    let value: serde::Value = serde_json::from_str(json).expect("trace export is valid JSON");
+    let obj = value.as_object().expect("top level is an object");
+    obj.get("traceEvents")
+        .expect("traceEvents member present")
+        .as_array()
+        .expect("traceEvents is an array")
+        .iter()
+        .map(|e| {
+            let e = e.as_object().expect("event is an object");
+            assert_eq!(e.get("pid").and_then(serde::Value::as_u64), Some(1));
+            assert_eq!(e.get("cat").and_then(serde::Value::as_str), Some("obs"));
+            (
+                e.get("name")
+                    .and_then(serde::Value::as_str)
+                    .unwrap()
+                    .to_string(),
+                e.get("ph")
+                    .and_then(serde::Value::as_str)
+                    .unwrap()
+                    .to_string(),
+                e.get("ts").and_then(serde::Value::as_u64).unwrap(),
+                e.get("tid").and_then(serde::Value::as_u64).unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn multithreaded_capture_exports_valid_chrome_trace() {
+    trace::clear();
+    trace::set_capture(true);
+
+    // Nested spans on the main thread plus concurrent spans on workers.
+    {
+        let _outer = airfinger_obs::span!("timeline_outer_seconds");
+        std::thread::scope(|scope| {
+            for worker in 0..3 {
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        let _span = match worker {
+                            0 => airfinger_obs::span!("timeline_stage_seconds", stage = "a"),
+                            1 => airfinger_obs::span!("timeline_stage_seconds", stage = "b"),
+                            _ => airfinger_obs::span!("timeline_stage_seconds", stage = "c"),
+                        };
+                        std::hint::black_box(0u64);
+                    }
+                });
+            }
+        });
+        let _inner = airfinger_obs::span!("timeline_inner_seconds");
+    }
+
+    trace::set_capture(false);
+    let json = trace::chrome_trace_json();
+    let events = parse_events(&json);
+    // 1 outer + 1 inner + 3×5 worker spans, a B and an E each.
+    assert_eq!(
+        events.len(),
+        2 * (2 + 15),
+        "unexpected event count: {events:?}"
+    );
+    assert_eq!(trace::dropped(), 0);
+
+    // Phases are only ever B or E, and per thread every E closes the most
+    // recent open B of the same name (proper nesting, matched pairs).
+    let mut stacks: std::collections::BTreeMap<u64, Vec<&str>> = std::collections::BTreeMap::new();
+    for (name, phase, _ts, tid) in &events {
+        match phase.as_str() {
+            "B" => stacks.entry(*tid).or_default().push(name),
+            "E" => {
+                let open = stacks
+                    .get_mut(tid)
+                    .and_then(Vec::pop)
+                    .unwrap_or_else(|| panic!("E without open B on tid {tid}: {name}"));
+                assert_eq!(open, name, "E closes a different span than the open B");
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "unclosed spans on tid {tid}: {stack:?}");
+    }
+
+    // Timestamps are monotonic per thread (the trace_event contract).
+    let mut last_ts: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for (_name, _phase, ts, tid) in &events {
+        if let Some(prev) = last_ts.insert(*tid, *ts) {
+            assert!(prev <= *ts, "timestamps went backwards on tid {tid}");
+        }
+    }
+
+    // The outer span must open before the nested inner one.
+    let outer_b = events
+        .iter()
+        .position(|(n, p, ..)| n == "timeline_outer_seconds" && p == "B")
+        .unwrap();
+    let inner_b = events
+        .iter()
+        .position(|(n, p, ..)| n == "timeline_inner_seconds" && p == "B")
+        .unwrap();
+    assert!(outer_b < inner_b);
+
+    // With capture back off, new spans leave no events behind a clear().
+    trace::clear();
+    {
+        let _span = airfinger_obs::span!("timeline_uncaptured_seconds");
+    }
+    let json = trace::chrome_trace_json();
+    assert!(
+        !json.contains("timeline_uncaptured_seconds"),
+        "span captured while capture off"
+    );
+    assert!(parse_events(&json).is_empty());
+}

@@ -79,6 +79,23 @@ fn counters_are_identical_across_thread_counts() {
             baseline.contains_key("ml_trees_trained_total"),
             "expected forest counters in {baseline:?}"
         );
+        // The quality counters added for the regression gate must be part
+        // of the same invariant: segmentation and family decisions are
+        // pipeline outcomes, not scheduling artifacts.
+        assert!(
+            baseline.contains_key("pipeline_segments_found_total"),
+            "expected segmentation counters in {baseline:?}"
+        );
+        assert!(
+            baseline.contains_key("pipeline_segments_merged_total"),
+            "expected merge counters in {baseline:?}"
+        );
+        assert!(
+            baseline
+                .keys()
+                .any(|k| k.starts_with("pipeline_recognitions_total")),
+            "expected recognition-kind counters in {baseline:?}"
+        );
     }
     for threads in [2, 3, 4, 8] {
         let got = counters_at(threads, &corpus);
