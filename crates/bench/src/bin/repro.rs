@@ -28,7 +28,6 @@ use airfinger_bench::context::{Context, Scale};
 use airfinger_bench::{run_experiment, EXPERIMENT_IDS};
 use airfinger_obs::report::RunReport;
 use airfinger_parallel::{effective_threads, par_run};
-use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -103,6 +102,12 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--list" => {
+                for id in EXPERIMENT_IDS {
+                    println!("{id}");
+                }
+                return;
+            }
             "--help" | "-h" => {
                 print_help();
                 return;
@@ -138,16 +143,23 @@ fn main() {
     let timed: Vec<_> = par_run(ids.len(), threads, |i| {
         let span =
             airfinger_obs::span_with("repro_experiment_seconds", &[("id", &ids[i])]).traced();
-        let report = run_experiment(&ids[i], &ctx).expect("id validated above");
+        let result = run_experiment(&ids[i], &ctx);
         let elapsed = span.elapsed_s();
         drop(span);
-        (report, elapsed)
+        (result, elapsed)
     });
     let wall = run_span.elapsed_s();
     drop(run_span);
     let mut reports = Vec::with_capacity(timed.len());
     let mut timings = Vec::with_capacity(timed.len());
-    for (id, (report, elapsed)) in ids.iter().zip(timed) {
+    for (id, (result, elapsed)) in ids.iter().zip(timed) {
+        let report = match result {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("[repro] experiment `{id}` failed: {e}");
+                std::process::exit(1);
+            }
+        };
         report.print();
         reports.push(report);
         timings.push((id.clone(), elapsed));
@@ -157,9 +169,16 @@ fn main() {
         reports.len()
     );
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
-        write_file(&path, json.as_bytes());
-        eprintln!("[repro] wrote {path}");
+        match serde_json::to_string_pretty(&reports) {
+            Ok(json) => {
+                write_file(&path, json.as_bytes());
+                eprintln!("[repro] wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("[repro] cannot serialize reports: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     if metrics_path.is_some() || label.is_some() {
         // Runtime-shape gauges: configured worker count and how busy those
@@ -275,9 +294,10 @@ fn run_diff(args: &[String]) {
 }
 
 fn write_file(path: &str, bytes: &[u8]) {
-    let mut f = std::fs::File::create(path).unwrap_or_else(|e| panic!("create {path}: {e}"));
-    f.write_all(bytes)
-        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+    if let Err(e) = std::fs::write(path, bytes) {
+        eprintln!("[repro] cannot write {path}: {e}");
+        std::process::exit(1);
+    }
 }
 
 fn print_help() {
@@ -290,6 +310,7 @@ fn print_help() {
     );
     println!("       repro diff BASE.json NEW.json [--max-time-regress PCT] [--min-accuracy PCT]");
     println!();
+    println!("  --list            print every experiment id and exit");
     println!("  --json PATH       dump the experiment results as JSON");
     println!("  --metrics PATH    write a structured run report: per-experiment wall");
     println!("                    time, quality metrics, and every counter and");

@@ -1,0 +1,80 @@
+//! Error type for the experiment harness.
+//!
+//! Experiments propagate failures from the pipeline, classifiers and DSP
+//! helpers instead of panicking, so a single bad experiment aborts cleanly
+//! with a diagnosable message (and a nonzero exit from `repro`) rather
+//! than unwinding through the parallel runner.
+
+use airfinger_core::AirFingerError;
+use airfinger_dsp::DspError;
+use airfinger_ml::MlError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from running a reproduction experiment.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BenchError {
+    /// The id does not name any experiment in [`crate::EXPERIMENT_IDS`].
+    UnknownExperiment(String),
+    /// A pipeline or classifier stage under test failed.
+    Pipeline(AirFingerError),
+    /// A DSP helper the experiment measures failed.
+    Dsp(DspError),
+    /// The experiment produced no data to summarize.
+    EmptyResult(&'static str),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::UnknownExperiment(id) => write!(f, "unknown experiment id `{id}`"),
+            BenchError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+            BenchError::Dsp(e) => write!(f, "dsp error: {e}"),
+            BenchError::EmptyResult(what) => write!(f, "experiment produced no data: {what}"),
+        }
+    }
+}
+
+impl Error for BenchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BenchError::Pipeline(e) => Some(e),
+            BenchError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AirFingerError> for BenchError {
+    fn from(e: AirFingerError) -> Self {
+        BenchError::Pipeline(e)
+    }
+}
+
+impl From<MlError> for BenchError {
+    fn from(e: MlError) -> Self {
+        BenchError::Pipeline(AirFingerError::Ml(e))
+    }
+}
+
+impl From<DspError> for BenchError {
+    fn from(e: DspError) -> Self {
+        BenchError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = BenchError::from(MlError::NotFitted);
+        assert!(e.to_string().contains("pipeline error"));
+        assert!(e.source().is_some());
+        assert!(BenchError::UnknownExperiment("x".into())
+            .to_string()
+            .contains("`x`"));
+    }
+}

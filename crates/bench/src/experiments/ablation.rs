@@ -4,6 +4,7 @@
 //! normalization on/off.
 
 use crate::context::Context;
+use crate::error::BenchError;
 use crate::experiments::{eval_rf_fold, merge_folds, pct};
 use crate::report::Report;
 use airfinger_core::detect::prepare_features;
@@ -97,8 +98,11 @@ fn extract(corpus: &Corpus, ctx: &Context, variant: &Variant) -> LabeledFeatures
 }
 
 /// Run the experiment.
-#[must_use]
-pub fn run(ctx: &Context) -> Report {
+///
+/// # Errors
+///
+/// Propagates classifier failures.
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
     let mut report = Report::new("ablation", "design-choice ablations (3-fold CV accuracy)");
     let corpus = ctx.corpus();
     report.line(format!("{:<20} {:>9} {:>9}", "variant", "3-fold", "LOUO"));
@@ -116,22 +120,26 @@ pub fn run(ctx: &Context) -> Report {
         let merged = merge_folds(
             folds
                 .iter()
-                .map(|s| eval_rf_fold(&features, s, 8, ctx.config.forest_trees, ctx.seed + 0xAB)),
+                .map(|s| eval_rf_fold(&features, s, 8, ctx.config.forest_trees, ctx.seed + 0xAB))
+                .collect::<Result<Vec<_>, _>>()?,
             8,
         );
         // Cross-user robustness: the paper motivates SBC and the feature
         // selection precisely with individual diversity, so every variant
         // is also scored leave-one-user-out.
         let louo = merge_folds(
-            leave_one_group_out(&features.users).iter().map(|(u, s)| {
-                eval_rf_fold(
-                    &features,
-                    s,
-                    8,
-                    ctx.config.forest_trees,
-                    ctx.seed + *u as u64,
-                )
-            }),
+            leave_one_group_out(&features.users)
+                .iter()
+                .map(|(u, s)| {
+                    eval_rf_fold(
+                        &features,
+                        s,
+                        8,
+                        ctx.config.forest_trees,
+                        ctx.seed + *u as u64,
+                    )
+                })
+                .collect::<Result<Vec<_>, _>>()?,
             8,
         );
         report.line(format!(
@@ -143,5 +151,5 @@ pub fn run(ctx: &Context) -> Report {
         report.metric(&key, pct(merged.accuracy()));
         report.metric(&format!("{key}_louo"), pct(louo.accuracy()));
     }
-    report
+    Ok(report)
 }

@@ -12,6 +12,7 @@
 //! restricted to later-session test trials.
 
 use crate::context::Context;
+use crate::error::BenchError;
 use crate::experiments::{merge_folds, pct};
 use crate::report::Report;
 use airfinger_core::adapt::UserAdapter;
@@ -30,7 +31,7 @@ fn accuracy_for(
     user: usize,
     k: usize,
     config: &AirFingerConfig,
-) -> ConfusionMatrix {
+) -> Result<ConfusionMatrix, BenchError> {
     let mut base = LabeledFeatures::default();
     let mut enroll = Vec::new();
     let mut test = Vec::new();
@@ -51,26 +52,30 @@ fn accuracy_for(
     }
     let mut adapter = UserAdapter::new(base);
     for &i in &enroll {
-        let gesture = Gesture::from_index(features.y[i]).expect("gesture label");
+        let gesture = Gesture::from_index(features.y[i]).ok_or(BenchError::Pipeline(
+            airfinger_core::AirFingerError::InvalidTrainingData(
+                "enrollment label outside the gesture set",
+            ),
+        ))?;
         adapter.enroll_features(features.x[i].clone(), gesture);
     }
     let mut af = AirFinger::new(*config);
-    adapter.apply(&mut af).expect("adaptation training failed");
+    adapter.apply(&mut af)?;
     let rec = af.detect_recognizer();
     let truth: Vec<usize> = test.iter().map(|&i| features.y[i]).collect();
-    let pred: Vec<usize> = test
-        .iter()
-        .map(|&i| {
-            rec.predict_features(&features.x[i])
-                .expect("prediction failed")
-        })
-        .collect();
-    ConfusionMatrix::from_predictions(&truth, &pred, 6)
+    let mut pred = Vec::with_capacity(test.len());
+    for &i in &test {
+        pred.push(rec.predict_features(&features.x[i])?);
+    }
+    Ok(ConfusionMatrix::from_predictions(&truth, &pred, 6))
 }
 
 /// Run the experiment.
-#[must_use]
-pub fn run(ctx: &Context) -> Report {
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
     let mut report = Report::new(
         "adaptation",
         "user enrollment closing the LOUO gap (extension)",
@@ -100,14 +105,17 @@ pub fn run(ctx: &Context) -> Report {
     let mut last = f64::NAN;
     for &k in &ks {
         let merged = merge_folds(
-            users.iter().map(|&u| {
-                let config = AirFingerConfig {
-                    forest_trees: ctx.config.forest_trees,
-                    train_seed: ctx.seed + 0xADA0 + u as u64,
-                    ..ctx.config
-                };
-                accuracy_for(&features, u, k, &config)
-            }),
+            users
+                .iter()
+                .map(|&u| {
+                    let config = AirFingerConfig {
+                        forest_trees: ctx.config.forest_trees,
+                        train_seed: ctx.seed + 0xADA0 + u as u64,
+                        ..ctx.config
+                    };
+                    accuracy_for(&features, u, k, &config)
+                })
+                .collect::<Result<Vec<_>, _>>()?,
             6,
         );
         let acc = pct(merged.accuracy());
@@ -133,5 +141,5 @@ pub fn run(ctx: &Context) -> Report {
          LOUO 83.61% and Fig. 10 within-population 98.44%)"
             .to_string(),
     );
-    report
+    Ok(report)
 }

@@ -5,6 +5,7 @@
 //! and per-prediction cost are measured side by side.
 
 use crate::context::Context;
+use crate::error::BenchError;
 use crate::experiments::{eval_classifier_fold, merge_folds, pct};
 use crate::report::Report;
 use airfinger_core::processing::DataProcessor;
@@ -49,8 +50,11 @@ fn dtw_signatures(corpus: &airfinger_synth::dataset::Corpus, ctx: &Context) -> L
 }
 
 /// Run the experiment.
-#[must_use]
-pub fn run(ctx: &Context) -> Report {
+///
+/// # Errors
+///
+/// Propagates classifier failures.
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
     let mut report = Report::new("baselines", "RF vs DTW 1-NN: accuracy and inference cost");
     let spec = CorpusSpec {
         users: 4,
@@ -70,14 +74,17 @@ pub fn run(ctx: &Context) -> Report {
     let rf_features = all_gesture_feature_set(&corpus, &ctx.config);
     let rf_folds = stratified_k_fold(&rf_features.y, 3, ctx.seed);
     let rf_matrix = merge_folds(
-        rf_folds.iter().map(|split| {
-            let mut rf = RandomForest::new(RandomForestConfig {
-                n_trees: ctx.config.forest_trees,
-                seed: ctx.seed,
-                ..Default::default()
-            });
-            eval_classifier_fold(&mut rf, &rf_features, split, 8)
-        }),
+        rf_folds
+            .iter()
+            .map(|split| {
+                let mut rf = RandomForest::new(RandomForestConfig {
+                    n_trees: ctx.config.forest_trees,
+                    seed: ctx.seed,
+                    ..Default::default()
+                });
+                eval_classifier_fold(&mut rf, &rf_features, split, 8)
+            })
+            .collect::<Result<Vec<_>, _>>()?,
         8,
     );
     // Inference cost on a trained model.
@@ -86,11 +93,12 @@ pub fn run(ctx: &Context) -> Report {
         seed: ctx.seed,
         ..Default::default()
     });
-    rf.fit(&rf_features.x, &rf_features.y).expect("rf fit");
+    rf.fit(&rf_features.x, &rf_features.y)?;
     let probe = rf_features.x[0].clone();
+    // lint: wall-clock — the measured per-prediction cost IS this figure's result
     let t0 = Instant::now();
     for _ in 0..200 {
-        let _ = rf.predict(&probe).expect("predict");
+        let _ = rf.predict(&probe)?;
     }
     let rf_us = t0.elapsed().as_secs_f64() * 1e6 / 200.0;
     report.line(format!(
@@ -104,18 +112,22 @@ pub fn run(ctx: &Context) -> Report {
     let dtw_features = dtw_signatures(&corpus, ctx);
     let dtw_folds = stratified_k_fold(&dtw_features.y, 3, ctx.seed);
     let dtw_matrix = merge_folds(
-        dtw_folds.iter().map(|split| {
-            let mut c = DtwClassifier::new(DtwConfig::default());
-            eval_classifier_fold(&mut c, &dtw_features, split, 8)
-        }),
+        dtw_folds
+            .iter()
+            .map(|split| {
+                let mut c = DtwClassifier::new(DtwConfig::default());
+                eval_classifier_fold(&mut c, &dtw_features, split, 8)
+            })
+            .collect::<Result<Vec<_>, _>>()?,
         8,
     );
     let mut dtw = DtwClassifier::new(DtwConfig::default());
-    dtw.fit(&dtw_features.x, &dtw_features.y).expect("dtw fit");
+    dtw.fit(&dtw_features.x, &dtw_features.y)?;
     let probe = dtw_features.x[0].clone();
+    // lint: wall-clock — the measured per-prediction cost IS this figure's result
     let t0 = Instant::now();
     for _ in 0..50 {
-        let _ = dtw.predict(&probe).expect("predict");
+        let _ = dtw.predict(&probe)?;
     }
     let dtw_us = t0.elapsed().as_secs_f64() * 1e6 / 50.0;
     report.line(format!(
@@ -128,18 +140,22 @@ pub fn run(ctx: &Context) -> Report {
     // HMM per-class models over the same temporal signatures.
     let hmm_folds = stratified_k_fold(&dtw_features.y, 3, ctx.seed);
     let hmm_matrix = merge_folds(
-        hmm_folds.iter().map(|split| {
-            let mut c = HmmClassifier::new(HmmConfig::default());
-            eval_classifier_fold(&mut c, &dtw_features, split, 8)
-        }),
+        hmm_folds
+            .iter()
+            .map(|split| {
+                let mut c = HmmClassifier::new(HmmConfig::default());
+                eval_classifier_fold(&mut c, &dtw_features, split, 8)
+            })
+            .collect::<Result<Vec<_>, _>>()?,
         8,
     );
     let mut hmm = HmmClassifier::new(HmmConfig::default());
-    hmm.fit(&dtw_features.x, &dtw_features.y).expect("hmm fit");
+    hmm.fit(&dtw_features.x, &dtw_features.y)?;
     let probe = dtw_features.x[0].clone();
+    // lint: wall-clock — the measured per-prediction cost IS this figure's result
     let t0 = Instant::now();
     for _ in 0..200 {
-        let _ = hmm.predict(&probe).expect("predict");
+        let _ = hmm.predict(&probe)?;
     }
     let hmm_us = t0.elapsed().as_secs_f64() * 1e6 / 200.0;
     report.line(format!(
@@ -152,26 +168,31 @@ pub fn run(ctx: &Context) -> Report {
     // CNN over the same temporal signatures.
     let cnn_folds = stratified_k_fold(&dtw_features.y, 3, ctx.seed);
     let cnn_matrix = merge_folds(
-        cnn_folds.iter().map(|split| {
-            let mut c = CnnClassifier::new(CnnConfig {
-                seed: ctx.seed,
-                ..Default::default()
-            });
-            eval_classifier_fold(&mut c, &dtw_features, split, 8)
-        }),
+        cnn_folds
+            .iter()
+            .map(|split| {
+                let mut c = CnnClassifier::new(CnnConfig {
+                    seed: ctx.seed,
+                    ..Default::default()
+                });
+                eval_classifier_fold(&mut c, &dtw_features, split, 8)
+            })
+            .collect::<Result<Vec<_>, _>>()?,
         8,
     );
     let mut cnn = CnnClassifier::new(CnnConfig {
         seed: ctx.seed,
         ..Default::default()
     });
+    // lint: wall-clock — the measured training cost IS this figure's result
     let t_train = Instant::now();
-    cnn.fit(&dtw_features.x, &dtw_features.y).expect("cnn fit");
+    cnn.fit(&dtw_features.x, &dtw_features.y)?;
     let cnn_train_ms = t_train.elapsed().as_secs_f64() * 1e3;
     let probe = dtw_features.x[0].clone();
+    // lint: wall-clock — the measured per-prediction cost IS this figure's result
     let t0 = Instant::now();
     for _ in 0..200 {
-        let _ = cnn.predict(&probe).expect("predict");
+        let _ = cnn.predict(&probe)?;
     }
     let cnn_us = t0.elapsed().as_secs_f64() * 1e6 / 200.0;
     report.line(format!(
@@ -195,5 +216,5 @@ pub fn run(ctx: &Context) -> Report {
         dtw_us / rf_us.max(1e-9),
         hmm_us / rf_us.max(1e-9)
     ));
-    report
+    Ok(report)
 }

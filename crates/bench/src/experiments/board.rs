@@ -3,6 +3,7 @@
 //! budget, side by side. More channels buy resolution at a power cost.
 
 use crate::context::Context;
+use crate::error::BenchError;
 use crate::experiments::{eval_rf_fold, merge_folds, pct};
 use crate::report::Report;
 use airfinger_core::train::all_gesture_feature_set;
@@ -14,8 +15,11 @@ use airfinger_synth::dataset::{generate_corpus, CorpusSpec};
 use airfinger_synth::gesture::Gesture;
 
 /// Run the experiment.
-#[must_use]
-pub fn run(ctx: &Context) -> Report {
+///
+/// # Errors
+///
+/// Propagates classifier failures.
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
     let mut report = Report::new(
         "board",
         "board scaling: photodiode count vs accuracy vs power",
@@ -37,15 +41,18 @@ pub fn run(ctx: &Context) -> Report {
         let features = all_gesture_feature_set(&corpus, &ctx.config);
         let folds = stratified_k_fold(&features.y, 3, ctx.seed + pd_count as u64);
         let merged = merge_folds(
-            folds.iter().map(|s| {
-                eval_rf_fold(
-                    &features,
-                    s,
-                    8,
-                    ctx.config.forest_trees,
-                    ctx.seed + pd_count as u64,
-                )
-            }),
+            folds
+                .iter()
+                .map(|s| {
+                    eval_rf_fold(
+                        &features,
+                        s,
+                        8,
+                        ctx.config.forest_trees,
+                        ctx.seed + pd_count as u64,
+                    )
+                })
+                .collect::<Result<Vec<_>, _>>()?,
             8,
         );
         let scroll_dir = (merged.recall(Gesture::ScrollUp.index()).unwrap_or(0.0)
@@ -69,5 +76,5 @@ pub fn run(ctx: &Context) -> Report {
         report.metric(&format!("accuracy_{pd_count}pd"), pct(merged.accuracy()));
         report.metric(&format!("power_mw_{pd_count}pd"), power.total_mw());
     }
-    report
+    Ok(report)
 }

@@ -3,6 +3,7 @@
 //! that is consistent across the two sessions.
 
 use crate::context::Context;
+use crate::error::BenchError;
 use crate::experiments::pct;
 use crate::report::Report;
 use airfinger_core::detect::prepare_features;
@@ -34,8 +35,11 @@ fn correlation(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// Run the experiment.
-#[must_use]
-pub fn run(ctx: &Context) -> Report {
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
     let mut report = Report::new("fig3", "characteristic RSS readings per gesture");
     let spec = CorpusSpec {
         users: 1,
@@ -61,7 +65,9 @@ pub fn run(ctx: &Context) -> Report {
     // The "characteristic pattern" of a gesture in a session is the mean
     // feature vector over its repetitions (Fig. 3 shows representative
     // waveforms, not single trials).
-    let mean_features = |session: usize, g: Gesture| -> (Vec<f64>, f64, f64, f64) {
+    let mean_features = |session: usize,
+                         g: Gesture|
+     -> Result<(Vec<f64>, f64, f64, f64), BenchError> {
         let label = SampleLabel::Gesture(g);
         let mut acc: Option<Vec<f64>> = None;
         let mut dur = 0.0;
@@ -85,15 +91,17 @@ pub fn run(ctx: &Context) -> Report {
             energy += w.envelopes().concat().iter().sum::<f64>();
         }
         let n = spec.reps as f64;
-        let mut mean = acc.expect("at least one rep");
+        let mut mean = acc.ok_or(BenchError::EmptyResult(
+            "fig3 needs at least one repetition",
+        ))?;
         for v in &mut mean {
             *v /= n;
         }
-        (mean, dur / n, peaks / n, energy / n)
+        Ok((mean, dur / n, peaks / n, energy / n))
     };
     for g in Gesture::ALL {
-        let (f0, dur, peaks, energy) = mean_features(0, g);
-        let (f1, _, _, _) = mean_features(1, g);
+        let (f0, dur, peaks, energy) = mean_features(0, g)?;
+        let (f1, _, _, _) = mean_features(1, g)?;
         session0.push(f0);
         session1.push(f1);
         rows.push((g, dur, peaks, energy));
@@ -162,5 +170,5 @@ pub fn run(ctx: &Context) -> Report {
     ));
     report.metric("nn_consistency_pct", pct(matched as f64 / 8.0));
     report.paper_value("nn_consistency_pct", 100.0);
-    report
+    Ok(report)
 }

@@ -4,6 +4,7 @@
 //! gesture spans.
 
 use crate::context::Context;
+use crate::error::BenchError;
 use crate::report::Report;
 use airfinger_core::processing::DataProcessor;
 use airfinger_dsp::sbc::{snr_improvement, Sbc};
@@ -14,8 +15,11 @@ use airfinger_synth::gesture::{Gesture, SampleLabel};
 use airfinger_synth::trajectory::{MotionParams, Trajectory};
 
 /// Run the experiment.
-#[must_use]
-pub fn run(ctx: &Context) -> Report {
+///
+/// # Errors
+///
+/// Propagates DSP failures.
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
     let mut report = Report::new("fig5", "SBC noise mitigation + DT segmentation");
     // One long recording holding three gestures with idle gaps, under
     // ambient drift and a passer-by.
@@ -75,8 +79,7 @@ pub fn run(ctx: &Context) -> Report {
         trace.channel(strongest),
         &truth,
         Sbc::new(ctx.config.sbc_window),
-    )
-    .expect("trace non-empty");
+    )?;
     report.line(format!(
         "gesture/rest contrast on P{}: raw RSS {:.2}x -> after SBC {:.1}x",
         strongest + 1,
@@ -110,5 +113,5 @@ pub fn run(ctx: &Context) -> Report {
     report.metric("gestures_matched", matched as f64);
     report.metric("gestures_total", truth.len() as f64);
     report.paper_value("gestures_matched", 3.0);
-    report
+    Ok(report)
 }

@@ -3,6 +3,7 @@
 //! resulting ZEBRA decision.
 
 use crate::context::Context;
+use crate::error::BenchError;
 use crate::report::Report;
 use airfinger_core::processing::DataProcessor;
 use airfinger_core::zebra::{ScrollDirection, Zebra};
@@ -11,8 +12,11 @@ use airfinger_synth::gesture::{Gesture, SampleLabel};
 use airfinger_synth::profile::UserProfile;
 
 /// Run the experiment.
-#[must_use]
-pub fn run(ctx: &Context) -> Report {
+///
+/// # Errors
+///
+/// Infallible today; `Result` for harness uniformity.
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
     let mut report = Report::new("fig7", "track-aimed gesture signals and ZEBRA timing");
     let spec = CorpusSpec {
         users: 1,
@@ -57,5 +61,5 @@ pub fn run(ctx: &Context) -> Report {
     }
     report.metric("directions_correct", if both_ok { 100.0 } else { 0.0 });
     report.paper_value("directions_correct", 100.0);
-    report
+    Ok(report)
 }

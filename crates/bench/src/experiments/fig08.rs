@@ -3,6 +3,7 @@
 //! degradation beyond.
 
 use crate::context::{Context, Scale};
+use crate::error::BenchError;
 use crate::experiments::{eval_rf_fold, merge_folds, pct};
 use crate::report::Report;
 use airfinger_core::train::all_gesture_feature_set;
@@ -21,8 +22,11 @@ pub fn distances_cm(scale: Scale) -> Vec<f64> {
 }
 
 /// Run the experiment.
-#[must_use]
-pub fn run(ctx: &Context) -> Report {
+///
+/// # Errors
+///
+/// Propagates classifier failures.
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
     let mut report = Report::new("fig8", "accuracy vs sensing distance");
     report.line(format!("{:>9} {:>9}", "dist(cm)", "accuracy"));
     let mut in_band = Vec::new();
@@ -42,15 +46,18 @@ pub fn run(ctx: &Context) -> Report {
         let features = all_gesture_feature_set(&corpus, &ctx.config);
         let folds = stratified_k_fold(&features.y, 3, ctx.seed + di as u64);
         let merged = merge_folds(
-            folds.iter().map(|s| {
-                eval_rf_fold(
-                    &features,
-                    s,
-                    8,
-                    ctx.config.forest_trees,
-                    ctx.seed + di as u64,
-                )
-            }),
+            folds
+                .iter()
+                .map(|s| {
+                    eval_rf_fold(
+                        &features,
+                        s,
+                        8,
+                        ctx.config.forest_trees,
+                        ctx.seed + di as u64,
+                    )
+                })
+                .collect::<Result<Vec<_>, _>>()?,
             8,
         );
         let acc = merged.accuracy();
@@ -70,5 +77,5 @@ pub fn run(ctx: &Context) -> Report {
     report.metric("mean_accuracy_optimal_band", pct(mean(&in_band)));
     report.metric("mean_accuracy_beyond_band", pct(mean(&beyond)));
     report.paper_value("mean_accuracy_optimal_band", 90.0);
-    report
+    Ok(report)
 }

@@ -3,6 +3,7 @@
 //! curves gently decreasing; LR competitive on accuracy but much slower.
 
 use crate::context::Context;
+use crate::error::BenchError;
 use crate::experiments::{eval_classifier_fold, pct};
 use crate::report::Report;
 use airfinger_ml::classifier::Classifier;
@@ -18,8 +19,11 @@ use std::time::Instant;
 pub const TEST_FRACTIONS: [f64; 5] = [0.10, 0.25, 0.50, 0.75, 0.90];
 
 /// Run the experiment.
-#[must_use]
-pub fn run(ctx: &Context) -> Report {
+///
+/// # Errors
+///
+/// Propagates classifier failures.
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
     let mut report = Report::new("fig9", "classifier comparison over test-data percentage");
     let features = ctx.all_features();
     let names = ["RF", "LR", "DT", "BNB"];
@@ -38,8 +42,9 @@ pub fn run(ctx: &Context) -> Report {
             Box::new(BernoulliNaiveBayes::default()),
         ];
         for (ci, clf) in classifiers.iter_mut().enumerate() {
+            // lint: wall-clock — the fit+eval time IS this figure's result
             let start = Instant::now();
-            let m = eval_classifier_fold(clf.as_mut(), features, &split, 8);
+            let m = eval_classifier_fold(clf.as_mut(), features, &split, 8)?;
             train_time_ms[ci] += start.elapsed().as_secs_f64() * 1000.0;
             rows[ci].push(m.accuracy());
         }
@@ -80,5 +85,5 @@ pub fn run(ctx: &Context) -> Report {
         rf_wins as f64 / TEST_FRACTIONS.len() as f64 * 100.0,
     );
     report.paper_value("rf_wins_fraction_of_sweep", 100.0);
-    report
+    Ok(report)
 }

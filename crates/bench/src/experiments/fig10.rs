@@ -3,26 +3,34 @@
 //! recall / precision. Paper: average accuracy 98.44 %.
 
 use crate::context::Context;
+use crate::error::BenchError;
 use crate::experiments::{eval_rf_fold, merge_folds, pct, DETECT_NAMES};
 use crate::report::{format_confusion, Report};
 use airfinger_ml::split::stratified_k_fold;
 
 /// Run the experiment.
-#[must_use]
-pub fn run(ctx: &Context) -> Report {
+///
+/// # Errors
+///
+/// Propagates classifier failures.
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
     let mut report = Report::new("fig10", "overall detect-aimed performance (5-fold CV)");
     let features = ctx.detect_features();
     let folds = stratified_k_fold(&features.y, 5, ctx.seed);
     let matrix = merge_folds(
-        folds.iter().enumerate().map(|(k, s)| {
-            eval_rf_fold(
-                &features,
-                s,
-                6,
-                ctx.config.forest_trees,
-                ctx.seed + k as u64,
-            )
-        }),
+        folds
+            .iter()
+            .enumerate()
+            .map(|(k, s)| {
+                eval_rf_fold(
+                    &features,
+                    s,
+                    6,
+                    ctx.config.forest_trees,
+                    ctx.seed + k as u64,
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?,
         6,
     );
     matrix.export_obs("fig10", &DETECT_NAMES);
@@ -50,5 +58,5 @@ pub fn run(ctx: &Context) -> Report {
     report.paper_value("avg_accuracy", 98.44);
     report.paper_value("macro_recall", 90.65);
     report.paper_value("macro_precision", 92.13);
-    report
+    Ok(report)
 }

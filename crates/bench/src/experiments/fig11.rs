@@ -3,13 +3,17 @@
 //! 83.61 %, i.e. clearly below the within-population 98.44 %.
 
 use crate::context::Context;
+use crate::error::BenchError;
 use crate::experiments::{eval_rf_fold, merge_folds, pct, DETECT_NAMES};
 use crate::report::{format_confusion, Report};
 use airfinger_ml::split::leave_one_group_out;
 
 /// Run the experiment.
-#[must_use]
-pub fn run(ctx: &Context) -> Report {
+///
+/// # Errors
+///
+/// Propagates classifier failures.
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
     let mut report = Report::new("fig11", "individual diversity (leave-one-user-out)");
     let features = ctx.detect_features();
     let splits = leave_one_group_out(&features.users);
@@ -22,7 +26,7 @@ pub fn run(ctx: &Context) -> Report {
             6,
             ctx.config.forest_trees,
             ctx.seed + *user as u64,
-        );
+        )?;
         per_user.push((*user, m.accuracy()));
         matrices.push(m);
     }
@@ -54,5 +58,5 @@ pub fn run(ctx: &Context) -> Report {
     report.paper_value("macro_recall", 87.44);
     report.paper_value("macro_precision", 84.69);
     report.paper_value("users_above_80pct", 80.0);
-    report
+    Ok(report)
 }

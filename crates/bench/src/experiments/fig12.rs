@@ -3,13 +3,17 @@
 //! within-population figure; sessions hurt far less than users.
 
 use crate::context::Context;
+use crate::error::BenchError;
 use crate::experiments::{eval_rf_fold, merge_folds, pct, DETECT_NAMES};
 use crate::report::{format_confusion, Report};
 use airfinger_ml::split::leave_one_group_out;
 
 /// Run the experiment.
-#[must_use]
-pub fn run(ctx: &Context) -> Report {
+///
+/// # Errors
+///
+/// Propagates classifier failures.
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
     let mut report = Report::new("fig12", "gesture inconsistency (leave-one-session-out)");
     let features = ctx.detect_features();
     let splits = leave_one_group_out(&features.sessions);
@@ -22,7 +26,7 @@ pub fn run(ctx: &Context) -> Report {
             6,
             ctx.config.forest_trees,
             ctx.seed + 31 + *session as u64,
-        );
+        )?;
         per_session.push((*session, m.accuracy()));
         matrices.push(m);
     }
@@ -42,5 +46,5 @@ pub fn run(ctx: &Context) -> Report {
     report.paper_value("avg_accuracy", 97.07);
     report.paper_value("macro_recall", 91.28);
     report.paper_value("macro_precision", 91.11);
-    report
+    Ok(report)
 }

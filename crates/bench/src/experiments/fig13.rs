@@ -7,6 +7,7 @@
 //! by side as an ablation of the routing substitution.
 
 use crate::context::Context;
+use crate::error::BenchError;
 use crate::experiments::{eval_rf_fold, pct};
 use crate::report::Report;
 use airfinger_core::distinguish::{Distinguisher, GestureFamily};
@@ -15,8 +16,11 @@ use airfinger_ml::metrics::ConfusionMatrix;
 use airfinger_ml::split::stratified_k_fold;
 
 /// Run the experiment.
-#[must_use]
-pub fn run(ctx: &Context) -> Report {
+///
+/// # Errors
+///
+/// Propagates classifier failures.
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
     let mut report = Report::new("fig13", "distinguishing detect-aimed vs track-aimed");
     // Class-routing: fold the 8-class CV predictions down to families.
     let features = ctx.all_features();
@@ -29,7 +33,7 @@ pub fn run(ctx: &Context) -> Report {
             8,
             ctx.config.forest_trees,
             ctx.seed + 13 + k as u64,
-        );
+        )?;
         // Fold the 8x8 matrix into 2x2: classes 6,7 are track-aimed.
         for t in 0..8 {
             for p in 0..8 {
@@ -72,5 +76,5 @@ pub fn run(ctx: &Context) -> Report {
     report.paper_value("accuracy", 98.0);
     report.paper_value("recall", 98.0);
     report.paper_value("precision", 98.0);
-    report
+    Ok(report)
 }

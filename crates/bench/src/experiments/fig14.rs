@@ -4,6 +4,7 @@
 //! 94.83 %, recall 94.83 %, precision 94.88 %.
 
 use crate::context::Context;
+use crate::error::BenchError;
 use crate::experiments::{merge_folds, pct};
 use crate::report::Report;
 use airfinger_core::train::binary_feature_set;
@@ -14,8 +15,11 @@ use airfinger_ml::split::{gather, stratified_k_fold};
 use airfinger_synth::dataset::{generate_corpus, generate_nongesture_corpus, CorpusSpec};
 
 /// Run the experiment.
-#[must_use]
-pub fn run(ctx: &Context) -> Report {
+///
+/// # Errors
+///
+/// Propagates classifier failures.
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
     let mut report = Report::new(
         "fig14",
         "unintentional motions (gesture/non-gesture filter)",
@@ -38,18 +42,22 @@ pub fn run(ctx: &Context) -> Report {
     let features = binary_feature_set(&corpus, &ctx.config);
     let folds = stratified_k_fold(&features.y, 3, ctx.seed + 14);
     let merged = merge_folds(
-        folds.iter().enumerate().map(|(k, split)| {
-            let mut rf = RandomForest::new(RandomForestConfig {
-                n_trees: ctx.config.forest_trees,
-                seed: ctx.seed + k as u64,
-                ..Default::default()
-            });
-            let (xtr, ytr) = gather(&features.x, &features.y, &split.train);
-            let (xte, yte) = gather(&features.x, &features.y, &split.test);
-            rf.fit(&xtr, &ytr).expect("training failed");
-            let pred = rf.predict_batch(&xte).expect("prediction failed");
-            ConfusionMatrix::from_predictions(&yte, &pred, 2)
-        }),
+        folds
+            .iter()
+            .enumerate()
+            .map(|(k, split)| {
+                let mut rf = RandomForest::new(RandomForestConfig {
+                    n_trees: ctx.config.forest_trees,
+                    seed: ctx.seed + k as u64,
+                    ..Default::default()
+                });
+                let (xtr, ytr) = gather(&features.x, &features.y, &split.train);
+                let (xte, yte) = gather(&features.x, &features.y, &split.test);
+                rf.fit(&xtr, &ytr)?;
+                let pred = rf.predict_batch(&xte)?;
+                Ok(ConfusionMatrix::from_predictions(&yte, &pred, 2))
+            })
+            .collect::<Result<Vec<_>, airfinger_ml::MlError>>()?,
         2,
     );
     report.line(format!(
@@ -69,5 +77,5 @@ pub fn run(ctx: &Context) -> Report {
     report.paper_value("accuracy", 94.83);
     report.paper_value("recall", 94.83);
     report.paper_value("precision", 94.88);
-    report
+    Ok(report)
 }

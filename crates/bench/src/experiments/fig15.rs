@@ -4,6 +4,7 @@
 //! accuracy 92.97 %, recall 93.8 %, precision 95.02 %.
 
 use crate::context::Context;
+use crate::error::BenchError;
 use crate::experiments::pct;
 use crate::report::Report;
 use airfinger_core::train::all_gesture_feature_set;
@@ -17,8 +18,11 @@ use airfinger_synth::dataset::{generate_corpus, CorpusSpec};
 pub const HOURS: [f64; 5] = [8.0, 11.0, 14.0, 17.0, 20.0];
 
 /// Run the experiment.
-#[must_use]
-pub fn run(ctx: &Context) -> Report {
+///
+/// # Errors
+///
+/// Propagates classifier failures.
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
     let mut report = Report::new("fig15", "environmental NIR changes over the day");
     // Train once on the two volunteers' standard-condition data.
     let train_spec = CorpusSpec {
@@ -34,7 +38,7 @@ pub fn run(ctx: &Context) -> Report {
         seed: ctx.seed + 15,
         ..Default::default()
     });
-    rf.fit(&train.x, &train.y).expect("training failed");
+    rf.fit(&train.x, &train.y)?;
     report.line(format!("{:>7} {:>9}", "hour", "accuracy"));
     let mut merged = ConfusionMatrix::new(8);
     for &hour in &HOURS {
@@ -47,7 +51,7 @@ pub fn run(ctx: &Context) -> Report {
             ..Default::default()
         };
         let test = all_gesture_feature_set(&generate_corpus(&test_spec), &ctx.config);
-        let pred = rf.predict_batch(&test.x).expect("prediction failed");
+        let pred = rf.predict_batch(&test.x)?;
         let m = ConfusionMatrix::from_predictions(&test.y, &pred, 8);
         report.line(format!("{:>7.0} {:>8.2}%", hour, pct(m.accuracy())));
         merged.merge(&m);
@@ -64,5 +68,5 @@ pub fn run(ctx: &Context) -> Report {
     report.paper_value("avg_accuracy", 92.97);
     report.paper_value("macro_recall", 93.8);
     report.paper_value("macro_precision", 95.02);
-    report
+    Ok(report)
 }

@@ -4,6 +4,7 @@
 //! 95 %, recall 95.10 %, precision 95.13 %.
 
 use crate::context::Context;
+use crate::error::BenchError;
 use crate::experiments::{eval_rf_fold, merge_folds, pct};
 use crate::report::Report;
 use airfinger_core::train::all_gesture_feature_set;
@@ -12,8 +13,11 @@ use airfinger_synth::conditions::Condition;
 use airfinger_synth::dataset::{generate_corpus, CorpusSpec};
 
 /// Run the experiment.
-#[must_use]
-pub fn run(ctx: &Context) -> Report {
+///
+/// # Errors
+///
+/// Propagates classifier failures.
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
     let mut report = Report::new("fig16", "non-dominant hand (mirrored)");
     let spec = CorpusSpec {
         users: 6,
@@ -26,15 +30,19 @@ pub fn run(ctx: &Context) -> Report {
     let features = all_gesture_feature_set(&generate_corpus(&spec), &ctx.config);
     let folds = stratified_k_fold(&features.y, 3, ctx.seed + 16);
     let merged = merge_folds(
-        folds.iter().enumerate().map(|(k, s)| {
-            eval_rf_fold(
-                &features,
-                s,
-                8,
-                ctx.config.forest_trees,
-                ctx.seed + 16 + k as u64,
-            )
-        }),
+        folds
+            .iter()
+            .enumerate()
+            .map(|(k, s)| {
+                eval_rf_fold(
+                    &features,
+                    s,
+                    8,
+                    ctx.config.forest_trees,
+                    ctx.seed + 16 + k as u64,
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?,
         8,
     );
     report.line(format!(
@@ -49,5 +57,5 @@ pub fn run(ctx: &Context) -> Report {
     report.paper_value("accuracy", 95.0);
     report.paper_value("macro_recall", 95.10);
     report.paper_value("macro_precision", 95.13);
-    report
+    Ok(report)
 }

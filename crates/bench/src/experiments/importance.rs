@@ -3,14 +3,18 @@
 //! their contributions to classification".
 
 use crate::context::Context;
+use crate::error::BenchError;
 use crate::report::Report;
 use airfinger_core::config::AirFingerConfig;
 use airfinger_core::detect::DetectRecognizer;
 use airfinger_ml::forest::top_k_features;
 
 /// Run the experiment.
-#[must_use]
-pub fn run(ctx: &Context) -> Report {
+///
+/// # Errors
+///
+/// Propagates training failures.
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
     let mut report = Report::new(
         "importance",
         "random-forest feature-importance ranking (§IV-C1 feedback)",
@@ -20,8 +24,7 @@ pub fn run(ctx: &Context) -> Report {
         forest_trees: ctx.config.forest_trees,
         ..ctx.config
     });
-    rec.train_features(&features.x, &features.y)
-        .expect("training failed");
+    rec.train_features(&features.x, &features.y)?;
     let names = rec.feature_names(3);
     let importances = rec.feature_importances();
     let top = top_k_features(importances, 20);
@@ -48,5 +51,5 @@ pub fn run(ctx: &Context) -> Report {
         100.0 * top25
     ));
     report.metric("top25_importance_share", 100.0 * top25);
-    report
+    Ok(report)
 }

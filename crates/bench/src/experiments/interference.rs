@@ -5,6 +5,7 @@
 //! recognition errors.
 
 use crate::context::Context;
+use crate::error::BenchError;
 use crate::experiments::pct;
 use crate::report::Report;
 use airfinger_core::train::all_gesture_feature_set;
@@ -16,8 +17,11 @@ use airfinger_synth::conditions::Condition;
 use airfinger_synth::dataset::{generate_corpus, CorpusSpec};
 
 /// Run the experiment.
-#[must_use]
-pub fn run(ctx: &Context) -> Report {
+///
+/// # Errors
+///
+/// Propagates classifier failures.
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
     let mut report = Report::new("interference", "passers-by and IR remote controls");
     let train_spec = CorpusSpec {
         users: 2,
@@ -32,7 +36,7 @@ pub fn run(ctx: &Context) -> Report {
         seed: ctx.seed + 74,
         ..Default::default()
     });
-    rf.fit(&train.x, &train.y).expect("training failed");
+    rf.fit(&train.x, &train.y)?;
     let scenarios: [(&str, Vec<Interference>); 4] = [
         ("baseline", vec![]),
         ("passerby", vec![Interference::passerby()]),
@@ -58,7 +62,7 @@ pub fn run(ctx: &Context) -> Report {
             ..Default::default()
         };
         let test = all_gesture_feature_set(&generate_corpus(&spec), &ctx.config);
-        let pred = rf.predict_batch(&test.x).expect("prediction failed");
+        let pred = rf.predict_batch(&test.x)?;
         let m = ConfusionMatrix::from_predictions(&test.y, &pred, 8);
         report.line(format!("{:>18} {:>8.2}%", name, pct(m.accuracy())));
         acc_by.push(m.accuracy());
@@ -74,5 +78,5 @@ pub fn run(ctx: &Context) -> Report {
             .max((acc_by[0] - acc_by[2]).abs())),
         pct(acc_by[0] - acc_by[3]),
     ));
-    report
+    Ok(report)
 }

@@ -26,20 +26,24 @@ pub mod table2;
 
 use airfinger_core::train::LabeledFeatures;
 use airfinger_ml::classifier::Classifier;
+use airfinger_ml::error::MlError;
 use airfinger_ml::forest::{RandomForest, RandomForestConfig};
 use airfinger_ml::metrics::ConfusionMatrix;
 use airfinger_ml::split::{gather, Split};
 
 /// Train a fresh random forest on the train side of `split` and evaluate
 /// on the test side; returns the fold's confusion matrix.
-#[must_use]
+///
+/// # Errors
+///
+/// Propagates classifier training/prediction failures.
 pub fn eval_rf_fold(
     features: &LabeledFeatures,
     split: &Split,
     n_classes: usize,
     trees: usize,
     seed: u64,
-) -> ConfusionMatrix {
+) -> Result<ConfusionMatrix, MlError> {
     let mut rf = RandomForest::new(RandomForestConfig {
         n_trees: trees,
         seed,
@@ -49,18 +53,21 @@ pub fn eval_rf_fold(
 }
 
 /// Train `clf` on the train side of `split` and evaluate on the test side.
-#[must_use]
+///
+/// # Errors
+///
+/// Propagates classifier training/prediction failures.
 pub fn eval_classifier_fold(
     clf: &mut dyn Classifier,
     features: &LabeledFeatures,
     split: &Split,
     n_classes: usize,
-) -> ConfusionMatrix {
+) -> Result<ConfusionMatrix, MlError> {
     let (xtr, ytr) = gather(&features.x, &features.y, &split.train);
     let (xte, yte) = gather(&features.x, &features.y, &split.test);
-    clf.fit(&xtr, &ytr).expect("training failed");
-    let pred = clf.predict_batch(&xte).expect("prediction failed");
-    ConfusionMatrix::from_predictions(&yte, &pred, n_classes)
+    clf.fit(&xtr, &ytr)?;
+    let pred = clf.predict_batch(&xte)?;
+    Ok(ConfusionMatrix::from_predictions(&yte, &pred, n_classes))
 }
 
 /// Merge per-fold confusion matrices.

@@ -4,6 +4,7 @@
 //! restores it.
 
 use crate::context::Context;
+use crate::error::BenchError;
 use crate::experiments::pct;
 use crate::report::Report;
 use airfinger_core::train::all_gesture_feature_set;
@@ -14,8 +15,11 @@ use airfinger_synth::conditions::Condition;
 use airfinger_synth::dataset::{generate_corpus, CorpusSpec, Frontend};
 
 /// Run the experiment.
-#[must_use]
-pub fn run(ctx: &Context) -> Report {
+///
+/// # Errors
+///
+/// Propagates classifier failures.
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
     let mut report = Report::new(
         "outdoor",
         "outdoor sunlight: plain DC front end vs lock-in demodulation (§VI)",
@@ -41,7 +45,7 @@ pub fn run(ctx: &Context) -> Report {
             seed: ctx.seed,
             ..Default::default()
         });
-        rf.fit(&train.x, &train.y).expect("training failed");
+        rf.fit(&train.x, &train.y)?;
         // …then test indoors and under noon sunlight.
         for (ambient_name, condition) in [
             ("indoor", Condition::Standard),
@@ -57,7 +61,7 @@ pub fn run(ctx: &Context) -> Report {
                 ..Default::default()
             };
             let test = all_gesture_feature_set(&generate_corpus(&test_spec), &ctx.config);
-            let pred = rf.predict_batch(&test.x).expect("prediction failed");
+            let pred = rf.predict_batch(&test.x)?;
             let m = ConfusionMatrix::from_predictions(&test.y, &pred, 8);
             let fe = match frontend {
                 Frontend::Dc => "dc",
@@ -86,5 +90,5 @@ pub fn run(ctx: &Context) -> Report {
         pct(get("dc", "indoor") - get("dc", "noon sun")),
         pct((get("lock-in", "indoor") - get("lock-in", "noon sun")).abs()),
     ));
-    report
+    Ok(report)
 }

@@ -11,6 +11,7 @@
 //! full candidate pool and against the paper's Table-I set.
 
 use crate::context::Context;
+use crate::error::BenchError;
 use crate::experiments::{eval_rf_fold, merge_folds, pct};
 use crate::report::Report;
 use airfinger_core::train::{feature_set, LabeledFeatures};
@@ -30,20 +31,24 @@ fn gesture_features(
     })
 }
 
-fn cv_accuracy(features: &LabeledFeatures, ctx: &Context) -> f64 {
+fn cv_accuracy(features: &LabeledFeatures, ctx: &Context) -> Result<f64, BenchError> {
     let folds = stratified_k_fold(&features.y, 3, ctx.seed + 0x5E1);
-    merge_folds(
+    Ok(merge_folds(
         folds
             .iter()
-            .map(|s| eval_rf_fold(features, s, 8, ctx.config.forest_trees, ctx.seed + 0x5E1)),
+            .map(|s| eval_rf_fold(features, s, 8, ctx.config.forest_trees, ctx.seed + 0x5E1))
+            .collect::<Result<Vec<_>, _>>()?,
         8,
     )
-    .accuracy()
+    .accuracy())
 }
 
 /// Run the experiment.
-#[must_use]
-pub fn run(ctx: &Context) -> Report {
+///
+/// # Errors
+///
+/// Propagates classifier failures.
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
     let mut report = Report::new("selection", "the §IV-C1 feature-selection workflow, rerun");
     let corpus = ctx.corpus();
     let candidates = FeatureExtractor::new(FeatureKind::candidates());
@@ -55,8 +60,7 @@ pub fn run(ctx: &Context) -> Report {
         seed: ctx.seed + 0x5E1,
         ..Default::default()
     });
-    rf.fit(&cand_features.x, &cand_features.y)
-        .expect("training failed");
+    rf.fit(&cand_features.x, &cand_features.y)?;
     let owners = candidates.scalar_owners();
     let per_channel = candidates.len();
     let mut kind_importance = vec![0.0; candidates.kinds().len()];
@@ -94,11 +98,11 @@ pub fn run(ctx: &Context) -> Report {
     ));
 
     // Accuracy of the three sets.
-    let acc_candidates = cv_accuracy(&cand_features, ctx);
+    let acc_candidates = cv_accuracy(&cand_features, ctx)?;
     let selected_features = gesture_features(corpus, ctx, &FeatureExtractor::new(selected));
-    let acc_selected = cv_accuracy(&selected_features, ctx);
+    let acc_selected = cv_accuracy(&selected_features, ctx)?;
     let table1_features = gesture_features(corpus, ctx, &FeatureExtractor::table1());
-    let acc_table1 = cv_accuracy(&table1_features, ctx);
+    let acc_table1 = cv_accuracy(&table1_features, ctx)?;
     report.line(format!(
         "3-fold accuracy: all {} candidates {:.2}%  |  selected 25 {:.2}%  |  Table-I 25 {:.2}%",
         candidates.kinds().len(),
@@ -114,5 +118,5 @@ pub fn run(ctx: &Context) -> Report {
     // over-fitting and cost); selected-25 should be within noise of the
     // full pool.
     report.paper_value("overlap_with_table1", 25.0);
-    report
+    Ok(report)
 }

@@ -5,6 +5,7 @@
 //! scroll down 99.26 %, rating 2.6/3.0, summary 98.72 %.
 
 use crate::context::Context;
+use crate::error::BenchError;
 use crate::experiments::{eval_rf_fold, merge_folds, pct, ALL_NAMES, DETECT_NAMES};
 use crate::report::Report;
 use airfinger_core::processing::DataProcessor;
@@ -51,23 +52,30 @@ fn true_crossing_velocity(
 }
 
 /// Run the experiment.
-#[must_use]
-pub fn run(ctx: &Context) -> Report {
+///
+/// # Errors
+///
+/// Propagates classifier failures.
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
     let mut report = Report::new("table2", "performance summary");
     // Detect-aimed per-gesture accuracies (5-fold CV, one-vs-rest accuracy
     // as the paper's per-gesture "Accuracy" column).
     let detect = ctx.detect_features();
     let folds = stratified_k_fold(&detect.y, 5, ctx.seed + 2);
     let matrix = merge_folds(
-        folds.iter().enumerate().map(|(k, s)| {
-            eval_rf_fold(
-                &detect,
-                s,
-                6,
-                ctx.config.forest_trees,
-                ctx.seed + 2 + k as u64,
-            )
-        }),
+        folds
+            .iter()
+            .enumerate()
+            .map(|(k, s)| {
+                eval_rf_fold(
+                    &detect,
+                    s,
+                    6,
+                    ctx.config.forest_trees,
+                    ctx.seed + 2 + k as u64,
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?,
         6,
     );
     matrix.export_obs("table2_detect", &DETECT_NAMES);
@@ -87,9 +95,11 @@ pub fn run(ctx: &Context) -> Report {
     let all = ctx.all_features();
     let folds8 = stratified_k_fold(&all.y, 5, ctx.seed + 3);
     let m8 = merge_folds(
-        folds8.iter().enumerate().map(|(k, s)| {
-            eval_rf_fold(all, s, 8, ctx.config.forest_trees, ctx.seed + 3 + k as u64)
-        }),
+        folds8
+            .iter()
+            .enumerate()
+            .map(|(k, s)| eval_rf_fold(all, s, 8, ctx.config.forest_trees, ctx.seed + 3 + k as u64))
+            .collect::<Result<Vec<_>, _>>()?,
         8,
     );
     m8.export_obs("table2_all", &ALL_NAMES);
@@ -164,5 +174,5 @@ pub fn run(ctx: &Context) -> Report {
     report.line(format!("Summary average accuracy = {summary:.2}%"));
     report.metric("summary_avg", summary);
     report.paper_value("summary_avg", 98.72);
-    report
+    Ok(report)
 }

@@ -13,11 +13,14 @@
 
 pub mod context;
 pub mod diff;
+pub mod error;
 pub mod experiments;
 pub mod report;
 
 use context::Context;
 use report::Report;
+
+pub use error::BenchError;
 
 /// Every experiment id, in paper order.
 pub const EXPERIMENT_IDS: [&str; 22] = [
@@ -46,9 +49,13 @@ pub const EXPERIMENT_IDS: [&str; 22] = [
 ];
 
 /// Run one experiment by id.
-#[must_use]
-pub fn run_experiment(id: &str, ctx: &Context) -> Option<Report> {
-    let report = match id {
+///
+/// # Errors
+///
+/// Returns [`BenchError::UnknownExperiment`] for an id outside
+/// [`EXPERIMENT_IDS`], or the experiment's own failure.
+pub fn run_experiment(id: &str, ctx: &Context) -> Result<Report, BenchError> {
+    match id {
         "fig3" => experiments::fig03::run(ctx),
         "fig5" => experiments::fig05::run(ctx),
         "fig7" => experiments::fig07::run(ctx),
@@ -71,9 +78,8 @@ pub fn run_experiment(id: &str, ctx: &Context) -> Option<Report> {
         "board" => experiments::board::run(ctx),
         "selection" => experiments::selection::run(ctx),
         "adaptation" => experiments::adaptation::run(ctx),
-        _ => return None,
-    };
-    Some(report)
+        _ => Err(BenchError::UnknownExperiment(id.to_string())),
+    }
 }
 
 #[cfg(test)]
@@ -82,9 +88,12 @@ mod tests {
     use context::Scale;
 
     #[test]
-    fn unknown_id_is_none() {
+    fn unknown_id_errors() {
         let ctx = Context::new(Scale::Quick, 1);
-        assert!(run_experiment("fig99", &ctx).is_none());
+        assert!(matches!(
+            run_experiment("fig99", &ctx),
+            Err(BenchError::UnknownExperiment(id)) if id == "fig99"
+        ));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 /// Parsed flags.
 #[derive(Debug, Default)]
-pub struct Args {
+pub(crate) struct Args {
     values: HashMap<String, String>,
     flags: Vec<String>,
 }
@@ -12,7 +12,7 @@ pub struct Args {
 impl Args {
     /// Parse `--key value` pairs; a `--key` followed by another `--…` (or
     /// nothing) is a boolean flag.
-    pub fn parse(argv: &[String]) -> Result<Args, String> {
+    pub(crate) fn parse(argv: &[String]) -> Result<Args, String> {
         let mut out = Args::default();
         let mut i = 0;
         while i < argv.len() {
@@ -35,7 +35,7 @@ impl Args {
     }
 
     /// A required string value.
-    pub fn required(&self, name: &str) -> Result<&str, String> {
+    pub(crate) fn required(&self, name: &str) -> Result<&str, String> {
         self.values
             .get(name)
             .map(String::as_str)
@@ -43,12 +43,12 @@ impl Args {
     }
 
     /// An optional string value.
-    pub fn optional(&self, name: &str) -> Option<&str> {
+    pub(crate) fn optional(&self, name: &str) -> Option<&str> {
         self.values.get(name).map(String::as_str)
     }
 
     /// An optional parsed number with a default.
-    pub fn number<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    pub(crate) fn number<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.values.get(name) {
             Some(v) => v
                 .parse()
@@ -58,7 +58,7 @@ impl Args {
     }
 
     /// Whether a boolean flag is present.
-    pub fn flag(&self, name: &str) -> bool {
+    pub(crate) fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
     }
 }

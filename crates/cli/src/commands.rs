@@ -17,7 +17,7 @@ fn fail(msg: impl std::fmt::Display) -> i32 {
 }
 
 /// `airfinger generate`
-pub fn generate(argv: &[String]) -> i32 {
+pub(crate) fn generate(argv: &[String]) -> i32 {
     let args = match Args::parse(argv) {
         Ok(a) => a,
         Err(e) => return fail(e),
@@ -61,7 +61,7 @@ fn load_corpus(path: &str) -> Result<Corpus, String> {
 }
 
 /// `airfinger train`
-pub fn train(argv: &[String]) -> i32 {
+pub(crate) fn train(argv: &[String]) -> i32 {
     let args = match Args::parse(argv) {
         Ok(a) => a,
         Err(e) => return fail(e),
@@ -99,7 +99,7 @@ fn load_model(path: &str) -> Result<AirFinger, String> {
 }
 
 /// `airfinger recognize`
-pub fn recognize(argv: &[String]) -> i32 {
+pub(crate) fn recognize(argv: &[String]) -> i32 {
     let args = match Args::parse(argv) {
         Ok(a) => a,
         Err(e) => return fail(e),
@@ -146,7 +146,7 @@ pub fn recognize(argv: &[String]) -> i32 {
 }
 
 /// `airfinger info`
-pub fn info(argv: &[String]) -> i32 {
+pub(crate) fn info(argv: &[String]) -> i32 {
     let args = match Args::parse(argv) {
         Ok(a) => a,
         Err(e) => return fail(e),
@@ -187,7 +187,7 @@ pub fn info(argv: &[String]) -> i32 {
 }
 
 /// `airfinger adapt`
-pub fn adapt(argv: &[String]) -> i32 {
+pub(crate) fn adapt(argv: &[String]) -> i32 {
     use airfinger_core::adapt::UserAdapter;
     use airfinger_core::train::all_gesture_feature_set;
 

@@ -175,7 +175,9 @@ impl DetectRecognizer {
     /// Returns [`AirFingerError::NotTrained`] before training.
     pub fn predict(&self, window: &GestureWindow) -> Result<Gesture, AirFingerError> {
         let idx = self.predict_index(window)?;
-        Ok(Gesture::from_index(idx.min(Gesture::ALL.len() - 1)).expect("index clamped"))
+        Gesture::from_index(idx.min(Gesture::ALL.len() - 1)).ok_or(AirFingerError::Ml(
+            airfinger_ml::MlError::InvalidData("predicted label outside the gesture set"),
+        ))
     }
 
     /// Feature importances of the trained forest (empty before training),

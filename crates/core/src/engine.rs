@@ -16,7 +16,7 @@ use airfinger_dsp::sbc::{Sbc, SbcStream};
 use airfinger_dsp::segment::{Segment, StreamingSegmenter};
 use airfinger_dsp::threshold::DynamicThreshold;
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// How many samples of history the engine retains (40 s at 100 Hz) — far
 /// longer than any gesture, bounded for constant memory.
@@ -231,9 +231,12 @@ impl SharedEngine {
     ///
     /// Same conditions as [`StreamingEngine::push`].
     pub fn push(&self, sample: &[f64]) -> Result<Option<Recognition>, AirFingerError> {
+        // Poisoning is recovered rather than propagated: the engine's
+        // state stays valid across a panicked peer (every mutation is
+        // single-assignment per sample), so the lost-update is benign.
         self.inner
             .lock()
-            .expect("engine lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .push(sample)
     }
 
@@ -243,7 +246,10 @@ impl SharedEngine {
     ///
     /// Same conditions as [`StreamingEngine::flush`].
     pub fn flush(&self) -> Result<Option<Recognition>, AirFingerError> {
-        self.inner.lock().expect("engine lock poisoned").flush()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .flush()
     }
 
     /// Whether a gesture is currently open.
@@ -251,14 +257,17 @@ impl SharedEngine {
     pub fn in_gesture(&self) -> bool {
         self.inner
             .lock()
-            .expect("engine lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .in_gesture()
     }
 
     /// Global sample position.
     #[must_use]
     pub fn position(&self) -> usize {
-        self.inner.lock().expect("engine lock poisoned").position()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .position()
     }
 }
 

@@ -81,8 +81,9 @@ impl AscentDetector {
         if present.len() < 2 {
             return None;
         }
-        let lo = *present.iter().min().expect("non-empty");
-        let hi = *present.iter().max().expect("non-empty");
+        let (lo, hi) = present
+            .iter()
+            .fold((usize::MAX, 0), |(lo, hi), &a| (lo.min(a), hi.max(a)));
         Some(hi - lo)
     }
 }

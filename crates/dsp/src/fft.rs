@@ -100,14 +100,21 @@ pub fn ifft_in_place(buf: &mut [Complex]) -> Result<(), DspError> {
 }
 
 fn transform(buf: &mut [Complex], inverse: bool) -> Result<(), DspError> {
+    if !buf.len().is_power_of_two() && buf.len() > 1 {
+        return Err(DspError::NotPowerOfTwo { len: buf.len() });
+    }
+    transform_pow2(buf, inverse);
+    Ok(())
+}
+
+/// The radix-2 core; `buf.len()` must be a power of two (or ≤ 1). Callers
+/// that pad to `next_power_of_two` use this directly and stay infallible.
+fn transform_pow2(buf: &mut [Complex], inverse: bool) {
     let n = buf.len();
     if n <= 1 {
         // Length 0 and 1 transforms are the identity (and the bit-reversal
         // shift below would be 64 bits wide for n = 1).
-        return Ok(());
-    }
-    if !n.is_power_of_two() {
-        return Err(DspError::NotPowerOfTwo { len: n });
+        return;
     }
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
@@ -137,7 +144,6 @@ fn transform(buf: &mut [Complex], inverse: bool) -> Result<(), DspError> {
         }
         len <<= 1;
     }
-    Ok(())
 }
 
 /// FFT of a real series, zero-padded to the next power of two. Returns the
@@ -150,7 +156,7 @@ pub fn rfft(x: &[f64]) -> Vec<Complex> {
     let n = x.len().next_power_of_two();
     let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
     buf.resize(n, Complex::default());
-    fft_in_place(&mut buf).expect("padded length is a power of two");
+    transform_pow2(&mut buf, false);
     buf
 }
 

@@ -20,8 +20,10 @@ pub fn moving_average(x: &[f64], w: usize) -> Vec<f64> {
     // Prefix sums for O(n).
     let mut prefix = Vec::with_capacity(x.len() + 1);
     prefix.push(0.0);
+    let mut running = 0.0;
     for &v in x {
-        prefix.push(prefix.last().expect("non-empty") + v);
+        running += v;
+        prefix.push(running);
     }
     for i in 0..x.len() {
         let lo = i.saturating_sub(half);

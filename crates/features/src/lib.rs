@@ -39,29 +39,29 @@ use serde::{Deserialize, Serialize};
 /// Fixed feature parameters (kept in one place so names and values agree).
 mod params {
     /// Autocorrelation lags.
-    pub const ACF_LAGS: [usize; 5] = [1, 2, 3, 5, 8];
+    pub(crate) const ACF_LAGS: [usize; 5] = [1, 2, 3, 5, 8];
     /// Partial-autocorrelation lags.
-    pub const PACF_LAGS: usize = 3;
+    pub(crate) const PACF_LAGS: usize = 3;
     /// AR model order.
-    pub const AR_ORDER: usize = 4;
+    pub(crate) const AR_ORDER: usize = 4;
     /// Quantile levels.
-    pub const QUANTILES: [f64; 4] = [0.1, 0.25, 0.75, 0.9];
+    pub(crate) const QUANTILES: [f64; 4] = [0.1, 0.25, 0.75, 0.9];
     /// Peak support.
-    pub const PEAK_SUPPORT: usize = 3;
+    pub(crate) const PEAK_SUPPORT: usize = 3;
     /// Entropy embedding dimension.
-    pub const ENTROPY_M: usize = 2;
+    pub(crate) const ENTROPY_M: usize = 2;
     /// Entropy tolerance factor (× σ).
-    pub const ENTROPY_R: f64 = 0.2;
+    pub(crate) const ENTROPY_R: f64 = 0.2;
     /// Energy-ratio chunk count.
-    pub const ENERGY_CHUNKS: usize = 4;
+    pub(crate) const ENERGY_CHUNKS: usize = 4;
     /// Number of FFT coefficients.
-    pub const FFT_K: usize = 8;
+    pub(crate) const FFT_K: usize = 8;
     /// CWT Ricker widths.
-    pub const CWT_WIDTHS: [f64; 3] = [2.0, 5.0, 10.0];
+    pub(crate) const CWT_WIDTHS: [f64; 3] = [2.0, 5.0, 10.0];
     /// ADF lag order.
-    pub const ADF_LAGS: usize = 1;
+    pub(crate) const ADF_LAGS: usize = 1;
     /// Time-reversal-asymmetry / c3 lag.
-    pub const NONLIN_LAG: usize = 1;
+    pub(crate) const NONLIN_LAG: usize = 1;
 }
 
 /// The 25 feature kinds of Table I.

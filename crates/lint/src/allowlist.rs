@@ -1,0 +1,128 @@
+//! `lint-allow.toml` — the panic-safety ratchet file.
+//!
+//! The linter is zero-dependency, so this is a tiny parser for the exact
+//! TOML subset the allowlist uses: comments, `[section]` headers, and
+//! `"quoted/path.rs" = <integer>` entries. Anything else is a parse
+//! error — the file is machine-maintained and should stay boring.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed allowlist: per-file allowed panic-site counts.
+#[derive(Debug, Default, Clone)]
+pub struct Allowlist {
+    /// `[panic]` section: workspace-relative path → allowed count.
+    pub panic: BTreeMap<String, usize>,
+}
+
+/// Allowlist parse failure (line number + description).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowlistError {
+    /// 1-indexed line of the offending entry.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AllowlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint-allow.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Allowlist {
+    /// Parse the allowlist text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed line: unknown section, unquoted key,
+    /// or non-integer value.
+    pub fn parse(text: &str) -> Result<Self, AllowlistError> {
+        let mut out = Allowlist::default();
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                if section != "panic" {
+                    return Err(AllowlistError {
+                        line: line_no,
+                        message: format!("unknown section `[{section}]` (expected `[panic]`)"),
+                    });
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(AllowlistError {
+                    line: line_no,
+                    message: format!("expected `\"path\" = count`, got `{line}`"),
+                });
+            };
+            let key = key.trim();
+            let Some(path) = key
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .filter(|p| !p.is_empty())
+            else {
+                return Err(AllowlistError {
+                    line: line_no,
+                    message: format!("key must be a quoted path, got `{key}`"),
+                });
+            };
+            let Ok(count) = value.trim().parse::<usize>() else {
+                return Err(AllowlistError {
+                    line: line_no,
+                    message: format!(
+                        "value must be a non-negative integer, got `{}`",
+                        value.trim()
+                    ),
+                });
+            };
+            if section != "panic" {
+                return Err(AllowlistError {
+                    line: line_no,
+                    message: "entry outside the `[panic]` section".to_string(),
+                });
+            }
+            out.panic.insert(path.to_string(), count);
+        }
+        Ok(out)
+    }
+
+    /// Allowed panic-site count for a file (0 when absent).
+    #[must_use]
+    pub fn allowed(&self, rel_path: &str) -> usize {
+        self.panic.get(rel_path).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_comments_and_entries() {
+        let text = "# ratchet file\n\n[panic]\n\"crates/obs/src/registry.rs\" = 3 # invariant\n";
+        let a = Allowlist::parse(text).unwrap();
+        assert_eq!(a.allowed("crates/obs/src/registry.rs"), 3);
+        assert_eq!(a.allowed("crates/core/src/lib.rs"), 0);
+    }
+
+    #[test]
+    fn rejects_unknown_section() {
+        let err = Allowlist::parse("[other]\n\"a\" = 1\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("unknown section"));
+    }
+
+    #[test]
+    fn rejects_unquoted_key_and_bad_value() {
+        assert!(Allowlist::parse("[panic]\npath = 1\n").is_err());
+        assert!(Allowlist::parse("[panic]\n\"p\" = many\n").is_err());
+        assert!(Allowlist::parse("\"p\" = 1\n").is_err());
+    }
+}

@@ -1,0 +1,428 @@
+//! A small hand-rolled Rust lexer: just enough token structure for the
+//! lint rules — identifiers, numbers, string literals, and punctuation —
+//! while correctly *skipping* the places naive text search goes wrong
+//! (line/block comments, doc comments, string and char literals, raw
+//! strings, lifetimes).
+//!
+//! Comments are not discarded: the rules need them for the
+//! justification-comment grammar (`// lint: <word>`) and the unsafe
+//! audit (`// SAFETY:`), so each comment is kept as a `(line, text)`
+//! record alongside the token stream.
+
+/// One lexical token with its 1-indexed source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Token text. For string literals this is the *decoded-enough* body
+    /// (escape sequences left as-is): the rules only match plain
+    /// `snake_case` metric names, which never contain escapes.
+    pub text: String,
+    /// 1-indexed line where the token starts.
+    pub line: usize,
+}
+
+/// Token classes distinguished by the lint rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// Numeric literal (`100.0`, `25`, `0xA1`, `1_000`).
+    Number,
+    /// String literal body (without quotes), raw or cooked.
+    Str,
+    /// A single punctuation character (`.`, `!`, `:`, `#`, `{`, …).
+    Punct,
+}
+
+/// A comment retained for annotation lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-indexed line where the comment starts.
+    pub line: usize,
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus the retained comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize Rust source. Never fails: unterminated constructs consume to
+/// end-of-input, which is the forgiving behaviour a linter wants.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0;
+    let mut line = 1;
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && bytes[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = bytes[start..j].iter().collect();
+                out.comments.push(Comment {
+                    line,
+                    text: text.trim_start_matches(['/', '!']).trim().to_string(),
+                });
+                i = j;
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1;
+                let mut j = start;
+                while j < n && depth > 0 {
+                    if bytes[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == '/' && j + 1 < n && bytes[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == '*' && j + 1 < n && bytes[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                let text: String = bytes[start..end].iter().collect();
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: text.trim_start_matches(['*', '!']).trim().to_string(),
+                });
+                i = j;
+            }
+            '"' => {
+                let (body, nl, j) = cooked_string(&bytes, i + 1);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: body,
+                    line,
+                });
+                line += nl;
+                i = j;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&bytes, i) => {
+                let (body, nl, j) = raw_or_byte_string(&bytes, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: body,
+                    line,
+                });
+                line += nl;
+                i = j;
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                if is_lifetime(&bytes, i) {
+                    let mut j = i + 1;
+                    while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                        j += 1;
+                    }
+                    i = j;
+                } else {
+                    let mut j = i + 1;
+                    if j < n && bytes[j] == '\\' {
+                        j += 2;
+                        // Skip the escape body up to the closing quote
+                        // (handles \u{…} and \x41).
+                        while j < n && bytes[j] != '\'' {
+                            j += 1;
+                        }
+                    } else if j < n {
+                        j += 1;
+                    }
+                    if j < n && bytes[j] == '\'' {
+                        j += 1;
+                    }
+                    i = j;
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: bytes[start..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < n
+                    && (bytes[j].is_ascii_alphanumeric()
+                        || bytes[j] == '_'
+                        || (bytes[j] == '.'
+                            && j + 1 < n
+                            && bytes[j + 1].is_ascii_digit()
+                            && bytes[j..].iter().take_while(|&&b| b == '.').count() == 1))
+                {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: bytes[start..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether `r`/`b` at `i` opens a raw (`r"`, `r#"`) or byte (`b"`, `br"`)
+/// string rather than being a plain identifier head.
+fn starts_raw_or_byte_string(bytes: &[char], i: usize) -> bool {
+    let n = bytes.len();
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+        if j < n && bytes[j] == 'r' {
+            j += 1;
+        }
+    } else {
+        // 'r'
+        j += 1;
+    }
+    while j < n && bytes[j] == '#' {
+        j += 1;
+    }
+    j < n && bytes[j] == '"'
+}
+
+/// Lex a cooked string starting after the opening quote at `start`.
+/// Returns `(body, newlines_consumed, index_after_closing_quote)`.
+fn cooked_string(bytes: &[char], start: usize) -> (String, usize, usize) {
+    let n = bytes.len();
+    let mut j = start;
+    let mut nl = 0;
+    let mut body = String::new();
+    while j < n {
+        match bytes[j] {
+            '\\' => {
+                if j + 1 < n {
+                    body.push(bytes[j]);
+                    body.push(bytes[j + 1]);
+                    if bytes[j + 1] == '\n' {
+                        nl += 1;
+                    }
+                }
+                j += 2;
+            }
+            '"' => return (body, nl, j + 1),
+            c => {
+                if c == '\n' {
+                    nl += 1;
+                }
+                body.push(c);
+                j += 1;
+            }
+        }
+    }
+    (body, nl, j)
+}
+
+/// Lex a raw/byte string whose prefix (`r`, `b`, `br`, hashes) starts at
+/// `i`. Returns `(body, newlines_consumed, index_after_close)`.
+fn raw_or_byte_string(bytes: &[char], i: usize) -> (String, usize, usize) {
+    let n = bytes.len();
+    let mut j = i;
+    let mut raw = false;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if j < n && bytes[j] == 'r' {
+        raw = true;
+        j += 1;
+    }
+    let mut hashes = 0;
+    while j < n && bytes[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let start = j;
+    let mut nl = 0;
+    while j < n {
+        if bytes[j] == '\n' {
+            nl += 1;
+            j += 1;
+        } else if !raw && bytes[j] == '\\' {
+            j += 2;
+        } else if bytes[j] == '"' {
+            // Closing quote must be followed by `hashes` '#'s for raw.
+            let mut k = j + 1;
+            let mut seen = 0;
+            while raw && k < n && bytes[k] == '#' && seen < hashes {
+                k += 1;
+                seen += 1;
+            }
+            if seen == hashes {
+                let body: String = bytes[start..j].iter().collect();
+                return (body, nl, k);
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    (bytes[start..j.min(n)].iter().collect(), nl, j)
+}
+
+/// `'x` is a lifetime when the quote is followed by an identifier that is
+/// *not* closed by another quote (which would make it a char literal).
+fn is_lifetime(bytes: &[char], i: usize) -> bool {
+    let n = bytes.len();
+    if i + 1 >= n {
+        return false;
+    }
+    let c = bytes[i + 1];
+    if !(c.is_alphabetic() || c == '_') {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+        j += 1;
+    }
+    !(j < n && bytes[j] == '\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn skips_comments_and_strings() {
+        let src = r#"
+            // unwrap() in a comment
+            /* HashMap in a block comment */
+            let s = "Instant::now() in a string";
+            let r = r"panic! in a raw string";
+            call();
+        "#;
+        let ids = idents(src);
+        assert!(ids.contains(&"call".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn keeps_comment_text_for_annotations() {
+        let src = "let x = 1; // lint: ordered — sorted before use\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.starts_with("lint: ordered"));
+        assert_eq!(lexed.comments[0].line, 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\nlet nl = '\\n';\nafter();";
+        let ids = idents(src);
+        assert!(ids.contains(&"after".to_string()));
+        // The char bodies must not leak identifiers.
+        assert!(!ids.contains(&"x\'".to_string()));
+    }
+
+    #[test]
+    fn string_token_carries_body_and_lines() {
+        let lexed = lex("span!(\"pipeline_stage_seconds\", stage = \"sbc\")");
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(strs, ["pipeline_stage_seconds", "sbc"]);
+    }
+
+    #[test]
+    fn raw_string_with_hashes() {
+        let lexed = lex("let x = r#\"quote \" inside\"#; done();");
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text == "quote \" inside"));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "done"));
+    }
+
+    #[test]
+    fn numbers_including_floats() {
+        let lexed = lex("let a = 100.0; let b = 25; let c = 0.03;");
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, ["100.0", "25", "0.03"]);
+    }
+
+    #[test]
+    fn line_numbers_advance_through_all_constructs() {
+        let src = "a();\n/* two\nlines */\nb();\n\"str\nwith newline\";\nc();";
+        let lexed = lex(src);
+        let find = |name: &str| lexed.tokens.iter().find(|t| t.text == name).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(4));
+        assert_eq!(find("c"), Some(7));
+    }
+
+    #[test]
+    fn method_range_dots_do_not_merge_into_numbers() {
+        let lexed = lex("for i in 0..10 { x[i] = 1.0; }");
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1.0"]);
+    }
+}

@@ -1,0 +1,102 @@
+//! `airfinger-lint` — zero-dependency workspace static analysis.
+//!
+//! The paper reproduction's evaluation is only trustworthy if every run
+//! is bit-identical across thread counts. The dynamic tests
+//! (`parallel_determinism`, `metrics_determinism`) pin that at runtime;
+//! this tool pins it at CI time, before a stray `Instant::now()` or
+//! `HashMap` iteration in a result path corrupts a `BENCH_*.json`
+//! baseline. Five rule families (see [`rules`]):
+//!
+//! - **D determinism** — no wall-clock/thread-identity reads outside
+//!   `crates/obs`/`crates/parallel`; no `HashMap`/`HashSet` in
+//!   result-producing crates without a `// lint: ordered` justification.
+//! - **P panic-safety** — non-test `unwrap()`/`expect(`/`panic!`/`todo!`/
+//!   `unimplemented!` sites are budgeted per file by `lint-allow.toml`
+//!   and can only ratchet down.
+//! - **S metric schema** — every `counter!`/`gauge!`/`histogram!`/`span!`
+//!   name must appear in DESIGN.md §9 and follow the suffix conventions.
+//! - **U unsafe audit** — every `unsafe` site needs a `// SAFETY:`
+//!   comment; the report carries a per-crate unsafe census.
+//! - **C paper-constant hygiene** — the paper's magic numbers (100 Hz,
+//!   `t_e`, `I_g`, 25 features) live in `crates/core/src/config.rs` only.
+//!
+//! Run it as `cargo run -p airfinger-lint -- check`; see `DESIGN.md` §10
+//! for the rule catalogue and the justification-comment grammar.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod schema;
+pub mod source;
+
+use allowlist::{Allowlist, AllowlistError};
+use report::LintReport;
+use schema::Schema;
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// A failure to *run* the linter (distinct from lint findings).
+#[derive(Debug)]
+pub enum CheckError {
+    /// Filesystem error while loading sources.
+    Io(io::Error),
+    /// `lint-allow.toml` is malformed.
+    Allowlist(AllowlistError),
+    /// `DESIGN.md` is missing or has no `## 9.` schema section.
+    MissingSchema,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Io(e) => write!(f, "i/o error: {e}"),
+            CheckError::Allowlist(e) => write!(f, "{e}"),
+            CheckError::MissingSchema => write!(
+                f,
+                "DESIGN.md has no `## 9.` metric-schema section; rule S cannot validate"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl From<io::Error> for CheckError {
+    fn from(e: io::Error) -> Self {
+        CheckError::Io(e)
+    }
+}
+
+impl From<AllowlistError> for CheckError {
+    fn from(e: AllowlistError) -> Self {
+        CheckError::Allowlist(e)
+    }
+}
+
+/// Run the full check over the workspace rooted at `root`: loads
+/// `crates/*/src/**/*.rs`, `lint-allow.toml` (absent ⇒ empty budget),
+/// and the DESIGN.md §9 schema, then evaluates every rule.
+///
+/// # Errors
+///
+/// Returns [`CheckError`] when the workspace cannot be loaded or its
+/// configuration is malformed — never for lint findings, which are
+/// reported through the returned [`LintReport`].
+pub fn check(root: &Path) -> Result<LintReport, CheckError> {
+    let files = source::load_workspace(root)?;
+    let allow_path = root.join("lint-allow.toml");
+    let allowlist = if allow_path.is_file() {
+        Allowlist::parse(&std::fs::read_to_string(&allow_path)?)?
+    } else {
+        Allowlist::default()
+    };
+    let design =
+        std::fs::read_to_string(root.join("DESIGN.md")).map_err(|_| CheckError::MissingSchema)?;
+    let schema = Schema::from_design_md(&design).ok_or(CheckError::MissingSchema)?;
+    Ok(rules::run_all(&files, &allowlist, &schema))
+}

@@ -1,0 +1,87 @@
+//! CLI for `airfinger-lint`.
+//!
+//! ```text
+//! cargo run -p airfinger-lint -- check                 # human diff-style report
+//! cargo run -p airfinger-lint -- check --json out.json # + machine-readable report
+//! cargo run -p airfinger-lint -- check --root ../..    # explicit workspace root
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or configuration error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("check") {
+        print_usage();
+        return ExitCode::from(2);
+    }
+    let mut root = PathBuf::from(".");
+    let mut json_path: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                print_usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = match airfinger_lint::check(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("airfinger-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, report.render_json()) {
+            eprintln!("airfinger-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        if !quiet {
+            eprintln!("[lint] wrote JSON report to {}", path.display());
+        }
+    }
+    if !quiet || !report.passed() {
+        print!("{}", report.render_human());
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn print_usage() {
+    eprintln!("airfinger-lint — workspace static analysis (rules D/P/S/U/C)");
+    eprintln!();
+    eprintln!("usage: airfinger-lint check [--root DIR] [--json PATH] [--quiet]");
+    eprintln!();
+    eprintln!("  --root DIR   workspace root holding crates/, DESIGN.md, lint-allow.toml");
+    eprintln!("               (default: current directory)");
+    eprintln!("  --json PATH  also write the machine-readable report");
+    eprintln!("  --quiet      only print the report when there are findings");
+}

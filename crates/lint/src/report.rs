@@ -1,0 +1,233 @@
+//! Finding model and the two output formats: a human diff-style report
+//! and machine-readable JSON (hand-rolled — the linter is zero-dependency
+//! by design so it can never be broken by the code it checks).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The five rule families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Determinism (wall-clock, thread ids, unordered iteration).
+    Determinism,
+    /// Panic-safety ratchet against `lint-allow.toml`.
+    PanicSafety,
+    /// Metric-name schema conformance (DESIGN.md §9).
+    MetricSchema,
+    /// Unsafe-block audit (`// SAFETY:` comments).
+    UnsafeAudit,
+    /// Paper-constant hygiene (100 Hz, `t_e`, `I_g`, 25 features).
+    PaperConst,
+}
+
+impl Rule {
+    /// The single-letter code used in reports (`D`/`P`/`S`/`U`/`C`).
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::Determinism => "D",
+            Rule::PanicSafety => "P",
+            Rule::MetricSchema => "S",
+            Rule::UnsafeAudit => "U",
+            Rule::PaperConst => "C",
+        }
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule family fired.
+    pub rule: Rule,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Human explanation, including the escape hatch where one exists.
+    pub message: String,
+    /// The offending source line, trimmed, for the diff-style excerpt.
+    pub excerpt: String,
+}
+
+/// The whole run: findings plus the censuses the tool always reports.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Rule violations (the run fails when non-empty).
+    pub findings: Vec<Finding>,
+    /// Non-fatal notes (e.g. stale allowlist entries that can ratchet).
+    pub warnings: Vec<String>,
+    /// Per-crate count of `unsafe` sites (rule U census).
+    pub unsafe_census: BTreeMap<String, usize>,
+    /// Per-file count of non-test panic sites (rule P inventory).
+    pub panic_inventory: BTreeMap<String, usize>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Whether the workspace is clean.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings of one rule family.
+    #[must_use]
+    pub fn count(&self, rule: Rule) -> usize {
+        self.findings.iter().filter(|f| f.rule == rule).count()
+    }
+
+    /// Render the human diff-style report.
+    #[must_use]
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        let mut by_file: BTreeMap<&str, Vec<&Finding>> = BTreeMap::new();
+        for f in &self.findings {
+            by_file.entry(&f.file).or_default().push(f);
+        }
+        for (file, findings) in &by_file {
+            let _ = writeln!(out, "--- {file}");
+            for f in findings {
+                let _ = writeln!(out, "@@ line {} [{}]", f.line, f.rule.code());
+                if !f.excerpt.is_empty() {
+                    let _ = writeln!(out, "-    {}", f.excerpt);
+                }
+                let _ = writeln!(out, "     {}", f.message);
+            }
+            out.push('\n');
+        }
+        for w in &self.warnings {
+            let _ = writeln!(out, "warning: {w}");
+        }
+        let _ = writeln!(
+            out,
+            "airfinger-lint: {} file(s) scanned, {} finding(s) \
+             [D:{} P:{} S:{} U:{} C:{}], {} warning(s)",
+            self.files_scanned,
+            self.findings.len(),
+            self.count(Rule::Determinism),
+            self.count(Rule::PanicSafety),
+            self.count(Rule::MetricSchema),
+            self.count(Rule::UnsafeAudit),
+            self.count(Rule::PaperConst),
+            self.warnings.len(),
+        );
+        out
+    }
+
+    /// Render the machine-readable JSON report.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"passed\": {},", self.passed());
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        out.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let comma = if i + 1 < self.findings.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{comma}",
+                json_str(f.rule.code()),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message),
+            );
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"warnings\": [");
+        for (i, w) in self.warnings.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(w));
+        }
+        out.push_str("],\n");
+        out.push_str("  \"unsafe_census\": {");
+        for (i, (krate, n)) in self.unsafe_census.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {n}", json_str(krate));
+        }
+        out.push_str("},\n");
+        out.push_str("  \"panic_inventory\": {");
+        for (i, (file, n)) in self.panic_inventory.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {n}", json_str(file));
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// Escape a string for JSON.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_report() -> LintReport {
+        let mut r = LintReport {
+            files_scanned: 2,
+            ..Default::default()
+        };
+        r.findings.push(Finding {
+            rule: Rule::Determinism,
+            file: "crates/core/src/a.rs".into(),
+            line: 7,
+            message: "message with \"quotes\"".into(),
+            excerpt: "let t = Instant::now();".into(),
+        });
+        r.warnings.push("stale entry".into());
+        r.unsafe_census.insert("core".into(), 0);
+        r.panic_inventory.insert("crates/core/src/a.rs".into(), 1);
+        r
+    }
+
+    #[test]
+    fn human_report_is_diff_style() {
+        let text = demo_report().render_human();
+        assert!(text.contains("--- crates/core/src/a.rs"));
+        assert!(text.contains("@@ line 7 [D]"));
+        assert!(text.contains("-    let t = Instant::now();"));
+        assert!(text.contains("warning: stale entry"));
+        assert!(text.contains("1 finding(s) [D:1 P:0 S:0 U:0 C:0]"));
+    }
+
+    #[test]
+    fn json_report_parses_shape() {
+        let json = demo_report().render_json();
+        assert!(json.contains("\"passed\": false"));
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"rule\": \"D\""));
+        assert!(json.contains("\"unsafe_census\": {\"core\": 0}"));
+    }
+
+    #[test]
+    fn empty_report_passes() {
+        let r = LintReport::default();
+        assert!(r.passed());
+        assert!(r.render_json().contains("\"passed\": true"));
+    }
+}

@@ -1,0 +1,596 @@
+//! The five rule families: (D) determinism, (P) panic-safety ratchet,
+//! (S) metric-schema conformance, (U) unsafe audit, (C) paper-constant
+//! hygiene. Each rule scans the lexed token streams — never raw text —
+//! so strings, comments, and doc examples can't produce false positives.
+
+use crate::allowlist::Allowlist;
+use crate::lexer::{Token, TokenKind};
+use crate::report::{Finding, LintReport, Rule};
+use crate::schema::{is_snake_case, Schema};
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// Crates whose whole purpose is timing/threading — rule D's time ban
+/// does not apply there.
+const TIME_EXEMPT_CRATES: [&str; 2] = ["obs", "parallel"];
+
+/// Result-producing crates: anything nondeterministic here corrupts the
+/// paper-reproduction numbers, so rules D-hash and C apply.
+const RESULT_CRATES: [&str; 4] = ["core", "dsp", "features", "ml"];
+
+/// The one file allowed to define paper constants.
+const CONFIG_FILE: &str = "crates/core/src/config.rs";
+
+/// How many lines above an `unsafe` site a `// SAFETY:` comment may sit.
+const SAFETY_COMMENT_WINDOW: usize = 3;
+
+/// Run every rule over the loaded workspace.
+#[must_use]
+pub fn run_all(files: &[SourceFile], allowlist: &Allowlist, schema: &Schema) -> LintReport {
+    let mut report = LintReport {
+        files_scanned: files.len(),
+        ..Default::default()
+    };
+    for file in files {
+        determinism(file, &mut report);
+        unsafe_audit(file, &mut report);
+        paper_constants(file, &mut report);
+    }
+    panic_safety(files, allowlist, &mut report);
+    metric_schema(files, schema, &mut report);
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}
+
+fn finding(file: &SourceFile, rule: Rule, line: usize, message: String) -> Finding {
+    Finding {
+        rule,
+        file: file.rel_path.clone(),
+        line,
+        message,
+        excerpt: file.line_text(line).trim().to_string(),
+    }
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    tokens
+        .get(i)
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str())
+}
+
+fn punct_at(tokens: &[Token], i: usize, p: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text == p)
+}
+
+fn path_sep_at(tokens: &[Token], i: usize) -> bool {
+    punct_at(tokens, i, ":") && punct_at(tokens, i + 1, ":")
+}
+
+/// Rule D — determinism.
+///
+/// Outside `crates/obs` and `crates/parallel`, wall-clock reads
+/// (`Instant::now`, `SystemTime::now`) and `thread::current()` identity
+/// are forbidden unless the line carries `// lint: wall-clock`. In
+/// result-producing crates, `HashMap`/`HashSet` are forbidden (their
+/// iteration order is nondeterministic) unless the line carries
+/// `// lint: ordered`.
+fn determinism(file: &SourceFile, report: &mut LintReport) {
+    let tokens = &file.tokens;
+    let time_banned = !TIME_EXEMPT_CRATES.contains(&file.crate_name.as_str());
+    let hash_banned = RESULT_CRATES.contains(&file.crate_name.as_str());
+    for i in 0..tokens.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let line = tokens[i].line;
+        if time_banned {
+            if let Some(head @ ("Instant" | "SystemTime")) = ident_at(tokens, i) {
+                if path_sep_at(tokens, i + 1) && ident_at(tokens, i + 3) == Some("now") {
+                    if !file.justified(line, "wall-clock") {
+                        report.findings.push(finding(
+                            file,
+                            Rule::Determinism,
+                            line,
+                            format!(
+                                "`{head}::now()` outside crates/obs|crates/parallel makes \
+                                 results depend on the wall clock; route timing through \
+                                 `airfinger_obs` spans or justify with `// lint: wall-clock`"
+                            ),
+                        ));
+                    }
+                    continue;
+                }
+            }
+            if ident_at(tokens, i) == Some("thread")
+                && path_sep_at(tokens, i + 1)
+                && ident_at(tokens, i + 3) == Some("current")
+                && !file.justified(line, "wall-clock")
+            {
+                report.findings.push(finding(
+                    file,
+                    Rule::Determinism,
+                    line,
+                    "`thread::current()` identity is scheduling-dependent; results must \
+                     not observe it (justify with `// lint: wall-clock` if only logged)"
+                        .to_string(),
+                ));
+                continue;
+            }
+        }
+        if hash_banned {
+            if let Some(name @ ("HashMap" | "HashSet")) = ident_at(tokens, i) {
+                if !file.justified(line, "ordered") {
+                    report.findings.push(finding(
+                        file,
+                        Rule::Determinism,
+                        line,
+                        format!(
+                            "`{name}` in a result-producing crate: iteration order is \
+                             nondeterministic; use `BTreeMap`/`BTreeSet`/`Vec` or justify \
+                             with `// lint: ordered`"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Rule P — panic-safety ratchet.
+///
+/// Counts non-test `unwrap()` / `expect(` / `panic!` / `todo!` /
+/// `unimplemented!` sites per file and compares each count against the
+/// committed `lint-allow.toml` `[panic]` budget. Counts above budget are
+/// findings; counts below budget are warnings (ratchet the allowlist
+/// down). Test code is exempt — panicking is how tests fail.
+fn panic_safety(files: &[SourceFile], allowlist: &Allowlist, report: &mut LintReport) {
+    for file in files {
+        let tokens = &file.tokens;
+        let mut site_lines = Vec::new();
+        for i in 0..tokens.len() {
+            if file.in_test[i] {
+                continue;
+            }
+            let hit = match ident_at(tokens, i) {
+                Some("unwrap") => {
+                    punct_at(tokens, i.wrapping_sub(1), ".")
+                        && punct_at(tokens, i + 1, "(")
+                        && punct_at(tokens, i + 2, ")")
+                }
+                Some("expect") => {
+                    punct_at(tokens, i.wrapping_sub(1), ".") && punct_at(tokens, i + 1, "(")
+                }
+                Some("panic" | "todo" | "unimplemented") => punct_at(tokens, i + 1, "!"),
+                _ => false,
+            };
+            if hit {
+                site_lines.push(tokens[i].line);
+            }
+        }
+        let actual = site_lines.len();
+        let allowed = allowlist.allowed(&file.rel_path);
+        if actual > 0 {
+            report.panic_inventory.insert(file.rel_path.clone(), actual);
+        }
+        if actual > allowed {
+            let first_excess = site_lines[allowed];
+            report.findings.push(finding(
+                file,
+                Rule::PanicSafety,
+                first_excess,
+                format!(
+                    "{actual} panic site(s) (unwrap/expect/panic!/todo!/unimplemented!) but \
+                     lint-allow.toml grants {allowed}; propagate errors via the crate's \
+                     error types — the allowlist only ratchets down"
+                ),
+            ));
+        } else if actual < allowed {
+            report.warnings.push(format!(
+                "{}: allowlist grants {allowed} panic site(s) but only {actual} remain — \
+                 ratchet lint-allow.toml down",
+                file.rel_path
+            ));
+        }
+    }
+    // Allowlist entries pointing at files that no longer exist.
+    for (path, allowed) in &allowlist.panic {
+        if !files.iter().any(|f| &f.rel_path == path) {
+            report.warnings.push(format!(
+                "{path}: allowlist grants {allowed} panic site(s) but the file is not in \
+                 the scan set — remove the stale entry"
+            ));
+        }
+    }
+}
+
+/// One metric call site.
+struct MetricSite<'a> {
+    file: &'a SourceFile,
+    line: usize,
+    kind: &'static str,
+    name: String,
+}
+
+/// Rule S — metric-schema conformance.
+///
+/// Extracts the name of every `counter!` / `gauge!` / `histogram!` /
+/// `span!` / `span_with(` call site and validates it against the
+/// DESIGN.md §9 vocabulary plus the suffix conventions: counters end
+/// `_total`, histograms (and spans, which feed histograms) end
+/// `_seconds`, gauges end in neither, all names are `snake_case`, and no
+/// name is reused across metric kinds.
+fn metric_schema(files: &[SourceFile], schema: &Schema, report: &mut LintReport) {
+    let mut sites: Vec<MetricSite<'_>> = Vec::new();
+    for file in files {
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            if file.in_test[i] {
+                continue;
+            }
+            let (kind, name_idx) = match ident_at(tokens, i) {
+                Some(macro_name @ ("counter" | "gauge" | "histogram" | "span"))
+                    if punct_at(tokens, i + 1, "!") && punct_at(tokens, i + 2, "(") =>
+                {
+                    let kind = match macro_name {
+                        "counter" => "counter",
+                        "gauge" => "gauge",
+                        _ => "histogram",
+                    };
+                    (kind, i + 3)
+                }
+                Some("span_with") if punct_at(tokens, i + 1, "(") => ("histogram", i + 2),
+                _ => continue,
+            };
+            let Some(name_tok) = tokens.get(name_idx).filter(|t| t.kind == TokenKind::Str) else {
+                continue;
+            };
+            sites.push(MetricSite {
+                file,
+                line: name_tok.line,
+                kind,
+                name: name_tok.text.clone(),
+            });
+        }
+    }
+    let mut kinds_by_name: BTreeMap<&str, Vec<&MetricSite<'_>>> = BTreeMap::new();
+    for site in &sites {
+        kinds_by_name.entry(&site.name).or_default().push(site);
+        let name = &site.name;
+        let mut problems = Vec::new();
+        if !is_snake_case(name) {
+            problems.push("metric names must be snake_case".to_string());
+        }
+        match site.kind {
+            "counter" if !name.ends_with("_total") => {
+                problems.push("counter names must end `_total`".to_string());
+            }
+            "histogram" if !name.ends_with("_seconds") => {
+                problems.push("histogram/span names must end `_seconds`".to_string());
+            }
+            "gauge" if name.ends_with("_total") || name.ends_with("_seconds") => {
+                problems
+                    .push("gauge names must not use the `_total`/`_seconds` suffixes".to_string());
+            }
+            _ => {}
+        }
+        if !schema.contains(name) {
+            problems.push("not in the DESIGN.md §9 stable schema — add it there first".to_string());
+        }
+        for p in problems {
+            report.findings.push(finding(
+                site.file,
+                Rule::MetricSchema,
+                site.line,
+                format!("metric `{name}` ({}): {p}", site.kind),
+            ));
+        }
+    }
+    for (name, sites) in &kinds_by_name {
+        let mut kinds: Vec<&str> = sites.iter().map(|s| s.kind).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        if kinds.len() > 1 {
+            let site = sites
+                .iter()
+                .find(|s| s.kind != sites[0].kind)
+                .unwrap_or(&sites[0]);
+            report.findings.push(finding(
+                site.file,
+                Rule::MetricSchema,
+                site.line,
+                format!(
+                    "metric `{name}` is registered as multiple kinds ({}) — names are \
+                     unique per kind in the §9 schema",
+                    kinds.join(" and ")
+                ),
+            ));
+        }
+    }
+}
+
+/// Rule U — unsafe audit.
+///
+/// Every `unsafe` site (block, fn, impl, trait) needs a `// SAFETY:`
+/// comment on its line or within the preceding three lines, test code
+/// included. Also maintains the per-crate unsafe census the report
+/// always carries (most crates pin it to zero via `#![forbid(unsafe_code)]`).
+fn unsafe_audit(file: &SourceFile, report: &mut LintReport) {
+    let census = report
+        .unsafe_census
+        .entry(file.crate_name.clone())
+        .or_insert(0);
+    let mut sites = Vec::new();
+    for t in &file.tokens {
+        if t.kind == TokenKind::Ident && t.text == "unsafe" {
+            *census += 1;
+            sites.push(t.line);
+        }
+    }
+    for line in sites {
+        if !file.has_safety_comment(line, SAFETY_COMMENT_WINDOW) {
+            report.findings.push(finding(
+                file,
+                Rule::UnsafeAudit,
+                line,
+                "`unsafe` without a `// SAFETY:` comment on the site or the three lines \
+                 above it — state the invariant that makes this sound"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// A paper constant rule C watches for: the literal values and the
+/// identifier fragments that mark a line as talking about that constant.
+struct PaperConst {
+    literals: &'static [&'static str],
+    ident_marks: fn(&str) -> bool,
+    what: &'static str,
+}
+
+const PAPER_CONSTS: [PaperConst; 4] = [
+    PaperConst {
+        literals: &["100.0"],
+        ident_marks: |id| id.contains("rate") || id == "hz" || id.ends_with("_hz"),
+        what: "the 100 Hz sample rate",
+    },
+    PaperConst {
+        literals: &["0.1", "100"],
+        ident_marks: |id| id.contains("merge") || id == "t_e" || id.starts_with("t_e_"),
+        what: "the `t_e` = 100 ms merge gap",
+    },
+    PaperConst {
+        literals: &["30.0", "0.03"],
+        ident_marks: |id| id == "ig" || id.starts_with("ig_") || id.ends_with("_ig"),
+        what: "the `I_g` = 30 ms family threshold",
+    },
+    PaperConst {
+        literals: &["25"],
+        ident_marks: |id| id.contains("feature"),
+        what: "the 25-feature count",
+    },
+];
+
+/// Rule C — paper-constant hygiene.
+///
+/// The paper's magic numbers live in `crates/core/src/config.rs` (or a
+/// crate's named constant) and nowhere else. In result-producing crates,
+/// a line that re-hardcodes one of them next to an identifier naming the
+/// concept is flagged unless it carries `// lint: paper-const`.
+fn paper_constants(file: &SourceFile, report: &mut LintReport) {
+    if !RESULT_CRATES.contains(&file.crate_name.as_str()) || file.rel_path == CONFIG_FILE {
+        return;
+    }
+    // Group non-test tokens by line: lowercased identifiers + numbers.
+    let mut by_line: BTreeMap<usize, (Vec<String>, Vec<String>)> = BTreeMap::new();
+    for (t, &in_test) in file.tokens.iter().zip(&file.in_test) {
+        if in_test {
+            continue;
+        }
+        let entry = by_line.entry(t.line).or_default();
+        match t.kind {
+            TokenKind::Ident => entry.0.push(t.text.to_lowercase()),
+            TokenKind::Number => entry.1.push(t.text.clone()),
+            _ => {}
+        }
+    }
+    for (&line, (idents, numbers)) in &by_line {
+        if file.justified(line, "paper-const") {
+            continue;
+        }
+        for rule in &PAPER_CONSTS {
+            let num = numbers.iter().find(|n| rule.literals.contains(&n.as_str()));
+            let marked = idents.iter().any(|id| (rule.ident_marks)(id));
+            if let (Some(num), true) = (num, marked) {
+                report.findings.push(finding(
+                    file,
+                    Rule::PaperConst,
+                    line,
+                    format!(
+                        "`{num}` re-hardcodes {what} outside {CONFIG_FILE}; read it from \
+                         the config (or justify with `// lint: paper-const`)",
+                        what = rule.what
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file_in(crate_name: &str, rel: &str, src: &str) -> SourceFile {
+        SourceFile::parse(rel.to_string(), crate_name.to_string(), src)
+    }
+
+    fn run(files: &[SourceFile]) -> LintReport {
+        let allow = Allowlist::default();
+        let schema = Schema::from_design_md(
+            "## 9. Schema\n`pipeline_windows_total` `pipeline_stage_seconds` \
+             `pipeline_otsu_threshold` `stage` `sbc`\n",
+        )
+        .unwrap_or_default();
+        run_all(files, &allow, &schema)
+    }
+
+    #[test]
+    fn time_in_result_crate_fires_and_annotation_suppresses() {
+        let f = file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f() { let t = Instant::now(); }\n",
+        );
+        let r = run(&[f]);
+        assert_eq!(r.count(Rule::Determinism), 1);
+
+        let f = file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f() { let t = Instant::now(); } // lint: wall-clock — display only\n",
+        );
+        assert_eq!(run(&[f]).count(Rule::Determinism), 0);
+    }
+
+    #[test]
+    fn time_in_obs_is_exempt() {
+        let f = file_in(
+            "obs",
+            "crates/obs/src/x.rs",
+            "fn f() { let t = Instant::now(); }\n",
+        );
+        assert_eq!(run(&[f]).count(Rule::Determinism), 0);
+    }
+
+    #[test]
+    fn hashmap_fires_only_in_result_crates() {
+        let src = "use std::collections::HashMap;\n";
+        let core = file_in("core", "crates/core/src/x.rs", src);
+        let bench = file_in("bench", "crates/bench/src/x.rs", src);
+        assert_eq!(run(&[core]).count(Rule::Determinism), 1);
+        assert_eq!(run(&[bench]).count(Rule::Determinism), 0);
+    }
+
+    #[test]
+    fn panic_counts_respect_allowlist_and_warn_on_slack() {
+        let f = file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f() { a.unwrap(); b.expect(\"m\"); panic!(\"x\"); }\n",
+        );
+        let mut allow = Allowlist::default();
+        allow.panic.insert("crates/core/src/x.rs".into(), 3);
+        let schema = Schema::default();
+        let r = run_all(&[f], &allow, &schema);
+        assert_eq!(r.count(Rule::PanicSafety), 0);
+        assert!(r.warnings.is_empty());
+        assert_eq!(r.panic_inventory["crates/core/src/x.rs"], 3);
+
+        let f2 = file_in("core", "crates/core/src/x.rs", "fn f() { a.unwrap(); }\n");
+        let r2 = run_all(&[f2], &allow, &schema);
+        assert_eq!(r2.count(Rule::PanicSafety), 0);
+        assert_eq!(r2.warnings.len(), 1, "{:?}", r2.warnings);
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_a_panic_site() {
+        let f = file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f() { a.unwrap_or_else(|p| p.into_inner()); b.unwrap_or(0); }\n",
+        );
+        assert_eq!(run(&[f]).count(Rule::PanicSafety), 0);
+    }
+
+    #[test]
+    fn metric_schema_checks_suffix_membership_and_kind_clash() {
+        let f = file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f() {\n\
+             obs::counter!(\"pipeline_windows_total\").inc();\n\
+             obs::counter!(\"bad_counter\").inc();\n\
+             obs::gauge!(\"pipeline_stage_seconds\").set(1.0);\n\
+             }\n",
+        );
+        let r = run(&[f]);
+        // bad_counter: wrong suffix + not in schema; gauge reusing a
+        // histogram-suffixed schema name: suffix misuse (kind clash needs
+        // a second kind in the same run).
+        assert_eq!(r.count(Rule::MetricSchema), 3, "{:#?}", r.findings);
+    }
+
+    #[test]
+    fn metric_kind_clash_detected() {
+        let f = file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f() {\n\
+             obs::counter!(\"pipeline_windows_total\").inc();\n\
+             obs::histogram!(\"pipeline_windows_total\").observe(1.0);\n\
+             }\n",
+        );
+        let r = run(&[f]);
+        let clash = r
+            .findings
+            .iter()
+            .filter(|f| f.message.contains("multiple kinds"))
+            .count();
+        assert_eq!(clash, 1, "{:#?}", r.findings);
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = file_in("nir-sim", "crates/nir-sim/src/x.rs", "unsafe { go() }\n");
+        let good = file_in(
+            "nir-sim",
+            "crates/nir-sim/src/x.rs",
+            "// SAFETY: bounds checked above\nunsafe { go() }\n",
+        );
+        assert_eq!(run(&[bad]).count(Rule::UnsafeAudit), 1);
+        let r = run(&[good]);
+        assert_eq!(r.count(Rule::UnsafeAudit), 0);
+        assert_eq!(r.unsafe_census["nir-sim"], 1);
+    }
+
+    #[test]
+    fn paper_const_fires_outside_config_only() {
+        let src = "fn f() { let sample_rate_hz = 100.0; }\n";
+        let in_core = file_in("core", "crates/core/src/x.rs", src);
+        let in_config = file_in("core", "crates/core/src/config.rs", src);
+        let in_bench = file_in("bench", "crates/bench/src/x.rs", src);
+        assert_eq!(run(&[in_core]).count(Rule::PaperConst), 1);
+        assert_eq!(run(&[in_config]).count(Rule::PaperConst), 0);
+        assert_eq!(run(&[in_bench]).count(Rule::PaperConst), 0);
+        let justified = file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f() { let sample_rate_hz = 100.0; } // lint: paper-const — doc example\n",
+        );
+        assert_eq!(run(&[justified]).count(Rule::PaperConst), 0);
+    }
+
+    #[test]
+    fn bare_literal_without_concept_ident_is_fine() {
+        let f = file_in("dsp", "crates/dsp/src/x.rs", "fn f() { let x = 100.0; }\n");
+        assert_eq!(run(&[f]).count(Rule::PaperConst), 0);
+    }
+
+    #[test]
+    fn test_regions_are_exempt_from_d_p_s_c() {
+        let f = file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n fn t() {\n let t = Instant::now();\n x.unwrap();\n \
+             obs::counter!(\"nope\").inc();\n let sample_rate_hz = 100.0;\n }\n}\n",
+        );
+        let r = run(&[f]);
+        assert!(r.passed(), "{:#?}", r.findings);
+    }
+}

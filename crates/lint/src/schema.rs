@@ -1,0 +1,130 @@
+//! Metric-name vocabulary extraction from DESIGN.md §9.
+//!
+//! §9 of DESIGN.md is the stable metric schema: every metric name the
+//! workspace emits must appear there in backticks. Rather than duplicate
+//! that list in code (where it would drift), rule S parses the §9 section
+//! and collects every backticked `snake_case` identifier as the allowed
+//! vocabulary — metric names, label keys, and label values alike. Suffix
+//! and kind rules then constrain how a name may be used.
+
+use std::collections::BTreeSet;
+
+/// The allowed metric vocabulary plus where it came from.
+#[derive(Debug, Default)]
+pub struct Schema {
+    /// Backticked snake_case identifiers found in the §9 section.
+    pub names: BTreeSet<String>,
+}
+
+impl Schema {
+    /// Extract the schema from DESIGN.md text. Returns `None` when no
+    /// `## 9.` section exists (the caller reports a configuration error —
+    /// a schema-less workspace cannot validate rule S).
+    #[must_use]
+    pub fn from_design_md(text: &str) -> Option<Self> {
+        let mut in_section = false;
+        let mut found = false;
+        let mut names = BTreeSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("## ") {
+                in_section = rest.trim_start().starts_with("9.") || rest.trim_start() == "9";
+                if in_section {
+                    found = true;
+                }
+                continue;
+            }
+            if !in_section {
+                continue;
+            }
+            for span in backticked(line) {
+                // §9 writes labelled metrics as `name{label}`; the name
+                // part is the vocabulary entry.
+                let span = span.split('{').next().unwrap_or("");
+                if is_snake_case(span) {
+                    names.insert(span.to_string());
+                }
+            }
+        }
+        found.then_some(Schema { names })
+    }
+
+    /// Whether `name` is part of the documented vocabulary.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.contains(name)
+    }
+}
+
+/// All `` `…` `` spans of a line.
+fn backticked(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(start) = rest.find('`') {
+        let after = &rest[start + 1..];
+        let Some(end) = after.find('`') else { break };
+        out.push(after[..end].to_string());
+        rest = &after[end + 1..];
+    }
+    out
+}
+
+/// `snake_case`: lowercase alphanumeric + underscores, starting with a
+/// letter.
+#[must_use]
+pub fn is_snake_case(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars.next().is_some_and(|c| c.is_ascii_lowercase())
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DESIGN: &str = "\
+# Doc\n\
+## 8. Other\n\
+`not_in_schema`\n\
+## 9. Observability: stable metric schema\n\
+| `pipeline_stage_seconds` | `stage` = `sbc` \\| `threshold` | per-stage |\n\
+| `engine_push_seconds`, `engine_flush_seconds` | — | engine |\n\
+| `parallel_jobs_total{op}` | labelled counter |\n\
+Some prose with `pipeline_windows_total` inline, and `CamelCase` ignored.\n\
+## 10. Next\n\
+`also_not_in_schema`\n";
+
+    #[test]
+    fn collects_section_nine_identifiers_only() {
+        let s = Schema::from_design_md(DESIGN).unwrap();
+        for name in [
+            "pipeline_stage_seconds",
+            "engine_push_seconds",
+            "engine_flush_seconds",
+            "pipeline_windows_total",
+            "parallel_jobs_total",
+            "stage",
+            "sbc",
+        ] {
+            assert!(s.contains(name), "{name}");
+        }
+        assert!(!s.contains("not_in_schema"));
+        assert!(!s.contains("also_not_in_schema"));
+        assert!(!s.contains("CamelCase"));
+    }
+
+    #[test]
+    fn missing_section_is_none() {
+        assert!(Schema::from_design_md("# Doc\n## 8. Only\n").is_none());
+    }
+
+    #[test]
+    fn snake_case_predicate() {
+        assert!(is_snake_case("pipeline_stage_seconds"));
+        assert!(is_snake_case("p2"));
+        assert!(!is_snake_case("Pipeline"));
+        assert!(!is_snake_case("_lead"));
+        assert!(!is_snake_case(""));
+        assert!(!is_snake_case("has-dash"));
+    }
+}

@@ -1,0 +1,306 @@
+//! Workspace discovery and the per-file source model the rules consume:
+//! tokens, `#[cfg(test)]`/`#[test]` region marking, raw lines for report
+//! excerpts, and the `// lint: <word>` justification annotations.
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lexed source file with everything the rules need.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable across hosts).
+    pub rel_path: String,
+    /// Crate directory name under `crates/` (e.g. `core`, `nir-sim`).
+    pub crate_name: String,
+    /// Token stream (comments stripped, strings collapsed to bodies).
+    pub tokens: Vec<Token>,
+    /// `in_test[i]` ⇔ token `i` sits inside a `#[cfg(test)]`/`#[test]` item.
+    pub in_test: Vec<bool>,
+    /// Retained comments for annotation and `SAFETY:` lookups.
+    pub comments: Vec<Comment>,
+    /// `line → justification word` from `// lint: <word>` comments.
+    pub annotations: BTreeMap<usize, String>,
+    /// Raw source lines for report excerpts (1-indexed via `line - 1`).
+    pub lines: Vec<String>,
+}
+
+impl SourceFile {
+    /// Parse one file that lives at `crates/<crate_name>/…`.
+    #[must_use]
+    pub fn parse(rel_path: String, crate_name: String, src: &str) -> Self {
+        let lexed = lex(src);
+        let in_test = mark_test_regions(&lexed.tokens);
+        let annotations = collect_annotations(&lexed.comments);
+        SourceFile {
+            rel_path,
+            crate_name,
+            tokens: lexed.tokens,
+            in_test,
+            comments: lexed.comments,
+            annotations,
+            lines: src.lines().map(str::to_string).collect(),
+        }
+    }
+
+    /// The raw text of 1-indexed `line`, or `""` when out of range.
+    #[must_use]
+    pub fn line_text(&self, line: usize) -> &str {
+        line.checked_sub(1)
+            .and_then(|i| self.lines.get(i))
+            .map_or("", String::as_str)
+    }
+
+    /// Whether `line` carries the given `// lint: <word>` justification —
+    /// as a trailing comment on the line itself or a standalone comment on
+    /// the line directly above.
+    #[must_use]
+    pub fn justified(&self, line: usize, word: &str) -> bool {
+        let at = |l: usize| self.annotations.get(&l).is_some_and(|w| w == word);
+        at(line) || (line > 1 && at(line - 1))
+    }
+
+    /// Whether a `// SAFETY:` comment sits on `line` or up to `within`
+    /// lines above it.
+    #[must_use]
+    pub fn has_safety_comment(&self, line: usize, within: usize) -> bool {
+        self.comments.iter().any(|c| {
+            c.line <= line && line - c.line <= within && c.text.trim_start().starts_with("SAFETY:")
+        })
+    }
+}
+
+/// Mark every token inside a `#[cfg(test)]` or `#[test]` item body.
+///
+/// The scan finds the attribute token sequence, then the next top-level
+/// `{` and its matching `}`: everything in between is a test region. An
+/// attribute followed by `;` before any `{` (e.g. `#[cfg(test)] mod t;`)
+/// marks nothing.
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(attr_end) = test_attribute_end(tokens, i) {
+            // Find the body start before the item ends in `;`.
+            let mut j = attr_end;
+            let mut body_start = None;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.kind == TokenKind::Punct {
+                    if t.text == "{" {
+                        body_start = Some(j);
+                        break;
+                    }
+                    if t.text == ";" {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if let Some(open) = body_start {
+                let mut depth = 0usize;
+                let mut k = open;
+                while k < tokens.len() {
+                    let t = &tokens[k];
+                    if t.kind == TokenKind::Punct {
+                        if t.text == "{" {
+                            depth += 1;
+                        } else if t.text == "}" {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                    }
+                    k += 1;
+                }
+                let end = k.min(tokens.len().saturating_sub(1));
+                for flag in in_test.iter_mut().take(end + 1).skip(i) {
+                    *flag = true;
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// If tokens at `i` open a test attribute (`#[test]`, `#[cfg(test)]`,
+/// `#[cfg(all(test, …))]`), return the index just past the closing `]`.
+fn test_attribute_end(tokens: &[Token], i: usize) -> Option<usize> {
+    if !(punct_at(tokens, i, "#") && punct_at(tokens, i + 1, "[")) {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut saw_test = false;
+    let mut head: Option<&str> = None;
+    let mut j = i + 1;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        match t.kind {
+            TokenKind::Punct if t.text == "[" => depth += 1,
+            TokenKind::Punct if t.text == "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    let is_test_attr = saw_test && matches!(head, Some("test" | "cfg"));
+                    return if is_test_attr { Some(j + 1) } else { None };
+                }
+            }
+            TokenKind::Ident => {
+                if head.is_none() {
+                    head = Some(match t.text.as_str() {
+                        "test" => "test",
+                        "cfg" => "cfg",
+                        _ => "other",
+                    });
+                }
+                if t.text == "test" {
+                    saw_test = true;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+fn punct_at(tokens: &[Token], i: usize, p: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text == p)
+}
+
+/// Extract `// lint: <word>` justifications, keyed by comment line.
+fn collect_annotations(comments: &[Comment]) -> BTreeMap<usize, String> {
+    let mut map = BTreeMap::new();
+    for c in comments {
+        if let Some(rest) = c.text.strip_prefix("lint:") {
+            let word: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|ch| ch.is_ascii_alphanumeric() || *ch == '-')
+                .collect();
+            if !word.is_empty() {
+                map.insert(c.line, word);
+            }
+        }
+    }
+    map
+}
+
+/// Discover and parse every `crates/*/src/**/*.rs` file under `root`,
+/// sorted by path so reports and rule evaluation are deterministic.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory walks and file reads; a missing
+/// `crates/` directory is an error (wrong `--root`).
+pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut files = Vec::new();
+    for dir in crate_dirs {
+        let crate_name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src_dir = dir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut rs_files = Vec::new();
+        walk_rs(&src_dir, &mut rs_files)?;
+        rs_files.sort();
+        for path in rs_files {
+            let src = fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            files.push(SourceFile::parse(rel, crate_name.clone(), &src));
+        }
+    }
+    Ok(files)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(src: &str) -> SourceFile {
+        SourceFile::parse("crates/demo/src/lib.rs".into(), "demo".into(), src)
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn live() { a.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\n";
+        let f = parsed(src);
+        let unwraps: Vec<(usize, bool)> = f
+            .tokens
+            .iter()
+            .zip(&f.in_test)
+            .filter(|(t, _)| t.text == "unwrap")
+            .map(|(t, &in_test)| (t.line, in_test))
+            .collect();
+        assert_eq!(unwraps, [(1, false), (4, true)]);
+    }
+
+    #[test]
+    fn non_test_cfg_attribute_marks_nothing() {
+        let src = "#[cfg(feature = \"obs\")]\nfn live() { a.unwrap(); }\n";
+        let f = parsed(src);
+        assert!(f.in_test.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn test_fn_attribute_marks_body() {
+        let src = "#[test]\nfn check() { x.unwrap(); }\nfn live() { y.unwrap(); }\n";
+        let f = parsed(src);
+        let flags: Vec<bool> = f
+            .tokens
+            .iter()
+            .zip(&f.in_test)
+            .filter(|(t, _)| t.text == "unwrap")
+            .map(|(_, &b)| b)
+            .collect();
+        assert_eq!(flags, [true, false]);
+    }
+
+    #[test]
+    fn annotations_and_safety_lookup() {
+        let src = "use std::collections::HashMap; // lint: ordered — keys sorted\n\
+                   // SAFETY: bounds checked above\nunsafe { go() }\n";
+        let f = parsed(src);
+        assert!(f.justified(1, "ordered"));
+        assert!(!f.justified(1, "wall-clock"));
+        assert!(f.has_safety_comment(3, 3));
+        assert!(!f.has_safety_comment(30, 3));
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end tests of [`airfinger_lint::check`] over the fixture
+//! workspaces in `tests/fixtures/`. Each fixture is a miniature repo
+//! (`crates/*/src/*.rs` + `DESIGN.md` + optional `lint-allow.toml`)
+//! that the linter scans exactly like the real workspace — the fixture
+//! sources themselves are never compiled.
+
+use airfinger_lint::report::Rule;
+use airfinger_lint::{check, CheckError};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn each_rule_fires_exactly_once_on_the_violations_fixture() {
+    let report = check(&fixture("violations")).expect("fixture loads");
+    assert_eq!(report.files_scanned, 2);
+    for rule in [
+        Rule::Determinism,
+        Rule::PanicSafety,
+        Rule::MetricSchema,
+        Rule::UnsafeAudit,
+        Rule::PaperConst,
+    ] {
+        assert_eq!(
+            report.count(rule),
+            1,
+            "rule {} should fire exactly once: {:#?}",
+            rule.code(),
+            report.findings
+        );
+    }
+    assert_eq!(report.findings.len(), 5);
+    assert!(!report.passed());
+    // The census side-channels are populated even for findings.
+    assert_eq!(report.unsafe_census["lowlevel"], 1);
+    assert_eq!(report.panic_inventory["crates/core/src/lib.rs"], 1);
+}
+
+#[test]
+fn findings_point_at_the_offending_lines() {
+    let report = check(&fixture("violations")).expect("fixture loads");
+    let line_of = |rule: Rule| {
+        report
+            .findings
+            .iter()
+            .find(|f| f.rule == rule)
+            .map(|f| (f.file.as_str(), f.line))
+            .expect("finding present")
+    };
+    assert_eq!(line_of(Rule::Determinism), ("crates/core/src/lib.rs", 5));
+    assert_eq!(line_of(Rule::PanicSafety), ("crates/core/src/lib.rs", 9));
+    assert_eq!(line_of(Rule::MetricSchema), ("crates/core/src/lib.rs", 13));
+    assert_eq!(line_of(Rule::PaperConst), ("crates/core/src/lib.rs", 17));
+    assert_eq!(
+        line_of(Rule::UnsafeAudit),
+        ("crates/lowlevel/src/lib.rs", 4)
+    );
+}
+
+#[test]
+fn annotations_and_allowlist_suppress_every_finding() {
+    let report = check(&fixture("suppressed")).expect("fixture loads");
+    assert!(report.passed(), "{:#?}", report.findings);
+    // The budget is exactly met, so no ratchet-down warning either.
+    assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    // Suppression hides findings, not the censuses.
+    assert_eq!(report.unsafe_census["lowlevel"], 1);
+    assert_eq!(report.panic_inventory["crates/core/src/lib.rs"], 1);
+}
+
+#[test]
+fn missing_design_schema_is_a_check_error() {
+    let err = check(&fixture("noschema")).expect_err("no DESIGN.md");
+    assert!(matches!(err, CheckError::MissingSchema), "{err}");
+}
+
+#[test]
+fn reports_render_in_both_formats() {
+    let report = check(&fixture("violations")).expect("fixture loads");
+    let human = report.render_human();
+    assert!(human.contains("--- crates/core/src/lib.rs"));
+    assert!(human.contains("[D:1 P:1 S:1 U:1 C:1]"));
+    let json = report.render_json();
+    assert!(json.contains("\"passed\": false"));
+    for code in ["\"D\"", "\"P\"", "\"S\"", "\"U\"", "\"C\""] {
+        assert!(json.contains(code), "missing rule code {code} in {json}");
+    }
+}
+
+#[test]
+fn the_real_workspace_is_clean_at_head() {
+    // tests/ lives two levels under the repo root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let report = check(root).expect("workspace loads");
+    assert!(report.passed(), "{}", report.render_human());
+}

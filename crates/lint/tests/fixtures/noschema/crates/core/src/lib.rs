@@ -1,0 +1,3 @@
+// Fixture: a clean file in a workspace with no DESIGN.md at all.
+
+fn fine() {}

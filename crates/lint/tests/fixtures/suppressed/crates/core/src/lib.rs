@@ -1,0 +1,19 @@
+// Fixture: the same sites as the violations fixture, each suppressed by
+// its documented escape hatch. Never compiled — scanned by tests only.
+
+fn wall_clock() {
+    // lint: wall-clock — display only, never feeds a result
+    let _t = std::time::Instant::now();
+}
+
+fn panics() {
+    Some(1).unwrap(); // budgeted by lint-allow.toml
+}
+
+fn metrics() {
+    counter!("good_metric_total").inc();
+}
+
+fn constants() {
+    let _sample_rate_hz = 100.0; // lint: paper-const — doc example
+}

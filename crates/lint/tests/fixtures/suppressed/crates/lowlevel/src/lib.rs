@@ -1,0 +1,6 @@
+// Fixture: the unsafe site carries its SAFETY comment.
+
+fn deref(p: *const u8) -> u8 {
+    // SAFETY: the fixture caller always passes a valid, aligned pointer.
+    unsafe { *p }
+}

@@ -1,0 +1,18 @@
+// Fixture: each of rules D, P, S, C fires exactly once in this file.
+// Never compiled — scanned by the airfinger-lint integration tests only.
+
+fn wall_clock() {
+    let _t = std::time::Instant::now();
+}
+
+fn panics() {
+    Some(1).unwrap();
+}
+
+fn metrics() {
+    counter!("rogue_metric_total").inc();
+}
+
+fn constants() {
+    let _sample_rate_hz = 100.0;
+}

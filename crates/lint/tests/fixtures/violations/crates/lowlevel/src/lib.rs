@@ -1,0 +1,5 @@
+// Fixture: rule U fires exactly once (unsafe with no SAFETY comment).
+
+fn deref(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -142,16 +142,19 @@ impl Classifier for DtwClassifier {
                 best.truncate(self.config.k);
             }
         }
-        // Majority vote; ties resolve to the nearest.
-        let mut counts = std::collections::HashMap::new();
-        for (_, l) in &best {
-            *counts.entry(*l).or_insert(0usize) += 1;
+        // Majority vote; ties resolve to the nearest. Labels are small
+        // class indices, so a dense count vector keeps the vote (and its
+        // tie-breaking order) fully deterministic.
+        let n_labels = best.iter().map(|&(_, l)| l + 1).max().unwrap_or(1);
+        let mut counts = vec![0usize; n_labels];
+        for &(_, l) in &best {
+            counts[l] += 1;
         }
-        let top = counts.values().copied().max().unwrap_or(0);
+        let top = counts.iter().copied().max().unwrap_or(0);
         Ok(best
             .iter()
-            .find(|(_, l)| counts[l] == top)
-            .map(|(_, l)| *l)
+            .find(|&&(_, l)| counts[l] == top)
+            .map(|&(_, l)| l)
             .unwrap_or(0))
     }
 

@@ -115,7 +115,12 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                // Re-raise the worker's panic payload on the caller's
+                // thread instead of panicking with a fresh message.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
     let mut out = Vec::with_capacity(n);
@@ -179,7 +184,10 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("parallel worker panicked"))
+            .flat_map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
     done.sort_by_key(|(i, _)| *i);

@@ -63,10 +63,18 @@ impl Gesture {
     /// Stable index `0..8` in [`Gesture::ALL`] order (classifier label).
     #[must_use]
     pub fn index(&self) -> usize {
-        Gesture::ALL
-            .iter()
-            .position(|g| g == self)
-            .expect("gesture listed in ALL")
+        // Exhaustive match keeps this panic-free and lets the compiler
+        // enforce agreement with `ALL` when a variant is added.
+        match self {
+            Gesture::Circle => 0,
+            Gesture::DoubleCircle => 1,
+            Gesture::Rub => 2,
+            Gesture::DoubleRub => 3,
+            Gesture::Click => 4,
+            Gesture::DoubleClick => 5,
+            Gesture::ScrollUp => 6,
+            Gesture::ScrollDown => 7,
+        }
     }
 
     /// Gesture from its [`Gesture::index`].

@@ -111,7 +111,7 @@ impl Trajectory {
         let ft = t / KEY_DT;
         let i = ft.floor() as usize;
         if i + 1 >= self.points.len() {
-            return Some(*self.points.last().expect("non-empty"));
+            return self.points.last().copied();
         }
         Some(self.points[i].lerp(self.points[i + 1], ft - i as f64))
     }
