@@ -23,6 +23,8 @@ pub enum BenchError {
     Dsp(DspError),
     /// The experiment produced no data to summarize.
     EmptyResult(&'static str),
+    /// A monitoring/SLO contract the experiment enforces was violated.
+    Contract(String),
 }
 
 impl fmt::Display for BenchError {
@@ -32,6 +34,7 @@ impl fmt::Display for BenchError {
             BenchError::Pipeline(e) => write!(f, "pipeline error: {e}"),
             BenchError::Dsp(e) => write!(f, "dsp error: {e}"),
             BenchError::EmptyResult(what) => write!(f, "experiment produced no data: {what}"),
+            BenchError::Contract(what) => write!(f, "monitoring contract violated: {what}"),
         }
     }
 }

@@ -22,6 +22,7 @@ pub mod importance;
 pub mod interference;
 pub mod outdoor;
 pub mod selection;
+pub mod soak;
 pub mod table2;
 
 use airfinger_core::train::LabeledFeatures;

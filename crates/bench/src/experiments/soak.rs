@@ -1,0 +1,175 @@
+//! Soak: sustained streaming under the live health monitor, with the
+//! standard fault schedule injected mid-session.
+//!
+//! This is not a paper figure — it is the reliability experiment backing
+//! the monitoring subsystem: a multi-thousand-sample continuous session
+//! streams through a monitored [`StreamingEngine`], the scripted ambient
+//! spike and sensor dropout must drive the documented
+//! `healthy → degraded → unhealthy` transitions, and the flight recorder
+//! must produce exactly one schema-valid post-mortem dump for the single
+//! unhealthy episode.
+
+use crate::context::Context;
+use crate::error::BenchError;
+use crate::report::Report;
+use airfinger_core::config::AirFingerConfig;
+use airfinger_core::engine::StreamingEngine;
+use airfinger_core::pipeline::AirFinger;
+use airfinger_obs::{EngineMonitor, MonitorConfig, RecorderConfig, SloRules, WindowConfig};
+use airfinger_synth::dataset::{generate_corpus, generate_nongesture_corpus, CorpusSpec};
+use airfinger_synth::session::{generate_session, standard_fault_schedule, SessionSpec};
+
+/// Health windows per soak session. The horizon scales with session
+/// length so the fault schedule (spike [20%, 45%), dropout [45%, 95%))
+/// covers the same number of windows at every scale: the spike stalls
+/// two full windows (degraded, then recovery), the dropout four
+/// (degraded → unhealthy → one dump).
+const WINDOWS_PER_SESSION: usize = 10;
+
+/// Run the experiment.
+///
+/// # Errors
+///
+/// Propagates training and engine failures; fails when the soak violates
+/// the monitoring contract (missing transitions or dump-count mismatch).
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
+    let mut report = Report::new("soak", "sustained streaming soak with health monitoring");
+    let samples = match ctx.scale {
+        crate::context::Scale::Quick => 4_000,
+        crate::context::Scale::Standard => 10_000,
+        crate::context::Scale::Full => 20_000,
+    };
+
+    // A compact pipeline with the non-gesture filter live, so the soak
+    // exercises the rejection path too.
+    let spec = CorpusSpec {
+        users: 2,
+        sessions: 2,
+        reps: ctx.scale.scaled(10),
+        seed: ctx.seed + 91,
+        ..Default::default()
+    };
+    let non_spec = CorpusSpec {
+        reps: ctx.scale.scaled(30),
+        ..spec.clone()
+    };
+    let corpus = generate_corpus(&spec);
+    let non = generate_nongesture_corpus(&non_spec);
+    let mut af = AirFinger::new(AirFingerConfig {
+        forest_trees: ctx.config.forest_trees.min(40),
+        ..ctx.config
+    });
+    af.train_on_corpus(&corpus, Some(&non))?;
+
+    let session = SessionSpec {
+        samples,
+        seed: ctx.seed + 91,
+        faults: standard_fault_schedule(samples, true, true),
+        ..Default::default()
+    };
+    let trace = generate_session(&session);
+    let channels = trace.channel_count();
+    let horizon = samples / WINDOWS_PER_SESSION;
+    let mut engine = StreamingEngine::new(af, channels)?;
+    engine.attach_monitor(EngineMonitor::new(MonitorConfig {
+        window: WindowConfig { horizon },
+        rules: SloRules::default(),
+        recorder: RecorderConfig::default(),
+    }));
+
+    let mut sample = vec![0.0; channels];
+    let mut recognitions = 0usize;
+    let span = airfinger_obs::span!("soak_stream_seconds");
+    for i in 0..trace.len() {
+        for (k, v) in sample.iter_mut().enumerate() {
+            *v = trace.channel(k)[i];
+        }
+        if let Ok(Some(event)) = engine.push(&sample) {
+            if event.gesture().is_some() {
+                recognitions += 1;
+            }
+        }
+    }
+    let elapsed = span.elapsed_s();
+    drop(span);
+    engine.flush()?;
+
+    let monitor = engine
+        .monitor_mut()
+        .ok_or_else(|| BenchError::Contract("monitor detached mid-soak".into()))?;
+    let windows = monitor.windows_closed();
+    let transitions: Vec<String> = monitor
+        .transitions()
+        .iter()
+        .map(|t| format!("{} -> {} @w{}", t.from.tag(), t.to.tag(), t.window_index))
+        .collect();
+    let to_degraded = monitor
+        .transitions()
+        .iter()
+        .filter(|t| t.to.level() == 1)
+        .count();
+    let to_unhealthy = monitor
+        .transitions()
+        .iter()
+        .filter(|t| t.to.level() == 2)
+        .count();
+    let to_healthy = monitor
+        .transitions()
+        .iter()
+        .filter(|t| t.to.level() == 0)
+        .count();
+    let final_health = monitor.health();
+    let dumps = monitor.take_dumps();
+    let dumps_valid = dumps.iter().all(|d| {
+        serde_json::from_str::<serde::Value>(&d.json)
+            .ok()
+            .and_then(|v| {
+                v.as_object()?
+                    .get("schema")
+                    .and_then(serde::Value::as_str)
+                    .map(|s| s == "airfinger-flight-recorder-v1")
+            })
+            .unwrap_or(false)
+    });
+
+    report.line(format!(
+        "{samples} samples through a monitored engine (horizon {horizon}), faults: spike + dropout"
+    ));
+    for t in &transitions {
+        report.line(format!("  transition: {t}"));
+    }
+    report.line(format!(
+        "{} windows, {recognitions} recognitions, {} dumps (valid: {dumps_valid}), final health {final_health}",
+        windows,
+        dumps.len()
+    ));
+    if elapsed > 0.0 {
+        report.line(format!(
+            "sustained throughput {:.0} samples/s ({:.2} µs/push mean)",
+            samples as f64 / elapsed,
+            1e6 * elapsed / samples as f64
+        ));
+        report.metric("throughput_samples_per_s", samples as f64 / elapsed);
+    }
+    report.metric("samples", samples as f64);
+    report.metric("windows", windows as f64);
+    report.metric("transitions_to_degraded", to_degraded as f64);
+    report.metric("transitions_to_unhealthy", to_unhealthy as f64);
+    report.metric("transitions_to_healthy", to_healthy as f64);
+    report.metric("dumps", dumps.len() as f64);
+    report.metric("dumps_valid", f64::from(u8::from(dumps_valid)));
+
+    // The monitoring contract this experiment exists to enforce.
+    if to_degraded == 0 || to_unhealthy == 0 {
+        return Err(BenchError::Contract(format!(
+            "faults must degrade then breach: {to_degraded} degraded / {to_unhealthy} unhealthy transitions"
+        )));
+    }
+    if dumps.len() != 1 || !dumps_valid {
+        return Err(BenchError::Contract(format!(
+            "expected exactly one valid dump, got {} (valid: {dumps_valid})",
+            dumps.len()
+        )));
+    }
+    Ok(report)
+}

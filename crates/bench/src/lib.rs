@@ -23,7 +23,7 @@ use report::Report;
 pub use error::BenchError;
 
 /// Every experiment id, in paper order.
-pub const EXPERIMENT_IDS: [&str; 22] = [
+pub const EXPERIMENT_IDS: [&str; 23] = [
     "fig3",
     "fig5",
     "fig7",
@@ -46,6 +46,7 @@ pub const EXPERIMENT_IDS: [&str; 22] = [
     "board",
     "selection",
     "adaptation",
+    "soak",
 ];
 
 /// Run one experiment by id.
@@ -78,6 +79,7 @@ pub fn run_experiment(id: &str, ctx: &Context) -> Result<Report, BenchError> {
         "board" => experiments::board::run(ctx),
         "selection" => experiments::selection::run(ctx),
         "adaptation" => experiments::adaptation::run(ctx),
+        "soak" => experiments::soak::run(ctx),
         _ => Err(BenchError::UnknownExperiment(id.to_string())),
     }
 }

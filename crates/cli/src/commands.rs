@@ -186,6 +186,178 @@ pub(crate) fn info(argv: &[String]) -> i32 {
     }
 }
 
+/// `airfinger monitor`
+pub(crate) fn monitor(argv: &[String]) -> i32 {
+    use airfinger_core::engine::StreamingEngine;
+    use airfinger_obs::{EngineMonitor, MonitorConfig, RecorderConfig, SloRules, WindowConfig};
+    use airfinger_synth::session::{generate_session, standard_fault_schedule, SessionSpec};
+
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let run = || -> Result<i32, String> {
+        let samples = args.number("soak", 2000usize)?;
+        let horizon = args.number("window", 400usize)?;
+        let seed = args.number("seed", 0x41F1_6E12u64)?;
+        let trees = args.number("trees", 40usize)?;
+        let fault = args.optional("fault").unwrap_or("none");
+        let (spike, dropout) = match fault {
+            "none" => (false, false),
+            "spike" => (true, false),
+            "dropout" => (false, true),
+            "both" => (true, true),
+            other => {
+                return Err(format!(
+                    "--fault expects none|spike|dropout|both, got `{other}`"
+                ))
+            }
+        };
+        let dump_dir = args.optional("dump-dir");
+
+        // A quick training pass: small gesture corpus plus non-gesture
+        // negatives so the rejection stage is live during the soak.
+        let spec = CorpusSpec {
+            users: 2,
+            sessions: 2,
+            reps: 4,
+            seed,
+            ..Default::default()
+        };
+        let non_spec = CorpusSpec {
+            reps: 12,
+            ..spec.clone()
+        };
+        let corpus = generate_corpus(&spec);
+        let non = generate_nongesture_corpus(&non_spec);
+        eprintln!(
+            "training on {} gesture + {} non-gesture samples ({trees} trees)…",
+            corpus.len(),
+            non.len()
+        );
+        let mut af = AirFinger::new(AirFingerConfig {
+            forest_trees: trees,
+            ..Default::default()
+        });
+        af.train_on_corpus(&corpus, Some(&non))
+            .map_err(|e| e.to_string())?;
+
+        let session = SessionSpec {
+            samples,
+            seed,
+            faults: standard_fault_schedule(samples, spike, dropout),
+            ..Default::default()
+        };
+        for f in &session.faults {
+            eprintln!(
+                "fault: {:?} over samples {}..{}",
+                f.kind,
+                f.start,
+                f.start + f.duration
+            );
+        }
+        let trace = generate_session(&session);
+        let channels = trace.channel_count();
+        let mut engine = StreamingEngine::new(af, channels).map_err(|e| format!("engine: {e}"))?;
+        engine.attach_monitor(EngineMonitor::new(MonitorConfig {
+            window: WindowConfig { horizon },
+            rules: SloRules::default(),
+            recorder: RecorderConfig::default(),
+        }));
+
+        eprintln!("streaming {samples} samples (window horizon {horizon})…");
+        let mut sample = vec![0.0; channels];
+        let mut printed_transitions = 0usize;
+        let mut recognitions = 0usize;
+        for i in 0..trace.len() {
+            for (k, v) in sample.iter_mut().enumerate() {
+                *v = trace.channel(k)[i];
+            }
+            if let Ok(Some(event)) = engine.push(&sample) {
+                if event.gesture().is_some() {
+                    recognitions += 1;
+                }
+            }
+            let Some(m) = engine.monitor() else { continue };
+            let Some(w) = m.last_window() else { continue };
+            if w.start_sample + w.samples != i as u64 + 1 {
+                continue; // this push did not close a window
+            }
+            println!(
+                "[monitor] window {:>3} | samples {:>4} | segments {:>2} | accepted {:>2} | \
+                 rejected {:>2} | p95 {:>7.3} ms | threshold {:>8.1} | {}",
+                w.index,
+                w.samples,
+                w.segments,
+                w.recognitions,
+                w.rejections,
+                w.p95_push_seconds * 1e3,
+                w.mean_threshold,
+                m.health()
+            );
+            for t in &m.transitions()[printed_transitions..] {
+                println!(
+                    "[monitor] health transition at window {}: {} -> {}",
+                    t.window_index, t.from, t.to
+                );
+            }
+            printed_transitions = m.transitions().len();
+        }
+        engine.flush().map_err(|e| format!("flush: {e}"))?;
+
+        let Some(m) = engine.monitor_mut() else {
+            return Err("monitor detached mid-run".into());
+        };
+        let health = m.health();
+        let transitions = m.transitions().len();
+        let windows = m.windows_closed();
+        let dumps = m.take_dumps();
+        println!(
+            "\nsoak complete: {samples} samples, {windows} windows, {recognitions} recognitions, \
+             {transitions} health transitions, {} dumps, final health {health}",
+            dumps.len()
+        );
+        if let Some(dir) = dump_dir {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
+            for d in &dumps {
+                let path = std::path::Path::new(dir).join(d.file_name());
+                std::fs::write(&path, &d.json)
+                    .map_err(|e| format!("write {}: {e}", path.display()))?;
+                println!("wrote flight-recorder dump {}", path.display());
+            }
+        } else if !dumps.is_empty() {
+            eprintln!("note: {} dumps discarded (no --dump-dir)", dumps.len());
+        }
+
+        let reached_unhealthy = engine
+            .monitor()
+            .is_some_and(|m| m.transitions().iter().any(|t| t.to.level() == 2));
+        let dump_count = engine.monitor().map_or(0, EngineMonitor::dump_count);
+        if spike || dropout {
+            // Fault injection must be *seen*: at least one transition, and
+            // a breach that reached Unhealthy must leave exactly one dump.
+            if transitions == 0 {
+                eprintln!("FAIL: injected fault produced no health transition");
+                return Ok(1);
+            }
+            if reached_unhealthy && dump_count != 1 {
+                eprintln!("FAIL: expected exactly one dump, got {dump_count}");
+                return Ok(1);
+            }
+            Ok(0)
+        } else if health.level() == 0 && dump_count == 0 {
+            Ok(0)
+        } else {
+            eprintln!("FAIL: clean session ended {health} with {dump_count} dumps");
+            Ok(1)
+        }
+    };
+    match run() {
+        Ok(code) => code,
+        Err(e) => fail(e),
+    }
+}
+
 /// `airfinger adapt`
 pub(crate) fn adapt(argv: &[String]) -> i32 {
     use airfinger_core::adapt::UserAdapter;

@@ -6,6 +6,7 @@
 //! airfinger recognize --model model.json --corpus corpus.json
 //! airfinger adapt --model model.json --corpus corpus.json --enroll me.json --out adapted.json
 //! airfinger info --model model.json
+//! airfinger monitor --soak 4000 --fault dropout --dump-dir dumps/
 //! ```
 //!
 //! Every command also accepts the global observability flags
@@ -60,6 +61,7 @@ fn main() {
         Some("recognize") => commands::recognize(&argv[1..]),
         Some("adapt") => commands::adapt(&argv[1..]),
         Some("info") => commands::info(&argv[1..]),
+        Some("monitor") => commands::monitor(&argv[1..]),
         Some("--help") | Some("-h") | None => {
             print_help();
             0
@@ -113,6 +115,10 @@ fn print_help() {
     println!("             [--mix F] [--trials N]");
     println!("  info       describe a trained model");
     println!("             --model PATH [--top N]");
+    println!("  monitor    soak-test a live engine with health monitoring and");
+    println!("             a flight recorder; optional fault injection");
+    println!("             [--soak N] [--fault none|spike|dropout|both]");
+    println!("             [--window N] [--dump-dir PATH] [--seed N] [--trees N]");
     println!();
     println!("global flags (any command):");
     println!("  --metrics PATH    write a machine-readable run report (counters,");

@@ -15,6 +15,10 @@ use crate::zebra::ScrollDirection;
 use airfinger_dsp::sbc::{Sbc, SbcStream};
 use airfinger_dsp::segment::{Segment, StreamingSegmenter};
 use airfinger_dsp::threshold::DynamicThreshold;
+use airfinger_obs::monitor::EngineMonitor;
+use airfinger_obs::recorder::Dump;
+use airfinger_obs::window::{Outcome, WindowStats};
+use airfinger_obs::HealthState;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -40,6 +44,10 @@ pub struct StreamingEngine {
     live_ascents: Vec<Option<usize>>,
     offset: usize,
     channel_count: usize,
+    /// Optional continuous health monitor (sliding windows, SLO health
+    /// model, flight recorder) fed by every push; see
+    /// [`StreamingEngine::attach_monitor`].
+    monitor: Option<EngineMonitor>,
 }
 
 /// Length of the streaming ΔRSS² smoothing window.
@@ -76,8 +84,34 @@ impl StreamingEngine {
             live_ascents: vec![None; channel_count],
             offset: 0,
             channel_count,
+            monitor: None,
             pipeline,
         })
+    }
+
+    /// Attach a continuous health monitor. Every subsequent push feeds
+    /// its sliding window (sample counts, recognition outcomes, mean
+    /// dynamic threshold, per-push latency) and its flight-recorder ring;
+    /// [`StreamingEngine::flush`] closes the trailing partial window.
+    /// Replaces any previously attached monitor.
+    pub fn attach_monitor(&mut self, monitor: EngineMonitor) {
+        self.monitor = Some(monitor);
+    }
+
+    /// Detach and return the monitor, if one is attached.
+    pub fn detach_monitor(&mut self) -> Option<EngineMonitor> {
+        self.monitor.take()
+    }
+
+    /// The attached monitor, if any.
+    #[must_use]
+    pub fn monitor(&self) -> Option<&EngineMonitor> {
+        self.monitor.as_ref()
+    }
+
+    /// Mutable access to the attached monitor (e.g. to drain dumps).
+    pub fn monitor_mut(&mut self) -> Option<&mut EngineMonitor> {
+        self.monitor.as_mut()
     }
 
     /// Global index of the next sample.
@@ -109,7 +143,7 @@ impl StreamingEngine {
         if sample.len() != self.channel_count {
             return Err(AirFingerError::InvalidTrainingData("sample width mismatch"));
         }
-        let _span = airfinger_obs::span!("engine_push_seconds");
+        let span = airfinger_obs::span!("engine_push_seconds");
         airfinger_obs::counter!("engine_samples_total").inc();
         let mut activity = 0.0f64;
         let position = self.segmenter.position();
@@ -148,6 +182,25 @@ impl StreamingEngine {
         if !self.segmenter.in_gesture() {
             self.live_ascents.fill(None);
         }
+        if let Some(monitor) = self.monitor.as_mut() {
+            let outcome = match &result {
+                Ok(Some(Recognition::Detect { .. })) => Outcome::Detect,
+                Ok(Some(Recognition::Track { .. })) => Outcome::Track,
+                Ok(Some(Recognition::Rejected { .. })) => Outcome::Rejected,
+                Ok(None) | Err(_) => Outcome::Quiet,
+            };
+            let mean_threshold = self
+                .thresholds
+                .iter()
+                .map(DynamicThreshold::threshold)
+                .sum::<f64>()
+                / self.channel_count as f64;
+            // The span's live elapsed time stands in for this push's
+            // latency; with recording off it reads 0 (spans never touch
+            // the clock), which keeps the monitor's counters intact while
+            // the latency gauges go dark.
+            let _ = monitor.observe_push(sample, span.elapsed_s(), mean_threshold, outcome);
+        }
         result
     }
 
@@ -178,10 +231,14 @@ impl StreamingEngine {
     /// Propagates recognition errors.
     pub fn flush(&mut self) -> Result<Option<Recognition>, AirFingerError> {
         let _span = airfinger_obs::span!("engine_flush_seconds");
-        match self.segmenter.flush() {
+        let result = match self.segmenter.flush() {
             Some(seg) => self.emit(seg).map(Some),
             None => Ok(None),
+        };
+        if let Some(monitor) = self.monitor.as_mut() {
+            let _ = monitor.finish();
         }
+        result
     }
 
     fn emit(&self, segment: Segment) -> Result<Recognition, AirFingerError> {
@@ -268,6 +325,48 @@ impl SharedEngine {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .position()
+    }
+
+    /// Attach a continuous health monitor (see
+    /// [`StreamingEngine::attach_monitor`]).
+    pub fn attach_monitor(&self, monitor: EngineMonitor) {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .attach_monitor(monitor);
+    }
+
+    /// Current health verdict, when a monitor is attached.
+    #[must_use]
+    pub fn health(&self) -> Option<HealthState> {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .monitor()
+            .map(EngineMonitor::health)
+    }
+
+    /// Statistics of the most recently closed monitoring window, when a
+    /// monitor is attached and has closed one.
+    #[must_use]
+    pub fn last_window(&self) -> Option<WindowStats> {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .monitor()
+            .and_then(|m| m.last_window().cloned())
+    }
+
+    /// Drain pending flight-recorder dumps (empty when no monitor is
+    /// attached or nothing breached).
+    #[must_use]
+    pub fn take_dumps(&self) -> Vec<Dump> {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .monitor_mut()
+            .map(EngineMonitor::take_dumps)
+            .unwrap_or_default()
     }
 }
 
@@ -404,6 +503,49 @@ mod tests {
             engine.push(&[230.0, 231.0, 229.0]).unwrap();
             assert_eq!(engine.live_hint(), None);
         }
+    }
+
+    #[test]
+    fn attached_monitor_observes_the_stream() {
+        use airfinger_obs::monitor::with_horizon;
+        let spec = CorpusSpec {
+            users: 1,
+            sessions: 1,
+            reps: 2,
+            ..Default::default()
+        };
+        let corpus = generate_corpus(&spec);
+        let mut engine = StreamingEngine::new(trained(), 3).unwrap();
+        engine.attach_monitor(with_horizon(50));
+        let trace = &corpus.samples()[0].trace;
+        for i in 0..trace.len() {
+            let s: Vec<f64> = (0..3).map(|k| trace.channel(k)[i]).collect();
+            engine.push(&s).unwrap();
+        }
+        engine.flush().unwrap();
+        let monitor = engine.monitor().expect("monitor attached");
+        assert_eq!(monitor.samples_seen() as usize, trace.len());
+        assert!(monitor.windows_closed() >= 1, "windows closed");
+        // A single gesture trace is too short to breach any SLO.
+        assert!(monitor.health().level() < 2, "not unhealthy");
+        let detached = engine.detach_monitor().expect("detaches");
+        assert!(engine.monitor().is_none());
+        assert_eq!(detached.dump_count(), 0);
+    }
+
+    #[test]
+    fn shared_engine_monitor_accessors() {
+        use airfinger_obs::monitor::with_horizon;
+        let engine = SharedEngine::new(StreamingEngine::new(trained(), 3).unwrap());
+        assert_eq!(engine.health(), None);
+        engine.attach_monitor(with_horizon(10));
+        // One closed quiet window: below the consecutive-stall ceiling.
+        for _ in 0..15 {
+            engine.push(&[200.0, 200.0, 200.0]).unwrap();
+        }
+        assert_eq!(engine.health(), Some(airfinger_obs::HealthState::Healthy));
+        assert!(engine.last_window().is_some());
+        assert!(engine.take_dumps().is_empty());
     }
 
     #[test]

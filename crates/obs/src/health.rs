@@ -1,0 +1,477 @@
+//! Declarative SLO rules and the engine health-state machine.
+//!
+//! Each closed [`WindowStats`](crate::window::WindowStats) is scored
+//! against four rules derived from the paper's operating constraints:
+//!
+//! 1. **Latency** — windowed p95 push latency vs the 10 ms per-sample
+//!    budget (100 Hz real-time constraint).
+//! 2. **Rejection rate** — fraction of closed segments rejected as
+//!    unintentional motion; a sustained spike means ambient interference
+//!    (IR remotes, passers-by) is flooding the segmenter.
+//! 3. **Segmentation stall** — consecutive windows closing zero segments
+//!    while the feed keeps running; the streaming analogue of
+//!    `pipeline_segments_found_total` flatlining (a dead or saturated
+//!    sensor produces no ΔRSS² activity at all).
+//! 4. **Threshold drift** — mean dynamic (Otsu) threshold vs a baseline
+//!    calibrated from the first window; large drift means the
+//!    calibrate-as-you-accumulate `I_seg` has been dragged away from the
+//!    signal regime the classifier was trained on.
+//!
+//! The state machine is three-valued ([`Healthy`](HealthState::Healthy) /
+//! [`Degraded`](HealthState::Degraded) /
+//! [`Unhealthy`](HealthState::Unhealthy)); every rule nominates a
+//! severity and the **worst** wins. Transitions are recorded only when
+//! the severity *level* changes — a reason change at the same level
+//! updates the state but is not a transition, so transition counts stay
+//! stable and deterministic.
+//!
+//! Everything except the latency rule is driven by deterministic window
+//! counts, so state sequences are bit-identical across thread counts
+//! whenever latency stays inside its budget (which instrumented tests
+//! pin by construction: microsecond pushes vs a 10 ms budget).
+
+use crate::window::WindowStats;
+
+/// Why a window breached (or is close to breaching) an SLO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthReason {
+    /// Windowed p95 push latency exceeded its budget.
+    LatencyBudget,
+    /// Too large a fraction of closed segments were rejected.
+    RejectionRate,
+    /// Consecutive windows closed zero segments.
+    SegmentationStall,
+    /// Mean Otsu threshold drifted too far from the calibrated baseline.
+    ThresholdDrift,
+}
+
+impl HealthReason {
+    /// Short lowercase tag for logs, dumps, and metric labels.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            HealthReason::LatencyBudget => "latency_budget",
+            HealthReason::RejectionRate => "rejection_rate",
+            HealthReason::SegmentationStall => "segmentation_stall",
+            HealthReason::ThresholdDrift => "threshold_drift",
+        }
+    }
+}
+
+/// The engine's health verdict after a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// All SLO rules within budget.
+    Healthy,
+    /// At least one rule past its warning ceiling; service continues.
+    Degraded(HealthReason),
+    /// At least one rule past its breach ceiling; a flight-recorder dump
+    /// is warranted.
+    Unhealthy(HealthReason),
+}
+
+impl HealthState {
+    /// Severity ordinal: 0 healthy, 1 degraded, 2 unhealthy.
+    #[must_use]
+    pub fn level(&self) -> u8 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Degraded(_) => 1,
+            HealthState::Unhealthy(_) => 2,
+        }
+    }
+
+    /// Short lowercase tag (`healthy` / `degraded` / `unhealthy`).
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded(_) => "degraded",
+            HealthState::Unhealthy(_) => "unhealthy",
+        }
+    }
+
+    /// The breaching rule, when not healthy.
+    #[must_use]
+    pub fn reason(&self) -> Option<HealthReason> {
+        match self {
+            HealthState::Healthy => None,
+            HealthState::Degraded(r) | HealthState::Unhealthy(r) => Some(*r),
+        }
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.reason() {
+            Some(r) => write!(f, "{}({})", self.tag(), r.tag()),
+            None => f.write_str(self.tag()),
+        }
+    }
+}
+
+/// Declarative SLO rule thresholds. Any rule can be disabled by setting
+/// its ceiling to `f64::INFINITY` (ratios/latency) or `usize::MAX`
+/// (stall windows).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloRules {
+    /// Degraded when windowed p95 push latency exceeds this (seconds).
+    /// Default: the paper's 10 ms per-sample budget.
+    pub push_p95_budget_s: f64,
+    /// Unhealthy when windowed p95 push latency exceeds this (seconds).
+    pub push_p95_breach_s: f64,
+    /// Degraded when the window's rejected fraction of closed segments
+    /// exceeds this (only evaluated when the window closed
+    /// ≥ [`SloRules::min_segments_for_rejection`] segments).
+    pub degraded_rejection_ratio: f64,
+    /// Unhealthy when the rejected fraction exceeds this.
+    pub unhealthy_rejection_ratio: f64,
+    /// Minimum closed segments in a window before the rejection-rate rule
+    /// fires (a single rejected blip is not an SLO signal).
+    pub min_segments_for_rejection: u64,
+    /// Degraded after this many *consecutive* zero-segment windows.
+    pub degraded_stall_windows: usize,
+    /// Unhealthy after this many consecutive zero-segment windows.
+    pub unhealthy_stall_windows: usize,
+    /// Degraded when `|mean_threshold / baseline - 1|` exceeds this.
+    pub degraded_threshold_drift: f64,
+    /// Unhealthy when the relative threshold drift exceeds this.
+    pub unhealthy_threshold_drift: f64,
+}
+
+impl Default for SloRules {
+    fn default() -> Self {
+        SloRules {
+            push_p95_budget_s: 0.010,
+            push_p95_breach_s: 0.050,
+            degraded_rejection_ratio: 0.5,
+            unhealthy_rejection_ratio: 0.9,
+            min_segments_for_rejection: 3,
+            degraded_stall_windows: 2,
+            unhealthy_stall_windows: 4,
+            degraded_threshold_drift: 3.0,
+            unhealthy_threshold_drift: 50.0,
+        }
+    }
+}
+
+/// One recorded level change of the health-state machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transition {
+    /// Ordinal of the window whose evaluation caused the change.
+    pub window_index: u64,
+    /// State before the window.
+    pub from: HealthState,
+    /// State after the window.
+    pub to: HealthState,
+}
+
+/// Bound on the retained transition log — a flapping deployment must not
+/// grow memory without limit. Old entries are dropped from the front.
+const MAX_TRANSITIONS: usize = 256;
+
+/// The health-state machine: feed it every closed window, read the
+/// current verdict and the (bounded) transition log.
+#[derive(Debug)]
+pub struct HealthModel {
+    rules: SloRules,
+    state: HealthState,
+    baseline_threshold: Option<f64>,
+    consecutive_stalls: usize,
+    transitions: Vec<Transition>,
+    dropped_transitions: u64,
+}
+
+impl HealthModel {
+    /// Start healthy with the given rules. The threshold-drift baseline
+    /// is calibrated from the first observed window unless preset via
+    /// [`HealthModel::with_baseline_threshold`].
+    #[must_use]
+    pub fn new(rules: SloRules) -> Self {
+        HealthModel {
+            rules,
+            state: HealthState::Healthy,
+            baseline_threshold: None,
+            consecutive_stalls: 0,
+            transitions: Vec::new(),
+            dropped_transitions: 0,
+        }
+    }
+
+    /// Preset the calibrated Otsu-threshold baseline instead of deriving
+    /// it from the first window.
+    #[must_use]
+    pub fn with_baseline_threshold(mut self, baseline: f64) -> Self {
+        if baseline.is_finite() && baseline > 0.0 {
+            self.baseline_threshold = Some(baseline);
+        }
+        self
+    }
+
+    /// The active rules.
+    #[must_use]
+    pub fn rules(&self) -> &SloRules {
+        &self.rules
+    }
+
+    /// Current verdict.
+    #[must_use]
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// The calibrated threshold baseline, once known.
+    #[must_use]
+    pub fn baseline_threshold(&self) -> Option<f64> {
+        self.baseline_threshold
+    }
+
+    /// Recorded level changes, oldest first (bounded; see
+    /// [`HealthModel::dropped_transitions`]).
+    #[must_use]
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// How many old transitions were dropped to honor the bound.
+    #[must_use]
+    pub fn dropped_transitions(&self) -> u64 {
+        self.dropped_transitions
+    }
+
+    /// Score one closed window; returns the transition when the severity
+    /// level changed.
+    pub fn observe_window(&mut self, window: &WindowStats) -> Option<Transition> {
+        if window.samples == 0 {
+            return None;
+        }
+        // Calibrate the drift baseline on first contact, before scoring —
+        // the first window *defines* normal.
+        if self.baseline_threshold.is_none()
+            && window.mean_threshold.is_finite()
+            && window.mean_threshold > 0.0
+        {
+            self.baseline_threshold = Some(window.mean_threshold);
+        }
+        if window.segments == 0 {
+            self.consecutive_stalls += 1;
+        } else {
+            self.consecutive_stalls = 0;
+        }
+        let next = self.score(window);
+        let previous = self.state;
+        self.state = next;
+        if next.level() == previous.level() {
+            return None;
+        }
+        let transition = Transition {
+            window_index: window.index,
+            from: previous,
+            to: next,
+        };
+        if self.transitions.len() >= MAX_TRANSITIONS {
+            self.transitions.remove(0);
+            self.dropped_transitions += 1;
+        }
+        self.transitions.push(transition);
+        Some(transition)
+    }
+
+    /// Worst-severity verdict across all four rules. Rule order fixes
+    /// which reason is reported on ties: stall, drift, rejection,
+    /// latency — the deterministic signals outrank the scheduling one.
+    fn score(&self, window: &WindowStats) -> HealthState {
+        let rules = &self.rules;
+        let drift = self.baseline_threshold.map(|base| {
+            if base > 0.0 {
+                (window.mean_threshold / base - 1.0).abs()
+            } else {
+                0.0
+            }
+        });
+        let rejection = if window.segments >= rules.min_segments_for_rejection {
+            Some(window.rejection_ratio())
+        } else {
+            None
+        };
+        let checks = [
+            (
+                HealthReason::SegmentationStall,
+                self.consecutive_stalls >= rules.unhealthy_stall_windows,
+                self.consecutive_stalls >= rules.degraded_stall_windows,
+            ),
+            (
+                HealthReason::ThresholdDrift,
+                drift.is_some_and(|d| d > rules.unhealthy_threshold_drift),
+                drift.is_some_and(|d| d > rules.degraded_threshold_drift),
+            ),
+            (
+                HealthReason::RejectionRate,
+                rejection.is_some_and(|r| r > rules.unhealthy_rejection_ratio),
+                rejection.is_some_and(|r| r > rules.degraded_rejection_ratio),
+            ),
+            (
+                HealthReason::LatencyBudget,
+                window.p95_push_seconds > rules.push_p95_breach_s,
+                window.p95_push_seconds > rules.push_p95_budget_s,
+            ),
+        ];
+        for (reason, unhealthy, _) in checks {
+            if unhealthy {
+                return HealthState::Unhealthy(reason);
+            }
+        }
+        for (reason, _, degraded) in checks {
+            if degraded {
+                return HealthState::Degraded(reason);
+            }
+        }
+        HealthState::Healthy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(index: u64, segments: u64, rejections: u64, threshold: f64) -> WindowStats {
+        WindowStats {
+            index,
+            start_sample: index * 100,
+            samples: 100,
+            recognitions: segments - rejections,
+            rejections,
+            segments,
+            mean_threshold: threshold,
+            p95_push_seconds: 0.0001,
+            max_push_seconds: 0.0002,
+        }
+    }
+
+    #[test]
+    fn stays_healthy_on_nominal_windows() {
+        let mut m = HealthModel::new(SloRules::default());
+        for i in 0..10 {
+            assert!(m.observe_window(&window(i, 2, 0, 40.0)).is_none());
+        }
+        assert_eq!(m.state(), HealthState::Healthy);
+        assert_eq!(m.baseline_threshold(), Some(40.0));
+    }
+
+    #[test]
+    fn stall_escalates_degraded_then_unhealthy() {
+        let mut m = HealthModel::new(SloRules::default());
+        m.observe_window(&window(0, 2, 0, 40.0));
+        let mut states = Vec::new();
+        for i in 1..=4 {
+            m.observe_window(&window(i, 0, 0, 40.0));
+            states.push(m.state());
+        }
+        assert_eq!(states[0], HealthState::Healthy);
+        assert_eq!(
+            states[1],
+            HealthState::Degraded(HealthReason::SegmentationStall)
+        );
+        assert_eq!(
+            states[3],
+            HealthState::Unhealthy(HealthReason::SegmentationStall)
+        );
+        assert_eq!(m.transitions().len(), 2);
+        // Recovery: a segment-bearing window resets the stall count.
+        let t = m.observe_window(&window(5, 3, 0, 40.0)).expect("recovers");
+        assert_eq!(t.to, HealthState::Healthy);
+    }
+
+    #[test]
+    fn rejection_rate_needs_enough_segments() {
+        let mut m = HealthModel::new(SloRules::default());
+        m.observe_window(&window(0, 2, 2, 40.0)); // 100% rejected but < min segments
+        assert_eq!(m.state(), HealthState::Healthy);
+        m.observe_window(&window(1, 4, 3, 40.0)); // 75% > degraded ceiling
+        assert_eq!(
+            m.state(),
+            HealthState::Degraded(HealthReason::RejectionRate)
+        );
+        m.observe_window(&window(2, 4, 4, 40.0)); // 100% > breach ceiling
+        assert_eq!(
+            m.state(),
+            HealthState::Unhealthy(HealthReason::RejectionRate)
+        );
+    }
+
+    #[test]
+    fn threshold_drift_vs_calibrated_baseline() {
+        let mut m = HealthModel::new(SloRules::default());
+        m.observe_window(&window(0, 2, 0, 10.0)); // calibrates baseline = 10
+        m.observe_window(&window(1, 2, 0, 45.0)); // 3.5x drift > 3.0
+        assert_eq!(
+            m.state(),
+            HealthState::Degraded(HealthReason::ThresholdDrift)
+        );
+        m.observe_window(&window(2, 2, 0, 600.0)); // 59x drift > 50
+        assert_eq!(
+            m.state(),
+            HealthState::Unhealthy(HealthReason::ThresholdDrift)
+        );
+        // Back near baseline.
+        let t = m.observe_window(&window(3, 2, 0, 11.0)).expect("recovers");
+        assert_eq!(t.to, HealthState::Healthy);
+        assert_eq!(m.transitions().len(), 3);
+    }
+
+    #[test]
+    fn latency_budget_rule() {
+        let mut m = HealthModel::new(SloRules::default());
+        let mut w = window(0, 2, 0, 40.0);
+        m.observe_window(&w);
+        w.index = 1;
+        w.p95_push_seconds = 0.020;
+        m.observe_window(&w);
+        assert_eq!(
+            m.state(),
+            HealthState::Degraded(HealthReason::LatencyBudget)
+        );
+        w.index = 2;
+        w.p95_push_seconds = 0.200;
+        m.observe_window(&w);
+        assert_eq!(
+            m.state(),
+            HealthState::Unhealthy(HealthReason::LatencyBudget)
+        );
+    }
+
+    #[test]
+    fn reason_change_at_same_level_is_not_a_transition() {
+        let mut m = HealthModel::new(SloRules::default());
+        m.observe_window(&window(0, 4, 0, 10.0));
+        m.observe_window(&window(1, 4, 3, 10.0)); // degraded: rejection
+        assert_eq!(m.transitions().len(), 1);
+        m.observe_window(&window(2, 4, 0, 45.0)); // degraded: drift
+        assert_eq!(
+            m.state(),
+            HealthState::Degraded(HealthReason::ThresholdDrift)
+        );
+        assert_eq!(m.transitions().len(), 1, "same level, no new transition");
+    }
+
+    #[test]
+    fn transition_log_is_bounded() {
+        let mut m = HealthModel::new(SloRules::default());
+        for i in 0..(MAX_TRANSITIONS as u64 + 50) {
+            // Alternate healthy / degraded-by-rejection windows.
+            let rejections = if i % 2 == 0 { 0 } else { 3 };
+            m.observe_window(&window(i, 4, rejections, 10.0));
+        }
+        assert_eq!(m.transitions().len(), MAX_TRANSITIONS);
+        assert!(m.dropped_transitions() > 0);
+    }
+
+    #[test]
+    fn empty_window_is_ignored() {
+        let mut m = HealthModel::new(SloRules::default());
+        let mut w = window(0, 0, 0, 40.0);
+        w.samples = 0;
+        assert!(m.observe_window(&w).is_none());
+        assert_eq!(m.baseline_threshold(), None);
+    }
+}

@@ -15,6 +15,11 @@
 //! - **Exporters** — machine-readable JSON and Prometheus text format
 //!   over a [`Snapshot`] of the global registry ([`export`]), plus a
 //!   structured [`report::RunReport`] for whole-run artifacts.
+//! - **Continuous monitoring** — sliding-window aggregation over a
+//!   deterministic sample-count horizon ([`window`]), a declarative SLO
+//!   health-state machine ([`health`]), and a flight recorder that dumps
+//!   post-mortem JSON on breach ([`recorder`]), composed behind
+//!   [`monitor::EngineMonitor`] for long-running streaming engines.
 //!
 //! # Cost model
 //!
@@ -54,17 +59,25 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod health;
 pub mod metrics;
+pub mod monitor;
 pub mod quantile;
+pub mod recorder;
 pub mod registry;
 pub mod report;
 pub mod span;
 pub mod trace;
+pub mod window;
 
+pub use health::{HealthModel, HealthReason, HealthState, SloRules, Transition};
 pub use metrics::{Counter, Gauge, Histogram};
+pub use monitor::{EngineMonitor, MonitorConfig};
 pub use quantile::{PercentileSnapshot, Percentiles, P2};
+pub use recorder::{Dump, FlightRecorder, RecorderConfig};
 pub use registry::{global, MetricId, Registry, Snapshot};
 pub use span::Span;
+pub use window::{Outcome, SlidingWindow, WindowConfig, WindowStats};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -1,0 +1,292 @@
+//! Continuous engine monitoring: windows + health + flight recorder,
+//! composed behind one per-push entry point.
+//!
+//! [`EngineMonitor`] is the piece the streaming engine attaches: every
+//! push feeds the [`SlidingWindow`], every closed window is scored by the
+//! [`HealthModel`], and the [`FlightRecorder`] continuously taps the raw
+//! stream. A transition **into** `Unhealthy` produces exactly one
+//! post-mortem [`Dump`] per unhealthy episode — the trigger re-arms only
+//! after the engine recovers to `Healthy`, so a breach that oscillates
+//! between `Unhealthy` and `Degraded` cannot flood the dump store.
+//!
+//! Closed windows publish to the global registry under the §9 schema:
+//! `engine_windows_closed_total`, the `engine_window_*` gauges,
+//! `health_state` (severity ordinal 0/1/2),
+//! `health_transitions_total{to}`, and `recorder_dumps_total`. All the
+//! counters are deterministic sample-count functions of the input stream;
+//! only the latency-valued gauges are scheduling observations.
+
+use crate::health::{HealthModel, HealthState, SloRules, Transition};
+use crate::recorder::{Dump, FlightRecorder, RecorderConfig};
+use crate::window::{Outcome, SlidingWindow, WindowConfig, WindowStats};
+
+/// Configuration for [`EngineMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MonitorConfig {
+    /// Sliding-window horizon.
+    pub window: WindowConfig,
+    /// SLO rule ceilings.
+    pub rules: SloRules,
+    /// Flight-recorder ring capacity.
+    pub recorder: RecorderConfig,
+}
+
+/// Live health monitor for one streaming engine.
+#[derive(Debug)]
+pub struct EngineMonitor {
+    window: SlidingWindow,
+    health: HealthModel,
+    recorder: FlightRecorder,
+    dumps: Vec<Dump>,
+    dump_sequence: u64,
+    dump_armed: bool,
+    samples_seen: u64,
+    windows_closed: u64,
+}
+
+impl EngineMonitor {
+    /// Build a monitor from its configuration.
+    #[must_use]
+    pub fn new(config: MonitorConfig) -> Self {
+        EngineMonitor {
+            window: SlidingWindow::new(config.window),
+            health: HealthModel::new(config.rules),
+            recorder: FlightRecorder::new(config.recorder),
+            dumps: Vec::new(),
+            dump_sequence: 0,
+            dump_armed: true,
+            samples_seen: 0,
+            windows_closed: 0,
+        }
+    }
+
+    /// Preset the Otsu-threshold drift baseline (otherwise calibrated
+    /// from the first closed window).
+    #[must_use]
+    pub fn with_baseline_threshold(mut self, baseline: f64) -> Self {
+        self.health = HealthModel::new(*self.health.rules()).with_baseline_threshold(baseline);
+        self
+    }
+
+    /// Observe one pushed sample. Returns the window statistics when this
+    /// push closed a monitoring window.
+    pub fn observe_push(
+        &mut self,
+        channels: &[f64],
+        push_seconds: f64,
+        mean_threshold: f64,
+        outcome: Outcome,
+    ) -> Option<WindowStats> {
+        let event = if outcome.closed_segment() {
+            Some(outcome.tag())
+        } else {
+            None
+        };
+        self.recorder
+            .record(self.samples_seen, channels, push_seconds, event);
+        self.samples_seen += 1;
+        let closed = self.window.observe(push_seconds, mean_threshold, outcome)?;
+        self.publish_window(&closed);
+        if let Some(transition) = self.health.observe_window(&closed) {
+            self.publish_transition(transition, &closed);
+        }
+        crate::gauge!("health_state").set(f64::from(self.health.state().level()));
+        Some(closed)
+    }
+
+    /// Close the trailing partial window at end of stream. Partial
+    /// windows publish their statistics but are **not** scored by the
+    /// health model — a short tail with no segments is not a stall.
+    pub fn finish(&mut self) -> Option<WindowStats> {
+        let closed = self.window.flush()?;
+        self.publish_window(&closed);
+        Some(closed)
+    }
+
+    /// Current health verdict.
+    #[must_use]
+    pub fn health(&self) -> HealthState {
+        self.health.state()
+    }
+
+    /// The health model's recorded level transitions, oldest first.
+    #[must_use]
+    pub fn transitions(&self) -> &[Transition] {
+        self.health.transitions()
+    }
+
+    /// The most recently closed window.
+    #[must_use]
+    pub fn last_window(&self) -> Option<&WindowStats> {
+        self.window.last()
+    }
+
+    /// Samples observed so far.
+    #[must_use]
+    pub fn samples_seen(&self) -> u64 {
+        self.samples_seen
+    }
+
+    /// Windows closed so far (including a final partial window).
+    #[must_use]
+    pub fn windows_closed(&self) -> u64 {
+        self.windows_closed
+    }
+
+    /// Flight-recorder dumps produced so far (cumulative, including any
+    /// already taken via [`EngineMonitor::take_dumps`]).
+    #[must_use]
+    pub fn dump_count(&self) -> u64 {
+        self.dump_sequence
+    }
+
+    /// Pending dumps (produced but not yet taken).
+    #[must_use]
+    pub fn dumps(&self) -> &[Dump] {
+        &self.dumps
+    }
+
+    /// Drain the pending dumps so the caller can write them out.
+    pub fn take_dumps(&mut self) -> Vec<Dump> {
+        std::mem::take(&mut self.dumps)
+    }
+
+    fn publish_window(&mut self, w: &WindowStats) {
+        self.windows_closed += 1;
+        crate::counter!("engine_windows_closed_total").inc();
+        crate::gauge!("engine_window_samples").set(w.samples as f64);
+        crate::gauge!("engine_window_recognitions").set(w.recognitions as f64);
+        crate::gauge!("engine_window_rejections").set(w.rejections as f64);
+        crate::gauge!("engine_window_segments").set(w.segments as f64);
+        crate::gauge!("engine_window_rejection_ratio").set(w.rejection_ratio());
+        crate::gauge!("engine_window_push_p95_ms").set(w.p95_push_seconds * 1000.0);
+    }
+
+    fn publish_transition(&mut self, transition: Transition, window: &WindowStats) {
+        crate::counter_with("health_transitions_total", &[("to", transition.to.tag())]).inc();
+        match transition.to {
+            HealthState::Unhealthy(reason) => {
+                if self.dump_armed {
+                    let dump = self.recorder.dump(
+                        self.dump_sequence,
+                        transition.to.tag(),
+                        reason.tag(),
+                        window,
+                        self.health.transitions(),
+                    );
+                    self.dump_sequence += 1;
+                    self.dump_armed = false;
+                    crate::counter!("recorder_dumps_total").inc();
+                    self.dumps.push(dump);
+                }
+            }
+            HealthState::Healthy => self.dump_armed = true,
+            HealthState::Degraded(_) => {}
+        }
+    }
+}
+
+/// Convenience: a monitor with a custom horizon and otherwise default
+/// rules and recorder sizing.
+#[must_use]
+pub fn with_horizon(horizon: usize) -> EngineMonitor {
+    EngineMonitor::new(MonitorConfig {
+        window: WindowConfig { horizon },
+        rules: SloRules::default(),
+        recorder: RecorderConfig::default(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(horizon: usize) -> MonitorConfig {
+        MonitorConfig {
+            window: WindowConfig { horizon },
+            rules: SloRules::default(),
+            recorder: RecorderConfig { capacity: 32 },
+        }
+    }
+
+    /// Push `n` quiet samples; a detect closes the last sample of each
+    /// window when `active` is set.
+    fn feed(m: &mut EngineMonitor, windows: usize, horizon: usize, active: bool) {
+        for _ in 0..windows {
+            for i in 0..horizon {
+                let outcome = if active && i == horizon - 1 {
+                    Outcome::Detect
+                } else {
+                    Outcome::Quiet
+                };
+                m.observe_push(&[200.0, 210.0, 190.0], 1e-6, 25.0, outcome);
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_session_produces_no_dumps() {
+        let mut m = EngineMonitor::new(config(10));
+        feed(&mut m, 5, 10, true);
+        assert_eq!(m.health(), HealthState::Healthy);
+        assert_eq!(m.windows_closed(), 5);
+        assert_eq!(m.dump_count(), 0);
+        assert!(m.transitions().is_empty());
+    }
+
+    #[test]
+    fn stall_produces_exactly_one_dump_per_episode() {
+        let mut m = EngineMonitor::new(config(10));
+        feed(&mut m, 1, 10, true); // healthy baseline
+        feed(&mut m, 6, 10, false); // stall → degraded → unhealthy
+        assert_eq!(m.health().level(), 2);
+        assert_eq!(m.dump_count(), 1, "one dump per episode");
+        feed(&mut m, 4, 10, false); // still stalled: no second dump
+        assert_eq!(m.dump_count(), 1);
+        feed(&mut m, 2, 10, true); // recovery re-arms
+        assert_eq!(m.health(), HealthState::Healthy);
+        feed(&mut m, 6, 10, false); // second episode → second dump
+        assert_eq!(m.dump_count(), 2);
+        let dumps = m.take_dumps();
+        assert_eq!(dumps.len(), 2);
+        assert!(m.dumps().is_empty());
+        assert_eq!(m.dump_count(), 2, "count survives take");
+    }
+
+    #[test]
+    fn dump_references_the_breach_window() {
+        let mut m = EngineMonitor::new(config(10));
+        feed(&mut m, 1, 10, true);
+        feed(&mut m, 6, 10, false);
+        let dumps = m.take_dumps();
+        assert_eq!(dumps.len(), 1);
+        // Breach at the 4th consecutive stall window: windows 1..=4 stall,
+        // breach window index 4 (0-based, after 1 healthy window).
+        assert_eq!(dumps[0].window_index, 4);
+        assert_eq!(dumps[0].trigger, "segmentation_stall");
+        assert!(dumps[0]
+            .json
+            .contains("\"schema\": \"airfinger-flight-recorder-v1\""));
+    }
+
+    #[test]
+    fn finish_closes_partial_window_without_health_scoring() {
+        let mut m = EngineMonitor::new(config(10));
+        feed(&mut m, 1, 10, true);
+        for _ in 0..3 {
+            m.observe_push(&[200.0, 210.0, 190.0], 1e-6, 25.0, Outcome::Quiet);
+        }
+        let partial = m.finish().expect("partial window closes");
+        assert_eq!(partial.samples, 3);
+        assert_eq!(m.windows_closed(), 2);
+        assert_eq!(m.health(), HealthState::Healthy, "tail does not stall");
+        assert!(m.finish().is_none());
+    }
+
+    #[test]
+    fn samples_seen_counts_every_push() {
+        let mut m = EngineMonitor::new(config(10));
+        feed(&mut m, 2, 10, true);
+        assert_eq!(m.samples_seen(), 20);
+    }
+}

@@ -1,0 +1,367 @@
+//! Flight recorder: a bounded ring of recent raw samples, per-push stage
+//! timings, and events, dumped as a post-mortem JSON document when an SLO
+//! breach occurs.
+//!
+//! The recorder continuously taps the engine's sample stream at O(1) per
+//! push (a `VecDeque` ring capped at a fixed capacity). When the health
+//! model transitions into `Unhealthy`, the monitor asks for a
+//! [`Dump`]: a self-contained JSON document carrying the trigger, the
+//! breaching window's statistics, the transition history, and the ring's
+//! raw signal — the window of evidence that caused the breach. The
+//! recorder does **no file I/O**; callers (CLI, bench) decide where the
+//! JSON goes.
+//!
+//! Dump schema (`airfinger-flight-recorder-v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "airfinger-flight-recorder-v1",
+//!   "sequence": 0,
+//!   "trigger": "segmentation_stall",
+//!   "state": "unhealthy",
+//!   "window": { "index": 7, "start_sample": 3500, "samples": 500,
+//!               "recognitions": 0, "rejections": 0, "segments": 0,
+//!               "rejection_ratio": 0, "mean_threshold": 12.5,
+//!               "p95_push_seconds": 1.2e-5, "max_push_seconds": 4.0e-5 },
+//!   "transitions": [ { "window": 5, "from": "healthy",
+//!                      "to": "degraded", "reason": "segmentation_stall" } ],
+//!   "ring": { "capacity": 1024, "first_sample": 2976, "last_sample": 3999,
+//!             "channels": [[…], […], […]],
+//!             "push_seconds": […],
+//!             "events": [ { "sample": 3105, "event": "rejected" } ] }
+//! }
+//! ```
+
+use crate::export::{json_number, json_string};
+use crate::health::Transition;
+use crate::window::WindowStats;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Configuration for [`FlightRecorder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecorderConfig {
+    /// Ring capacity in samples. The default of 1024 holds ~10 s at the
+    /// paper's 100 Hz — comfortably more than one default monitoring
+    /// window, so a dump always contains the breach window's signal.
+    pub capacity: usize,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig { capacity: 1024 }
+    }
+}
+
+/// One ring entry: a raw multi-channel sample plus its push timing and
+/// an optional event tag ("detect", "rejected", …).
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    sample_index: u64,
+    channels: Vec<f64>,
+    push_seconds: f64,
+    event: Option<&'static str>,
+}
+
+/// A rendered post-mortem document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dump {
+    /// 0-based dump ordinal within the session.
+    pub sequence: u64,
+    /// The breaching rule's tag (e.g. `segmentation_stall`).
+    pub trigger: String,
+    /// Ordinal of the window whose evaluation triggered the dump.
+    pub window_index: u64,
+    /// The complete JSON document.
+    pub json: String,
+}
+
+impl Dump {
+    /// A collision-free filename for this dump,
+    /// e.g. `flight_recorder_000_segmentation_stall.json`.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!("flight_recorder_{:03}_{}.json", self.sequence, self.trigger)
+    }
+}
+
+/// Bounded ring over the engine's raw sample stream.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    entries: VecDeque<Entry>,
+    recorded: u64,
+}
+
+impl FlightRecorder {
+    /// Create an empty recorder. A zero capacity is clamped to 1.
+    #[must_use]
+    pub fn new(config: RecorderConfig) -> Self {
+        let capacity = config.capacity.max(1);
+        FlightRecorder {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+            recorded: 0,
+        }
+    }
+
+    /// Ring capacity in samples.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Samples currently held (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total samples ever recorded (not capped by the ring).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Tap one pushed sample. `event` tags the sample when a segment
+    /// closed on it (use [`Outcome::tag`](crate::window::Outcome::tag)).
+    pub fn record(
+        &mut self,
+        sample_index: u64,
+        channels: &[f64],
+        push_seconds: f64,
+        event: Option<&'static str>,
+    ) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(Entry {
+            sample_index,
+            channels: channels.to_vec(),
+            push_seconds,
+            event,
+        });
+        self.recorded += 1;
+    }
+
+    /// Render a post-mortem [`Dump`] for an SLO breach: the trigger, the
+    /// breaching window, the transition log so far, and the ring's
+    /// contents.
+    #[must_use]
+    pub fn dump(
+        &self,
+        sequence: u64,
+        state_tag: &str,
+        trigger: &str,
+        window: &WindowStats,
+        transitions: &[Transition],
+    ) -> Dump {
+        let mut out = String::with_capacity(4096 + self.entries.len() * 32);
+        out.push_str("{\n  \"schema\": \"airfinger-flight-recorder-v1\",\n");
+        let _ = writeln!(out, "  \"sequence\": {sequence},");
+        let _ = writeln!(out, "  \"trigger\": {},", json_string(trigger));
+        let _ = writeln!(out, "  \"state\": {},", json_string(state_tag));
+        out.push_str("  \"window\": ");
+        write_window(&mut out, window);
+        out.push_str(",\n  \"transitions\": [");
+        for (i, t) in transitions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"window\": {}, \"from\": {}, \"to\": {}, \"reason\": {}}}",
+                t.window_index,
+                json_string(t.from.tag()),
+                json_string(t.to.tag()),
+                json_string(t.to.reason().map_or("none", |r| r.tag())),
+            );
+        }
+        if !transitions.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"ring\": {\n");
+        let _ = writeln!(out, "    \"capacity\": {},", self.capacity);
+        let first = self.entries.front().map_or(0, |e| e.sample_index);
+        let last = self.entries.back().map_or(0, |e| e.sample_index);
+        let _ = writeln!(out, "    \"first_sample\": {first},");
+        let _ = writeln!(out, "    \"last_sample\": {last},");
+        let n_channels = self.entries.front().map_or(0, |e| e.channels.len());
+        out.push_str("    \"channels\": [");
+        for k in 0..n_channels {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str("\n      [");
+            for (i, e) in self.entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_number(e.channels.get(k).copied().unwrap_or(0.0)));
+            }
+            out.push(']');
+        }
+        if n_channels > 0 {
+            out.push_str("\n    ");
+        }
+        out.push_str("],\n    \"push_seconds\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_number(e.push_seconds));
+        }
+        out.push_str("],\n    \"events\": [");
+        let mut first_event = true;
+        for e in &self.entries {
+            if let Some(tag) = e.event {
+                if !first_event {
+                    out.push(',');
+                }
+                first_event = false;
+                let _ = write!(
+                    out,
+                    "\n      {{\"sample\": {}, \"event\": {}}}",
+                    e.sample_index,
+                    json_string(tag)
+                );
+            }
+        }
+        if !first_event {
+            out.push_str("\n    ");
+        }
+        out.push_str("]\n  }\n}\n");
+        Dump {
+            sequence,
+            trigger: trigger.to_string(),
+            window_index: window.index,
+            json: out,
+        }
+    }
+}
+
+/// Serialize one window's statistics as a JSON object.
+fn write_window(out: &mut String, w: &WindowStats) {
+    let _ = write!(
+        out,
+        "{{\"index\": {}, \"start_sample\": {}, \"samples\": {}, \
+         \"recognitions\": {}, \"rejections\": {}, \"segments\": {}, \
+         \"rejection_ratio\": {}, \"mean_threshold\": {}, \
+         \"p95_push_seconds\": {}, \"max_push_seconds\": {}}}",
+        w.index,
+        w.start_sample,
+        w.samples,
+        w.recognitions,
+        w.rejections,
+        w.segments,
+        json_number(w.rejection_ratio()),
+        json_number(w.mean_threshold),
+        json_number(w.p95_push_seconds),
+        json_number(w.max_push_seconds),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::{HealthReason, HealthState};
+
+    fn window() -> WindowStats {
+        WindowStats {
+            index: 7,
+            start_sample: 3500,
+            samples: 500,
+            recognitions: 0,
+            rejections: 0,
+            segments: 0,
+            mean_threshold: 12.5,
+            p95_push_seconds: 1.2e-5,
+            max_push_seconds: 4.0e-5,
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let mut r = FlightRecorder::new(RecorderConfig { capacity: 4 });
+        for i in 0..10u64 {
+            r.record(i, &[i as f64, 0.0, 0.0], 1e-6, None);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.recorded(), 10);
+        let d = r.dump(0, "unhealthy", "segmentation_stall", &window(), &[]);
+        assert!(d.json.contains("\"first_sample\": 6"));
+        assert!(d.json.contains("\"last_sample\": 9"));
+    }
+
+    #[test]
+    fn dump_is_valid_json_with_schema_and_evidence() {
+        let mut r = FlightRecorder::new(RecorderConfig { capacity: 8 });
+        for i in 0..8u64 {
+            let event = if i == 3 { Some("rejected") } else { None };
+            r.record(i, &[200.0 + i as f64, 210.0, 190.0], 2e-6, event);
+        }
+        let transitions = [Transition {
+            window_index: 5,
+            from: HealthState::Healthy,
+            to: HealthState::Degraded(HealthReason::SegmentationStall),
+        }];
+        let d = r.dump(
+            1,
+            "unhealthy",
+            "segmentation_stall",
+            &window(),
+            &transitions,
+        );
+        assert_eq!(d.file_name(), "flight_recorder_001_segmentation_stall.json");
+        let v: serde::Value = serde_json::from_str(&d.json).expect("dump parses as JSON");
+        let obj = v.as_object().expect("object");
+        assert_eq!(
+            obj.get("schema").and_then(serde::Value::as_str),
+            Some("airfinger-flight-recorder-v1")
+        );
+        assert_eq!(
+            obj.get("trigger").and_then(serde::Value::as_str),
+            Some("segmentation_stall")
+        );
+        let win = obj
+            .get("window")
+            .and_then(serde::Value::as_object)
+            .expect("window object");
+        assert_eq!(win.get("index").and_then(serde::Value::as_u64), Some(7));
+        assert_eq!(win.get("segments").and_then(serde::Value::as_u64), Some(0));
+        let ring = obj
+            .get("ring")
+            .and_then(serde::Value::as_object)
+            .expect("ring object");
+        assert_eq!(
+            ring.get("channels")
+                .and_then(serde::Value::as_array)
+                .map(<[serde::Value]>::len),
+            Some(3),
+            "channel-major ring"
+        );
+        let events = ring
+            .get("events")
+            .and_then(serde::Value::as_array)
+            .expect("events");
+        assert_eq!(events.len(), 1);
+        let ts = obj
+            .get("transitions")
+            .and_then(serde::Value::as_array)
+            .expect("transitions");
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn empty_recorder_dump_parses() {
+        let r = FlightRecorder::new(RecorderConfig { capacity: 2 });
+        let d = r.dump(0, "unhealthy", "latency_budget", &window(), &[]);
+        let _: serde::Value = serde_json::from_str(&d.json).expect("parses");
+    }
+}

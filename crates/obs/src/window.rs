@@ -1,0 +1,298 @@
+//! Sliding-window aggregation over the streaming engine's sample feed.
+//!
+//! Batch observability (snapshots, run reports) answers "what happened
+//! over the whole run"; a long-running engine needs "what is happening
+//! *right now*". This module closes a [`WindowStats`] every `horizon`
+//! samples — a **deterministic sample-count horizon**, never a wall-clock
+//! interval, so window boundaries (and therefore every count derived from
+//! them) are bit-identical across machines, thread counts, and load.
+//!
+//! The only non-deterministic fields are the push-latency percentiles
+//! (`p95_push_seconds`, `max_push_seconds`): latency is a scheduling
+//! observation, exempt from the determinism contract exactly like the
+//! workspace's latency histograms (DESIGN.md §9).
+
+/// How a pushed sample resolved, from the monitor's point of view.
+///
+/// This is deliberately a plain obs-side enum (not
+/// `airfinger_core::events::Recognition`) so the observability layer
+/// stays dependency-free; the engine maps its events onto it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// No gesture window closed at this sample.
+    Quiet,
+    /// A window closed and was accepted as a detect-family gesture.
+    Detect,
+    /// A window closed and was accepted as a track-family gesture.
+    Track,
+    /// A window closed and was rejected (unintentional motion).
+    Rejected,
+}
+
+impl Outcome {
+    /// Whether a segment closed at this sample (accepted or rejected).
+    #[must_use]
+    pub fn closed_segment(&self) -> bool {
+        !matches!(self, Outcome::Quiet)
+    }
+
+    /// Whether the closed segment was accepted as a gesture.
+    #[must_use]
+    pub fn accepted(&self) -> bool {
+        matches!(self, Outcome::Detect | Outcome::Track)
+    }
+
+    /// Short lowercase tag, for recorder events and dumps.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Outcome::Quiet => "quiet",
+            Outcome::Detect => "detect",
+            Outcome::Track => "track",
+            Outcome::Rejected => "rejected",
+        }
+    }
+}
+
+/// Configuration for [`SlidingWindow`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowConfig {
+    /// Samples per window. At the paper's 100 Hz, the default of 500
+    /// closes one window every 5 s.
+    pub horizon: usize,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig { horizon: 500 }
+    }
+}
+
+/// Aggregate statistics of one closed monitoring window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStats {
+    /// 0-based ordinal of this window within the session.
+    pub index: u64,
+    /// Global index of the window's first sample.
+    pub start_sample: u64,
+    /// Samples aggregated (equals the horizon except for a final partial
+    /// window closed by [`SlidingWindow::flush`]).
+    pub samples: u64,
+    /// Accepted recognitions (detect + track) in the window.
+    pub recognitions: u64,
+    /// Rejected segments in the window.
+    pub rejections: u64,
+    /// Segments closed in the window (`recognitions + rejections`).
+    pub segments: u64,
+    /// Mean per-push dynamic (Otsu) threshold over the window.
+    pub mean_threshold: f64,
+    /// Windowed p95 per-push latency in seconds (exact, over the window's
+    /// own pushes). Scheduling observation — exempt from determinism.
+    pub p95_push_seconds: f64,
+    /// Worst per-push latency in the window, seconds. Scheduling
+    /// observation — exempt from determinism.
+    pub max_push_seconds: f64,
+}
+
+impl WindowStats {
+    /// Rejected fraction of the window's closed segments (0 when the
+    /// window closed no segments).
+    #[must_use]
+    pub fn rejection_ratio(&self) -> f64 {
+        if self.segments == 0 {
+            0.0
+        } else {
+            self.rejections as f64 / self.segments as f64
+        }
+    }
+}
+
+/// Accumulates per-push observations and closes a [`WindowStats`] every
+/// `horizon` samples.
+///
+/// Memory is bounded: the only growing state is the in-window latency
+/// buffer, capped at `horizon` entries and drained at every close.
+#[derive(Debug)]
+pub struct SlidingWindow {
+    horizon: usize,
+    next_index: u64,
+    start_sample: u64,
+    samples: u64,
+    recognitions: u64,
+    rejections: u64,
+    threshold_sum: f64,
+    latencies: Vec<f64>,
+    last: Option<WindowStats>,
+}
+
+impl SlidingWindow {
+    /// Start an empty window sequence. A zero horizon is clamped to 1 so
+    /// the window always eventually closes.
+    #[must_use]
+    pub fn new(config: WindowConfig) -> Self {
+        SlidingWindow {
+            horizon: config.horizon.max(1),
+            next_index: 0,
+            start_sample: 0,
+            samples: 0,
+            recognitions: 0,
+            rejections: 0,
+            threshold_sum: 0.0,
+            latencies: Vec::with_capacity(config.horizon.max(1)),
+            last: None,
+        }
+    }
+
+    /// The configured horizon in samples.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Record one pushed sample; returns the closed window when this push
+    /// completes the horizon.
+    pub fn observe(
+        &mut self,
+        latency_s: f64,
+        mean_threshold: f64,
+        outcome: Outcome,
+    ) -> Option<WindowStats> {
+        self.samples += 1;
+        self.threshold_sum += mean_threshold;
+        self.latencies.push(latency_s);
+        match outcome {
+            Outcome::Detect | Outcome::Track => self.recognitions += 1,
+            Outcome::Rejected => self.rejections += 1,
+            Outcome::Quiet => {}
+        }
+        if self.samples as usize >= self.horizon {
+            Some(self.close())
+        } else {
+            None
+        }
+    }
+
+    /// Close the current partial window at end of stream (`None` when no
+    /// samples accumulated since the last close).
+    pub fn flush(&mut self) -> Option<WindowStats> {
+        if self.samples == 0 {
+            None
+        } else {
+            Some(self.close())
+        }
+    }
+
+    /// The most recently closed window, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<&WindowStats> {
+        self.last.as_ref()
+    }
+
+    fn close(&mut self) -> WindowStats {
+        let samples = self.samples;
+        // Exact p95 over the window's own pushes: sort a drained copy —
+        // bounded by the horizon, and only touched once per window.
+        let mut lat = std::mem::take(&mut self.latencies);
+        lat.sort_by(f64::total_cmp);
+        let p95 = percentile_sorted(&lat, 0.95);
+        let max = lat.last().copied().unwrap_or(0.0);
+        let stats = WindowStats {
+            index: self.next_index,
+            start_sample: self.start_sample,
+            samples,
+            recognitions: self.recognitions,
+            rejections: self.rejections,
+            segments: self.recognitions + self.rejections,
+            mean_threshold: if samples == 0 {
+                0.0
+            } else {
+                self.threshold_sum / samples as f64
+            },
+            p95_push_seconds: p95,
+            max_push_seconds: max,
+        };
+        self.next_index += 1;
+        self.start_sample += samples;
+        self.samples = 0;
+        self.recognitions = 0;
+        self.rejections = 0;
+        self.threshold_sum = 0.0;
+        self.latencies = lat;
+        self.latencies.clear();
+        self.last = Some(stats.clone());
+        stats
+    }
+}
+
+/// Exact percentile of an ascending-sorted slice (nearest-rank). Returns
+/// 0 for an empty slice.
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closes_exactly_at_horizon() {
+        let mut w = SlidingWindow::new(WindowConfig { horizon: 4 });
+        for i in 0..3 {
+            assert!(w.observe(0.001, 10.0, Outcome::Quiet).is_none(), "{i}");
+        }
+        let closed = w.observe(0.001, 10.0, Outcome::Detect).expect("closes");
+        assert_eq!(closed.index, 0);
+        assert_eq!(closed.samples, 4);
+        assert_eq!(closed.recognitions, 1);
+        assert_eq!(closed.segments, 1);
+        assert!((closed.mean_threshold - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consecutive_windows_advance() {
+        let mut w = SlidingWindow::new(WindowConfig { horizon: 2 });
+        let a = w.observe(0.0, 1.0, Outcome::Quiet);
+        let a = w.observe(0.0, 1.0, Outcome::Rejected).or(a).expect("first");
+        let b = w.observe(0.0, 3.0, Outcome::Quiet);
+        let b = w.observe(0.0, 3.0, Outcome::Track).or(b).expect("second");
+        assert_eq!((a.index, a.start_sample), (0, 0));
+        assert_eq!((b.index, b.start_sample), (1, 2));
+        assert_eq!(a.rejections, 1);
+        assert_eq!(b.recognitions, 1);
+        assert!((a.rejection_ratio() - 1.0).abs() < 1e-12);
+        assert!((b.rejection_ratio()).abs() < 1e-12);
+        assert!((b.mean_threshold - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flush_closes_partial_window() {
+        let mut w = SlidingWindow::new(WindowConfig { horizon: 100 });
+        assert!(w.flush().is_none());
+        w.observe(0.002, 5.0, Outcome::Quiet);
+        let partial = w.flush().expect("partial close");
+        assert_eq!(partial.samples, 1);
+        assert_eq!(w.last().map(|s| s.index), Some(0));
+        assert!(w.flush().is_none(), "flush drains");
+    }
+
+    #[test]
+    fn p95_is_exact_nearest_rank() {
+        let mut w = SlidingWindow::new(WindowConfig { horizon: 100 });
+        for i in 1..=100u32 {
+            w.observe(f64::from(i) / 1000.0, 0.0, Outcome::Quiet);
+        }
+        let stats = w.last().expect("closed").clone();
+        assert!((stats.p95_push_seconds - 0.095).abs() < 1e-12);
+        assert!((stats.max_push_seconds - 0.100).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_horizon_clamps() {
+        let mut w = SlidingWindow::new(WindowConfig { horizon: 0 });
+        assert!(w.observe(0.0, 0.0, Outcome::Quiet).is_some());
+    }
+}

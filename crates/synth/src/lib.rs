@@ -19,6 +19,9 @@
 //!   session-out barely does).
 //! * [`conditions`] — recording-condition variants for the §V experiments.
 //! * [`dataset`] — corpus assembly and (de)serialization.
+//! * [`session`] — continuous multi-thousand-sample soak sessions with
+//!   scripted fault injection (ambient spikes, sensor dropout) for the
+//!   streaming engine's health monitoring.
 //!
 //! # Example
 //!
@@ -37,12 +40,14 @@ pub mod conditions;
 pub mod dataset;
 pub mod gesture;
 pub mod profile;
+pub mod session;
 pub mod trajectory;
 
 pub use conditions::Condition;
 pub use dataset::{generate_corpus, Corpus, CorpusSpec, GestureSample};
 pub use gesture::{Gesture, NonGestureKind, SampleLabel};
 pub use profile::UserProfile;
+pub use session::{generate_session, Fault, FaultKind, SessionSpec};
 pub use trajectory::Trajectory;
 
 /// Deterministically combine seed components (splitmix64-style).

@@ -1,0 +1,309 @@
+//! Long-running simulated sessions with scripted fault injection.
+//!
+//! The corpus generator ([`crate::dataset`]) produces one short trace per
+//! gesture trial; soak-testing the streaming engine's health monitoring
+//! needs the opposite: a single continuous multi-thousand-sample feed
+//! with gestures interleaved at a steady cadence, plus *faults* — the
+//! ambient failure modes the paper's §V-J interference study identifies
+//! (a directly-pointed IR remote saturating the photodiodes) and the
+//! classic hardware one (a sensor dropping out and reading flat).
+//!
+//! Fault injection works by compositing two full-length `nir-sim`
+//! renders of the same scripted session — one clean, one with
+//! [`Interference::ir_remote_direct`] — and switching between them per
+//! fault window:
+//!
+//! - [`FaultKind::AmbientSpike`] — samples come from the interference
+//!   render: periodic near-saturation bursts that flood the segmenter
+//!   and drag the dynamic threshold far from its calibrated baseline.
+//! - [`FaultKind::SensorDropout`] — every channel freezes at its last
+//!   pre-fault value (a stuck ADC), so ΔRSS² flatlines and segmentation
+//!   stalls.
+//!
+//! Everything is deterministic in the spec: same [`SessionSpec`], same
+//! trace, bit for bit.
+
+use crate::gesture::{Gesture, SampleLabel};
+use crate::profile::UserProfile;
+use crate::trajectory::Trajectory;
+use airfinger_nir_sim::ambient::Interference;
+use airfinger_nir_sim::noise::NoiseModel;
+use airfinger_nir_sim::sampler::{Sampler, Scene};
+use airfinger_nir_sim::trace::RssTrace;
+use airfinger_nir_sim::SensorLayout;
+
+/// Which failure mode a fault window injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Directly-pointed IR remote: near-saturation interference bursts.
+    AmbientSpike,
+    /// Stuck sensor: all channels hold their last pre-fault value.
+    SensorDropout,
+}
+
+/// One scripted fault window, in sample indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Failure mode.
+    pub kind: FaultKind,
+    /// First affected sample.
+    pub start: usize,
+    /// Length in samples.
+    pub duration: usize,
+}
+
+impl Fault {
+    /// Whether `sample` falls inside this window.
+    #[must_use]
+    pub fn covers(&self, sample: usize) -> bool {
+        sample >= self.start && sample < self.start + self.duration
+    }
+}
+
+/// A scripted continuous session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// Session length in samples.
+    pub samples: usize,
+    /// Master seed; the whole session derives deterministically.
+    pub seed: u64,
+    /// Which volunteer performs the gestures.
+    pub user: usize,
+    /// One gesture starts every this many seconds, cycling through the
+    /// 8-gesture set.
+    pub gesture_period_s: f64,
+    /// ADC sample rate.
+    pub sample_rate_hz: f64,
+    /// Scripted fault windows (may be empty: a clean session).
+    pub faults: Vec<Fault>,
+}
+
+impl Default for SessionSpec {
+    fn default() -> Self {
+        SessionSpec {
+            samples: 2000,
+            seed: 0x41F1_6E12,
+            user: 0,
+            gesture_period_s: 2.5,
+            sample_rate_hz: 100.0,
+            faults: Vec::new(),
+        }
+    }
+}
+
+impl SessionSpec {
+    /// Session length in seconds.
+    #[must_use]
+    pub fn duration_s(&self) -> f64 {
+        self.samples as f64 / self.sample_rate_hz.max(1.0)
+    }
+}
+
+/// The standard fault schedule used by `airfinger monitor --fault` and
+/// the `soak` bench experiment: an ambient spike over [20%, 45%) of the
+/// session and/or a sensor dropout over [45%, 95%), back-to-back so a
+/// spike-degraded engine slides straight into the stall without an
+/// intervening recovery (one unhealthy episode ⇒ exactly one dump).
+#[must_use]
+pub fn standard_fault_schedule(samples: usize, spike: bool, dropout: bool) -> Vec<Fault> {
+    let at = |pct: usize| samples * pct / 100;
+    let mut faults = Vec::new();
+    if spike {
+        faults.push(Fault {
+            kind: FaultKind::AmbientSpike,
+            start: at(20),
+            duration: at(45) - at(20),
+        });
+    }
+    if dropout {
+        faults.push(Fault {
+            kind: FaultKind::SensorDropout,
+            start: at(45),
+            duration: at(95) - at(45),
+        });
+    }
+    faults
+}
+
+/// Render the session: a continuous trace with gestures every
+/// [`SessionSpec::gesture_period_s`] and the scripted faults applied.
+#[must_use]
+pub fn generate_session(spec: &SessionSpec) -> RssTrace {
+    let rate = spec.sample_rate_hz.max(1.0);
+    let duration_s = spec.duration_s();
+    let profile = UserProfile::sample(spec.user, spec.seed);
+    let rest = profile.base;
+    let period = spec.gesture_period_s.max(0.5);
+
+    // Script: gesture k starts at k·period (+ a lead-in), cycling the set.
+    let slots = (duration_s / period).floor() as usize;
+    let trajectories: Vec<(f64, Trajectory)> = (0..slots)
+        .map(|k| {
+            let label = SampleLabel::Gesture(Gesture::ALL[k % Gesture::ALL.len()]);
+            let params = profile.trial_params(label, 0, k, spec.seed);
+            (
+                k as f64 * period + 0.3,
+                Trajectory::generate(label, &params, spec.seed.wrapping_add(k as u64)),
+            )
+        })
+        .collect();
+    let trajectory = move |t: f64| {
+        for (start, traj) in &trajectories {
+            if t >= *start && t < *start + traj.duration_s() {
+                return traj.position(t - *start);
+            }
+        }
+        Some(rest)
+    };
+
+    // Two full-length renders of the same script: clean, and drowned in
+    // ambient interference. Identical seed ⇒ identical underlying random
+    // stream, so switching regimes mid-session stays coherent.
+    let scene = Scene::new(SensorLayout::paper_prototype());
+    // The spike regime layers a directly-pointed IR remote (pressed much
+    // harder than the stock `ir_remote_direct`, so every fault window
+    // catches bursts) on top of a flooded noise floor — broadband ambient
+    // pickup that drags the segmenter's Otsu threshold off its calibrated
+    // baseline, which is exactly the drift signature the health monitor's
+    // SLO rules watch for.
+    let spike_scene = scene
+        .clone()
+        .with_interference(Interference::IrRemote {
+            presses_per_s: 2.0,
+            amplitude: 4000.0,
+            direct: true,
+        })
+        .with_noise(NoiseModel {
+            thermal_sigma: 6.0,
+            ..NoiseModel::prototype()
+        });
+    let clean = Sampler::new(scene, rate).sample(duration_s, spec.seed, &trajectory);
+    let needs_spike = spec
+        .faults
+        .iter()
+        .any(|f| f.kind == FaultKind::AmbientSpike);
+    let spiked = if needs_spike {
+        Some(Sampler::new(spike_scene, rate).sample(duration_s, spec.seed, &trajectory))
+    } else {
+        None
+    };
+
+    let len = spec.samples.min(clean.len());
+    let n_channels = clean.channel_count();
+    let mut channels: Vec<Vec<f64>> = vec![Vec::with_capacity(len); n_channels];
+    let mut held: Vec<f64> = (0..n_channels)
+        .map(|k| clean.channel(k).first().copied().unwrap_or(0.0))
+        .collect();
+    for i in 0..len {
+        let fault = spec.faults.iter().find(|f| f.covers(i)).map(|f| f.kind);
+        for (k, channel) in channels.iter_mut().enumerate() {
+            let value = match fault {
+                Some(FaultKind::SensorDropout) => held[k],
+                Some(FaultKind::AmbientSpike) => match &spiked {
+                    Some(s) => s.channel(k)[i],
+                    None => clean.channel(k)[i],
+                },
+                None => clean.channel(k)[i],
+            };
+            if fault != Some(FaultKind::SensorDropout) {
+                held[k] = value;
+            }
+            channel.push(value);
+        }
+    }
+    RssTrace::from_channels(channels, rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_is_deterministic() {
+        let spec = SessionSpec {
+            samples: 800,
+            ..Default::default()
+        };
+        let a = generate_session(&spec);
+        let b = generate_session(&spec);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 800);
+        assert_eq!(a.channel_count(), 3);
+    }
+
+    #[test]
+    fn gestures_modulate_the_clean_session() {
+        let spec = SessionSpec {
+            samples: 1000,
+            ..Default::default()
+        };
+        let trace = generate_session(&spec);
+        let ch0 = trace.channel(0);
+        let (min, max) = ch0
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
+        assert!(max - min > 1.0, "gesture activity visible: {min}..{max}");
+    }
+
+    #[test]
+    fn dropout_freezes_every_channel() {
+        let spec = SessionSpec {
+            samples: 600,
+            faults: vec![Fault {
+                kind: FaultKind::SensorDropout,
+                start: 300,
+                duration: 200,
+            }],
+            ..Default::default()
+        };
+        let trace = generate_session(&spec);
+        for k in 0..trace.channel_count() {
+            let ch = trace.channel(k);
+            let frozen = ch[299];
+            assert!(
+                ch[300..500].iter().all(|&v| v == frozen),
+                "channel {k} frozen during dropout"
+            );
+        }
+        // Live again afterwards.
+        let clean = generate_session(&SessionSpec {
+            samples: 600,
+            ..Default::default()
+        });
+        assert_eq!(trace.channel(0)[550], clean.channel(0)[550]);
+    }
+
+    #[test]
+    fn spike_diverges_from_clean_inside_the_window() {
+        let samples = 600;
+        let spec = SessionSpec {
+            samples,
+            faults: standard_fault_schedule(samples, true, false),
+            ..Default::default()
+        };
+        let spiked = generate_session(&spec);
+        let clean = generate_session(&SessionSpec {
+            samples,
+            ..Default::default()
+        });
+        let window = 120..270; // [20%, 45%)
+        let diverging = window
+            .clone()
+            .filter(|&i| (spiked.channel(0)[i] - clean.channel(0)[i]).abs() > 1.0)
+            .count();
+        assert!(diverging > 20, "spike visible in {diverging} samples");
+        // Outside the fault the renders agree.
+        assert_eq!(spiked.channel(0)[50], clean.channel(0)[50]);
+        assert_eq!(spiked.channel(0)[400], clean.channel(0)[400]);
+    }
+
+    #[test]
+    fn standard_schedule_is_back_to_back() {
+        let faults = standard_fault_schedule(1000, true, true);
+        assert_eq!(faults.len(), 2);
+        assert_eq!(faults[0].start + faults[0].duration, faults[1].start);
+        assert_eq!(faults[1].start + faults[1].duration, 950);
+    }
+}

@@ -38,8 +38,10 @@ fn config(n_threads: usize) -> AirFingerConfig {
 }
 
 /// Train on `n_threads` workers, recognize every sample in batch, then
-/// stream one sample through the engine; return the registry's counters.
-fn counters_at(n_threads: usize, corpus: &Corpus) -> BTreeMap<String, u64> {
+/// stream one sample through a *monitored* engine followed by a flat tail
+/// long enough to stall the segmenter and walk the health ladder; return
+/// the registry's counters plus the monitor's transition log.
+fn counters_at(n_threads: usize, corpus: &Corpus) -> (BTreeMap<String, u64>, Vec<String>) {
     airfinger_obs::global().reset();
     let mut af = AirFinger::new(config(n_threads));
     af.train_on_corpus(corpus, None).expect("training succeeds");
@@ -48,20 +50,41 @@ fn counters_at(n_threads: usize, corpus: &Corpus) -> BTreeMap<String, u64> {
             .expect("recognition succeeds");
     }
     let mut engine = StreamingEngine::new(af, 3).expect("engine builds");
+    engine.attach_monitor(airfinger_obs::monitor::with_horizon(100));
     let trace = &corpus.samples()[0].trace;
+    let mut last = vec![0.0; 3];
     for i in 0..trace.len() {
         let sample: Vec<f64> = (0..3).map(|k| trace.channel(k)[i]).collect();
         engine.push(&sample).expect("push succeeds");
+        last = sample;
+    }
+    // Flat tail: five zero-segment windows walk degraded (2 consecutive
+    // stalls) into unhealthy (4), exercising the transition counters and
+    // the flight recorder deterministically.
+    for _ in 0..500 {
+        engine.push(&last).expect("push succeeds");
     }
     engine.flush().expect("flush succeeds");
-    airfinger_obs::global().snapshot().counter_map()
+    let transitions = engine
+        .monitor()
+        .map(|m| {
+            m.transitions()
+                .iter()
+                .map(|t| format!("{}->{}@{}", t.from.tag(), t.to.tag(), t.window_index))
+                .collect()
+        })
+        .unwrap_or_default();
+    (
+        airfinger_obs::global().snapshot().counter_map(),
+        transitions,
+    )
 }
 
 #[test]
 fn counters_are_identical_across_thread_counts() {
     let _guard = registry_guard();
     let corpus = corpus();
-    let baseline = counters_at(1, &corpus);
+    let (baseline, base_transitions) = counters_at(1, &corpus);
     // `recording()` reflects the obs crate's compile-time feature; with it
     // off the registry stays empty and the invariance check is vacuous.
     if airfinger_obs::recording() {
@@ -96,10 +119,34 @@ fn counters_are_identical_across_thread_counts() {
                 .any(|k| k.starts_with("pipeline_recognitions_total")),
             "expected recognition-kind counters in {baseline:?}"
         );
+        // The continuous-monitoring counters are sample-count functions of
+        // the input stream, so they join the same invariant.
+        assert!(
+            baseline.contains_key("engine_windows_closed_total"),
+            "expected window counters in {baseline:?}"
+        );
+        assert!(
+            baseline
+                .keys()
+                .any(|k| k.starts_with("health_transitions_total")),
+            "expected health-transition counters in {baseline:?}"
+        );
+        assert!(
+            baseline.contains_key("recorder_dumps_total"),
+            "expected flight-recorder counters in {baseline:?}"
+        );
+        assert!(
+            !base_transitions.is_empty(),
+            "flat tail should stall the health model"
+        );
     }
     for threads in [2, 3, 4, 8] {
-        let got = counters_at(threads, &corpus);
+        let (got, got_transitions) = counters_at(threads, &corpus);
         assert_eq!(got, baseline, "counters diverged at {threads} threads");
+        assert_eq!(
+            got_transitions, base_transitions,
+            "health transitions diverged at {threads} threads"
+        );
     }
 }
 
