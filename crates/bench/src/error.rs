@@ -7,6 +7,7 @@
 
 use airfinger_core::AirFingerError;
 use airfinger_dsp::DspError;
+use airfinger_fleet::FleetError;
 use airfinger_ml::MlError;
 use std::error::Error;
 use std::fmt;
@@ -21,6 +22,8 @@ pub enum BenchError {
     Pipeline(AirFingerError),
     /// A DSP helper the experiment measures failed.
     Dsp(DspError),
+    /// The fleet serving layer under test failed.
+    Fleet(FleetError),
     /// The experiment produced no data to summarize.
     EmptyResult(&'static str),
     /// A monitoring/SLO contract the experiment enforces was violated.
@@ -33,6 +36,7 @@ impl fmt::Display for BenchError {
             BenchError::UnknownExperiment(id) => write!(f, "unknown experiment id `{id}`"),
             BenchError::Pipeline(e) => write!(f, "pipeline error: {e}"),
             BenchError::Dsp(e) => write!(f, "dsp error: {e}"),
+            BenchError::Fleet(e) => write!(f, "fleet error: {e}"),
             BenchError::EmptyResult(what) => write!(f, "experiment produced no data: {what}"),
             BenchError::Contract(what) => write!(f, "monitoring contract violated: {what}"),
         }
@@ -44,6 +48,7 @@ impl Error for BenchError {
         match self {
             BenchError::Pipeline(e) => Some(e),
             BenchError::Dsp(e) => Some(e),
+            BenchError::Fleet(e) => Some(e),
             _ => None,
         }
     }
@@ -64,6 +69,12 @@ impl From<MlError> for BenchError {
 impl From<DspError> for BenchError {
     fn from(e: DspError) -> Self {
         BenchError::Dsp(e)
+    }
+}
+
+impl From<FleetError> for BenchError {
+    fn from(e: FleetError) -> Self {
+        BenchError::Fleet(e)
     }
 }
 

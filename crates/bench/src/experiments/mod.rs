@@ -18,6 +18,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod fig17;
+pub mod fleet;
 pub mod importance;
 pub mod interference;
 pub mod outdoor;

@@ -23,7 +23,7 @@ use report::Report;
 pub use error::BenchError;
 
 /// Every experiment id, in paper order.
-pub const EXPERIMENT_IDS: [&str; 23] = [
+pub const EXPERIMENT_IDS: [&str; 24] = [
     "fig3",
     "fig5",
     "fig7",
@@ -47,6 +47,7 @@ pub const EXPERIMENT_IDS: [&str; 23] = [
     "selection",
     "adaptation",
     "soak",
+    "fleet",
 ];
 
 /// Run one experiment by id.
@@ -80,6 +81,7 @@ pub fn run_experiment(id: &str, ctx: &Context) -> Result<Report, BenchError> {
         "selection" => experiments::selection::run(ctx),
         "adaptation" => experiments::adaptation::run(ctx),
         "soak" => experiments::soak::run(ctx),
+        "fleet" => experiments::fleet::run(ctx),
         _ => Err(BenchError::UnknownExperiment(id.to_string())),
     }
 }

@@ -16,6 +16,52 @@ fn fail(msg: impl std::fmt::Display) -> i32 {
     2
 }
 
+/// Quick training pass shared by the soak-style commands (`monitor`,
+/// `fleet`): a small gesture corpus plus non-gesture negatives so the
+/// rejection stage is live while streaming.
+fn train_quick(seed: u64, trees: usize) -> Result<AirFinger, String> {
+    let spec = CorpusSpec {
+        users: 2,
+        sessions: 2,
+        reps: 4,
+        seed,
+        ..Default::default()
+    };
+    let non_spec = CorpusSpec {
+        reps: 12,
+        ..spec.clone()
+    };
+    let corpus = generate_corpus(&spec);
+    let non = generate_nongesture_corpus(&non_spec);
+    eprintln!(
+        "training on {} gesture + {} non-gesture samples ({trees} trees)…",
+        corpus.len(),
+        non.len()
+    );
+    let mut af = AirFinger::new(AirFingerConfig {
+        forest_trees: trees,
+        ..Default::default()
+    });
+    af.train_on_corpus(&corpus, Some(&non))
+        .map_err(|e| e.to_string())?;
+    Ok(af)
+}
+
+/// Write flight-recorder dumps under `dir`, creating the directory (and
+/// any missing parents) first.
+fn write_dumps(
+    dir: &std::path::Path,
+    dumps: &[airfinger_obs::recorder::Dump],
+) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    for d in dumps {
+        let path = dir.join(d.file_name());
+        std::fs::write(&path, &d.json).map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("wrote flight-recorder dump {}", path.display());
+    }
+    Ok(())
+}
+
 /// `airfinger generate`
 pub(crate) fn generate(argv: &[String]) -> i32 {
     let args = match Args::parse(argv) {
@@ -214,33 +260,7 @@ pub(crate) fn monitor(argv: &[String]) -> i32 {
             }
         };
         let dump_dir = args.optional("dump-dir");
-
-        // A quick training pass: small gesture corpus plus non-gesture
-        // negatives so the rejection stage is live during the soak.
-        let spec = CorpusSpec {
-            users: 2,
-            sessions: 2,
-            reps: 4,
-            seed,
-            ..Default::default()
-        };
-        let non_spec = CorpusSpec {
-            reps: 12,
-            ..spec.clone()
-        };
-        let corpus = generate_corpus(&spec);
-        let non = generate_nongesture_corpus(&non_spec);
-        eprintln!(
-            "training on {} gesture + {} non-gesture samples ({trees} trees)…",
-            corpus.len(),
-            non.len()
-        );
-        let mut af = AirFinger::new(AirFingerConfig {
-            forest_trees: trees,
-            ..Default::default()
-        });
-        af.train_on_corpus(&corpus, Some(&non))
-            .map_err(|e| e.to_string())?;
+        let af = train_quick(seed, trees)?;
 
         let session = SessionSpec {
             samples,
@@ -318,13 +338,7 @@ pub(crate) fn monitor(argv: &[String]) -> i32 {
             dumps.len()
         );
         if let Some(dir) = dump_dir {
-            std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
-            for d in &dumps {
-                let path = std::path::Path::new(dir).join(d.file_name());
-                std::fs::write(&path, &d.json)
-                    .map_err(|e| format!("write {}: {e}", path.display()))?;
-                println!("wrote flight-recorder dump {}", path.display());
-            }
+            write_dumps(std::path::Path::new(dir), &dumps)?;
         } else if !dumps.is_empty() {
             eprintln!("note: {} dumps discarded (no --dump-dir)", dumps.len());
         }
@@ -351,6 +365,111 @@ pub(crate) fn monitor(argv: &[String]) -> i32 {
             eprintln!("FAIL: clean session ended {health} with {dump_count} dumps");
             Ok(1)
         }
+    };
+    match run() {
+        Ok(code) => code,
+        Err(e) => fail(e),
+    }
+}
+
+/// `airfinger fleet`
+pub(crate) fn fleet(argv: &[String]) -> i32 {
+    use airfinger_fleet::{drive, generate_population, Fleet, FleetConfig, PopulationSpec};
+
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let run = || -> Result<i32, String> {
+        let sessions = args.number("sessions", 8usize)?;
+        let shards = args.number("shards", 4usize)?;
+        let samples = args.number("samples", 2000usize)?;
+        let queue = args.number("queue", 512usize)?;
+        let chunk = args.number("chunk", 64usize)?;
+        let stagger = args.number("stagger", 1usize)?;
+        let fault_every = args.number("fault-every", 0usize)?;
+        let seed = args.number("seed", 0x41F1_6E12u64)?;
+        let trees = args.number("trees", 40usize)?;
+        let dump_dir = args.optional("dump-dir");
+
+        let pipeline = std::sync::Arc::new(train_quick(seed, trees)?);
+        let pop = PopulationSpec {
+            sessions,
+            samples_per_session: samples,
+            users: 4,
+            seed,
+            fault_every,
+            arrival_stagger_rounds: stagger,
+            chunk: chunk.max(1),
+        };
+        eprintln!("generating {sessions} session traces ({samples} samples each)…");
+        let traces = generate_population(&pop, airfinger_parallel::effective_threads(None));
+        let channels = traces.first().map_or(0, |t| t.channel_count());
+        let config = FleetConfig {
+            shards,
+            sessions_per_shard: sessions.div_ceil(shards.max(1)),
+            queue_capacity: queue,
+            quantum: 2 * chunk.max(1),
+            monitor_horizon: samples / 5,
+            threads: 0,
+        };
+        let mut fleet = Fleet::new(pipeline, channels, config).map_err(|e| e.to_string())?;
+        let ids: Vec<u64> = (0..sessions as u64).collect();
+        eprintln!("driving {sessions} session(s) over {shards} shard(s)…");
+        let driven = drive(&mut fleet, &ids, &traces, &pop).map_err(|e| e.to_string())?;
+        fleet.flush_sessions();
+
+        let rollup = fleet.rollup();
+        println!(
+            "fleet complete: {} admitted, {} shed, {} samples fed over {} rounds",
+            fleet.admitted(),
+            fleet.shed(),
+            driven.fed,
+            driven.rounds
+        );
+        println!(
+            "batched {} gesture windows in {} forest passes",
+            fleet.batched_windows(),
+            fleet.batches()
+        );
+        for s in &rollup.shards {
+            println!(
+                "[shard {}] {} session(s), {} queued | {} healthy / {} degraded / {} unhealthy \
+                 | worst {}",
+                s.shard, s.sessions, s.queued, s.healthy, s.degraded, s.unhealthy, s.worst
+            );
+        }
+        println!(
+            "fleet health {}: {} recognitions, {} errors, {} samples processed",
+            rollup.worst, rollup.recognitions, rollup.errors, rollup.samples_processed
+        );
+        for e in fleet.shed_log() {
+            println!("shed: session {} ({})", e.session, e.reason.tag());
+        }
+
+        // Each session keeps its own flight recorder; dump sequence numbers
+        // restart per session, so every session gets its own subdirectory.
+        let dumps = fleet.take_dumps();
+        if let Some(dir) = dump_dir {
+            for (id, session_dumps) in &dumps {
+                write_dumps(
+                    &std::path::Path::new(dir).join(format!("session_{id}")),
+                    session_dumps,
+                )?;
+            }
+        } else if !dumps.is_empty() {
+            let n: usize = dumps.iter().map(|(_, d)| d.len()).sum();
+            eprintln!("note: {n} dumps discarded (no --dump-dir)");
+        }
+
+        // Every requested session must be accounted for: admitted, or
+        // refused at admission, or evicted under backpressure.
+        let accounted = fleet.admitted() as usize + driven.shed_on_admission.len();
+        if accounted != sessions {
+            eprintln!("FAIL: {sessions} sessions requested, {accounted} accounted for");
+            return Ok(1);
+        }
+        Ok(0)
     };
     match run() {
         Ok(code) => code,

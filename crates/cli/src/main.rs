@@ -7,6 +7,7 @@
 //! airfinger adapt --model model.json --corpus corpus.json --enroll me.json --out adapted.json
 //! airfinger info --model model.json
 //! airfinger monitor --soak 4000 --fault dropout --dump-dir dumps/
+//! airfinger fleet --sessions 32 --shards 4 --samples 2000 --fault-every 8
 //! ```
 //!
 //! Every command also accepts the global observability flags
@@ -62,6 +63,7 @@ fn main() {
         Some("adapt") => commands::adapt(&argv[1..]),
         Some("info") => commands::info(&argv[1..]),
         Some("monitor") => commands::monitor(&argv[1..]),
+        Some("fleet") => commands::fleet(&argv[1..]),
         Some("--help") | Some("-h") | None => {
             print_help();
             0
@@ -119,6 +121,11 @@ fn print_help() {
     println!("             a flight recorder; optional fault injection");
     println!("             [--soak N] [--fault none|spike|dropout|both]");
     println!("             [--window N] [--dump-dir PATH] [--seed N] [--trees N]");
+    println!("  fleet      serve many concurrent synthetic sessions through the");
+    println!("             sharded multi-session engine with batched inference");
+    println!("             [--sessions N] [--shards N] [--samples N] [--queue N]");
+    println!("             [--chunk N] [--stagger N] [--fault-every N]");
+    println!("             [--seed N] [--trees N] [--dump-dir PATH]");
     println!();
     println!("global flags (any command):");
     println!("  --metrics PATH    write a machine-readable run report (counters,");

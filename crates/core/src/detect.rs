@@ -168,6 +168,24 @@ impl DetectRecognizer {
         Ok(self.forest.predict(features)?)
     }
 
+    /// Predict gesture indices for many precomputed feature rows in one
+    /// matrix-shaped forest pass. Row `i` of the result is exactly
+    /// [`DetectRecognizer::predict_features`] of row `i` of the input —
+    /// the forest's batch path is pinned bit-identical to its serial path
+    /// at any thread count — which is what lets the fleet serving layer
+    /// batch inference across sessions without changing any result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AirFingerError::NotTrained`] before training and
+    /// propagates classifier errors on width mismatch.
+    pub fn predict_features_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<usize>, AirFingerError> {
+        if !self.trained {
+            return Err(AirFingerError::NotTrained);
+        }
+        Ok(self.forest.predict_batch(xs)?)
+    }
+
     /// Predict the gesture of a window.
     ///
     /// # Errors

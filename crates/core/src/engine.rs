@@ -29,7 +29,10 @@ const HISTORY_CAPACITY: usize = 4096;
 /// Single-threaded streaming engine.
 #[derive(Debug)]
 pub struct StreamingEngine {
-    pipeline: AirFinger,
+    /// Shared so a fleet of engines can serve one trained model without
+    /// cloning the forest per session; a solo engine just owns the only
+    /// reference.
+    pipeline: Arc<AirFinger>,
     sbc: Vec<SbcStream>,
     thresholds: Vec<DynamicThreshold>,
     segmenter: StreamingSegmenter,
@@ -63,6 +66,21 @@ impl StreamingEngine {
     /// trained, and [`AirFingerError::InvalidTrainingData`] for a zero
     /// channel count.
     pub fn new(pipeline: AirFinger, channel_count: usize) -> Result<Self, AirFingerError> {
+        Self::with_shared(Arc::new(pipeline), channel_count)
+    }
+
+    /// Build an engine around an already-shared trained pipeline. Many
+    /// engines can hold the same `Arc` — recognition only ever borrows the
+    /// pipeline immutably — which is how the fleet layer serves one model
+    /// to every session.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StreamingEngine::new`].
+    pub fn with_shared(
+        pipeline: Arc<AirFinger>,
+        channel_count: usize,
+    ) -> Result<Self, AirFingerError> {
         if !pipeline.is_trained() {
             return Err(AirFingerError::NotTrained);
         }
@@ -132,6 +150,13 @@ impl StreamingEngine {
         &self.pipeline
     }
 
+    /// A new shared handle to the wrapped pipeline (see
+    /// [`StreamingEngine::with_shared`]).
+    #[must_use]
+    pub fn shared_pipeline(&self) -> Arc<AirFinger> {
+        Arc::clone(&self.pipeline)
+    }
+
     /// Push one multi-channel sample; returns a recognition event when a
     /// gesture window closes at this sample.
     ///
@@ -145,6 +170,113 @@ impl StreamingEngine {
         }
         let span = airfinger_obs::span!("engine_push_seconds");
         airfinger_obs::counter!("engine_samples_total").inc();
+        let result = match self.ingest(sample) {
+            Some(seg) => self.emit(seg).map(Some),
+            None => Ok(None),
+        };
+        // Between gestures, forget the crossings so pre-gesture noise
+        // cannot pre-arm the next hint.
+        if !self.segmenter.in_gesture() {
+            self.live_ascents.fill(None);
+        }
+        if let Some(monitor) = self.monitor.as_mut() {
+            let outcome = match &result {
+                Ok(Some(Recognition::Detect { .. })) => Outcome::Detect,
+                Ok(Some(Recognition::Track { .. })) => Outcome::Track,
+                Ok(Some(Recognition::Rejected { .. })) => Outcome::Rejected,
+                Ok(None) | Err(_) => Outcome::Quiet,
+            };
+            let mean_threshold = mean_of(&self.thresholds);
+            // The span's live elapsed time stands in for this push's
+            // latency; with recording off it reads 0 (spans never touch
+            // the clock), which keeps the monitor's counters intact while
+            // the latency gauges go dark.
+            let _ = monitor.observe_push(sample, span.elapsed_s(), mean_threshold, outcome);
+        }
+        result
+    }
+
+    /// Push one sample without classifying a closed gesture window.
+    ///
+    /// Identical to [`StreamingEngine::push`] up to the moment a gesture
+    /// window closes: quiet pushes feed the monitor as usual and return
+    /// [`DeferredPush::Quiet`]. When a window closes, it is returned as a
+    /// [`PendingWindow`] instead of being recognized, and the monitor
+    /// observation of the closing push is deferred with it — the caller
+    /// must classify the window (typically batched with windows from other
+    /// engines) and call [`StreamingEngine::resolve_pending`] before
+    /// pushing more samples, which keeps the monitor's observation
+    /// sequence bit-identical to a plain `push` loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AirFingerError::InvalidTrainingData`] for a wrong-width
+    /// sample.
+    pub fn push_deferred(&mut self, sample: &[f64]) -> Result<DeferredPush, AirFingerError> {
+        if sample.len() != self.channel_count {
+            return Err(AirFingerError::InvalidTrainingData("sample width mismatch"));
+        }
+        let span = airfinger_obs::span!("engine_push_seconds");
+        airfinger_obs::counter!("engine_samples_total").inc();
+        let closed = self.ingest(sample);
+        if !self.segmenter.in_gesture() {
+            self.live_ascents.fill(None);
+        }
+        match closed {
+            Some(seg) => {
+                let window = self.window(seg);
+                Ok(DeferredPush::Closed(PendingWindow {
+                    window,
+                    sample: sample.to_vec(),
+                    push_seconds: span.elapsed_s(),
+                    mean_threshold: mean_of(&self.thresholds),
+                }))
+            }
+            None => {
+                let mean_threshold = mean_of(&self.thresholds);
+                if let Some(monitor) = self.monitor.as_mut() {
+                    let _ = monitor.observe_push(
+                        sample,
+                        span.elapsed_s(),
+                        mean_threshold,
+                        Outcome::Quiet,
+                    );
+                }
+                Ok(DeferredPush::Quiet)
+            }
+        }
+    }
+
+    /// Complete a deferred push: replay the monitor observation for the
+    /// push that closed `pending`, with the outcome derived from the
+    /// caller-supplied recognition result exactly as [`StreamingEngine::push`]
+    /// derives it. Must be called once per [`PendingWindow`] before the
+    /// next push on this engine.
+    pub fn resolve_pending(
+        &mut self,
+        pending: &PendingWindow,
+        result: &Result<Recognition, AirFingerError>,
+    ) {
+        if let Some(monitor) = self.monitor.as_mut() {
+            let outcome = match result {
+                Ok(Recognition::Detect { .. }) => Outcome::Detect,
+                Ok(Recognition::Track { .. }) => Outcome::Track,
+                Ok(Recognition::Rejected { .. }) => Outcome::Rejected,
+                Err(_) => Outcome::Quiet,
+            };
+            let _ = monitor.observe_push(
+                &pending.sample,
+                pending.push_seconds,
+                pending.mean_threshold,
+                outcome,
+            );
+        }
+    }
+
+    /// Advance every streaming stage by one sample; returns the segment
+    /// when this sample closed a gesture window. Shared verbatim by
+    /// [`StreamingEngine::push`] and [`StreamingEngine::push_deferred`].
+    fn ingest(&mut self, sample: &[f64]) -> Option<Segment> {
         let mut activity = 0.0f64;
         let position = self.segmenter.position();
         for (k, &raw) in sample.iter().enumerate() {
@@ -173,35 +305,7 @@ impl StreamingEngine {
             }
             self.offset += 1;
         }
-        let result = match self.segmenter.push(activity, 1.0) {
-            Some(seg) => self.emit(seg).map(Some),
-            None => Ok(None),
-        };
-        // Between gestures, forget the crossings so pre-gesture noise
-        // cannot pre-arm the next hint.
-        if !self.segmenter.in_gesture() {
-            self.live_ascents.fill(None);
-        }
-        if let Some(monitor) = self.monitor.as_mut() {
-            let outcome = match &result {
-                Ok(Some(Recognition::Detect { .. })) => Outcome::Detect,
-                Ok(Some(Recognition::Track { .. })) => Outcome::Track,
-                Ok(Some(Recognition::Rejected { .. })) => Outcome::Rejected,
-                Ok(None) | Err(_) => Outcome::Quiet,
-            };
-            let mean_threshold = self
-                .thresholds
-                .iter()
-                .map(DynamicThreshold::threshold)
-                .sum::<f64>()
-                / self.channel_count as f64;
-            // The span's live elapsed time stands in for this push's
-            // latency; with recording off it reads 0 (spans never touch
-            // the clock), which keeps the monitor's counters intact while
-            // the latency gauges go dark.
-            let _ = monitor.observe_push(sample, span.elapsed_s(), mean_threshold, outcome);
-        }
-        result
+        self.segmenter.push(activity, 1.0)
     }
 
     /// Early scroll-direction hint for the *currently open* gesture — the
@@ -242,6 +346,13 @@ impl StreamingEngine {
     }
 
     fn emit(&self, segment: Segment) -> Result<Recognition, AirFingerError> {
+        let window = self.window(segment);
+        self.pipeline.recognize_window(&window)
+    }
+
+    /// Snapshot the gesture window for a closed segment from the retained
+    /// history.
+    fn window(&self, segment: Segment) -> GestureWindow {
         let start = segment.start.max(self.offset) - self.offset;
         let end = (segment.end.max(self.offset) - self.offset).min(self.raw_hist[0].len());
         let slice = |hist: &VecDeque<f64>| -> Vec<f64> {
@@ -251,7 +362,7 @@ impl StreamingEngine {
                 .copied()
                 .collect()
         };
-        let window = GestureWindow {
+        GestureWindow {
             segment,
             raw: self.raw_hist.iter().map(slice).collect(),
             delta: self.delta_hist.iter().map(slice).collect(),
@@ -261,8 +372,46 @@ impl StreamingEngine {
                 .map(DynamicThreshold::threshold)
                 .collect(),
             sample_rate_hz: self.pipeline.config().sample_rate_hz,
-        };
-        self.pipeline.recognize_window(&window)
+        }
+    }
+}
+
+/// Mean dynamic threshold across channels (the monitor's drift signal).
+fn mean_of(thresholds: &[DynamicThreshold]) -> f64 {
+    thresholds
+        .iter()
+        .map(DynamicThreshold::threshold)
+        .sum::<f64>()
+        / thresholds.len().max(1) as f64
+}
+
+/// Outcome of [`StreamingEngine::push_deferred`].
+#[derive(Debug)]
+pub enum DeferredPush {
+    /// No gesture window closed at this sample; the monitor (if attached)
+    /// has already observed the push.
+    Quiet,
+    /// A gesture window closed at this sample. Classification and the
+    /// monitor observation are deferred until
+    /// [`StreamingEngine::resolve_pending`].
+    Closed(PendingWindow),
+}
+
+/// A closed gesture window awaiting classification, carrying everything
+/// needed to replay the monitor observation of the push that closed it.
+#[derive(Debug, Clone)]
+pub struct PendingWindow {
+    window: GestureWindow,
+    sample: Vec<f64>,
+    push_seconds: f64,
+    mean_threshold: f64,
+}
+
+impl PendingWindow {
+    /// The closed gesture window to classify.
+    #[must_use]
+    pub fn window(&self) -> &GestureWindow {
+        &self.window
     }
 }
 

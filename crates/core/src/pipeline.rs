@@ -91,6 +91,20 @@ impl Deserialize for AirFinger {
     }
 }
 
+/// A gesture window after [`AirFinger::prepare_window`]: either already
+/// finalized by the interference filter, or carrying the feature row that
+/// still needs a random-forest prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PreparedWindow {
+    /// The interference filter rejected the window; the recognition is
+    /// final and no forest prediction is needed.
+    Rejected(Recognition),
+    /// The window passed the filter. Classify the feature row (alone or
+    /// batched with rows from other windows) and hand the predicted index
+    /// to [`AirFinger::finish_window`].
+    Pending(Vec<f64>),
+}
+
 impl AirFinger {
     /// Create an untrained pipeline.
     #[must_use]
@@ -196,10 +210,40 @@ impl AirFinger {
 
     /// Recognize one already-segmented gesture window.
     ///
+    /// Exactly [`AirFinger::prepare_window`] followed by one forest
+    /// prediction and [`AirFinger::finish_window`] — the fleet serving
+    /// layer runs the same three stages with the middle one batched
+    /// across sessions, so batched and sequential results are identical
+    /// by construction.
+    ///
     /// # Errors
     ///
     /// Returns [`AirFingerError::NotTrained`] before training.
     pub fn recognize_window(&self, window: &GestureWindow) -> Result<Recognition, AirFingerError> {
+        match self.prepare_window(window)? {
+            PreparedWindow::Rejected(recognition) => Ok(recognition),
+            PreparedWindow::Pending(features) => {
+                let index = {
+                    let _s = airfinger_obs::span!("pipeline_stage_seconds", stage = "rf_predict");
+                    self.detect.predict_features(&features)?
+                };
+                self.finish_window(window, index)
+            }
+        }
+    }
+
+    /// Run the pre-classification stages of [`AirFinger::recognize_window`]:
+    /// the interference filter and feature extraction. A rejected window
+    /// carries its final [`Recognition`]; a passing window carries the
+    /// feature row awaiting a forest prediction, which callers may batch
+    /// across many windows before handing each predicted index to
+    /// [`AirFinger::finish_window`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AirFingerError::NotTrained`] before training and
+    /// propagates filter errors.
+    pub fn prepare_window(&self, window: &GestureWindow) -> Result<PreparedWindow, AirFingerError> {
         if !self.detect.is_trained() {
             return Err(AirFingerError::NotTrained);
         }
@@ -210,12 +254,35 @@ impl AirFinger {
             };
             if !is_gesture {
                 airfinger_obs::counter!("pipeline_recognitions_total", kind = "rejected").inc();
-                return Ok(Recognition::Rejected {
+                return Ok(PreparedWindow::Rejected(Recognition::Rejected {
                     segment: window.segment,
-                });
+                }));
             }
         }
-        let gesture = self.detect.predict(window)?;
+        let features = {
+            let _s = airfinger_obs::span!("pipeline_stage_seconds", stage = "features");
+            self.detect.features(window)
+        };
+        Ok(PreparedWindow::Pending(features))
+    }
+
+    /// Turn a predicted gesture index into the final [`Recognition`] for a
+    /// window that passed [`AirFinger::prepare_window`]: scrolls are routed
+    /// through ZEBRA tracking, everything else becomes a detect event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates an out-of-range predicted label as an ML error.
+    pub fn finish_window(
+        &self,
+        window: &GestureWindow,
+        predicted_index: usize,
+    ) -> Result<Recognition, AirFingerError> {
+        let gesture = Gesture::from_index(predicted_index.min(Gesture::ALL.len() - 1)).ok_or(
+            AirFingerError::Ml(airfinger_ml::MlError::InvalidData(
+                "predicted label outside the gesture set",
+            )),
+        )?;
         match gesture {
             Gesture::ScrollUp | Gesture::ScrollDown => {
                 let direction = if gesture == Gesture::ScrollUp {

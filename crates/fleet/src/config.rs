@@ -1,0 +1,120 @@
+//! Fleet sizing and scheduling knobs.
+
+/// Configuration for a [`Fleet`](crate::Fleet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Number of shards. Sessions are assigned by `session_id % shards`,
+    /// and each shard is drained by exactly one worker per round.
+    pub shards: usize,
+    /// Admission ceiling per shard: the `shards * sessions_per_shard`
+    /// product is the fleet's total capacity.
+    pub sessions_per_shard: usize,
+    /// Bounded per-session ingress queue, in samples. A producer that
+    /// overruns it has its session shed.
+    pub queue_capacity: usize,
+    /// Samples drained per session per round. Round-robin over the shard's
+    /// session table with a fixed quantum is what keeps a hot shard fair.
+    pub quantum: usize,
+    /// Sliding-window horizon for each session's
+    /// [`EngineMonitor`](airfinger_obs::monitor::EngineMonitor), in
+    /// samples; `0` disables per-session monitors.
+    pub monitor_horizon: usize,
+    /// Worker threads for the per-round shard drain; `0` means auto
+    /// (`AIRFINGER_THREADS`, then available parallelism).
+    pub threads: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 4,
+            sessions_per_shard: 32,
+            queue_capacity: 512,
+            quantum: 64,
+            monitor_horizon: 400,
+            threads: 0,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Validate the sizing knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first zero-valued required knob.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.shards == 0 {
+            return Err("zero shards");
+        }
+        if self.sessions_per_shard == 0 {
+            return Err("zero sessions per shard");
+        }
+        if self.queue_capacity == 0 {
+            return Err("zero queue capacity");
+        }
+        if self.quantum == 0 {
+            return Err("zero quantum");
+        }
+        Ok(())
+    }
+
+    /// Shard owning a session id.
+    #[must_use]
+    pub fn shard_of(&self, session: u64) -> usize {
+        (session % self.shards.max(1) as u64) as usize
+    }
+
+    /// Total admission capacity across all shards.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.shards * self.sessions_per_shard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        let c = FleetConfig::default();
+        assert_eq!(c.validate(), Ok(()));
+        assert_eq!(c.capacity(), 128);
+    }
+
+    #[test]
+    fn zero_knobs_are_rejected() {
+        for bad in [
+            FleetConfig {
+                shards: 0,
+                ..Default::default()
+            },
+            FleetConfig {
+                sessions_per_shard: 0,
+                ..Default::default()
+            },
+            FleetConfig {
+                queue_capacity: 0,
+                ..Default::default()
+            },
+            FleetConfig {
+                quantum: 0,
+                ..Default::default()
+            },
+        ] {
+            assert!(bad.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn shard_assignment_is_modular() {
+        let c = FleetConfig {
+            shards: 3,
+            ..Default::default()
+        };
+        assert_eq!(c.shard_of(0), 0);
+        assert_eq!(c.shard_of(4), 1);
+        assert_eq!(c.shard_of(11), 2);
+    }
+}

@@ -1,0 +1,474 @@
+//! The fleet orchestrator: admission, ingestion, and the round loop.
+
+use crate::config::FleetConfig;
+use crate::rollup::{FleetRollup, ShardHealth};
+use crate::shard::Shard;
+use crate::FleetError;
+use airfinger_core::engine::StreamingEngine;
+use airfinger_core::error::AirFingerError;
+use airfinger_core::events::Recognition;
+use airfinger_core::pipeline::AirFinger;
+use airfinger_obs::monitor::with_horizon;
+use airfinger_obs::HealthState;
+use std::sync::Arc;
+
+/// Why a session was shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Refused at admission: the target shard was full.
+    Admission,
+    /// Evicted under backpressure: the session overran its bounded queue.
+    Backpressure,
+}
+
+impl ShedReason {
+    /// Stable label value for the `fleet_sessions_shed_total{reason}`
+    /// counter.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ShedReason::Admission => "admission",
+            ShedReason::Backpressure => "backpressure",
+        }
+    }
+}
+
+/// One entry of the deterministic shed log, in shed order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedEvent {
+    /// The shed session.
+    pub session: u64,
+    /// Why it was shed.
+    pub reason: ShedReason,
+}
+
+/// Per-round statistics returned by [`Fleet::run_round`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundStats {
+    /// Samples drained through session engines this round.
+    pub processed: u64,
+    /// Gesture windows classified in this round's batch pass.
+    pub batched: usize,
+    /// Live sessions after the round.
+    pub active: usize,
+    /// Samples still queued across all sessions after the round.
+    pub queued: usize,
+}
+
+/// A sharded multi-session serving plane over one trained pipeline.
+#[derive(Debug)]
+pub struct Fleet {
+    pipeline: Arc<AirFinger>,
+    config: FleetConfig,
+    channel_count: usize,
+    shards: Vec<Shard>,
+    shed_log: Vec<ShedEvent>,
+    admitted: u64,
+    rounds: u64,
+    batches: u64,
+    batched_windows: u64,
+}
+
+impl Fleet {
+    /// Build an empty fleet serving `pipeline` for `channel_count`-wide
+    /// samples. Registers every `fleet_*` counter up front so a snapshot
+    /// taken after a clean run still shows the shed counters at zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] for zero-valued sizing knobs,
+    /// and [`FleetError::Engine`] for an untrained pipeline or zero
+    /// channel count.
+    pub fn new(
+        pipeline: Arc<AirFinger>,
+        channel_count: usize,
+        config: FleetConfig,
+    ) -> Result<Self, FleetError> {
+        config.validate().map_err(FleetError::InvalidConfig)?;
+        if !pipeline.is_trained() {
+            return Err(FleetError::Engine(AirFingerError::NotTrained));
+        }
+        if channel_count == 0 {
+            return Err(FleetError::Engine(AirFingerError::InvalidTrainingData(
+                "zero channel count",
+            )));
+        }
+        airfinger_obs::counter!("fleet_sessions_admitted_total").add(0);
+        airfinger_obs::counter!("fleet_sessions_shed_total", reason = "admission").add(0);
+        airfinger_obs::counter!("fleet_sessions_shed_total", reason = "backpressure").add(0);
+        airfinger_obs::counter!("fleet_samples_queued_total").add(0);
+        airfinger_obs::counter!("fleet_samples_processed_total").add(0);
+        airfinger_obs::counter!("fleet_batches_total").add(0);
+        airfinger_obs::counter!("fleet_batch_windows_total").add(0);
+        airfinger_obs::counter!("fleet_rounds_total").add(0);
+        let shards = (0..config.shards)
+            .map(|_| Shard::new(config.quantum))
+            .collect();
+        Ok(Fleet {
+            pipeline,
+            config,
+            channel_count,
+            shards,
+            shed_log: Vec::new(),
+            admitted: 0,
+            rounds: 0,
+            batches: 0,
+            batched_windows: 0,
+        })
+    }
+
+    /// The fleet configuration.
+    #[must_use]
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Admit a new session. The session lands on shard
+    /// `id % config.shards` and shares the fleet's one trained pipeline;
+    /// with a nonzero `monitor_horizon` it gets its own health monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::DuplicateSession`] for a live id and
+    /// [`FleetError::ShardFull`] when the shard's table is at capacity
+    /// (which is also recorded in the shed log and counters).
+    pub fn admit(&mut self, id: u64) -> Result<(), FleetError> {
+        let shard_index = self.config.shard_of(id);
+        if self.shards[shard_index].contains(id) {
+            return Err(FleetError::DuplicateSession(id));
+        }
+        if self.shards[shard_index].len() >= self.config.sessions_per_shard {
+            self.record_shed(id, ShedReason::Admission);
+            return Err(FleetError::ShardFull {
+                shard: shard_index,
+                session: id,
+            });
+        }
+        let mut engine =
+            StreamingEngine::with_shared(Arc::clone(&self.pipeline), self.channel_count)
+                .map_err(FleetError::Engine)?;
+        if self.config.monitor_horizon > 0 {
+            engine.attach_monitor(with_horizon(self.config.monitor_horizon));
+        }
+        self.shards[shard_index].insert(id, engine);
+        self.admitted += 1;
+        airfinger_obs::counter!("fleet_sessions_admitted_total").inc();
+        airfinger_obs::gauge!("fleet_sessions_active").set(self.active_sessions() as f64);
+        Ok(())
+    }
+
+    /// Queue one sample for a session. The push path proper runs later,
+    /// inside [`Fleet::run_round`]; enqueueing only touches the target
+    /// session's own queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::UnknownSession`] for an id that is not live,
+    /// [`FleetError::Engine`] for a wrong-width sample, and
+    /// [`FleetError::SessionShed`] when this sample overran the bounded
+    /// queue — in which case the session has been evicted.
+    pub fn enqueue(&mut self, id: u64, sample: &[f64]) -> Result<(), FleetError> {
+        if sample.len() != self.channel_count {
+            return Err(FleetError::Engine(AirFingerError::InvalidTrainingData(
+                "sample width mismatch",
+            )));
+        }
+        let shard_index = self.config.shard_of(id);
+        let capacity = self.config.queue_capacity;
+        let Some(session) = self.shards[shard_index].session_mut(id) else {
+            return Err(FleetError::UnknownSession(id));
+        };
+        if session.queue.len() >= capacity {
+            self.shards[shard_index].evict(id);
+            self.record_shed(id, ShedReason::Backpressure);
+            airfinger_obs::gauge!("fleet_sessions_active").set(self.active_sessions() as f64);
+            return Err(FleetError::SessionShed(id));
+        }
+        session.queue.push_back(sample.to_vec());
+        airfinger_obs::counter!("fleet_samples_queued_total").inc();
+        Ok(())
+    }
+
+    /// Run one serving round: drain every shard in parallel (one worker
+    /// per shard, each owning its sessions outright), then classify every
+    /// pending gesture window across all shards in a single batched
+    /// forest pass and resolve the deferred monitor observations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a batch-classification failure as
+    /// [`FleetError::Engine`]; per-session recognition errors are counted
+    /// against the session instead.
+    pub fn run_round(&mut self) -> Result<RoundStats, FleetError> {
+        let _span = airfinger_obs::span!("fleet_round_seconds");
+        self.rounds += 1;
+        airfinger_obs::counter!("fleet_rounds_total").inc();
+        let threads = airfinger_parallel::effective_threads(match self.config.threads {
+            0 => None,
+            n => Some(n),
+        })
+        .min(self.shards.len().max(1));
+        airfinger_parallel::par_for_each_mut(&mut self.shards, threads, |_, shard| shard.drain());
+
+        // Gather pending rows in (shard, session-id) order — the same
+        // order a sequential sweep would visit them.
+        let mut rows: Vec<(usize, u64)> = Vec::new();
+        let mut matrix: Vec<Vec<f64>> = Vec::new();
+        for (shard_index, shard) in self.shards.iter_mut().enumerate() {
+            for entry in shard.take_batch() {
+                rows.push((shard_index, entry.session));
+                matrix.push(entry.features);
+            }
+        }
+        let batched = rows.len();
+        if batched > 0 {
+            self.batches += 1;
+            self.batched_windows += batched as u64;
+            airfinger_obs::counter!("fleet_batches_total").inc();
+            airfinger_obs::counter!("fleet_batch_windows_total").add(batched as u64);
+            let predictions = {
+                let _s = airfinger_obs::span!("fleet_batch_predict_seconds");
+                self.pipeline
+                    .detect_recognizer()
+                    .predict_features_batch(&matrix)
+                    .map_err(FleetError::Engine)?
+            };
+            for ((shard_index, session), predicted) in rows.iter().zip(predictions) {
+                self.shards[*shard_index].finish_pending(*session, &self.pipeline, predicted);
+            }
+        }
+
+        let stats = RoundStats {
+            processed: self.shards.iter().map(Shard::drained_last_round).sum(),
+            batched,
+            active: self.active_sessions(),
+            queued: self.shards.iter().map(Shard::queued).sum(),
+        };
+        self.publish_rollup();
+        Ok(stats)
+    }
+
+    /// Run rounds until every queue is empty. Terminates because each
+    /// round with queued samples drains at least one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`Fleet::run_round`] error.
+    pub fn drain_all(&mut self) -> Result<(), FleetError> {
+        while !self.idle() {
+            let _ = self.run_round()?;
+        }
+        Ok(())
+    }
+
+    /// Flush every session's engine at end of stream, logging any final
+    /// recognition. Call after [`Fleet::drain_all`]; recognition errors
+    /// are counted against the session, exactly like in-round errors.
+    pub fn flush_sessions(&mut self) {
+        for shard in &mut self.shards {
+            for session in shard.sessions_mut() {
+                match session.engine.flush() {
+                    Ok(Some(recognition)) => session.recognitions.push(recognition),
+                    Ok(None) => {}
+                    Err(_) => session.errors += 1,
+                }
+            }
+        }
+        self.publish_rollup();
+    }
+
+    /// Whether every session's queue is empty and nothing is pending.
+    #[must_use]
+    pub fn idle(&self) -> bool {
+        self.shards.iter().all(Shard::idle)
+    }
+
+    /// Live session count.
+    #[must_use]
+    pub fn active_sessions(&self) -> usize {
+        self.shards.iter().map(Shard::len).sum()
+    }
+
+    /// Sessions ever admitted.
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Sessions ever shed (admission refusals plus evictions).
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed_log.len() as u64
+    }
+
+    /// The deterministic shed log, in shed order.
+    #[must_use]
+    pub fn shed_log(&self) -> &[ShedEvent] {
+        &self.shed_log
+    }
+
+    /// Serving rounds run so far.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Batched forest passes run so far.
+    #[must_use]
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Gesture windows classified through the batch path so far.
+    #[must_use]
+    pub fn batched_windows(&self) -> u64 {
+        self.batched_windows
+    }
+
+    /// Live session ids, in (shard, id) order.
+    #[must_use]
+    pub fn session_ids(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .flat_map(|shard| shard.sessions().iter().map(|s| s.id))
+            .collect()
+    }
+
+    /// A live session's recognition log, oldest first.
+    #[must_use]
+    pub fn session_recognitions(&self, id: u64) -> Option<&[Recognition]> {
+        self.shards[self.config.shard_of(id)]
+            .session(id)
+            .map(|s| s.recognitions.as_slice())
+    }
+
+    /// Samples a live session has pushed through its engine.
+    #[must_use]
+    pub fn session_samples_processed(&self, id: u64) -> Option<u64> {
+        self.shards[self.config.shard_of(id)]
+            .session(id)
+            .map(|s| s.samples_processed)
+    }
+
+    /// A live session's health monitor (`None` when the id is not live or
+    /// monitors are disabled).
+    #[must_use]
+    pub fn session_monitor(&self, id: u64) -> Option<&airfinger_obs::monitor::EngineMonitor> {
+        self.shards[self.config.shard_of(id)]
+            .session(id)
+            .and_then(|s| s.engine.monitor())
+    }
+
+    /// A live session's current health (`None` when the id is not live or
+    /// monitors are disabled).
+    #[must_use]
+    pub fn session_health(&self, id: u64) -> Option<HealthState> {
+        self.session_monitor(id)
+            .map(airfinger_obs::monitor::EngineMonitor::health)
+    }
+
+    /// Drain every session's pending flight-recorder dumps as
+    /// `(session_id, dumps)` pairs, in (shard, id) order.
+    #[must_use]
+    pub fn take_dumps(&mut self) -> Vec<(u64, Vec<airfinger_obs::recorder::Dump>)> {
+        let mut out = Vec::new();
+        for shard in &mut self.shards {
+            for session in shard.sessions_mut() {
+                if let Some(monitor) = session.engine.monitor_mut() {
+                    let dumps = monitor.take_dumps();
+                    if !dumps.is_empty() {
+                        out.push((session.id, dumps));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The fleet-level SLO view: per-shard session/health tallies plus
+    /// fleet-wide aggregates.
+    #[must_use]
+    pub fn rollup(&self) -> FleetRollup {
+        let shards: Vec<ShardHealth> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| {
+                let mut health = ShardHealth {
+                    shard: index,
+                    sessions: shard.len(),
+                    queued: shard.queued(),
+                    healthy: 0,
+                    degraded: 0,
+                    unhealthy: 0,
+                    worst: HealthState::Healthy,
+                };
+                for session in shard.sessions() {
+                    // Sessions without monitors count as healthy: no
+                    // evidence of breach.
+                    let state = session.engine.monitor().map_or(
+                        HealthState::Healthy,
+                        airfinger_obs::monitor::EngineMonitor::health,
+                    );
+                    match state.level() {
+                        0 => health.healthy += 1,
+                        1 => health.degraded += 1,
+                        _ => health.unhealthy += 1,
+                    }
+                    if state.level() > health.worst.level() {
+                        health.worst = state;
+                    }
+                }
+                health
+            })
+            .collect();
+        let mut worst = HealthState::Healthy;
+        for shard in &shards {
+            if shard.worst.level() > worst.level() {
+                worst = shard.worst;
+            }
+        }
+        FleetRollup {
+            sessions_active: self.active_sessions(),
+            sessions_admitted: self.admitted,
+            sessions_shed: self.shed(),
+            samples_processed: self
+                .shards
+                .iter()
+                .flat_map(|s| s.sessions().iter().map(|x| x.samples_processed))
+                .sum(),
+            recognitions: self
+                .shards
+                .iter()
+                .flat_map(|s| s.sessions().iter().map(|x| x.recognitions.len() as u64))
+                .sum(),
+            errors: self
+                .shards
+                .iter()
+                .flat_map(|s| s.sessions().iter().map(|x| x.errors))
+                .sum(),
+            worst,
+            shards,
+        }
+    }
+
+    fn record_shed(&mut self, session: u64, reason: ShedReason) {
+        self.shed_log.push(ShedEvent { session, reason });
+        airfinger_obs::counter_with("fleet_sessions_shed_total", &[("reason", reason.tag())]).inc();
+    }
+
+    /// Publish the per-shard and fleet-wide health gauges.
+    fn publish_rollup(&self) {
+        if !airfinger_obs::recording() {
+            return;
+        }
+        let rollup = self.rollup();
+        airfinger_obs::gauge!("fleet_sessions_active").set(rollup.sessions_active as f64);
+        airfinger_obs::gauge!("fleet_health_worst").set(f64::from(rollup.worst.level()));
+        for shard in &rollup.shards {
+            let label = shard.shard.to_string();
+            airfinger_obs::gauge_with("fleet_shard_health", &[("shard", &label)])
+                .set(f64::from(shard.worst.level()));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Fleet serving: many concurrent streaming-engine sessions behind one
+//! trained model.
+//!
+//! The paper's end state is airFinger running on every smart device; this
+//! crate is the serving layer that takes the single-session
+//! [`StreamingEngine`](airfinger_core::engine::StreamingEngine) and
+//! multiplexes N independent sessions over the workspace's bounded worker
+//! pool. The design splits into four pieces:
+//!
+//! - **Sharding** ([`shard`]): sessions are partitioned by
+//!   `session_id % shards`; each shard exclusively owns its session table
+//!   and is drained by exactly one worker per round via
+//!   [`airfinger_parallel::par_for_each_mut`], so the push path takes no
+//!   locks at all — not per sample, not per shard.
+//! - **Batched inference** ([`Fleet::run_round`]): a session whose push
+//!   closes a gesture window *pauses* instead of classifying inline; at
+//!   the end of the round every pending feature row across every shard is
+//!   classified in one matrix-shaped
+//!   [`predict_features_batch`](airfinger_core::detect::DetectRecognizer::predict_features_batch)
+//!   pass. The forest's batch path is pinned bit-identical to its serial
+//!   path, and the engine's deferred-push protocol replays each monitor
+//!   observation exactly as an inline `push` would have — so a fleet run
+//!   produces the same recognitions, in the same order, as N solo runs.
+//! - **Admission and backpressure** ([`Fleet::admit`],
+//!   [`Fleet::enqueue`]): shard capacity bounds admissions and a bounded
+//!   per-session queue bounds memory; a producer that overruns its queue
+//!   has its session deterministically shed (the whole session is evicted
+//!   and logged, surviving sessions are untouched).
+//! - **SLO rollup** ([`rollup`]): every session carries its own
+//!   [`EngineMonitor`](airfinger_obs::monitor::EngineMonitor); per-shard
+//!   worst-health and fleet-wide aggregates publish through the global
+//!   registry under the `fleet_*` schema rows (DESIGN.md §9/§12).
+//!
+//! [`population`] generates deterministic synthetic session populations
+//! (distinct per-user profiles, staggered arrivals, scripted faults on a
+//! subset) and drives a fleet to completion — the harness behind the
+//! `airfinger fleet` CLI subcommand and the `repro fleet` bench
+//! experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod fleet;
+pub mod population;
+pub mod rollup;
+mod shard;
+
+pub use config::FleetConfig;
+pub use fleet::{Fleet, RoundStats, ShedEvent, ShedReason};
+pub use population::{drive, generate_population, session_spec, DriveReport, PopulationSpec};
+pub use rollup::{FleetRollup, ShardHealth};
+
+use airfinger_core::error::AirFingerError;
+
+/// Errors surfaced by the fleet layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// The fleet configuration failed validation.
+    InvalidConfig(&'static str),
+    /// Admission refused: the target shard's session table is full.
+    ShardFull {
+        /// The shard that refused the session.
+        shard: usize,
+        /// The refused session id.
+        session: u64,
+    },
+    /// Admission refused: a session with this id is already live.
+    DuplicateSession(u64),
+    /// No live session with this id (never admitted, or already shed).
+    UnknownSession(u64),
+    /// The session overran its bounded queue and was evicted.
+    SessionShed(u64),
+    /// An underlying engine or pipeline error.
+    Engine(AirFingerError),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::InvalidConfig(why) => write!(f, "invalid fleet config: {why}"),
+            FleetError::ShardFull { shard, session } => {
+                write!(f, "shard {shard} is full; session {session} refused")
+            }
+            FleetError::DuplicateSession(id) => write!(f, "session {id} is already live"),
+            FleetError::UnknownSession(id) => write!(f, "no live session {id}"),
+            FleetError::SessionShed(id) => {
+                write!(f, "session {id} shed under backpressure")
+            }
+            FleetError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<AirFingerError> for FleetError {
+    fn from(e: AirFingerError) -> Self {
+        FleetError::Engine(e)
+    }
+}

@@ -1,0 +1,209 @@
+//! Deterministic synthetic session populations and the drive loop.
+//!
+//! A [`PopulationSpec`] scripts a whole user base: each session ordinal
+//! maps to a distinct [`SessionSpec`] (its own user profile, its own seed
+//! stream, optionally the standard fault schedule), arrivals are
+//! staggered across rounds, and the producer feeds each live session a
+//! fixed chunk of samples per round — the open-loop ingest pattern a
+//! device gateway would present. Everything derives from the spec, so two
+//! drives of the same population are bit-identical.
+
+use crate::fleet::Fleet;
+use crate::FleetError;
+use airfinger_nir_sim::trace::RssTrace;
+use airfinger_synth::session::{generate_session, standard_fault_schedule, SessionSpec};
+
+/// A scripted session population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationSpec {
+    /// Number of sessions.
+    pub sessions: usize,
+    /// Samples per session trace.
+    pub samples_per_session: usize,
+    /// Distinct user profiles, cycled over session ordinals.
+    pub users: usize,
+    /// Master seed; each session derives an independent stream.
+    pub seed: u64,
+    /// Every `fault_every`-th session (ordinals 0, k, 2k, …) runs the
+    /// standard spike+dropout fault schedule; `0` keeps every session
+    /// clean.
+    pub fault_every: usize,
+    /// Session ordinal `j` arrives at round `j * arrival_stagger_rounds`.
+    pub arrival_stagger_rounds: usize,
+    /// Samples fed to each live session per round.
+    pub chunk: usize,
+}
+
+impl Default for PopulationSpec {
+    fn default() -> Self {
+        PopulationSpec {
+            sessions: 8,
+            samples_per_session: 1000,
+            users: 4,
+            seed: 0x41F1_6E12,
+            fault_every: 0,
+            arrival_stagger_rounds: 1,
+            chunk: 64,
+        }
+    }
+}
+
+/// The scripted [`SessionSpec`] of one session ordinal: a distinct user
+/// profile (cycled), an independent seed stream, and the standard fault
+/// schedule on the configured subset.
+#[must_use]
+pub fn session_spec(pop: &PopulationSpec, ordinal: usize) -> SessionSpec {
+    let faults = if pop.fault_every > 0 && ordinal.is_multiple_of(pop.fault_every) {
+        standard_fault_schedule(pop.samples_per_session, true, true)
+    } else {
+        Vec::new()
+    };
+    SessionSpec {
+        samples: pop.samples_per_session,
+        seed: pop
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(ordinal as u64 + 1)),
+        user: ordinal % pop.users.max(1),
+        faults,
+        ..SessionSpec::default()
+    }
+}
+
+/// Render every session trace of the population, in ordinal order, using
+/// up to `threads` workers (trace rendering dominates harness setup time
+/// and each trace is independent).
+#[must_use]
+pub fn generate_population(pop: &PopulationSpec, threads: usize) -> Vec<RssTrace> {
+    let ordinals: Vec<usize> = (0..pop.sessions).collect();
+    airfinger_parallel::par_map(&ordinals, threads, |&ordinal| {
+        generate_session(&session_spec(pop, ordinal))
+    })
+}
+
+/// What happened while driving a population through a fleet.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DriveReport {
+    /// Samples accepted into session queues.
+    pub fed: u64,
+    /// Serving rounds run.
+    pub rounds: u64,
+    /// Sessions refused at admission, in refusal order.
+    pub shed_on_admission: Vec<u64>,
+    /// Sessions evicted under backpressure, in eviction order.
+    pub shed_on_backpressure: Vec<u64>,
+}
+
+/// Drive a population to completion: admit session `j` (id `ids[j]`,
+/// trace `traces[j]`) at round `j * arrival_stagger_rounds`, feed every
+/// live session `chunk` samples per round, and run rounds until every
+/// arrival has happened, every surviving trace is fully fed, and the
+/// fleet is idle. Shed sessions (at admission or under backpressure) are
+/// recorded and skipped thereafter.
+///
+/// # Errors
+///
+/// Propagates fleet errors other than the expected shed signals.
+pub fn drive(
+    fleet: &mut Fleet,
+    ids: &[u64],
+    traces: &[RssTrace],
+    pop: &PopulationSpec,
+) -> Result<DriveReport, FleetError> {
+    let n = ids.len().min(traces.len());
+    let chunk = pop.chunk.max(1);
+    let mut report = DriveReport::default();
+    let mut position = vec![0usize; n];
+    let mut admitted = vec![false; n];
+    let mut dead = vec![false; n];
+    let mut sample = Vec::new();
+    let mut round = 0usize;
+    loop {
+        // Staggered arrivals.
+        for j in 0..n {
+            if admitted[j] || round < j.saturating_mul(pop.arrival_stagger_rounds) {
+                continue;
+            }
+            admitted[j] = true;
+            match fleet.admit(ids[j]) {
+                Ok(()) => {}
+                Err(FleetError::ShardFull { .. }) => {
+                    dead[j] = true;
+                    report.shed_on_admission.push(ids[j]);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Open-loop feed: `chunk` samples per live session per round.
+        for j in 0..n {
+            if !admitted[j] || dead[j] {
+                continue;
+            }
+            let trace = &traces[j];
+            let stop = trace.len().min(position[j] + chunk);
+            while position[j] < stop {
+                let i = position[j];
+                sample.clear();
+                sample.extend((0..trace.channel_count()).map(|k| trace.channel(k)[i]));
+                match fleet.enqueue(ids[j], &sample) {
+                    Ok(()) => {
+                        report.fed += 1;
+                        position[j] = i + 1;
+                    }
+                    Err(FleetError::SessionShed(_)) => {
+                        dead[j] = true;
+                        report.shed_on_backpressure.push(ids[j]);
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        let _ = fleet.run_round()?;
+        report.rounds += 1;
+        round += 1;
+        let arrivals_done = admitted.iter().all(|&a| a);
+        let feeding_done =
+            (0..n).all(|j| dead[j] || (admitted[j] && position[j] >= traces[j].len()));
+        if arrivals_done && feeding_done && fleet.idle() {
+            return Ok(report);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_specs_are_distinct_and_deterministic() {
+        let pop = PopulationSpec {
+            sessions: 6,
+            users: 3,
+            fault_every: 2,
+            ..Default::default()
+        };
+        let a = session_spec(&pop, 2);
+        let b = session_spec(&pop, 2);
+        assert_eq!(a, b);
+        let c = session_spec(&pop, 3);
+        assert_ne!(a.seed, c.seed);
+        assert_eq!(a.user, 2);
+        assert_eq!(c.user, 0);
+        assert!(!a.faults.is_empty(), "ordinal 2 is faulted");
+        assert!(c.faults.is_empty(), "ordinal 3 is clean");
+    }
+
+    #[test]
+    fn population_generation_is_thread_invariant() {
+        let pop = PopulationSpec {
+            sessions: 3,
+            samples_per_session: 200,
+            ..Default::default()
+        };
+        let serial = generate_population(&pop, 1);
+        let parallel = generate_population(&pop, 4);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 3);
+        assert_eq!(serial[0].len(), 200);
+    }
+}

@@ -1,0 +1,54 @@
+//! Fleet-level SLO view: per-shard health tallies and fleet aggregates.
+
+use airfinger_obs::HealthState;
+
+/// One shard's session and health tally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// Shard index.
+    pub shard: usize,
+    /// Live sessions on the shard.
+    pub sessions: usize,
+    /// Samples queued across the shard's sessions.
+    pub queued: usize,
+    /// Sessions currently healthy (including monitor-less sessions).
+    pub healthy: usize,
+    /// Sessions currently degraded.
+    pub degraded: usize,
+    /// Sessions currently unhealthy.
+    pub unhealthy: usize,
+    /// Worst session state on the shard.
+    pub worst: HealthState,
+}
+
+/// The whole fleet's SLO rollup, published through the registry as the
+/// `fleet_shard_health{shard}` / `fleet_health_worst` gauges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetRollup {
+    /// Per-shard tallies, by shard index.
+    pub shards: Vec<ShardHealth>,
+    /// Live sessions across the fleet.
+    pub sessions_active: usize,
+    /// Sessions ever admitted.
+    pub sessions_admitted: u64,
+    /// Sessions ever shed.
+    pub sessions_shed: u64,
+    /// Samples pushed through session engines.
+    pub samples_processed: u64,
+    /// Recognition events logged across live sessions.
+    pub recognitions: u64,
+    /// Recognition errors counted across live sessions.
+    pub errors: u64,
+    /// Worst session state across the fleet.
+    pub worst: HealthState,
+}
+
+impl FleetRollup {
+    /// Fleet-wide healthy/degraded/unhealthy tallies summed over shards.
+    #[must_use]
+    pub fn health_counts(&self) -> (usize, usize, usize) {
+        self.shards.iter().fold((0, 0, 0), |(h, d, u), s| {
+            (h + s.healthy, d + s.degraded, u + s.unhealthy)
+        })
+    }
+}

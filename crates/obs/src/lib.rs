@@ -134,6 +134,14 @@ pub fn gauge(name: &str) -> Gauge {
     global().gauge(name, &[], "")
 }
 
+/// Register (or fetch) a labelled gauge in the global registry (for
+/// dynamic label values; prefer the [`gauge!`] macro when they are
+/// static).
+#[must_use]
+pub fn gauge_with(name: &str, labels: &[(&str, &str)]) -> Gauge {
+    global().gauge(name, labels, "")
+}
+
 /// Register (or fetch) an unlabelled latency histogram (default
 /// exponential seconds buckets) in the global registry.
 #[must_use]

@@ -141,6 +141,61 @@ where
     par_map_indexed(items, threads, |_, t| f(t))
 }
 
+/// Mutate `items` in place using up to `threads` scoped worker threads.
+///
+/// The items are split into one contiguous chunk per worker via
+/// [`slice::chunks_mut`], so every worker owns a disjoint sub-slice and no
+/// locks are taken — this is the fleet layer's shard-drain primitive,
+/// where each shard exclusively owns its sessions. `f` receives
+/// `(index, &mut item)` with the item's global index. Because each item is
+/// visited exactly once by exactly one worker, any per-item deterministic
+/// `f` leaves `items` in a state independent of the thread count.
+///
+/// With `threads <= 1` or fewer than two items, the loop runs inline on
+/// the calling thread with no spawning at all.
+pub fn par_for_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    // Counted at the dispatch site — once per item, never per worker — so
+    // the total is identical at every thread count.
+    airfinger_obs::counter!("parallel_jobs_total", op = "for_each_mut").add(n as u64);
+    let workers = threads.max(1).min(n);
+    if workers <= 1 {
+        let _busy = airfinger_obs::span!("parallel_worker_busy_seconds", op = "for_each_mut");
+        observe_worker_jobs("for_each_mut", n);
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(c, slice)| {
+                let f = &f;
+                scope.spawn(move || {
+                    let _busy =
+                        airfinger_obs::span!("parallel_worker_busy_seconds", op = "for_each_mut");
+                    observe_worker_jobs("for_each_mut", slice.len());
+                    for (i, item) in slice.iter_mut().enumerate() {
+                        f(c * chunk + i, item);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
 /// Run `count` independent jobs on up to `threads` workers and collect the
 /// results in job order: the parallel equivalent of
 /// `(0..count).map(f).collect()`.
@@ -225,6 +280,26 @@ mod tests {
         let empty: Vec<u32> = vec![];
         assert!(par_map(&empty, 8, |x| *x).is_empty());
         assert_eq!(par_map(&[42u32], 8, |x| *x + 1), vec![43]);
+    }
+
+    #[test]
+    fn par_for_each_mut_visits_every_item_once() {
+        for threads in [1, 2, 3, 8, 64] {
+            let mut items: Vec<u64> = (0..97).collect();
+            par_for_each_mut(&mut items, threads, |i, v| *v = *v * 2 + i as u64);
+            let expect: Vec<u64> = (0..97).map(|i| i * 3).collect();
+            assert_eq!(items, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_for_each_mut_handles_empty_and_single() {
+        let mut empty: Vec<u32> = vec![];
+        par_for_each_mut(&mut empty, 4, |_, _| {});
+        assert!(empty.is_empty());
+        let mut one = vec![7u32];
+        par_for_each_mut(&mut one, 4, |_, v| *v += 1);
+        assert_eq!(one, vec![8]);
     }
 
     #[test]

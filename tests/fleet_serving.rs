@@ -1,0 +1,214 @@
+//! The fleet-serving contract, end to end: a sharded, batched fleet run
+//! must be bit-identical to N solo [`StreamingEngine`] sessions (same
+//! recognitions, same monitor state), invariant under the worker-thread
+//! count, and an over-subscribed fleet must shed deterministically
+//! without perturbing a single surviving session.
+
+use airfinger_core::engine::StreamingEngine;
+use airfinger_core::events::Recognition;
+use airfinger_core::pipeline::AirFinger;
+use airfinger_fleet::{drive, generate_population, Fleet, FleetConfig, PopulationSpec, ShedReason};
+use airfinger_nir_sim::trace::RssTrace;
+use airfinger_obs::monitor::with_horizon;
+use airfinger_tests::trained_pipeline;
+use std::sync::Arc;
+
+const SAMPLES: usize = 500;
+const HORIZON: usize = 100;
+
+fn population(sessions: usize) -> (PopulationSpec, Vec<RssTrace>, Vec<u64>) {
+    let pop = PopulationSpec {
+        sessions,
+        samples_per_session: SAMPLES,
+        users: 3,
+        seed: 29,
+        fault_every: 3,
+        arrival_stagger_rounds: 1,
+        chunk: 32,
+    };
+    let traces = generate_population(&pop, 1);
+    let ids = (0..sessions as u64).collect();
+    (pop, traces, ids)
+}
+
+/// One solo monitored session over `trace`, with the fleet's error-skip
+/// semantics: failed recognitions are dropped, the stream continues.
+fn solo_run(
+    pipeline: &Arc<AirFinger>,
+    trace: &RssTrace,
+    horizon: usize,
+) -> (Vec<Recognition>, u64, u64) {
+    let channels = trace.channel_count();
+    let mut engine =
+        StreamingEngine::with_shared(Arc::clone(pipeline), channels).expect("engine builds");
+    if horizon > 0 {
+        engine.attach_monitor(with_horizon(horizon));
+    }
+    let mut events = Vec::new();
+    let mut sample = vec![0.0; channels];
+    for i in 0..trace.len() {
+        for (k, v) in sample.iter_mut().enumerate() {
+            *v = trace.channel(k)[i];
+        }
+        if let Ok(Some(event)) = engine.push(&sample) {
+            events.push(event);
+        }
+    }
+    if let Ok(Some(event)) = engine.flush() {
+        events.push(event);
+    }
+    let (seen, windows) = engine
+        .monitor()
+        .map_or((0, 0), |m| (m.samples_seen(), m.windows_closed()));
+    (events, seen, windows)
+}
+
+fn run_fleet(pipeline: &Arc<AirFinger>, threads: usize) -> Fleet {
+    let (pop, traces, ids) = population(6);
+    let channels = traces[0].channel_count();
+    let config = FleetConfig {
+        shards: 2,
+        sessions_per_shard: 3,
+        queue_capacity: 256,
+        quantum: 64,
+        monitor_horizon: HORIZON,
+        threads,
+    };
+    let mut fleet = Fleet::new(Arc::clone(pipeline), channels, config).expect("fleet builds");
+    let report = drive(&mut fleet, &ids, &traces, &pop).expect("drive completes");
+    fleet.flush_sessions();
+    assert_eq!(fleet.admitted(), 6, "all sessions admitted");
+    assert_eq!(fleet.shed(), 0, "nothing shed: {:?}", fleet.shed_log());
+    assert!(report.fed > 0 && fleet.idle());
+    fleet
+}
+
+#[test]
+fn batched_fleet_is_bit_identical_to_solo_sessions() {
+    let (af, _) = trained_pipeline(29);
+    let pipeline = Arc::new(af);
+    let (_, traces, ids) = population(6);
+    let fleet = run_fleet(&pipeline, 1);
+    assert!(
+        fleet.batched_windows() > 0,
+        "the batched classification path must engage"
+    );
+    for (id, trace) in ids.iter().zip(&traces) {
+        let (events, seen, windows) = solo_run(&pipeline, trace, HORIZON);
+        assert_eq!(
+            fleet.session_recognitions(*id),
+            Some(events.as_slice()),
+            "session {id} recognitions diverge from its solo run"
+        );
+        let monitor = fleet.session_monitor(*id).expect("session monitored");
+        assert_eq!(monitor.samples_seen(), seen, "session {id} monitor feed");
+        assert_eq!(
+            monitor.windows_closed(),
+            windows,
+            "session {id} monitor windows"
+        );
+    }
+}
+
+#[test]
+fn fleet_run_is_thread_invariant() {
+    let (af, _) = trained_pipeline(29);
+    let pipeline = Arc::new(af);
+    let serial = run_fleet(&pipeline, 1);
+    let threaded = run_fleet(&pipeline, 4);
+    assert_eq!(serial.rollup(), threaded.rollup());
+    for id in serial.session_ids() {
+        assert_eq!(
+            serial.session_recognitions(id),
+            threaded.session_recognitions(id),
+            "session {id} diverges across thread counts"
+        );
+    }
+}
+
+/// Over-subscribe a 2-shard fleet and overflow one queue; admissions are
+/// refused in arrival order, the eviction is logged, and the survivors
+/// stay bit-identical to their solo runs.
+#[test]
+fn oversubscription_sheds_deterministically_and_isolates_survivors() {
+    let (af, _) = trained_pipeline(29);
+    let pipeline = Arc::new(af);
+    let (_, traces, _) = population(6);
+    let channels = traces[0].channel_count();
+    let config = FleetConfig {
+        shards: 2,
+        sessions_per_shard: 2,
+        queue_capacity: 64,
+        quantum: 32,
+        monitor_horizon: 0,
+        threads: 1,
+    };
+    let shed_logs: Vec<Vec<(u64, ShedReason)>> = (0..2)
+        .map(|_| {
+            let mut fleet =
+                Fleet::new(Arc::clone(&pipeline), channels, config).expect("fleet builds");
+            // Sessions 0..4 fill both shards; 4 and 5 must be refused.
+            for id in 0..4 {
+                fleet.admit(id).expect("capacity admits four sessions");
+            }
+            assert!(fleet.admit(4).is_err(), "shard 0 is full");
+            assert!(fleet.admit(5).is_err(), "shard 1 is full");
+
+            // Overflow session 0's bounded queue: the 65th sample evicts it.
+            let mut sample = vec![0.0; channels];
+            for i in 0..=config.queue_capacity {
+                for (k, v) in sample.iter_mut().enumerate() {
+                    *v = traces[0].channel(k)[i];
+                }
+                let pushed = fleet.enqueue(0, &sample);
+                assert_eq!(
+                    pushed.is_err(),
+                    i == config.queue_capacity,
+                    "only the overflowing sample sheds (i = {i})"
+                );
+            }
+            assert_eq!(fleet.active_sessions(), 3, "survivors stay live");
+
+            // Feed the survivors to completion.
+            for round in 0..SAMPLES.div_ceil(32) {
+                for id in [1u64, 2, 3] {
+                    let trace = &traces[id as usize];
+                    for i in (round * 32).min(trace.len())..((round + 1) * 32).min(trace.len()) {
+                        for (k, v) in sample.iter_mut().enumerate() {
+                            *v = trace.channel(k)[i];
+                        }
+                        fleet.enqueue(id, &sample).expect("survivors never shed");
+                    }
+                }
+                let _ = fleet.run_round().expect("round runs");
+            }
+            fleet.drain_all().expect("drains");
+            fleet.flush_sessions();
+
+            for id in [1u64, 2, 3] {
+                let (events, _, _) = solo_run(&pipeline, &traces[id as usize], 0);
+                assert_eq!(
+                    fleet.session_recognitions(id),
+                    Some(events.as_slice()),
+                    "survivor {id} corrupted by the shed sessions"
+                );
+            }
+            fleet
+                .shed_log()
+                .iter()
+                .map(|e| (e.session, e.reason))
+                .collect()
+        })
+        .collect();
+
+    assert_eq!(
+        shed_logs[0],
+        vec![
+            (4, ShedReason::Admission),
+            (5, ShedReason::Admission),
+            (0, ShedReason::Backpressure),
+        ],
+        "shed order is deterministic"
+    );
+    assert_eq!(shed_logs[0], shed_logs[1], "shed log replays identically");
+}
