@@ -29,6 +29,13 @@ use airfinger_bench::{run_experiment, EXPERIMENT_IDS};
 use airfinger_obs::report::RunReport;
 use airfinger_parallel::{effective_threads, par_run};
 
+/// Counting allocator wrapper so the `profile` experiment (and any
+/// future zero-alloc ratchet) can attribute allocation events to the
+/// hot path. Pure pass-through to the system allocator plus two atomic
+/// adds per event; negligible against real experiment cost.
+#[global_allocator]
+static ALLOC: airfinger_obs::CountingAlloc = airfinger_obs::CountingAlloc::new();
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("diff") {
@@ -43,6 +50,7 @@ fn main() {
     let mut label: Option<String> = None;
     let mut threads_arg: Option<usize> = None;
     let mut trace_out: Option<String> = None;
+    let mut profile_dir: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -88,6 +96,16 @@ fn main() {
                 Some(l) if !l.is_empty() => label = Some(l.clone()),
                 _ => {
                     eprintln!("--label needs a name");
+                    std::process::exit(2);
+                }
+            },
+            "--profile-dir" => match it.next() {
+                Some(p) if !p.is_empty() => {
+                    airfinger_obs::profile::set_enabled(true);
+                    profile_dir = Some(p.clone());
+                }
+                _ => {
+                    eprintln!("--profile-dir needs a directory path");
                     std::process::exit(2);
                 }
             },
@@ -218,6 +236,25 @@ fn main() {
             eprintln!("[repro] wrote benchmark snapshot to {path}");
         }
     }
+    if let Some(dir) = profile_dir {
+        let snap = airfinger_obs::profile::snapshot();
+        let dir_path = std::path::Path::new(&dir);
+        if let Err(e) = std::fs::create_dir_all(dir_path) {
+            eprintln!("[repro] cannot create profile dir {dir}: {e}");
+            std::process::exit(1);
+        }
+        for (name, body) in [
+            ("profile_collapsed.txt", snap.collapsed()),
+            ("profile.json", snap.to_json()),
+        ] {
+            let path = dir_path.join(name);
+            if let Err(e) = std::fs::write(&path, body.as_bytes()) {
+                eprintln!("[repro] cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("[repro] wrote {}", path.display());
+        }
+    }
     if let Some(path) = trace_out {
         match airfinger_obs::trace::write_chrome_trace(&path) {
             Ok(()) => eprintln!(
@@ -306,7 +343,7 @@ fn print_help() {
     println!(
         "usage: repro [IDS…|all] [--scale quick|standard|full] [--seed N] \
          [--threads N] [--json PATH] [--metrics PATH] [--label NAME] [--trace] \
-         [--trace-out PATH]"
+         [--trace-out PATH] [--profile-dir DIR]"
     );
     println!("       repro diff BASE.json NEW.json [--max-time-regress PCT] [--min-accuracy PCT]");
     println!();
@@ -319,6 +356,9 @@ fn print_help() {
     println!("  --trace           print every instrumentation span to stderr");
     println!("  --trace-out PATH  export the span timeline as Chrome trace_event");
     println!("                    JSON (open in Perfetto or chrome://tracing)");
+    println!("  --profile-dir DIR enable the per-stage cost profiler and write");
+    println!("                    profile_collapsed.txt (flamegraph collapsed-stack");
+    println!("                    format) and profile.json into DIR after the run");
     println!();
     println!("  diff              compare two BENCH_*.json snapshots; exits 1 when");
     println!("                    wall time regresses past --max-time-regress or");

@@ -22,6 +22,7 @@ pub mod fleet;
 pub mod importance;
 pub mod interference;
 pub mod outdoor;
+pub mod profile;
 pub mod selection;
 pub mod soak;
 pub mod table2;

@@ -1,0 +1,250 @@
+//! Profile: per-stage cost attribution and allocation accounting for the
+//! streaming hot path.
+//!
+//! Not a paper figure — this is the measurement substrate for the speed
+//! arc (ROADMAP item 2, "zero-alloc, branchless hot path"): a
+//! single-threaded continuous session streams through a bare
+//! [`StreamingEngine`] with the span profiler enabled, and the report
+//! breaks the cost down by call path — self vs. cumulative nanoseconds
+//! per pipeline stage, frames per stage, and allocation events/bytes per
+//! push (when the `repro` binary's counting allocator is active).
+//!
+//! Everything except the `_ns`/throughput fields is a deterministic
+//! function of `(scale, seed)`: frame counts, path sets, recognition
+//! splits, and allocs-per-push are identical across `--threads` settings
+//! and across runs, which is what lets `repro diff` ratchet against this
+//! report. The profiler snapshot is scoped to this experiment's root
+//! span, so experiments running concurrently in the same process cannot
+//! leak frames into the breakdown.
+
+use crate::context::Context;
+use crate::error::BenchError;
+use crate::report::Report;
+use airfinger_core::config::AirFingerConfig;
+use airfinger_core::engine::StreamingEngine;
+use airfinger_core::pipeline::AirFinger;
+use airfinger_obs::{alloc, profile};
+use airfinger_synth::dataset::{generate_corpus, generate_nongesture_corpus, CorpusSpec};
+use airfinger_synth::session::{generate_session, SessionSpec};
+
+/// Root span around the streaming loop; the profiler snapshot is scoped
+/// to the subtree under this path.
+const ROOT: &str = "profile_stream_seconds";
+
+/// The pipeline stages attributed in the breakdown. The streaming
+/// engine computes SBC/threshold/segmentation incrementally (no span
+/// per sample — that would be pure overhead), so the first three are
+/// attributed by a batch analysis pass over the same trace inside the
+/// root span; the rest fire per classified window on both paths.
+const STAGES: [&str; 8] = [
+    "sbc",
+    "threshold",
+    "segment",
+    "filter",
+    "features",
+    "rf_predict",
+    "zebra",
+    "distinguish",
+];
+
+/// Run the experiment.
+///
+/// # Errors
+///
+/// Propagates training and engine failures; fails when the profiler
+/// breakdown violates its structural contract (missing push path or
+/// frame-count mismatch) while recording is on.
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
+    let mut report = Report::new(
+        "profile",
+        "per-stage cost attribution and allocation accounting",
+    );
+    let samples = match ctx.scale {
+        crate::context::Scale::Quick => 4_000,
+        crate::context::Scale::Standard => 10_000,
+        crate::context::Scale::Full => 20_000,
+    };
+
+    // Same compact training recipe as the soak (distinct seed stream),
+    // with the non-gesture filter live so the rejection stages appear in
+    // the breakdown.
+    let spec = CorpusSpec {
+        users: 2,
+        sessions: 2,
+        reps: ctx.scale.scaled(10),
+        seed: ctx.seed + 97,
+        ..Default::default()
+    };
+    let non_spec = CorpusSpec {
+        reps: ctx.scale.scaled(30),
+        ..spec.clone()
+    };
+    let corpus = generate_corpus(&spec);
+    let non = generate_nongesture_corpus(&non_spec);
+    let mut af = AirFinger::new(AirFingerConfig {
+        forest_trees: ctx.config.forest_trees.min(40),
+        ..ctx.config
+    });
+    af.train_on_corpus(&corpus, Some(&non))?;
+
+    let session = SessionSpec {
+        samples,
+        seed: ctx.seed + 97,
+        ..Default::default()
+    };
+    let trace = generate_session(&session);
+    let channels = trace.channel_count();
+    let mut engine = StreamingEngine::new(af, channels)?;
+
+    // Enable profiling for the streaming loop only: training above runs
+    // (possibly parallel) un-profiled, so the breakdown is exactly the
+    // single-threaded hot path.
+    let profiling_was_enabled = profile::enabled();
+    profile::set_enabled(true);
+
+    let mut sample = vec![0.0; channels];
+    let mut recognitions = 0usize;
+    let mut rejections = 0usize;
+    let alloc_before = alloc::thread_stats();
+    let span = airfinger_obs::span!("profile_stream_seconds");
+    for i in 0..trace.len() {
+        for (k, v) in sample.iter_mut().enumerate() {
+            *v = trace.channel(k)[i];
+        }
+        if let Some(event) = engine.push(&sample)? {
+            if event.gesture().is_some() {
+                recognitions += 1;
+            } else {
+                rejections += 1;
+            }
+        }
+    }
+    let elapsed = span.elapsed_s();
+    let alloc_after = alloc::thread_stats();
+    // Batch analysis pass, still under the root span: the streaming path
+    // has no per-sample SBC/threshold/segment spans, so this is where
+    // those stages get their cost attribution. A short dedicated trace —
+    // the batch feature stage scales with the dominant window, and the
+    // attribution needs the stages present, not a second soak.
+    let batch_trace = generate_session(&SessionSpec {
+        samples: 800,
+        seed: ctx.seed + 98,
+        ..Default::default()
+    });
+    let batch = engine.pipeline().recognize_primary(&batch_trace)?;
+    drop(span);
+    profile::set_enabled(profiling_was_enabled);
+    engine.flush()?;
+    alloc::publish();
+
+    let delta = alloc_after.since(alloc_before);
+
+    let scoped = profile::snapshot().under(ROOT);
+    let push_path = format!("{ROOT};engine_push_seconds");
+    let push = scoped.path(&push_path).copied().unwrap_or_default();
+
+    // Per-push allocation pressure comes from the push path's scoped
+    // stats — the profiler excludes its own bookkeeping there, so the
+    // number does not shift with how many profiled ancestors sit above
+    // the loop. The raw loop-wide delta (which includes bookkeeping) is
+    // reported as context only.
+    let allocs_per_push = push.alloc.count as f64 / samples as f64;
+    let bytes_per_push = push.alloc.bytes as f64 / samples as f64;
+
+    report.line(format!(
+        "{samples} samples single-threaded, {recognitions} recognitions, \
+         {rejections} rejections"
+    ));
+    report.line(format!(
+        "push path: {} frames, cumulative {} ns, self {} ns",
+        push.count, push.total_ns, push.self_ns
+    ));
+    report.line(format!(
+        "batch analysis pass recognized: {}",
+        if batch.gesture().is_some() {
+            "gesture"
+        } else {
+            "no gesture"
+        }
+    ));
+    report.metric(
+        "batch_recognized",
+        f64::from(u8::from(batch.gesture().is_some())),
+    );
+    if alloc::counting() {
+        report.line(format!(
+            "allocations: {:.3} events / {:.1} bytes per push \
+             (push-scoped {} / {}, raw loop delta {} / {})",
+            allocs_per_push,
+            bytes_per_push,
+            push.alloc.count,
+            push.alloc.bytes,
+            delta.count,
+            delta.bytes
+        ));
+    } else {
+        report.line("allocations: counting allocator not installed (0 reported)".to_string());
+    }
+    for stage in STAGES {
+        let leaf = format!("pipeline_stage_seconds{{stage={stage}}}");
+        let (count, self_ns) = scoped
+            .paths
+            .iter()
+            .filter(|(path, _)| path.rsplit(';').next() == Some(leaf.as_str()))
+            .fold((0u64, 0u64), |(c, n), (_, s)| (c + s.count, n + s.self_ns));
+        report.line(format!(
+            "  stage {stage:<12} {count:>6} frames, self {self_ns:>10} ns"
+        ));
+        report.metric(&format!("stage_{stage}_frames"), count as f64);
+        report.metric(&format!("stage_{stage}_self_ns"), self_ns as f64);
+    }
+
+    report.metric("samples", samples as f64);
+    report.metric("recognitions", recognitions as f64);
+    report.metric("rejections", rejections as f64);
+    report.metric("profile_scoped_paths", scoped.paths.len() as f64);
+    report.metric("profile_scoped_frames", scoped.frames() as f64);
+    report.metric("alloc_counting", f64::from(u8::from(alloc::counting())));
+    report.metric("allocs_per_push", allocs_per_push);
+    report.metric("alloc_bytes_per_push", bytes_per_push);
+    report.metric("push_total_ns", push.total_ns as f64);
+    report.metric("push_self_ns", push.self_ns as f64);
+    if elapsed > 0.0 {
+        report.line(format!(
+            "single-thread throughput {:.0} samples/s ({:.2} µs/push mean)",
+            samples as f64 / elapsed,
+            1e6 * elapsed / samples as f64
+        ));
+        report.metric("throughput_samples_per_s", samples as f64 / elapsed);
+    }
+
+    // Structural contract: with recording live, every push must appear as
+    // a frame under the root, and at least one window must have reached
+    // the per-window stages so the breakdown is non-trivial.
+    if airfinger_obs::recording() {
+        if push.count != samples as u64 {
+            return Err(BenchError::Contract(format!(
+                "expected {samples} push frames under `{push_path}`, got {}",
+                push.count
+            )));
+        }
+        if recognitions + rejections == 0 {
+            return Err(BenchError::Contract(
+                "session produced no classified windows; stage breakdown is empty".into(),
+            ));
+        }
+        for stage in ["sbc", "threshold", "segment", "features", "rf_predict"] {
+            let leaf = format!("pipeline_stage_seconds{{stage={stage}}}");
+            let present = scoped
+                .paths
+                .iter()
+                .any(|(path, s)| path.rsplit(';').next() == Some(leaf.as_str()) && s.count > 0);
+            if !present {
+                return Err(BenchError::Contract(format!(
+                    "stage `{stage}` missing from the scoped profile"
+                )));
+            }
+        }
+    }
+    Ok(report)
+}

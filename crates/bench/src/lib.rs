@@ -23,7 +23,7 @@ use report::Report;
 pub use error::BenchError;
 
 /// Every experiment id, in paper order.
-pub const EXPERIMENT_IDS: [&str; 24] = [
+pub const EXPERIMENT_IDS: [&str; 25] = [
     "fig3",
     "fig5",
     "fig7",
@@ -48,6 +48,7 @@ pub const EXPERIMENT_IDS: [&str; 24] = [
     "adaptation",
     "soak",
     "fleet",
+    "profile",
 ];
 
 /// Run one experiment by id.
@@ -82,6 +83,7 @@ pub fn run_experiment(id: &str, ctx: &Context) -> Result<Report, BenchError> {
         "adaptation" => experiments::adaptation::run(ctx),
         "soak" => experiments::soak::run(ctx),
         "fleet" => experiments::fleet::run(ctx),
+        "profile" => experiments::profile::run(ctx),
         _ => Err(BenchError::UnknownExperiment(id.to_string())),
     }
 }

@@ -47,19 +47,51 @@ fn train_quick(seed: u64, trees: usize) -> Result<AirFinger, String> {
     Ok(af)
 }
 
-/// Write flight-recorder dumps under `dir`, creating the directory (and
-/// any missing parents) first.
+/// Write named text artifacts under `dir`, creating the directory (and
+/// any missing parents) first. Shared by flight-recorder dumps and the
+/// profiler exports so every CLI artifact lands under a caller-chosen
+/// `--dump-dir`, never in the working directory.
+fn write_artifacts(dir: &std::path::Path, files: &[(String, String)]) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    for (name, contents) in files {
+        let path = dir.join(name);
+        std::fs::write(&path, contents).map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+/// Write flight-recorder dumps under `dir`.
 fn write_dumps(
     dir: &std::path::Path,
     dumps: &[airfinger_obs::recorder::Dump],
 ) -> Result<(), String> {
-    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
-    for d in dumps {
-        let path = dir.join(d.file_name());
-        std::fs::write(&path, &d.json).map_err(|e| format!("write {}: {e}", path.display()))?;
-        println!("wrote flight-recorder dump {}", path.display());
+    let files: Vec<(String, String)> = dumps
+        .iter()
+        .map(|d| (d.file_name(), d.json.clone()))
+        .collect();
+    write_artifacts(dir, &files)
+}
+
+/// When `--profile` is on and the command has a `--dump-dir`, export the
+/// profiler's collapsed stacks (flamegraph format) and JSON breakdown
+/// there; without a dump dir the data stays scrapeable via `/profile`.
+fn write_profile_artifacts(dump_dir: Option<&str>) -> Result<(), String> {
+    if !airfinger_obs::profile::enabled() {
+        return Ok(());
     }
-    Ok(())
+    let Some(dir) = dump_dir else {
+        eprintln!("note: --profile without --dump-dir: collapsed stacks not written");
+        return Ok(());
+    };
+    let snapshot = airfinger_obs::profile::snapshot();
+    write_artifacts(
+        std::path::Path::new(dir),
+        &[
+            ("profile_collapsed.txt".to_string(), snapshot.collapsed()),
+            ("profile.json".to_string(), snapshot.to_json()),
+        ],
+    )
 }
 
 /// `airfinger generate`
@@ -342,6 +374,7 @@ pub(crate) fn monitor(argv: &[String]) -> i32 {
         } else if !dumps.is_empty() {
             eprintln!("note: {} dumps discarded (no --dump-dir)", dumps.len());
         }
+        write_profile_artifacts(dump_dir)?;
 
         let reached_unhealthy = engine
             .monitor()
@@ -461,6 +494,7 @@ pub(crate) fn fleet(argv: &[String]) -> i32 {
             let n: usize = dumps.iter().map(|(_, d)| d.len()).sum();
             eprintln!("note: {n} dumps discarded (no --dump-dir)");
         }
+        write_profile_artifacts(dump_dir)?;
 
         // Every requested session must be accounted for: admitted, or
         // refused at admission, or evicted under backpressure.

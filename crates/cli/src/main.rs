@@ -12,49 +12,92 @@
 //!
 //! Every command also accepts the global observability flags
 //! `--metrics PATH` (write a machine-readable run report on exit),
-//! `--trace` (print every instrumentation span to stderr), and
+//! `--trace` (print every instrumentation span to stderr),
 //! `--trace-out PATH` (export the span timeline as Chrome trace_event
-//! JSON, loadable in Perfetto or chrome://tracing).
+//! JSON, loadable in Perfetto or chrome://tracing), `--profile`
+//! (per-stage cost attribution; `monitor`/`fleet` export collapsed
+//! stacks under `--dump-dir`), and `--serve-metrics ADDR` (live
+//! `/metrics`, `/health`, and `/profile` scrape endpoints, kept alive
+//! after the run for `--serve-linger MS`).
 
 mod args;
 mod commands;
 
-/// Strip the global `--metrics PATH` / `--trace` / `--trace-out PATH`
-/// flags out of the argv, returning the remaining arguments, the
-/// requested metrics path, and the requested trace path.
-fn split_global_flags(argv: Vec<String>) -> (Vec<String>, Option<String>, Option<String>) {
-    let mut rest = Vec::with_capacity(argv.len());
-    let mut metrics = None;
-    let mut trace_out = None;
+/// Allocation accounting for `--profile` and the `/health` endpoint:
+/// counting is a no-op-cheap wrapper around the system allocator, and
+/// installing it unconditionally keeps "allocs per push" observable in
+/// every CLI run rather than only in specially-built binaries.
+#[global_allocator]
+static ALLOC: airfinger_obs::CountingAlloc = airfinger_obs::CountingAlloc::new();
+
+/// Global flags stripped out of the argv before subcommand dispatch.
+#[derive(Default)]
+struct GlobalFlags {
+    rest: Vec<String>,
+    metrics: Option<String>,
+    trace_out: Option<String>,
+    serve: Option<String>,
+    serve_linger_ms: u64,
+}
+
+/// Strip the global observability flags out of the argv; side-effectful
+/// switches (`--trace`, `--profile`) are applied directly.
+fn split_global_flags(argv: Vec<String>) -> GlobalFlags {
+    let mut flags = GlobalFlags::default();
     let mut it = argv.into_iter();
+    let value = |flag: &str, it: &mut std::vec::IntoIter<String>| match it.next() {
+        Some(v) => v,
+        None => {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        }
+    };
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--metrics" => match it.next() {
-                Some(p) => metrics = Some(p),
-                None => {
-                    eprintln!("--metrics needs a path");
-                    std::process::exit(2);
-                }
-            },
+            "--metrics" => flags.metrics = Some(value("--metrics", &mut it)),
             "--trace" => airfinger_obs::set_trace(true),
-            "--trace-out" => match it.next() {
-                Some(p) => {
-                    airfinger_obs::trace::set_capture(true);
-                    trace_out = Some(p);
+            "--trace-out" => {
+                airfinger_obs::trace::set_capture(true);
+                flags.trace_out = Some(value("--trace-out", &mut it));
+            }
+            "--profile" => airfinger_obs::profile::set_enabled(true),
+            "--serve-metrics" => flags.serve = Some(value("--serve-metrics", &mut it)),
+            "--serve-linger" => {
+                let raw = value("--serve-linger", &mut it);
+                match raw.parse::<u64>() {
+                    Ok(ms) => flags.serve_linger_ms = ms,
+                    Err(_) => {
+                        eprintln!("--serve-linger needs milliseconds, got `{raw}`");
+                        std::process::exit(2);
+                    }
                 }
-                None => {
-                    eprintln!("--trace-out needs a path");
-                    std::process::exit(2);
-                }
-            },
-            _ => rest.push(arg),
+            }
+            _ => flags.rest.push(arg),
         }
     }
-    (rest, metrics, trace_out)
+    flags
 }
 
 fn main() {
-    let (argv, metrics_path, trace_out) = split_global_flags(std::env::args().skip(1).collect());
+    let flags = split_global_flags(std::env::args().skip(1).collect());
+    let server =
+        flags
+            .serve
+            .as_deref()
+            .map(|addr| match airfinger_obs::ScrapeServer::start(addr) {
+                Ok(server) => {
+                    eprintln!(
+                        "[airfinger] serving live telemetry on http://{}",
+                        server.addr()
+                    );
+                    server
+                }
+                Err(e) => {
+                    eprintln!("error: bind scrape server on {addr}: {e}");
+                    std::process::exit(2);
+                }
+            });
+    let (argv, metrics_path, trace_out) = (flags.rest, flags.metrics, flags.trace_out);
     let command = argv.first().cloned().unwrap_or_default();
     let code = match argv.first().map(String::as_str) {
         Some("generate") => commands::generate(&argv[1..]),
@@ -98,6 +141,17 @@ fn main() {
             }
         }
     }
+    if let Some(server) = server {
+        if flags.serve_linger_ms > 0 {
+            eprintln!(
+                "[airfinger] scrape server lingering {} ms on http://{}",
+                flags.serve_linger_ms,
+                server.addr()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(flags.serve_linger_ms));
+        }
+        server.stop();
+    }
     std::process::exit(code);
 }
 
@@ -134,4 +188,13 @@ fn print_help() {
     println!("  --trace           print every instrumentation span to stderr");
     println!("  --trace-out PATH  export the span timeline as Chrome trace_event");
     println!("                    JSON (open in Perfetto or chrome://tracing)");
+    println!("  --profile         attribute per-stage cost (self/cumulative time,");
+    println!("                    allocs) to the span call paths; monitor/fleet");
+    println!("                    export collapsed stacks under --dump-dir");
+    println!("  --serve-metrics ADDR  serve live /metrics (Prometheus), /health");
+    println!("                    (JSON rollup + history), and /profile (collapsed");
+    println!("                    stacks) on ADDR, e.g. 127.0.0.1:0 (no TLS/auth —");
+    println!("                    bind loopback or a trusted interface only)");
+    println!("  --serve-linger MS keep the scrape server alive MS milliseconds");
+    println!("                    after the command finishes");
 }

@@ -208,7 +208,12 @@ impl Fleet {
             n => Some(n),
         })
         .min(self.shards.len().max(1));
-        airfinger_parallel::par_for_each_mut(&mut self.shards, threads, |_, shard| shard.drain());
+        {
+            let _drain = airfinger_obs::span!("fleet_drain_seconds");
+            airfinger_parallel::par_for_each_mut(&mut self.shards, threads, |_, shard| {
+                shard.drain()
+            });
+        }
 
         // Gather pending rows in (shard, session-id) order — the same
         // order a sequential sweep would visit them.

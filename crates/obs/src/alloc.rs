@@ -1,0 +1,261 @@
+//! Opt-in allocation accounting: a counting [`GlobalAlloc`] wrapper.
+//!
+//! [`CountingAlloc`] forwards every request to [`System`] and counts
+//! allocation *events* and requested *bytes*, both per thread (plain
+//! `Cell`s, no synchronization on the hot path) and process-wide
+//! (relaxed atomics). Deallocations are deliberately not subtracted: the
+//! counters measure allocation **pressure** — how much churn a code path
+//! causes — not live heap, which is what the "zero-alloc hot path"
+//! roadmap item ratchets against.
+//!
+//! Binaries opt in explicitly:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: airfinger_obs::alloc::CountingAlloc =
+//!     airfinger_obs::alloc::CountingAlloc::new();
+//! ```
+//!
+//! Without that attribute every reader below returns zeros and
+//! [`counting()`] stays `false`, so tests and reports can distinguish
+//! "zero allocations" from "not measured". Counting is independent of
+//! the `obs` feature and the [`crate::recording`] switch — the allocator
+//! must never consult registry state, because it runs *inside* every
+//! allocation, including the registry's own.
+//!
+//! Nothing here publishes to the metric registry automatically (that
+//! would perturb the cross-thread counter-determinism contract); callers
+//! snapshot via [`thread_stats`]/[`process_stats`] or fold the totals
+//! into `alloc_allocations_total`/`alloc_bytes_total` with an explicit
+//! [`publish`].
+//!
+//! This is the one module in the crate allowed to use `unsafe`: the
+//! [`GlobalAlloc`] trait itself is unsafe, and every body is a verbatim
+//! forward to [`System`].
+
+#![allow(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Set by the first counted allocation: proves the wrapper is installed.
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+/// Process-wide allocation event count.
+static TOTAL_COUNT: AtomicU64 = AtomicU64::new(0);
+/// Process-wide requested-byte count.
+static TOTAL_BYTES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// This thread's allocation event count.
+    static TL_COUNT: Cell<u64> = const { Cell::new(0) };
+    /// This thread's requested-byte count.
+    static TL_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A point-in-time allocation reading: events and requested bytes.
+///
+/// Readings are monotone; compare two with [`AllocStats::since`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Allocation events (alloc + alloc_zeroed + realloc calls).
+    pub count: u64,
+    /// Bytes requested across those events.
+    pub bytes: u64,
+}
+
+impl AllocStats {
+    /// The delta from an `earlier` reading to this one (saturating, so a
+    /// reading from another thread can never underflow).
+    #[must_use]
+    pub fn since(self, earlier: AllocStats) -> AllocStats {
+        AllocStats {
+            count: self.count.saturating_sub(earlier.count),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+
+    /// Component-wise sum (saturating).
+    #[must_use]
+    pub fn plus(self, other: AllocStats) -> AllocStats {
+        AllocStats {
+            count: self.count.saturating_add(other.count),
+            bytes: self.bytes.saturating_add(other.bytes),
+        }
+    }
+
+    /// Whether both components are zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.count == 0 && self.bytes == 0
+    }
+}
+
+/// The counting allocator. Install with `#[global_allocator]`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// A new wrapper (stateless; all counters are global).
+    #[must_use]
+    pub const fn new() -> CountingAlloc {
+        CountingAlloc
+    }
+}
+
+/// Record one allocation event of `size` requested bytes.
+///
+/// Runs inside the allocator, so it must not allocate: atomics and
+/// `Cell`s only. `try_with` tolerates thread teardown (TLS destructors
+/// may themselves free/allocate after the keys are gone).
+#[inline]
+fn note(size: usize) {
+    if !INSTALLED.load(Ordering::Relaxed) {
+        INSTALLED.store(true, Ordering::Relaxed);
+    }
+    TOTAL_COUNT.fetch_add(1, Ordering::Relaxed);
+    TOTAL_BYTES.fetch_add(size as u64, Ordering::Relaxed);
+    let _ = TL_COUNT.try_with(|c| c.set(c.get().saturating_add(1)));
+    let _ = TL_BYTES.try_with(|c| c.set(c.get().saturating_add(size as u64)));
+}
+
+// SAFETY: every method forwards verbatim to `System` with the caller's
+// layout/pointer, so this upholds exactly the allocator contract `System`
+// does; the side effects touch only atomics and `Cell`s, never allocate.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds the `GlobalAlloc::alloc` contract
+    // (non-zero-sized layout); forwarded unchanged to `System.alloc`.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note(layout.size());
+        // SAFETY: same layout, same contract, delegated to `System`.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: caller upholds the `GlobalAlloc::dealloc` contract (ptr
+    // was allocated here with this layout); forwarded to `System`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from `System` (every alloc path above
+        // delegates there), so freeing it with the same layout is valid.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: caller upholds the `GlobalAlloc::alloc_zeroed` contract;
+    // forwarded unchanged to `System.alloc_zeroed`.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note(layout.size());
+        // SAFETY: same layout, same contract, delegated to `System`.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    // SAFETY: caller upholds the `GlobalAlloc::realloc` contract (ptr
+    // from this allocator, its original layout, valid new size).
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note(new_size);
+        // SAFETY: `ptr` came from `System`; layout and new_size are the
+        // caller's, so the delegated call sees an unmodified contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Whether the counting allocator is installed in this process (i.e. at
+/// least one allocation has been counted).
+#[must_use]
+pub fn counting() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+/// This thread's cumulative allocation reading (zeros when the counting
+/// allocator is not installed).
+#[must_use]
+pub fn thread_stats() -> AllocStats {
+    AllocStats {
+        count: TL_COUNT.try_with(Cell::get).unwrap_or(0),
+        bytes: TL_BYTES.try_with(Cell::get).unwrap_or(0),
+    }
+}
+
+/// The process-wide cumulative allocation reading.
+#[must_use]
+pub fn process_stats() -> AllocStats {
+    AllocStats {
+        count: TOTAL_COUNT.load(Ordering::Relaxed),
+        bytes: TOTAL_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Last reading folded into the registry by [`publish`].
+static PUBLISHED: Mutex<AllocStats> = Mutex::new(AllocStats { count: 0, bytes: 0 });
+
+/// Fold the process-wide delta since the previous publish into the
+/// `alloc_allocations_total` / `alloc_bytes_total` counters.
+///
+/// Publication is explicit — never automatic — so the allocator cannot
+/// perturb the deterministic counter set unless a caller opts in.
+pub fn publish() -> AllocStats {
+    let now = process_stats();
+    let mut last = PUBLISHED.lock().unwrap_or_else(PoisonError::into_inner);
+    let delta = now.since(*last);
+    *last = now;
+    crate::counter!("alloc_allocations_total").add(delta.count);
+    crate::counter!("alloc_bytes_total").add(delta.bytes);
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_saturates() {
+        let a = AllocStats {
+            count: 3,
+            bytes: 64,
+        };
+        let b = AllocStats {
+            count: 5,
+            bytes: 100,
+        };
+        assert_eq!(
+            b.since(a),
+            AllocStats {
+                count: 2,
+                bytes: 36
+            }
+        );
+        assert_eq!(a.since(b), AllocStats::default());
+        assert!(a.since(b).is_zero());
+        assert_eq!(
+            a.plus(b),
+            AllocStats {
+                count: 8,
+                bytes: 164
+            }
+        );
+    }
+
+    #[test]
+    fn readers_are_monotone() {
+        // The unit-test binary does not install the allocator, so the
+        // readings are either all-zero (not installed) or monotone
+        // (another binary in the workspace would not share this process).
+        let before = thread_stats();
+        let v: Vec<u64> = (0..64).collect();
+        let after = thread_stats();
+        assert!(after.count >= before.count);
+        assert!(after.bytes >= before.bytes);
+        assert_eq!(v.len(), 64);
+        let p = process_stats();
+        assert!(p.count >= after.count.min(p.count));
+    }
+
+    #[test]
+    fn publish_reports_delta_not_total() {
+        let first = publish();
+        let second = publish();
+        // Back-to-back publishes in a non-allocating gap: the second
+        // delta can only be smaller than a full re-publish of the total.
+        assert!(second.count <= first.count.saturating_add(second.count));
+    }
+}

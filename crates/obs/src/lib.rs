@@ -20,6 +20,12 @@
 //!   health-state machine ([`health`]), and a flight recorder that dumps
 //!   post-mortem JSON on breach ([`recorder`]), composed behind
 //!   [`monitor::EngineMonitor`] for long-running streaming engines.
+//! - **Continuous profiling** — deterministic per-stage cost attribution
+//!   over the span hierarchy with collapsed-stack export ([`profile`]),
+//!   opt-in allocation accounting via a counting global allocator
+//!   ([`alloc`]), a bounded history ring with deterministic
+//!   downsampling ([`timeseries`]), and a zero-dependency HTTP scrape
+//!   server exposing `/metrics`, `/health`, and `/profile` ([`serve`]).
 //!
 //! # Cost model
 //!
@@ -55,27 +61,38 @@
 //! println!("{}", snapshot.to_json());
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the [`alloc`] module opts back in — wrapping
+// [`std::alloc::GlobalAlloc`] is inherently unsafe — and is the single
+// audited exception (every site carries a `// SAFETY:` justification,
+// enforced by `airfinger-lint` rule U).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod export;
 pub mod health;
 pub mod metrics;
 pub mod monitor;
+pub mod profile;
 pub mod quantile;
 pub mod recorder;
 pub mod registry;
 pub mod report;
+pub mod serve;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 pub mod window;
 
+pub use alloc::{AllocStats, CountingAlloc};
 pub use health::{HealthModel, HealthReason, HealthState, SloRules, Transition};
 pub use metrics::{Counter, Gauge, Histogram};
 pub use monitor::{EngineMonitor, MonitorConfig};
+pub use profile::{PathStats, ProfileSnapshot};
 pub use quantile::{PercentileSnapshot, Percentiles, P2};
 pub use recorder::{Dump, FlightRecorder, RecorderConfig};
 pub use registry::{global, MetricId, Registry, Snapshot};
+pub use serve::ScrapeServer;
 pub use span::Span;
 pub use window::{Outcome, SlidingWindow, WindowConfig, WindowStats};
 

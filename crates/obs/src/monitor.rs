@@ -91,6 +91,7 @@ impl EngineMonitor {
             self.publish_transition(transition, &closed);
         }
         crate::gauge!("health_state").set(f64::from(self.health.state().level()));
+        self.record_point(&closed);
         Some(closed)
     }
 
@@ -100,6 +101,7 @@ impl EngineMonitor {
     pub fn finish(&mut self) -> Option<WindowStats> {
         let closed = self.window.flush()?;
         self.publish_window(&closed);
+        self.record_point(&closed);
         Some(closed)
     }
 
@@ -160,6 +162,22 @@ impl EngineMonitor {
         crate::gauge!("engine_window_segments").set(w.segments as f64);
         crate::gauge!("engine_window_rejection_ratio").set(w.rejection_ratio());
         crate::gauge!("engine_window_push_p95_ms").set(w.p95_push_seconds * 1000.0);
+    }
+
+    /// Append one point to the bounded history ring ([`crate::timeseries`])
+    /// — the `/health` scrape endpoint's trend data. One point per closed
+    /// window, so the cadence (and thus the retained history) is a
+    /// deterministic function of the sample stream.
+    fn record_point(&self, w: &WindowStats) {
+        crate::timeseries::record(&[
+            ("window_samples", w.samples as f64),
+            ("window_segments", w.segments as f64),
+            ("window_recognitions", w.recognitions as f64),
+            ("window_rejections", w.rejections as f64),
+            ("rejection_ratio", w.rejection_ratio()),
+            ("push_p95_ms", w.p95_push_seconds * 1000.0),
+            ("health_level", f64::from(self.health.state().level())),
+        ]);
     }
 
     fn publish_transition(&mut self, transition: Transition, window: &WindowStats) {

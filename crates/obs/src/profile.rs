@@ -1,0 +1,444 @@
+//! Deterministic per-stage cost profiler layered on the span hierarchy.
+//!
+//! Every [`crate::Span`] doubles as a profiler frame while profiling is
+//! enabled ([`set_enabled`]): span creation pushes a frame onto a
+//! per-thread stack, span drop pops it and attributes the elapsed time
+//! to the **call path** — the `;`-joined chain of open span names, e.g.
+//! `engine_push_seconds;pipeline_stage_seconds{stage=sbc}`. Per path the
+//! profiler accumulates:
+//!
+//! - **cumulative** time (`total_ns`) and **self** time (`self_ns` =
+//!   cumulative minus time spent in child spans), and
+//! - cumulative/self **allocation pressure** (events + bytes, via
+//!   [`crate::alloc`]) when the counting allocator is installed.
+//!
+//! Everything except the clock readings is a deterministic function of
+//! the executed code: frame counts, path sets, and allocation counts are
+//! identical for identical inputs regardless of worker-thread count
+//! (threads merge commutatively into one global table). The profiler's
+//! own bookkeeping allocations (path strings, table inserts) are read
+//! back after each exit and subtracted from every still-open ancestor
+//! scope, so enabling profiling does not pollute the numbers it reports.
+//!
+//! Export: [`ProfileSnapshot::collapsed`] produces the flamegraph
+//! collapsed-stack text format (`path self_ns` per line), and
+//! [`ProfileSnapshot::to_json`] a machine-readable document; both are
+//! byte-deterministic given the same execution (modulo the `_ns`
+//! fields, which are wall-clock).
+//!
+//! Spans must be dropped in LIFO order on the thread that created them
+//! (the natural RAII discipline everywhere in this workspace); a span
+//! migrated across threads would be attributed to the destination
+//! thread's open path.
+
+use crate::alloc::{self, AllocStats};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Maximum open profiler frames per thread; deeper spans are not tracked.
+pub const MAX_DEPTH: usize = 64;
+/// Maximum distinct call paths; beyond this, new paths are counted as
+/// dropped rather than growing the table without bound.
+pub const MAX_PATHS: usize = 4096;
+
+/// Runtime profiling switch (default off — profiling costs a TLS stack
+/// push/pop per span plus a path-table merge per span exit).
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether span profiling is live. Statically `false` without the `obs`
+/// feature.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    cfg!(feature = "obs") && ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn span profiling on or off. Enabling mid-span is safe: only spans
+/// created while enabled are tracked, and a span created while enabled
+/// is popped on drop even if profiling was disabled in between.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// A frame's display name: static for `span!` call sites, owned for
+/// dynamically-labelled `span_with` spans.
+#[derive(Debug)]
+enum FrameName {
+    Static(&'static str),
+    Owned(String),
+}
+
+impl FrameName {
+    fn as_str(&self) -> &str {
+        match self {
+            FrameName::Static(s) => s,
+            FrameName::Owned(s) => s,
+        }
+    }
+}
+
+/// One open span on this thread's profiler stack.
+#[derive(Debug)]
+struct Frame {
+    name: FrameName,
+    /// Nanoseconds already attributed to completed child spans.
+    child_ns: u64,
+    /// Allocation reading when the frame opened (adjusted upward by
+    /// profiler bookkeeping so that cost is excluded from the scope).
+    alloc_at_enter: AllocStats,
+    /// Allocation pressure already attributed to completed child spans.
+    child_alloc: AllocStats,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Accumulated cost for one call path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathStats {
+    /// Completed frames on this path.
+    pub count: u64,
+    /// Cumulative nanoseconds (includes child spans).
+    pub total_ns: u64,
+    /// Self nanoseconds (cumulative minus completed child spans).
+    pub self_ns: u64,
+    /// Cumulative allocation pressure within the scope.
+    pub alloc: AllocStats,
+    /// Self allocation pressure (cumulative minus child scopes).
+    pub self_alloc: AllocStats,
+}
+
+impl PathStats {
+    /// Fold another path's accumulated cost into this one (saturating).
+    pub fn merge(&mut self, other: &PathStats) {
+        self.count = self.count.saturating_add(other.count);
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.self_ns = self.self_ns.saturating_add(other.self_ns);
+        self.alloc = self.alloc.plus(other.alloc);
+        self.self_alloc = self.self_alloc.plus(other.self_alloc);
+    }
+}
+
+/// The global path table. Threads merge into it on span exit; `BTreeMap`
+/// keeps snapshot and export ordering deterministic.
+struct Table {
+    paths: BTreeMap<String, PathStats>,
+    dropped: u64,
+}
+
+fn table() -> &'static Mutex<Table> {
+    static TABLE: OnceLock<Mutex<Table>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        Mutex::new(Table {
+            paths: BTreeMap::new(),
+            dropped: 0,
+        })
+    })
+}
+
+/// Push a frame for a statically-named span. Returns whether a frame was
+/// pushed (the caller must call [`exit`] iff it was).
+pub(crate) fn enter_static(name: &'static str) -> bool {
+    if !enabled() {
+        return false;
+    }
+    enter(FrameName::Static(name))
+}
+
+/// Push a frame for a dynamically-named span (name is cloned only when
+/// profiling is enabled).
+pub(crate) fn enter_owned(name: &str) -> bool {
+    if !enabled() {
+        return false;
+    }
+    enter(FrameName::Owned(name.to_string()))
+}
+
+fn enter(name: FrameName) -> bool {
+    STACK
+        .try_with(|cell| {
+            let Ok(mut stack) = cell.try_borrow_mut() else {
+                return false;
+            };
+            if stack.len() >= MAX_DEPTH {
+                return false;
+            }
+            if stack.capacity() == 0 {
+                // One-time reservation so steady-state enters of static
+                // names never allocate.
+                stack.reserve(MAX_DEPTH);
+            }
+            stack.push(Frame {
+                name,
+                child_ns: 0,
+                alloc_at_enter: alloc::thread_stats(),
+                child_alloc: AllocStats::default(),
+            });
+            true
+        })
+        .unwrap_or(false)
+}
+
+/// Pop the top frame and attribute `elapsed_ns` to its call path. Called
+/// from [`crate::Span`]'s drop, only when the matching enter pushed.
+pub(crate) fn exit(elapsed_ns: u64) {
+    let _ = STACK.try_with(|cell| {
+        let Ok(mut stack) = cell.try_borrow_mut() else {
+            return;
+        };
+        let Some(frame) = stack.pop() else { return };
+        let at_exit = alloc::thread_stats();
+        let total_alloc = at_exit.since(frame.alloc_at_enter);
+        let self_alloc = total_alloc.since(frame.child_alloc);
+        let self_ns = elapsed_ns.saturating_sub(frame.child_ns);
+
+        let mut path = String::with_capacity(64);
+        for open in stack.iter() {
+            path.push_str(open.name.as_str());
+            path.push(';');
+        }
+        path.push_str(frame.name.as_str());
+
+        if let Some(parent) = stack.last_mut() {
+            parent.child_ns = parent.child_ns.saturating_add(elapsed_ns);
+            parent.child_alloc = parent.child_alloc.plus(total_alloc);
+        }
+        record(path, elapsed_ns, self_ns, total_alloc, self_alloc);
+
+        // Whatever this exit itself allocated (path string, table
+        // insert) is profiler bookkeeping, not scope cost: advance every
+        // still-open ancestor's enter baseline past it.
+        let bookkeeping = alloc::thread_stats().since(at_exit);
+        if !bookkeeping.is_zero() {
+            for open in stack.iter_mut() {
+                open.alloc_at_enter = open.alloc_at_enter.plus(bookkeeping);
+            }
+        }
+    });
+}
+
+fn record(path: String, total_ns: u64, self_ns: u64, alloc: AllocStats, self_alloc: AllocStats) {
+    let mut t = table().lock().unwrap_or_else(PoisonError::into_inner);
+    if !t.paths.contains_key(&path) && t.paths.len() >= MAX_PATHS {
+        t.dropped += 1;
+        crate::counter!("profile_paths_dropped_total").inc();
+        return;
+    }
+    let entry = t.paths.entry(path).or_default();
+    entry.count = entry.count.saturating_add(1);
+    entry.total_ns = entry.total_ns.saturating_add(total_ns);
+    entry.self_ns = entry.self_ns.saturating_add(self_ns);
+    entry.alloc = entry.alloc.plus(alloc);
+    entry.self_alloc = entry.self_alloc.plus(self_alloc);
+    crate::counter!("profile_frames_total").inc();
+}
+
+/// Clear the path table (per-thread stacks of open frames are untouched;
+/// frames already open when `reset` runs will merge their costs after
+/// it, so reset between — not inside — profiled regions).
+pub fn reset() {
+    let mut t = table().lock().unwrap_or_else(PoisonError::into_inner);
+    t.paths.clear();
+    t.dropped = 0;
+}
+
+/// A point-in-time copy of the path table, sorted by path.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileSnapshot {
+    /// `(call path, accumulated cost)` pairs, lexicographically sorted.
+    pub paths: Vec<(String, PathStats)>,
+    /// Paths rejected because the table was full.
+    pub dropped: u64,
+}
+
+/// Snapshot the profiler state (also publishes the `profile_paths`
+/// gauge).
+#[must_use]
+pub fn snapshot() -> ProfileSnapshot {
+    let snap = {
+        let t = table().lock().unwrap_or_else(PoisonError::into_inner);
+        ProfileSnapshot {
+            paths: t.paths.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            dropped: t.dropped,
+        }
+    };
+    crate::gauge!("profile_paths").set(snap.paths.len() as f64);
+    snap
+}
+
+impl ProfileSnapshot {
+    /// Restrict to the subtree rooted at the first frame named `root`
+    /// anywhere in each path, re-rooting the path there — how a caller
+    /// scopes its own measurement away from unrelated spans profiled
+    /// concurrently, independent of how many profiled ancestors (e.g. a
+    /// harness span around the whole experiment) happen to sit above it.
+    /// Paths that re-root to the same key merge.
+    #[must_use]
+    pub fn under(&self, root: &str) -> ProfileSnapshot {
+        let mut paths: BTreeMap<String, PathStats> = BTreeMap::new();
+        for (p, stats) in &self.paths {
+            let frames: Vec<&str> = p.split(';').collect();
+            let Some(at) = frames.iter().position(|f| *f == root) else {
+                continue;
+            };
+            let key = frames[at..].join(";");
+            paths.entry(key).or_default().merge(stats);
+        }
+        ProfileSnapshot {
+            paths: paths.into_iter().collect(),
+            dropped: self.dropped,
+        }
+    }
+
+    /// Accumulated cost for one exact path, if present.
+    #[must_use]
+    pub fn path(&self, path: &str) -> Option<&PathStats> {
+        self.paths
+            .binary_search_by(|(p, _)| p.as_str().cmp(path))
+            .ok()
+            .map(|i| &self.paths[i].1)
+    }
+
+    /// Total completed frames across all paths.
+    #[must_use]
+    pub fn frames(&self) -> u64 {
+        self.paths.iter().map(|(_, s)| s.count).sum()
+    }
+
+    /// Flamegraph collapsed-stack text: one `path self_ns` line per
+    /// path, sorted, trailing newline when non-empty.
+    #[must_use]
+    pub fn collapsed(&self) -> String {
+        let mut out = String::new();
+        for (path, stats) in &self.paths {
+            out.push_str(path);
+            out.push(' ');
+            out.push_str(&stats.self_ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Machine-readable JSON: schema `airfinger-profile-v1`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use crate::export::json_string;
+        let mut out = String::from("{\n  \"schema\": \"airfinger-profile-v1\",\n");
+        out.push_str(&format!("  \"dropped_paths\": {},\n", self.dropped));
+        out.push_str("  \"paths\": [\n");
+        for (i, (path, s)) in self.paths.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"path\": {}, \"count\": {}, \"total_ns\": {}, \"self_ns\": {}, \
+                 \"alloc_count\": {}, \"alloc_bytes\": {}, \
+                 \"self_alloc_count\": {}, \"self_alloc_bytes\": {}}}{}\n",
+                json_string(path),
+                s.count,
+                s.total_ns,
+                s.self_ns,
+                s.alloc.count,
+                s.alloc.bytes,
+                s.self_alloc.count,
+                s.self_alloc.bytes,
+                if i + 1 == self.paths.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes profiler unit tests: they share the global table and
+    /// the enable switch.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn nested_frames_attribute_self_and_total() {
+        let _g = guard();
+        reset();
+        set_enabled(true);
+        assert!(enter_static("outer_seconds"));
+        assert!(enter_static("inner_seconds"));
+        exit(40);
+        exit(100);
+        set_enabled(false);
+        let snap = snapshot();
+        let outer = snap.path("outer_seconds").copied().unwrap_or_default();
+        let inner = snap
+            .path("outer_seconds;inner_seconds")
+            .copied()
+            .unwrap_or_default();
+        assert_eq!(inner.count, 1);
+        assert_eq!(inner.total_ns, 40);
+        assert_eq!(inner.self_ns, 40);
+        assert_eq!(outer.count, 1);
+        assert_eq!(outer.total_ns, 100);
+        assert_eq!(outer.self_ns, 60, "child time subtracted");
+        // ≥, not ==: other unit tests in this binary may profile their
+        // own spans concurrently while the switch is on.
+        assert!(snap.frames() >= 2);
+        let collapsed = snap.collapsed();
+        assert!(collapsed.contains("outer_seconds 60\n"));
+        assert!(collapsed.contains("outer_seconds;inner_seconds 40\n"));
+        reset();
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn under_scopes_to_a_root() {
+        let _g = guard();
+        reset();
+        set_enabled(true);
+        assert!(enter_static("root_a_seconds"));
+        exit(10);
+        assert!(enter_static("root_b_seconds"));
+        assert!(enter_static("leaf_seconds"));
+        exit(3);
+        exit(9);
+        set_enabled(false);
+        let snap = snapshot();
+        let scoped = snap.under("root_b_seconds");
+        assert_eq!(scoped.paths.len(), 2);
+        assert!(scoped.path("root_a_seconds").is_none());
+        assert!(scoped.path("root_b_seconds;leaf_seconds").is_some());
+        // `under` must not match a sibling sharing the root as a string
+        // prefix.
+        assert!(snap.under("root_").paths.is_empty());
+        reset();
+    }
+
+    #[test]
+    fn disabled_enter_pushes_nothing() {
+        let _g = guard();
+        set_enabled(false);
+        assert!(!enter_static("never_seconds"));
+        // A stray exit with an empty stack must be harmless.
+        exit(5);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn json_export_is_well_formed() {
+        let _g = guard();
+        reset();
+        set_enabled(true);
+        assert!(enter_static("json_root_seconds"));
+        exit(7);
+        set_enabled(false);
+        let json = snapshot().to_json();
+        assert!(json.contains("\"schema\": \"airfinger-profile-v1\""));
+        assert!(json.contains("\"path\": \"json_root_seconds\""));
+        assert!(json.contains("\"total_ns\": 7"));
+        reset();
+    }
+}

@@ -1,0 +1,302 @@
+//! Zero-dependency live-telemetry scrape server over
+//! [`std::net::TcpListener`].
+//!
+//! Long-running commands (`airfinger fleet`, `airfinger monitor`) opt in
+//! with `--serve-metrics <addr>`; the server runs on one background
+//! thread and answers three read-only endpoints:
+//!
+//! - `GET /metrics` — the global registry in Prometheus text format
+//!   (what [`crate::Snapshot::to_prometheus`] exports);
+//! - `GET /health` — a JSON rollup: recording/profiling switches,
+//!   process allocation pressure, every `fleet_*`/`health_state`/
+//!   `engine_window_*` gauge, and the bounded [`crate::timeseries`]
+//!   history;
+//! - `GET /profile` — the profiler's collapsed-stack text (empty until
+//!   [`crate::profile::set_enabled`] is turned on).
+//!
+//! **Security caveats** (documented in DESIGN.md §13): the server is
+//! plain HTTP/1.0-style with no TLS, no authentication, and no request
+//! body parsing — bind it to loopback (`127.0.0.1:0` picks a free port)
+//! or a trusted interface only. It never mutates engine state; the only
+//! registry write is the `serve_requests_total` counter, so scraping a
+//! process does not perturb its deterministic pipeline metrics.
+//!
+//! The accept loop polls a nonblocking listener (~20 ms cadence) so
+//! [`ScrapeServer::stop`]/drop can shut it down promptly without a
+//! self-connect trick; each connection is handled synchronously with
+//! short read/write timeouts, which is plenty for scrape traffic.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Poll cadence of the nonblocking accept loop.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+/// Per-connection read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_millis(1000);
+/// Maximum request head read before answering (headers are ignored).
+const MAX_REQUEST: usize = 8 * 1024;
+
+/// A running scrape server; stops (and joins its thread) on drop.
+#[derive(Debug)]
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ScrapeServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// serving on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration failures from the listener.
+    pub fn start<A: ToSocketAddrs>(addr: A) -> std::io::Result<ScrapeServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("obs-scrape".to_string())
+            .spawn(move || accept_loop(&listener, &stop_flag))?;
+        Ok(ScrapeServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal the accept loop to exit and join the thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => handle_connection(stream),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Read the request head and answer one routed response; errors drop the
+/// connection (a scraper will retry).
+fn handle_connection(mut stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let Some(path) = read_request_path(&mut stream) else {
+        return;
+    };
+    let (status, content_type, body) = route(&path);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Parse `GET <path> …` from the request head; tolerates any headers and
+/// stops at the blank line or the size cap.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let first = head.lines().next()?;
+    let mut parts = first.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    // Strip any query string: routing is path-only.
+    Some(path.split('?').next().unwrap_or(path).to_string())
+}
+
+/// Route one request path to `(status, content type, body)`.
+fn route(path: &str) -> (&'static str, &'static str, String) {
+    match path {
+        "/metrics" => {
+            crate::counter!("serve_requests_total", endpoint = "metrics").inc();
+            (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                crate::global().snapshot().to_prometheus(),
+            )
+        }
+        "/health" => {
+            crate::counter!("serve_requests_total", endpoint = "health").inc();
+            ("200 OK", "application/json", health_json())
+        }
+        "/profile" => {
+            crate::counter!("serve_requests_total", endpoint = "profile").inc();
+            (
+                "200 OK",
+                "text/plain; charset=utf-8",
+                crate::profile::snapshot().collapsed(),
+            )
+        }
+        "/" => {
+            crate::counter!("serve_requests_total", endpoint = "index").inc();
+            (
+                "200 OK",
+                "text/plain; charset=utf-8",
+                "airfinger live telemetry: /metrics /health /profile\n".to_string(),
+            )
+        }
+        _ => {
+            crate::counter!("serve_requests_total", endpoint = "other").inc();
+            ("404 Not Found", "text/plain; charset=utf-8", String::new())
+        }
+    }
+}
+
+/// The `/health` JSON rollup (also usable without the server, e.g. for
+/// tests).
+#[must_use]
+pub fn health_json() -> String {
+    use crate::export::{json_number, json_string};
+    let snapshot = crate::global().snapshot();
+    let alloc = crate::alloc::process_stats();
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"airfinger-health-v1\",\n");
+    out.push_str(&format!(
+        "  \"recording\": {},\n  \"profiling\": {},\n",
+        crate::recording(),
+        crate::profile::enabled()
+    ));
+    out.push_str(&format!(
+        "  \"alloc\": {{\"counting\": {}, \"count\": {}, \"bytes\": {}}},\n",
+        crate::alloc::counting(),
+        alloc.count,
+        alloc.bytes
+    ));
+    out.push_str("  \"gauges\": {");
+    let mut first = true;
+    for g in &snapshot.gauges {
+        let identity = g.id.to_string();
+        let relevant = identity.starts_with("fleet_")
+            || identity.starts_with("engine_window_")
+            || identity == "health_state";
+        if !relevant {
+            continue;
+        }
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push_str(&format!(
+            "{}: {}",
+            json_string(&identity),
+            json_number(g.value)
+        ));
+    }
+    out.push_str("},\n");
+    out.push_str(&format!(
+        "  \"timeseries\": {}\n}}\n",
+        crate::timeseries::to_json()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpStream;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        response
+    }
+
+    #[test]
+    fn serves_all_endpoints_and_404() {
+        let server = ScrapeServer::start("127.0.0.1:0").expect("bind loopback");
+        let addr = server.addr();
+        crate::counter!("serve_test_total").inc();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        if cfg!(feature = "obs") {
+            assert!(metrics.contains("serve_test_total"), "{metrics}");
+        }
+
+        let health = get(addr, "/health");
+        assert!(health.contains("airfinger-health-v1"), "{health}");
+        assert!(health.contains("\"timeseries\""), "{health}");
+
+        let profile = get(addr, "/profile");
+        assert!(profile.starts_with("HTTP/1.1 200 OK"), "{profile}");
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        let index = get(addr, "/?q=1");
+        assert!(index.contains("/metrics /health /profile"), "{index}");
+        server.stop();
+    }
+
+    #[test]
+    fn non_get_is_dropped() {
+        let server = ScrapeServer::start("127.0.0.1:0").expect("bind loopback");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        assert!(response.is_empty(), "non-GET gets no response: {response}");
+    }
+
+    #[test]
+    fn health_json_is_valid_shape() {
+        let json = health_json();
+        assert!(json.contains("\"alloc\""));
+        assert!(json.contains("\"gauges\""));
+    }
+}

@@ -24,6 +24,10 @@ pub struct Span {
     /// log ([`crate::trace`]) — the end event is only emitted when it did,
     /// so the exported trace never contains an unmatched `E`.
     timeline: bool,
+    /// Whether this span pushed a profiler frame ([`crate::profile`]) —
+    /// the matching exit runs on drop only when it did, keeping the
+    /// per-thread frame stack balanced across enable/disable toggles.
+    profiled: bool,
 }
 
 impl Span {
@@ -36,6 +40,7 @@ impl Span {
             dyn_name: None,
             trace: false,
             timeline: false,
+            profiled: false,
         }
     }
 
@@ -45,6 +50,7 @@ impl Span {
             return Span::disabled();
         }
         let timeline = crate::trace::capturing() && crate::trace::begin(name);
+        let profiled = crate::profile::enter_static(name);
         Span {
             start: Some(Instant::now()),
             histogram: Some(histogram),
@@ -52,6 +58,7 @@ impl Span {
             dyn_name: None,
             trace: false,
             timeline,
+            profiled,
         }
     }
 
@@ -61,6 +68,7 @@ impl Span {
             return Span::disabled();
         }
         let timeline = crate::trace::capturing() && crate::trace::begin(&name);
+        let profiled = crate::profile::enter_owned(&name);
         Span {
             start: Some(Instant::now()),
             histogram: Some(histogram),
@@ -68,6 +76,7 @@ impl Span {
             dyn_name: Some(name),
             trace: false,
             timeline,
+            profiled,
         }
     }
 
@@ -94,7 +103,8 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
-        let elapsed = start.elapsed().as_secs_f64();
+        let duration = start.elapsed();
+        let elapsed = duration.as_secs_f64();
         if let Some(histogram) = &self.histogram {
             histogram.observe(elapsed);
         }
@@ -103,6 +113,9 @@ impl Drop for Span {
         }
         if self.trace || crate::tracing() {
             eprintln!("[obs] {}: {}", self.display_name(), format_seconds(elapsed));
+        }
+        if self.profiled {
+            crate::profile::exit(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
         }
     }
 }

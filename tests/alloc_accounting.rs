@@ -1,0 +1,113 @@
+//! Allocation accounting: this binary installs the counting allocator
+//! (each integration test is its own process, so the `#[global_allocator]`
+//! here affects nobody else) and pins two properties:
+//!
+//! 1. the wrapper actually counts — heap activity moves the per-thread
+//!    and process totals, and `publish()` mirrors them into the registry
+//!    exactly once per delta; and
+//! 2. the streaming hot path has a bounded steady-state allocation rate:
+//!    quiet pushes on a warmed-up engine must average well under one
+//!    allocation event per sample. This is the ratchet for the roadmap's
+//!    zero-alloc hot-path goal — tighten the ceiling as the path improves,
+//!    never loosen it to make a regression pass.
+
+use airfinger_core::config::AirFingerConfig;
+use airfinger_core::engine::StreamingEngine;
+use airfinger_core::pipeline::AirFinger;
+use airfinger_obs::alloc;
+use airfinger_synth::dataset::generate_corpus;
+use airfinger_tests::small_spec;
+
+#[global_allocator]
+static ALLOC: airfinger_obs::CountingAlloc = airfinger_obs::CountingAlloc::new();
+
+/// Steady-state ceiling: allocation events per quiet push, averaged over
+/// the measurement window. The current path is allocation-free between
+/// window closes; the headroom below 0.05 covers incidental one-off
+/// growth (a lazily-resized internal buffer) without letting a per-push
+/// allocation (rate 1.0) sneak in.
+const STEADY_STATE_ALLOCS_PER_PUSH: f64 = 0.05;
+
+#[test]
+fn counting_allocator_observes_heap_activity() {
+    assert!(alloc::counting(), "global allocator wrapper not installed");
+    let before = alloc::thread_stats();
+    let v: Vec<u8> = Vec::with_capacity(4096);
+    let delta = alloc::thread_stats().since(before);
+    assert!(delta.count >= 1, "allocation not counted: {delta:?}");
+    assert!(delta.bytes >= 4096, "bytes under-counted: {delta:?}");
+    drop(v);
+    // Process totals move at least as much as this thread's.
+    let process = alloc::process_stats();
+    assert!(process.count >= delta.count);
+    assert!(process.bytes >= delta.bytes);
+}
+
+#[test]
+fn publish_mirrors_deltas_into_the_registry_exactly_once() {
+    if !airfinger_obs::recording() {
+        return;
+    }
+    // First publish folds whatever this process allocated so far into the
+    // counters; from then on, each publish adds exactly the delta.
+    alloc::publish();
+    let read = || {
+        let snap = airfinger_obs::global().snapshot();
+        (
+            snap.counter_value("alloc_allocations_total", &[])
+                .unwrap_or(0),
+            snap.counter_value("alloc_bytes_total", &[]).unwrap_or(0),
+        )
+    };
+    let (count0, bytes0) = read();
+    let v: Vec<u8> = Vec::with_capacity(1 << 16);
+    alloc::publish();
+    let (count1, bytes1) = read();
+    drop(v);
+    assert!(count1 > count0, "publish did not advance the event counter");
+    assert!(
+        bytes1 >= bytes0 + (1 << 16),
+        "publish did not carry the allocated bytes: {bytes0} -> {bytes1}"
+    );
+    // No activity → no movement (other test threads may allocate, so
+    // tolerate growth but require the counters never run backwards).
+    alloc::publish();
+    let (count2, bytes2) = read();
+    assert!(count2 >= count1 && bytes2 >= bytes1);
+}
+
+#[test]
+fn streaming_push_is_allocation_free_at_steady_state() {
+    let corpus = generate_corpus(&small_spec(11));
+    let mut af = AirFinger::new(AirFingerConfig {
+        forest_trees: 15,
+        n_threads: 1,
+        ..Default::default()
+    });
+    af.train_on_corpus(&corpus, None)
+        .expect("training succeeds");
+    let mut engine = StreamingEngine::new(af, 3).expect("engine builds");
+
+    // A quiet carrier-level signal: the segmenter never opens a window,
+    // so this measures the per-sample ingest path alone. Warm up past
+    // every lazily-grown buffer (history ring, smoothing windows,
+    // metric handles), then measure.
+    let sample = vec![0.01; 3];
+    for _ in 0..2_000 {
+        engine.push(&sample).expect("warmup push succeeds");
+    }
+    let measured = 4_000u64;
+    let before = alloc::thread_stats();
+    for _ in 0..measured {
+        engine.push(&sample).expect("measured push succeeds");
+    }
+    let delta = alloc::thread_stats().since(before);
+    let per_push = delta.count as f64 / measured as f64;
+    assert!(
+        per_push <= STEADY_STATE_ALLOCS_PER_PUSH,
+        "steady-state push allocates: {} events / {} bytes over {measured} pushes \
+         ({per_push:.4} per push, ceiling {STEADY_STATE_ALLOCS_PER_PUSH})",
+        delta.count,
+        delta.bytes,
+    );
+}

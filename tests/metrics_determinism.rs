@@ -150,6 +150,100 @@ fn counters_are_identical_across_thread_counts() {
     }
 }
 
+/// Exporters must be deterministic *functions of logical state*: two
+/// registries holding the same metrics — registered in different orders,
+/// from different call sites — must export byte-identical JSON and
+/// Prometheus documents. This is what makes scrape diffs and snapshot
+/// comparisons meaningful.
+#[test]
+fn export_bytes_are_identical_across_insertion_orders() {
+    let populate = |names: &[&str]| {
+        let r = airfinger_obs::Registry::new();
+        for name in names {
+            match *name {
+                "a_total" => r.counter("a_total", &[("kind", "x")], "a").add(7),
+                "b_total" => r.counter("b_total", &[], "b").add(2),
+                "depth" => r.gauge("depth", &[], "queue depth").set(2.25),
+                "lat_seconds" => {
+                    let h = r.histogram("lat_seconds", &[], vec![0.1, 1.0], "latency");
+                    h.observe(0.05);
+                    h.observe(0.75);
+                }
+                other => panic!("unknown fixture metric {other}"),
+            }
+        }
+        r
+    };
+    let forward = populate(&["a_total", "b_total", "depth", "lat_seconds"]);
+    let reversed = populate(&["lat_seconds", "depth", "b_total", "a_total"]);
+    assert_eq!(
+        forward.snapshot().to_json(),
+        reversed.snapshot().to_json(),
+        "JSON export depends on insertion order"
+    );
+    assert_eq!(
+        forward.snapshot().to_prometheus(),
+        reversed.snapshot().to_prometheus(),
+        "Prometheus export depends on insertion order"
+    );
+    // And a snapshot taken twice renders the same bytes both times.
+    assert_eq!(forward.snapshot().to_json(), forward.snapshot().to_json());
+    assert_eq!(
+        forward.snapshot().to_prometheus(),
+        forward.snapshot().to_prometheus()
+    );
+}
+
+/// Stream the first corpus trace through a freshly-trained engine with
+/// the cost profiler enabled; return every scoped call path with its
+/// deterministic coordinates (frame count and allocation pressure — the
+/// nanosecond fields are scheduling observations and excluded).
+fn profile_paths_at(n_threads: usize, corpus: &Corpus) -> BTreeMap<String, (u64, u64, u64)> {
+    airfinger_obs::global().reset();
+    airfinger_obs::profile::reset();
+    let mut af = AirFinger::new(config(n_threads));
+    af.train_on_corpus(corpus, None).expect("training succeeds");
+    let mut engine = StreamingEngine::new(af, 3).expect("engine builds");
+    let was_enabled = airfinger_obs::profile::enabled();
+    airfinger_obs::profile::set_enabled(true);
+    let trace = &corpus.samples()[0].trace;
+    let span = airfinger_obs::span!("profile_stream_seconds");
+    for i in 0..trace.len() {
+        let sample: Vec<f64> = (0..3).map(|k| trace.channel(k)[i]).collect();
+        engine.push(&sample).expect("push succeeds");
+    }
+    drop(span);
+    airfinger_obs::profile::set_enabled(was_enabled);
+    engine.flush().expect("flush succeeds");
+    airfinger_obs::profile::snapshot()
+        .under("profile_stream_seconds")
+        .paths
+        .iter()
+        .map(|(p, s)| (p.clone(), (s.count, s.alloc.count, s.alloc.bytes)))
+        .collect()
+}
+
+/// The profiler's *structural* output — which call paths exist, how many
+/// frames each accumulated, and their allocation pressure — is a pure
+/// function of the input stream, independent of training parallelism.
+/// Only the nanosecond fields may differ between runs.
+#[test]
+fn profile_breakdown_is_identical_across_thread_counts() {
+    let _guard = registry_guard();
+    let corpus = corpus();
+    let baseline = profile_paths_at(1, &corpus);
+    if airfinger_obs::recording() {
+        assert!(
+            baseline.contains_key("profile_stream_seconds;engine_push_seconds"),
+            "expected the push path in {baseline:?}"
+        );
+    }
+    for threads in [4, 8] {
+        let got = profile_paths_at(threads, &corpus);
+        assert_eq!(got, baseline, "profile diverged at {threads} threads");
+    }
+}
+
 #[test]
 fn recognition_is_identical_with_obs_on_and_off() {
     let _guard = registry_guard();
