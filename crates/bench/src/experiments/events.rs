@@ -1,0 +1,399 @@
+//! Events: the structured event journal, session-correlated telemetry,
+//! and SLO error-budget burn-rate alerting, exercised end to end.
+//!
+//! Not a paper figure — this is the observability experiment backing
+//! `obs::events` + `obs::budget`: three scripted runs share one trained
+//! pipeline and must satisfy the journal/budget contract exactly.
+//!
+//! 1. **Clean solo soak** — a fault-free monitored session. The journal
+//!    fills with recognition/rejection events, health never leaves
+//!    `healthy`, and no burn alert of either speed may fire.
+//! 2. **Faulted solo soak** — the standard spike+dropout schedule over
+//!    ten health windows. The fast-burn alert must fire *exactly once*
+//!    (the latch holds through the contiguous bad-window episode), the
+//!    flight-recorder dump must cross-link a valid journal sequence
+//!    range, and the journal must carry the full event cascade
+//!    (transition → dump → burn).
+//! 3. **Mini fleet** — an oversubscribed sharded fleet (14 arrivals into
+//!    12 slots) with a fleet-attached journal. Admission/shed events and
+//!    every session's buffered monitor events land in one global
+//!    sequence whose bytes are thread-count-invariant: the reported
+//!    FNV-1a checksum pins the exact journal content across `--threads`.
+//!
+//! Every reported metric is deterministic (no wall-clock figures), so
+//! the whole report is byte-comparable between 1- and 4-thread runs.
+
+use crate::context::{Context, Scale};
+use crate::error::BenchError;
+use crate::report::Report;
+use airfinger_core::config::AirFingerConfig;
+use airfinger_core::engine::StreamingEngine;
+use airfinger_core::pipeline::AirFinger;
+use airfinger_fleet::{drive, generate_population, Fleet, FleetConfig, PopulationSpec};
+use airfinger_obs::events::Journal;
+use airfinger_obs::{
+    BudgetConfig, EngineMonitor, MonitorConfig, RecorderConfig, SloRules, WindowConfig,
+};
+use airfinger_synth::dataset::{generate_corpus, generate_nongesture_corpus, CorpusSpec};
+use airfinger_synth::session::{generate_session, standard_fault_schedule, SessionSpec};
+use std::sync::Arc;
+
+/// Health windows per solo session; the fault schedule spans a fixed
+/// window range at every scale (spike [20%, 45%), dropout [45%, 95%)),
+/// so the bad-window pattern — and with it the burn-alert count — is
+/// scale-invariant.
+const WINDOWS_PER_SESSION: usize = 10;
+
+/// Fleet shape: 14 staggered arrivals into `4 x 3` session slots, so
+/// exactly two sessions (ids 12 and 13) are shed at admission.
+const SHARDS: usize = 4;
+const SESSIONS_PER_SHARD: usize = 3;
+const ARRIVALS: usize = 14;
+const EXPECTED_SHED: u64 = 2;
+
+/// Journal capacity for every phase: large enough that nothing is ever
+/// evicted, so `dropped == 0` doubles as a sizing contract.
+const JOURNAL_CAPACITY: usize = 16_384;
+
+/// FNV-1a (32-bit) over the journal's serialized bytes. 32 bits so the
+/// checksum survives the report's `f64` metric slots exactly.
+fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Count journal events carrying a given kind tag.
+fn count_kind(journal: &Journal, tag: &str) -> u64 {
+    journal
+        .tail_after(0, journal.capacity())
+        .iter()
+        .filter(|e| e.kind.tag() == tag)
+        .count() as u64
+}
+
+fn monitor_with_journal(horizon: usize, journal: &Journal) -> EngineMonitor {
+    EngineMonitor::new(MonitorConfig {
+        window: WindowConfig { horizon },
+        rules: SloRules::default(),
+        recorder: RecorderConfig::default(),
+        budget: BudgetConfig::default(),
+    })
+    .with_journal(journal.clone())
+}
+
+/// Run the experiment.
+///
+/// # Errors
+///
+/// Propagates training, engine and fleet failures; fails when any phase
+/// violates the journal/budget contract (a burn alert on the clean run,
+/// anything other than exactly one fast-burn alert on the faulted run, a
+/// dump without a journal cross-link, miscounted admission/shed events,
+/// or a journal eviction).
+pub fn run(ctx: &Context) -> Result<Report, BenchError> {
+    let mut report = Report::new(
+        "events",
+        "structured event journal and error-budget burn-rate alerting",
+    );
+    let samples = match ctx.scale {
+        Scale::Quick => 4_000,
+        Scale::Standard => 10_000,
+        Scale::Full => 20_000,
+    };
+    let horizon = samples / WINDOWS_PER_SESSION;
+
+    // One compact pipeline (non-gesture filter live) shared by all three
+    // phases, soak-style.
+    let spec = CorpusSpec {
+        users: 2,
+        sessions: 2,
+        reps: ctx.scale.scaled(10),
+        seed: ctx.seed + 131,
+        ..Default::default()
+    };
+    let non_spec = CorpusSpec {
+        reps: ctx.scale.scaled(30),
+        ..spec.clone()
+    };
+    let corpus = generate_corpus(&spec);
+    let non = generate_nongesture_corpus(&non_spec);
+    let mut af = AirFinger::new(AirFingerConfig {
+        forest_trees: ctx.config.forest_trees.min(40),
+        ..ctx.config
+    });
+    af.train_on_corpus(&corpus, Some(&non))?;
+    let pipeline = Arc::new(af);
+
+    // ---- Phase 1: clean solo soak — the error budget must stay whole.
+    let clean_journal = Journal::new(JOURNAL_CAPACITY);
+    let clean = solo_soak(
+        &pipeline,
+        samples,
+        horizon,
+        ctx.seed + 131,
+        false,
+        &clean_journal,
+    )?;
+    if clean.fast_alerts != 0 || clean.slow_alerts != 0 {
+        return Err(BenchError::Contract(format!(
+            "clean run burned budget: {} fast / {} slow alerts (want 0 / 0)",
+            clean.fast_alerts, clean.slow_alerts
+        )));
+    }
+    if clean.transitions != 0 {
+        return Err(BenchError::Contract(format!(
+            "clean run left healthy: {} health transitions (want 0)",
+            clean.transitions
+        )));
+    }
+    if count_kind(&clean_journal, "recognition") == 0 {
+        return Err(BenchError::Contract(
+            "clean run journaled no recognition events".into(),
+        ));
+    }
+
+    // ---- Phase 2: faulted solo soak — fast burn fires exactly once.
+    let fault_journal = Journal::new(JOURNAL_CAPACITY);
+    let faulted = solo_soak(
+        &pipeline,
+        samples,
+        horizon,
+        ctx.seed + 131,
+        true,
+        &fault_journal,
+    )?;
+    if faulted.fast_alerts != 1 {
+        return Err(BenchError::Contract(format!(
+            "faulted run must trip the fast-burn alert exactly once, got {}",
+            faulted.fast_alerts
+        )));
+    }
+    if faulted.slow_alerts == 0 {
+        return Err(BenchError::Contract(
+            "faulted run never tripped the slow-burn alert".into(),
+        ));
+    }
+    let burn_events = count_kind(&fault_journal, "burn");
+    if burn_events != faulted.fast_alerts + faulted.slow_alerts {
+        return Err(BenchError::Contract(format!(
+            "journal carries {burn_events} burn events, budget fired {}",
+            faulted.fast_alerts + faulted.slow_alerts
+        )));
+    }
+    // The dump must cross-link the journal: a non-null sequence range
+    // that actually covers journaled events.
+    let dump_span = faulted
+        .dump_journal_span
+        .ok_or_else(|| BenchError::Contract("dump lacks a journal cross-link".into()))?;
+    if dump_span.0 > dump_span.1 || count_kind(&fault_journal, "dump") != 1 {
+        return Err(BenchError::Contract(format!(
+            "dump journal range invalid: [{}, {}]",
+            dump_span.0, dump_span.1
+        )));
+    }
+
+    // ---- Phase 3: oversubscribed mini fleet with a fleet journal.
+    let fleet_samples = match ctx.scale {
+        Scale::Quick => 400,
+        Scale::Standard => 800,
+        Scale::Full => 1_200,
+    };
+    let pop = PopulationSpec {
+        sessions: ARRIVALS,
+        samples_per_session: fleet_samples,
+        users: ctx.scale.users(),
+        seed: ctx.seed + 131,
+        fault_every: 4,
+        arrival_stagger_rounds: 1,
+        chunk: 50,
+    };
+    let gen_threads = airfinger_parallel::effective_threads(match ctx.config.n_threads {
+        0 => None,
+        n => Some(n),
+    });
+    let traces = generate_population(&pop, gen_threads);
+    let channels = traces
+        .first()
+        .ok_or(BenchError::EmptyResult("empty population"))?
+        .channel_count();
+    let config = FleetConfig {
+        shards: SHARDS,
+        sessions_per_shard: SESSIONS_PER_SHARD,
+        queue_capacity: 8 * pop.chunk,
+        quantum: 2 * pop.chunk,
+        monitor_horizon: fleet_samples / 5,
+        threads: ctx.config.n_threads,
+    };
+    let mut fleet =
+        Fleet::new(Arc::clone(&pipeline), channels, config).map_err(BenchError::Fleet)?;
+    let fleet_journal = Journal::new(JOURNAL_CAPACITY);
+    fleet.set_journal(fleet_journal.clone());
+    let ids: Vec<u64> = (0..ARRIVALS as u64).collect();
+    let driven = drive(&mut fleet, &ids, &traces, &pop).map_err(BenchError::Fleet)?;
+    fleet.flush_sessions();
+
+    let capacity = (SHARDS * SESSIONS_PER_SHARD) as u64;
+    if fleet.admitted() != capacity || fleet.shed() != EXPECTED_SHED {
+        return Err(BenchError::Contract(format!(
+            "expected {capacity} admitted / {EXPECTED_SHED} shed, got {} / {}",
+            fleet.admitted(),
+            fleet.shed()
+        )));
+    }
+    let admitted_events = count_kind(&fleet_journal, "admitted");
+    let shed_events = count_kind(&fleet_journal, "shed");
+    if admitted_events != fleet.admitted() || shed_events != fleet.shed() {
+        return Err(BenchError::Contract(format!(
+            "journal admission ledger diverged: {admitted_events} admitted / \
+             {shed_events} shed events vs {} / {} counters",
+            fleet.admitted(),
+            fleet.shed()
+        )));
+    }
+    // Correlation contract: every session-scoped event carries its shard,
+    // and the shard matches the fleet's placement function.
+    for event in fleet_journal.tail_after(0, fleet_journal.capacity()) {
+        if let (Some(session), Some(shard)) = (event.session, event.shard) {
+            if shard != session % SHARDS as u64 {
+                return Err(BenchError::Contract(format!(
+                    "event seq {} mis-correlated: session {session} on shard {shard}",
+                    event.seq
+                )));
+            }
+        }
+    }
+    let dropped = clean_journal.dropped() + fault_journal.dropped() + fleet_journal.dropped();
+    if dropped != 0 {
+        return Err(BenchError::Contract(format!(
+            "journals evicted {dropped} events; capacity contract is zero loss"
+        )));
+    }
+    // The determinism pin: the fleet journal's exact serialized bytes,
+    // independent of worker-thread count.
+    let fleet_bytes = fleet_journal.to_json_after(0, fleet_journal.capacity());
+    let checksum = fnv1a32(fleet_bytes.as_bytes());
+
+    report.line(format!(
+        "clean soak: {samples} samples, {} journal events, 0 transitions, 0 burn alerts, \
+         {:.0}% budget remaining",
+        clean.events,
+        clean.budget_remaining * 100.0
+    ));
+    report.line(format!(
+        "faulted soak: {} journal events, {} bad / {} windows, fast burn fired once, \
+         {} slow alert(s), dump journal span [{}, {}]",
+        faulted.events,
+        faulted.bad_windows,
+        faulted.windows,
+        faulted.slow_alerts,
+        dump_span.0,
+        dump_span.1
+    ));
+    report.line(format!(
+        "fleet: {ARRIVALS} arrivals -> {} admitted / {} shed over {SHARDS} shards, \
+         {} rounds, journal head seq {}",
+        fleet.admitted(),
+        fleet.shed(),
+        driven.rounds,
+        fleet_journal.head_seq()
+    ));
+    report.line(format!(
+        "fleet journal: {} events retained, 0 evicted, fnv1a32 {checksum:#010x} \
+         (thread-count-invariant)",
+        fleet_journal.len()
+    ));
+
+    report.metric("clean_events", clean.events as f64);
+    report.metric("clean_budget_remaining", clean.budget_remaining);
+    report.metric("fault_events", faulted.events as f64);
+    report.metric("fault_windows", faulted.windows as f64);
+    report.metric("fault_bad_windows", faulted.bad_windows as f64);
+    report.metric("fault_fast_alerts", faulted.fast_alerts as f64);
+    report.metric("fault_slow_alerts", faulted.slow_alerts as f64);
+    report.metric("dump_journal_first_seq", dump_span.0 as f64);
+    report.metric("dump_journal_last_seq", dump_span.1 as f64);
+    report.metric("fleet_admitted", fleet.admitted() as f64);
+    report.metric("fleet_shed", fleet.shed() as f64);
+    report.metric("fleet_journal_head", fleet_journal.head_seq() as f64);
+    report.metric("fleet_journal_checksum", f64::from(checksum));
+    Ok(report)
+}
+
+/// What one solo soak produced, in journal/budget terms.
+struct SoloOutcome {
+    events: u64,
+    windows: u64,
+    bad_windows: u64,
+    fast_alerts: u64,
+    slow_alerts: u64,
+    budget_remaining: f64,
+    transitions: usize,
+    dump_journal_span: Option<(u64, u64)>,
+}
+
+/// Stream one synthetic session through a monitored engine wired to
+/// `journal`, with or without the standard fault schedule.
+fn solo_soak(
+    pipeline: &Arc<AirFinger>,
+    samples: usize,
+    horizon: usize,
+    seed: u64,
+    faults: bool,
+    journal: &Journal,
+) -> Result<SoloOutcome, BenchError> {
+    let session = SessionSpec {
+        samples,
+        seed,
+        faults: if faults {
+            standard_fault_schedule(samples, true, true)
+        } else {
+            Vec::new()
+        },
+        ..Default::default()
+    };
+    let trace = generate_session(&session);
+    let channels = trace.channel_count();
+    let mut engine = StreamingEngine::with_shared(Arc::clone(pipeline), channels)?;
+    engine.attach_monitor(monitor_with_journal(horizon, journal));
+
+    let mut sample = vec![0.0; channels];
+    for i in 0..trace.len() {
+        for (k, v) in sample.iter_mut().enumerate() {
+            *v = trace.channel(k)[i];
+        }
+        let _ = engine.push(&sample);
+    }
+    engine.flush()?;
+
+    let monitor = engine
+        .monitor_mut()
+        .ok_or_else(|| BenchError::Contract("monitor detached mid-soak".into()))?;
+    let budget = monitor.budget();
+    let outcome = SoloOutcome {
+        events: monitor.events_emitted(),
+        windows: budget.windows(),
+        bad_windows: budget.bad_windows(),
+        fast_alerts: budget.fast_alerts(),
+        slow_alerts: budget.slow_alerts(),
+        budget_remaining: budget.remaining(),
+        transitions: monitor.transitions().len(),
+        dump_journal_span: None,
+    };
+    let dumps = monitor.take_dumps();
+    let span = dumps.first().and_then(|d| {
+        let v = serde_json::from_str::<serde::Value>(&d.json).ok()?;
+        let j = v.as_object()?.get("journal")?.as_object()?;
+        Some((
+            j.get("first_session_seq")?.as_f64()? as u64,
+            j.get("last_session_seq")?.as_f64()? as u64,
+        ))
+    });
+    Ok(SoloOutcome {
+        dump_journal_span: span,
+        ..outcome
+    })
+}

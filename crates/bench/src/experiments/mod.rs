@@ -5,6 +5,7 @@ pub mod ablation;
 pub mod adaptation;
 pub mod baselines;
 pub mod board;
+pub mod events;
 pub mod fig03;
 pub mod fig05;
 pub mod fig07;

@@ -75,6 +75,7 @@ pub fn run(ctx: &Context) -> Result<Report, BenchError> {
         window: WindowConfig { horizon },
         rules: SloRules::default(),
         recorder: RecorderConfig::default(),
+        budget: airfinger_obs::BudgetConfig::default(),
     }));
 
     let mut sample = vec![0.0; channels];

@@ -23,7 +23,7 @@ use report::Report;
 pub use error::BenchError;
 
 /// Every experiment id, in paper order.
-pub const EXPERIMENT_IDS: [&str; 25] = [
+pub const EXPERIMENT_IDS: [&str; 26] = [
     "fig3",
     "fig5",
     "fig7",
@@ -48,6 +48,7 @@ pub const EXPERIMENT_IDS: [&str; 25] = [
     "adaptation",
     "soak",
     "fleet",
+    "events",
     "profile",
 ];
 
@@ -83,6 +84,7 @@ pub fn run_experiment(id: &str, ctx: &Context) -> Result<Report, BenchError> {
         "adaptation" => experiments::adaptation::run(ctx),
         "soak" => experiments::soak::run(ctx),
         "fleet" => experiments::fleet::run(ctx),
+        "events" => experiments::events::run(ctx),
         "profile" => experiments::profile::run(ctx),
         _ => Err(BenchError::UnknownExperiment(id.to_string())),
     }

@@ -292,6 +292,12 @@ pub(crate) fn monitor(argv: &[String]) -> i32 {
             }
         };
         let dump_dir = args.optional("dump-dir");
+        let journal_capacity = args.number("journal", 512usize)?;
+        let journal = (journal_capacity > 0).then(|| {
+            let journal = airfinger_obs::events::global().clone();
+            journal.set_capacity(journal_capacity);
+            journal
+        });
         let af = train_quick(seed, trees)?;
 
         let session = SessionSpec {
@@ -311,11 +317,18 @@ pub(crate) fn monitor(argv: &[String]) -> i32 {
         let trace = generate_session(&session);
         let channels = trace.channel_count();
         let mut engine = StreamingEngine::new(af, channels).map_err(|e| format!("engine: {e}"))?;
-        engine.attach_monitor(EngineMonitor::new(MonitorConfig {
+        let mut monitor = EngineMonitor::new(MonitorConfig {
             window: WindowConfig { horizon },
             rules: SloRules::default(),
             recorder: RecorderConfig::default(),
-        }));
+            budget: airfinger_obs::BudgetConfig::default(),
+        });
+        if let Some(journal) = &journal {
+            // Single-threaded driver: publish events as they happen so
+            // `/events` is live mid-soak with `--serve-metrics`.
+            monitor = monitor.with_journal(journal.clone());
+        }
+        engine.attach_monitor(monitor);
 
         eprintln!("streaming {samples} samples (window horizon {horizon})…");
         let mut sample = vec![0.0; channels];
@@ -363,14 +376,32 @@ pub(crate) fn monitor(argv: &[String]) -> i32 {
         let health = m.health();
         let transitions = m.transitions().len();
         let windows = m.windows_closed();
+        let events_emitted = m.events_emitted();
+        let fast_alerts = m.budget().fast_alerts();
+        let slow_alerts = m.budget().slow_alerts();
+        let budget_remaining = m.budget().remaining();
         let dumps = m.take_dumps();
         println!(
             "\nsoak complete: {samples} samples, {windows} windows, {recognitions} recognitions, \
              {transitions} health transitions, {} dumps, final health {health}",
             dumps.len()
         );
+        println!(
+            "journal: {events_emitted} events emitted | error budget: {fast_alerts} fast / \
+             {slow_alerts} slow burn alerts, {:.0}% budget remaining",
+            budget_remaining * 100.0
+        );
         if let Some(dir) = dump_dir {
             write_dumps(std::path::Path::new(dir), &dumps)?;
+            if let Some(journal) = &journal {
+                write_artifacts(
+                    std::path::Path::new(dir),
+                    &[(
+                        "events.json".to_string(),
+                        journal.to_json_after(0, journal.capacity()),
+                    )],
+                )?;
+            }
         } else if !dumps.is_empty() {
             eprintln!("note: {} dumps discarded (no --dump-dir)", dumps.len());
         }
@@ -392,10 +423,14 @@ pub(crate) fn monitor(argv: &[String]) -> i32 {
                 return Ok(1);
             }
             Ok(0)
-        } else if health.level() == 0 && dump_count == 0 {
+        } else if health.level() == 0 && dump_count == 0 && fast_alerts == 0 && slow_alerts == 0 {
             Ok(0)
         } else {
-            eprintln!("FAIL: clean session ended {health} with {dump_count} dumps");
+            eprintln!(
+                "FAIL: clean session ended {health} with {dump_count} dumps and \
+                 {} burn alerts",
+                fast_alerts + slow_alerts
+            );
             Ok(1)
         }
     };
@@ -424,6 +459,12 @@ pub(crate) fn fleet(argv: &[String]) -> i32 {
         let seed = args.number("seed", 0x41F1_6E12u64)?;
         let trees = args.number("trees", 40usize)?;
         let dump_dir = args.optional("dump-dir");
+        let journal_capacity = args.number("journal", 1024usize)?;
+        let journal = (journal_capacity > 0).then(|| {
+            let journal = airfinger_obs::events::global().clone();
+            journal.set_capacity(journal_capacity);
+            journal
+        });
 
         let pipeline = std::sync::Arc::new(train_quick(seed, trees)?);
         let pop = PopulationSpec {
@@ -447,6 +488,9 @@ pub(crate) fn fleet(argv: &[String]) -> i32 {
             threads: 0,
         };
         let mut fleet = Fleet::new(pipeline, channels, config).map_err(|e| e.to_string())?;
+        if let Some(journal) = &journal {
+            fleet.set_journal(journal.clone());
+        }
         let ids: Vec<u64> = (0..sessions as u64).collect();
         eprintln!("driving {sessions} session(s) over {shards} shard(s)…");
         let driven = drive(&mut fleet, &ids, &traces, &pop).map_err(|e| e.to_string())?;
@@ -468,14 +512,36 @@ pub(crate) fn fleet(argv: &[String]) -> i32 {
         for s in &rollup.shards {
             println!(
                 "[shard {}] {} session(s), {} queued | {} healthy / {} degraded / {} unhealthy \
-                 | worst {}",
-                s.shard, s.sessions, s.queued, s.healthy, s.degraded, s.unhealthy, s.worst
+                 | worst {} | burn fast {:.2} slow {:.2}",
+                s.shard,
+                s.sessions,
+                s.queued,
+                s.healthy,
+                s.degraded,
+                s.unhealthy,
+                s.worst,
+                s.burn_fast,
+                s.burn_slow
             );
         }
         println!(
             "fleet health {}: {} recognitions, {} errors, {} samples processed",
             rollup.worst, rollup.recognitions, rollup.errors, rollup.samples_processed
         );
+        println!(
+            "error budget: worst burn fast {:.2} / slow {:.2}, min remaining {:.0}%",
+            rollup.burn_fast_worst,
+            rollup.burn_slow_worst,
+            rollup.budget_remaining_min * 100.0
+        );
+        if let Some(journal) = &journal {
+            println!(
+                "journal: {} events published ({} retained, {} evicted)",
+                journal.head_seq(),
+                journal.len(),
+                journal.dropped()
+            );
+        }
         for e in fleet.shed_log() {
             println!("shed: session {} ({})", e.session, e.reason.tag());
         }
@@ -493,6 +559,15 @@ pub(crate) fn fleet(argv: &[String]) -> i32 {
         } else if !dumps.is_empty() {
             let n: usize = dumps.iter().map(|(_, d)| d.len()).sum();
             eprintln!("note: {n} dumps discarded (no --dump-dir)");
+        }
+        if let (Some(dir), Some(journal)) = (dump_dir, &journal) {
+            write_artifacts(
+                std::path::Path::new(dir),
+                &[(
+                    "events.json".to_string(),
+                    journal.to_json_after(0, journal.capacity()),
+                )],
+            )?;
         }
         write_profile_artifacts(dump_dir)?;
 

@@ -17,8 +17,8 @@
 //! JSON, loadable in Perfetto or chrome://tracing), `--profile`
 //! (per-stage cost attribution; `monitor`/`fleet` export collapsed
 //! stacks under `--dump-dir`), and `--serve-metrics ADDR` (live
-//! `/metrics`, `/health`, and `/profile` scrape endpoints, kept alive
-//! after the run for `--serve-linger MS`).
+//! `/metrics`, `/health`, `/profile`, and `/events` scrape endpoints,
+//! kept alive after the run for `--serve-linger MS`).
 
 mod args;
 mod commands;
@@ -171,15 +171,18 @@ fn print_help() {
     println!("             [--mix F] [--trials N]");
     println!("  info       describe a trained model");
     println!("             --model PATH [--top N]");
-    println!("  monitor    soak-test a live engine with health monitoring and");
-    println!("             a flight recorder; optional fault injection");
+    println!("  monitor    soak-test a live engine with health monitoring, an");
+    println!("             event journal, error-budget burn alerts, and a flight");
+    println!("             recorder; optional fault injection");
     println!("             [--soak N] [--fault none|spike|dropout|both]");
     println!("             [--window N] [--dump-dir PATH] [--seed N] [--trees N]");
+    println!("             [--journal N   event-journal capacity, 0 disables]");
     println!("  fleet      serve many concurrent synthetic sessions through the");
     println!("             sharded multi-session engine with batched inference");
     println!("             [--sessions N] [--shards N] [--samples N] [--queue N]");
     println!("             [--chunk N] [--stagger N] [--fault-every N]");
     println!("             [--seed N] [--trees N] [--dump-dir PATH]");
+    println!("             [--journal N   event-journal capacity, 0 disables]");
     println!();
     println!("global flags (any command):");
     println!("  --metrics PATH    write a machine-readable run report (counters,");
@@ -192,9 +195,11 @@ fn print_help() {
     println!("                    allocs) to the span call paths; monitor/fleet");
     println!("                    export collapsed stacks under --dump-dir");
     println!("  --serve-metrics ADDR  serve live /metrics (Prometheus), /health");
-    println!("                    (JSON rollup + history), and /profile (collapsed");
-    println!("                    stacks) on ADDR, e.g. 127.0.0.1:0 (no TLS/auth —");
-    println!("                    bind loopback or a trusted interface only)");
+    println!("                    (JSON rollup + history), /profile (collapsed");
+    println!("                    stacks), and /events (journal tail with an");
+    println!("                    ?after=<seq> cursor) on ADDR, e.g. 127.0.0.1:0");
+    println!("                    (no TLS/auth — bind loopback or a trusted");
+    println!("                    interface only)");
     println!("  --serve-linger MS keep the scrape server alive MS milliseconds");
     println!("                    after the command finishes");
 }

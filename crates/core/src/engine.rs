@@ -15,6 +15,7 @@ use crate::zebra::ScrollDirection;
 use airfinger_dsp::sbc::{Sbc, SbcStream};
 use airfinger_dsp::segment::{Segment, StreamingSegmenter};
 use airfinger_dsp::threshold::DynamicThreshold;
+use airfinger_obs::events::Event as ObsEvent;
 use airfinger_obs::monitor::EngineMonitor;
 use airfinger_obs::recorder::Dump;
 use airfinger_obs::window::{Outcome, WindowStats};
@@ -515,6 +516,20 @@ impl SharedEngine {
             .unwrap_or_else(PoisonError::into_inner)
             .monitor_mut()
             .map(EngineMonitor::take_dumps)
+            .unwrap_or_default()
+    }
+
+    /// Drain the monitor's buffered journal events (see
+    /// [`airfinger_obs::events`]) in emission order so the caller can
+    /// publish them into a journal. Empty when no monitor is attached,
+    /// or when the monitor publishes into a journal directly.
+    #[must_use]
+    pub fn take_events(&self) -> Vec<ObsEvent> {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .monitor_mut()
+            .map(EngineMonitor::take_events)
             .unwrap_or_default()
     }
 }

@@ -8,6 +8,7 @@ use airfinger_core::engine::StreamingEngine;
 use airfinger_core::error::AirFingerError;
 use airfinger_core::events::Recognition;
 use airfinger_core::pipeline::AirFinger;
+use airfinger_obs::events::{Event, EventKind, Journal};
 use airfinger_obs::monitor::with_horizon;
 use airfinger_obs::HealthState;
 use std::sync::Arc;
@@ -67,6 +68,15 @@ pub struct Fleet {
     rounds: u64,
     batches: u64,
     batched_windows: u64,
+    processed_total: u64,
+    /// Event sink. Fleet-level events (admit/shed) publish immediately
+    /// from the serial control path; per-session monitor events buffer
+    /// in their monitors during the parallel drain and are published at
+    /// the round barrier in (shard, session-id) order, which keeps the
+    /// journal byte-identical across worker thread counts.
+    journal: Option<Journal>,
+    /// Fleet-level emitter ordinal (`session_seq` of fleet events).
+    events_emitted: u64,
 }
 
 impl Fleet {
@@ -114,7 +124,24 @@ impl Fleet {
             rounds: 0,
             batches: 0,
             batched_windows: 0,
+            processed_total: 0,
+            journal: None,
+            events_emitted: 0,
         })
+    }
+
+    /// Attach a journal. Fleet admit/shed events publish into it
+    /// immediately; session monitors keep buffering and are drained into
+    /// it at every round barrier (and on flush) in deterministic (shard,
+    /// session-id) order.
+    pub fn set_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
+    }
+
+    /// The attached journal, if any.
+    #[must_use]
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
     }
 
     /// The fleet configuration.
@@ -148,12 +175,15 @@ impl Fleet {
             StreamingEngine::with_shared(Arc::clone(&self.pipeline), self.channel_count)
                 .map_err(FleetError::Engine)?;
         if self.config.monitor_horizon > 0 {
-            engine.attach_monitor(with_horizon(self.config.monitor_horizon));
+            engine.attach_monitor(
+                with_horizon(self.config.monitor_horizon).with_identity(id, shard_index as u64),
+            );
         }
         self.shards[shard_index].insert(id, engine);
         self.admitted += 1;
         airfinger_obs::counter!("fleet_sessions_admitted_total").inc();
         airfinger_obs::gauge!("fleet_sessions_active").set(self.active_sessions() as f64);
+        self.emit(EventKind::SessionAdmitted, id);
         Ok(())
     }
 
@@ -249,6 +279,8 @@ impl Fleet {
             active: self.active_sessions(),
             queued: self.shards.iter().map(Shard::queued).sum(),
         };
+        self.processed_total += stats.processed;
+        self.drain_events();
         self.publish_rollup();
         Ok(stats)
     }
@@ -279,6 +311,7 @@ impl Fleet {
                 }
             }
         }
+        self.drain_events();
         self.publish_rollup();
     }
 
@@ -407,6 +440,9 @@ impl Fleet {
                     degraded: 0,
                     unhealthy: 0,
                     worst: HealthState::Healthy,
+                    burn_fast: 0.0,
+                    burn_slow: 0.0,
+                    budget_remaining: 1.0,
                 };
                 for session in shard.sessions() {
                     // Sessions without monitors count as healthy: no
@@ -423,15 +459,26 @@ impl Fleet {
                     if state.level() > health.worst.level() {
                         health.worst = state;
                     }
+                    if let Some(budget) = session.engine.monitor().map(|m| m.budget()) {
+                        health.burn_fast = health.burn_fast.max(budget.burn_fast());
+                        health.burn_slow = health.burn_slow.max(budget.burn_slow());
+                        health.budget_remaining = health.budget_remaining.min(budget.remaining());
+                    }
                 }
                 health
             })
             .collect();
         let mut worst = HealthState::Healthy;
+        let mut burn_fast_worst = 0.0f64;
+        let mut burn_slow_worst = 0.0f64;
+        let mut budget_remaining_min = 1.0f64;
         for shard in &shards {
             if shard.worst.level() > worst.level() {
                 worst = shard.worst;
             }
+            burn_fast_worst = burn_fast_worst.max(shard.burn_fast);
+            burn_slow_worst = burn_slow_worst.max(shard.burn_slow);
+            budget_remaining_min = budget_remaining_min.min(shard.budget_remaining);
         }
         FleetRollup {
             sessions_active: self.active_sessions(),
@@ -453,6 +500,9 @@ impl Fleet {
                 .flat_map(|s| s.sessions().iter().map(|x| x.errors))
                 .sum(),
             worst,
+            burn_fast_worst,
+            burn_slow_worst,
+            budget_remaining_min,
             shards,
         }
     }
@@ -460,6 +510,51 @@ impl Fleet {
     fn record_shed(&mut self, session: u64, reason: ShedReason) {
         self.shed_log.push(ShedEvent { session, reason });
         airfinger_obs::counter_with("fleet_sessions_shed_total", &[("reason", reason.tag())]).inc();
+        self.emit(
+            EventKind::SessionShed {
+                reason: reason.tag(),
+            },
+            session,
+        );
+    }
+
+    /// Journal one fleet-level event (admission/shedding), stamped with
+    /// the target session's identity and the fleet's processed-sample
+    /// clock. No-op without a journal: the fleet's control path has no
+    /// bounded buffer of its own, and these events are reconstructable
+    /// from the shed log.
+    fn emit(&mut self, kind: EventKind, session: u64) {
+        let Some(journal) = &self.journal else {
+            return;
+        };
+        airfinger_obs::events::count_emitted(&kind);
+        let event = Event {
+            seq: 0,
+            session_seq: self.events_emitted,
+            sample: self.processed_total,
+            session: Some(session),
+            shard: Some(self.config.shard_of(session) as u64),
+            window: None,
+            kind,
+        };
+        self.events_emitted += 1;
+        let _ = journal.publish(event);
+    }
+
+    /// Publish every session monitor's buffered events into the journal
+    /// in (shard, session-id) order — the deterministic round-barrier
+    /// step that makes the journal thread-count invariant.
+    fn drain_events(&mut self) {
+        let Some(journal) = self.journal.clone() else {
+            return;
+        };
+        for shard in &mut self.shards {
+            for session in shard.sessions_mut() {
+                if let Some(monitor) = session.engine.monitor_mut() {
+                    journal.publish_all(monitor.take_events());
+                }
+            }
+        }
     }
 
     /// Publish the per-shard and fleet-wide health gauges.
@@ -470,10 +565,17 @@ impl Fleet {
         let rollup = self.rollup();
         airfinger_obs::gauge!("fleet_sessions_active").set(rollup.sessions_active as f64);
         airfinger_obs::gauge!("fleet_health_worst").set(f64::from(rollup.worst.level()));
+        airfinger_obs::gauge!("fleet_burn_fast_worst").set(rollup.burn_fast_worst);
+        airfinger_obs::gauge!("fleet_burn_slow_worst").set(rollup.burn_slow_worst);
+        airfinger_obs::gauge!("fleet_budget_remaining_min").set(rollup.budget_remaining_min);
         for shard in &rollup.shards {
             let label = shard.shard.to_string();
             airfinger_obs::gauge_with("fleet_shard_health", &[("shard", &label)])
                 .set(f64::from(shard.worst.level()));
+            airfinger_obs::gauge_with("fleet_shard_burn_fast", &[("shard", &label)])
+                .set(shard.burn_fast);
+            airfinger_obs::gauge_with("fleet_shard_burn_slow", &[("shard", &label)])
+                .set(shard.burn_slow);
         }
     }
 }

@@ -3,7 +3,7 @@
 use airfinger_obs::HealthState;
 
 /// One shard's session and health tally.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShardHealth {
     /// Shard index.
     pub shard: usize,
@@ -19,11 +19,19 @@ pub struct ShardHealth {
     pub unhealthy: usize,
     /// Worst session state on the shard.
     pub worst: HealthState,
+    /// Worst (highest) fast-burn rate across the shard's sessions.
+    pub burn_fast: f64,
+    /// Worst (highest) slow-burn rate across the shard's sessions.
+    pub burn_slow: f64,
+    /// Worst (lowest) remaining error budget across the shard's
+    /// sessions; 1.0 when no session has a monitor.
+    pub budget_remaining: f64,
 }
 
 /// The whole fleet's SLO rollup, published through the registry as the
-/// `fleet_shard_health{shard}` / `fleet_health_worst` gauges.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// `fleet_shard_health{shard}` / `fleet_health_worst` gauges plus the
+/// `fleet_burn_*` / `fleet_budget_remaining_min` budget gauges.
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetRollup {
     /// Per-shard tallies, by shard index.
     pub shards: Vec<ShardHealth>,
@@ -41,6 +49,12 @@ pub struct FleetRollup {
     pub errors: u64,
     /// Worst session state across the fleet.
     pub worst: HealthState,
+    /// Worst (highest) fast-burn rate across the fleet.
+    pub burn_fast_worst: f64,
+    /// Worst (highest) slow-burn rate across the fleet.
+    pub burn_slow_worst: f64,
+    /// Worst (lowest) remaining error budget across the fleet.
+    pub budget_remaining_min: f64,
 }
 
 impl FleetRollup {

@@ -1,0 +1,386 @@
+//! SLO error budgets with Google-SRE-style multi-window burn-rate
+//! alerting, in deterministic sample-count units.
+//!
+//! The health ladder (see [`crate::health`]) scores each closed
+//! monitoring window as healthy / degraded / unhealthy; the budget layer
+//! reduces that to a binary **bad window** (level ≥ degraded) and tracks
+//! two things:
+//!
+//! 1. **Budget remaining** over the whole run: with an objective of
+//!    `objective` (fraction of windows that must be good), the run's
+//!    error budget is `windows * (1 - objective)` bad windows, and
+//!    `remaining = 1 - bad / budget` (1.0 untouched, 0.0 exhausted,
+//!    negative overspent).
+//! 2. **Burn rate** over two trailing lookbacks: `burn = bad_fraction /
+//!    (1 - objective)`. A burn of 1.0 spends the budget exactly at the
+//!    sustainable pace; the *fast* lookback (few windows, high
+//!    threshold) catches sharp regressions quickly, while the *slow*
+//!    lookback (more windows, lower threshold) catches sustained
+//!    low-grade erosion — the standard SRE fast-burn / slow-burn pair.
+//!
+//! Alerts are **edge-triggered with a latch**: an alert fires on the
+//! window where the burn rate first crosses its threshold from below
+//! and cannot fire again until the burn has dropped back under the
+//! threshold. One fault excursion therefore produces exactly one alert
+//! per speed, which is what the `repro events` experiment and the CI
+//! burn smoke pin.
+//!
+//! Everything is keyed by window counts — never wall clock — so burn
+//! rates, alert counts, and firing windows are bit-identical across
+//! worker thread counts.
+
+use std::collections::VecDeque;
+
+/// Budget/burn configuration, in window counts and ratios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetConfig {
+    /// Fraction of windows that must be good (e.g. 0.75 = 25% error
+    /// budget). Clamped to `[0, 0.999]` when applied.
+    pub objective: f64,
+    /// Fast-burn trailing lookback, in closed windows (≥ 1).
+    pub fast_windows: usize,
+    /// Slow-burn trailing lookback, in closed windows (≥ `fast_windows`).
+    pub slow_windows: usize,
+    /// Fast-burn alert threshold (burn-rate multiple).
+    pub fast_burn_threshold: f64,
+    /// Slow-burn alert threshold (burn-rate multiple).
+    pub slow_burn_threshold: f64,
+}
+
+impl Default for BudgetConfig {
+    /// Defaults tuned for the synthetic soak: a 25% error budget, a
+    /// 4-window fast lookback at 2.5x burn (a transient single-window
+    /// spike stays under it; a dropout's stall run crosses it), and an
+    /// 8-window slow lookback at 1.5x.
+    fn default() -> Self {
+        BudgetConfig {
+            objective: 0.75,
+            fast_windows: 4,
+            slow_windows: 8,
+            fast_burn_threshold: 2.5,
+            slow_burn_threshold: 1.5,
+        }
+    }
+}
+
+impl BudgetConfig {
+    /// Per-window error budget rate `1 - objective`, floored away from
+    /// zero so burn rates stay finite.
+    #[must_use]
+    pub fn budget_rate(&self) -> f64 {
+        (1.0 - self.objective.clamp(0.0, 0.999)).max(1e-9)
+    }
+}
+
+/// Which burn-rate lookback fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BurnSpeed {
+    /// Short lookback, high threshold.
+    Fast,
+    /// Long lookback, low threshold.
+    Slow,
+}
+
+impl BurnSpeed {
+    /// Stable lowercase tag (`budget_alerts_total{speed}` label value).
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            BurnSpeed::Fast => "fast",
+            BurnSpeed::Slow => "slow",
+        }
+    }
+}
+
+/// One fired burn-rate alert.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnAlert {
+    /// Which lookback fired.
+    pub speed: BurnSpeed,
+    /// The closed window's ordinal at which the threshold was crossed.
+    pub window_index: u64,
+    /// The burn rate that crossed the threshold.
+    pub burn: f64,
+}
+
+/// Error-budget accountant for one stream of closed windows.
+#[derive(Debug, Clone)]
+pub struct ErrorBudget {
+    config: BudgetConfig,
+    /// Trailing good/bad history, most recent at the back, bounded at
+    /// `slow_windows`.
+    history: VecDeque<bool>,
+    windows: u64,
+    bad: u64,
+    burn_fast: f64,
+    burn_slow: f64,
+    fast_latched: bool,
+    slow_latched: bool,
+    fast_alerts: u64,
+    slow_alerts: u64,
+}
+
+impl ErrorBudget {
+    /// Build an accountant; lookbacks are clamped so
+    /// `1 <= fast_windows <= slow_windows`.
+    #[must_use]
+    pub fn new(config: BudgetConfig) -> Self {
+        let mut config = config;
+        config.fast_windows = config.fast_windows.max(1);
+        config.slow_windows = config.slow_windows.max(config.fast_windows);
+        ErrorBudget {
+            config,
+            history: VecDeque::with_capacity(config.slow_windows),
+            windows: 0,
+            bad: 0,
+            burn_fast: 0.0,
+            burn_slow: 0.0,
+            fast_latched: false,
+            slow_latched: false,
+            fast_alerts: 0,
+            slow_alerts: 0,
+        }
+    }
+
+    /// Account one closed window and return any alerts that fired on it
+    /// (fast before slow, each at most once per excursion). Burn rates
+    /// are only evaluated once the corresponding lookback is full, so a
+    /// short run cannot false-alert on its warm-up windows.
+    pub fn observe_window(&mut self, bad: bool, window_index: u64) -> Vec<BurnAlert> {
+        self.windows += 1;
+        if bad {
+            self.bad += 1;
+        }
+        if self.history.len() == self.config.slow_windows {
+            self.history.pop_front();
+        }
+        self.history.push_back(bad);
+        self.burn_fast = self.burn_over(self.config.fast_windows);
+        self.burn_slow = self.burn_over(self.config.slow_windows);
+        let mut alerts = Vec::new();
+        if self.history.len() >= self.config.fast_windows {
+            if self.burn_fast >= self.config.fast_burn_threshold {
+                if !self.fast_latched {
+                    self.fast_latched = true;
+                    self.fast_alerts += 1;
+                    alerts.push(BurnAlert {
+                        speed: BurnSpeed::Fast,
+                        window_index,
+                        burn: self.burn_fast,
+                    });
+                }
+            } else {
+                self.fast_latched = false;
+            }
+        }
+        if self.history.len() >= self.config.slow_windows {
+            if self.burn_slow >= self.config.slow_burn_threshold {
+                if !self.slow_latched {
+                    self.slow_latched = true;
+                    self.slow_alerts += 1;
+                    alerts.push(BurnAlert {
+                        speed: BurnSpeed::Slow,
+                        window_index,
+                        burn: self.burn_slow,
+                    });
+                }
+            } else {
+                self.slow_latched = false;
+            }
+        }
+        alerts
+    }
+
+    fn burn_over(&self, lookback: usize) -> f64 {
+        if lookback == 0 || self.history.len() < lookback {
+            return 0.0;
+        }
+        let bad = self
+            .history
+            .iter()
+            .rev()
+            .take(lookback)
+            .filter(|b| **b)
+            .count();
+        #[allow(clippy::cast_precision_loss)] // lookbacks are tiny
+        let fraction = bad as f64 / lookback as f64;
+        fraction / self.config.budget_rate()
+    }
+
+    /// Current fast-burn rate (0.0 until the lookback is full).
+    #[must_use]
+    pub fn burn_fast(&self) -> f64 {
+        self.burn_fast
+    }
+
+    /// Current slow-burn rate (0.0 until the lookback is full).
+    #[must_use]
+    pub fn burn_slow(&self) -> f64 {
+        self.burn_slow
+    }
+
+    /// Fraction of the run's error budget still unspent: 1.0 untouched,
+    /// 0.0 exhausted, negative when overspent. 1.0 before any window.
+    #[must_use]
+    pub fn remaining(&self) -> f64 {
+        if self.windows == 0 {
+            return 1.0;
+        }
+        #[allow(clippy::cast_precision_loss)] // window counts are small
+        let budget = self.windows as f64 * self.config.budget_rate();
+        #[allow(clippy::cast_precision_loss)]
+        let spent = self.bad as f64;
+        1.0 - spent / budget
+    }
+
+    /// Windows accounted so far.
+    #[must_use]
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Bad (level ≥ degraded) windows accounted so far.
+    #[must_use]
+    pub fn bad_windows(&self) -> u64 {
+        self.bad
+    }
+
+    /// Fast-burn alerts fired so far.
+    #[must_use]
+    pub fn fast_alerts(&self) -> u64 {
+        self.fast_alerts
+    }
+
+    /// Slow-burn alerts fired so far.
+    #[must_use]
+    pub fn slow_alerts(&self) -> u64 {
+        self.slow_alerts
+    }
+
+    /// The effective (clamped) configuration.
+    #[must_use]
+    pub fn config(&self) -> &BudgetConfig {
+        &self.config
+    }
+}
+
+impl Default for ErrorBudget {
+    fn default() -> Self {
+        ErrorBudget::new(BudgetConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(budget: &mut ErrorBudget, pattern: &[bool]) -> Vec<BurnAlert> {
+        let mut alerts = Vec::new();
+        for (i, &bad) in pattern.iter().enumerate() {
+            alerts.extend(budget.observe_window(bad, i as u64));
+        }
+        alerts
+    }
+
+    #[test]
+    fn clean_run_burns_nothing() {
+        let mut b = ErrorBudget::default();
+        let alerts = feed(&mut b, &[false; 12]);
+        assert!(alerts.is_empty());
+        assert_eq!(b.bad_windows(), 0);
+        assert!((b.remaining() - 1.0).abs() < 1e-12);
+        assert_eq!(b.burn_fast(), 0.0);
+        assert_eq!(b.burn_slow(), 0.0);
+    }
+
+    #[test]
+    fn warmup_cannot_false_alert() {
+        // Even an all-bad prefix shorter than the fast lookback stays
+        // silent: burn is only evaluated on a full lookback.
+        let mut b = ErrorBudget::default();
+        let alerts = feed(&mut b, &[true, true, true]);
+        assert!(alerts.is_empty());
+        assert_eq!(b.burn_fast(), 0.0);
+    }
+
+    #[test]
+    fn fast_burn_fires_exactly_once_per_excursion() {
+        // 4-window lookback, 25% budget → burn = bad_in_4. Threshold
+        // 2.5 → needs 3 bad windows in the lookback.
+        let mut b = ErrorBudget::default();
+        let pattern = [false, true, true, true, true, true, false, false];
+        let alerts = feed(&mut b, &pattern);
+        let fast: Vec<&BurnAlert> = alerts
+            .iter()
+            .filter(|a| a.speed == BurnSpeed::Fast)
+            .collect();
+        assert_eq!(fast.len(), 1, "{alerts:?}");
+        assert_eq!(fast[0].window_index, 3);
+        assert!((fast[0].burn - 3.0).abs() < 1e-12);
+        assert_eq!(b.fast_alerts(), 1);
+    }
+
+    #[test]
+    fn latch_rearms_after_recovery() {
+        let mut b = ErrorBudget::default();
+        // First excursion, full recovery, second excursion.
+        let pattern = [
+            true, true, true, true, // fires at index 3
+            false, false, false, false, // burn drops to 0 → re-arm
+            true, true, true, true, // fires again
+        ];
+        let alerts = feed(&mut b, &pattern);
+        let fast = alerts.iter().filter(|a| a.speed == BurnSpeed::Fast).count();
+        assert_eq!(fast, 2, "{alerts:?}");
+        assert_eq!(b.fast_alerts(), 2);
+    }
+
+    #[test]
+    fn single_spike_window_stays_under_fast_threshold() {
+        // One bad window in a 4-window lookback → burn 1.0 < 2.5.
+        let mut b = ErrorBudget::default();
+        let alerts = feed(&mut b, &[false, false, true, false, false, false]);
+        assert!(alerts.is_empty(), "{alerts:?}");
+        assert_eq!(b.bad_windows(), 1);
+    }
+
+    #[test]
+    fn slow_burn_catches_sustained_erosion() {
+        // 8-window lookback, threshold 1.5 → needs 3 bad in 8. A
+        // repeating 3-in-8 pattern never has 3 bad in any 4-window span
+        // (fast stays quiet) but trips slow once.
+        let mut b = ErrorBudget::default();
+        let pattern = [
+            true, false, false, true, false, false, true, false, // slow fires at index 7
+            false, true, false, false, true, false, false, true,
+        ];
+        let alerts = feed(&mut b, &pattern);
+        assert!(
+            alerts.iter().all(|a| a.speed == BurnSpeed::Slow),
+            "{alerts:?}"
+        );
+        assert!(b.slow_alerts() >= 1, "{alerts:?}");
+        assert_eq!(b.fast_alerts(), 0);
+    }
+
+    #[test]
+    fn remaining_goes_negative_when_overspent() {
+        let mut b = ErrorBudget::default();
+        feed(&mut b, &[true, true, true, true]);
+        // Budget = 4 * 0.25 = 1 bad window; spent 4.
+        assert!((b.remaining() - (1.0 - 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookbacks_are_clamped_sane() {
+        let b = ErrorBudget::new(BudgetConfig {
+            objective: 0.9,
+            fast_windows: 0,
+            slow_windows: 0,
+            fast_burn_threshold: 1.0,
+            slow_burn_threshold: 1.0,
+        });
+        assert_eq!(b.config().fast_windows, 1);
+        assert_eq!(b.config().slow_windows, 1);
+    }
+}

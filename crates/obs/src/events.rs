@@ -1,0 +1,581 @@
+//! Structured event journal: a bounded, deterministic timeline of typed
+//! events with correlation fields.
+//!
+//! Counters say *how much*; the journal says *what happened, in which
+//! order, to whom*. Every event carries a journal-assigned monotone
+//! sequence number plus correlation fields (`session`, `shard`,
+//! `window`, `session_seq`) so a shed session, a health transition, and
+//! the flight-recorder dump it produced can be tied back together after
+//! the fact.
+//!
+//! # Determinism
+//!
+//! Events are keyed by **sample counts, never wall clock**: the `sample`
+//! field is the emitter's deterministic sample ordinal at emission, and
+//! sequence numbers are assigned in publish order. Emitters keep the
+//! publish order deterministic:
+//!
+//! - a solo [`EngineMonitor`](crate::monitor::EngineMonitor) with an
+//!   attached journal publishes immediately from its single-threaded
+//!   push loop;
+//! - the fleet buffers per-session events inside each monitor during the
+//!   parallel shard drain and publishes them at the round barrier in
+//!   (shard, session-id) order — the same order a sequential sweep would
+//!   visit them.
+//!
+//! The result: the journal's JSON export is byte-identical across worker
+//! thread counts (pinned by the `repro events` experiment and the
+//! workspace integration tests).
+//!
+//! # Bounds
+//!
+//! The journal is a fixed-capacity ring; old events are evicted from the
+//! front (counted by `events_dropped_total`) and the head sequence keeps
+//! advancing, so a cursor (`?after=<seq>` on the `/events` endpoint) can
+//! detect the gap.
+
+use crate::export::json_string;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Schema identifier of the journal's JSON export.
+pub const EVENTS_SCHEMA: &str = "airfinger-events-v1";
+
+/// Default capacity of the process-global journal (see [`global`]).
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// What happened. Every variant renders to a stable lowercase `kind`
+/// tag plus kind-specific detail fields in the JSON export.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A fleet session was admitted.
+    SessionAdmitted,
+    /// A fleet session was shed
+    /// (reason: [`ShedReason::tag`](crate::health::HealthReason::tag)-style
+    /// label, `admission` or `backpressure`).
+    SessionShed {
+        /// Why the session was shed.
+        reason: &'static str,
+    },
+    /// The health-state machine changed severity level.
+    HealthTransition {
+        /// State tag before the window (`healthy` / `degraded` / `unhealthy`).
+        from: &'static str,
+        /// State tag after the window.
+        to: &'static str,
+        /// Breaching rule tag (`none` when recovering to healthy).
+        reason: &'static str,
+    },
+    /// A gesture segment closed and was accepted
+    /// (`family`: `detect` or `track`).
+    Recognition {
+        /// Accepted outcome tag.
+        family: &'static str,
+    },
+    /// A gesture segment closed and was rejected as unintentional motion.
+    Rejection,
+    /// The window's mean Otsu threshold drifted past the degraded
+    /// ceiling relative to the calibrated baseline.
+    DriftFlag {
+        /// Relative drift in permille (`|mean/baseline - 1| * 1000`),
+        /// saturating.
+        drift_permille: u64,
+    },
+    /// A flight-recorder post-mortem dump was produced; cross-links the
+    /// dump to the journal span of the unhealthy episode.
+    DumpRef {
+        /// The dump's per-session ordinal
+        /// ([`Dump::sequence`](crate::recorder::Dump::sequence)).
+        dump: u64,
+        /// The breaching rule tag.
+        trigger: &'static str,
+        /// `session_seq` of the first event of the episode.
+        first_seq: u64,
+        /// `session_seq` of the last event before the dump.
+        last_seq: u64,
+    },
+    /// An error-budget burn-rate alert fired (edge-triggered; see
+    /// [`crate::budget`]).
+    BurnAlert {
+        /// `fast` or `slow`.
+        speed: &'static str,
+        /// Burn rate in permille at the firing window, saturating.
+        burn_permille: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable lowercase tag, also the `events_emitted_total{kind}` label
+    /// value.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::SessionAdmitted => "admitted",
+            EventKind::SessionShed { .. } => "shed",
+            EventKind::HealthTransition { .. } => "transition",
+            EventKind::Recognition { .. } => "recognition",
+            EventKind::Rejection => "rejection",
+            EventKind::DriftFlag { .. } => "drift",
+            EventKind::DumpRef { .. } => "dump",
+            EventKind::BurnAlert { .. } => "burn",
+        }
+    }
+
+    /// Every kind tag, in schema order (pre-registration and docs).
+    pub const TAGS: [&'static str; 8] = [
+        "admitted",
+        "shed",
+        "transition",
+        "recognition",
+        "rejection",
+        "drift",
+        "dump",
+        "burn",
+    ];
+}
+
+/// One journal entry. `seq` is assigned by [`Journal::publish`]; all
+/// other fields are stamped by the emitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Journal-assigned global sequence number (1-based; 0 until
+    /// published).
+    pub seq: u64,
+    /// Emitter-local monotone ordinal (per monitor / per fleet), the
+    /// half of the dump cross-link that survives buffering.
+    pub session_seq: u64,
+    /// The emitter's deterministic sample count at emission — the
+    /// journal's clock.
+    pub sample: u64,
+    /// Owning session id, when the emitter serves one.
+    pub session: Option<u64>,
+    /// Owning shard index, when the emitter is fleet-hosted.
+    pub shard: Option<u64>,
+    /// Monitoring-window ordinal the event belongs to, when windowed.
+    pub window: Option<u64>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Render the event as a single-line JSON object with a fixed field
+    /// order (byte-stable given identical inputs).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(160);
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"seq\": {}, \"session_seq\": {}, \"sample\": {}",
+            self.seq, self.session_seq, self.sample
+        );
+        write_opt(out, "session", self.session);
+        write_opt(out, "shard", self.shard);
+        write_opt(out, "window", self.window);
+        let _ = write!(out, ", \"kind\": {}", json_string(self.kind.tag()));
+        match self.kind {
+            EventKind::SessionAdmitted | EventKind::Rejection => {}
+            EventKind::SessionShed { reason } => {
+                let _ = write!(out, ", \"reason\": {}", json_string(reason));
+            }
+            EventKind::HealthTransition { from, to, reason } => {
+                let _ = write!(
+                    out,
+                    ", \"from\": {}, \"to\": {}, \"reason\": {}",
+                    json_string(from),
+                    json_string(to),
+                    json_string(reason)
+                );
+            }
+            EventKind::Recognition { family } => {
+                let _ = write!(out, ", \"family\": {}", json_string(family));
+            }
+            EventKind::DriftFlag { drift_permille } => {
+                let _ = write!(out, ", \"drift_permille\": {drift_permille}");
+            }
+            EventKind::DumpRef {
+                dump,
+                trigger,
+                first_seq,
+                last_seq,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"dump\": {dump}, \"trigger\": {}, \
+                     \"first_session_seq\": {first_seq}, \"last_session_seq\": {last_seq}",
+                    json_string(trigger)
+                );
+            }
+            EventKind::BurnAlert {
+                speed,
+                burn_permille,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"speed\": {}, \"burn_permille\": {burn_permille}",
+                    json_string(speed)
+                );
+            }
+        }
+        out.push('}');
+    }
+}
+
+fn write_opt(out: &mut String, key: &str, value: Option<u64>) {
+    match value {
+        Some(v) => {
+            let _ = write!(out, ", \"{key}\": {v}");
+        }
+        None => {
+            let _ = write!(out, ", \"{key}\": null");
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    capacity: usize,
+    ring: VecDeque<Event>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A bounded, shareable event journal. Cloning shares the underlying
+/// ring ([`Arc`]); [`global`] hands out the process-wide instance the
+/// `/events` endpoint serves, and isolated instances back deterministic
+/// experiments.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Journal {
+    /// Create a journal with a fixed ring capacity (clamped to ≥ 1).
+    /// Pre-registers the `events_*` counters so a snapshot taken before
+    /// any event still shows them at zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        preregister_metrics();
+        Journal {
+            inner: Arc::new(Mutex::new(Inner {
+                capacity: capacity.max(1),
+                ring: VecDeque::new(),
+                next_seq: 1,
+                dropped: 0,
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Append one event, assigning and returning its global sequence
+    /// number. Evicts the oldest event when the ring is full (counted by
+    /// `events_dropped_total`).
+    pub fn publish(&self, mut event: Event) -> u64 {
+        let mut inner = self.lock();
+        event.seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.ring.len() == inner.capacity {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+            crate::counter!("events_dropped_total").inc();
+        }
+        inner.ring.push_back(event);
+        event.seq
+    }
+
+    /// Append a batch in order (one lock acquisition per event is fine —
+    /// events fire per window/session, not per sample).
+    pub fn publish_all(&self, events: impl IntoIterator<Item = Event>) {
+        for event in events {
+            let _ = self.publish(event);
+        }
+    }
+
+    /// Highest assigned sequence number (0 when nothing was published).
+    #[must_use]
+    pub fn head_seq(&self) -> u64 {
+        self.lock().next_seq - 1
+    }
+
+    /// Events currently retained (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().ring.len()
+    }
+
+    /// Whether nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().ring.is_empty()
+    }
+
+    /// Events evicted from the ring so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Ring capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.lock().capacity
+    }
+
+    /// Resize the ring, evicting from the front when shrinking. Sequence
+    /// numbers keep advancing monotonically.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.lock();
+        inner.capacity = capacity.max(1);
+        while inner.ring.len() > inner.capacity {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+            crate::counter!("events_dropped_total").inc();
+        }
+    }
+
+    /// Drop every retained event (sequence numbers are *not* reset, so
+    /// cursors stay valid).
+    pub fn clear(&self) {
+        self.lock().ring.clear();
+    }
+
+    /// Retained events with `seq > after`, oldest first, capped at
+    /// `limit`.
+    #[must_use]
+    pub fn tail_after(&self, after: u64, limit: usize) -> Vec<Event> {
+        let inner = self.lock();
+        inner
+            .ring
+            .iter()
+            .filter(|e| e.seq > after)
+            .take(limit)
+            .copied()
+            .collect()
+    }
+
+    /// JSON export of [`Journal::tail_after`] under the
+    /// [`EVENTS_SCHEMA`] envelope — what `GET /events?after=<seq>`
+    /// serves. Byte-stable given identical journal contents.
+    #[must_use]
+    pub fn to_json_after(&self, after: u64, limit: usize) -> String {
+        let inner = self.lock();
+        let head = inner.next_seq - 1;
+        let mut out = String::with_capacity(256 + 160 * inner.ring.len().min(limit));
+        let _ = write!(
+            out,
+            "{{\n  \"schema\": {},\n  \"head\": {head},\n  \"dropped\": {},\n  \
+             \"capacity\": {},\n  \"after\": {after},\n  \"events\": [",
+            json_string(EVENTS_SCHEMA),
+            inner.dropped,
+            inner.capacity
+        );
+        let mut first = true;
+        for event in inner.ring.iter().filter(|e| e.seq > after).take(limit) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    ");
+            event.write_json(&mut out);
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal::new(DEFAULT_CAPACITY)
+    }
+}
+
+/// The process-global journal: what live emitters (`airfinger monitor`,
+/// `airfinger fleet` with `--journal`) publish into and the `/events`
+/// scrape endpoint serves.
+pub fn global() -> &'static Journal {
+    static GLOBAL: OnceLock<Journal> = OnceLock::new();
+    GLOBAL.get_or_init(Journal::default)
+}
+
+/// Pre-register every `events_*` counter at zero so snapshots are
+/// schema-complete before the first event. Emitters (monitor, fleet)
+/// count `events_emitted_total{kind}` at emission time; the journal
+/// counts ring evictions.
+pub fn preregister_metrics() {
+    for tag in EventKind::TAGS {
+        crate::counter_with("events_emitted_total", &[("kind", tag)]).add(0);
+    }
+    crate::counter!("events_dropped_total").add(0);
+}
+
+/// Count one emitted event (shared by every emitter so the per-kind
+/// tallies stay consistent between buffered and immediate publishing).
+pub fn count_emitted(kind: &EventKind) {
+    crate::counter_with("events_emitted_total", &[("kind", kind.tag())]).inc();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(sample: u64, kind: EventKind) -> Event {
+        Event {
+            seq: 0,
+            session_seq: sample,
+            sample,
+            session: None,
+            shard: None,
+            window: None,
+            kind,
+        }
+    }
+
+    #[test]
+    fn sequences_are_monotone_from_one() {
+        let j = Journal::new(8);
+        assert_eq!(j.head_seq(), 0);
+        assert_eq!(j.publish(event(0, EventKind::SessionAdmitted)), 1);
+        assert_eq!(j.publish(event(1, EventKind::Rejection)), 2);
+        assert_eq!(j.head_seq(), 2);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let j = Journal::new(4);
+        for i in 0..10 {
+            j.publish(event(i, EventKind::Rejection));
+        }
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.dropped(), 6);
+        assert_eq!(j.head_seq(), 10);
+        let tail: Vec<u64> = j.tail_after(0, 100).iter().map(|e| e.seq).collect();
+        assert_eq!(tail, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn cursor_semantics() {
+        let j = Journal::new(8);
+        for i in 0..5 {
+            j.publish(event(i, EventKind::SessionAdmitted));
+        }
+        // Mid-cursor: strictly after.
+        let seqs: Vec<u64> = j.tail_after(3, 100).iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![4, 5]);
+        // Beyond the tail: empty, not an error.
+        assert!(j.tail_after(5, 100).is_empty());
+        assert!(j.tail_after(99, 100).is_empty());
+        // Limit caps the batch.
+        assert_eq!(j.tail_after(0, 2).len(), 2);
+    }
+
+    #[test]
+    fn empty_journal_exports_valid_envelope() {
+        let j = Journal::new(8);
+        let json = j.to_json_after(0, 100);
+        assert!(
+            json.contains("\"schema\": \"airfinger-events-v1\""),
+            "{json}"
+        );
+        assert!(json.contains("\"head\": 0"), "{json}");
+        assert!(json.contains("\"events\": []"), "{json}");
+        let v: serde::Value = serde_json::from_str(&json).expect("parses");
+        assert_eq!(
+            v.as_object()
+                .and_then(|o| o.get("events"))
+                .and_then(serde::Value::as_array)
+                .map(<[serde::Value]>::len),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn event_json_carries_correlation_and_detail_fields() {
+        let e = Event {
+            seq: 7,
+            session_seq: 3,
+            sample: 1200,
+            session: Some(42),
+            shard: Some(2),
+            window: Some(4),
+            kind: EventKind::HealthTransition {
+                from: "healthy",
+                to: "degraded",
+                reason: "segmentation_stall",
+            },
+        };
+        let json = e.to_json();
+        let v: serde::Value = serde_json::from_str(&json).expect("parses");
+        let o = v.as_object().expect("object");
+        assert_eq!(o.get("seq").and_then(serde::Value::as_u64), Some(7));
+        assert_eq!(o.get("session").and_then(serde::Value::as_u64), Some(42));
+        assert_eq!(o.get("shard").and_then(serde::Value::as_u64), Some(2));
+        assert_eq!(o.get("window").and_then(serde::Value::as_u64), Some(4));
+        assert_eq!(
+            o.get("kind").and_then(serde::Value::as_str),
+            Some("transition")
+        );
+        assert_eq!(
+            o.get("reason").and_then(serde::Value::as_str),
+            Some("segmentation_stall")
+        );
+        // Absent correlation fields render as null, not missing.
+        let bare = event(0, EventKind::Rejection).to_json();
+        assert!(bare.contains("\"session\": null"), "{bare}");
+    }
+
+    #[test]
+    fn shrink_evicts_from_the_front() {
+        let j = Journal::new(8);
+        for i in 0..6 {
+            j.publish(event(i, EventKind::Rejection));
+        }
+        j.set_capacity(2);
+        assert_eq!(j.len(), 2);
+        let seqs: Vec<u64> = j.tail_after(0, 100).iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![5, 6]);
+        assert_eq!(j.dropped(), 4);
+    }
+
+    #[test]
+    fn kind_tags_match_schema_order() {
+        let kinds = [
+            EventKind::SessionAdmitted,
+            EventKind::SessionShed {
+                reason: "admission",
+            },
+            EventKind::HealthTransition {
+                from: "healthy",
+                to: "degraded",
+                reason: "none",
+            },
+            EventKind::Recognition { family: "detect" },
+            EventKind::Rejection,
+            EventKind::DriftFlag { drift_permille: 0 },
+            EventKind::DumpRef {
+                dump: 0,
+                trigger: "segmentation_stall",
+                first_seq: 0,
+                last_seq: 0,
+            },
+            EventKind::BurnAlert {
+                speed: "fast",
+                burn_permille: 0,
+            },
+        ];
+        let tags: Vec<&str> = kinds.iter().map(EventKind::tag).collect();
+        assert_eq!(tags, EventKind::TAGS);
+    }
+}

@@ -25,7 +25,12 @@
 //!   opt-in allocation accounting via a counting global allocator
 //!   ([`alloc`]), a bounded history ring with deterministic
 //!   downsampling ([`timeseries`]), and a zero-dependency HTTP scrape
-//!   server exposing `/metrics`, `/health`, and `/profile` ([`serve`]).
+//!   server exposing `/metrics`, `/health`, `/profile`, and `/events`
+//!   ([`serve`]).
+//! - **Event journal & error budgets** — a bounded, deterministic,
+//!   structured event timeline with correlation fields ([`events`]) and
+//!   SRE-style multi-window burn-rate alerting over the SLO ladder
+//!   ([`budget`]).
 //!
 //! # Cost model
 //!
@@ -69,6 +74,8 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod budget;
+pub mod events;
 pub mod export;
 pub mod health;
 pub mod metrics;
@@ -85,6 +92,8 @@ pub mod trace;
 pub mod window;
 
 pub use alloc::{AllocStats, CountingAlloc};
+pub use budget::{BudgetConfig, BurnAlert, BurnSpeed, ErrorBudget};
+pub use events::{Event, EventKind, Journal};
 pub use health::{HealthModel, HealthReason, HealthState, SloRules, Transition};
 pub use metrics::{Counter, Gauge, Histogram};
 pub use monitor::{EngineMonitor, MonitorConfig};

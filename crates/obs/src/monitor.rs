@@ -16,9 +16,18 @@
 //! counters are deterministic sample-count functions of the input stream;
 //! only the latency-valued gauges are scheduling observations.
 
+use crate::budget::{BudgetConfig, ErrorBudget};
+use crate::events::{Event, EventKind, Journal};
 use crate::health::{HealthModel, HealthState, SloRules, Transition};
 use crate::recorder::{Dump, FlightRecorder, RecorderConfig};
 use crate::window::{Outcome, SlidingWindow, WindowConfig, WindowStats};
+use std::collections::VecDeque;
+
+/// Bound on buffered (undrained) journal events per monitor: enough for
+/// every per-window event of a long soak, small enough that a monitor
+/// nobody drains stays O(1). Overflow evicts the oldest event and counts
+/// `events_dropped_total`.
+const EVENT_BUFFER: usize = 256;
 
 /// Configuration for [`EngineMonitor`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -29,6 +38,8 @@ pub struct MonitorConfig {
     pub rules: SloRules,
     /// Flight-recorder ring capacity.
     pub recorder: RecorderConfig,
+    /// Error-budget / burn-rate alerting configuration.
+    pub budget: BudgetConfig,
 }
 
 /// Live health monitor for one streaming engine.
@@ -37,27 +48,69 @@ pub struct EngineMonitor {
     window: SlidingWindow,
     health: HealthModel,
     recorder: FlightRecorder,
+    budget: ErrorBudget,
     dumps: Vec<Dump>,
     dump_sequence: u64,
     dump_armed: bool,
     samples_seen: u64,
     windows_closed: u64,
+    /// (session id, shard index) correlation stamped onto every event.
+    identity: Option<(u64, u64)>,
+    /// Immediate-publish sink; when absent, events buffer in `events`
+    /// until drained (the fleet drains at its deterministic round
+    /// barrier).
+    journal: Option<Journal>,
+    events: VecDeque<Event>,
+    /// Emitter-local monotone event ordinal (`session_seq` source).
+    events_emitted: u64,
+    /// `session_seq` of the transition that opened the current unhealthy
+    /// episode — the start of the dump's journal cross-link range.
+    episode_first_seq: Option<u64>,
 }
 
 impl EngineMonitor {
     /// Build a monitor from its configuration.
     #[must_use]
     pub fn new(config: MonitorConfig) -> Self {
+        crate::events::preregister_metrics();
+        crate::counter!("budget_windows_total").add(0);
+        crate::counter!("budget_bad_windows_total").add(0);
+        crate::counter_with("budget_alerts_total", &[("speed", "fast")]).add(0);
+        crate::counter_with("budget_alerts_total", &[("speed", "slow")]).add(0);
         EngineMonitor {
             window: SlidingWindow::new(config.window),
             health: HealthModel::new(config.rules),
             recorder: FlightRecorder::new(config.recorder),
+            budget: ErrorBudget::new(config.budget),
             dumps: Vec::new(),
             dump_sequence: 0,
             dump_armed: true,
             samples_seen: 0,
             windows_closed: 0,
+            identity: None,
+            journal: None,
+            events: VecDeque::new(),
+            events_emitted: 0,
+            episode_first_seq: None,
         }
+    }
+
+    /// Stamp a (session id, shard index) identity onto every emitted
+    /// event (fleet-hosted monitors; solo monitors leave both `null`).
+    #[must_use]
+    pub fn with_identity(mut self, session: u64, shard: u64) -> Self {
+        self.identity = Some((session, shard));
+        self
+    }
+
+    /// Publish events into `journal` immediately instead of buffering.
+    /// Only safe for single-threaded drivers — fleet monitors must
+    /// buffer so the round barrier can publish in deterministic (shard,
+    /// session) order.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = Some(journal);
+        self
     }
 
     /// Preset the Otsu-threshold drift baseline (otherwise calibrated
@@ -84,6 +137,18 @@ impl EngineMonitor {
         };
         self.recorder
             .record(self.samples_seen, channels, push_seconds, event);
+        if outcome.closed_segment() {
+            let kind = match outcome {
+                Outcome::Rejected => EventKind::Rejection,
+                _ => EventKind::Recognition {
+                    family: outcome.tag(),
+                },
+            };
+            // `windows_closed` is the in-progress window's ordinal;
+            // `samples_seen` (pre-increment) matches the recorder's
+            // sample index for the same push.
+            self.emit(kind, Some(self.windows_closed));
+        }
         self.samples_seen += 1;
         let closed = self.window.observe(push_seconds, mean_threshold, outcome)?;
         self.publish_window(&closed);
@@ -91,6 +156,8 @@ impl EngineMonitor {
             self.publish_transition(transition, &closed);
         }
         crate::gauge!("health_state").set(f64::from(self.health.state().level()));
+        self.observe_drift(&closed);
+        self.observe_budget(&closed);
         self.record_point(&closed);
         Some(closed)
     }
@@ -153,6 +220,34 @@ impl EngineMonitor {
         std::mem::take(&mut self.dumps)
     }
 
+    /// The error-budget accountant (burn rates, alert counts, remaining
+    /// budget).
+    #[must_use]
+    pub fn budget(&self) -> &ErrorBudget {
+        &self.budget
+    }
+
+    /// Events emitted so far (cumulative; the next event's
+    /// `session_seq`).
+    #[must_use]
+    pub fn events_emitted(&self) -> u64 {
+        self.events_emitted
+    }
+
+    /// Buffered (not yet drained) events. Empty when a journal is
+    /// attached — events publish immediately.
+    #[must_use]
+    pub fn events(&self) -> &VecDeque<Event> {
+        &self.events
+    }
+
+    /// Drain buffered events in emission order so the caller can publish
+    /// them into a [`Journal`] (the fleet does this at its round
+    /// barrier, in deterministic shard/session order).
+    pub fn take_events(&mut self) -> Vec<Event> {
+        self.events.drain(..).collect()
+    }
+
     fn publish_window(&mut self, w: &WindowStats) {
         self.windows_closed += 1;
         crate::counter!("engine_windows_closed_total").inc();
@@ -182,15 +277,41 @@ impl EngineMonitor {
 
     fn publish_transition(&mut self, transition: Transition, window: &WindowStats) {
         crate::counter_with("health_transitions_total", &[("to", transition.to.tag())]).inc();
+        // Journal the transition before any dump so the dump's journal
+        // range includes it; remember where the episode started the
+        // moment we leave Healthy.
+        let transition_seq = self.events_emitted;
+        self.emit(
+            EventKind::HealthTransition {
+                from: transition.from.tag(),
+                to: transition.to.tag(),
+                reason: transition.to.reason().map_or("none", |r| r.tag()),
+            },
+            Some(window.index),
+        );
+        if transition.from.level() == 0 {
+            self.episode_first_seq = Some(transition_seq);
+        }
         match transition.to {
             HealthState::Unhealthy(reason) => {
                 if self.dump_armed {
+                    let first_seq = self.episode_first_seq.unwrap_or(transition_seq);
                     let dump = self.recorder.dump(
                         self.dump_sequence,
                         transition.to.tag(),
                         reason.tag(),
                         window,
                         self.health.transitions(),
+                        Some((first_seq, transition_seq)),
+                    );
+                    self.emit(
+                        EventKind::DumpRef {
+                            dump: dump.sequence,
+                            trigger: reason.tag(),
+                            first_seq,
+                            last_seq: transition_seq,
+                        },
+                        Some(window.index),
                     );
                     self.dump_sequence += 1;
                     self.dump_armed = false;
@@ -198,8 +319,84 @@ impl EngineMonitor {
                     self.dumps.push(dump);
                 }
             }
-            HealthState::Healthy => self.dump_armed = true,
+            HealthState::Healthy => {
+                self.dump_armed = true;
+                self.episode_first_seq = None;
+            }
             HealthState::Degraded(_) => {}
+        }
+    }
+
+    /// Journal an Otsu drift flag when the closed window's mean dynamic
+    /// threshold strays past the degraded ceiling relative to the
+    /// calibrated baseline (the same ratio the health model scores).
+    fn observe_drift(&mut self, w: &WindowStats) {
+        let Some(base) = self.health.baseline_threshold() else {
+            return;
+        };
+        if base <= 0.0 {
+            return;
+        }
+        let drift = (w.mean_threshold / base - 1.0).abs();
+        if drift > self.health.rules().degraded_threshold_drift {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let drift_permille = (drift * 1000.0).min(u64::MAX as f64) as u64;
+            self.emit(EventKind::DriftFlag { drift_permille }, Some(w.index));
+        }
+    }
+
+    /// Account the closed window against the error budget, journal any
+    /// burn alerts (fast before slow), and export the budget gauges. A
+    /// window is *bad* when the post-score health level is degraded or
+    /// worse.
+    fn observe_budget(&mut self, w: &WindowStats) {
+        let bad = self.health.state().level() >= 1;
+        crate::counter!("budget_windows_total").inc();
+        if bad {
+            crate::counter!("budget_bad_windows_total").inc();
+        }
+        for alert in self.budget.observe_window(bad, w.index) {
+            crate::counter_with("budget_alerts_total", &[("speed", alert.speed.tag())]).inc();
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let burn_permille = (alert.burn * 1000.0).clamp(0.0, u64::MAX as f64) as u64;
+            self.emit(
+                EventKind::BurnAlert {
+                    speed: alert.speed.tag(),
+                    burn_permille,
+                },
+                Some(w.index),
+            );
+        }
+        crate::gauge!("burn_rate_fast").set(self.budget.burn_fast());
+        crate::gauge!("burn_rate_slow").set(self.budget.burn_slow());
+        crate::gauge!("budget_remaining").set(self.budget.remaining());
+    }
+
+    /// Append one event, stamping correlation fields: identity, the
+    /// emitter-local `session_seq`, and the deterministic sample count.
+    fn emit(&mut self, kind: EventKind, window: Option<u64>) {
+        let event = Event {
+            seq: 0,
+            session_seq: self.events_emitted,
+            sample: self.samples_seen,
+            session: self.identity.map(|(session, _)| session),
+            shard: self.identity.map(|(_, shard)| shard),
+            window,
+            kind,
+        };
+        self.events_emitted += 1;
+        crate::events::count_emitted(&kind);
+        match &self.journal {
+            Some(journal) => {
+                let _ = journal.publish(event);
+            }
+            None => {
+                if self.events.len() == EVENT_BUFFER {
+                    self.events.pop_front();
+                    crate::counter!("events_dropped_total").inc();
+                }
+                self.events.push_back(event);
+            }
         }
     }
 }
@@ -210,8 +407,7 @@ impl EngineMonitor {
 pub fn with_horizon(horizon: usize) -> EngineMonitor {
     EngineMonitor::new(MonitorConfig {
         window: WindowConfig { horizon },
-        rules: SloRules::default(),
-        recorder: RecorderConfig::default(),
+        ..MonitorConfig::default()
     })
 }
 
@@ -224,6 +420,7 @@ mod tests {
             window: WindowConfig { horizon },
             rules: SloRules::default(),
             recorder: RecorderConfig { capacity: 32 },
+            budget: crate::budget::BudgetConfig::default(),
         }
     }
 

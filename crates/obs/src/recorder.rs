@@ -25,6 +25,7 @@
 //!               "p95_push_seconds": 1.2e-5, "max_push_seconds": 4.0e-5 },
 //!   "transitions": [ { "window": 5, "from": "healthy",
 //!                      "to": "degraded", "reason": "segmentation_stall" } ],
+//!   "journal": { "first_session_seq": 2, "last_session_seq": 5 },
 //!   "ring": { "capacity": 1024, "first_sample": 2976, "last_sample": 3999,
 //!             "channels": [[…], […], […]],
 //!             "push_seconds": […],
@@ -152,7 +153,10 @@ impl FlightRecorder {
 
     /// Render a post-mortem [`Dump`] for an SLO breach: the trigger, the
     /// breaching window, the transition log so far, and the ring's
-    /// contents.
+    /// contents. `journal` cross-links the dump to the emitting
+    /// monitor's event-journal range for the unhealthy episode, as
+    /// `(first_session_seq, last_session_seq)` (see [`crate::events`]);
+    /// `None` renders as `"journal": null`.
     #[must_use]
     pub fn dump(
         &self,
@@ -161,6 +165,7 @@ impl FlightRecorder {
         trigger: &str,
         window: &WindowStats,
         transitions: &[Transition],
+        journal: Option<(u64, u64)>,
     ) -> Dump {
         let mut out = String::with_capacity(4096 + self.entries.len() * 32);
         out.push_str("{\n  \"schema\": \"airfinger-flight-recorder-v1\",\n");
@@ -186,7 +191,18 @@ impl FlightRecorder {
         if !transitions.is_empty() {
             out.push_str("\n  ");
         }
-        out.push_str("],\n  \"ring\": {\n");
+        out.push_str("],\n");
+        match journal {
+            Some((first, last)) => {
+                let _ = writeln!(
+                    out,
+                    "  \"journal\": {{\"first_session_seq\": {first}, \
+                     \"last_session_seq\": {last}}},"
+                );
+            }
+            None => out.push_str("  \"journal\": null,\n"),
+        }
+        out.push_str("  \"ring\": {\n");
         let _ = writeln!(out, "    \"capacity\": {},", self.capacity);
         let first = self.entries.front().map_or(0, |e| e.sample_index);
         let last = self.entries.back().map_or(0, |e| e.sample_index);
@@ -294,9 +310,10 @@ mod tests {
         }
         assert_eq!(r.len(), 4);
         assert_eq!(r.recorded(), 10);
-        let d = r.dump(0, "unhealthy", "segmentation_stall", &window(), &[]);
+        let d = r.dump(0, "unhealthy", "segmentation_stall", &window(), &[], None);
         assert!(d.json.contains("\"first_sample\": 6"));
         assert!(d.json.contains("\"last_sample\": 9"));
+        assert!(d.json.contains("\"journal\": null"));
     }
 
     #[test]
@@ -317,6 +334,7 @@ mod tests {
             "segmentation_stall",
             &window(),
             &transitions,
+            Some((2, 5)),
         );
         assert_eq!(d.file_name(), "flight_recorder_001_segmentation_stall.json");
         let v: serde::Value = serde_json::from_str(&d.json).expect("dump parses as JSON");
@@ -356,12 +374,28 @@ mod tests {
             .and_then(serde::Value::as_array)
             .expect("transitions");
         assert_eq!(ts.len(), 1);
+        let journal = obj
+            .get("journal")
+            .and_then(serde::Value::as_object)
+            .expect("journal cross-link");
+        assert_eq!(
+            journal
+                .get("first_session_seq")
+                .and_then(serde::Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            journal
+                .get("last_session_seq")
+                .and_then(serde::Value::as_u64),
+            Some(5)
+        );
     }
 
     #[test]
     fn empty_recorder_dump_parses() {
         let r = FlightRecorder::new(RecorderConfig { capacity: 2 });
-        let d = r.dump(0, "unhealthy", "latency_budget", &window(), &[]);
+        let d = r.dump(0, "unhealthy", "latency_budget", &window(), &[], None);
         let _: serde::Value = serde_json::from_str(&d.json).expect("parses");
     }
 }

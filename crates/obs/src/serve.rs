@@ -3,16 +3,26 @@
 //!
 //! Long-running commands (`airfinger fleet`, `airfinger monitor`) opt in
 //! with `--serve-metrics <addr>`; the server runs on one background
-//! thread and answers three read-only endpoints:
+//! thread and answers four read-only endpoints:
 //!
 //! - `GET /metrics` — the global registry in Prometheus text format
 //!   (what [`crate::Snapshot::to_prometheus`] exports);
 //! - `GET /health` — a JSON rollup: recording/profiling switches,
 //!   process allocation pressure, every `fleet_*`/`health_state`/
-//!   `engine_window_*` gauge, and the bounded [`crate::timeseries`]
+//!   `engine_window_*`/`budget_*`/`burn_*` gauge, the global event
+//!   journal's head/retention, and the bounded [`crate::timeseries`]
 //!   history;
 //! - `GET /profile` — the profiler's collapsed-stack text (empty until
-//!   [`crate::profile::set_enabled`] is turned on).
+//!   [`crate::profile::set_enabled`] is turned on);
+//! - `GET /events` — the global [`crate::events`] journal tail as JSON;
+//!   `?after=<seq>` resumes strictly after a previously seen sequence
+//!   number and `?limit=<n>` caps the batch (default 256).
+//!
+//! Malformed input gets explicit errors instead of silence: unknown
+//! paths get a 404 with a body naming the path, a truncated or
+//! unparseable request line gets a 400, an oversized path gets a 400,
+//! and non-GET methods get a 405 with an `Allow: GET` header — all
+//! counted under `serve_requests_total{endpoint=...}`.
 //!
 //! **Security caveats** (documented in DESIGN.md §13): the server is
 //! plain HTTP/1.0-style with no TLS, no authentication, and no request
@@ -39,6 +49,10 @@ const ACCEPT_POLL: Duration = Duration::from_millis(20);
 const IO_TIMEOUT: Duration = Duration::from_millis(1000);
 /// Maximum request head read before answering (headers are ignored).
 const MAX_REQUEST: usize = 8 * 1024;
+/// Maximum accepted request path (including query string).
+const MAX_PATH: usize = 1024;
+/// Default `/events` batch size when `?limit=` is absent.
+const DEFAULT_EVENTS_LIMIT: usize = 256;
 
 /// A running scrape server; stops (and joins its thread) on drop.
 #[derive(Debug)]
@@ -106,27 +120,63 @@ fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
     }
 }
 
-/// Read the request head and answer one routed response; errors drop the
-/// connection (a scraper will retry).
+/// Outcome of parsing one request head.
+enum Request {
+    /// A syntactically acceptable `GET <path>` (query string attached).
+    Get(String),
+    /// Unparseable or over-limit input; answered with a 400 naming the
+    /// problem.
+    Bad(&'static str),
+    /// A well-formed request with a non-GET method; answered with 405.
+    MethodNotAllowed,
+}
+
+/// Read the request head and answer one routed response; I/O errors drop
+/// the connection (a scraper will retry).
 fn handle_connection(mut stream: TcpStream) {
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let Some(path) = read_request_path(&mut stream) else {
+    let Some(request) = read_request(&mut stream) else {
         return;
     };
-    let (status, content_type, body) = route(&path);
+    let (status, content_type, body, extra_header) = match request {
+        Request::Get(path) => {
+            let (status, content_type, body) = route(&path);
+            (status, content_type, body, "")
+        }
+        Request::Bad(reason) => {
+            crate::counter!("serve_requests_total", endpoint = "bad_request").inc();
+            (
+                "400 Bad Request",
+                "text/plain; charset=utf-8",
+                format!("400 bad request: {reason}\n"),
+                "",
+            )
+        }
+        Request::MethodNotAllowed => {
+            crate::counter!("serve_requests_total", endpoint = "method_not_allowed").inc();
+            (
+                "405 Method Not Allowed",
+                "text/plain; charset=utf-8",
+                "405 method not allowed: this server only answers GET\n".to_string(),
+                "Allow: GET\r\n",
+            )
+        }
+    };
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{extra_header}Connection: close\r\n\r\n{body}",
         body.len()
     );
     let _ = stream.write_all(response.as_bytes());
     let _ = stream.flush();
 }
 
-/// Parse `GET <path> …` from the request head; tolerates any headers and
-/// stops at the blank line or the size cap.
-fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+/// Parse `<method> <path> …` from the request head; tolerates any
+/// headers and stops at the blank line or the size cap. Returns `None`
+/// only when the peer sent nothing at all (connect-and-close probes);
+/// everything else gets an explicit answer.
+fn read_request(stream: &mut TcpStream) -> Option<Request> {
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
     loop {
@@ -141,20 +191,38 @@ fn read_request_path(stream: &mut TcpStream) -> Option<String> {
             Err(_) => break,
         }
     }
-    let head = String::from_utf8_lossy(&buf);
-    let first = head.lines().next()?;
-    let mut parts = first.split_whitespace();
-    let method = parts.next()?;
-    let path = parts.next()?;
-    if method != "GET" {
+    if buf.is_empty() {
         return None;
     }
-    // Strip any query string: routing is path-only.
-    Some(path.split('?').next().unwrap_or(path).to_string())
+    let head = String::from_utf8_lossy(&buf);
+    let Some(first) = head.lines().next() else {
+        return Some(Request::Bad("empty request line"));
+    };
+    let mut parts = first.split_whitespace();
+    let Some(method) = parts.next() else {
+        return Some(Request::Bad("empty request line"));
+    };
+    // A partial request line ("GET" alone, or a method fragment cut off
+    // mid-write) has no path token.
+    let Some(path) = parts.next() else {
+        return Some(Request::Bad("truncated request line (no path)"));
+    };
+    if path.len() > MAX_PATH {
+        return Some(Request::Bad("request path too long"));
+    }
+    if method != "GET" {
+        return Some(Request::MethodNotAllowed);
+    }
+    Some(Request::Get(path.to_string()))
 }
 
-/// Route one request path to `(status, content type, body)`.
-fn route(path: &str) -> (&'static str, &'static str, String) {
+/// Route one request path (query string still attached) to
+/// `(status, content type, body)`.
+fn route(raw_path: &str) -> (&'static str, &'static str, String) {
+    let (path, query) = match raw_path.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (raw_path, ""),
+    };
     match path {
         "/metrics" => {
             crate::counter!("serve_requests_total", endpoint = "metrics").inc();
@@ -176,23 +244,66 @@ fn route(path: &str) -> (&'static str, &'static str, String) {
                 crate::profile::snapshot().collapsed(),
             )
         }
+        "/events" => {
+            crate::counter!("serve_requests_total", endpoint = "events").inc();
+            match events_json(query) {
+                Ok(body) => ("200 OK", "application/json", body),
+                Err(reason) => (
+                    "400 Bad Request",
+                    "text/plain; charset=utf-8",
+                    format!("400 bad request: {reason}\n"),
+                ),
+            }
+        }
         "/" => {
             crate::counter!("serve_requests_total", endpoint = "index").inc();
             (
                 "200 OK",
                 "text/plain; charset=utf-8",
-                "airfinger live telemetry: /metrics /health /profile\n".to_string(),
+                "airfinger live telemetry: /metrics /health /profile /events\n".to_string(),
             )
         }
         _ => {
             crate::counter!("serve_requests_total", endpoint = "other").inc();
-            ("404 Not Found", "text/plain; charset=utf-8", String::new())
+            (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                format!(
+                    "404 not found: {path}\nknown paths: / /metrics /health /profile /events\n"
+                ),
+            )
         }
     }
 }
 
+/// Serve the global event journal's tail. Query parameters: `after`
+/// (return events with `seq > after`; default 0 = from the oldest
+/// retained) and `limit` (batch cap; default
+/// [`DEFAULT_EVENTS_LIMIT`]). Unknown parameters are ignored; malformed
+/// values are a 400.
+fn events_json(query: &str) -> Result<String, &'static str> {
+    let mut after = 0u64;
+    let mut limit = DEFAULT_EVENTS_LIMIT;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "after" => {
+                after = value
+                    .parse()
+                    .map_err(|_| "`after` must be a sequence number")?;
+            }
+            "limit" => {
+                limit = value.parse().map_err(|_| "`limit` must be a count")?;
+            }
+            _ => {}
+        }
+    }
+    Ok(crate::events::global().to_json_after(after, limit))
+}
+
 /// The `/health` JSON rollup (also usable without the server, e.g. for
-/// tests).
+/// tests): switches, allocation pressure, the event journal's head and
+/// retention, the SLO/budget/burn gauges, and the bounded history.
 #[must_use]
 pub fn health_json() -> String {
     use crate::export::{json_number, json_string};
@@ -211,12 +322,22 @@ pub fn health_json() -> String {
         alloc.count,
         alloc.bytes
     ));
+    let journal = crate::events::global();
+    out.push_str(&format!(
+        "  \"events\": {{\"head\": {}, \"retained\": {}, \"dropped\": {}, \"capacity\": {}}},\n",
+        journal.head_seq(),
+        journal.len(),
+        journal.dropped(),
+        journal.capacity()
+    ));
     out.push_str("  \"gauges\": {");
     let mut first = true;
     for g in &snapshot.gauges {
         let identity = g.id.to_string();
         let relevant = identity.starts_with("fleet_")
             || identity.starts_with("engine_window_")
+            || identity.starts_with("budget_")
+            || identity.starts_with("burn_")
             || identity == "health_state";
         if !relevant {
             continue;
@@ -275,22 +396,109 @@ mod tests {
 
         let missing = get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        assert!(missing.contains("404 not found: /nope"), "{missing}");
+        assert!(
+            missing.contains("/events"),
+            "404 lists endpoints: {missing}"
+        );
 
         let index = get(addr, "/?q=1");
-        assert!(index.contains("/metrics /health /profile"), "{index}");
+        assert!(
+            index.contains("/metrics /health /profile /events"),
+            "{index}"
+        );
+        server.stop();
+    }
+
+    /// Send raw (possibly malformed) bytes and return the response.
+    fn raw(addr: SocketAddr, request: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request).expect("request");
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        response
+    }
+
+    #[test]
+    fn non_get_gets_405_with_allow_header() {
+        let server = ScrapeServer::start("127.0.0.1:0").expect("bind loopback");
+        let response = raw(server.addr(), b"POST /metrics HTTP/1.1\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+        assert!(response.contains("Allow: GET"), "{response}");
+        assert!(response.contains("only answers GET"), "{response}");
         server.stop();
     }
 
     #[test]
-    fn non_get_is_dropped() {
+    fn truncated_request_line_gets_400() {
         let server = ScrapeServer::start("127.0.0.1:0").expect("bind loopback");
-        let mut stream = TcpStream::connect(server.addr()).expect("connect");
-        stream
-            .write_all(b"POST /metrics HTTP/1.1\r\n\r\n")
-            .expect("request");
-        let mut response = String::new();
-        let _ = stream.read_to_string(&mut response);
-        assert!(response.is_empty(), "non-GET gets no response: {response}");
+        let addr = server.addr();
+        // A bare method with no path (writer cut off mid-line).
+        let response = raw(addr, b"GET\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        assert!(response.contains("truncated request line"), "{response}");
+        // Whitespace-only garbage.
+        let response = raw(addr, b"   \r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        server.stop();
+    }
+
+    #[test]
+    fn oversized_path_gets_400() {
+        let server = ScrapeServer::start("127.0.0.1:0").expect("bind loopback");
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(2048));
+        let response = raw(server.addr(), long.as_bytes());
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        assert!(response.contains("path too long"), "{response}");
+        server.stop();
+    }
+
+    #[test]
+    fn connect_and_close_is_silently_dropped() {
+        let server = ScrapeServer::start("127.0.0.1:0").expect("bind loopback");
+        let response = raw(server.addr(), b"");
+        assert!(
+            response.is_empty(),
+            "empty probe gets no answer: {response}"
+        );
+        server.stop();
+    }
+
+    #[test]
+    fn events_endpoint_serves_journal_tail_with_cursor() {
+        use crate::events::{Event, EventKind};
+        let server = ScrapeServer::start("127.0.0.1:0").expect("bind loopback");
+        let addr = server.addr();
+
+        // Beyond-the-tail cursors are empty, never an error — valid even
+        // when other tests already published into the global journal.
+        let head = crate::events::global().head_seq();
+        let beyond = get(addr, &format!("/events?after={}", head + 1000));
+        assert!(beyond.starts_with("HTTP/1.1 200"), "{beyond}");
+        assert!(beyond.contains("\"events\": []"), "{beyond}");
+
+        let seq = crate::events::global().publish(Event {
+            seq: 0,
+            session_seq: 0,
+            sample: 123,
+            session: Some(7),
+            shard: Some(1),
+            window: Some(2),
+            kind: EventKind::Recognition { family: "detect" },
+        });
+        let tail = get(addr, &format!("/events?after={}", seq - 1));
+        assert!(tail.starts_with("HTTP/1.1 200"), "{tail}");
+        assert!(tail.contains("airfinger-events-v1"), "{tail}");
+        assert!(tail.contains(&format!("\"seq\": {seq}")), "{tail}");
+        assert!(tail.contains("\"family\": \"detect\""), "{tail}");
+
+        // Malformed cursor values are a 400, not a crash or a silent 0.
+        let bad = get(addr, "/events?after=banana");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        let bad = get(addr, "/events?limit=-1");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        server.stop();
     }
 
     #[test]
@@ -298,5 +506,6 @@ mod tests {
         let json = health_json();
         assert!(json.contains("\"alloc\""));
         assert!(json.contains("\"gauges\""));
+        assert!(json.contains("\"events\""));
     }
 }

@@ -1,0 +1,196 @@
+//! The event-journal and error-budget contract, end to end: journal
+//! sequence numbers survive capacity wraparound with correct cursor
+//! semantics, burn-rate alerts fire exactly once per fault episode and
+//! never on a clean run, and a fleet-attached journal serializes to the
+//! same bytes no matter how many worker threads drain the shards.
+
+use airfinger_core::engine::StreamingEngine;
+use airfinger_core::pipeline::AirFinger;
+use airfinger_fleet::{drive, generate_population, Fleet, FleetConfig, PopulationSpec};
+use airfinger_nir_sim::trace::RssTrace;
+use airfinger_obs::events::{EventKind, Journal};
+use airfinger_obs::{
+    BudgetConfig, EngineMonitor, MonitorConfig, RecorderConfig, SloRules, WindowConfig,
+};
+use airfinger_synth::session::{generate_session, standard_fault_schedule, SessionSpec};
+use airfinger_tests::trained_pipeline;
+use std::sync::Arc;
+
+const SAMPLES: usize = 3000;
+const HORIZON: usize = 300;
+
+/// Stream one scripted session through a monitored engine journaling
+/// into `journal`; return the engine for budget inspection.
+fn soak_with_journal(faulted: bool, journal: &Journal) -> StreamingEngine {
+    let (af, _) = trained_pipeline(11);
+    let session = SessionSpec {
+        samples: SAMPLES,
+        seed: 11,
+        faults: if faulted {
+            standard_fault_schedule(SAMPLES, true, true)
+        } else {
+            Vec::new()
+        },
+        ..Default::default()
+    };
+    let trace = generate_session(&session);
+    let channels = trace.channel_count();
+    let mut engine = StreamingEngine::new(af, channels).expect("engine builds");
+    engine.attach_monitor(
+        EngineMonitor::new(MonitorConfig {
+            window: WindowConfig { horizon: HORIZON },
+            rules: SloRules::default(),
+            recorder: RecorderConfig::default(),
+            budget: BudgetConfig::default(),
+        })
+        .with_journal(journal.clone()),
+    );
+    let mut sample = vec![0.0; channels];
+    for i in 0..trace.len() {
+        for (k, v) in sample.iter_mut().enumerate() {
+            *v = trace.channel(k)[i];
+        }
+        engine.push(&sample).expect("push succeeds");
+    }
+    engine.flush().expect("flush succeeds");
+    engine
+}
+
+/// A tiny journal wraps: sequence numbers stay globally monotone, the
+/// tail is the newest `capacity` events, and the `after` cursor honors
+/// strictly-greater semantics across the evicted prefix.
+#[test]
+fn journal_wraparound_keeps_cursor_semantics() {
+    let journal = Journal::new(8);
+    let engine = soak_with_journal(true, &journal);
+    let emitted = engine.monitor().expect("monitor attached").events_emitted();
+    assert!(
+        emitted > 8,
+        "fault soak must overflow the 8-slot journal, emitted {emitted}"
+    );
+    assert_eq!(journal.head_seq(), emitted, "every event got a sequence");
+    assert_eq!(journal.len(), 8, "ring retains exactly its capacity");
+    assert_eq!(journal.dropped(), emitted - 8, "the rest were evicted");
+
+    let tail = journal.tail_after(0, journal.capacity());
+    let seqs: Vec<u64> = tail.iter().map(|e| e.seq).collect();
+    let expected: Vec<u64> = (emitted - 7..=emitted).collect();
+    assert_eq!(seqs, expected, "tail is the newest events, oldest first");
+
+    // Cursor into the retained region: strictly after.
+    let mid = emitted - 3;
+    let after_mid: Vec<u64> = journal
+        .tail_after(mid, journal.capacity())
+        .iter()
+        .map(|e| e.seq)
+        .collect();
+    assert_eq!(after_mid, (mid + 1..=emitted).collect::<Vec<u64>>());
+    // Cursor at and beyond the head: empty, not an error.
+    assert!(journal.tail_after(emitted, 8).is_empty());
+    assert!(journal.tail_after(emitted + 100, 8).is_empty());
+    // Cursor inside the evicted prefix: yields the whole retained tail.
+    assert_eq!(journal.tail_after(1, journal.capacity()).len(), 8);
+}
+
+/// The budget contract: a clean session never burns, a faulted session
+/// trips the fast-burn alert exactly once (the latch holds through the
+/// contiguous bad-window episode), and the journal carries one burn
+/// event per fired alert.
+#[test]
+fn burn_alerts_fire_exactly_once_under_faults_and_never_clean() {
+    let clean_journal = Journal::new(4096);
+    let clean = soak_with_journal(false, &clean_journal);
+    let budget = clean.monitor().expect("monitor attached").budget();
+    assert_eq!(budget.fast_alerts(), 0, "clean run must not burn fast");
+    assert_eq!(budget.slow_alerts(), 0, "clean run must not burn slow");
+    assert!(
+        (budget.remaining() - 1.0).abs() < 1e-9,
+        "clean run keeps its whole budget, got {}",
+        budget.remaining()
+    );
+    assert!(
+        clean_journal
+            .tail_after(0, clean_journal.capacity())
+            .iter()
+            .all(|e| !matches!(e.kind, EventKind::BurnAlert { .. })),
+        "clean journal must carry no burn events"
+    );
+
+    let fault_journal = Journal::new(4096);
+    let faulted = soak_with_journal(true, &fault_journal);
+    let budget = faulted.monitor().expect("monitor attached").budget();
+    assert_eq!(
+        budget.fast_alerts(),
+        1,
+        "fault episode trips fast burn exactly once"
+    );
+    assert!(budget.slow_alerts() >= 1, "slow burn confirms the episode");
+    assert!(budget.remaining() < 1.0, "faults spend budget");
+    let burn_events = fault_journal
+        .tail_after(0, fault_journal.capacity())
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::BurnAlert { .. }))
+        .count() as u64;
+    assert_eq!(
+        burn_events,
+        budget.fast_alerts() + budget.slow_alerts(),
+        "one journal event per fired alert"
+    );
+}
+
+fn fleet_journal_bytes(pipeline: &Arc<AirFinger>, traces: &[RssTrace], threads: usize) -> String {
+    let pop = PopulationSpec {
+        sessions: 6,
+        samples_per_session: 500,
+        users: 3,
+        seed: 29,
+        fault_every: 3,
+        arrival_stagger_rounds: 1,
+        chunk: 32,
+    };
+    let config = FleetConfig {
+        shards: 2,
+        sessions_per_shard: 3,
+        queue_capacity: 256,
+        quantum: 64,
+        monitor_horizon: 100,
+        threads,
+    };
+    let channels = traces[0].channel_count();
+    let mut fleet = Fleet::new(Arc::clone(pipeline), channels, config).expect("fleet builds");
+    let journal = Journal::new(4096);
+    fleet.set_journal(journal.clone());
+    let ids: Vec<u64> = (0..6).collect();
+    drive(&mut fleet, &ids, traces, &pop).expect("drive completes");
+    fleet.flush_sessions();
+    assert_eq!(journal.dropped(), 0, "journal sized for the whole run");
+    assert!(journal.len() > 6, "monitors journaled beyond admissions");
+    journal.to_json_after(0, journal.capacity())
+}
+
+/// The fleet drains buffered monitor events at the serial round barrier
+/// in (shard, session) order, so the journal's serialized bytes — seq
+/// assignment included — are invariant under the worker-thread count.
+#[test]
+fn fleet_journal_is_byte_identical_across_thread_counts() {
+    let (af, _) = trained_pipeline(29);
+    let pipeline = Arc::new(af);
+    let pop = PopulationSpec {
+        sessions: 6,
+        samples_per_session: 500,
+        users: 3,
+        seed: 29,
+        fault_every: 3,
+        arrival_stagger_rounds: 1,
+        chunk: 32,
+    };
+    let traces = generate_population(&pop, 1);
+    let serial = fleet_journal_bytes(&pipeline, &traces, 1);
+    for threads in [2, 4] {
+        let threaded = fleet_journal_bytes(&pipeline, &traces, threads);
+        assert_eq!(
+            serial, threaded,
+            "fleet journal bytes diverged at {threads} threads"
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! The live scrape surface for the event journal, end to end: a real
+//! [`ScrapeServer`] on an ephemeral loopback port must serve `/events`
+//! with working `?after=` cursor semantics against the process-global
+//! journal, answer garbage requests with explicit 400/405/404 bodies,
+//! and fold the journal's state into `/health`.
+//!
+//! The global journal is process-wide, so every assertion tolerates
+//! events published by other tests in this binary: lookups go through
+//! marker events with reserved session ids rather than absolute counts.
+
+use airfinger_obs::events::{global, Event, EventKind};
+use airfinger_obs::ScrapeServer;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+fn get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+        .expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    response
+}
+
+fn raw(addr: SocketAddr, request: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request).expect("request");
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    response
+}
+
+/// Publish a recognizable marker into the global journal and return its
+/// assigned sequence number.
+fn publish_marker(session: u64) -> u64 {
+    global().publish(Event {
+        seq: 0,
+        session_seq: 1,
+        sample: 42,
+        session: Some(session),
+        shard: Some(session % 4),
+        window: Some(3),
+        kind: EventKind::SessionAdmitted,
+    })
+}
+
+#[test]
+fn events_endpoint_tails_the_global_journal() {
+    let server = ScrapeServer::start("127.0.0.1:0").expect("bind loopback");
+    let before = global().head_seq();
+    let seq = publish_marker(990_001);
+
+    // The plain tail carries the marker with all correlation fields.
+    let response = get(server.addr(), "/events");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(response.contains("application/json"), "{response}");
+    assert!(
+        response.contains("\"session\": 990001"),
+        "marker event missing from tail: {response}"
+    );
+    assert!(response.contains("airfinger-events-v1"), "{response}");
+
+    // A cursor just before the marker returns it; a cursor at or past
+    // the head returns an empty (but schema-valid) envelope.
+    let after = get(server.addr(), &format!("/events?after={before}"));
+    assert!(after.contains("\"session\": 990001"), "{after}");
+    let beyond = get(server.addr(), &format!("/events?after={}", seq + 100_000));
+    assert!(beyond.starts_with("HTTP/1.1 200 OK"), "{beyond}");
+    assert!(
+        !beyond.contains("\"session\": 990001"),
+        "cursor past head must not replay events: {beyond}"
+    );
+    server.stop();
+}
+
+#[test]
+fn events_endpoint_rejects_malformed_cursors() {
+    let server = ScrapeServer::start("127.0.0.1:0").expect("bind loopback");
+    let bad_after = get(server.addr(), "/events?after=banana");
+    assert!(bad_after.starts_with("HTTP/1.1 400"), "{bad_after}");
+    assert!(bad_after.contains("sequence number"), "{bad_after}");
+    let bad_limit = get(server.addr(), "/events?limit=-3");
+    assert!(bad_limit.starts_with("HTTP/1.1 400"), "{bad_limit}");
+    server.stop();
+}
+
+#[test]
+fn error_paths_name_themselves() {
+    let server = ScrapeServer::start("127.0.0.1:0").expect("bind loopback");
+    let missing = get(server.addr(), "/no-such-endpoint");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+    assert!(
+        missing.contains("404 not found: /no-such-endpoint"),
+        "404 body must name the unknown path: {missing}"
+    );
+    assert!(
+        missing.contains("/events"),
+        "404 body must list the known paths: {missing}"
+    );
+
+    let post = raw(server.addr(), b"POST /events HTTP/1.1\r\n\r\n");
+    assert!(post.starts_with("HTTP/1.1 405"), "{post}");
+    assert!(post.contains("Allow: GET"), "{post}");
+
+    let truncated = raw(server.addr(), b"GET\r\n\r\n");
+    assert!(truncated.starts_with("HTTP/1.1 400"), "{truncated}");
+    server.stop();
+}
+
+#[test]
+fn health_reports_journal_state() {
+    let server = ScrapeServer::start("127.0.0.1:0").expect("bind loopback");
+    publish_marker(990_002);
+    let response = get(server.addr(), "/health");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    let body = response
+        .split("\r\n\r\n")
+        .nth(1)
+        .expect("health has a body");
+    let parsed = serde_json::from_str::<serde::Value>(body).expect("health JSON parses");
+    let events = parsed
+        .as_object()
+        .and_then(|o| o.get("events"))
+        .and_then(serde::Value::as_object)
+        .expect("health carries an events section");
+    let head = events
+        .get("head")
+        .and_then(serde::Value::as_f64)
+        .expect("events.head present");
+    assert!(head >= 1.0, "head reflects the published marker");
+    for key in ["retained", "dropped", "capacity"] {
+        assert!(events.get(key).is_some(), "events.{key} present in {body}");
+    }
+    server.stop();
+}

@@ -37,6 +37,7 @@ fn run_soak(faulted: bool) -> (Vec<Transition>, Vec<Dump>, HealthState) {
         window: WindowConfig { horizon: HORIZON },
         rules: SloRules::default(),
         recorder: RecorderConfig::default(),
+        budget: airfinger_obs::BudgetConfig::default(),
     }));
     let mut sample = vec![0.0; channels];
     for i in 0..trace.len() {
