@@ -34,6 +34,7 @@ use airfinger_parallel::{effective_threads, par_run};
 /// hot path. Pure pass-through to the system allocator plus two atomic
 /// adds per event; negligible against real experiment cost.
 #[global_allocator]
+// lint: sync — CountingAlloc is two shared atomics; `GlobalAlloc` requires Sync
 static ALLOC: airfinger_obs::CountingAlloc = airfinger_obs::CountingAlloc::new();
 
 fn main() {

@@ -28,6 +28,7 @@ mod commands;
 /// installing it unconditionally keeps "allocs per push" observable in
 /// every CLI run rather than only in specially-built binaries.
 #[global_allocator]
+// lint: sync — CountingAlloc is two shared atomics; `GlobalAlloc` requires Sync
 static ALLOC: airfinger_obs::CountingAlloc = airfinger_obs::CountingAlloc::new();
 
 /// Global flags stripped out of the argv before subcommand dispatch.

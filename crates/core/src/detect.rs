@@ -142,6 +142,7 @@ impl DetectRecognizer {
     /// # Errors
     ///
     /// Returns [`AirFingerError::NotTrained`] before training.
+    // lint: hot-path-root — hosts the features/rf_predict stage spans
     pub fn predict_index(&self, window: &GestureWindow) -> Result<usize, AirFingerError> {
         if !self.trained {
             return Err(AirFingerError::NotTrained);

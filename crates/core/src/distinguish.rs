@@ -47,6 +47,7 @@ impl Distinguisher {
     /// photodiode carries gesture energy (the paper's partial-scroll case:
     /// a scroll passing only `P1` is still a scroll).
     #[must_use]
+    // lint: hot-path-root — hosts the distinguish stage span
     pub fn classify(&self, window: &GestureWindow) -> GestureFamily {
         let _span = airfinger_obs::span!("pipeline_stage_seconds", stage = "distinguish");
         let timing = window.channel_timing(&self.config);

@@ -165,6 +165,7 @@ impl StreamingEngine {
     ///
     /// Returns [`AirFingerError::InvalidTrainingData`] for a wrong-width
     /// sample and propagates recognition errors.
+    // lint: hot-path-root — the per-sample streaming entry point
     pub fn push(&mut self, sample: &[f64]) -> Result<Option<Recognition>, AirFingerError> {
         if sample.len() != self.channel_count {
             return Err(AirFingerError::InvalidTrainingData("sample width mismatch"));
@@ -228,6 +229,7 @@ impl StreamingEngine {
                 let window = self.window(seg);
                 Ok(DeferredPush::Closed(PendingWindow {
                     window,
+                    // lint: hot-path — deferred pushes must own the sample past the call
                     sample: sample.to_vec(),
                     push_seconds: span.elapsed_s(),
                     mean_threshold: mean_of(&self.thresholds),
@@ -442,6 +444,7 @@ impl SharedEngine {
         // state stays valid across a panicked peer (every mutation is
         // single-assignment per sample), so the lost-update is benign.
         self.inner
+            // lint: hot-path — SharedEngine IS the lock adapter; lock-free callers use StreamingEngine
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .push(sample)
@@ -463,6 +466,7 @@ impl SharedEngine {
     #[must_use]
     pub fn in_gesture(&self) -> bool {
         self.inner
+            // lint: hot-path — SharedEngine IS the lock adapter; lock-free callers use StreamingEngine
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .in_gesture()
@@ -472,6 +476,7 @@ impl SharedEngine {
     #[must_use]
     pub fn position(&self) -> usize {
         self.inner
+            // lint: hot-path — SharedEngine IS the lock adapter; lock-free callers use StreamingEngine
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .position()

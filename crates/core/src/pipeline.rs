@@ -219,6 +219,7 @@ impl AirFinger {
     /// # Errors
     ///
     /// Returns [`AirFingerError::NotTrained`] before training.
+    // lint: hot-path-root — hosts the rf_predict stage span
     pub fn recognize_window(&self, window: &GestureWindow) -> Result<Recognition, AirFingerError> {
         match self.prepare_window(window)? {
             PreparedWindow::Rejected(recognition) => Ok(recognition),
@@ -243,6 +244,7 @@ impl AirFinger {
     ///
     /// Returns [`AirFingerError::NotTrained`] before training and
     /// propagates filter errors.
+    // lint: hot-path-root — hosts the filter/features stage spans
     pub fn prepare_window(&self, window: &GestureWindow) -> Result<PreparedWindow, AirFingerError> {
         if !self.detect.is_trained() {
             return Err(AirFingerError::NotTrained);
@@ -273,6 +275,7 @@ impl AirFinger {
     /// # Errors
     ///
     /// Propagates an out-of-range predicted label as an ML error.
+    // lint: hot-path-root — hosts the zebra stage span
     pub fn finish_window(
         &self,
         window: &GestureWindow,

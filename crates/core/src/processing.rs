@@ -308,6 +308,7 @@ impl DataProcessor {
     /// [`DataProcessor::primary_window`], with a latency span per stage:
     /// SBC, threshold computation, segmentation.
     #[allow(clippy::type_complexity)]
+    // lint: hot-path-root — hosts the sbc/threshold/segment stage spans
     fn stages(&self, trace: &RssTrace) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<f64>, Vec<Segment>) {
         let delta = {
             let _s = airfinger_obs::span!("pipeline_stage_seconds", stage = "sbc");

@@ -77,6 +77,9 @@ pub struct Fleet {
     journal: Option<Journal>,
     /// Fleet-level emitter ordinal (`session_seq` of fleet events).
     events_emitted: u64,
+    /// Pre-rendered `shard` label values, indexed by shard id, so the
+    /// per-round rollup publish never formats on the hot path.
+    shard_labels: Vec<String>,
 }
 
 impl Fleet {
@@ -114,6 +117,7 @@ impl Fleet {
         let shards = (0..config.shards)
             .map(|_| Shard::new(config.quantum))
             .collect();
+        let shard_labels = (0..config.shards).map(|i| i.to_string()).collect();
         Ok(Fleet {
             pipeline,
             config,
@@ -127,6 +131,7 @@ impl Fleet {
             processed_total: 0,
             journal: None,
             events_emitted: 0,
+            shard_labels,
         })
     }
 
@@ -229,6 +234,7 @@ impl Fleet {
     /// Propagates a batch-classification failure as
     /// [`FleetError::Engine`]; per-session recognition errors are counted
     /// against the session instead.
+    // lint: hot-path-root — the serving loop's drain + batch + resolve round
     pub fn run_round(&mut self) -> Result<RoundStats, FleetError> {
         let _span = airfinger_obs::span!("fleet_round_seconds");
         self.rounds += 1;
@@ -467,6 +473,7 @@ impl Fleet {
                 }
                 health
             })
+            // lint: hot-path — one shard-count-sized Vec per round, returned to the caller
             .collect();
         let mut worst = HealthState::Healthy;
         let mut burn_fast_worst = 0.0f64;
@@ -545,7 +552,7 @@ impl Fleet {
     /// in (shard, session-id) order — the deterministic round-barrier
     /// step that makes the journal thread-count invariant.
     fn drain_events(&mut self) {
-        let Some(journal) = self.journal.clone() else {
+        let Some(journal) = &self.journal else {
             return;
         };
         for shard in &mut self.shards {
@@ -569,12 +576,12 @@ impl Fleet {
         airfinger_obs::gauge!("fleet_burn_slow_worst").set(rollup.burn_slow_worst);
         airfinger_obs::gauge!("fleet_budget_remaining_min").set(rollup.budget_remaining_min);
         for shard in &rollup.shards {
-            let label = shard.shard.to_string();
-            airfinger_obs::gauge_with("fleet_shard_health", &[("shard", &label)])
+            let label = self.shard_labels[shard.shard].as_str();
+            airfinger_obs::gauge_with("fleet_shard_health", &[("shard", label)])
                 .set(f64::from(shard.worst.level()));
-            airfinger_obs::gauge_with("fleet_shard_burn_fast", &[("shard", &label)])
+            airfinger_obs::gauge_with("fleet_shard_burn_fast", &[("shard", label)])
                 .set(shard.burn_fast);
-            airfinger_obs::gauge_with("fleet_shard_burn_slow", &[("shard", &label)])
+            airfinger_obs::gauge_with("fleet_shard_burn_slow", &[("shard", label)])
                 .set(shard.burn_slow);
         }
     }

@@ -1,18 +1,31 @@
-//! `lint-allow.toml` — the panic-safety ratchet file.
+//! `lint-allow.toml` — the panic-safety and hot-path budget ratchets.
 //!
 //! The linter is zero-dependency, so this is a tiny parser for the exact
 //! TOML subset the allowlist uses: comments, `[section]` headers, and
 //! `"quoted/path.rs" = <integer>` entries. Anything else is a parse
 //! error — the file is machine-maintained and should stay boring.
+//!
+//! Two sections exist today:
+//!
+//! - `[panic]` — per-file allowed panic-site counts (rule P).
+//! - `[hot-path]` — per-function allowed allocation/lock-site counts on
+//!   the transitive hot path (rule H). Keys are
+//!   `"<rel_path>::<Owner>::<fn>"` (or `"<rel_path>::<fn>"` for free
+//!   functions), matching the inventory the JSON report prints.
+//!
+//! Both ratchet the same way: counts above budget are findings, counts
+//! below budget are warnings asking for the entry to be ratcheted down.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Parsed allowlist: per-file allowed panic-site counts.
+/// Parsed allowlist: the committed budgets both ratchet rules consume.
 #[derive(Debug, Default, Clone)]
 pub struct Allowlist {
     /// `[panic]` section: workspace-relative path → allowed count.
     pub panic: BTreeMap<String, usize>,
+    /// `[hot-path]` section: `path::function` key → allowed count.
+    pub hot_path: BTreeMap<String, usize>,
 }
 
 /// Allowlist parse failure (line number + description).
@@ -35,8 +48,8 @@ impl Allowlist {
     ///
     /// # Errors
     ///
-    /// Returns the first malformed line: unknown section, unquoted key,
-    /// or non-integer value.
+    /// Returns the first malformed line: unknown section, entry outside a
+    /// section, unquoted key, or non-integer value.
     pub fn parse(text: &str) -> Result<Self, AllowlistError> {
         let mut out = Allowlist::default();
         let mut section = String::new();
@@ -48,10 +61,12 @@ impl Allowlist {
             }
             if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
                 section = name.trim().to_string();
-                if section != "panic" {
+                if section != "panic" && section != "hot-path" {
                     return Err(AllowlistError {
                         line: line_no,
-                        message: format!("unknown section `[{section}]` (expected `[panic]`)"),
+                        message: format!(
+                            "unknown section `[{section}]` (expected `[panic]` or `[hot-path]`)"
+                        ),
                     });
                 }
                 continue;
@@ -82,13 +97,17 @@ impl Allowlist {
                     ),
                 });
             };
-            if section != "panic" {
-                return Err(AllowlistError {
-                    line: line_no,
-                    message: "entry outside the `[panic]` section".to_string(),
-                });
-            }
-            out.panic.insert(path.to_string(), count);
+            let target = match section.as_str() {
+                "panic" => &mut out.panic,
+                "hot-path" => &mut out.hot_path,
+                _ => {
+                    return Err(AllowlistError {
+                        line: line_no,
+                        message: "entry outside the `[panic]`/`[hot-path]` sections".to_string(),
+                    });
+                }
+            };
+            target.insert(path.to_string(), count);
         }
         Ok(out)
     }
@@ -97,6 +116,13 @@ impl Allowlist {
     #[must_use]
     pub fn allowed(&self, rel_path: &str) -> usize {
         self.panic.get(rel_path).copied().unwrap_or(0)
+    }
+
+    /// Allowed hot-path allocation/lock-site count for a function key
+    /// (0 when absent).
+    #[must_use]
+    pub fn hot_allowed(&self, fn_key: &str) -> usize {
+        self.hot_path.get(fn_key).copied().unwrap_or(0)
     }
 }
 
@@ -113,6 +139,19 @@ mod tests {
     }
 
     #[test]
+    fn parses_hot_path_section() {
+        let text = "[panic]\n\"a.rs\" = 1\n\n[hot-path]\n\
+                    \"crates/core/src/engine.rs::StreamingEngine::push\" = 2\n";
+        let a = Allowlist::parse(text).unwrap();
+        assert_eq!(a.allowed("a.rs"), 1);
+        assert_eq!(
+            a.hot_allowed("crates/core/src/engine.rs::StreamingEngine::push"),
+            2
+        );
+        assert_eq!(a.hot_allowed("crates/core/src/engine.rs::other"), 0);
+    }
+
+    #[test]
     fn rejects_unknown_section() {
         let err = Allowlist::parse("[other]\n\"a\" = 1\n").unwrap_err();
         assert_eq!(err.line, 1);
@@ -124,5 +163,6 @@ mod tests {
         assert!(Allowlist::parse("[panic]\npath = 1\n").is_err());
         assert!(Allowlist::parse("[panic]\n\"p\" = many\n").is_err());
         assert!(Allowlist::parse("\"p\" = 1\n").is_err());
+        assert!(Allowlist::parse("[hot-path]\nkey = 1\n").is_err());
     }
 }

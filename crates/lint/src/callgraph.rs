@@ -1,0 +1,334 @@
+//! Workspace-wide call graph over the items `parser` recovers, plus the
+//! reachability walk rule H runs from the `// lint: hot-path-root`
+//! annotations.
+//!
+//! Resolution is name-based and conservative — no type inference:
+//!
+//! - `Owner::name(...)` resolves to the `fn name` items inside
+//!   `impl Owner` blocks anywhere in the workspace (`Self` resolves
+//!   against the caller's own impl).
+//! - `name(...)` resolves to every free `fn name` in the workspace.
+//! - `.name(...)` resolves to every impl `fn name` whose owner *type is
+//!   mentioned in the caller's file* — the "use resolution" cheap trick:
+//!   a file can only call methods of types it names somewhere (fields,
+//!   params, imports), which prunes same-named methods of unrelated
+//!   types without inferring receiver types.
+//!
+//! Calls that resolve to nothing are external (`Vec::push`, std) and fall
+//! out of the graph; rule H catches allocating std constructs textually
+//! instead.
+
+use crate::parser::{parse_items, FnItem, Receiver};
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One function node: which file it came from plus the parsed item.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index into the `files` slice the graph was built from.
+    pub file_idx: usize,
+    /// The parsed function item.
+    pub item: FnItem,
+}
+
+impl FnNode {
+    /// Budget/report key: `<rel_path>::<Owner>::<fn>`.
+    #[must_use]
+    pub fn key(&self, files: &[SourceFile]) -> String {
+        format!(
+            "{}::{}",
+            files[self.file_idx].rel_path,
+            self.item.qualified()
+        )
+    }
+}
+
+/// The workspace call graph.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// All function nodes, in (file, position) order.
+    pub nodes: Vec<FnNode>,
+    by_owner_name: BTreeMap<(String, String), Vec<usize>>,
+    free_by_name: BTreeMap<String, Vec<usize>>,
+    methods_by_name: BTreeMap<String, Vec<usize>>,
+    /// Per-file set of identifier texts (for method-call pruning).
+    file_idents: Vec<BTreeSet<String>>,
+}
+
+impl CallGraph {
+    /// Parse every file and index the resulting items.
+    #[must_use]
+    pub fn build(files: &[SourceFile]) -> Self {
+        let mut nodes = Vec::new();
+        let mut file_idents = Vec::with_capacity(files.len());
+        for (file_idx, file) in files.iter().enumerate() {
+            for item in parse_items(file) {
+                nodes.push(FnNode { file_idx, item });
+            }
+            file_idents.push(
+                file.tokens
+                    .iter()
+                    .filter(|t| t.kind == crate::lexer::TokenKind::Ident)
+                    .map(|t| t.text.clone())
+                    .collect(),
+            );
+        }
+        let mut by_owner_name: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut free_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (idx, node) in nodes.iter().enumerate() {
+            if node.item.is_test {
+                continue;
+            }
+            match &node.item.owner {
+                Some(owner) => {
+                    by_owner_name
+                        .entry((owner.clone(), node.item.name.clone()))
+                        .or_default()
+                        .push(idx);
+                    methods_by_name
+                        .entry(node.item.name.clone())
+                        .or_default()
+                        .push(idx);
+                }
+                None => {
+                    free_by_name
+                        .entry(node.item.name.clone())
+                        .or_default()
+                        .push(idx);
+                }
+            }
+        }
+        CallGraph {
+            nodes,
+            by_owner_name,
+            free_by_name,
+            methods_by_name,
+            file_idents,
+        }
+    }
+
+    /// Indices of the annotated, non-test hot-path roots.
+    #[must_use]
+    pub fn roots(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.item.hot_root && !n.item.is_test)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Candidate callee indices for one call site of `caller`.
+    fn resolve(&self, caller: usize, name: &str, receiver: &Receiver) -> Vec<usize> {
+        let node = &self.nodes[caller];
+        match receiver {
+            Receiver::Path(owner) => {
+                let owner = if owner == "Self" {
+                    match &node.item.owner {
+                        Some(o) => o.as_str(),
+                        None => return Vec::new(),
+                    }
+                } else {
+                    owner.as_str()
+                };
+                if owner.starts_with(|c: char| c.is_ascii_uppercase()) {
+                    self.by_owner_name
+                        .get(&(owner.to_string(), name.to_string()))
+                        .cloned()
+                        .unwrap_or_default()
+                } else {
+                    // `module::name(...)` — module paths carry no type, so
+                    // fall back to free-function resolution.
+                    self.free_by_name.get(name).cloned().unwrap_or_default()
+                }
+            }
+            Receiver::Plain => self.free_by_name.get(name).cloned().unwrap_or_default(),
+            Receiver::Method => {
+                let visible = &self.file_idents[node.file_idx];
+                self.methods_by_name
+                    .get(name)
+                    .map(|cands| {
+                        cands
+                            .iter()
+                            .copied()
+                            .filter(|&c| {
+                                self.nodes[c]
+                                    .item
+                                    .owner
+                                    .as_ref()
+                                    .is_some_and(|o| visible.contains(o))
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            }
+        }
+    }
+
+    /// Every non-test function transitively reachable from the hot-path
+    /// roots, restricted to crates for which `in_scope` holds (calls into
+    /// out-of-scope crates are not descended). Deterministic order.
+    #[must_use]
+    pub fn reachable(&self, files: &[SourceFile], in_scope: &dyn Fn(&str) -> bool) -> Vec<usize> {
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut queue: Vec<usize> = self
+            .roots()
+            .into_iter()
+            .filter(|&i| in_scope(&files[self.nodes[i].file_idx].crate_name))
+            .collect();
+        queue.sort_unstable();
+        let mut head = 0;
+        for &r in &queue {
+            seen.insert(r);
+        }
+        while head < queue.len() {
+            let current = queue[head];
+            head += 1;
+            for call in &self.nodes[current].item.calls {
+                for target in self.resolve(current, &call.name, &call.receiver) {
+                    let t = &self.nodes[target];
+                    if t.item.is_test || !in_scope(&files[t.file_idx].crate_name) {
+                        continue;
+                    }
+                    if seen.insert(target) {
+                        queue.push(target);
+                    }
+                }
+            }
+        }
+        seen.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str, crate_name: &str, src: &str) -> SourceFile {
+        SourceFile::parse(rel.to_string(), crate_name.to_string(), src)
+    }
+
+    fn keys(graph: &CallGraph, files: &[SourceFile], reach: &[usize]) -> Vec<String> {
+        reach.iter().map(|&i| graph.nodes[i].key(files)).collect()
+    }
+
+    #[test]
+    fn walk_crosses_crates_through_path_and_method_calls() {
+        let files = vec![
+            file(
+                "crates/core/src/engine.rs",
+                "core",
+                "use dsp::Filter;\n\
+                 struct Engine { f: Filter }\n\
+                 impl Engine {\n\
+                 // lint: hot-path-root\n\
+                 pub fn push(&mut self) { self.f.smooth(); helper(); }\n\
+                 }\n\
+                 fn helper() { dsp::free_stage(); }\n",
+            ),
+            file(
+                "crates/dsp/src/lib.rs",
+                "dsp",
+                "pub struct Filter;\n\
+                 impl Filter { pub fn smooth(&self) { inner(); } }\n\
+                 pub fn free_stage() {}\n\
+                 fn inner() {}\n\
+                 pub fn never_called() {}\n",
+            ),
+        ];
+        let graph = CallGraph::build(&files);
+        let reach = graph.reachable(&files, &|c| c == "core" || c == "dsp");
+        let keys = keys(&graph, &files, &reach);
+        assert!(keys.contains(&"crates/core/src/engine.rs::Engine::push".to_string()));
+        assert!(keys.contains(&"crates/dsp/src/lib.rs::Filter::smooth".to_string()));
+        assert!(keys.contains(&"crates/dsp/src/lib.rs::free_stage".to_string()));
+        assert!(keys.contains(&"crates/dsp/src/lib.rs::inner".to_string()));
+        assert!(!keys.iter().any(|k| k.contains("never_called")));
+    }
+
+    #[test]
+    fn method_resolution_requires_the_type_to_be_visible() {
+        // Both crates define `.predict()`; the caller's file only
+        // mentions `Forest`, so `Cnn::predict` must stay unreachable.
+        let files = vec![
+            file(
+                "crates/core/src/detect.rs",
+                "core",
+                "struct Detect { forest: Forest }\n\
+                 impl Detect {\n\
+                 // lint: hot-path-root\n\
+                 fn go(&self) { self.forest.predict(); }\n\
+                 }\n",
+            ),
+            file(
+                "crates/ml/src/lib.rs",
+                "ml",
+                "pub struct Forest; impl Forest { pub fn predict(&self) {} }\n\
+                 pub struct Cnn; impl Cnn { pub fn predict(&self) {} }\n",
+            ),
+        ];
+        let graph = CallGraph::build(&files);
+        let reach = graph.reachable(&files, &|_| true);
+        let keys = keys(&graph, &files, &reach);
+        assert!(keys.contains(&"crates/ml/src/lib.rs::Forest::predict".to_string()));
+        assert!(!keys.contains(&"crates/ml/src/lib.rs::Cnn::predict".to_string()));
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_not_descended() {
+        let files = vec![
+            file(
+                "crates/core/src/lib.rs",
+                "core",
+                "// lint: hot-path-root\n\
+                 pub fn root() { observe(); }\n",
+            ),
+            file(
+                "crates/obs/src/lib.rs",
+                "obs",
+                "pub fn observe() { deeper(); }\nfn deeper() {}\n",
+            ),
+        ];
+        let graph = CallGraph::build(&files);
+        let reach = graph.reachable(&files, &|c| c == "core");
+        assert_eq!(
+            keys(&graph, &files, &reach),
+            ["crates/core/src/lib.rs::root"]
+        );
+    }
+
+    #[test]
+    fn test_fns_are_neither_roots_nor_targets() {
+        let files = vec![file(
+            "crates/core/src/lib.rs",
+            "core",
+            "// lint: hot-path-root\n\
+             pub fn root() { helper(); }\n\
+             fn helper() {}\n\
+             #[cfg(test)]\nmod tests {\n\
+             // lint: hot-path-root\n\
+             fn fake_root() { helper(); }\n\
+             fn helper() {}\n\
+             }\n",
+        )];
+        let graph = CallGraph::build(&files);
+        assert_eq!(graph.roots().len(), 1);
+        let reach = graph.reachable(&files, &|_| true);
+        assert_eq!(reach.len(), 2);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let files = vec![file(
+            "crates/core/src/lib.rs",
+            "core",
+            "// lint: hot-path-root\n\
+             pub fn a() { b(); }\n\
+             fn b() { a(); }\n",
+        )];
+        let graph = CallGraph::build(&files);
+        let reach = graph.reachable(&files, &|_| true);
+        assert_eq!(reach.len(), 2);
+    }
+}

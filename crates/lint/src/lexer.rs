@@ -120,6 +120,11 @@ pub fn lex(src: &str) -> Lexed {
                 line += nl;
                 i = j;
             }
+            // Byte char literal (`b'x'`, `b'\n'`): without this branch the
+            // `b` would leak into the stream as a phantom identifier.
+            'b' if i + 1 < n && bytes[i + 1] == '\'' => {
+                i = skip_char_literal(&bytes, i + 1);
+            }
             'r' | 'b' if starts_raw_or_byte_string(&bytes, i) => {
                 let (body, nl, j) = raw_or_byte_string(&bytes, i);
                 out.tokens.push(Token {
@@ -139,21 +144,7 @@ pub fn lex(src: &str) -> Lexed {
                     }
                     i = j;
                 } else {
-                    let mut j = i + 1;
-                    if j < n && bytes[j] == '\\' {
-                        j += 2;
-                        // Skip the escape body up to the closing quote
-                        // (handles \u{…} and \x41).
-                        while j < n && bytes[j] != '\'' {
-                            j += 1;
-                        }
-                    } else if j < n {
-                        j += 1;
-                    }
-                    if j < n && bytes[j] == '\'' {
-                        j += 1;
-                    }
-                    i = j;
+                    i = skip_char_literal(&bytes, i);
                 }
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -301,6 +292,26 @@ fn raw_or_byte_string(bytes: &[char], i: usize) -> (String, usize, usize) {
     (bytes[start..j.min(n)].iter().collect(), nl, j)
 }
 
+/// Skip a char literal whose opening quote is at `i`, returning the index
+/// after the closing quote. Handles escapes (`'\''`, `'\\'`, `'\u{7af}'`,
+/// `'\x41'`) by scanning the escape body up to the closing quote.
+fn skip_char_literal(bytes: &[char], i: usize) -> usize {
+    let n = bytes.len();
+    let mut j = i + 1;
+    if j < n && bytes[j] == '\\' {
+        j += 2;
+        while j < n && bytes[j] != '\'' {
+            j += 1;
+        }
+    } else if j < n {
+        j += 1;
+    }
+    if j < n && bytes[j] == '\'' {
+        j += 1;
+    }
+    j
+}
+
 /// `'x` is a lifetime when the quote is followed by an identifier that is
 /// *not* closed by another quote (which would make it a char literal).
 fn is_lifetime(bytes: &[char], i: usize) -> bool {
@@ -412,6 +423,105 @@ mod tests {
         assert_eq!(find("a"), Some(1));
         assert_eq!(find("b"), Some(4));
         assert_eq!(find("c"), Some(7));
+    }
+
+    #[test]
+    fn nested_block_comments_track_depth_and_lines() {
+        let src = "a();\n/* outer\n/* inner unwrap() */\nstill comment */\nafter();";
+        let lexed = lex(src);
+        let ids: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .collect();
+        assert_eq!(
+            ids.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(),
+            ["a", "after"],
+            "nested comment body must not leak tokens"
+        );
+        assert_eq!(ids[1].line, 5, "line count must survive the nested comment");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner unwrap()"));
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings_are_single_tokens() {
+        let src = "let a = b\"esc \\\" quote\"; let c = br#\"raw \" body\"#; done();";
+        let lexed = lex(src);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(strs, ["esc \\\" quote", "raw \" body"]);
+        assert!(lexed.tokens.iter().any(|t| t.text == "done"));
+    }
+
+    #[test]
+    fn lifetime_labels_on_loops_are_skipped() {
+        let src = "'outer: loop { while x { break 'outer; } continue 'outer; }";
+        let ids = idents(src);
+        assert_eq!(ids, ["loop", "while", "x", "break", "continue"]);
+    }
+
+    #[test]
+    fn escaped_char_literals_do_not_derail_the_stream() {
+        let src = "let q = '\\''; let b = '\\\\'; let u = '\\u{7af}'; let h = '\\x41'; after();";
+        let ids = idents(src);
+        assert!(ids.contains(&"after".to_string()), "idents: {ids:?}");
+        // Escape bodies must not leak as idents or puncts that look like code.
+        assert!(!ids.contains(&"u".to_string()) || ids.iter().filter(|i| *i == "u").count() == 1);
+        assert!(!ids.contains(&"x41".to_string()));
+    }
+
+    #[test]
+    fn byte_char_literals_do_not_leak_a_phantom_ident() {
+        let src = "let nl = b'\\n'; let ch = b'x'; after();";
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "nl", "let", "ch", "after"]);
+    }
+
+    #[test]
+    fn idents_with_string_prefix_letters_stay_idents() {
+        // `r`, `b`, `br`-prefixed identifiers must not be mistaken for
+        // raw/byte string openers.
+        let src = "let result = branch(raw_value, b, r);";
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "result", "branch", "raw_value", "b", "r"]);
+    }
+
+    #[test]
+    fn multiline_raw_strings_advance_lines() {
+        let src = "a();\nlet s = r#\"one\ntwo\nthree\"#;\nafter();";
+        let lexed = lex(src);
+        let find = |name: &str| lexed.tokens.iter().find(|t| t.text == name).map(|t| t.line);
+        assert_eq!(find("after"), Some(5));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text == "one\ntwo\nthree"));
+    }
+
+    #[test]
+    fn unterminated_constructs_consume_to_eof_without_panicking() {
+        for src in ["let s = \"never closed", "let r = r#\"open", "/* open", "'"] {
+            let _ = lex(src); // must not panic
+        }
+        // Unterminated raw string still yields what it saw.
+        let lexed = lex("r\"tail");
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text == "tail"));
+    }
+
+    #[test]
+    fn doc_comments_are_captured_with_markers_trimmed() {
+        let src = "/// outer doc\n//! inner doc\n/** block doc */\nfn f() {}";
+        let lexed = lex(src);
+        let texts: Vec<_> = lexed.comments.iter().map(|c| c.text.as_str()).collect();
+        assert_eq!(texts, ["outer doc", "inner doc", "block doc"]);
     }
 
     #[test]

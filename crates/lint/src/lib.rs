@@ -5,7 +5,7 @@
 //! (`parallel_determinism`, `metrics_determinism`) pin that at runtime;
 //! this tool pins it at CI time, before a stray `Instant::now()` or
 //! `HashMap` iteration in a result path corrupts a `BENCH_*.json`
-//! baseline. Five rule families (see [`rules`]):
+//! baseline. Eight rule families (see [`rules`]):
 //!
 //! - **D determinism** — no wall-clock/thread-identity reads outside
 //!   `crates/obs`/`crates/parallel`; no `HashMap`/`HashSet` in
@@ -19,6 +19,15 @@
 //!   comment; the report carries a per-crate unsafe census.
 //! - **C paper-constant hygiene** — the paper's magic numbers (100 Hz,
 //!   `t_e`, `I_g`, 25 features) live in `crates/core/src/config.rs` only.
+//! - **H hot-path hygiene** — from each `// lint: hot-path-root`
+//!   function, walk the workspace call graph ([`parser`] + [`callgraph`])
+//!   and flag allocation/lock constructs in everything transitively
+//!   reachable, budgeted per function by `lint-allow.toml` `[hot-path]`.
+//! - **R concurrency audit** — `static mut`, shared statics outside the
+//!   host crates, and `Ordering::Relaxed`/`SeqCst` need justifications.
+//! - **M metric/event liveness** — every non-reserved DESIGN.md §9 row
+//!   needs an emission site, and every `EventKind` tag must be
+//!   documented in §14 (rule S run backwards).
 //!
 //! Run it as `cargo run -p airfinger-lint -- check`; see `DESIGN.md` §10
 //! for the rule catalogue and the justification-comment grammar.
@@ -27,7 +36,9 @@
 #![warn(missing_docs)]
 
 pub mod allowlist;
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod schema;

@@ -76,7 +76,7 @@ fn main() -> ExitCode {
 }
 
 fn print_usage() {
-    eprintln!("airfinger-lint — workspace static analysis (rules D/P/S/U/C)");
+    eprintln!("airfinger-lint — workspace static analysis (rules D/P/S/U/C/H/R/M)");
     eprintln!();
     eprintln!("usage: airfinger-lint check [--root DIR] [--json PATH] [--quiet]");
     eprintln!();

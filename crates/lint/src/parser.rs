@@ -1,0 +1,438 @@
+//! Lightweight item/signature parser on top of the token stream.
+//!
+//! This is deliberately *not* a Rust parser: it recovers just enough
+//! structure for the call-graph rules — `fn` items with their owning
+//! `impl`/`trait` type, body token ranges, and the call sites inside each
+//! body — with no type inference. The trade-offs are conservative: a
+//! method call `.m(...)` is recorded by name and resolved later against
+//! every workspace impl that could plausibly receive it, which
+//! over-approximates reachability (safe for a hygiene lint, which would
+//! rather scan one function too many than miss an allocating helper
+//! three crates away).
+
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Receiver {
+    /// `Owner::name(...)` — `Owner` is the path segment before the call
+    /// (`Self` is kept verbatim and resolved against the enclosing impl).
+    Path(String),
+    /// `.name(...)` — method call on an unknown receiver type.
+    Method,
+    /// `name(...)` — free-function (or tuple-constructor) call.
+    Plain,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Path qualifier, method, or plain call.
+    pub receiver: Receiver,
+    /// Callee name as written.
+    pub name: String,
+    /// 1-indexed source line.
+    pub line: usize,
+}
+
+/// One `fn` item recovered from a file.
+#[derive(Debug)]
+pub struct FnItem {
+    /// The function's own name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, when any.
+    pub owner: Option<String>,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: usize,
+    /// Token-index range `[open, close]` of the body braces; `None` for
+    /// bodyless trait signatures.
+    pub body: Option<(usize, usize)>,
+    /// Whether the item sits inside a `#[cfg(test)]`/`#[test]` region.
+    pub is_test: bool,
+    /// Whether the item carries the `// lint: hot-path-root` annotation.
+    pub hot_root: bool,
+    /// Call sites inside the body (nested `fn` bodies excluded — they are
+    /// their own items).
+    pub calls: Vec<CallSite>,
+}
+
+impl FnItem {
+    /// `Owner::name` or bare `name` — how budgets and reports refer to
+    /// the function.
+    #[must_use]
+    pub fn qualified(&self) -> String {
+        match &self.owner {
+            Some(owner) => format!("{owner}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Keywords that look like calls when followed by `(`.
+const NON_CALL_KEYWORDS: [&str; 22] = [
+    "if", "while", "for", "match", "return", "loop", "in", "as", "let", "else", "move", "mut",
+    "ref", "box", "unsafe", "await", "fn", "use", "pub", "where", "break", "continue",
+];
+
+/// Parse every `fn` item in a file, with owners, bodies, and call sites.
+#[must_use]
+pub fn parse_items(file: &SourceFile) -> Vec<FnItem> {
+    let tokens = &file.tokens;
+    let mut items: Vec<FnItem> = Vec::new();
+    // Stack of (owner, body-close token index) for impl/trait scopes.
+    let mut scopes: Vec<(Option<String>, usize)> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while scopes.last().is_some_and(|&(_, end)| i > end) {
+            scopes.pop();
+        }
+        let t = &tokens[i];
+        if t.kind == TokenKind::Ident && (t.text == "impl" || t.text == "trait") {
+            if let Some((owner, open)) = scope_owner(tokens, i, &t.text) {
+                let close = matching_brace(tokens, open);
+                scopes.push((owner, close));
+                i = open + 1;
+                continue;
+            }
+        }
+        if t.kind == TokenKind::Ident && t.text == "fn" {
+            if let Some(name) = ident_at(tokens, i + 1) {
+                let owner = scopes.last().and_then(|(o, _)| o.clone());
+                let body = fn_body(tokens, i + 2);
+                let line = t.line;
+                items.push(FnItem {
+                    name: name.to_string(),
+                    owner,
+                    line,
+                    body,
+                    is_test: file.in_test.get(i).copied().unwrap_or(false),
+                    hot_root: file.justified(line, "hot-path-root"),
+                    calls: Vec::new(),
+                });
+            }
+        }
+        i += 1;
+    }
+    // Collect call sites, excluding the body ranges of nested fn items so
+    // a nested helper's calls are attributed to the helper, not its host.
+    let bodies: Vec<Option<(usize, usize)>> = items.iter().map(|it| it.body).collect();
+    for (idx, item) in items.iter_mut().enumerate() {
+        let Some((open, close)) = item.body else {
+            continue;
+        };
+        let nested: Vec<(usize, usize)> = bodies
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != idx)
+            .filter_map(|(_, b)| *b)
+            .filter(|&(o, c)| o > open && c < close)
+            .collect();
+        item.calls = calls_in(tokens, open + 1, close, &nested);
+    }
+    items
+}
+
+/// Owner type of an `impl`/`trait` header starting at `i`; returns the
+/// owner (None when unrecoverable, e.g. `impl Trait for [T; N]`) and the
+/// index of the opening body brace. `None` overall when the header has no
+/// body brace (e.g. the `impl` in `impl Trait` return-position types).
+fn scope_owner(tokens: &[Token], i: usize, keyword: &str) -> Option<(Option<String>, usize)> {
+    let open = body_brace_after(tokens, i + 1)?;
+    if keyword == "trait" {
+        return Some((ident_at(tokens, i + 1).map(str::to_string), open));
+    }
+    // `impl<G> Type<G> {` or `impl<G> Trait for Type<G> {` — the owner is
+    // the last path segment of the type after `for` (when present) or
+    // after the generics otherwise.
+    let mut j = i + 1;
+    if punct_at(tokens, j, "<") {
+        j = skip_angles(tokens, j);
+    }
+    let mut for_pos = None;
+    let mut k = j;
+    while k < open {
+        if tokens[k].kind == TokenKind::Ident && tokens[k].text == "for" {
+            for_pos = Some(k);
+            break;
+        }
+        k += 1;
+    }
+    let start = for_pos.map_or(j, |p| p + 1);
+    Some((last_path_segment(tokens, start, open), open))
+}
+
+/// Last segment of the leading type path in `[start, end)`, skipping
+/// reference/pointer sigils.
+fn last_path_segment(tokens: &[Token], start: usize, end: usize) -> Option<String> {
+    let mut j = start;
+    while j < end
+        && tokens[j].kind == TokenKind::Punct
+        && matches!(tokens[j].text.as_str(), "&" | "*")
+    {
+        j += 1;
+    }
+    if j < end && tokens[j].kind == TokenKind::Ident && tokens[j].text == "mut" {
+        j += 1;
+    }
+    let mut last = None;
+    while j < end {
+        let Some(seg) = ident_at(tokens, j) else {
+            break;
+        };
+        last = Some(seg.to_string());
+        if path_sep_at(tokens, j + 1) {
+            j += 3;
+        } else {
+            break;
+        }
+    }
+    last
+}
+
+/// The opening `{` of the item body starting the scan at `from`, or
+/// `None` when the item ends in `;` first (bodyless).
+fn body_brace_after(tokens: &[Token], from: usize) -> Option<usize> {
+    let mut bracket_depth = 0usize;
+    let mut j = from;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "[" | "(" => bracket_depth += 1,
+                "]" | ")" => bracket_depth = bracket_depth.saturating_sub(1),
+                "{" if bracket_depth == 0 => return Some(j),
+                ";" if bracket_depth == 0 => return None,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Body range of a `fn` whose signature starts at `from` (just past the
+/// name).
+fn fn_body(tokens: &[Token], from: usize) -> Option<(usize, usize)> {
+    let open = body_brace_after(tokens, from)?;
+    Some((open, matching_brace(tokens, open)))
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token when
+/// unbalanced — the lexer guarantees balance for compiling code).
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.kind == TokenKind::Punct {
+            if t.text == "{" {
+                depth += 1;
+            } else if t.text == "}" {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Skip a balanced `<...>` generics group starting at `open` (which must
+/// be `<`); `->` arrows inside bounds do not close the group.
+fn skip_angles(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.kind == TokenKind::Punct {
+            if t.text == "<" {
+                depth += 1;
+            } else if t.text == ">" && !punct_at(tokens, j.wrapping_sub(1), "-") {
+                depth -= 1;
+                if depth <= 0 {
+                    return j + 1;
+                }
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Call sites in the token range `[start, end)`, skipping nested ranges.
+fn calls_in(tokens: &[Token], start: usize, end: usize, skip: &[(usize, usize)]) -> Vec<CallSite> {
+    let mut calls = Vec::new();
+    let mut j = start;
+    while j < end {
+        if let Some(&(_, close)) = skip.iter().find(|&&(o, c)| j >= o && j <= c) {
+            j = close + 1;
+            continue;
+        }
+        let is_call = tokens[j].kind == TokenKind::Ident
+            && punct_at(tokens, j + 1, "(")
+            && !NON_CALL_KEYWORDS.contains(&tokens[j].text.as_str())
+            // A nested `fn name(` is a declaration, not a call.
+            && ident_at(tokens, j.wrapping_sub(1)) != Some("fn");
+        if is_call {
+            let name = tokens[j].text.clone();
+            let line = tokens[j].line;
+            let receiver = if punct_at(tokens, j.wrapping_sub(1), ".") {
+                Receiver::Method
+            } else if j >= 3 && path_sep_at(tokens, j - 2) {
+                match ident_at(tokens, j - 3) {
+                    Some(owner) => Receiver::Path(owner.to_string()),
+                    None => Receiver::Plain,
+                }
+            } else {
+                Receiver::Plain
+            };
+            calls.push(CallSite {
+                receiver,
+                name,
+                line,
+            });
+        }
+        j += 1;
+    }
+    calls
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    tokens
+        .get(i)
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str())
+}
+
+fn punct_at(tokens: &[Token], i: usize, p: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text == p)
+}
+
+fn path_sep_at(tokens: &[Token], i: usize) -> bool {
+    punct_at(tokens, i, ":") && punct_at(tokens, i + 1, ":")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(src: &str) -> Vec<FnItem> {
+        let file = SourceFile::parse("crates/demo/src/lib.rs".into(), "demo".into(), src);
+        parse_items(&file)
+    }
+
+    #[test]
+    fn free_and_impl_fns_get_owners() {
+        let items = parsed(
+            "fn free() {}\n\
+             struct Engine;\n\
+             impl Engine { pub fn push(&mut self) {} }\n\
+             impl Drop for Engine { fn drop(&mut self) {} }\n",
+        );
+        let quals: Vec<String> = items.iter().map(FnItem::qualified).collect();
+        assert_eq!(quals, ["free", "Engine::push", "Engine::drop"]);
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_type() {
+        let items = parsed(
+            "impl<T: Fn() -> bool> Holder<T> { fn call(&self) {} }\n\
+             impl<T> From<T> for Wrapper<T> { fn from(t: T) -> Self { Wrapper(t) } }\n",
+        );
+        let quals: Vec<String> = items.iter().map(FnItem::qualified).collect();
+        assert_eq!(quals, ["Holder::call", "Wrapper::from"]);
+    }
+
+    #[test]
+    fn trait_decls_own_their_default_methods() {
+        let items = parsed(
+            "trait Sink { fn put(&mut self, v: f64); fn flush(&mut self) { self.put(0.0) } }\n",
+        );
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].qualified(), "Sink::put");
+        assert!(items[0].body.is_none());
+        assert_eq!(items[1].qualified(), "Sink::flush");
+        assert_eq!(items[1].calls.len(), 1);
+        assert_eq!(items[1].calls[0].receiver, Receiver::Method);
+    }
+
+    #[test]
+    fn call_sites_classify_path_method_plain() {
+        let items = parsed(
+            "fn f() {\n\
+             let v = Vec::with_capacity(4);\n\
+             helper(1);\n\
+             v.clone();\n\
+             Self::assoc();\n\
+             if x(y) { }\n\
+             mac!(arg);\n\
+             }\n",
+        );
+        let calls = &items[0].calls;
+        let shapes: Vec<(Receiver, &str)> = calls
+            .iter()
+            .map(|c| (c.receiver.clone(), c.name.as_str()))
+            .collect();
+        assert_eq!(
+            shapes,
+            [
+                (Receiver::Path("Vec".into()), "with_capacity"),
+                (Receiver::Plain, "helper"),
+                (Receiver::Method, "clone"),
+                (Receiver::Path("Self".into()), "assoc"),
+                (Receiver::Plain, "x"),
+            ],
+            "macro invocations and keywords must not appear"
+        );
+    }
+
+    #[test]
+    fn nested_fn_bodies_are_not_attributed_to_the_host() {
+        let items = parsed(
+            "fn outer() {\n\
+             fn inner() { alloc_here(); }\n\
+             outer_call();\n\
+             }\n",
+        );
+        assert_eq!(items.len(), 2);
+        let outer = items.iter().find(|i| i.name == "outer").unwrap();
+        let inner = items.iter().find(|i| i.name == "inner").unwrap();
+        let outer_names: Vec<&str> = outer.calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(outer_names, ["outer_call"]);
+        let inner_names: Vec<&str> = inner.calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(inner_names, ["alloc_here"]);
+    }
+
+    #[test]
+    fn hot_root_annotation_and_test_flag() {
+        let items = parsed(
+            "// lint: hot-path-root\n\
+             pub fn push() {}\n\
+             #[cfg(test)]\nmod tests {\n fn t() {}\n}\n",
+        );
+        assert!(items[0].hot_root);
+        assert!(!items[0].is_test);
+        assert!(items[1].is_test);
+        assert!(!items[1].hot_root);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let items = parsed("struct S { f: fn(usize) -> bool }\nfn real() {}\n");
+        let names: Vec<&str> = items.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, ["real"]);
+    }
+
+    #[test]
+    fn array_types_in_signatures_do_not_end_the_item() {
+        let items = parsed("fn takes(xs: [u8; 4]) { work(); }\n");
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].calls.len(), 1);
+        assert_eq!(items[0].calls[0].name, "work");
+    }
+}

@@ -1,11 +1,16 @@
 //! Finding model and the two output formats: a human diff-style report
 //! and machine-readable JSON (hand-rolled — the linter is zero-dependency
 //! by design so it can never be broken by the code it checks).
+//!
+//! Both renderers are deterministic functions of the findings alone: no
+//! wall-clock, no host paths, and every map is a `BTreeMap`, so repeated
+//! runs over the same workspace produce byte-identical reports (pinned by
+//! an integration test).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// The five rule families.
+/// The eight rule families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// Determinism (wall-clock, thread ids, unordered iteration).
@@ -18,10 +23,19 @@ pub enum Rule {
     UnsafeAudit,
     /// Paper-constant hygiene (100 Hz, `t_e`, `I_g`, 25 features).
     PaperConst,
+    /// Hot-path hygiene: allocation/lock constructs transitively
+    /// reachable from `// lint: hot-path-root` functions.
+    HotPath,
+    /// Concurrency/race audit (`static mut`, shared statics, atomic
+    /// orderings).
+    Concurrency,
+    /// Metric/event liveness (dead §9 rows, undocumented event kinds).
+    MetricLiveness,
 }
 
 impl Rule {
-    /// The single-letter code used in reports (`D`/`P`/`S`/`U`/`C`).
+    /// The single-letter code used in reports
+    /// (`D`/`P`/`S`/`U`/`C`/`H`/`R`/`M`).
     #[must_use]
     pub fn code(self) -> &'static str {
         match self {
@@ -30,6 +44,9 @@ impl Rule {
             Rule::MetricSchema => "S",
             Rule::UnsafeAudit => "U",
             Rule::PaperConst => "C",
+            Rule::HotPath => "H",
+            Rule::Concurrency => "R",
+            Rule::MetricLiveness => "M",
         }
     }
 }
@@ -60,6 +77,12 @@ pub struct LintReport {
     pub unsafe_census: BTreeMap<String, usize>,
     /// Per-file count of non-test panic sites (rule P inventory).
     pub panic_inventory: BTreeMap<String, usize>,
+    /// Per-function count of hot-path allocation/lock sites (rule H
+    /// inventory, keyed `path::function` like the `[hot-path]` budget).
+    pub hot_path_inventory: BTreeMap<String, usize>,
+    /// Number of functions the rule-H walk reached from the annotated
+    /// hot-path roots.
+    pub hot_path_functions: usize,
     /// Number of files scanned.
     pub files_scanned: usize,
 }
@@ -101,15 +124,19 @@ impl LintReport {
         }
         let _ = writeln!(
             out,
-            "airfinger-lint: {} file(s) scanned, {} finding(s) \
-             [D:{} P:{} S:{} U:{} C:{}], {} warning(s)",
+            "airfinger-lint: {} file(s) scanned, {} hot-path fn(s), {} finding(s) \
+             [D:{} P:{} S:{} U:{} C:{} H:{} R:{} M:{}], {} warning(s)",
             self.files_scanned,
+            self.hot_path_functions,
             self.findings.len(),
             self.count(Rule::Determinism),
             self.count(Rule::PanicSafety),
             self.count(Rule::MetricSchema),
             self.count(Rule::UnsafeAudit),
             self.count(Rule::PaperConst),
+            self.count(Rule::HotPath),
+            self.count(Rule::Concurrency),
+            self.count(Rule::MetricLiveness),
             self.warnings.len(),
         );
         out
@@ -157,7 +184,21 @@ impl LintReport {
             }
             let _ = write!(out, "{}: {n}", json_str(file));
         }
-        out.push_str("}\n}\n");
+        out.push_str("},\n");
+        out.push_str("  \"hot_path\": {\n");
+        let _ = writeln!(
+            out,
+            "    \"reachable_functions\": {},",
+            self.hot_path_functions
+        );
+        out.push_str("    \"inventory\": {");
+        for (i, (key, n)) in self.hot_path_inventory.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {n}", json_str(key));
+        }
+        out.push_str("}\n  }\n}\n");
         out
     }
 }
@@ -190,6 +231,7 @@ mod tests {
     fn demo_report() -> LintReport {
         let mut r = LintReport {
             files_scanned: 2,
+            hot_path_functions: 3,
             ..Default::default()
         };
         r.findings.push(Finding {
@@ -202,6 +244,8 @@ mod tests {
         r.warnings.push("stale entry".into());
         r.unsafe_census.insert("core".into(), 0);
         r.panic_inventory.insert("crates/core/src/a.rs".into(), 1);
+        r.hot_path_inventory
+            .insert("crates/core/src/a.rs::Engine::push".into(), 2);
         r
     }
 
@@ -212,7 +256,8 @@ mod tests {
         assert!(text.contains("@@ line 7 [D]"));
         assert!(text.contains("-    let t = Instant::now();"));
         assert!(text.contains("warning: stale entry"));
-        assert!(text.contains("1 finding(s) [D:1 P:0 S:0 U:0 C:0]"));
+        assert!(text.contains("1 finding(s) [D:1 P:0 S:0 U:0 C:0 H:0 R:0 M:0]"));
+        assert!(text.contains("3 hot-path fn(s)"));
     }
 
     #[test]
@@ -222,6 +267,27 @@ mod tests {
         assert!(json.contains("\\\"quotes\\\""));
         assert!(json.contains("\"rule\": \"D\""));
         assert!(json.contains("\"unsafe_census\": {\"core\": 0}"));
+        assert!(json.contains("\"reachable_functions\": 3,"));
+        assert!(json.contains("\"inventory\": {\"crates/core/src/a.rs::Engine::push\": 2}"));
+    }
+
+    #[test]
+    fn rule_codes_are_unique() {
+        let codes = [
+            Rule::Determinism,
+            Rule::PanicSafety,
+            Rule::MetricSchema,
+            Rule::UnsafeAudit,
+            Rule::PaperConst,
+            Rule::HotPath,
+            Rule::Concurrency,
+            Rule::MetricLiveness,
+        ]
+        .map(Rule::code);
+        let mut sorted = codes.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), codes.len());
     }
 
     #[test]

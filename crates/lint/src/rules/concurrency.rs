@@ -1,0 +1,140 @@
+//! Rule R — concurrency/race audit.
+//!
+//! PRs 6–8 added real shared-state concurrency (fleet shards, journal,
+//! burn-rate latches); this rule pins its discipline statically:
+//!
+//! - `static mut` is flagged everywhere — it is almost always a data
+//!   race waiting for a second thread (justify with
+//!   `// lint: static-mut` in the vanishingly rare sound case).
+//! - Non-`const` `static` items outside `crates/obs`/`crates/parallel`
+//!   are shared cross-thread state in crates that are supposed to be
+//!   pure; each needs a `// lint: sync` justification saying why sharing
+//!   is sound (e.g. the global-allocator registration in the binaries).
+//! - `Ordering::Relaxed`/`Ordering::SeqCst` outside the host crates
+//!   need a `// lint: atomic` justification: `Relaxed` silently drops
+//!   the happens-before edges determinism contracts lean on, and
+//!   `SeqCst` is usually a reviewer-repelling default rather than a
+//!   reasoned choice. (`std::cmp::Ordering`'s variants do not collide —
+//!   only the two atomic orderings are matched.)
+
+use super::{finding, ident_at, path_sep_at, HOST_CRATES};
+use crate::report::{LintReport, Rule};
+use crate::source::SourceFile;
+
+pub(crate) fn check(file: &SourceFile, report: &mut LintReport) {
+    let tokens = &file.tokens;
+    let host = HOST_CRATES.contains(&file.crate_name.as_str());
+    for i in 0..tokens.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let line = tokens[i].line;
+        if ident_at(tokens, i) == Some("static") {
+            if ident_at(tokens, i + 1) == Some("mut") {
+                if !file.justified(line, "static-mut") {
+                    report.findings.push(finding(
+                        file,
+                        Rule::Concurrency,
+                        line,
+                        "`static mut` is an un-synchronized global — any second thread is \
+                         a data race; use an atomic, a `Mutex`, or `OnceLock` (or justify \
+                         with `// lint: static-mut`)"
+                            .to_string(),
+                    ));
+                }
+            } else if !host && !file.justified(line, "sync") {
+                report.findings.push(finding(
+                    file,
+                    Rule::Concurrency,
+                    line,
+                    "shared `static` outside crates/obs|crates/parallel — state why \
+                     cross-thread sharing is sound with `// lint: sync` (or move the \
+                     state into the obs/parallel host layers)"
+                        .to_string(),
+                ));
+            }
+            continue;
+        }
+        if !host && ident_at(tokens, i) == Some("Ordering") && path_sep_at(tokens, i + 1) {
+            if let Some(order @ ("Relaxed" | "SeqCst")) = ident_at(tokens, i + 3) {
+                if !file.justified(line, "atomic") {
+                    report.findings.push(finding(
+                        file,
+                        Rule::Concurrency,
+                        line,
+                        format!(
+                            "`Ordering::{order}` outside crates/obs|crates/parallel — \
+                             atomics in result crates need a reasoned ordering; use \
+                             Acquire/Release or justify with `// lint: atomic`"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{file_in, run};
+    use crate::report::Rule;
+
+    #[test]
+    fn static_mut_fires_even_in_host_crates() {
+        let f = file_in(
+            "obs",
+            "crates/obs/src/x.rs",
+            "static mut COUNTER: u64 = 0;\n",
+        );
+        assert_eq!(run(&[f]).count(Rule::Concurrency), 1);
+    }
+
+    #[test]
+    fn shared_static_needs_sync_justification_outside_hosts() {
+        let bare = file_in("cli", "crates/cli/src/x.rs", "static G: Alloc = Alloc;\n");
+        assert_eq!(run(&[bare]).count(Rule::Concurrency), 1);
+        let justified = file_in(
+            "cli",
+            "crates/cli/src/x.rs",
+            "// lint: sync — Alloc is a stateless Sync handle\nstatic G: Alloc = Alloc;\n",
+        );
+        assert_eq!(run(&[justified]).count(Rule::Concurrency), 0);
+        let in_obs = file_in("obs", "crates/obs/src/x.rs", "static G: Alloc = Alloc;\n");
+        assert_eq!(run(&[in_obs]).count(Rule::Concurrency), 0);
+    }
+
+    #[test]
+    fn relaxed_and_seqcst_need_atomic_justification() {
+        let src = "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }\n";
+        let in_core = file_in("core", "crates/core/src/x.rs", src);
+        assert_eq!(run(&[in_core]).count(Rule::Concurrency), 1);
+        let in_obs = file_in("obs", "crates/obs/src/x.rs", src);
+        assert_eq!(run(&[in_obs]).count(Rule::Concurrency), 0);
+        let justified = file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); } // lint: atomic — stats only\n",
+        );
+        assert_eq!(run(&[justified]).count(Rule::Concurrency), 0);
+    }
+
+    #[test]
+    fn cmp_ordering_variants_do_not_collide() {
+        let f = file_in(
+            "ml",
+            "crates/ml/src/x.rs",
+            "fn f(a: f64, b: f64) { a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal); }\n",
+        );
+        assert_eq!(run(&[f]).count(Rule::Concurrency), 0);
+    }
+
+    #[test]
+    fn lifetime_static_is_not_an_item() {
+        let f = file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f(s: &'static str) -> &'static str { s }\n",
+        );
+        assert_eq!(run(&[f]).count(Rule::Concurrency), 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Rule C — paper-constant hygiene.
+//!
+//! The paper's magic numbers live in `crates/core/src/config.rs` (or a
+//! crate's named constant) and nowhere else. In result-producing crates,
+//! a line that re-hardcodes one of them next to an identifier naming the
+//! concept is flagged unless it carries `// lint: paper-const`.
+
+use super::{finding, CONFIG_FILE, RESULT_CRATES};
+use crate::lexer::TokenKind;
+use crate::report::{LintReport, Rule};
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// A paper constant rule C watches for: the literal values and the
+/// identifier fragments that mark a line as talking about that constant.
+struct PaperConst {
+    literals: &'static [&'static str],
+    ident_marks: fn(&str) -> bool,
+    what: &'static str,
+}
+
+const PAPER_CONSTS: [PaperConst; 4] = [
+    PaperConst {
+        literals: &["100.0"],
+        ident_marks: |id| id.contains("rate") || id == "hz" || id.ends_with("_hz"),
+        what: "the 100 Hz sample rate",
+    },
+    PaperConst {
+        literals: &["0.1", "100"],
+        ident_marks: |id| id.contains("merge") || id == "t_e" || id.starts_with("t_e_"),
+        what: "the `t_e` = 100 ms merge gap",
+    },
+    PaperConst {
+        literals: &["30.0", "0.03"],
+        ident_marks: |id| id == "ig" || id.starts_with("ig_") || id.ends_with("_ig"),
+        what: "the `I_g` = 30 ms family threshold",
+    },
+    PaperConst {
+        literals: &["25"],
+        ident_marks: |id| id.contains("feature"),
+        what: "the 25-feature count",
+    },
+];
+
+pub(crate) fn check(file: &SourceFile, report: &mut LintReport) {
+    if !RESULT_CRATES.contains(&file.crate_name.as_str()) || file.rel_path == CONFIG_FILE {
+        return;
+    }
+    // Group non-test tokens by line: lowercased identifiers + numbers.
+    let mut by_line: BTreeMap<usize, (Vec<String>, Vec<String>)> = BTreeMap::new();
+    for (t, &in_test) in file.tokens.iter().zip(&file.in_test) {
+        if in_test {
+            continue;
+        }
+        let entry = by_line.entry(t.line).or_default();
+        match t.kind {
+            TokenKind::Ident => entry.0.push(t.text.to_lowercase()),
+            TokenKind::Number => entry.1.push(t.text.clone()),
+            _ => {}
+        }
+    }
+    for (&line, (idents, numbers)) in &by_line {
+        if file.justified(line, "paper-const") {
+            continue;
+        }
+        for rule in &PAPER_CONSTS {
+            let num = numbers.iter().find(|n| rule.literals.contains(&n.as_str()));
+            let marked = idents.iter().any(|id| (rule.ident_marks)(id));
+            if let (Some(num), true) = (num, marked) {
+                report.findings.push(finding(
+                    file,
+                    Rule::PaperConst,
+                    line,
+                    format!(
+                        "`{num}` re-hardcodes {what} outside {CONFIG_FILE}; read it from \
+                         the config (or justify with `// lint: paper-const`)",
+                        what = rule.what
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{file_in, run};
+    use crate::report::Rule;
+
+    #[test]
+    fn paper_const_fires_outside_config_only() {
+        let src = "fn f() { let sample_rate_hz = 100.0; }\n";
+        let in_core = file_in("core", "crates/core/src/x.rs", src);
+        let in_config = file_in("core", "crates/core/src/config.rs", src);
+        let in_bench = file_in("bench", "crates/bench/src/x.rs", src);
+        assert_eq!(run(&[in_core]).count(Rule::PaperConst), 1);
+        assert_eq!(run(&[in_config]).count(Rule::PaperConst), 0);
+        assert_eq!(run(&[in_bench]).count(Rule::PaperConst), 0);
+        let justified = file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f() { let sample_rate_hz = 100.0; } // lint: paper-const — doc example\n",
+        );
+        assert_eq!(run(&[justified]).count(Rule::PaperConst), 0);
+    }
+
+    #[test]
+    fn bare_literal_without_concept_ident_is_fine() {
+        let f = file_in("dsp", "crates/dsp/src/x.rs", "fn f() { let x = 100.0; }\n");
+        assert_eq!(run(&[f]).count(Rule::PaperConst), 0);
+    }
+}

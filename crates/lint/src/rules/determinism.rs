@@ -1,0 +1,117 @@
+//! Rule D — determinism.
+//!
+//! Outside `crates/obs` and `crates/parallel`, wall-clock reads
+//! (`Instant::now`, `SystemTime::now`) and `thread::current()` identity
+//! are forbidden unless the line carries `// lint: wall-clock`. In
+//! result-producing crates, `HashMap`/`HashSet` are forbidden (their
+//! iteration order is nondeterministic) unless the line carries
+//! `// lint: ordered`.
+
+use super::{finding, ident_at, path_sep_at, HOST_CRATES, RESULT_CRATES};
+use crate::report::{LintReport, Rule};
+use crate::source::SourceFile;
+
+pub(crate) fn check(file: &SourceFile, report: &mut LintReport) {
+    let tokens = &file.tokens;
+    let time_banned = !HOST_CRATES.contains(&file.crate_name.as_str());
+    let hash_banned = RESULT_CRATES.contains(&file.crate_name.as_str());
+    for i in 0..tokens.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let line = tokens[i].line;
+        if time_banned {
+            if let Some(head @ ("Instant" | "SystemTime")) = ident_at(tokens, i) {
+                if path_sep_at(tokens, i + 1) && ident_at(tokens, i + 3) == Some("now") {
+                    if !file.justified(line, "wall-clock") {
+                        report.findings.push(finding(
+                            file,
+                            Rule::Determinism,
+                            line,
+                            format!(
+                                "`{head}::now()` outside crates/obs|crates/parallel makes \
+                                 results depend on the wall clock; route timing through \
+                                 `airfinger_obs` spans or justify with `// lint: wall-clock`"
+                            ),
+                        ));
+                    }
+                    continue;
+                }
+            }
+            if ident_at(tokens, i) == Some("thread")
+                && path_sep_at(tokens, i + 1)
+                && ident_at(tokens, i + 3) == Some("current")
+                && !file.justified(line, "wall-clock")
+            {
+                report.findings.push(finding(
+                    file,
+                    Rule::Determinism,
+                    line,
+                    "`thread::current()` identity is scheduling-dependent; results must \
+                     not observe it (justify with `// lint: wall-clock` if only logged)"
+                        .to_string(),
+                ));
+                continue;
+            }
+        }
+        if hash_banned {
+            if let Some(name @ ("HashMap" | "HashSet")) = ident_at(tokens, i) {
+                if !file.justified(line, "ordered") {
+                    report.findings.push(finding(
+                        file,
+                        Rule::Determinism,
+                        line,
+                        format!(
+                            "`{name}` in a result-producing crate: iteration order is \
+                             nondeterministic; use `BTreeMap`/`BTreeSet`/`Vec` or justify \
+                             with `// lint: ordered`"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{file_in, run};
+    use crate::report::Rule;
+
+    #[test]
+    fn time_in_result_crate_fires_and_annotation_suppresses() {
+        let f = file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f() { let t = Instant::now(); }\n",
+        );
+        let r = run(&[f]);
+        assert_eq!(r.count(Rule::Determinism), 1);
+
+        let f = file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f() { let t = Instant::now(); } // lint: wall-clock — display only\n",
+        );
+        assert_eq!(run(&[f]).count(Rule::Determinism), 0);
+    }
+
+    #[test]
+    fn time_in_obs_is_exempt() {
+        let f = file_in(
+            "obs",
+            "crates/obs/src/x.rs",
+            "fn f() { let t = Instant::now(); }\n",
+        );
+        assert_eq!(run(&[f]).count(Rule::Determinism), 0);
+    }
+
+    #[test]
+    fn hashmap_fires_only_in_result_crates() {
+        let src = "use std::collections::HashMap;\n";
+        let core = file_in("core", "crates/core/src/x.rs", src);
+        let bench = file_in("bench", "crates/bench/src/x.rs", src);
+        assert_eq!(run(&[core]).count(Rule::Determinism), 1);
+        assert_eq!(run(&[bench]).count(Rule::Determinism), 0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Rule H — hot-path hygiene.
+//!
+//! The paper's real-time claim rests on the per-sample path (SBC → Otsu →
+//! segmentation → 25 features → RF predict) staying allocation- and
+//! lock-free. Token-level linting cannot see that `engine::push`
+//! transitively calls a `Vec`-allocating helper three crates away, so
+//! this rule walks the workspace call graph from the annotated roots
+//! (`// lint: hot-path-root`) and scans every transitively reachable
+//! function for:
+//!
+//! - heap-allocating constructs: `Vec::new`/`with_capacity` (and the
+//!   other std collections) *inside loops*, `.to_vec()`/`.to_owned()`/
+//!   `.to_string()`, `.clone()` (except the explicit `Arc::clone`/
+//!   `Rc::clone` refcount form), `.collect()`, `String::new`/`from`/
+//!   `with_capacity`, `format!`/`vec!`, `Box::new`;
+//! - lock acquisition: `.lock()` and zero-argument `.read()`/`.write()`.
+//!
+//! The walk covers the serving-path crates (`core`, `dsp`, `features`,
+//! `ml`, `fleet`) and does not descend into the `obs`/`parallel` host
+//! layers — instrumentation and scheduling are the hot path's hosts, not
+//! its body, and their cost discipline is pinned by the runtime
+//! `alloc_accounting` test and rule R.
+//!
+//! Each site can be individually justified with `// lint: hot-path`;
+//! what remains is counted per function against the `[hot-path]` budget
+//! in `lint-allow.toml`, which ratchets exactly like the panic budget:
+//! over budget fails, under budget warns to ratchet down. The committed
+//! budget *is* the ROADMAP item-2 burn-down list.
+
+use super::{finding, ident_at, path_sep_at, punct_at, HOST_CRATES};
+use crate::allowlist::Allowlist;
+use crate::callgraph::CallGraph;
+use crate::lexer::{Token, TokenKind};
+use crate::report::{LintReport, Rule};
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+/// The serving-path crates rule H walks through.
+pub const HOT_SCOPE_CRATES: [&str; 5] = ["core", "dsp", "features", "ml", "fleet"];
+
+/// Collections whose `new`/`with_capacity` is only flagged inside loops
+/// (a one-off construction at function entry is setup, not per-sample
+/// churn; repeated construction in a loop is).
+const LOOP_ALLOC_TYPES: [&str; 5] = ["Vec", "VecDeque", "BTreeMap", "BTreeSet", "String"];
+
+pub(crate) fn check(files: &[SourceFile], allowlist: &Allowlist, report: &mut LintReport) {
+    let graph = CallGraph::build(files);
+    let in_scope = |c: &str| HOT_SCOPE_CRATES.contains(&c) && !HOST_CRATES.contains(&c);
+    let reach = graph.reachable(files, &in_scope);
+    report.hot_path_functions = reach.len();
+
+    // Order the scan by (file, line) so findings and budgets are stable.
+    let mut ordered: Vec<usize> = reach;
+    ordered.sort_by_key(|&i| {
+        let n = &graph.nodes[i];
+        (files[n.file_idx].rel_path.clone(), n.item.line)
+    });
+
+    let mut seen_keys: BTreeSet<String> = BTreeSet::new();
+    for &idx in &ordered {
+        let node = &graph.nodes[idx];
+        let file = &files[node.file_idx];
+        let Some((open, close)) = node.item.body else {
+            continue;
+        };
+        // Exclude nested fn bodies — they are their own graph nodes.
+        let nested: Vec<(usize, usize)> = graph
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|&(j, n)| j != idx && n.file_idx == node.file_idx)
+            .filter_map(|(_, n)| n.item.body)
+            .filter(|&(o, c)| o > open && c < close)
+            .collect();
+        let sites = scan_constructs(file, open, close, &nested);
+        let key = node.key(files);
+        seen_keys.insert(key.clone());
+        let actual = sites.len();
+        if actual > 0 {
+            report.hot_path_inventory.insert(key.clone(), actual);
+        }
+        let allowed = allowlist.hot_allowed(&key);
+        if actual > allowed {
+            for (line, what) in &sites[allowed..] {
+                report.findings.push(finding(
+                    file,
+                    Rule::HotPath,
+                    *line,
+                    format!(
+                        "hot-path fn `{}` {what} — the push path must stay allocation- and \
+                         lock-free; remove it, justify the line with `// lint: hot-path`, \
+                         or budget \"{key}\" in lint-allow.toml [hot-path]",
+                        node.item.qualified()
+                    ),
+                ));
+            }
+        } else if actual < allowed {
+            report.warnings.push(format!(
+                "{key}: [hot-path] grants {allowed} site(s) but only {actual} remain — \
+                 ratchet lint-allow.toml down"
+            ));
+        }
+    }
+    for (key, allowed) in &allowlist.hot_path {
+        if !seen_keys.contains(key) {
+            report.warnings.push(format!(
+                "{key}: [hot-path] grants {allowed} site(s) but the function is not on \
+                 the hot path — remove the stale entry"
+            ));
+        }
+    }
+}
+
+/// Allocation/lock sites in one body, justification-filtered, in line
+/// order.
+fn scan_constructs(
+    file: &SourceFile,
+    open: usize,
+    close: usize,
+    nested: &[(usize, usize)],
+) -> Vec<(usize, String)> {
+    let tokens = &file.tokens;
+    let loops = loop_ranges(tokens, open, close);
+    let mut sites = Vec::new();
+    let mut j = open + 1;
+    while j < close {
+        if let Some(&(_, c)) = nested.iter().find(|&&(o, c)| j >= o && j <= c) {
+            j = c + 1;
+            continue;
+        }
+        let line = tokens[j].line;
+        if let Some(what) = construct_at(tokens, j, &loops) {
+            if !file.justified(line, "hot-path") {
+                sites.push((line, what));
+            }
+        }
+        j += 1;
+    }
+    sites
+}
+
+/// Classify the token at `j` as an allocation/lock construct.
+fn construct_at(tokens: &[Token], j: usize, loops: &[(usize, usize)]) -> Option<String> {
+    let name = ident_at(tokens, j)?;
+    // Method calls: `.name(`.
+    if punct_at(tokens, j.wrapping_sub(1), ".") && punct_at(tokens, j + 1, "(") {
+        return match name {
+            "to_vec" | "to_owned" | "to_string" => Some(format!("allocates via `.{name}()`")),
+            "clone" => Some(
+                "clones its receiver via `.clone()` (deep copy unless the receiver is \
+                 a refcount)"
+                    .to_string(),
+            ),
+            "collect" => Some("materializes an iterator via `.collect()`".to_string()),
+            "lock" => Some("acquires a `Mutex` via `.lock()`".to_string()),
+            "read" | "write" if punct_at(tokens, j + 2, ")") => {
+                Some(format!("acquires an `RwLock` via `.{name}()`"))
+            }
+            _ => None,
+        };
+    }
+    // Path calls: `Owner::name(`.
+    if j >= 3 && path_sep_at(tokens, j - 2) && punct_at(tokens, j + 1, "(") {
+        if let Some(owner) = ident_at(tokens, j - 3) {
+            if matches!(owner, "Arc" | "Rc") && name == "clone" {
+                return None; // refcount bump, not a deep copy
+            }
+            if owner == "String" && matches!(name, "new" | "from" | "with_capacity") {
+                return Some(format!("allocates via `String::{name}`"));
+            }
+            if owner == "Box" && name == "new" {
+                return Some("allocates via `Box::new`".to_string());
+            }
+            if owner == "Vec" && name == "from" {
+                return Some("allocates via `Vec::from`".to_string());
+            }
+            if LOOP_ALLOC_TYPES.contains(&owner)
+                && matches!(name, "new" | "with_capacity")
+                && loops.iter().any(|&(o, c)| j > o && j < c)
+            {
+                return Some(format!("allocates `{owner}::{name}` inside a loop"));
+            }
+        }
+        return None;
+    }
+    // Allocating macros: `format!` / `vec!`.
+    if matches!(name, "format" | "vec") && punct_at(tokens, j + 1, "!") {
+        return Some(format!("allocates via `{name}!`"));
+    }
+    None
+}
+
+/// Token ranges of `for`/`while`/`loop` bodies within `[open, close]`.
+fn loop_ranges(tokens: &[Token], open: usize, close: usize) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    for j in open + 1..close {
+        let is_loop_kw = tokens[j].kind == TokenKind::Ident
+            && matches!(tokens[j].text.as_str(), "for" | "while" | "loop");
+        if !is_loop_kw {
+            continue;
+        }
+        // The loop body is the first `{` after the header at
+        // paren/bracket depth 0.
+        let mut depth = 0usize;
+        let mut k = j + 1;
+        while k < close {
+            let t = &tokens[k];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth = depth.saturating_sub(1),
+                    "{" if depth == 0 => {
+                        ranges.push((k, matching_close(tokens, k, close)));
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+    }
+    ranges
+}
+
+fn matching_close(tokens: &[Token], open: usize, limit: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j <= limit {
+        let t = &tokens[j];
+        if t.kind == TokenKind::Punct {
+            if t.text == "{" {
+                depth += 1;
+            } else if t.text == "}" {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+        j += 1;
+    }
+    limit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run_all;
+    use super::super::testutil::{file_in, run};
+    use crate::allowlist::Allowlist;
+    use crate::report::Rule;
+    use crate::schema::Schema;
+    use crate::source::SourceFile;
+
+    fn hot_file(body: &str) -> SourceFile {
+        file_in(
+            "core",
+            "crates/core/src/x.rs",
+            &format!("// lint: hot-path-root\npub fn push() {{ {body} }}\n"),
+        )
+    }
+
+    #[test]
+    fn allocating_constructs_in_a_root_fire() {
+        let r = run(&[hot_file("let v = xs.to_vec(); let s = format!(\"x\");")]);
+        assert_eq!(r.count(Rule::HotPath), 2, "{:#?}", r.findings);
+        assert_eq!(r.hot_path_inventory["crates/core/src/x.rs::push"], 2);
+    }
+
+    #[test]
+    fn transitive_helper_is_scanned() {
+        let f = file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "// lint: hot-path-root\n\
+             pub fn push() { helper(); }\n\
+             fn helper() { let b = Box::new(1); }\n\
+             fn cold() { let b = Box::new(1); }\n",
+        );
+        let r = run(&[f]);
+        assert_eq!(r.count(Rule::HotPath), 1, "{:#?}", r.findings);
+        assert_eq!(r.hot_path_functions, 2);
+        assert!(r.findings[0].message.contains("helper"));
+    }
+
+    #[test]
+    fn vec_new_only_fires_inside_loops() {
+        let outside = run(&[hot_file("let v: Vec<f64> = Vec::new(); use_it(&v);")]);
+        assert_eq!(outside.count(Rule::HotPath), 0, "{:#?}", outside.findings);
+        let inside = run(&[hot_file(
+            "for i in 0..n { let v: Vec<f64> = Vec::with_capacity(i); use_it(&v); }",
+        )]);
+        assert_eq!(inside.count(Rule::HotPath), 1, "{:#?}", inside.findings);
+    }
+
+    #[test]
+    fn locks_fire_and_arc_clone_does_not() {
+        let r = run(&[hot_file(
+            "let g = self.inner.lock(); let a = Arc::clone(&self.shared);",
+        )]);
+        assert_eq!(r.count(Rule::HotPath), 1, "{:#?}", r.findings);
+        assert!(r.findings[0].message.contains("Mutex"));
+    }
+
+    #[test]
+    fn justification_and_budget_suppress() {
+        let justified = run(&[file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "// lint: hot-path-root\n\
+             pub fn push() {\n\
+             let v = xs.to_vec(); // lint: hot-path — once per closed window\n\
+             }\n",
+        )]);
+        assert_eq!(
+            justified.count(Rule::HotPath),
+            0,
+            "{:#?}",
+            justified.findings
+        );
+
+        let mut allow = Allowlist::default();
+        allow
+            .hot_path
+            .insert("crates/core/src/x.rs::push".into(), 1);
+        let schema = Schema::default();
+        let budgeted = run_all(&[hot_file("let v = xs.to_vec();")], &allow, &schema);
+        assert_eq!(budgeted.count(Rule::HotPath), 0, "{:#?}", budgeted.findings);
+        assert!(budgeted.warnings.is_empty());
+
+        // Budget slack warns; stale entries warn.
+        let slack = run_all(&[hot_file("noop();")], &allow, &schema);
+        assert_eq!(slack.count(Rule::HotPath), 0);
+        assert_eq!(slack.warnings.len(), 1, "{:?}", slack.warnings);
+    }
+
+    #[test]
+    fn out_of_scope_and_unannotated_workspaces_are_silent() {
+        let f = file_in(
+            "bench",
+            "crates/bench/src/x.rs",
+            "pub fn run() { let v = xs.to_vec(); }\n",
+        );
+        let r = run(&[f]);
+        assert_eq!(r.count(Rule::HotPath), 0);
+        assert_eq!(r.hot_path_functions, 0);
+    }
+}

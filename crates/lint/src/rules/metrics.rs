@@ -1,0 +1,389 @@
+//! Rules S and M — the two directions of the metric contract.
+//!
+//! **S (schema conformance)**: every emission site's name must appear in
+//! the DESIGN.md §9 vocabulary and follow the suffix conventions —
+//! counters end `_total`, histograms (and spans, which feed histograms)
+//! end `_seconds`, gauges end in neither, all names are `snake_case`,
+//! and no name is reused across metric kinds. Emission sites are the
+//! `counter!`/`gauge!`/`histogram!`/`span!` macros and the
+//! `counter_with`/`gauge_with`/`histogram_with`/`span_with` (and bare
+//! `counter`/`gauge`/`histogram`/`span`) function forms called with a
+//! string-literal name.
+//!
+//! **M (liveness, the reverse direction)**: every metric *row* of the §9
+//! tables must have at least one emission site in non-test code — a row
+//! with none is a dead metric (dashboards chart a flatline that can
+//! never move). A row documented as `(reserved)` is exempt. And every
+//! `EventKind` tag in `crates/obs/src/events.rs` must appear backticked
+//! in DESIGN.md §14, so the event vocabulary the journal emits is the
+//! one the document promises.
+
+use super::{finding, ident_at, punct_at};
+use crate::lexer::TokenKind;
+use crate::report::{Finding, LintReport, Rule};
+use crate::schema::{is_snake_case, Schema};
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One metric call site.
+struct MetricSite<'a> {
+    file: &'a SourceFile,
+    line: usize,
+    kind: &'static str,
+    name: String,
+}
+
+/// Collect every emission site with a string-literal name.
+fn emission_sites(files: &[SourceFile]) -> Vec<MetricSite<'_>> {
+    let mut sites: Vec<MetricSite<'_>> = Vec::new();
+    for file in files {
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            if file.in_test[i] {
+                continue;
+            }
+            let (kind, name_idx) = match ident_at(tokens, i) {
+                Some(macro_name @ ("counter" | "gauge" | "histogram" | "span"))
+                    if punct_at(tokens, i + 1, "!") && punct_at(tokens, i + 2, "(") =>
+                {
+                    (metric_kind(macro_name), i + 3)
+                }
+                Some(
+                    fn_name @ ("counter" | "gauge" | "histogram" | "span" | "counter_with"
+                    | "gauge_with" | "histogram_with" | "span_with"),
+                ) if punct_at(tokens, i + 1, "(") => {
+                    (metric_kind(fn_name.trim_end_matches("_with")), i + 2)
+                }
+                _ => continue,
+            };
+            let Some(name_tok) = tokens.get(name_idx).filter(|t| t.kind == TokenKind::Str) else {
+                continue;
+            };
+            sites.push(MetricSite {
+                file,
+                line: name_tok.line,
+                kind,
+                name: name_tok.text.clone(),
+            });
+        }
+    }
+    sites
+}
+
+fn metric_kind(head: &str) -> &'static str {
+    match head {
+        "counter" => "counter",
+        "gauge" => "gauge",
+        _ => "histogram",
+    }
+}
+
+/// Rule S — metric-schema conformance.
+pub(crate) fn schema_conformance(files: &[SourceFile], schema: &Schema, report: &mut LintReport) {
+    let sites = emission_sites(files);
+    let mut kinds_by_name: BTreeMap<&str, Vec<&MetricSite<'_>>> = BTreeMap::new();
+    for site in &sites {
+        kinds_by_name.entry(&site.name).or_default().push(site);
+        let name = &site.name;
+        let mut problems = Vec::new();
+        if !is_snake_case(name) {
+            problems.push("metric names must be snake_case".to_string());
+        }
+        // `// lint: metric-suffix` opts one emission out of the suffix
+        // conventions (e.g. a unitless distribution histogram) — schema
+        // membership still applies.
+        if !site.file.justified(site.line, "metric-suffix") {
+            match site.kind {
+                "counter" if !name.ends_with("_total") => {
+                    problems.push("counter names must end `_total`".to_string());
+                }
+                "histogram" if !name.ends_with("_seconds") => {
+                    problems.push("histogram/span names must end `_seconds`".to_string());
+                }
+                "gauge" if name.ends_with("_total") || name.ends_with("_seconds") => {
+                    problems.push(
+                        "gauge names must not use the `_total`/`_seconds` suffixes".to_string(),
+                    );
+                }
+                _ => {}
+            }
+        }
+        if !schema.contains(name) {
+            problems.push("not in the DESIGN.md §9 stable schema — add it there first".to_string());
+        }
+        for p in problems {
+            report.findings.push(finding(
+                site.file,
+                Rule::MetricSchema,
+                site.line,
+                format!("metric `{name}` ({}): {p}", site.kind),
+            ));
+        }
+    }
+    for (name, sites) in &kinds_by_name {
+        let mut kinds: Vec<&str> = sites.iter().map(|s| s.kind).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        if kinds.len() > 1 {
+            let site = sites
+                .iter()
+                .find(|s| s.kind != sites[0].kind)
+                .unwrap_or(&sites[0]);
+            report.findings.push(finding(
+                site.file,
+                Rule::MetricSchema,
+                site.line,
+                format!(
+                    "metric `{name}` is registered as multiple kinds ({}) — names are \
+                     unique per kind in the §9 schema",
+                    kinds.join(" and ")
+                ),
+            ));
+        }
+    }
+}
+
+/// The file whose `EventKind::TAGS` array rule M audits against §14.
+const EVENTS_FILE: &str = "crates/obs/src/events.rs";
+
+/// Rule M — metric/event liveness.
+pub(crate) fn liveness(files: &[SourceFile], schema: &Schema, report: &mut LintReport) {
+    // A §9 row is live when its name appears as a string literal anywhere
+    // in non-test code — macro position, `*_with` call, or a named
+    // constant that feeds one. (Stricter matching would false-positive on
+    // metrics emitted through name constants.)
+    let mut live: BTreeSet<&str> = BTreeSet::new();
+    for file in files {
+        for (t, &in_test) in file.tokens.iter().zip(&file.in_test) {
+            if !in_test && t.kind == TokenKind::Str {
+                live.insert(t.text.as_str());
+            }
+        }
+    }
+    let mut reported: BTreeSet<&str> = BTreeSet::new();
+    for row in &schema.rows {
+        if row.reserved || live.contains(row.name.as_str()) || !reported.insert(&row.name) {
+            continue;
+        }
+        report.findings.push(Finding {
+            rule: Rule::MetricLiveness,
+            file: "DESIGN.md".to_string(),
+            line: row.line,
+            message: format!(
+                "metric `{}` has a §9 row but no emission site in non-test code — a dead \
+                 metric charts a flatline; remove the row or mark it `(reserved)`",
+                row.name
+            ),
+            excerpt: row.excerpt.clone(),
+        });
+    }
+    // Event kinds: every tag in `EventKind::TAGS` must be documented in
+    // §14. Skipped when the workspace has no events file or DESIGN.md has
+    // no §14 (fixture workspaces).
+    let Some(vocab) = &schema.event_vocab else {
+        return;
+    };
+    let Some(events) = files.iter().find(|f| f.rel_path == EVENTS_FILE) else {
+        return;
+    };
+    for (line, tag) in event_tags(events) {
+        if !vocab.contains(&tag) {
+            report.findings.push(finding(
+                events,
+                Rule::MetricLiveness,
+                line,
+                format!(
+                    "event kind `{tag}` is emitted by the journal but not documented in \
+                     DESIGN.md §14 — add it to the event vocabulary there"
+                ),
+            ));
+        }
+    }
+}
+
+/// The string literals of the `TAGS` array in the events file, with
+/// their lines.
+fn event_tags(file: &SourceFile) -> Vec<(usize, String)> {
+    let tokens = &file.tokens;
+    let Some(tags_idx) =
+        (0..tokens.len()).find(|&i| !file.in_test[i] && ident_at(tokens, i) == Some("TAGS"))
+    else {
+        return Vec::new();
+    };
+    // Scan to the `= [` initializer, then collect strings to the `]`.
+    let mut j = tags_idx;
+    while j < tokens.len() && !punct_at(tokens, j, "=") {
+        j += 1;
+    }
+    while j < tokens.len() && !punct_at(tokens, j, "[") {
+        j += 1;
+    }
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.kind == TokenKind::Punct {
+            if t.text == "[" {
+                depth += 1;
+            } else if t.text == "]" {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        } else if t.kind == TokenKind::Str {
+            out.push((t.line, t.text.clone()));
+        }
+        j += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run_all;
+    use super::super::testutil::{file_in, run};
+    use crate::allowlist::Allowlist;
+    use crate::report::Rule;
+    use crate::schema::Schema;
+
+    #[test]
+    fn metric_schema_checks_suffix_membership_and_kind_clash() {
+        let f = file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f() {\n\
+             obs::counter!(\"pipeline_windows_total\").inc();\n\
+             obs::counter!(\"bad_counter\").inc();\n\
+             obs::gauge!(\"pipeline_stage_seconds\").set(1.0);\n\
+             }\n",
+        );
+        let r = run(&[f]);
+        // bad_counter: wrong suffix + not in schema; gauge reusing a
+        // histogram-suffixed schema name: suffix misuse (kind clash needs
+        // a second kind in the same run).
+        assert_eq!(r.count(Rule::MetricSchema), 3, "{:#?}", r.findings);
+    }
+
+    #[test]
+    fn function_form_sites_are_checked_too() {
+        let f = file_in(
+            "fleet",
+            "crates/fleet/src/x.rs",
+            "fn f() {\n\
+             airfinger_obs::counter_with(\"undocumented_total\", &[(\"k\", \"v\")]).inc();\n\
+             airfinger_obs::gauge_with(\"pipeline_otsu_threshold\", &[]).set(1.0);\n\
+             }\n",
+        );
+        let r = run(&[f]);
+        // counter_with: not in schema (suffix fine); gauge_with: in
+        // schema with a legal gauge name — clean.
+        assert_eq!(r.count(Rule::MetricSchema), 1, "{:#?}", r.findings);
+    }
+
+    #[test]
+    fn metric_suffix_justification_waives_suffix_but_not_membership() {
+        let f = file_in(
+            "parallel",
+            "crates/parallel/src/x.rs",
+            "fn f() {\n\
+             // lint: metric-suffix — unitless distribution\n\
+             obs::histogram!(\"pipeline_windows_total\").observe(1.0);\n\
+             obs::histogram!(\"undocumented_jobs\").observe(1.0); // lint: metric-suffix\n\
+             }\n",
+        );
+        let r = run(&[f]);
+        // First site: suffix waived, name is in schema — clean. Second:
+        // suffix waived but still off-schema — one finding.
+        assert_eq!(r.count(Rule::MetricSchema), 1, "{:#?}", r.findings);
+        assert!(r.findings[0].message.contains("not in the DESIGN.md"));
+    }
+
+    #[test]
+    fn metric_kind_clash_detected() {
+        let f = file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f() {\n\
+             obs::counter!(\"pipeline_windows_total\").inc();\n\
+             obs::histogram!(\"pipeline_windows_total\").observe(1.0);\n\
+             }\n",
+        );
+        let r = run(&[f]);
+        let clash = r
+            .findings
+            .iter()
+            .filter(|f| f.message.contains("multiple kinds"))
+            .count();
+        assert_eq!(clash, 1, "{:#?}", r.findings);
+    }
+
+    fn schema_with_rows() -> Schema {
+        Schema::from_design_md(
+            "## 9. Schema\n\
+             | name | meaning |\n\
+             | --- | --- |\n\
+             | `live_total` | emitted |\n\
+             | `dead_total` | never emitted |\n\
+             | `parked_total` | (reserved) for later |\n\
+             ## 14. Events\nKinds: `admitted`.\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dead_metric_row_fires_and_reserved_is_exempt() {
+        let f = file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f() { obs::counter!(\"live_total\").inc(); }\n",
+        );
+        let r = run_all(&[f], &Allowlist::default(), &schema_with_rows());
+        let dead: Vec<&str> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::MetricLiveness)
+            .map(|f| f.file.as_str())
+            .collect();
+        assert_eq!(dead, ["DESIGN.md"], "{:#?}", r.findings);
+        assert!(r.findings.iter().any(|f| f.message.contains("dead_total")));
+        assert!(!r
+            .findings
+            .iter()
+            .any(|f| f.message.contains("parked_total")));
+    }
+
+    #[test]
+    fn liveness_accepts_string_constant_indirection() {
+        let f = file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "const LIVE: &str = \"live_total\";\nconst DEAD: &str = \"dead_total\";\n\
+             fn f() { emit(LIVE); emit(DEAD); }\n",
+        );
+        let r = run_all(&[f], &Allowlist::default(), &schema_with_rows());
+        assert_eq!(r.count(Rule::MetricLiveness), 0, "{:#?}", r.findings);
+    }
+
+    #[test]
+    fn undocumented_event_kind_fires() {
+        let events = file_in(
+            "obs",
+            "crates/obs/src/events.rs",
+            "impl EventKind {\n\
+             pub const TAGS: [&str; 2] = [\"admitted\", \"mystery\"];\n\
+             }\n\
+             fn live() { obs::counter!(\"live_total\").inc(); \
+             emit(\"dead_total\"); emit(\"parked_total\"); }\n",
+        );
+        let r = run_all(&[events], &Allowlist::default(), &schema_with_rows());
+        let msgs: Vec<&str> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::MetricLiveness)
+            .map(|f| f.message.as_str())
+            .collect();
+        assert_eq!(msgs.len(), 1, "{msgs:#?}");
+        assert!(msgs[0].contains("`mystery`"));
+    }
+}

@@ -1,0 +1,143 @@
+//! The eight rule families, one module per family:
+//!
+//! - [`determinism`] — (D) no wall-clock/thread identity outside the
+//!   host crates, no unordered containers in result crates.
+//! - [`panics`] — (P) panic-safety ratchet against `lint-allow.toml`.
+//! - [`metrics`] — (S) metric-name schema conformance and (M)
+//!   metric/event liveness against DESIGN.md §9/§14.
+//! - [`unsafe_audit`] — (U) `// SAFETY:` comments + unsafe census.
+//! - [`consts`] — (C) paper-constant hygiene.
+//! - [`hotpath`] — (H) call-graph hot-path allocation/lock hygiene.
+//! - [`concurrency`] — (R) `static mut`, shared statics, atomic
+//!   orderings.
+//!
+//! Each rule scans the lexed token streams — never raw text — so
+//! strings, comments, and doc examples can't produce false positives.
+//! Rules H and M additionally consume the item parser and call graph
+//! (see [`crate::parser`] and [`crate::callgraph`]).
+
+pub mod concurrency;
+pub mod consts;
+pub mod determinism;
+pub mod hotpath;
+pub mod metrics;
+pub mod panics;
+pub mod unsafe_audit;
+
+use crate::allowlist::Allowlist;
+use crate::lexer::{Token, TokenKind};
+use crate::report::{Finding, LintReport, Rule};
+use crate::schema::Schema;
+use crate::source::SourceFile;
+
+/// Crates whose whole purpose is timing/threading/shared state — rule
+/// D's time ban and rule R's static/ordering bans do not apply there,
+/// and rule H's hot-path walk does not descend into them (they are the
+/// hot path's hosts, not its body; their cost discipline is pinned by
+/// the runtime `alloc_accounting`/`metrics_determinism` tests).
+pub(crate) const HOST_CRATES: [&str; 2] = ["obs", "parallel"];
+
+/// Result-producing crates: anything nondeterministic here corrupts the
+/// paper-reproduction numbers, so rules D-hash and C apply.
+pub(crate) const RESULT_CRATES: [&str; 4] = ["core", "dsp", "features", "ml"];
+
+/// The one file allowed to define paper constants.
+pub(crate) const CONFIG_FILE: &str = "crates/core/src/config.rs";
+
+/// Run every rule over the loaded workspace.
+#[must_use]
+pub fn run_all(files: &[SourceFile], allowlist: &Allowlist, schema: &Schema) -> LintReport {
+    let mut report = LintReport {
+        files_scanned: files.len(),
+        ..Default::default()
+    };
+    for file in files {
+        determinism::check(file, &mut report);
+        unsafe_audit::check(file, &mut report);
+        consts::check(file, &mut report);
+        concurrency::check(file, &mut report);
+    }
+    panics::check(files, allowlist, &mut report);
+    metrics::schema_conformance(files, schema, &mut report);
+    metrics::liveness(files, schema, &mut report);
+    hotpath::check(files, allowlist, &mut report);
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}
+
+pub(crate) fn finding(file: &SourceFile, rule: Rule, line: usize, message: String) -> Finding {
+    Finding {
+        rule,
+        file: file.rel_path.clone(),
+        line,
+        message,
+        excerpt: file.line_text(line).trim().to_string(),
+    }
+}
+
+pub(crate) fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    tokens
+        .get(i)
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str())
+}
+
+pub(crate) fn punct_at(tokens: &[Token], i: usize, p: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text == p)
+}
+
+pub(crate) fn path_sep_at(tokens: &[Token], i: usize) -> bool {
+    punct_at(tokens, i, ":") && punct_at(tokens, i + 1, ":")
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    pub(crate) fn file_in(crate_name: &str, rel: &str, src: &str) -> SourceFile {
+        SourceFile::parse(rel.to_string(), crate_name.to_string(), src)
+    }
+
+    pub(crate) fn run(files: &[SourceFile]) -> LintReport {
+        let allow = Allowlist::default();
+        let schema = Schema::from_design_md(
+            "## 9. Schema\n`pipeline_windows_total` `pipeline_stage_seconds` \
+             `pipeline_otsu_threshold` `stage` `sbc`\n",
+        )
+        .unwrap_or_default();
+        run_all(files, &allow, &schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::{file_in, run};
+
+    #[test]
+    fn test_regions_are_exempt_from_d_p_s_c() {
+        let f = file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n fn t() {\n let t = Instant::now();\n x.unwrap();\n \
+             obs::counter!(\"nope\").inc();\n let sample_rate_hz = 100.0;\n }\n}\n",
+        );
+        let r = run(&[f]);
+        assert!(r.passed(), "{:#?}", r.findings);
+    }
+
+    #[test]
+    fn findings_sort_by_file_line_rule() {
+        let f = file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f() { let t = Instant::now(); }\nfn g() { let u = Instant::now(); }\n",
+        );
+        let r = run(&[f]);
+        let lines: Vec<usize> = r.findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, [1, 2]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Rule P — panic-safety ratchet.
+//!
+//! Counts non-test `unwrap()` / `expect(` / `panic!` / `todo!` /
+//! `unimplemented!` sites per file and compares each count against the
+//! committed `lint-allow.toml` `[panic]` budget. Counts above budget are
+//! findings; counts below budget are warnings (ratchet the allowlist
+//! down). Test code is exempt — panicking is how tests fail.
+
+use super::{finding, ident_at, punct_at};
+use crate::allowlist::Allowlist;
+use crate::report::{LintReport, Rule};
+use crate::source::SourceFile;
+
+pub(crate) fn check(files: &[SourceFile], allowlist: &Allowlist, report: &mut LintReport) {
+    for file in files {
+        let tokens = &file.tokens;
+        let mut site_lines = Vec::new();
+        for i in 0..tokens.len() {
+            if file.in_test[i] {
+                continue;
+            }
+            let hit = match ident_at(tokens, i) {
+                Some("unwrap") => {
+                    punct_at(tokens, i.wrapping_sub(1), ".")
+                        && punct_at(tokens, i + 1, "(")
+                        && punct_at(tokens, i + 2, ")")
+                }
+                Some("expect") => {
+                    punct_at(tokens, i.wrapping_sub(1), ".") && punct_at(tokens, i + 1, "(")
+                }
+                Some("panic" | "todo" | "unimplemented") => punct_at(tokens, i + 1, "!"),
+                _ => false,
+            };
+            if hit {
+                site_lines.push(tokens[i].line);
+            }
+        }
+        let actual = site_lines.len();
+        let allowed = allowlist.allowed(&file.rel_path);
+        if actual > 0 {
+            report.panic_inventory.insert(file.rel_path.clone(), actual);
+        }
+        if actual > allowed {
+            let first_excess = site_lines[allowed];
+            report.findings.push(finding(
+                file,
+                Rule::PanicSafety,
+                first_excess,
+                format!(
+                    "{actual} panic site(s) (unwrap/expect/panic!/todo!/unimplemented!) but \
+                     lint-allow.toml grants {allowed}; propagate errors via the crate's \
+                     error types — the allowlist only ratchets down"
+                ),
+            ));
+        } else if actual < allowed {
+            report.warnings.push(format!(
+                "{}: allowlist grants {allowed} panic site(s) but only {actual} remain — \
+                 ratchet lint-allow.toml down",
+                file.rel_path
+            ));
+        }
+    }
+    // Allowlist entries pointing at files that no longer exist.
+    for (path, allowed) in &allowlist.panic {
+        if !files.iter().any(|f| &f.rel_path == path) {
+            report.warnings.push(format!(
+                "{path}: allowlist grants {allowed} panic site(s) but the file is not in \
+                 the scan set — remove the stale entry"
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run_all;
+    use super::super::testutil::{file_in, run};
+    use crate::allowlist::Allowlist;
+    use crate::report::Rule;
+    use crate::schema::Schema;
+
+    #[test]
+    fn panic_counts_respect_allowlist_and_warn_on_slack() {
+        let f = file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f() { a.unwrap(); b.expect(\"m\"); panic!(\"x\"); }\n",
+        );
+        let mut allow = Allowlist::default();
+        allow.panic.insert("crates/core/src/x.rs".into(), 3);
+        let schema = Schema::default();
+        let r = run_all(&[f], &allow, &schema);
+        assert_eq!(r.count(Rule::PanicSafety), 0);
+        assert!(r.warnings.is_empty());
+        assert_eq!(r.panic_inventory["crates/core/src/x.rs"], 3);
+
+        let f2 = file_in("core", "crates/core/src/x.rs", "fn f() { a.unwrap(); }\n");
+        let r2 = run_all(&[f2], &allow, &schema);
+        assert_eq!(r2.count(Rule::PanicSafety), 0);
+        assert_eq!(r2.warnings.len(), 1, "{:?}", r2.warnings);
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_a_panic_site() {
+        let f = file_in(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f() { a.unwrap_or_else(|p| p.into_inner()); b.unwrap_or(0); }\n",
+        );
+        assert_eq!(run(&[f]).count(Rule::PanicSafety), 0);
+    }
+}

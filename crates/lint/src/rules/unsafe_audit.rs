@@ -1,0 +1,60 @@
+//! Rule U — unsafe audit.
+//!
+//! Every `unsafe` site (block, fn, impl, trait) needs a `// SAFETY:`
+//! comment on its line or within the preceding three lines, test code
+//! included. Also maintains the per-crate unsafe census the report
+//! always carries (most crates pin it to zero via `#![forbid(unsafe_code)]`).
+
+use super::finding;
+use crate::lexer::TokenKind;
+use crate::report::{LintReport, Rule};
+use crate::source::SourceFile;
+
+/// How many lines above an `unsafe` site a `// SAFETY:` comment may sit.
+const SAFETY_COMMENT_WINDOW: usize = 3;
+
+pub(crate) fn check(file: &SourceFile, report: &mut LintReport) {
+    let census = report
+        .unsafe_census
+        .entry(file.crate_name.clone())
+        .or_insert(0);
+    let mut sites = Vec::new();
+    for t in &file.tokens {
+        if t.kind == TokenKind::Ident && t.text == "unsafe" {
+            *census += 1;
+            sites.push(t.line);
+        }
+    }
+    for line in sites {
+        if !file.has_safety_comment(line, SAFETY_COMMENT_WINDOW) {
+            report.findings.push(finding(
+                file,
+                Rule::UnsafeAudit,
+                line,
+                "`unsafe` without a `// SAFETY:` comment on the site or the three lines \
+                 above it — state the invariant that makes this sound"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{file_in, run};
+    use crate::report::Rule;
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = file_in("nir-sim", "crates/nir-sim/src/x.rs", "unsafe { go() }\n");
+        let good = file_in(
+            "nir-sim",
+            "crates/nir-sim/src/x.rs",
+            "// SAFETY: bounds checked above\nunsafe { go() }\n",
+        );
+        assert_eq!(run(&[bad]).count(Rule::UnsafeAudit), 1);
+        let r = run(&[good]);
+        assert_eq!(r.count(Rule::UnsafeAudit), 0);
+        assert_eq!(r.unsafe_census["nir-sim"], 1);
+    }
+}

@@ -1,4 +1,5 @@
-//! Metric-name vocabulary extraction from DESIGN.md §9.
+//! Metric-name vocabulary extraction from DESIGN.md §9 (and the §14
+//! event-kind vocabulary rule M checks against).
 //!
 //! §9 of DESIGN.md is the stable metric schema: every metric name the
 //! workspace emits must appear there in backticks. Rather than duplicate
@@ -6,14 +7,41 @@
 //! and collects every backticked `snake_case` identifier as the allowed
 //! vocabulary — metric names, label keys, and label values alike. Suffix
 //! and kind rules then constrain how a name may be used.
+//!
+//! Rule M needs two sharper views of the same document: the *rows* of the
+//! §9 tables (the metric names proper, first column only — label keys and
+//! values are vocabulary but not metrics, so they carry no liveness
+//! obligation), and the backticked words of §14 (where every `EventKind`
+//! tag must be documented). A row whose text contains `(reserved)` is
+//! documented-dead: it keeps its schema slot but rule M does not demand an
+//! emission site for it.
 
 use std::collections::BTreeSet;
+
+/// One metric row of a §9 table: a name that must stay live.
+#[derive(Debug, Clone)]
+pub struct MetricRow {
+    /// The backticked metric name from the row's first column.
+    pub name: String,
+    /// 1-indexed DESIGN.md line of the row.
+    pub line: usize,
+    /// The raw row text, trimmed, for report excerpts.
+    pub excerpt: String,
+    /// Whether the row is marked `(reserved)` — documented as having no
+    /// emission site yet, exempt from rule M's dead-metric check.
+    pub reserved: bool,
+}
 
 /// The allowed metric vocabulary plus where it came from.
 #[derive(Debug, Default)]
 pub struct Schema {
     /// Backticked snake_case identifiers found in the §9 section.
     pub names: BTreeSet<String>,
+    /// §9 table rows (metric names proper), in document order.
+    pub rows: Vec<MetricRow>,
+    /// Backticked spans of the §14 section, when the section exists.
+    /// `None` means DESIGN.md has no §14 — rule M skips the event check.
+    pub event_vocab: Option<BTreeSet<String>>,
 }
 
 impl Schema {
@@ -22,30 +50,71 @@ impl Schema {
     /// a schema-less workspace cannot validate rule S).
     #[must_use]
     pub fn from_design_md(text: &str) -> Option<Self> {
-        let mut in_section = false;
+        #[derive(PartialEq)]
+        enum Section {
+            Other,
+            Nine,
+            Fourteen,
+        }
+        let mut section = Section::Other;
         let mut found = false;
         let mut names = BTreeSet::new();
-        for line in text.lines() {
+        let mut rows = Vec::new();
+        let mut event_vocab: Option<BTreeSet<String>> = None;
+        for (idx, line) in text.lines().enumerate() {
             if let Some(rest) = line.strip_prefix("## ") {
-                in_section = rest.trim_start().starts_with("9.") || rest.trim_start() == "9";
-                if in_section {
+                let rest = rest.trim_start();
+                section = if rest.starts_with("9.") || rest == "9" {
                     found = true;
-                }
+                    Section::Nine
+                } else if rest.starts_with("14.") || rest == "14" {
+                    event_vocab.get_or_insert_with(BTreeSet::new);
+                    Section::Fourteen
+                } else {
+                    Section::Other
+                };
                 continue;
             }
-            if !in_section {
-                continue;
-            }
-            for span in backticked(line) {
-                // §9 writes labelled metrics as `name{label}`; the name
-                // part is the vocabulary entry.
-                let span = span.split('{').next().unwrap_or("");
-                if is_snake_case(span) {
-                    names.insert(span.to_string());
+            match section {
+                Section::Nine => {
+                    for span in backticked(line) {
+                        // §9 writes labelled metrics as `name{label}`; the
+                        // name part is the vocabulary entry.
+                        let span = span.split('{').next().unwrap_or("");
+                        if is_snake_case(span) {
+                            names.insert(span.to_string());
+                        }
+                    }
+                    // Table rows: the first column's backticked names are
+                    // the metrics that must stay live (rule M).
+                    if let Some(cell) = first_table_cell(line) {
+                        let reserved = line.contains("(reserved)");
+                        for span in backticked(cell) {
+                            let span = span.split('{').next().unwrap_or("");
+                            if is_snake_case(span) {
+                                rows.push(MetricRow {
+                                    name: span.to_string(),
+                                    line: idx + 1,
+                                    excerpt: line.trim().to_string(),
+                                    reserved,
+                                });
+                            }
+                        }
+                    }
                 }
+                Section::Fourteen => {
+                    if let Some(vocab) = event_vocab.as_mut() {
+                        vocab.extend(backticked(line));
+                    }
+                }
+                Section::Other => {}
             }
         }
-        found.then_some(Schema { names })
+        found.then_some(Schema {
+            names,
+            rows,
+            event_vocab,
+        })
     }
 
     /// Whether `name` is part of the documented vocabulary.
@@ -53,6 +122,18 @@ impl Schema {
     pub fn contains(&self, name: &str) -> bool {
         self.names.contains(name)
     }
+}
+
+/// The first content cell of a markdown table row, or `None` for
+/// non-table lines and `|---|` separator rows.
+fn first_table_cell(line: &str) -> Option<&str> {
+    let rest = line.trim_start().strip_prefix('|')?;
+    let cell = rest.split('|').next().unwrap_or("");
+    let trimmed = cell.trim();
+    if trimmed.chars().all(|c| c == '-' || c == ':') {
+        return None;
+    }
+    Some(cell)
 }
 
 /// All `` `…` `` spans of a line.
@@ -88,11 +169,15 @@ mod tests {
 `not_in_schema`\n\
 ## 9. Observability: stable metric schema\n\
 | `pipeline_stage_seconds` | `stage` = `sbc` \\| `threshold` | per-stage |\n\
+| --- | --- | --- |\n\
 | `engine_push_seconds`, `engine_flush_seconds` | — | engine |\n\
 | `parallel_jobs_total{op}` | labelled counter |\n\
+| `future_metric_total` | — | (reserved) for the next PR |\n\
 Some prose with `pipeline_windows_total` inline, and `CamelCase` ignored.\n\
 ## 10. Next\n\
-`also_not_in_schema`\n";
+`also_not_in_schema`\n\
+## 14. Structured events\n\
+Kinds: `admitted`, `shed`.\n";
 
     #[test]
     fn collects_section_nine_identifiers_only() {
@@ -111,6 +196,54 @@ Some prose with `pipeline_windows_total` inline, and `CamelCase` ignored.\n\
         assert!(!s.contains("not_in_schema"));
         assert!(!s.contains("also_not_in_schema"));
         assert!(!s.contains("CamelCase"));
+    }
+
+    #[test]
+    fn table_rows_are_metric_names_not_label_vocab() {
+        let s = Schema::from_design_md(DESIGN).unwrap();
+        let row_names: Vec<&str> = s.rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            row_names,
+            [
+                "pipeline_stage_seconds",
+                "engine_push_seconds",
+                "engine_flush_seconds",
+                "parallel_jobs_total",
+                "future_metric_total",
+            ]
+        );
+        // Label vocabulary is in `names` but never a row.
+        assert!(!row_names.contains(&"stage"));
+        assert!(!row_names.contains(&"sbc"));
+        // Inline prose names are vocabulary, not rows.
+        assert!(!row_names.contains(&"pipeline_windows_total"));
+    }
+
+    #[test]
+    fn reserved_rows_are_marked() {
+        let s = Schema::from_design_md(DESIGN).unwrap();
+        let reserved: Vec<&str> = s
+            .rows
+            .iter()
+            .filter(|r| r.reserved)
+            .map(|r| r.name.as_str())
+            .collect();
+        assert_eq!(reserved, ["future_metric_total"]);
+    }
+
+    #[test]
+    fn event_vocab_comes_from_section_fourteen() {
+        let s = Schema::from_design_md(DESIGN).unwrap();
+        let vocab = s.event_vocab.as_ref().unwrap();
+        assert!(vocab.contains("admitted"));
+        assert!(vocab.contains("shed"));
+        assert!(!vocab.contains("pipeline_stage_seconds"));
+    }
+
+    #[test]
+    fn missing_section_fourteen_is_none() {
+        let s = Schema::from_design_md("## 9. Schema\n`a_total`\n").unwrap();
+        assert!(s.event_vocab.is_none());
     }
 
     #[test]

@@ -17,13 +17,16 @@ fn fixture(name: &str) -> PathBuf {
 #[test]
 fn each_rule_fires_exactly_once_on_the_violations_fixture() {
     let report = check(&fixture("violations")).expect("fixture loads");
-    assert_eq!(report.files_scanned, 2);
+    assert_eq!(report.files_scanned, 3);
     for rule in [
         Rule::Determinism,
         Rule::PanicSafety,
         Rule::MetricSchema,
         Rule::UnsafeAudit,
         Rule::PaperConst,
+        Rule::HotPath,
+        Rule::Concurrency,
+        Rule::MetricLiveness,
     ] {
         assert_eq!(
             report.count(rule),
@@ -33,11 +36,14 @@ fn each_rule_fires_exactly_once_on_the_violations_fixture() {
             report.findings
         );
     }
-    assert_eq!(report.findings.len(), 5);
+    assert_eq!(report.findings.len(), 8);
     assert!(!report.passed());
     // The census side-channels are populated even for findings.
     assert_eq!(report.unsafe_census["lowlevel"], 1);
     assert_eq!(report.panic_inventory["crates/core/src/lib.rs"], 1);
+    // The hot-path walk saw the one annotated root.
+    assert_eq!(report.hot_path_functions, 1);
+    assert_eq!(report.hot_path_inventory["crates/core/src/hot.rs::push"], 1);
 }
 
 #[test]
@@ -59,17 +65,24 @@ fn findings_point_at_the_offending_lines() {
         line_of(Rule::UnsafeAudit),
         ("crates/lowlevel/src/lib.rs", 4)
     );
+    assert_eq!(line_of(Rule::Concurrency), ("crates/core/src/hot.rs", 4));
+    assert_eq!(line_of(Rule::HotPath), ("crates/core/src/hot.rs", 8));
+    // Rule M anchors at the dead metric's DESIGN.md table row.
+    assert_eq!(line_of(Rule::MetricLiveness), ("DESIGN.md", 7));
 }
 
 #[test]
 fn annotations_and_allowlist_suppress_every_finding() {
     let report = check(&fixture("suppressed")).expect("fixture loads");
     assert!(report.passed(), "{:#?}", report.findings);
-    // The budget is exactly met, so no ratchet-down warning either.
+    // Both budgets are exactly met, so no ratchet-down warning either.
     assert!(report.warnings.is_empty(), "{:?}", report.warnings);
     // Suppression hides findings, not the censuses.
     assert_eq!(report.unsafe_census["lowlevel"], 1);
     assert_eq!(report.panic_inventory["crates/core/src/lib.rs"], 1);
+    // The budgeted hot-path site still shows in the inventory (the
+    // inline-justified one does not).
+    assert_eq!(report.hot_path_inventory["crates/core/src/hot.rs::push"], 1);
 }
 
 #[test]
@@ -83,12 +96,65 @@ fn reports_render_in_both_formats() {
     let report = check(&fixture("violations")).expect("fixture loads");
     let human = report.render_human();
     assert!(human.contains("--- crates/core/src/lib.rs"));
-    assert!(human.contains("[D:1 P:1 S:1 U:1 C:1]"));
+    assert!(human.contains("[D:1 P:1 S:1 U:1 C:1 H:1 R:1 M:1]"));
+    assert!(human.contains("hot-path fn(s)"));
     let json = report.render_json();
     assert!(json.contains("\"passed\": false"));
-    for code in ["\"D\"", "\"P\"", "\"S\"", "\"U\"", "\"C\""] {
+    for code in [
+        "\"D\"", "\"P\"", "\"S\"", "\"U\"", "\"C\"", "\"H\"", "\"R\"", "\"M\"",
+    ] {
         assert!(json.contains(code), "missing rule code {code} in {json}");
     }
+    assert!(json.contains("\"hot_path\""));
+}
+
+/// Recreate `src`'s tree under `dst`, visiting directory entries in
+/// reverse lexicographic order so the on-disk creation order differs
+/// from the original.
+fn copy_tree_reversed(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("mkdir");
+    let mut entries: Vec<_> = std::fs::read_dir(src)
+        .expect("readdir")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    entries.sort();
+    entries.reverse();
+    for path in entries {
+        let to = dst.join(path.file_name().expect("name"));
+        if path.is_dir() {
+            copy_tree_reversed(&path, &to);
+        } else {
+            std::fs::copy(&path, &to).expect("copy");
+        }
+    }
+}
+
+#[test]
+fn reports_are_byte_identical_across_runs_and_discovery_orders() {
+    let root = fixture("violations");
+    let first = check(&root).expect("fixture loads");
+    let second = check(&root).expect("fixture loads");
+    assert_eq!(
+        first.render_json(),
+        second.render_json(),
+        "repeated runs must render identically"
+    );
+    assert_eq!(first.render_human(), second.render_human());
+
+    // A copy of the same tree created in reverse order must render the
+    // exact same bytes: discovery is sorted, findings are sorted, and
+    // nothing in the report depends on the filesystem's enumeration
+    // order or on wall-clock time.
+    let copy =
+        std::env::temp_dir().join(format!("airfinger-lint-determinism-{}", std::process::id()));
+    if copy.exists() {
+        std::fs::remove_dir_all(&copy).expect("clean stale copy");
+    }
+    copy_tree_reversed(&root, &copy);
+    let from_copy = check(&copy).expect("copied fixture loads");
+    assert_eq!(first.render_json(), from_copy.render_json());
+    assert_eq!(first.render_human(), from_copy.render_human());
+    std::fs::remove_dir_all(&copy).expect("cleanup");
 }
 
 #[test]
@@ -100,4 +166,12 @@ fn the_real_workspace_is_clean_at_head() {
         .expect("workspace root");
     let report = check(root).expect("workspace loads");
     assert!(report.passed(), "{}", report.render_human());
+    assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    // The real hot path is non-trivial: the roots annotated in
+    // crates/core, crates/fleet reach a real slice of the workspace.
+    assert!(
+        report.hot_path_functions >= 50,
+        "only {} hot-path fns — did the root annotations move?",
+        report.hot_path_functions
+    );
 }

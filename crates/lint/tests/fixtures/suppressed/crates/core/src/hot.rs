@@ -1,0 +1,13 @@
+// Fixture: the same sites as the violations fixture, suppressed by the
+// rule H/R escape hatches — inline justifications and the [hot-path]
+// budget in lint-allow.toml.
+
+// lint: sync — the fixture's zero-sized marker is trivially shareable
+static SHARED: u8 = 0;
+
+// lint: hot-path-root — fixture streaming entry point
+fn push(sample: &[f64]) -> Vec<f64> {
+    let _budgeted = sample.to_owned();
+    // lint: hot-path — ownership handoff for the caller
+    sample.to_vec()
+}

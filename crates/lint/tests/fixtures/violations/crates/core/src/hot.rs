@@ -1,0 +1,9 @@
+// Fixture: rules H and R fire exactly once each — one allocation in a
+// hot-path root, one bare shared static outside the host crates.
+
+static SHARED: u8 = 0;
+
+// lint: hot-path-root — fixture streaming entry point
+fn push(sample: &[f64]) -> Vec<f64> {
+    sample.to_vec()
+}

@@ -103,6 +103,14 @@ impl Registry {
         self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// The one deliberate panic in the registry: registering a name+labels
+    /// under a second metric kind is a programming error, not a runtime
+    /// condition, and every accessor funnels through here so the panic
+    /// ratchet stays at a single budgeted site.
+    fn kind_conflict(id: &MetricId, other: &Metric) -> ! {
+        panic!("{id} already registered as a {}", other.kind())
+    }
+
     /// Register (or fetch) a counter.
     ///
     /// # Panics
@@ -120,7 +128,7 @@ impl Registry {
         });
         match &entry.metric {
             Metric::Counter(c) => c.clone(),
-            other => panic!("{id} already registered as a {}", other.kind()),
+            other => Self::kind_conflict(&id, other),
         }
     }
 
@@ -139,7 +147,7 @@ impl Registry {
         });
         match &entry.metric {
             Metric::Gauge(g) => g.clone(),
-            other => panic!("{id} already registered as a {}", other.kind()),
+            other => Self::kind_conflict(&id, other),
         }
     }
 
@@ -166,7 +174,7 @@ impl Registry {
         });
         match &entry.metric {
             Metric::Histogram(h) => h.clone(),
-            other => panic!("{id} already registered as a {}", other.kind()),
+            other => Self::kind_conflict(&id, other),
         }
     }
 

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validate the schema of an `airfinger-lint -- check --json` report.
+
+CI runs this after the lint step so that a report the dashboards and
+tooling consume can never silently change shape: every key the contract
+promises must be present with the promised type, rule codes must come
+from the documented eight-family set, and the report must be internally
+consistent (`passed` ⇔ no findings, sorted findings, sorted maps).
+
+Usage: check_lint_report.py LINT_REPORT.json
+"""
+
+import json
+import sys
+
+RULE_CODES = {"D", "P", "S", "U", "C", "H", "R", "M"}
+
+
+def fail(msg):
+    print(f"check_lint_report: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def main(path):
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+
+    expect(
+        set(report)
+        == {
+            "passed",
+            "files_scanned",
+            "findings",
+            "warnings",
+            "unsafe_census",
+            "panic_inventory",
+            "hot_path",
+        },
+        f"unexpected top-level keys: {sorted(report)}",
+    )
+    expect(isinstance(report["passed"], bool), "`passed` must be a bool")
+    expect(
+        isinstance(report["files_scanned"], int) and report["files_scanned"] > 0,
+        "`files_scanned` must be a positive integer",
+    )
+
+    findings = report["findings"]
+    expect(isinstance(findings, list), "`findings` must be a list")
+    for f in findings:
+        expect(
+            set(f) == {"rule", "file", "line", "message"},
+            f"finding keys: {sorted(f)}",
+        )
+        expect(f["rule"] in RULE_CODES, f"unknown rule code {f['rule']!r}")
+        expect(
+            isinstance(f["file"], str) and f["file"], "finding `file` must be a path"
+        )
+        expect(
+            isinstance(f["line"], int) and f["line"] >= 1,
+            "finding `line` must be 1-indexed",
+        )
+        expect(
+            isinstance(f["message"], str) and f["message"],
+            "finding `message` must be non-empty",
+        )
+    keys = [(f["file"], f["line"], f["rule"]) for f in findings]
+    expect(keys == sorted(keys), "findings must be sorted by (file, line, rule)")
+    expect(
+        report["passed"] == (not findings),
+        "`passed` must mirror an empty findings list",
+    )
+
+    expect(
+        isinstance(report["warnings"], list)
+        and all(isinstance(w, str) for w in report["warnings"]),
+        "`warnings` must be a list of strings",
+    )
+
+    for census in ("unsafe_census", "panic_inventory"):
+        m = report[census]
+        expect(isinstance(m, dict), f"`{census}` must be an object")
+        expect(
+            all(isinstance(v, int) and v >= 0 for v in m.values()),
+            f"`{census}` values must be non-negative counts",
+        )
+        expect(list(m) == sorted(m), f"`{census}` keys must be sorted")
+
+    hot = report["hot_path"]
+    expect(
+        set(hot) == {"reachable_functions", "inventory"},
+        f"hot_path keys: {sorted(hot)}",
+    )
+    expect(
+        isinstance(hot["reachable_functions"], int) and hot["reachable_functions"] >= 0,
+        "`reachable_functions` must be a count",
+    )
+    inv = hot["inventory"]
+    expect(isinstance(inv, dict), "`hot_path.inventory` must be an object")
+    expect(list(inv) == sorted(inv), "`hot_path.inventory` keys must be sorted")
+    for key, n in inv.items():
+        expect(
+            key.split("::")[0].startswith("crates/") and key.count("::") in (1, 2),
+            f"inventory key {key!r} must be path::Owner::fn or path::fn",
+        )
+        expect(isinstance(n, int) and n >= 1, f"budget for {key!r} must be >= 1")
+
+    print(
+        f"check_lint_report: ok — {report['files_scanned']} files, "
+        f"{len(findings)} finding(s), {hot['reachable_functions']} hot-path fn(s)"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        fail("usage: check_lint_report.py LINT_REPORT.json")
+    main(sys.argv[1])
