@@ -43,6 +43,10 @@ fn main() {
         run_diff(&args[1..]);
         return;
     }
+    if args.first().map(String::as_str) == Some("profile-diff") {
+        run_profile_diff(&args[1..]);
+        return;
+    }
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::Standard;
     let mut seed = 0x41F1_6E12u64;
@@ -271,12 +275,20 @@ fn main() {
     }
 }
 
-/// `repro diff BASE.json NEW.json [--max-time-regress PCT] [--min-accuracy PCT]`
-/// — compare two benchmark snapshots and exit nonzero on regression.
+/// `repro diff BASE.json NEW.json [--max-time-regress PCT]
+/// [--min-accuracy PCT] [--perf-tolerance PCT] [--rebaseline]` — compare
+/// two benchmark snapshots and exit nonzero on regression. Deterministic
+/// `perf_*` metrics are gated exactly, timing-class metrics within
+/// `--perf-tolerance` (default 10%); `--rebaseline` copies NEW over BASE
+/// when the gate passes, ratcheting the committed baseline forward.
 fn run_diff(args: &[String]) {
     use airfinger_bench::diff::{diff_reports, DiffOptions};
     let mut paths: Vec<&String> = Vec::new();
-    let mut opts = DiffOptions::default();
+    let mut opts = DiffOptions {
+        perf_tolerance_pct: Some(10.0),
+        ..DiffOptions::default()
+    };
+    let mut rebaseline = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -294,10 +306,19 @@ fn run_diff(args: &[String]) {
                     std::process::exit(2);
                 }
             },
+            "--perf-tolerance" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(v) if v >= 0.0 => opts.perf_tolerance_pct = Some(v),
+                _ => {
+                    eprintln!("--perf-tolerance needs a non-negative percentage");
+                    std::process::exit(2);
+                }
+            },
+            "--rebaseline" => rebaseline = true,
             "--help" | "-h" => {
                 println!(
                     "usage: repro diff BASE.json NEW.json \
-                     [--max-time-regress PCT] [--min-accuracy PCT]"
+                     [--max-time-regress PCT] [--min-accuracy PCT] \
+                     [--perf-tolerance PCT] [--rebaseline]"
                 );
                 return;
             }
@@ -321,13 +342,106 @@ fn run_diff(args: &[String]) {
                 println!("{line}");
             }
             if !report.passed() {
+                if rebaseline {
+                    eprintln!("[repro] gate failed; baseline left untouched");
+                }
                 std::process::exit(1);
+            }
+            if rebaseline {
+                write_file(base_path, new.as_bytes());
+                eprintln!(
+                    "[repro] re-baselined {base_path} from {new_path} \
+                     ({} ratchet candidate(s) locked in)",
+                    report.ratchet_candidates.len()
+                );
             }
         }
         Err(e) => {
             eprintln!("repro diff: {e}");
             std::process::exit(2);
         }
+    }
+}
+
+/// `repro profile-diff BASE.json NEW.json [--out DIR]` — diff two
+/// `airfinger-profile-v1` artifacts (written by `--profile-dir`) into
+/// the signed differential-flamegraph pair: collapsed stacks with
+/// signed counts to stdout (or `profile_diff_collapsed.txt` plus
+/// `profile_diff.json`, schema `airfinger-profile-diff-v1`, under
+/// `--out DIR`), with a top-movers summary on stderr.
+fn run_profile_diff(args: &[String]) {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut out_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(dir) => out_dir = Some(dir.clone()),
+                None => {
+                    eprintln!("--out needs a directory path");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: repro profile-diff BASE.json NEW.json [--out DIR]");
+                return;
+            }
+            _ => paths.push(arg),
+        }
+    }
+    let [base_path, new_path] = paths[..] else {
+        eprintln!("repro profile-diff needs exactly two profile paths (BASE.json NEW.json)");
+        std::process::exit(2);
+    };
+    let read_snapshot = |p: &str| {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("cannot read {p}: {e}");
+            std::process::exit(2);
+        });
+        airfinger_bench::profdiff::parse_profile_json(&text, p).unwrap_or_else(|e| {
+            eprintln!("repro profile-diff: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (base, new) = (read_snapshot(base_path), read_snapshot(new_path));
+    let diff = new.diff(&base);
+
+    let mut movers: Vec<(&String, i64)> = diff
+        .paths
+        .iter()
+        .filter(|(_, d)| d.self_ns != 0)
+        .map(|(p, d)| (p, d.self_ns))
+        .collect();
+    movers.sort_by_key(|(_, d)| std::cmp::Reverse(d.abs()));
+    eprintln!(
+        "[repro] profile diff: {} path(s), {} moved{}",
+        diff.paths.len(),
+        movers.len(),
+        if diff.is_zero() { " (identical)" } else { "" }
+    );
+    for (path, d_self_ns) in movers.iter().take(10) {
+        eprintln!("  {d_self_ns:>+12} ns self  {path}");
+    }
+
+    if let Some(dir) = out_dir {
+        let dir_path = std::path::Path::new(&dir);
+        if let Err(e) = std::fs::create_dir_all(dir_path) {
+            eprintln!("[repro] cannot create profile-diff dir {dir}: {e}");
+            std::process::exit(1);
+        }
+        for (name, body) in [
+            ("profile_diff_collapsed.txt", diff.collapsed()),
+            ("profile_diff.json", diff.to_json()),
+        ] {
+            let path = dir_path.join(name);
+            if let Err(e) = std::fs::write(&path, body.as_bytes()) {
+                eprintln!("[repro] cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("[repro] wrote {}", path.display());
+        }
+    } else {
+        print!("{}", diff.collapsed());
     }
 }
 
@@ -346,7 +460,11 @@ fn print_help() {
          [--threads N] [--json PATH] [--metrics PATH] [--label NAME] [--trace] \
          [--trace-out PATH] [--profile-dir DIR]"
     );
-    println!("       repro diff BASE.json NEW.json [--max-time-regress PCT] [--min-accuracy PCT]");
+    println!(
+        "       repro diff BASE.json NEW.json [--max-time-regress PCT] [--min-accuracy PCT] \
+         [--perf-tolerance PCT] [--rebaseline]"
+    );
+    println!("       repro profile-diff BASE.json NEW.json [--out DIR]");
     println!();
     println!("  --list            print every experiment id and exit");
     println!("  --json PATH       dump the experiment results as JSON");
@@ -362,8 +480,15 @@ fn print_help() {
     println!("                    format) and profile.json into DIR after the run");
     println!();
     println!("  diff              compare two BENCH_*.json snapshots; exits 1 when");
-    println!("                    wall time regresses past --max-time-regress or");
-    println!("                    accuracy falls below --min-accuracy");
+    println!("                    wall time regresses past --max-time-regress,");
+    println!("                    accuracy falls below --min-accuracy, a deterministic");
+    println!("                    perf_* metric drifts at all, or a timing-class");
+    println!("                    perf_* metric regresses past --perf-tolerance");
+    println!("                    (default 10%); --rebaseline copies NEW over BASE");
+    println!("                    when the gate passes (perf ratchet)");
+    println!("  profile-diff      diff two profile.json artifacts into signed");
+    println!("                    collapsed stacks (differential flamegraph input)");
+    println!("                    and airfinger-profile-diff-v1 JSON");
     println!();
     println!("experiments: {EXPERIMENT_IDS:?}");
 }

@@ -11,6 +11,22 @@
 //! histograms or quality entries present in only one snapshot are
 //! reported but never count as violations, so a baseline produced by an
 //! older binary still gates what it can.
+//!
+//! # Perf metric classes
+//!
+//! `perf_*` counters and gauges (written by the `perf` experiment) are
+//! gated by **metric class**, the declarative name-suffix convention of
+//! DESIGN.md §9:
+//!
+//! - **timing** — names ending in `_ns`, `_per_s`, `_seconds` or
+//!   `_utilization` are wall-clock observations; they are held to a
+//!   relative tolerance ([`DiffOptions::perf_tolerance_pct`]).
+//!   Directionality follows the suffix too: `_per_s`/`_utilization` are
+//!   higher-is-better, everything else lower-is-better. Improvements
+//!   beyond the tolerance are surfaced as **ratchet candidates**
+//!   (re-baseline with `repro diff --rebaseline`), never violations.
+//! - **deterministic** — every other `perf_*` metric is a pure function
+//!   of `(scale, seed)` and must match the baseline *exactly*.
 
 use serde::Value;
 use std::collections::BTreeMap;
@@ -25,16 +41,55 @@ pub struct DiffOptions {
     /// Minimum tolerated quality accuracy (percent) in the new snapshot.
     /// `None` disables the accuracy gate.
     pub min_accuracy_pct: Option<f64>,
+    /// Relative tolerance (percent) for timing-class `perf_*` metrics;
+    /// deterministic-class metrics are always gated exactly when both
+    /// snapshots carry them. `None` disables the perf gate entirely
+    /// (both classes).
+    pub perf_tolerance_pct: Option<f64>,
 }
 
 impl Default for DiffOptions {
-    /// Display-only: both gates off.
+    /// Display-only: all gates off.
     fn default() -> Self {
         DiffOptions {
             max_time_regress_pct: None,
             min_accuracy_pct: None,
+            perf_tolerance_pct: None,
         }
     }
+}
+
+/// The gate class of one metric, per the DESIGN.md §9 suffix convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Pure function of `(scale, seed)` — gated exactly.
+    Deterministic,
+    /// Wall-clock observation — gated with a relative tolerance.
+    Timing,
+}
+
+/// Classify a metric identity (`name` or `name{labels}`) by the
+/// declarative suffix convention of DESIGN.md §9: `_ns`, `_per_s`,
+/// `_seconds` and `_utilization` name wall-clock observations, anything
+/// else is deterministic.
+#[must_use]
+pub fn metric_class(identity: &str) -> MetricClass {
+    let name = identity.split('{').next().unwrap_or(identity);
+    if ["_ns", "_per_s", "_seconds", "_utilization"]
+        .iter()
+        .any(|s| name.ends_with(s))
+    {
+        MetricClass::Timing
+    } else {
+        MetricClass::Deterministic
+    }
+}
+
+/// Whether a larger value of this timing metric is an improvement
+/// (throughput/utilization) rather than a regression (latency).
+fn higher_is_better(identity: &str) -> bool {
+    let name = identity.split('{').next().unwrap_or(identity);
+    name.ends_with("_per_s") || name.ends_with("_utilization")
 }
 
 /// Outcome of one snapshot comparison.
@@ -44,6 +99,10 @@ pub struct DiffReport {
     pub lines: Vec<String>,
     /// Human-readable gate violations; empty means the gate passes.
     pub violations: Vec<String>,
+    /// Timing-class `perf_*` metrics that *improved* beyond the
+    /// tolerance — candidates for ratcheting the committed baseline
+    /// forward (`repro diff --rebaseline`). Never violations.
+    pub ratchet_candidates: Vec<String>,
 }
 
 impl DiffReport {
@@ -64,6 +123,8 @@ struct BenchView {
     accuracy: BTreeMap<String, f64>,
     /// histogram identity → (p50, p95, p99), where present and non-null.
     percentiles: BTreeMap<String, [Option<f64>; 3]>,
+    /// `perf_*` counter/gauge identity → value (the perf-gate feed).
+    perf: BTreeMap<String, f64>,
 }
 
 fn get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
@@ -133,6 +194,27 @@ fn parse_view(text: &str, which: &str) -> Result<BenchView, String> {
             let ps = ["p50", "p95", "p99"].map(|p| entry.get(p).and_then(Value::as_f64));
             if ps.iter().any(Option::is_some) {
                 view.percentiles.insert(metric_identity(entry), ps);
+            }
+        }
+    }
+    for family in ["counters", "gauges"] {
+        let Some(entries) = get(&value, "metrics")
+            .and_then(|m| get(m, family))
+            .and_then(Value::as_array)
+        else {
+            continue;
+        };
+        for e in entries {
+            let Some(entry) = e.as_object() else { continue };
+            let is_perf = entry
+                .get("name")
+                .and_then(Value::as_str)
+                .is_some_and(|n| n.starts_with("perf_"));
+            let Some(v) = entry.get("value").and_then(Value::as_f64) else {
+                continue;
+            };
+            if is_perf {
+                view.perf.insert(metric_identity(entry), v);
             }
         }
     }
@@ -289,6 +371,91 @@ pub fn diff_reports(base: &str, new: &str, opts: &DiffOptions) -> Result<DiffRep
         }
     }
 
+    // Perf metric gate: deterministic class exact, timing class within
+    // tolerance, improvements beyond tolerance become ratchet
+    // candidates. Metrics present in only one snapshot are shown but
+    // never gated (an old baseline still gates what it can).
+    let mut ratchet_candidates = Vec::new();
+    let shared_perf: Vec<&String> = base
+        .perf
+        .keys()
+        .filter(|k| new.perf.contains_key(*k))
+        .collect();
+    if !shared_perf.is_empty() {
+        lines.push(String::new());
+        lines.push(format!(
+            "{:<40} {:>14} {:>14} {:>8}  class",
+            "perf metric", "base", "new", "delta"
+        ));
+        for key in &shared_perf {
+            let (b, n) = (base.perf[*key], new.perf[*key]);
+            let class = metric_class(key);
+            let delta = pct_delta(b, n);
+            lines.push(format!(
+                "{key:<40} {b:>14.3} {n:>14.3} {:>8}  {}",
+                fmt_delta(delta),
+                match class {
+                    MetricClass::Deterministic => "exact",
+                    MetricClass::Timing => "timing",
+                }
+            ));
+            let Some(tolerance) = opts.perf_tolerance_pct else {
+                continue;
+            };
+            match class {
+                MetricClass::Deterministic => {
+                    if b != n {
+                        violations.push(format!(
+                            "deterministic perf metric `{key}` changed: {b} -> {n} \
+                             (must match the baseline exactly)"
+                        ));
+                    }
+                }
+                MetricClass::Timing => {
+                    let Some(d) = delta else { continue };
+                    // Normalize direction: positive `worse` is always a
+                    // regression, whichever way the metric improves.
+                    let worse = if higher_is_better(key) { -d } else { d };
+                    if worse > tolerance {
+                        violations.push(format!(
+                            "timing perf metric `{key}` regressed {d:+.1}% \
+                             (tolerance {tolerance:.0}%): {b:.1} -> {n:.1}"
+                        ));
+                    } else if worse < -tolerance {
+                        ratchet_candidates
+                            .push(format!("`{key}` improved {d:+.1}% ({b:.1} -> {n:.1})"));
+                    }
+                }
+            }
+        }
+        for (key, n) in &new.perf {
+            if !base.perf.contains_key(key) {
+                lines.push(format!(
+                    "{key:<40} {:>14} {n:>14.3} {:>8}  new (not gated)",
+                    "-", ""
+                ));
+            }
+        }
+        for (key, b) in &base.perf {
+            if !new.perf.contains_key(key) {
+                lines.push(format!(
+                    "{key:<40} {b:>14.3} {:>14} {:>8}  gone (not gated)",
+                    "-", ""
+                ));
+            }
+        }
+    }
+    if !ratchet_candidates.is_empty() {
+        lines.push(String::new());
+        lines.push(
+            "ratchet candidate(s) — baseline is beatable, consider `repro diff --rebaseline`:"
+                .to_string(),
+        );
+        for c in &ratchet_candidates {
+            lines.push(format!("  + {c}"));
+        }
+    }
+
     if violations.is_empty() {
         lines.push(String::new());
         lines.push("gate: PASS".to_string());
@@ -299,7 +466,11 @@ pub fn diff_reports(base: &str, new: &str, opts: &DiffOptions) -> Result<DiffRep
             lines.push(format!("  - {v}"));
         }
     }
-    Ok(DiffReport { lines, violations })
+    Ok(DiffReport {
+        lines,
+        violations,
+        ratchet_candidates,
+    })
 }
 
 #[cfg(test)]
@@ -341,6 +512,7 @@ mod tests {
         DiffOptions {
             max_time_regress_pct: Some(50.0),
             min_accuracy_pct: Some(90.0),
+            perf_tolerance_pct: Some(10.0),
         }
     }
 
@@ -416,6 +588,151 @@ mod tests {
         let bad = report("bad", 1.1, 50.0, 0.012);
         let diff = diff_reports(old, &bad, &gate()).unwrap();
         assert!(!diff.passed());
+    }
+
+    /// A run report carrying only perf metrics (counters + gauges).
+    fn perf_report(label: &str, pushes: u64, p99_ns: f64, samples_per_s: f64) -> String {
+        format!(
+            r#"{{
+  "label": "{label}",
+  "meta": {{}},
+  "experiments": [{{"id": "perf", "seconds": 0.2}}],
+  "total_seconds": 0.2,
+  "metrics": {{
+    "counters": [
+      {{"name": "perf_pushes_total", "labels": {{}}, "value": {pushes}}}
+    ],
+    "gauges": [
+      {{"name": "perf_push_p99_ns", "labels": {{}}, "value": {p99_ns}}},
+      {{"name": "perf_samples_per_s", "labels": {{}}, "value": {samples_per_s}}},
+      {{"name": "perf_stage_mean_ns", "labels": {{"stage": "features"}}, "value": 2000.0}}
+    ],
+    "histograms": []
+  }}
+}}"#
+        )
+    }
+
+    fn perf_gate() -> DiffOptions {
+        DiffOptions {
+            perf_tolerance_pct: Some(10.0),
+            ..DiffOptions::default()
+        }
+    }
+
+    #[test]
+    fn metric_classes_follow_the_suffix_convention() {
+        assert_eq!(
+            metric_class("perf_pushes_total"),
+            MetricClass::Deterministic
+        );
+        assert_eq!(
+            metric_class("perf_allocs_per_push"),
+            MetricClass::Deterministic
+        );
+        assert_eq!(metric_class("perf_push_p99_ns"), MetricClass::Timing);
+        assert_eq!(metric_class("perf_samples_per_s"), MetricClass::Timing);
+        assert_eq!(metric_class("perf_stream_seconds"), MetricClass::Timing);
+        // Labels never change the class — the suffix is on the name.
+        assert_eq!(
+            metric_class("perf_stage_mean_ns{stage=\"features\"}"),
+            MetricClass::Timing
+        );
+        assert!(higher_is_better("perf_samples_per_s"));
+        assert!(!higher_is_better("perf_push_p99_ns"));
+    }
+
+    #[test]
+    fn identical_perf_snapshots_pass_the_perf_gate() {
+        let a = perf_report("base", 12000, 8191.0, 250000.0);
+        let diff = diff_reports(&a, &a, &perf_gate()).unwrap();
+        assert!(diff.passed(), "{:?}", diff.violations);
+        assert!(diff.ratchet_candidates.is_empty());
+        let text = diff.lines.join("\n");
+        assert!(text.contains("perf_pushes_total"), "{text}");
+        assert!(text.contains("exact"), "{text}");
+        assert!(text.contains("timing"), "{text}");
+    }
+
+    #[test]
+    fn deterministic_perf_drift_fails_exactly() {
+        let base = perf_report("base", 12000, 8191.0, 250000.0);
+        // One push off — far below any relative tolerance, still a FAIL.
+        let off = perf_report("off", 12001, 8191.0, 250000.0);
+        let diff = diff_reports(&base, &off, &perf_gate()).unwrap();
+        assert!(!diff.passed());
+        assert!(
+            diff.violations
+                .iter()
+                .any(|v| v.contains("deterministic") && v.contains("perf_pushes_total")),
+            "{:?}",
+            diff.violations
+        );
+    }
+
+    #[test]
+    fn timing_drift_within_tolerance_passes() {
+        let base = perf_report("base", 12000, 8191.0, 250000.0);
+        let near = perf_report("near", 12000, 8600.0, 240000.0);
+        let diff = diff_reports(&base, &near, &perf_gate()).unwrap();
+        assert!(diff.passed(), "{:?}", diff.violations);
+    }
+
+    #[test]
+    fn timing_regression_beyond_tolerance_fails() {
+        let base = perf_report("base", 12000, 8191.0, 250000.0);
+        // p99 +50% — a latency regression; throughput unchanged.
+        let slow = perf_report("slow", 12000, 12286.0, 250000.0);
+        let diff = diff_reports(&base, &slow, &perf_gate()).unwrap();
+        assert!(!diff.passed());
+        assert!(
+            diff.violations
+                .iter()
+                .any(|v| v.contains("perf_push_p99_ns") && v.contains("regressed")),
+            "{:?}",
+            diff.violations
+        );
+    }
+
+    #[test]
+    fn throughput_direction_is_higher_is_better() {
+        let base = perf_report("base", 12000, 8191.0, 250000.0);
+        // Throughput -40% is a regression even though the number "fell".
+        let slow = perf_report("slow", 12000, 8191.0, 150000.0);
+        let diff = diff_reports(&base, &slow, &perf_gate()).unwrap();
+        assert!(!diff.passed());
+        assert!(
+            diff.violations
+                .iter()
+                .any(|v| v.contains("perf_samples_per_s")),
+            "{:?}",
+            diff.violations
+        );
+        // Throughput +40% is an improvement: PASS, plus a ratchet hint.
+        let fast = perf_report("fast", 12000, 8191.0, 350000.0);
+        let diff = diff_reports(&base, &fast, &perf_gate()).unwrap();
+        assert!(diff.passed(), "{:?}", diff.violations);
+        assert!(
+            diff.ratchet_candidates
+                .iter()
+                .any(|c| c.contains("perf_samples_per_s")),
+            "{:?}",
+            diff.ratchet_candidates
+        );
+        assert!(diff.lines.join("\n").contains("--rebaseline"));
+    }
+
+    #[test]
+    fn perf_gate_off_never_fails_and_old_baselines_are_tolerated() {
+        let base = perf_report("base", 12000, 8191.0, 250000.0);
+        let wild = perf_report("wild", 9000, 90000.0, 10.0);
+        let diff = diff_reports(&base, &wild, &DiffOptions::default()).unwrap();
+        assert!(diff.passed(), "{:?}", diff.violations);
+        // A baseline with no perf metrics at all gates nothing.
+        let old = r#"{"label": "old", "meta": {}, "experiments": [],
+                      "metrics": {"counters": [], "gauges": [], "histograms": []}}"#;
+        let diff = diff_reports(old, &wild, &perf_gate()).unwrap();
+        assert!(diff.passed(), "{:?}", diff.violations);
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod fleet;
 pub mod importance;
 pub mod interference;
 pub mod outdoor;
+pub mod perf;
 pub mod profile;
 pub mod selection;
 pub mod soak;

@@ -15,6 +15,7 @@ pub mod context;
 pub mod diff;
 pub mod error;
 pub mod experiments;
+pub mod profdiff;
 pub mod report;
 
 use context::Context;
@@ -23,7 +24,7 @@ use report::Report;
 pub use error::BenchError;
 
 /// Every experiment id, in paper order.
-pub const EXPERIMENT_IDS: [&str; 26] = [
+pub const EXPERIMENT_IDS: [&str; 27] = [
     "fig3",
     "fig5",
     "fig7",
@@ -50,6 +51,7 @@ pub const EXPERIMENT_IDS: [&str; 26] = [
     "fleet",
     "events",
     "profile",
+    "perf",
 ];
 
 /// Run one experiment by id.
@@ -86,6 +88,7 @@ pub fn run_experiment(id: &str, ctx: &Context) -> Result<Report, BenchError> {
         "fleet" => experiments::fleet::run(ctx),
         "events" => experiments::events::run(ctx),
         "profile" => experiments::profile::run(ctx),
+        "perf" => experiments::perf::run(ctx),
         _ => Err(BenchError::UnknownExperiment(id.to_string())),
     }
 }

@@ -1,0 +1,176 @@
+//! Offline differential profiles: parse `airfinger-profile-v1` JSON
+//! artifacts back into [`ProfileSnapshot`]s so two on-disk profiles can
+//! be compared with [`ProfileSnapshot::diff`] without sharing a process
+//! (`repro profile-diff BASE.json NEW.json`).
+//!
+//! The live route (`GET /profile?baseline=set` then `?diff=base`) covers
+//! in-process before/after comparisons; this module covers the CI shape
+//! — two runs, two artifacts, one signed collapsed-stack file fed to a
+//! differential flamegraph.
+
+use airfinger_obs::profile::{PathStats, ProfileSnapshot};
+use airfinger_obs::AllocStats;
+use serde::Value;
+
+/// Read one `airfinger-profile-v1` document into a snapshot. The path
+/// list is re-sorted on ingest (the snapshot's binary-search and diff
+/// walk both require lexicographic order), and duplicate paths merge.
+///
+/// # Errors
+///
+/// Invalid JSON, a wrong/missing `schema` marker, or a `paths` entry
+/// without a string `path` all fail with a message naming `which` (the
+/// caller's label for this side, e.g. the file path).
+pub fn parse_profile_json(text: &str, which: &str) -> Result<ProfileSnapshot, String> {
+    let value: Value =
+        serde_json::from_str(text).map_err(|e| format!("{which}: not valid JSON: {e:?}"))?;
+    let object = value
+        .as_object()
+        .ok_or_else(|| format!("{which}: profile document must be a JSON object"))?;
+    match object.get("schema").and_then(Value::as_str) {
+        Some("airfinger-profile-v1") => {}
+        Some(other) => {
+            return Err(format!(
+                "{which}: schema is `{other}`, expected `airfinger-profile-v1`"
+            ))
+        }
+        None => return Err(format!("{which}: missing `schema` marker")),
+    }
+    let dropped = object
+        .get("dropped_paths")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0) as u64;
+    let entries = object
+        .get("paths")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{which}: missing `paths` array"))?;
+
+    let mut snapshot = ProfileSnapshot {
+        paths: Vec::with_capacity(entries.len()),
+        dropped,
+    };
+    for entry in entries {
+        let entry = entry
+            .as_object()
+            .ok_or_else(|| format!("{which}: `paths` entries must be objects"))?;
+        let path = entry
+            .get("path")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{which}: `paths` entry without a string `path`"))?;
+        let field = |key: &str| entry.get(key).and_then(Value::as_f64).unwrap_or(0.0) as u64;
+        snapshot.paths.push((
+            path.to_string(),
+            PathStats {
+                count: field("count"),
+                total_ns: field("total_ns"),
+                self_ns: field("self_ns"),
+                alloc: AllocStats {
+                    count: field("alloc_count"),
+                    bytes: field("alloc_bytes"),
+                },
+                self_alloc: AllocStats {
+                    count: field("self_alloc_count"),
+                    bytes: field("self_alloc_bytes"),
+                },
+            },
+        ));
+    }
+    snapshot.paths.sort_by(|a, b| a.0.cmp(&b.0));
+    snapshot.paths.dedup_by(|dup, kept| {
+        if dup.0 == kept.0 {
+            let stats = dup.1;
+            kept.1.merge(&stats);
+            true
+        } else {
+            false
+        }
+    });
+    Ok(snapshot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(paths: &[(&str, u64, u64)]) -> ProfileSnapshot {
+        let mut s = ProfileSnapshot {
+            paths: paths
+                .iter()
+                .map(|(p, count, self_ns)| {
+                    (
+                        (*p).to_string(),
+                        PathStats {
+                            count: *count,
+                            total_ns: *self_ns,
+                            self_ns: *self_ns,
+                            ..PathStats::default()
+                        },
+                    )
+                })
+                .collect(),
+            dropped: 0,
+        };
+        s.paths.sort_by(|a, b| a.0.cmp(&b.0));
+        s
+    }
+
+    #[test]
+    fn json_export_round_trips_through_the_parser() {
+        let original = snap(&[("root;push", 10, 4_000), ("root", 1, 500)]);
+        let parsed = parse_profile_json(&original.to_json(), "test").expect("parses");
+        assert_eq!(parsed.paths.len(), original.paths.len());
+        for ((p_a, s_a), (p_b, s_b)) in parsed.paths.iter().zip(original.paths.iter()) {
+            assert_eq!(p_a, p_b);
+            assert_eq!(s_a.count, s_b.count);
+            assert_eq!(s_a.self_ns, s_b.self_ns);
+        }
+        // A round-tripped snapshot diffed with its source is all-zero.
+        assert!(parsed.diff(&original).is_zero());
+    }
+
+    #[test]
+    fn parsed_snapshots_diff_with_signed_collapsed_output() {
+        let base = snap(&[("root;stage_a", 5, 1_000), ("root;stage_b", 5, 2_000)]);
+        let new = snap(&[("root;stage_a", 5, 3_000), ("root;stage_c", 2, 700)]);
+        let base = parse_profile_json(&base.to_json(), "base").expect("base parses");
+        let new = parse_profile_json(&new.to_json(), "new").expect("new parses");
+        let diff = new.diff(&base);
+        let collapsed = diff.collapsed();
+        assert!(collapsed.contains("root;stage_a 2000"), "{collapsed}");
+        assert!(collapsed.contains("root;stage_b -2000"), "{collapsed}");
+        assert!(collapsed.contains("root;stage_c 700"), "{collapsed}");
+        assert!(diff.to_json().contains("airfinger-profile-diff-v1"));
+    }
+
+    #[test]
+    fn parser_rejects_wrong_schema_and_garbage() {
+        assert!(parse_profile_json("{not json", "x").is_err());
+        assert!(
+            parse_profile_json(r#"{"schema": "other-v9", "paths": []}"#, "x")
+                .unwrap_err()
+                .contains("other-v9")
+        );
+        assert!(parse_profile_json(r#"{"paths": []}"#, "x")
+            .unwrap_err()
+            .contains("schema"));
+    }
+
+    #[test]
+    fn parser_sorts_and_merges_duplicate_paths() {
+        let text = r#"{
+            "schema": "airfinger-profile-v1",
+            "dropped_paths": 0,
+            "paths": [
+                {"path": "z", "count": 1, "total_ns": 10, "self_ns": 10},
+                {"path": "a", "count": 2, "total_ns": 20, "self_ns": 20},
+                {"path": "z", "count": 3, "total_ns": 30, "self_ns": 30}
+            ]
+        }"#;
+        let snap = parse_profile_json(text, "test").expect("parses");
+        assert_eq!(snap.paths.len(), 2);
+        assert_eq!(snap.paths[0].0, "a");
+        assert_eq!(snap.paths[1].0, "z");
+        assert_eq!(snap.paths[1].1.count, 4, "duplicates merge");
+        assert_eq!(snap.path("z").map(|s| s.self_ns), Some(40));
+    }
+}

@@ -94,6 +94,29 @@ fn write_profile_artifacts(dump_dir: Option<&str>) -> Result<(), String> {
     )
 }
 
+/// One-line push-latency rollup from the global nanosecond histogram
+/// (`engine_push_ns`, recorded by every `StreamingEngine::push`).
+/// Silent when recording is off or nothing was pushed.
+fn print_push_latency() {
+    let Some(push) = airfinger_obs::latency::snapshot_all()
+        .into_iter()
+        .find(|s| s.id.name == "engine_push_ns")
+    else {
+        return;
+    };
+    if push.count == 0 {
+        return;
+    }
+    println!(
+        "push latency: p50 {} ns | p95 {} ns | p99 {} ns | max {} ns over {} pushes",
+        push.p50_ns(),
+        push.p95_ns(),
+        push.p99_ns(),
+        push.max_ns,
+        push.count
+    );
+}
+
 /// `airfinger generate`
 pub(crate) fn generate(argv: &[String]) -> i32 {
     let args = match Args::parse(argv) {
@@ -391,6 +414,7 @@ pub(crate) fn monitor(argv: &[String]) -> i32 {
              {slow_alerts} slow burn alerts, {:.0}% budget remaining",
             budget_remaining * 100.0
         );
+        print_push_latency();
         if let Some(dir) = dump_dir {
             write_dumps(std::path::Path::new(dir), &dumps)?;
             if let Some(journal) = &journal {
@@ -534,6 +558,7 @@ pub(crate) fn fleet(argv: &[String]) -> i32 {
             rollup.burn_slow_worst,
             rollup.budget_remaining_min * 100.0
         );
+        print_push_latency();
         if let Some(journal) = &journal {
             println!(
                 "journal: {} events published ({} retained, {} evicted)",

@@ -195,10 +195,13 @@ fn print_help() {
     println!("  --profile         attribute per-stage cost (self/cumulative time,");
     println!("                    allocs) to the span call paths; monitor/fleet");
     println!("                    export collapsed stacks under --dump-dir");
-    println!("  --serve-metrics ADDR  serve live /metrics (Prometheus), /health");
-    println!("                    (JSON rollup + history), /profile (collapsed");
-    println!("                    stacks), and /events (journal tail with an");
-    println!("                    ?after=<seq> cursor) on ADDR, e.g. 127.0.0.1:0");
+    println!("  --serve-metrics ADDR  serve live /metrics (Prometheus, including");
+    println!("                    nanosecond latency histograms), /health (JSON");
+    println!("                    rollup + history), /profile (collapsed stacks;");
+    println!("                    ?baseline=set stores a diff baseline, ?diff=base");
+    println!("                    answers the signed differential flamegraph feed),");
+    println!("                    and /events (journal tail with an ?after=<seq>");
+    println!("                    cursor) on ADDR, e.g. 127.0.0.1:0");
     println!("                    (no TLS/auth — bind loopback or a trusted");
     println!("                    interface only)");
     println!("  --serve-linger MS keep the scrape server alive MS milliseconds");

@@ -170,7 +170,8 @@ impl StreamingEngine {
         if sample.len() != self.channel_count {
             return Err(AirFingerError::InvalidTrainingData("sample width mismatch"));
         }
-        let span = airfinger_obs::span!("engine_push_seconds");
+        let span = airfinger_obs::span!("engine_push_seconds")
+            .with_latency(airfinger_obs::latency!("engine_push_ns"));
         airfinger_obs::counter!("engine_samples_total").inc();
         let result = match self.ingest(sample) {
             Some(seg) => self.emit(seg).map(Some),
@@ -218,7 +219,8 @@ impl StreamingEngine {
         if sample.len() != self.channel_count {
             return Err(AirFingerError::InvalidTrainingData("sample width mismatch"));
         }
-        let span = airfinger_obs::span!("engine_push_seconds");
+        let span = airfinger_obs::span!("engine_push_seconds")
+            .with_latency(airfinger_obs::latency!("engine_push_ns"));
         airfinger_obs::counter!("engine_samples_total").inc();
         let closed = self.ingest(sample);
         if !self.segmenter.in_gesture() {

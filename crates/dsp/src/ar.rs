@@ -123,8 +123,13 @@ pub fn adf_stat(x: &[f64], lags: usize) -> Result<f64, DspError> {
             need: p + lags + 2,
         });
     }
-    let mut xtx = vec![vec![0.0; p]; p];
-    let mut xty = vec![0.0; p];
+    // Row-major p×p normal matrix; one flat buffer, factored in place by
+    // the dual-RHS solve below (no per-solve clone).
+    let mut xtx = vec![0.0; p * p];
+    // Column-major RHS pair: column 0 is Xᵀy, column 1 is e₁ (whose
+    // solution is the second column of (XᵀX)⁻¹). Solving both against one
+    // factorization replaces the former two clone-and-refactor passes.
+    let mut rhs = vec![0.0; 2 * p];
     let mut yty = 0.0;
     let mut design_row = vec![0.0; p];
     for t in lags..dx.len() {
@@ -136,28 +141,35 @@ pub fn adf_stat(x: &[f64], lags: usize) -> Result<f64, DspError> {
         let y = dx[t];
         yty += y * y;
         for a in 0..p {
-            xty[a] += design_row[a] * y;
+            rhs[a] += design_row[a] * y;
             for b in a..p {
-                xtx[a][b] += design_row[a] * design_row[b];
+                xtx[a * p + b] += design_row[a] * design_row[b];
             }
         }
     }
     for a in 0..p {
         for b in 0..a {
-            xtx[a][b] = xtx[b][a];
+            xtx[a * p + b] = xtx[b * p + a];
         }
     }
-    let beta =
-        solve_spd(&mut xtx.clone(), &xty).ok_or(DspError::Numerical("singular adf regression"))?;
-    // Residual variance.
-    let explained: f64 = beta.iter().zip(&xty).map(|(b, v)| b * v).sum();
+    rhs[p + 1] = 1.0; // e₁ for the [(XᵀX)⁻¹]_{11} entry
+    if !solve_spd_multi(&mut xtx, p, &mut rhs) {
+        return Err(DspError::Numerical("singular adf regression"));
+    }
+    let (beta, inv_col) = rhs.split_at(p);
+    // Residual variance via β·(Xᵀy); the solve overwrote Xᵀy in place,
+    // so rebuild the inner product with one pass over the design rows.
+    let mut explained = 0.0;
+    for t in lags..dx.len() {
+        let mut fit = beta[0] + beta[1] * x[t];
+        for i in 0..lags {
+            fit += beta[2 + i] * dx[t - 1 - i];
+        }
+        explained += fit * dx[t];
+    }
     let dof = rows - p;
     let sigma2 = ((yty - explained) / dof as f64).max(0.0);
-    // se(γ̂) = sqrt(σ² · [(XᵀX)⁻¹]_{11}); get that entry by solving against e₁.
-    let mut e1 = vec![0.0; p];
-    e1[1] = 1.0;
-    let inv_col =
-        solve_spd(&mut xtx.clone(), &e1).ok_or(DspError::Numerical("singular adf regression"))?;
+    // se(γ̂) = sqrt(σ² · [(XᵀX)⁻¹]_{11}) from the e₁ solution column.
     let var_gamma = sigma2 * inv_col[1];
     if var_gamma <= 0.0 {
         return Err(DspError::Numerical(
@@ -167,42 +179,58 @@ pub fn adf_stat(x: &[f64], lags: usize) -> Result<f64, DspError> {
     Ok(beta[1] / var_gamma.sqrt())
 }
 
-/// Solve `A·x = b` for symmetric positive-definite-ish `A` by Gaussian
-/// elimination with partial pivoting. Returns `None` when singular.
+/// Solve `A·X = B` in place for symmetric positive-definite-ish `A`
+/// (row-major `n×n` in `a`) and one or more right-hand-side columns
+/// stored column-major in `rhs` (`rhs.len()` a multiple of `n`), by
+/// Gaussian elimination with partial pivoting. On success the solution
+/// columns overwrite `rhs`; `a` is consumed as factorization scratch —
+/// nothing is cloned or reallocated. Returns `false` when singular.
 #[allow(clippy::needless_range_loop)] // classic pivoting index dance
-fn solve_spd(a: &mut [Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
-    let n = b.len();
-    let mut x = b.to_vec();
+fn solve_spd_multi(a: &mut [f64], n: usize, rhs: &mut [f64]) -> bool {
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(rhs.len() % n.max(1), 0);
+    let cols = rhs.len().checked_div(n).unwrap_or(0);
     for col in 0..n {
         // Pivot.
         let mut piv = col;
         for r in col + 1..n {
-            if a[r][col].abs() > a[piv][col].abs() {
+            if a[r * n + col].abs() > a[piv * n + col].abs() {
                 piv = r;
             }
         }
-        if a[piv][col].abs() < 1e-12 {
-            return None;
+        if a[piv * n + col].abs() < 1e-12 {
+            return false;
         }
-        a.swap(col, piv);
-        x.swap(col, piv);
+        if piv != col {
+            for c in 0..n {
+                a.swap(col * n + c, piv * n + c);
+            }
+            for k in 0..cols {
+                rhs.swap(k * n + col, k * n + piv);
+            }
+        }
         // Eliminate.
         for r in col + 1..n {
-            let f = a[r][col] / a[col][col];
+            let f = a[r * n + col] / a[col * n + col];
             for c in col..n {
-                a[r][c] -= f * a[col][c];
+                a[r * n + c] -= f * a[col * n + c];
             }
-            x[r] -= f * x[col];
+            for k in 0..cols {
+                rhs[k * n + r] -= f * rhs[k * n + col];
+            }
         }
     }
-    // Back substitution.
-    for col in (0..n).rev() {
-        for c in col + 1..n {
-            x[col] -= a[col][c] * x[c];
+    // Back substitution, per column.
+    for k in 0..cols {
+        for col in (0..n).rev() {
+            for c in col + 1..n {
+                let sub = a[col * n + c] * rhs[k * n + c];
+                rhs[k * n + col] -= sub;
+            }
+            rhs[k * n + col] /= a[col * n + col];
         }
-        x[col] /= a[col][col];
     }
-    Some(x)
+    true
 }
 
 #[cfg(test)]
@@ -343,15 +371,44 @@ mod tests {
 
     #[test]
     fn solver_solves_small_system() {
-        let mut a = vec![vec![4.0, 1.0], vec![1.0, 3.0]];
-        let x = solve_spd(&mut a, &[1.0, 2.0]).unwrap();
-        assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-9);
-        assert!((x[0] + 3.0 * x[1] - 2.0).abs() < 1e-9);
+        let mut a = [4.0, 1.0, 1.0, 3.0];
+        let mut rhs = [1.0, 2.0];
+        assert!(solve_spd_multi(&mut a, 2, &mut rhs));
+        assert!((4.0 * rhs[0] + rhs[1] - 1.0).abs() < 1e-9);
+        assert!((rhs[0] + 3.0 * rhs[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solver_handles_multiple_rhs_columns_in_one_factorization() {
+        // Solve against b₀ = (1, 2) and b₁ = e₁ simultaneously; the second
+        // column must land on the first column of A⁻¹ — exactly how
+        // adf_stat extracts [(XᵀX)⁻¹]_{11} without a second factorization.
+        let mut a = [4.0, 1.0, 1.0, 3.0];
+        let mut rhs = [1.0, 2.0, 1.0, 0.0];
+        assert!(solve_spd_multi(&mut a, 2, &mut rhs));
+        assert!((4.0 * rhs[0] + rhs[1] - 1.0).abs() < 1e-9);
+        assert!((rhs[0] + 3.0 * rhs[1] - 2.0).abs() < 1e-9);
+        // A⁻¹ = (1/11)·[[3, -1], [-1, 4]]; its first column is (3, -1)/11.
+        assert!((rhs[2] - 3.0 / 11.0).abs() < 1e-9);
+        assert!((rhs[3] + 1.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solver_pivots_rows_to_avoid_tiny_leading_entries() {
+        // Leading 0 forces a row swap; both RHS columns must swap with it.
+        let mut a = [0.0, 2.0, 3.0, 1.0];
+        let mut rhs = [4.0, 5.0, 2.0, 0.0];
+        assert!(solve_spd_multi(&mut a, 2, &mut rhs));
+        assert!((2.0 * rhs[1] - 4.0).abs() < 1e-9, "x = {rhs:?}");
+        assert!((3.0 * rhs[0] + rhs[1] - 5.0).abs() < 1e-9, "x = {rhs:?}");
+        assert!((2.0 * rhs[3] - 2.0).abs() < 1e-9, "x = {rhs:?}");
+        assert!((3.0 * rhs[2] + rhs[3]).abs() < 1e-9, "x = {rhs:?}");
     }
 
     #[test]
     fn solver_detects_singular() {
-        let mut a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
-        assert!(solve_spd(&mut a, &[1.0, 2.0]).is_none());
+        let mut a = [1.0, 2.0, 2.0, 4.0];
+        let mut rhs = [1.0, 2.0];
+        assert!(!solve_spd_multi(&mut a, 2, &mut rhs));
     }
 }

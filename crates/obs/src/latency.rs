@@ -1,0 +1,597 @@
+//! Nanosecond latency attribution: fixed-size, log2-bucketed histograms.
+//!
+//! The second-resolution [`crate::Histogram`] answers "how is time spent
+//! across a run"; it cannot answer "what is push p99 in nanoseconds"
+//! because its P² estimators take a lock on every observation and its
+//! bucket edges bottom out at 1 µs. [`LatencyHist`] is the hot-path
+//! counterpart: 64 power-of-two buckets covering every representable
+//! `u64` nanosecond value, recorded with a handful of relaxed atomic
+//! instructions and **no heap traffic after construction** — the record
+//! path allocates nothing, locks nothing, and never blocks, so it is safe
+//! inside functions audited by lint rule H.
+//!
+//! Bucket `0` holds exact zeros; bucket `i` (1 ≤ i ≤ 62) holds values in
+//! `[2^(i−1), 2^i − 1]`; bucket `63` holds everything from `2^62` up to
+//! `u64::MAX`. Percentiles are derived from the bucket counts by rank
+//! walk and reported as the matched bucket's inclusive upper edge — a
+//! deterministic, conservative (never under-reporting) estimate with at
+//! most 2× quantization, plenty for a regression gate with a ±10% band
+//! on top.
+//!
+//! Handles are registered in a process-global table keyed by
+//! [`MetricId`] — the same identity scheme as the metric registry — via
+//! the [`crate::latency!`] macro, which caches the handle per call site
+//! in a `OnceLock` so steady-state recording never touches the table
+//! lock.
+
+use crate::registry::MetricId;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Number of buckets: one per possible bit length of a `u64`, plus the
+/// dedicated zero bucket folded into index 0.
+pub const LATENCY_BUCKETS: usize = 64;
+
+/// A lock-free nanosecond histogram with power-of-two buckets.
+///
+/// Cloning is a cheap `Arc` bump; all clones observe the same buckets.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHist {
+    inner: Arc<LatencyInner>,
+}
+
+#[derive(Debug)]
+struct LatencyInner {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyInner {
+    fn default() -> Self {
+        LatencyInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index a nanosecond value lands in: 0 for 0, otherwise the
+/// value's bit length, clamped so bucket 63 absorbs everything ≥ 2^62.
+#[must_use]
+#[inline]
+pub fn bucket_index(ns: u64) -> usize {
+    let bits = (u64::BITS - ns.leading_zeros()) as usize;
+    bits.min(LATENCY_BUCKETS - 1)
+}
+
+/// The inclusive upper edge of a bucket: 0 for bucket 0, `2^i − 1` for
+/// buckets 1..=62, and `u64::MAX` for the overflow bucket 63.
+#[must_use]
+#[inline]
+pub fn bucket_upper(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i if i >= LATENCY_BUCKETS - 1 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+impl LatencyHist {
+    /// Create a detached histogram (tests; instrumentation should go
+    /// through [`crate::latency!`]).
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHist::default()
+    }
+
+    /// Record one duration. A few relaxed atomics; no allocation, no
+    /// lock, no syscall — the whole point of this type.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        if !crate::recording() {
+            return;
+        }
+        let inner = &*self.inner;
+        inner.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        // Saturate rather than wrap: ~584 years of accumulated
+        // nanoseconds should clamp, not jump backwards mid-scrape.
+        let mut current = inner.sum_ns.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_add(ns);
+            match inner.sum_ns.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+        inner.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded durations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded durations (saturating).
+    #[must_use]
+    pub fn sum_ns(&self) -> u64 {
+        self.inner.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded duration.
+    #[must_use]
+    pub fn max_ns(&self) -> u64 {
+        self.inner.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts, exactly [`LATENCY_BUCKETS`] entries.
+    #[must_use]
+    pub fn bucket_counts(&self) -> [u64; LATENCY_BUCKETS] {
+        std::array::from_fn(|i| self.inner.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Zero every bucket and the count/sum/max, in place, so cached
+    /// handles keep working (same contract as [`crate::Registry::reset`]).
+    pub fn reset(&self) {
+        for b in &self.inner.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.inner.count.store(0, Ordering::Relaxed);
+        self.inner.sum_ns.store(0, Ordering::Relaxed);
+        self.inner.max_ns.store(0, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy for export (bucket loads
+    /// are individually atomic; a scrape racing a record may be off by
+    /// the in-flight observation, which is fine for telemetry).
+    #[must_use]
+    pub fn snapshot(&self, id: MetricId) -> LatencySnapshot {
+        LatencySnapshot {
+            id,
+            count: self.count(),
+            sum_ns: self.sum_ns(),
+            max_ns: self.max_ns(),
+            buckets: self.bucket_counts().to_vec(),
+        }
+    }
+}
+
+/// A point-in-time copy of one [`LatencyHist`], ready for export.
+#[derive(Debug, Clone)]
+pub struct LatencySnapshot {
+    /// Metric identity (name + sorted labels).
+    pub id: MetricId,
+    /// Total recorded durations.
+    pub count: u64,
+    /// Saturating sum of recorded nanoseconds.
+    pub sum_ns: u64,
+    /// Largest recorded duration.
+    pub max_ns: u64,
+    /// Per-bucket counts, [`LATENCY_BUCKETS`] entries.
+    pub buckets: Vec<u64>,
+}
+
+impl LatencySnapshot {
+    /// The `q`-quantile (0 < q ≤ 1) as the inclusive upper edge of the
+    /// bucket holding the rank-⌈q·count⌉ observation; 0 when empty. The
+    /// max is substituted for the top bucket's edge when the rank lands
+    /// in the overflow bucket, keeping the estimate finite and tight.
+    #[must_use]
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        #[allow(clippy::cast_sign_loss)]
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                if i == LATENCY_BUCKETS - 1 {
+                    return self.max_ns;
+                }
+                return bucket_upper(i);
+            }
+        }
+        self.max_ns
+    }
+
+    /// p50 upper-edge estimate in nanoseconds.
+    #[must_use]
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// p95 upper-edge estimate in nanoseconds.
+    #[must_use]
+    pub fn p95_ns(&self) -> u64 {
+        self.quantile_ns(0.95)
+    }
+
+    /// p99 upper-edge estimate in nanoseconds.
+    #[must_use]
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// Mean nanoseconds per observation (0 when empty).
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let mean = self.sum_ns as f64 / self.count as f64;
+        mean
+    }
+
+    /// One JSON object:
+    /// `{"name","labels","count","sum_ns","max_ns","p50_ns",…,"buckets"}`.
+    /// Empty buckets are elided from the `buckets` array to keep reports
+    /// compact; each entry is `{"le_ns": upper, "count": n}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use crate::export::{json_string, sanitize_name};
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"name\": ");
+        out.push_str(&json_string(&sanitize_name(&self.id.name)));
+        out.push_str(", \"labels\": {");
+        for (i, (k, v)) in self.id.labels.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(k));
+            out.push_str(": ");
+            out.push_str(&json_string(v));
+        }
+        out.push_str("}, ");
+        out.push_str(&format!(
+            "\"count\": {}, \"sum_ns\": {}, \"max_ns\": {}, \
+             \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"buckets\": [",
+            self.count,
+            self.sum_ns,
+            self.max_ns,
+            self.p50_ns(),
+            self.p95_ns(),
+            self.p99_ns(),
+        ));
+        let mut first = true;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"le_ns\": {}, \"count\": {c}}}",
+                bucket_upper(i)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The process-global latency table. One table (not one per
+/// [`crate::Registry`]) because the recording sites cache `'static`
+/// handles; [`reset`] zeroes in place exactly like the registry does.
+fn table() -> &'static Mutex<BTreeMap<MetricId, LatencyHist>> {
+    static TABLE: OnceLock<Mutex<BTreeMap<MetricId, LatencyHist>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn lock_table() -> std::sync::MutexGuard<'static, BTreeMap<MetricId, LatencyHist>> {
+    table().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Register-or-fetch the histogram named `name` with no labels.
+#[must_use]
+pub fn hist(name: &str) -> LatencyHist {
+    hist_with(name, &[])
+}
+
+/// Register-or-fetch the histogram named `name` with static labels.
+/// Prefer the [`crate::latency!`] macro, which caches the handle.
+#[must_use]
+pub fn hist_with(name: &str, labels: &[(&str, &str)]) -> LatencyHist {
+    let id = MetricId::new(name, labels);
+    lock_table().entry(id).or_default().clone()
+}
+
+/// Snapshot every registered histogram, sorted by metric identity.
+#[must_use]
+pub fn snapshot_all() -> Vec<LatencySnapshot> {
+    lock_table()
+        .iter()
+        .map(|(id, h)| h.snapshot(id.clone()))
+        .collect()
+}
+
+/// Zero every registered histogram in place; cached handles survive.
+pub fn reset() {
+    for h in lock_table().values() {
+        h.reset();
+    }
+}
+
+/// All registered histograms as a JSON array (one object per histogram,
+/// see [`LatencySnapshot::to_json`]). Always present in run reports so
+/// downstream tooling can key on it unconditionally.
+#[must_use]
+pub fn export_json() -> String {
+    let snaps = snapshot_all();
+    let mut out = String::from("[");
+    for (i, s) in snaps.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&s.to_json());
+    }
+    out.push(']');
+    out
+}
+
+/// Prometheus exposition for every registered histogram: a cumulative
+/// `_bucket`/`_sum`/`_count` family (bucket edges in nanoseconds) plus a
+/// companion `<name>_quantiles` summary carrying p50/p95/p99/max.
+#[must_use]
+pub fn export_prometheus() -> String {
+    use crate::export::{escape_label_value, prom_number, sanitize_name};
+    let snaps = snapshot_all();
+    let mut out = String::new();
+    let mut seen: Option<String> = None;
+    for s in &snaps {
+        let name = sanitize_name(&s.id.name);
+        if seen.as_deref() != Some(name.as_str()) {
+            out.push_str(&format!(
+                "# HELP {name} log2-bucketed nanosecond latency histogram\n\
+                 # TYPE {name} histogram\n"
+            ));
+            seen = Some(name.clone());
+        }
+        let labels = |extra: &str| -> String {
+            let mut parts: Vec<String> =
+                s.id.labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+                    .collect();
+            if !extra.is_empty() {
+                parts.push(extra.to_string());
+            }
+            if parts.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", parts.join(","))
+            }
+        };
+        let mut cumulative = 0u64;
+        for (i, &c) in s.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(c);
+            if c == 0 && i != LATENCY_BUCKETS - 1 {
+                continue;
+            }
+            let le = if i == LATENCY_BUCKETS - 1 {
+                "le=\"+Inf\"".to_string()
+            } else {
+                format!("le=\"{}\"", bucket_upper(i))
+            };
+            out.push_str(&format!("{name}_bucket{} {cumulative}\n", labels(&le)));
+        }
+        out.push_str(&format!("{name}_sum{} {}\n", labels(""), s.sum_ns));
+        out.push_str(&format!("{name}_count{} {}\n", labels(""), s.count));
+        if s.count > 0 {
+            for (q, v) in [
+                ("0.5", s.p50_ns()),
+                ("0.95", s.p95_ns()),
+                ("0.99", s.p99_ns()),
+            ] {
+                #[allow(clippy::cast_precision_loss)]
+                let value = prom_number(v as f64);
+                out.push_str(&format!(
+                    "{name}_quantiles{} {value}\n",
+                    labels(&format!("quantile=\"{q}\""))
+                ));
+            }
+            out.push_str(&format!(
+                "{name}_quantiles_max{} {}\n",
+                labels(""),
+                s.max_ns
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(h: &LatencyHist) -> LatencySnapshot {
+        h.snapshot(MetricId::new("test_ns", &[]))
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        // Every power of two opens a new bucket; its predecessor closes
+        // the previous one.
+        for i in 1..62 {
+            let edge = 1u64 << i;
+            assert_eq!(bucket_index(edge), i + 1, "2^{i}");
+            assert_eq!(bucket_index(edge - 1), i, "2^{i} - 1");
+        }
+        // The overflow bucket absorbs 2^62 .. u64::MAX.
+        assert_eq!(bucket_index(1u64 << 62), 63);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn bucket_upper_matches_index() {
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(62), (1u64 << 62) - 1);
+        assert_eq!(bucket_upper(63), u64::MAX);
+        // Round trip: every value's bucket upper edge is >= the value.
+        for v in [0, 1, 2, 3, 4, 1000, 1 << 40, u64::MAX] {
+            assert!(bucket_upper(bucket_index(v)) >= v, "{v}");
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn records_extremes_without_losing_counts() {
+        let h = LatencyHist::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max_ns(), u64::MAX);
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets[0], 1);
+        assert_eq!(buckets[1], 1);
+        assert_eq!(buckets[63], 1);
+        // The sum saturates instead of wrapping.
+        assert_eq!(h.sum_ns(), u64::MAX);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn quantiles_walk_bucket_edges() {
+        let h = LatencyHist::new();
+        for _ in 0..50 {
+            h.record(100); // bucket 7, upper edge 127
+        }
+        for _ in 0..49 {
+            h.record(1000); // bucket 10, upper edge 1023
+        }
+        h.record(1_000_000); // bucket 20, upper edge 1_048_575
+        let s = snap(&h);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ns(), 127);
+        assert_eq!(s.p95_ns(), 1023);
+        assert_eq!(s.p99_ns(), 1023);
+        assert_eq!(s.quantile_ns(1.0), 1_048_575);
+        assert_eq!(s.max_ns, 1_000_000);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn overflow_bucket_reports_the_exact_max() {
+        let h = LatencyHist::new();
+        h.record(u64::MAX - 7);
+        let s = snap(&h);
+        // The rank walk lands in bucket 63; the snapshot substitutes the
+        // tracked max so the estimate stays finite and tight.
+        assert_eq!(s.p99_ns(), u64::MAX - 7);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = snap(&LatencyHist::new());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_ns(), 0);
+        assert_eq!(s.p99_ns(), 0);
+        assert_eq!(s.max_ns, 0);
+        assert!((s.mean_ns() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn reset_zeroes_in_place_and_handles_survive() {
+        let a = hist_with("latency_reset_test_ns", &[("stage", "x")]);
+        a.record(42);
+        assert_eq!(a.count(), 1);
+        reset();
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.sum_ns(), 0);
+        assert_eq!(a.max_ns(), 0);
+        a.record(7);
+        let b = hist_with("latency_reset_test_ns", &[("stage", "x")]);
+        assert_eq!(b.count(), 1, "handles must share state after reset");
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn clones_share_state_and_ids_separate() {
+        let a = hist_with("latency_share_test_ns", &[]);
+        let b = hist_with("latency_share_test_ns", &[]);
+        let other = hist_with("latency_share_test_ns", &[("stage", "y")]);
+        a.record(5);
+        assert_eq!(b.count(), 1);
+        assert_eq!(other.count(), 0);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn json_export_elides_empty_buckets() {
+        let h = hist_with("latency_json_test_ns", &[("stage", "sbc")]);
+        h.reset();
+        h.record(100);
+        let json = h
+            .snapshot(MetricId::new("latency_json_test_ns", &[("stage", "sbc")]))
+            .to_json();
+        assert!(
+            json.contains("\"name\": \"latency_json_test_ns\""),
+            "{json}"
+        );
+        assert!(json.contains("\"stage\": \"sbc\""), "{json}");
+        assert!(json.contains("\"le_ns\": 127"), "{json}");
+        assert!(!json.contains("\"le_ns\": 63"), "{json}");
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn prometheus_export_is_cumulative_with_inf() {
+        let h = hist_with("latency_prom_test_ns", &[]);
+        h.reset();
+        h.record(2);
+        h.record(100);
+        let text = export_prometheus();
+        assert!(
+            text.contains("# TYPE latency_prom_test_ns histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("latency_prom_test_ns_bucket{le=\"3\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("latency_prom_test_ns_bucket{le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("latency_prom_test_ns_count 2"), "{text}");
+        assert!(
+            text.contains("latency_prom_test_ns_quantiles{quantile=\"0.99\"}"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn recording_gate_respected() {
+        let h = LatencyHist::new();
+        let was = crate::recording();
+        crate::set_recording(false);
+        h.record(99);
+        crate::set_recording(was);
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -78,6 +78,7 @@ pub mod budget;
 pub mod events;
 pub mod export;
 pub mod health;
+pub mod latency;
 pub mod metrics;
 pub mod monitor;
 pub mod profile;
@@ -95,6 +96,7 @@ pub use alloc::{AllocStats, CountingAlloc};
 pub use budget::{BudgetConfig, BurnAlert, BurnSpeed, ErrorBudget};
 pub use events::{Event, EventKind, Journal};
 pub use health::{HealthModel, HealthReason, HealthState, SloRules, Transition};
+pub use latency::{LatencyHist, LatencySnapshot};
 pub use metrics::{Counter, Gauge, Histogram};
 pub use monitor::{EngineMonitor, MonitorConfig};
 pub use profile::{PathStats, ProfileSnapshot};
@@ -265,6 +267,28 @@ macro_rules! span {
         } else {
             $crate::Span::disabled()
         }
+    }};
+}
+
+/// Cache-and-fetch a statically-labelled nanosecond [`LatencyHist`].
+///
+/// Labels must be string literals (the handle is cached per call site).
+/// Returns an owned handle (a cheap `Arc` bump) so the expression can be
+/// passed straight into [`Span::with_latency`] without a visible clone at
+/// the call site — the record path after caching is a few relaxed
+/// atomics, no allocation, no lock.
+///
+/// ```
+/// let hist = airfinger_obs::latency!("demo_stage_ns", stage = "sbc");
+/// hist.record(1_250);
+/// ```
+#[macro_export]
+macro_rules! latency {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::LatencyHist> = ::std::sync::OnceLock::new();
+        HANDLE
+            .get_or_init(|| $crate::latency::hist_with($name, &[$((stringify!($k), $v)),*]))
+            .clone()
     }};
 }
 

@@ -322,6 +322,52 @@ impl ProfileSnapshot {
         out
     }
 
+    /// Compare this snapshot against `base`, path by path: for every call
+    /// path in either snapshot, the per-path deltas `self − base` of
+    /// count, cumulative/self nanoseconds, and allocation pressure.
+    /// Paths present on only one side surface with their full magnitude
+    /// (positive for added paths, negative for removed ones), so
+    /// `a.diff(a)` is all-zero and `a.diff(b)` is the exact negation of
+    /// `b.diff(a)`.
+    #[must_use]
+    pub fn diff(&self, base: &ProfileSnapshot) -> ProfileDiff {
+        let zero = PathStats::default();
+        let mut keys: Vec<&str> = self.paths.iter().map(|(p, _)| p.as_str()).collect();
+        keys.extend(base.paths.iter().map(|(p, _)| p.as_str()));
+        keys.sort_unstable();
+        keys.dedup();
+        let paths = keys
+            .into_iter()
+            .map(|key| {
+                let new = self.path(key);
+                let old = base.path(key);
+                let status = match (new, old) {
+                    (Some(_), None) => PathStatus::Added,
+                    (None, Some(_)) => PathStatus::Removed,
+                    _ => PathStatus::Common,
+                };
+                let new = new.unwrap_or(&zero);
+                let old = old.unwrap_or(&zero);
+                let delta = PathDelta {
+                    status,
+                    count: sdiff(new.count, old.count),
+                    total_ns: sdiff(new.total_ns, old.total_ns),
+                    self_ns: sdiff(new.self_ns, old.self_ns),
+                    alloc_count: sdiff(new.alloc.count, old.alloc.count),
+                    alloc_bytes: sdiff(new.alloc.bytes, old.alloc.bytes),
+                    self_alloc_count: sdiff(new.self_alloc.count, old.self_alloc.count),
+                    self_alloc_bytes: sdiff(new.self_alloc.bytes, old.self_alloc.bytes),
+                };
+                (key.to_string(), delta)
+            })
+            .collect();
+        ProfileDiff {
+            paths,
+            base_dropped: base.dropped,
+            new_dropped: self.dropped,
+        }
+    }
+
     /// Machine-readable JSON: schema `airfinger-profile-v1`.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -348,6 +394,184 @@ impl ProfileSnapshot {
         out.push_str("  ]\n}\n");
         out
     }
+}
+
+/// Saturating signed difference `new − old` of two `u64` readings.
+fn sdiff(new: u64, old: u64) -> i64 {
+    if new >= old {
+        i64::try_from(new - old).unwrap_or(i64::MAX)
+    } else {
+        i64::try_from(old - new).map_or(i64::MIN, |d| -d)
+    }
+}
+
+/// Whether a path existed in the base snapshot, the new one, or both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathStatus {
+    /// Present only in the new snapshot.
+    Added,
+    /// Present only in the base snapshot.
+    Removed,
+    /// Present in both.
+    Common,
+}
+
+impl PathStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            PathStatus::Added => "added",
+            PathStatus::Removed => "removed",
+            PathStatus::Common => "common",
+        }
+    }
+}
+
+/// Signed per-path cost deltas (`new − base`, saturating at `i64` range).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathDelta {
+    /// Which side(s) of the comparison the path appeared on.
+    pub status: PathStatus,
+    /// Completed-frame count delta.
+    pub count: i64,
+    /// Cumulative-nanoseconds delta.
+    pub total_ns: i64,
+    /// Self-nanoseconds delta.
+    pub self_ns: i64,
+    /// Cumulative allocation-event delta.
+    pub alloc_count: i64,
+    /// Cumulative allocated-bytes delta.
+    pub alloc_bytes: i64,
+    /// Self allocation-event delta.
+    pub self_alloc_count: i64,
+    /// Self allocated-bytes delta.
+    pub self_alloc_bytes: i64,
+}
+
+impl PathDelta {
+    /// Whether every delta is exactly zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.count == 0
+            && self.total_ns == 0
+            && self.self_ns == 0
+            && self.alloc_count == 0
+            && self.alloc_bytes == 0
+            && self.self_alloc_count == 0
+            && self.self_alloc_bytes == 0
+    }
+}
+
+/// The result of [`ProfileSnapshot::diff`]: one signed delta per call
+/// path in the union of the two snapshots, sorted by path.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileDiff {
+    /// `(call path, signed delta)` pairs, lexicographically sorted.
+    pub paths: Vec<(String, PathDelta)>,
+    /// Dropped-path count of the base snapshot.
+    pub base_dropped: u64,
+    /// Dropped-path count of the new snapshot.
+    pub new_dropped: u64,
+}
+
+impl ProfileDiff {
+    /// Delta for one exact path, if present in either snapshot.
+    #[must_use]
+    pub fn path(&self, path: &str) -> Option<&PathDelta> {
+        self.paths
+            .binary_search_by(|(p, _)| p.as_str().cmp(path))
+            .ok()
+            .map(|i| &self.paths[i].1)
+    }
+
+    /// Whether the two snapshots were identical (every delta zero).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.paths.iter().all(|(_, d)| d.is_zero())
+    }
+
+    /// Signed collapsed-stack text for differential flamegraphs: one
+    /// `path signed_self_ns_delta` line per path whose self time moved,
+    /// sorted by path. Feed to a flamegraph renderer in "diff" mode:
+    /// positive lines are regressions (red), negative ones improvements
+    /// (blue).
+    #[must_use]
+    pub fn collapsed(&self) -> String {
+        let mut out = String::new();
+        for (path, delta) in &self.paths {
+            if delta.self_ns == 0 {
+                continue;
+            }
+            out.push_str(path);
+            out.push(' ');
+            out.push_str(&delta.self_ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Machine-readable JSON: schema `airfinger-profile-diff-v1`. Zero
+    /// deltas are kept (a path that exists unchanged on both sides is
+    /// information), ordering matches [`ProfileDiff::paths`].
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use crate::export::json_string;
+        let mut out = String::from("{\n  \"schema\": \"airfinger-profile-diff-v1\",\n");
+        out.push_str(&format!(
+            "  \"base_dropped_paths\": {},\n  \"new_dropped_paths\": {},\n",
+            self.base_dropped, self.new_dropped
+        ));
+        out.push_str("  \"paths\": [\n");
+        for (i, (path, d)) in self.paths.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"path\": {}, \"status\": {}, \"d_count\": {}, \
+                 \"d_total_ns\": {}, \"d_self_ns\": {}, \
+                 \"d_alloc_count\": {}, \"d_alloc_bytes\": {}, \
+                 \"d_self_alloc_count\": {}, \"d_self_alloc_bytes\": {}}}{}\n",
+                json_string(path),
+                json_string(d.status.as_str()),
+                d.count,
+                d.total_ns,
+                d.self_ns,
+                d.alloc_count,
+                d.alloc_bytes,
+                d.self_alloc_count,
+                d.self_alloc_bytes,
+                if i + 1 == self.paths.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// The stored reference snapshot behind `GET /profile?diff=base`.
+fn baseline_slot() -> &'static Mutex<Option<ProfileSnapshot>> {
+    static BASELINE: OnceLock<Mutex<Option<ProfileSnapshot>>> = OnceLock::new();
+    BASELINE.get_or_init(|| Mutex::new(None))
+}
+
+/// Store `snap` as the diff baseline (`GET /profile?baseline=set` takes a
+/// live snapshot; tools can also install one programmatically).
+pub fn set_baseline(snap: ProfileSnapshot) {
+    *baseline_slot()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner) = Some(snap);
+}
+
+/// The stored diff baseline, if one has been set.
+#[must_use]
+pub fn baseline() -> Option<ProfileSnapshot> {
+    baseline_slot()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+/// Clear the stored diff baseline.
+pub fn clear_baseline() {
+    *baseline_slot()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner) = None;
 }
 
 #[cfg(test)]
@@ -424,6 +648,108 @@ mod tests {
         assert!(!enter_static("never_seconds"));
         // A stray exit with an empty stack must be harmless.
         exit(5);
+    }
+
+    fn snap_of(paths: &[(&str, PathStats)]) -> ProfileSnapshot {
+        let mut paths: Vec<(String, PathStats)> =
+            paths.iter().map(|(p, s)| ((*p).to_string(), *s)).collect();
+        // Real snapshots come out of a BTreeMap; keep the sorted-paths
+        // invariant `ProfileSnapshot::path` relies on.
+        paths.sort_by(|a, b| a.0.cmp(&b.0));
+        ProfileSnapshot { paths, dropped: 0 }
+    }
+
+    fn stats(count: u64, total_ns: u64, self_ns: u64, allocs: u64, bytes: u64) -> PathStats {
+        PathStats {
+            count,
+            total_ns,
+            self_ns,
+            alloc: AllocStats {
+                count: allocs,
+                bytes,
+            },
+            self_alloc: AllocStats {
+                count: allocs,
+                bytes,
+            },
+        }
+    }
+
+    #[test]
+    fn diff_of_a_snapshot_with_itself_is_all_zero() {
+        let a = snap_of(&[
+            ("root_seconds", stats(3, 900, 500, 4, 128)),
+            ("root_seconds;leaf_seconds", stats(3, 400, 400, 1, 32)),
+        ]);
+        let d = a.diff(&a);
+        assert!(d.is_zero());
+        assert_eq!(d.paths.len(), 2);
+        assert!(d.paths.iter().all(|(_, p)| p.status == PathStatus::Common));
+        assert_eq!(d.collapsed(), "", "zero deltas are elided from collapsed");
+    }
+
+    #[test]
+    fn diff_signs_added_and_removed_paths() {
+        let base = snap_of(&[("old_only_seconds", stats(2, 100, 100, 5, 64))]);
+        let new = snap_of(&[("new_only_seconds", stats(1, 70, 70, 2, 16))]);
+        let d = new.diff(&base);
+        let added = d.path("new_only_seconds").unwrap();
+        assert_eq!(added.status, PathStatus::Added);
+        assert_eq!(added.count, 1);
+        assert_eq!(added.self_ns, 70);
+        assert_eq!(added.alloc_bytes, 16);
+        let removed = d.path("old_only_seconds").unwrap();
+        assert_eq!(removed.status, PathStatus::Removed);
+        assert_eq!(removed.count, -2);
+        assert_eq!(removed.self_ns, -100);
+        assert_eq!(removed.alloc_count, -5);
+        // Antisymmetry: the reverse diff is the exact negation.
+        let rev = base.diff(&new);
+        assert_eq!(rev.path("new_only_seconds").unwrap().self_ns, -70);
+        assert_eq!(rev.path("old_only_seconds").unwrap().self_ns, 100);
+        assert_eq!(
+            rev.path("new_only_seconds").unwrap().status,
+            PathStatus::Removed
+        );
+    }
+
+    #[test]
+    fn diff_collapsed_and_json_are_signed() {
+        let base = snap_of(&[("hot_seconds", stats(10, 1000, 1000, 0, 0))]);
+        let new = snap_of(&[
+            ("hot_seconds", stats(10, 700, 700, 0, 0)),
+            ("cold_seconds", stats(1, 50, 50, 0, 0)),
+        ]);
+        let d = new.diff(&base);
+        let collapsed = d.collapsed();
+        assert!(collapsed.contains("hot_seconds -300\n"), "{collapsed}");
+        assert!(collapsed.contains("cold_seconds 50\n"), "{collapsed}");
+        let json = d.to_json();
+        assert!(
+            json.contains("\"schema\": \"airfinger-profile-diff-v1\""),
+            "{json}"
+        );
+        assert!(json.contains("\"d_self_ns\": -300"), "{json}");
+        assert!(json.contains("\"status\": \"added\""), "{json}");
+    }
+
+    #[test]
+    fn sdiff_saturates_at_i64_range() {
+        assert_eq!(sdiff(5, 2), 3);
+        assert_eq!(sdiff(2, 5), -3);
+        assert_eq!(sdiff(u64::MAX, 0), i64::MAX);
+        assert_eq!(sdiff(0, u64::MAX), i64::MIN);
+    }
+
+    #[test]
+    fn baseline_slot_round_trips() {
+        let _g = guard();
+        let a = snap_of(&[("base_seconds", stats(1, 10, 10, 0, 0))]);
+        set_baseline(a.clone());
+        let got = baseline().expect("baseline stored");
+        assert!(got.diff(&a).is_zero());
+        clear_baseline();
+        assert!(baseline().is_none());
     }
 
     #[cfg(feature = "obs")]

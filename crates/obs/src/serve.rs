@@ -6,14 +6,18 @@
 //! thread and answers four read-only endpoints:
 //!
 //! - `GET /metrics` — the global registry in Prometheus text format
-//!   (what [`crate::Snapshot::to_prometheus`] exports);
+//!   (what [`crate::Snapshot::to_prometheus`] exports), followed by the
+//!   nanosecond latency histograms ([`crate::latency::export_prometheus`]);
 //! - `GET /health` — a JSON rollup: recording/profiling switches,
 //!   process allocation pressure, every `fleet_*`/`health_state`/
 //!   `engine_window_*`/`budget_*`/`burn_*` gauge, the global event
 //!   journal's head/retention, and the bounded [`crate::timeseries`]
 //!   history;
 //! - `GET /profile` — the profiler's collapsed-stack text (empty until
-//!   [`crate::profile::set_enabled`] is turned on);
+//!   [`crate::profile::set_enabled`] is turned on); `?baseline=set`
+//!   stores the current snapshot as the diff baseline, and `?diff=base`
+//!   answers the signed collapsed diff against it (for differential
+//!   flamegraphs; 400 when no baseline was stored);
 //! - `GET /events` — the global [`crate::events`] journal tail as JSON;
 //!   `?after=<seq>` resumes strictly after a previously seen sequence
 //!   number and `?limit=<n>` caps the batch (default 256).
@@ -226,11 +230,11 @@ fn route(raw_path: &str) -> (&'static str, &'static str, String) {
     match path {
         "/metrics" => {
             crate::counter!("serve_requests_total", endpoint = "metrics").inc();
-            (
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                crate::global().snapshot().to_prometheus(),
-            )
+            // The registry families plus the nanosecond latency
+            // histograms, one exposition.
+            let mut body = crate::global().snapshot().to_prometheus();
+            body.push_str(&crate::latency::export_prometheus());
+            ("200 OK", "text/plain; version=0.0.4; charset=utf-8", body)
         }
         "/health" => {
             crate::counter!("serve_requests_total", endpoint = "health").inc();
@@ -238,11 +242,14 @@ fn route(raw_path: &str) -> (&'static str, &'static str, String) {
         }
         "/profile" => {
             crate::counter!("serve_requests_total", endpoint = "profile").inc();
-            (
-                "200 OK",
-                "text/plain; charset=utf-8",
-                crate::profile::snapshot().collapsed(),
-            )
+            match profile_body(query) {
+                Ok(body) => ("200 OK", "text/plain; charset=utf-8", body),
+                Err(reason) => (
+                    "400 Bad Request",
+                    "text/plain; charset=utf-8",
+                    format!("400 bad request: {reason}\n"),
+                ),
+            }
         }
         "/events" => {
             crate::counter!("serve_requests_total", endpoint = "events").inc();
@@ -273,6 +280,41 @@ fn route(raw_path: &str) -> (&'static str, &'static str, String) {
                 ),
             )
         }
+    }
+}
+
+/// Serve the profiler's collapsed-stack text. Query parameters:
+/// `baseline=set` stores the current [`crate::profile::snapshot`] as the
+/// diff baseline ([`crate::profile::set_baseline`]) and confirms;
+/// `diff=base` answers the *signed* collapsed diff of the live snapshot
+/// against that stored baseline (400 when none was set). No query (or
+/// unknown parameters, which are ignored) serves the plain collapsed
+/// snapshot as before.
+fn profile_body(query: &str) -> Result<String, &'static str> {
+    let mut baseline_op = None;
+    let mut diff_op = None;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "baseline" => baseline_op = Some(value.to_string()),
+            "diff" => diff_op = Some(value.to_string()),
+            _ => {}
+        }
+    }
+    match (baseline_op.as_deref(), diff_op.as_deref()) {
+        (Some("set"), None) => {
+            let snap = crate::profile::snapshot();
+            let paths = snap.paths.len();
+            crate::profile::set_baseline(snap);
+            Ok(format!("profile baseline set ({paths} paths)\n"))
+        }
+        (Some(_), _) => Err("`baseline` only accepts `set`"),
+        (None, Some("base")) => match crate::profile::baseline() {
+            Some(base) => Ok(crate::profile::snapshot().diff(&base).collapsed()),
+            None => Err("no profile baseline set; GET /profile?baseline=set first"),
+        },
+        (None, Some(_)) => Err("`diff` only accepts `base`"),
+        (None, None) => Ok(crate::profile::snapshot().collapsed()),
     }
 }
 
@@ -498,6 +540,48 @@ mod tests {
         assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
         let bad = get(addr, "/events?limit=-1");
         assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        server.stop();
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn metrics_endpoint_includes_latency_histograms() {
+        let server = ScrapeServer::start("127.0.0.1:0").expect("bind loopback");
+        crate::latency!("serve_latency_test_ns").record(7);
+        let metrics = get(server.addr(), "/metrics");
+        assert!(
+            metrics.contains("serve_latency_test_ns_bucket"),
+            "{metrics}"
+        );
+        server.stop();
+    }
+
+    #[test]
+    fn profile_endpoint_handles_baseline_and_diff_queries() {
+        let server = ScrapeServer::start("127.0.0.1:0").expect("bind loopback");
+        let addr = server.addr();
+
+        // Diffing before a baseline exists is an explicit 400.
+        crate::profile::clear_baseline();
+        let missing = get(addr, "/profile?diff=base");
+        assert!(missing.starts_with("HTTP/1.1 400"), "{missing}");
+        assert!(missing.contains("no profile baseline"), "{missing}");
+
+        let set = get(addr, "/profile?baseline=set");
+        assert!(set.starts_with("HTTP/1.1 200"), "{set}");
+        assert!(set.contains("profile baseline set"), "{set}");
+
+        // With an identical live snapshot the signed diff elides
+        // zero-delta paths — the body may be empty, but it is a 200.
+        let diff = get(addr, "/profile?diff=base");
+        assert!(diff.starts_with("HTTP/1.1 200"), "{diff}");
+
+        // Unknown parameter values are a 400, not silence.
+        let bad = get(addr, "/profile?diff=banana");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        let bad = get(addr, "/profile?baseline=clear");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        crate::profile::clear_baseline();
         server.stop();
     }
 

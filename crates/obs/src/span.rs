@@ -1,6 +1,7 @@
 //! RAII spans: monotonic wall-clock timing over [`std::time::Instant`],
 //! recorded into a histogram when the span drops.
 
+use crate::latency::LatencyHist;
 use crate::metrics::Histogram;
 use std::time::Instant;
 
@@ -28,6 +29,10 @@ pub struct Span {
     /// the matching exit runs on drop only when it did, keeping the
     /// per-thread frame stack balanced across enable/disable toggles.
     profiled: bool,
+    /// Companion nanosecond histogram ([`Span::with_latency`]): the same
+    /// drop-time duration that feeds the seconds histogram is recorded
+    /// here at full resolution, from one clock read.
+    latency: Option<LatencyHist>,
 }
 
 impl Span {
@@ -41,6 +46,7 @@ impl Span {
             trace: false,
             timeline: false,
             profiled: false,
+            latency: None,
         }
     }
 
@@ -59,6 +65,7 @@ impl Span {
             trace: false,
             timeline,
             profiled,
+            latency: None,
         }
     }
 
@@ -77,6 +84,7 @@ impl Span {
             trace: false,
             timeline,
             profiled,
+            latency: None,
         }
     }
 
@@ -86,6 +94,22 @@ impl Span {
     /// feeds the JSON report.
     pub fn traced(mut self) -> Span {
         self.trace = true;
+        self
+    }
+
+    /// Attach a nanosecond histogram: on drop the span's duration is also
+    /// recorded into `hist` via [`LatencyHist::record`], truncated from
+    /// the same single clock read that feeds the seconds histogram.
+    /// Disabled spans ignore the attachment (no clock was read).
+    ///
+    /// ```
+    /// let _span = airfinger_obs::span!("demo_push_seconds")
+    ///     .with_latency(airfinger_obs::latency!("demo_push_ns"));
+    /// ```
+    pub fn with_latency(mut self, hist: LatencyHist) -> Span {
+        if self.start.is_some() {
+            self.latency = Some(hist);
+        }
         self
     }
 
@@ -107,6 +131,9 @@ impl Drop for Span {
         let elapsed = duration.as_secs_f64();
         if let Some(histogram) = &self.histogram {
             histogram.observe(elapsed);
+        }
+        if let Some(latency) = &self.latency {
+            latency.record(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
         }
         if self.timeline {
             crate::trace::end(self.display_name());
@@ -163,6 +190,26 @@ mod tests {
         let span = Span::disabled();
         assert_eq!(span.elapsed_s(), 0.0);
         drop(span); // must not record or print
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn with_latency_records_nanoseconds_on_drop() {
+        let h = Histogram::new(vec![10.0]);
+        let ns = LatencyHist::new();
+        {
+            let _span = Span::from_histogram(h.clone(), "latency_span").with_latency(ns.clone());
+        }
+        assert_eq!(h.count(), 1);
+        assert_eq!(ns.count(), 1);
+        assert!(ns.max_ns() > 0, "a live span takes nonzero nanoseconds");
+    }
+
+    #[test]
+    fn disabled_span_ignores_latency_attachment() {
+        let ns = LatencyHist::new();
+        drop(Span::disabled().with_latency(ns.clone()));
+        assert_eq!(ns.count(), 0);
     }
 
     #[test]

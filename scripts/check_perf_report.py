@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Validate the perf-observatory surface of a `repro … --metrics` report.
+
+CI runs this after the smoke run (which includes the `perf` experiment)
+so the perf contract can never silently change shape:
+
+- the report carries a `latency_ns` section with the nanosecond
+  log2-bucket histograms (`engine_push_ns`, `pipeline_stage_ns{stage}`),
+  each internally consistent (monotone cumulative-style buckets summing
+  to the count, ordered p50 <= p95 <= p99 <= max);
+- every `perf_*` metric promised by DESIGN.md §9 is present, with the
+  deterministic/timing split implied by the suffix convention;
+- the deterministic class is structurally sound (pushes = samples ×
+  repeats is checked by the experiment itself; here we check presence,
+  integrality, and non-negativity).
+
+Usage: check_perf_report.py REPORT.json
+"""
+
+import json
+import sys
+
+EXPECTED_COUNTERS = {
+    "perf_pushes_total",
+    "perf_recognitions_total",
+    "perf_rejections_total",
+    "perf_repeats_total",
+}
+
+EXPECTED_GAUGES = {
+    "perf_allocs_per_push",
+    "perf_alloc_bytes_per_push",
+    "perf_alloc_counting",
+    "perf_samples_per_s",
+    "perf_push_p50_ns",
+    "perf_push_p95_ns",
+    "perf_push_p99_ns",
+    "perf_push_max_ns",
+    "perf_stage_mean_ns",
+}
+
+TIMING_SUFFIXES = ("_ns", "_per_s", "_seconds", "_utilization")
+
+# Per-window stages instrumented on the streaming path (DESIGN.md §9).
+STAGE_LABELS = {"filter", "features", "rf_predict", "zebra", "distinguish"}
+
+
+def fail(msg):
+    print(f"check_perf_report: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_latency_section(report):
+    expect("latency_ns" in report, "report has no `latency_ns` section")
+    hists = report["latency_ns"]
+    expect(isinstance(hists, list), "`latency_ns` must be a list")
+    names = set()
+    for h in hists:
+        expect(
+            set(h)
+            == {
+                "name",
+                "labels",
+                "count",
+                "sum_ns",
+                "max_ns",
+                "p50_ns",
+                "p95_ns",
+                "p99_ns",
+                "buckets",
+            },
+            f"latency entry keys: {sorted(h)}",
+        )
+        names.add(h["name"])
+        expect(h["count"] >= 0 and h["sum_ns"] >= 0, f"negative tallies: {h}")
+        if h["count"] > 0:
+            # Quantiles are bucket-upper-edge conservative, so p99 may
+            # legitimately exceed the exact max; only the ladder itself
+            # must be monotone.
+            expect(
+                h["p50_ns"] <= h["p95_ns"] <= h["p99_ns"],
+                f"quantiles out of order: {h['name']} {h['labels']}",
+            )
+            expect(h["max_ns"] > 0, f"records but zero max: {h['name']}")
+        buckets = h["buckets"]
+        expect(isinstance(buckets, list), f"`buckets` must be a list: {h['name']}")
+        expect(
+            buckets or h["count"] == 0,
+            f"histogram with records but no buckets: {h['name']}",
+        )
+        total = 0
+        prev_edge = -1
+        for b in buckets:
+            expect(set(b) == {"le_ns", "count"}, f"bucket keys: {sorted(b)}")
+            expect(b["le_ns"] > prev_edge, f"bucket edges not increasing: {h['name']}")
+            prev_edge = b["le_ns"]
+            total += b["count"]
+        expect(
+            total == h["count"],
+            f"bucket counts sum to {total}, histogram count is {h['count']}: {h['name']}",
+        )
+    expect("engine_push_ns" in names, f"`engine_push_ns` missing from {sorted(names)}")
+    expect(
+        "pipeline_stage_ns" in names,
+        f"`pipeline_stage_ns` missing from {sorted(names)}",
+    )
+    stages = {
+        h["labels"].get("stage")
+        for h in hists
+        if h["name"] == "pipeline_stage_ns"
+    }
+    expect(
+        STAGE_LABELS <= stages,
+        f"per-window stages missing from pipeline_stage_ns: {STAGE_LABELS - stages}",
+    )
+
+
+def check_perf_metrics(report):
+    metrics = report.get("metrics", {})
+    counters = {c["name"]: c for c in metrics.get("counters", []) if c["name"].startswith("perf_")}
+    gauges = {}
+    for g in metrics.get("gauges", []):
+        if g["name"].startswith("perf_"):
+            gauges.setdefault(g["name"], []).append(g)
+
+    expect(
+        EXPECTED_COUNTERS <= set(counters),
+        f"perf counters missing: {EXPECTED_COUNTERS - set(counters)}",
+    )
+    expect(
+        EXPECTED_GAUGES <= set(gauges),
+        f"perf gauges missing: {EXPECTED_GAUGES - set(gauges)}",
+    )
+
+    for name, c in counters.items():
+        expect(not name.endswith(TIMING_SUFFIXES), f"timing-suffixed counter: {name}")
+        expect(
+            isinstance(c["value"], int) and c["value"] >= 0,
+            f"counter {name} must be a non-negative integer: {c['value']}",
+        )
+    expect(counters["perf_pushes_total"]["value"] > 0, "no pushes measured")
+    expect(counters["perf_repeats_total"]["value"] > 0, "no repeats measured")
+
+    for name, entries in gauges.items():
+        for g in entries:
+            expect(g["value"] >= 0, f"gauge {name} must be non-negative: {g['value']}")
+    stages = {g["labels"].get("stage") for g in gauges["perf_stage_mean_ns"]}
+    expect(
+        stages == STAGE_LABELS,
+        f"perf_stage_mean_ns stages {sorted(x for x in stages if x)} != {sorted(STAGE_LABELS)}",
+    )
+    # The quantile ladder must be ordered just like the histograms
+    # (p99 vs max is not comparable: edges are conservative, max exact;
+    # and the medians-of-repeats are taken per quantile independently).
+    p50 = gauges["perf_push_p50_ns"][0]["value"]
+    p95 = gauges["perf_push_p95_ns"][0]["value"]
+    p99 = gauges["perf_push_p99_ns"][0]["value"]
+    expect(p50 <= p95 <= p99, f"push quantiles out of order: {p50} {p95} {p99}")
+    expect(gauges["perf_push_max_ns"][0]["value"] > 0, "zero max push latency")
+    expect(gauges["perf_samples_per_s"][0]["value"] > 0, "throughput must be positive")
+
+    # The experiment must actually have run (its wall time is recorded).
+    expect(
+        any(e["id"] == "perf" and e["seconds"] > 0 for e in report.get("experiments", [])),
+        "the `perf` experiment is not in the report's experiment list",
+    )
+
+
+def main(path):
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    check_latency_section(report)
+    check_perf_metrics(report)
+    hists = len(report["latency_ns"])
+    print(f"check_perf_report: OK ({hists} latency histograms, perf metrics complete)")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        fail("usage: check_perf_report.py REPORT.json")
+    main(sys.argv[1])

@@ -43,6 +43,7 @@ fn config(n_threads: usize) -> AirFingerConfig {
 /// the registry's counters plus the monitor's transition log.
 fn counters_at(n_threads: usize, corpus: &Corpus) -> (BTreeMap<String, u64>, Vec<String>) {
     airfinger_obs::global().reset();
+    airfinger_obs::latency::reset();
     let mut af = AirFinger::new(config(n_threads));
     af.train_on_corpus(corpus, None).expect("training succeeds");
     for s in corpus.samples() {
@@ -200,6 +201,7 @@ fn export_bytes_are_identical_across_insertion_orders() {
 /// nanosecond fields are scheduling observations and excluded).
 fn profile_paths_at(n_threads: usize, corpus: &Corpus) -> BTreeMap<String, (u64, u64, u64)> {
     airfinger_obs::global().reset();
+    airfinger_obs::latency::reset();
     airfinger_obs::profile::reset();
     let mut af = AirFinger::new(config(n_threads));
     af.train_on_corpus(corpus, None).expect("training succeeds");
@@ -241,6 +243,97 @@ fn profile_breakdown_is_identical_across_thread_counts() {
     for threads in [4, 8] {
         let got = profile_paths_at(threads, &corpus);
         assert_eq!(got, baseline, "profile diverged at {threads} threads");
+    }
+}
+
+/// Run the `perf` bench experiment with `n_threads` training workers;
+/// return its deterministic-class metrics (DESIGN.md §9: everything
+/// *not* suffix-marked as timing) plus every nanosecond-latency
+/// histogram's record count. Timing-class gauges and histogram sums are
+/// wall-clock observations and are deliberately excluded.
+fn perf_deterministic_at(n_threads: usize) -> (BTreeMap<String, String>, Vec<(String, u64)>) {
+    use airfinger_bench::diff::{metric_class, MetricClass};
+    airfinger_obs::global().reset();
+    airfinger_obs::latency::reset();
+    let mut ctx =
+        airfinger_bench::context::Context::new(airfinger_bench::context::Scale::Quick, 99);
+    ctx.config.n_threads = n_threads;
+    airfinger_bench::run_experiment("perf", &ctx).expect("perf experiment succeeds");
+    let snapshot = airfinger_obs::global().snapshot();
+    let mut deterministic = BTreeMap::new();
+    for c in &snapshot.counters {
+        let identity = c.id.to_string();
+        if identity.starts_with("perf_") && metric_class(&identity) == MetricClass::Deterministic {
+            deterministic.insert(identity, c.value.to_string());
+        }
+    }
+    for g in &snapshot.gauges {
+        let identity = g.id.to_string();
+        if identity.starts_with("perf_") && metric_class(&identity) == MetricClass::Deterministic {
+            // Exact decimal rendering: byte equality is the contract.
+            deterministic.insert(identity, format!("{:?}", g.value));
+        }
+    }
+    let latency_counts = airfinger_obs::latency::snapshot_all()
+        .into_iter()
+        .map(|s| (s.id.to_string(), s.count))
+        .collect();
+    (deterministic, latency_counts)
+}
+
+/// The perf experiment's deterministic metric class (work counters,
+/// allocs-per-push) and the latency histograms' record counts are pure
+/// functions of `(scale, seed)` — byte-identical no matter how many
+/// worker threads trained the pipeline. This is the invariant that lets
+/// `repro diff` gate them exactly across machines and `--threads`
+/// settings.
+#[test]
+fn perf_deterministic_metrics_are_identical_across_thread_counts() {
+    let _guard = registry_guard();
+    let (baseline, base_latency) = perf_deterministic_at(1);
+    if airfinger_obs::recording() {
+        for key in [
+            "perf_pushes_total",
+            "perf_recognitions_total",
+            "perf_rejections_total",
+            "perf_repeats_total",
+            "perf_allocs_per_push",
+            "perf_alloc_bytes_per_push",
+        ] {
+            assert!(baseline.contains_key(key), "expected {key} in {baseline:?}");
+        }
+        assert!(
+            base_latency
+                .iter()
+                .any(|(id, count)| id == "engine_push_ns" && *count > 0),
+            "expected push-latency records in {base_latency:?}"
+        );
+        assert!(
+            base_latency
+                .iter()
+                .any(|(id, _)| id.starts_with("pipeline_stage_ns")),
+            "expected stage-latency histograms in {base_latency:?}"
+        );
+        // Timing-class names must have been classified out: a p99 gauge
+        // leaking into the exact comparison would make this test flaky
+        // by construction.
+        assert!(
+            baseline
+                .keys()
+                .all(|k| !k.ends_with("_ns") && !k.ends_with("_per_s")),
+            "timing-class metric leaked into the deterministic set: {baseline:?}"
+        );
+    }
+    for threads in [4, 8] {
+        let (got, got_latency) = perf_deterministic_at(threads);
+        assert_eq!(
+            got, baseline,
+            "deterministic perf metrics diverged at {threads} threads"
+        );
+        assert_eq!(
+            got_latency, base_latency,
+            "latency record counts diverged at {threads} threads"
+        );
     }
 }
 
